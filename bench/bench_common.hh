@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Shared plumbing for the experiment-reproduction benches.  Each bench
+ * binary regenerates one table or figure of the paper and prints it in
+ * the same shape (rows = the paper's rows, columns = the paper's
+ * columns) so EXPERIMENTS.md can record paper-vs-measured side by side.
+ *
+ * Set DDSC_TRACE_LIMIT=<n> to truncate traces for quick runs.
+ */
+
+#ifndef DDSC_BENCH_BENCH_COMMON_HH
+#define DDSC_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "support/table.hh"
+
+namespace ddsc::bench
+{
+
+inline const std::vector<char> kConfigs = {'A', 'B', 'C', 'D', 'E'};
+
+inline void
+banner(const std::string &what, const ExperimentDriver &driver)
+{
+    std::printf("=== %s ===\n", what.c_str());
+    if (driver.traceLimit() != 0) {
+        std::printf("(traces truncated to %llu instructions via "
+                    "DDSC_TRACE_LIMIT)\n",
+                    static_cast<unsigned long long>(driver.traceLimit()));
+    }
+}
+
+/** Describe a configuration letter as in the paper's Section 4. */
+inline const char *
+configLegend(char config)
+{
+    switch (config) {
+      case 'A': return "base";
+      case 'B': return "base + real load-speculation";
+      case 'C': return "base + d-collapsing";
+      case 'D': return "base + d-collapsing + real load-spec";
+      case 'E': return "base + d-collapsing + ideal load-spec";
+      default: return "?";
+    }
+}
+
+inline void
+printLegend()
+{
+    for (const char c : kConfigs)
+        std::printf("  %c: %s\n", c, configLegend(c));
+    std::printf("\n");
+}
+
+/** Figures 2/4/6: harmonic-mean IPC, configs x widths. */
+inline void
+printIpcMatrix(ExperimentDriver &driver,
+               const std::vector<const WorkloadSpec *> &set)
+{
+    TextTable table;
+    std::vector<std::string> header = {"config"};
+    for (const unsigned w : MachineConfig::paperWidths())
+        header.push_back("w=" + MachineConfig::widthLabel(w));
+    table.header(std::move(header));
+    for (const char config : kConfigs) {
+        std::vector<std::string> row = {std::string(1, config)};
+        for (const unsigned w : MachineConfig::paperWidths())
+            row.push_back(TextTable::num(driver.hmeanIpc(set, config, w)));
+        table.row(std::move(row));
+    }
+    std::printf("%s", table.render().c_str());
+}
+
+/** Figures 3/5/7: harmonic-mean speedup over A, configs x widths. */
+inline void
+printSpeedupMatrix(ExperimentDriver &driver,
+                   const std::vector<const WorkloadSpec *> &set)
+{
+    TextTable table;
+    std::vector<std::string> header = {"config"};
+    for (const unsigned w : MachineConfig::paperWidths())
+        header.push_back("w=" + MachineConfig::widthLabel(w));
+    table.header(std::move(header));
+    for (const char config : kConfigs) {
+        std::vector<std::string> row = {std::string(1, config)};
+        for (const unsigned w : MachineConfig::paperWidths()) {
+            row.push_back(
+                TextTable::num(driver.hmeanSpeedup(set, config, w)));
+        }
+        table.row(std::move(row));
+    }
+    std::printf("%s", table.render().c_str());
+}
+
+/** Tables 3/4: load-speculation behaviour under configuration D. */
+inline void
+printLoadSpecTable(ExperimentDriver &driver,
+                   const std::vector<const WorkloadSpec *> &set)
+{
+    TextTable table;
+    table.header({"Issue Width", "Ready (%)", "Predicted Correctly (%)",
+                  "Predicted Incorrectly (%)", "Not Predicted (%)"});
+    for (const unsigned w : MachineConfig::paperWidths()) {
+        table.row({
+            MachineConfig::widthLabel(w),
+            TextTable::num(driver.meanLoadClassPct(
+                set, 'D', w, LoadClass::Ready)),
+            TextTable::num(driver.meanLoadClassPct(
+                set, 'D', w, LoadClass::PredictedCorrect)),
+            TextTable::num(driver.meanLoadClassPct(
+                set, 'D', w, LoadClass::PredictedIncorrect)),
+            TextTable::num(driver.meanLoadClassPct(
+                set, 'D', w, LoadClass::NotPredicted)),
+        });
+    }
+    std::printf("%s", table.render().c_str());
+}
+
+/** Tables 5/6: top collapsed signatures by width for configuration D. */
+inline void
+printSignatureTable(ExperimentDriver &driver, unsigned group_size,
+                    std::size_t top_n)
+{
+    // Rank by the widest machine, then report that signature across
+    // all widths, mirroring the tables' layout.
+    const auto set = ExperimentDriver::everything();
+    const CollapseStats widest =
+        driver.mergedCollapse(set, 'D', 2048);
+    const auto ranked = widest.topSignatures(group_size, top_n);
+
+    TextTable table;
+    std::vector<std::string> header = {"Operation Types"};
+    for (const unsigned w : {2048u, 32u, 16u, 8u, 4u})
+        header.push_back(MachineConfig::widthLabel(w));
+    table.header(std::move(header));
+
+    for (const auto &[signature, pct_widest] : ranked) {
+        std::vector<std::string> row = {signature};
+        for (const unsigned w : {2048u, 32u, 16u, 8u, 4u}) {
+            const CollapseStats merged =
+                driver.mergedCollapse(set, 'D', w);
+            const auto &sig_map = group_size == 2
+                ? merged.pairSignatures() : merged.tripleSignatures();
+            const auto total = group_size == 2
+                ? merged.pairEvents() : merged.tripleEvents();
+            const auto it = sig_map.find(signature);
+            const double pct = (it == sig_map.end() || total == 0)
+                ? 0.0
+                : 100.0 * static_cast<double>(it->second) /
+                  static_cast<double>(total);
+            row.push_back(TextTable::num(pct));
+        }
+        table.row(std::move(row));
+    }
+    std::printf("%s", table.render().c_str());
+}
+
+} // namespace ddsc::bench
+
+#endif // DDSC_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Figure 2 reproduction: harmonic-mean IPC of configurations A..E at
+ * issue widths 4, 8, 16, 32, and 2k over all six benchmarks.
+ *
+ * Expected shape (paper): E > D > C > B > A at every width; B adds
+ * little over A at small widths; the E-D gap grows with width (ideal
+ * vs realistic address prediction).
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace ddsc;
+    ExperimentDriver driver;
+    bench::banner("Figure 2: IPC for the Different Configurations and "
+                  "Issue Widths (all benchmarks, harmonic mean)", driver);
+    bench::printLegend();
+    bench::printIpcMatrix(driver, ExperimentDriver::everything());
+    return 0;
+}

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Figure 3 reproduction: harmonic-mean speedup over the base
+ * superscalar machine (A) for configurations B..E at widths 4..2k.
+ *
+ * Paper anchors: D reaches 1.20 / 1.35 / 1.51 / 1.66 at widths
+ * 4/8/16/32 and ~1.9 at 2k; E spans 1.25 (w=4) to 2.95 (w=2k); the
+ * speedup of D roughly equals the sum of the separate gains of B and
+ * C; collapsing (C) contributes the majority.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace ddsc;
+    ExperimentDriver driver;
+    bench::banner("Figure 3: SpeedUp over the Superscalar Base Machine "
+                  "(all benchmarks, harmonic mean)", driver);
+    bench::printLegend();
+    bench::printSpeedupMatrix(driver, ExperimentDriver::everything());
+    std::printf("\npaper anchors (D): 1.20 @w4, 1.35 @w8, 1.51 @w16, "
+                "1.66 @w32; (E): 1.25 @w4 .. 2.95 @w2k\n");
+    return 0;
+}

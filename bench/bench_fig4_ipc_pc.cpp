@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Figure 4 reproduction: harmonic-mean IPC for the pointer-chasing
+ * benchmarks (go, li), configurations A..E, widths 4..2k.
+ *
+ * Expected shape: realistic load-speculation is nearly useless here
+ * (stride prediction fails on pointer chains) while ideal speculation
+ * still gains substantially.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace ddsc;
+    ExperimentDriver driver;
+    bench::banner("Figure 4: IPC for the \"Pointer Chasing\" Benchmarks "
+                  "(go, li)", driver);
+    bench::printLegend();
+    bench::printIpcMatrix(driver, workloadSubset(true));
+    return 0;
+}

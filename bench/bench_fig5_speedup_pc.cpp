@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Figure 5 reproduction: speedup over base for the pointer-chasing
+ * benchmarks (go, li).
+ *
+ * Paper anchors: realistic load-speculation alone (B) gains only
+ * 5-9% at widths 4-32; collapsing gains are smaller than on the full
+ * set; the drop from ideal (E) to realistic (D) is pronounced.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace ddsc;
+    ExperimentDriver driver;
+    bench::banner("Figure 5: SpeedUp over Base for the \"Pointer "
+                  "Chasing\" Benchmarks (go, li)", driver);
+    bench::printLegend();
+    bench::printSpeedupMatrix(driver, workloadSubset(true));
+    std::printf("\npaper anchors: B gains only 1.05-1.09 at widths "
+                "4-32 on this subset\n");
+    return 0;
+}

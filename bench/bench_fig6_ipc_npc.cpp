@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Figure 6 reproduction: harmonic-mean IPC for the non-pointer-chasing
+ * benchmarks (compress, espresso, eqntott, ijpeg).
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace ddsc;
+    ExperimentDriver driver;
+    bench::banner("Figure 6: IPC for the non \"Pointer Chasing\" "
+                  "Benchmarks (compress, espresso, eqntott, ijpeg)",
+                  driver);
+    bench::printLegend();
+    bench::printIpcMatrix(driver, workloadSubset(false));
+    return 0;
+}

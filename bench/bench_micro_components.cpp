@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Component microbenchmarks (google-benchmark): throughput of the
+ * branch predictors, the stride address predictor, collapse-rule
+ * evaluation, the assembler, the VM, and the limit scheduler itself.
+ * These guard against performance regressions in the simulation
+ * engine; they reproduce no paper result.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "addrpred/addrpred.hh"
+#include "bpred/bpred.hh"
+#include "collapse/rules.hh"
+#include "core/scheduler.hh"
+#include "masm/assembler.hh"
+#include "sim/experiment.hh"
+#include "trace/synthetic.hh"
+#include "vm/vm.hh"
+#include "workloads/workloads.hh"
+
+namespace ddsc
+{
+namespace
+{
+
+void
+BM_CombiningPredictor(benchmark::State &state)
+{
+    CombiningPredictor pred(13);
+    std::uint64_t pc = 0x10000;
+    bool taken = false;
+    for (auto _ : state) {
+        taken = !taken;
+        pc = 0x10000 + ((pc * 29) & 0xfffc);
+        benchmark::DoNotOptimize(pred.predictAndUpdate(pc, taken));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CombiningPredictor);
+
+void
+BM_StridePredictor(benchmark::State &state)
+{
+    StrideAddressPredictor pred;
+    std::uint64_t addr = 0x40000000;
+    for (auto _ : state) {
+        addr += 16;
+        benchmark::DoNotOptimize(pred.predict(0x10040));
+        pred.update(0x10040, addr);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StridePredictor);
+
+void
+BM_CollapseJudge(benchmark::State &state)
+{
+    CollapseRules rules;
+    ExprSize expr;
+    expr.rawOperands = 5;
+    expr.nonZeroOperands = 4;
+    expr.instructions = 3;
+    for (auto _ : state) {
+        CollapseCategory category;
+        benchmark::DoNotOptimize(rules.judge(expr, category));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CollapseJudge);
+
+void
+BM_Assembler(benchmark::State &state)
+{
+    const WorkloadSpec &spec = compressWorkload();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(buildWorkload(spec, 100));
+    }
+}
+BENCHMARK(BM_Assembler);
+
+void
+BM_VmExecution(benchmark::State &state)
+{
+    const Program program = buildWorkload(espressoWorkload(), 50);
+    Vm vm(program);
+    for (auto _ : state) {
+        vm.reset();
+        const auto result = vm.run(nullptr);
+        benchmark::DoNotOptimize(result.instructions);
+        state.SetItemsProcessed(state.items_processed() +
+                                static_cast<std::int64_t>(
+                                    result.instructions));
+    }
+}
+BENCHMARK(BM_VmExecution);
+
+void
+BM_SchedulerInstructionsPerSecond(benchmark::State &state)
+{
+    SyntheticTraceConfig config;
+    config.instructions = 100000;
+    VectorTraceSource trace = generateSynthetic(config);
+    const auto width = static_cast<unsigned>(state.range(0));
+    LimitScheduler scheduler(MachineConfig::paper('D', width));
+    for (auto _ : state) {
+        trace.reset();
+        const SchedStats stats = scheduler.run(trace);
+        benchmark::DoNotOptimize(stats.cycles);
+        state.SetItemsProcessed(state.items_processed() +
+                                static_cast<std::int64_t>(
+                                    stats.instructions));
+    }
+}
+BENCHMARK(BM_SchedulerInstructionsPerSecond)
+    ->Arg(4)->Arg(32)->Arg(2048)->Unit(benchmark::kMillisecond);
+
+} // anonymous namespace
+} // namespace ddsc
+
+BENCHMARK_MAIN();

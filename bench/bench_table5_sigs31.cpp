@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Table 5 reproduction: the most frequently collapsed pair (3-1 style)
+ * dependence sequences under configuration D, as a percentage of all
+ * collapsed pairs, by issue width.
+ *
+ * Paper's top rows: arrr-brc and arri-brc (~12-17%), arri-arri,
+ * arr0-brc, shri-ldrr, mvi-lgri, mvi-ldri, arrr-arrr, ...
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace ddsc;
+    ExperimentDriver driver;
+    bench::banner("Table 5: Collapsed 3-1 (pair) Dependences, "
+                  "% of all collapsed pairs (configuration D)", driver);
+    bench::printSignatureTable(driver, 2, 12);
+    std::printf("\npaper top rows: arrr-brc 12.7, arri-brc 12.4, "
+                "arri-arri 8.0, arr0-brc 7.1, shri-ldrr 5.1, "
+                "mvi-lgri 5.0 (at 2k)\n");
+    return 0;
+}

@@ -1,0 +1,39 @@
+; Dot product of two 64-element vectors.
+;
+;   ddsc-asm examples/asm/dotprod.s -o dotprod.trc --list
+;   ddsc-sim --trace dotprod.trc --config D --width 8
+;
+; The inner loop carries the three collapse opportunities the paper
+; studies: shifted indexing into the loads (addr-gen collapse), the
+; accumulate chain, and the cmp feeding the loop branch.
+
+main:
+    la   r1, vec_a
+    la   r2, vec_b
+    mov  r3, 0             ; i
+    mov  r4, 0             ; sum
+loop:
+    sll  r5, r3, 2
+    add  r6, r1, r5
+    ldw  r7, [r6]          ; a[i]
+    add  r6, r2, r5
+    ldw  r8, [r6]          ; b[i]
+    mul  r9, r7, r8
+    add  r4, r4, r9
+    add  r3, r3, 1
+    cmp  r3, 64
+    blt  loop
+    mov  r25, r4           ; checksum convention
+    halt
+
+.data
+vec_a:
+    .word 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16
+    .word 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16
+    .word 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16
+    .word 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16
+vec_b:
+    .word 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2
+    .word 3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3
+    .word 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2
+    .word 3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3

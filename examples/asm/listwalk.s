@@ -1,0 +1,60 @@
+; Build and repeatedly walk a scattered linked list: the pointer-chasing
+; pattern that defeats the paper's stride-based load speculation.
+;
+;   ddsc-asm examples/asm/listwalk.s -o listwalk.trc
+;   ddsc-sim --trace listwalk.trc --config B --width 8
+;   ddsc-sim --trace listwalk.trc --config E --width 8
+;
+; Compare the two runs: realistic load-speculation (B) gains nothing
+; (every cdr load is classed not-predicted), while ideal speculation
+; (E) rips through the chain.
+
+main:
+    la   r1, heap
+    li   r22, 1103515245   ; full-period LCG walk: slot' = slot*a + c
+    li   r23, 12345
+    mov  r6, 0             ; current slot
+    mov  r2, 0             ; i
+build:
+    sll  r9, r6, 3
+    add  r7, r1, r9
+    stw  r2, [r7]          ; car = i
+    mul  r8, r6, r22
+    add  r8, r8, r23
+    and  r8, r8, 127       ; 128 cells
+    add  r9, r2, 1
+    cmp  r9, 128
+    beq  last
+    sll  r9, r8, 3
+    add  r9, r1, r9
+    stw  r9, [r7 + 4]      ; cdr
+    ba   linked
+last:
+    stw  r0, [r7 + 4]      ; nil
+linked:
+    mov  r6, r8
+    add  r2, r2, 1
+    cmp  r2, 128
+    blt  build
+
+    mov  r4, 0             ; sum
+    mov  r10, 0            ; round
+round:
+    mov  r7, r1            ; head is slot 0
+walk:
+    cmp  r7, 0
+    beq  walked
+    ldw  r9, [r7]
+    add  r4, r4, r9
+    ldw  r7, [r7 + 4]      ; the chasing load
+    ba   walk
+walked:
+    add  r10, r10, 1
+    cmp  r10, 16
+    blt  round
+    mov  r25, r4
+    halt
+
+.data
+.align 8
+heap: .space 1024

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Load-speculation demo: why stride-based address prediction works on
+ * array code and fails on pointer chains.
+ *
+ * Builds two small programs -- an array-summing loop (strided
+ * addresses) and a linked-list walk (scattered addresses) -- and runs
+ * both through the two-delta predictor and through configurations A, B
+ * and E.  Prints the per-class load breakdown the paper reports in
+ * Tables 3 and 4 and the resulting speedups.
+ */
+
+#include <cstdio>
+
+#include "core/scheduler.hh"
+#include "masm/assembler.hh"
+#include "vm/vm.hh"
+
+namespace
+{
+
+// Array walk: the load address advances by 4 each iteration.  The
+// index is produced by a multiply so the address operand arrives late
+// and the load actually needs speculation.
+const char kArrayWalk[] = R"(
+main:
+    la   r1, data
+    mov  r2, 0             ; index
+    mov  r3, 0             ; sum
+    mov  r9, 1
+loop:
+    mul  r4, r2, 4         ; late address operand (2-cycle multiply)
+    add  r5, r1, r4
+    ldw  r6, [r5]
+    add  r3, r3, r6
+    add  r2, r2, r9
+    cmp  r2, 256
+    blt  loop
+    mov  r25, r3
+    halt
+.data
+data: .space 1024
+)";
+
+// Pointer chain: each cell holds the address of the next, laid out by
+// a full-period LCG walk so the deltas never repeat.
+const char kPointerChain[] = R"(
+main:
+    la   r1, heap
+    li   r22, 1103515245
+    li   r23, 12345
+    mov  r6, 0             ; slot
+    mov  r2, 0             ; i
+build:
+    sll  r9, r6, 3
+    add  r7, r1, r9
+    stw  r2, [r7]          ; car = i
+    mul  r8, r6, r22
+    add  r8, r8, r23
+    and  r8, r8, 255       ; 256 slots
+    add  r9, r2, 1
+    cmp  r9, 256
+    beq  last
+    sll  r9, r8, 3
+    add  r9, r1, r9
+    stw  r9, [r7 + 4]
+    ba   linked
+last:
+    stw  r0, [r7 + 4]
+linked:
+    mov  r6, r8
+    add  r2, r2, 1
+    cmp  r2, 256
+    blt  build
+    ; walk it a few times
+    mov  r3, 0
+    mov  r10, 0
+round:
+    mov  r7, r1
+walk:
+    cmp  r7, 0
+    beq  walked
+    ldw  r9, [r7]
+    add  r3, r3, r9
+    ldw  r7, [r7 + 4]      ; the pointer-chasing load
+    ba   walk
+walked:
+    add  r10, r10, 1
+    cmp  r10, 8
+    blt  round
+    mov  r25, r3
+    halt
+.data
+heap: .space 2048
+)";
+
+void
+analyze(const char *name, const char *source)
+{
+    using namespace ddsc;
+    const Program program = assembleOrDie(source);
+    VectorTraceSource trace;
+    VectorTraceSink sink(trace);
+    Vm vm(program);
+    vm.run(&sink);
+
+    std::printf("--- %s (%zu dynamic instructions) ---\n", name,
+                trace.size());
+
+    trace.reset();
+    LimitScheduler base(MachineConfig::paper('A', 8));
+    const SchedStats a = base.run(trace);
+
+    trace.reset();
+    LimitScheduler spec(MachineConfig::paper('B', 8));
+    const SchedStats b = spec.run(trace);
+
+    trace.reset();
+    LimitScheduler ideal(MachineConfig::paper('E', 8));
+    const SchedStats e = ideal.run(trace);
+
+    std::printf("  IPC: base %.2f | real load-spec %.2f | "
+                "collapse+ideal %.2f\n", a.ipc(), b.ipc(), e.ipc());
+    std::printf("  load classes under B:");
+    for (unsigned c = 0; c < kNumLoadClasses; ++c) {
+        std::printf("  %s %.1f%%",
+                    std::string(loadClassName(
+                        static_cast<LoadClass>(c))).c_str(),
+                    b.loadClassPct(static_cast<LoadClass>(c)));
+    }
+    std::printf("\n\n");
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    analyze("array walk (strided)", kArrayWalk);
+    analyze("pointer chain (scattered)", kPointerChain);
+    std::printf("Expectation (paper section 5.2): the stride table "
+                "predicts the array walk\nbut not the pointer chain, "
+                "so real load-speculation only helps the former.\n");
+    return 0;
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Quickstart: assemble a small program, trace it on the VM, and
+ * simulate it under the base machine (A) and the full
+ * collapsing + load-speculation machine (D).
+ *
+ *     $ ./examples/quickstart
+ *
+ * Walks through the whole public API surface in ~80 lines: the
+ * assembler (masm), the functional emulator (vm), trace sources
+ * (trace), machine configuration and the limit scheduler (core).
+ */
+
+#include <cstdio>
+
+#include "core/scheduler.hh"
+#include "masm/assembler.hh"
+#include "vm/vm.hh"
+
+namespace
+{
+
+// A little loop: strided loads, address arithmetic feeding them, and a
+// compare feeding a conditional branch -- all three collapse/speculate
+// opportunities the paper studies.
+const char kProgram[] = R"(
+main:
+    la   r1, data          ; base pointer
+    mov  r2, 0             ; index
+    mov  r3, 0             ; sum
+loop:
+    sll  r4, r2, 2         ; byte offset      (collapses into the load)
+    add  r5, r1, r4        ; address
+    ldw  r6, [r5]          ; strided load     (address-predictable)
+    add  r3, r3, r6        ; accumulate
+    add  r2, r2, 1
+    cmp  r2, 64            ; cc generation    (collapses into branch)
+    blt  loop
+    mov  r25, r3           ; checksum convention
+    halt
+.data
+data: .word 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16
+      .word 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16
+      .word 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16
+      .word 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16
+)";
+
+} // anonymous namespace
+
+int
+main()
+{
+    using namespace ddsc;
+
+    // 1. Assemble.
+    const Program program = assembleOrDie(kProgram);
+    std::printf("assembled %zu instructions\n", program.text.size());
+
+    // 2. Execute on the functional emulator, capturing the trace.
+    VectorTraceSource trace;
+    VectorTraceSink sink(trace);
+    Vm vm(program);
+    const Vm::RunResult run = vm.run(&sink);
+    std::printf("executed  %llu dynamic instructions, checksum r25=%u\n",
+                static_cast<unsigned long long>(run.instructions),
+                vm.reg(25));
+
+    // 3. Simulate the trace under two machines from the paper.
+    for (const char config : {'A', 'D'}) {
+        trace.reset();
+        LimitScheduler scheduler(MachineConfig::paper(config, 8));
+        const SchedStats stats = scheduler.run(trace);
+        std::printf("config %c (width 8): IPC %.2f over %llu cycles",
+                    config, stats.ipc(),
+                    static_cast<unsigned long long>(stats.cycles));
+        if (config == 'D') {
+            std::printf(", %.0f%% of instructions collapsed",
+                        stats.pctCollapsed());
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

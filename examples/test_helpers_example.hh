@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Tiny record builders for the example programs (a reduced version of
+ * the test suite's helpers, kept separate so examples only depend on
+ * public headers).
+ */
+
+#ifndef DDSC_EXAMPLES_TEST_HELPERS_EXAMPLE_HH
+#define DDSC_EXAMPLES_TEST_HELPERS_EXAMPLE_HH
+
+#include <cstdint>
+
+#include "trace/record.hh"
+
+namespace ddsc::ex
+{
+
+inline TraceRecord
+alu(Opcode op, unsigned rd, unsigned rs1, unsigned rs2,
+    std::uint64_t pc = 0x10000)
+{
+    TraceRecord rec;
+    rec.op = op;
+    rec.pc = pc;
+    rec.rd = static_cast<std::uint8_t>(rd);
+    rec.rs1 = static_cast<std::uint8_t>(rs1);
+    rec.rs2 = static_cast<std::uint8_t>(rs2);
+    return rec;
+}
+
+inline TraceRecord
+aluImm(Opcode op, unsigned rd, unsigned rs1, std::int32_t imm,
+       std::uint64_t pc = 0x10000)
+{
+    TraceRecord rec;
+    rec.op = op;
+    rec.pc = pc;
+    rec.rd = static_cast<std::uint8_t>(rd);
+    rec.rs1 = static_cast<std::uint8_t>(rs1);
+    rec.useImm = true;
+    rec.imm = imm;
+    return rec;
+}
+
+inline TraceRecord
+load(unsigned rd, unsigned rs1, std::int32_t imm, std::uint64_t ea,
+     std::uint64_t pc = 0x10000)
+{
+    TraceRecord rec;
+    rec.op = Opcode::LDW;
+    rec.pc = pc;
+    rec.rd = static_cast<std::uint8_t>(rd);
+    rec.rs1 = static_cast<std::uint8_t>(rs1);
+    rec.useImm = true;
+    rec.imm = imm;
+    rec.ea = ea;
+    return rec;
+}
+
+} // namespace ddsc::ex
+
+#endif // DDSC_EXAMPLES_TEST_HELPERS_EXAMPLE_HH

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Workload tour: runs every built-in benchmark analogue at test scale,
+ * prints its instruction mix, branch behaviour, and how each paper
+ * mechanism affects it.  A quick way to see what the six programs
+ * actually do before committing to the full experiment matrix.
+ */
+
+#include <cstdio>
+
+#include "bpred/bpred.hh"
+#include "core/scheduler.hh"
+#include "support/table.hh"
+#include "trace/trace_stats.hh"
+#include "workloads/workloads.hh"
+
+int
+main()
+{
+    using namespace ddsc;
+
+    TextTable table;
+    table.header({"workload", "instrs", "%ld", "%st", "%br", "br-acc%",
+                  "IPC A", "IPC D", "IPC E", "%collapsed"});
+
+    for (const WorkloadSpec &spec : allWorkloads()) {
+        // Small-scale trace so the tour finishes in seconds.
+        VectorTraceSource trace = traceWorkload(spec, spec.testScale * 4);
+
+        TraceStats mix;
+        auto predictor = makePaperPredictor();
+        std::uint64_t branches = 0, correct = 0;
+        TraceRecord rec;
+        while (trace.next(rec)) {
+            mix.account(rec);
+            if (rec.isCondBranch()) {
+                ++branches;
+                if (predictor->predictAndUpdate(rec.pc, rec.taken))
+                    ++correct;
+            }
+        }
+
+        double ipc[3];
+        double collapsed = 0.0;
+        const char configs[] = {'A', 'D', 'E'};
+        for (int i = 0; i < 3; ++i) {
+            trace.reset();
+            LimitScheduler scheduler(MachineConfig::paper(configs[i], 16));
+            const SchedStats stats = scheduler.run(trace);
+            ipc[i] = stats.ipc();
+            if (configs[i] == 'D')
+                collapsed = stats.pctCollapsed();
+        }
+
+        table.row({
+            spec.name,
+            std::to_string(mix.instructions()),
+            TextTable::num(mix.pctLoads(), 1),
+            TextTable::num(mix.pctOf(OpClass::Store), 1),
+            TextTable::num(mix.pctCondBranches(), 1),
+            TextTable::num(branches == 0 ? 0.0
+                           : 100.0 * static_cast<double>(correct) /
+                             static_cast<double>(branches), 1),
+            TextTable::num(ipc[0]),
+            TextTable::num(ipc[1]),
+            TextTable::num(ipc[2]),
+            TextTable::num(collapsed, 1),
+        });
+    }
+
+    std::printf("%s", table.render().c_str());
+    std::printf("\n(width 16, test-scale traces; see bench/ for the "
+                "full experiment matrix)\n");
+    return 0;
+}

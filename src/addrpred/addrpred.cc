@@ -1,0 +1,258 @@
+#include "addrpred.hh"
+
+#include "support/logging.hh"
+
+namespace ddsc
+{
+
+std::string_view
+loadClassName(LoadClass c)
+{
+    switch (c) {
+      case LoadClass::Ready: return "ready";
+      case LoadClass::PredictedCorrect: return "predicted-correctly";
+      case LoadClass::PredictedIncorrect: return "predicted-incorrectly";
+      case LoadClass::NotPredicted: return "not-predicted";
+    }
+    return "?";
+}
+
+StrideAddressPredictor::StrideAddressPredictor(unsigned index_bits,
+                                               unsigned confidence_threshold)
+    : indexBits_(index_bits),
+      threshold_(confidence_threshold),
+      table_(std::size_t{1} << index_bits)
+{
+    ddsc_assert(index_bits >= 1 && index_bits <= 24,
+                "unreasonable table size 2^%u", index_bits);
+}
+
+std::size_t
+StrideAddressPredictor::indexOf(std::uint64_t pc) const
+{
+    // Word-aligned instructions: the low 2 bits carry no information,
+    // so the "14 least significant bits" of the paper reduce to a
+    // 12-bit index over pc >> 2.
+    return (pc >> 2) & ((std::size_t{1} << indexBits_) - 1);
+}
+
+std::uint64_t
+StrideAddressPredictor::predictedAddr(const Entry &e) const
+{
+    return e.lastAddr + static_cast<std::int64_t>(e.stride);
+}
+
+AddrPrediction
+StrideAddressPredictor::predict(std::uint64_t pc)
+{
+    const Entry &e = table_[indexOf(pc)];
+    AddrPrediction p;
+    p.usable = e.valid && e.confidence.value() > threshold_;
+    p.addr = predictedAddr(e);
+    return p;
+}
+
+void
+StrideAddressPredictor::update(std::uint64_t pc, std::uint64_t actual)
+{
+    Entry &e = table_[indexOf(pc)];
+
+    if (!e.valid) {
+        e.valid = true;
+        e.lastAddr = actual;
+        e.stride = 0;
+        e.lastDelta = 0;
+        e.confidence.set(0);
+        return;
+    }
+
+    // Confidence tracks whether the table would have predicted this
+    // access correctly: +1 on correct, -2 on wrong (saturating).
+    if (predictedAddr(e) == actual)
+        e.confidence.increment(1);
+    else
+        e.confidence.decrement(2);
+
+    // Two-delta: commit a new stride only after seeing the same delta
+    // twice in a row, which filters one-off jumps in the access pattern.
+    const auto delta = static_cast<std::int32_t>(actual - e.lastAddr);
+    if (delta == e.lastDelta)
+        e.stride = delta;
+    e.lastDelta = delta;
+    e.lastAddr = actual;
+}
+
+void
+StrideAddressPredictor::reset()
+{
+    for (auto &e : table_)
+        e = Entry{};
+}
+
+LastValueAddressPredictor::LastValueAddressPredictor(
+    unsigned index_bits, unsigned confidence_threshold)
+    : indexBits_(index_bits),
+      threshold_(confidence_threshold),
+      table_(std::size_t{1} << index_bits)
+{
+    ddsc_assert(index_bits >= 1 && index_bits <= 24,
+                "unreasonable table size 2^%u", index_bits);
+}
+
+std::size_t
+LastValueAddressPredictor::indexOf(std::uint64_t pc) const
+{
+    return (pc >> 2) & ((std::size_t{1} << indexBits_) - 1);
+}
+
+AddrPrediction
+LastValueAddressPredictor::predict(std::uint64_t pc)
+{
+    const Entry &e = table_[indexOf(pc)];
+    AddrPrediction p;
+    p.usable = e.valid && e.confidence.value() > threshold_;
+    p.addr = e.lastAddr;
+    return p;
+}
+
+void
+LastValueAddressPredictor::update(std::uint64_t pc, std::uint64_t actual)
+{
+    Entry &e = table_[indexOf(pc)];
+    if (!e.valid) {
+        e.valid = true;
+        e.lastAddr = actual;
+        e.confidence.set(0);
+        return;
+    }
+    if (e.lastAddr == actual)
+        e.confidence.increment(1);
+    else
+        e.confidence.decrement(2);
+    e.lastAddr = actual;
+}
+
+void
+LastValueAddressPredictor::reset()
+{
+    for (auto &e : table_)
+        e = Entry{};
+}
+
+ContextAddressPredictor::ContextAddressPredictor(
+    unsigned index_bits, unsigned context_bits,
+    unsigned confidence_threshold)
+    : indexBits_(index_bits),
+      contextBits_(context_bits),
+      threshold_(confidence_threshold),
+      history_(std::size_t{1} << index_bits),
+      contexts_(std::size_t{1} << context_bits)
+{
+    ddsc_assert(index_bits >= 1 && index_bits <= 24,
+                "unreasonable table size 2^%u", index_bits);
+    ddsc_assert(context_bits >= 1 && context_bits <= 24,
+                "unreasonable context size 2^%u", context_bits);
+}
+
+std::size_t
+ContextAddressPredictor::indexOf(std::uint64_t pc) const
+{
+    return (pc >> 2) & ((std::size_t{1} << indexBits_) - 1);
+}
+
+std::size_t
+ContextAddressPredictor::contextOf(const HistoryEntry &entry) const
+{
+    // Mix the pc-local delta history; the pc itself is deliberately
+    // excluded so loads sharing an access pattern share training.
+    std::uint64_t h = static_cast<std::uint32_t>(entry.delta1);
+    h = h * 0x9e3779b97f4a7c15ull +
+        static_cast<std::uint32_t>(entry.delta2);
+    h ^= h >> 29;
+    h *= 0xbf58476d1ce4e5b9ull;
+    return (h >> 16) & ((std::size_t{1} << contextBits_) - 1);
+}
+
+AddrPrediction
+ContextAddressPredictor::predict(std::uint64_t pc)
+{
+    const HistoryEntry &e = history_[indexOf(pc)];
+    AddrPrediction p;
+    if (e.seen < 3) {
+        p.usable = false;
+        p.addr = e.lastAddr;
+        return p;
+    }
+    const ContextEntry &ctx = contexts_[contextOf(e)];
+    p.usable = ctx.confidence.value() > threshold_;
+    p.addr = e.lastAddr + static_cast<std::int64_t>(ctx.delta);
+    return p;
+}
+
+void
+ContextAddressPredictor::update(std::uint64_t pc, std::uint64_t actual)
+{
+    HistoryEntry &e = history_[indexOf(pc)];
+    if (e.seen == 0) {
+        e.lastAddr = actual;
+        e.seen = 1;
+        return;
+    }
+    const auto delta = static_cast<std::int32_t>(actual - e.lastAddr);
+    if (e.seen >= 3) {
+        // Train the context the prediction came from.
+        ContextEntry &ctx = contexts_[contextOf(e)];
+        if (ctx.delta == delta) {
+            ctx.confidence.increment(1);
+        } else {
+            ctx.confidence.decrement(2);
+            if (ctx.confidence.value() == 0)
+                ctx.delta = delta;      // replace on loss of confidence
+        }
+    }
+    e.delta2 = e.delta1;
+    e.delta1 = delta;
+    e.lastAddr = actual;
+    if (e.seen < 3)
+        ++e.seen;
+}
+
+void
+ContextAddressPredictor::reset()
+{
+    for (auto &e : history_)
+        e = HistoryEntry{};
+    for (auto &c : contexts_)
+        c = ContextEntry{};
+}
+
+std::string_view
+addrPredKindName(AddrPredKind kind)
+{
+    switch (kind) {
+      case AddrPredKind::TwoDelta: return "two-delta stride";
+      case AddrPredKind::LastValue: return "last-value";
+      case AddrPredKind::Context: return "context (order-2 FCM)";
+    }
+    return "?";
+}
+
+std::unique_ptr<AddressPredictor>
+makeAddressPredictor(AddrPredKind kind, unsigned index_bits,
+                     unsigned confidence_threshold)
+{
+    switch (kind) {
+      case AddrPredKind::TwoDelta:
+        return std::make_unique<StrideAddressPredictor>(
+            index_bits, confidence_threshold);
+      case AddrPredKind::LastValue:
+        return std::make_unique<LastValueAddressPredictor>(
+            index_bits, confidence_threshold);
+      case AddrPredKind::Context:
+        return std::make_unique<ContextAddressPredictor>(
+            index_bits, index_bits + 2, confidence_threshold);
+    }
+    ddsc_panic("unknown predictor kind");
+}
+
+} // namespace ddsc

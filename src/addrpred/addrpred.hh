@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Load-address prediction for d-speculation.
+ *
+ * The paper's mechanism: a 4096-entry direct-mapped table indexed by the
+ * 14 least-significant bits of the load's instruction address (bits 13:2,
+ * since instructions are word aligned), running the *two-delta* strategy
+ * of Eickemeyer & Vassiliadis with 32-bit deltas.  Each entry carries a
+ * 2-bit saturating confidence counter initialized to 0, incremented by 1
+ * on a correct address prediction and decremented by 2 on a wrong one;
+ * a predicted address is used for speculative issue only when the counter
+ * value is greater than 1.
+ */
+
+#ifndef DDSC_ADDRPRED_ADDRPRED_HH
+#define DDSC_ADDRPRED_ADDRPRED_HH
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "support/sat_counter.hh"
+
+namespace ddsc
+{
+
+/**
+ * The four dynamic load categories reported in Tables 3 and 4.
+ */
+enum class LoadClass : std::uint8_t
+{
+    Ready,              ///< address available early; no prediction needed
+    PredictedCorrect,   ///< speculated with the right address
+    PredictedIncorrect, ///< speculated with a wrong address
+    NotPredicted,       ///< low confidence; waited for the address
+};
+
+/** Number of load classes. */
+constexpr unsigned kNumLoadClasses = 4;
+
+/** Display name of a load class. */
+std::string_view loadClassName(LoadClass c);
+
+/** Result of an address-prediction lookup. */
+struct AddrPrediction
+{
+    bool usable = false;        ///< confidence counter > 1
+    std::uint64_t addr = 0;     ///< predicted effective address
+};
+
+/**
+ * Address predictor interface.  Two implementations: the realistic
+ * two-delta stride table and the ideal oracle used by configuration E.
+ */
+class AddressPredictor
+{
+  public:
+    virtual ~AddressPredictor() = default;
+
+    /** Look up a prediction for the load at @p pc. */
+    virtual AddrPrediction predict(std::uint64_t pc) = 0;
+
+    /**
+     * Train with the true effective address.  Every dynamic load
+     * trains the table, whether or not its prediction was used.
+     */
+    virtual void update(std::uint64_t pc, std::uint64_t actual) = 0;
+
+    /** Clear all state. */
+    virtual void reset() = 0;
+};
+
+/**
+ * The realistic two-delta stride predictor.
+ */
+class StrideAddressPredictor : public AddressPredictor
+{
+  public:
+    /**
+     * @param index_bits log2 of the entry count (default 12 = 4096).
+     * @param confidence_threshold predict only when counter > this.
+     */
+    explicit StrideAddressPredictor(unsigned index_bits = 12,
+                                    unsigned confidence_threshold = 1);
+
+    AddrPrediction predict(std::uint64_t pc) override;
+    void update(std::uint64_t pc, std::uint64_t actual) override;
+    void reset() override;
+
+    /** Entry count (for reporting). */
+    std::size_t entries() const { return table_.size(); }
+
+  private:
+    struct Entry
+    {
+        std::uint64_t lastAddr = 0;
+        std::int32_t stride = 0;     ///< the predicting delta (32 bits)
+        std::int32_t lastDelta = 0;  ///< most recent delta observed
+        SatCounter confidence{2, 0};
+        bool valid = false;
+    };
+
+    std::size_t indexOf(std::uint64_t pc) const;
+    std::uint64_t predictedAddr(const Entry &e) const;
+
+    unsigned indexBits_;
+    unsigned threshold_;
+    std::vector<Entry> table_;
+};
+
+/**
+ * Last-value address predictor: predicts that a load repeats its
+ * previous effective address.  The degenerate stride-0 case; useful as
+ * a baseline for the paper's "improve the load-speculation scheme"
+ * future-work direction.
+ */
+class LastValueAddressPredictor : public AddressPredictor
+{
+  public:
+    explicit LastValueAddressPredictor(unsigned index_bits = 12,
+                                       unsigned confidence_threshold = 1);
+
+    AddrPrediction predict(std::uint64_t pc) override;
+    void update(std::uint64_t pc, std::uint64_t actual) override;
+    void reset() override;
+
+  private:
+    struct Entry
+    {
+        std::uint64_t lastAddr = 0;
+        SatCounter confidence{2, 0};
+        bool valid = false;
+    };
+
+    std::size_t indexOf(std::uint64_t pc) const;
+
+    unsigned indexBits_;
+    unsigned threshold_;
+    std::vector<Entry> table_;
+};
+
+/**
+ * Context-based (finite-context-method) address predictor: a
+ * first-level table keyed by load pc records the last address and the
+ * last two address deltas; a shared second-level table keyed by the
+ * hashed delta history predicts the next delta.  Captures repeating
+ * non-constant stride sequences (alternating strides, periodic pointer
+ * walks) that defeat the two-delta table -- the style of mechanism the
+ * paper's conclusions call for.
+ */
+class ContextAddressPredictor : public AddressPredictor
+{
+  public:
+    /**
+     * @param index_bits log2 first-level entries.
+     * @param context_bits log2 second-level entries.
+     * @param confidence_threshold predict only when counter > this.
+     */
+    explicit ContextAddressPredictor(unsigned index_bits = 12,
+                                     unsigned context_bits = 14,
+                                     unsigned confidence_threshold = 1);
+
+    AddrPrediction predict(std::uint64_t pc) override;
+    void update(std::uint64_t pc, std::uint64_t actual) override;
+    void reset() override;
+
+  private:
+    struct HistoryEntry
+    {
+        std::uint64_t lastAddr = 0;
+        std::int32_t delta1 = 0;     ///< most recent delta
+        std::int32_t delta2 = 0;     ///< delta before that
+        std::uint8_t seen = 0;       ///< updates observed (saturates)
+    };
+
+    struct ContextEntry
+    {
+        std::int32_t delta = 0;
+        SatCounter confidence{2, 0};
+    };
+
+    std::size_t indexOf(std::uint64_t pc) const;
+    std::size_t contextOf(const HistoryEntry &entry) const;
+
+    unsigned indexBits_;
+    unsigned contextBits_;
+    unsigned threshold_;
+    std::vector<HistoryEntry> history_;
+    std::vector<ContextEntry> contexts_;
+};
+
+/** Selectable realistic predictor kinds. */
+enum class AddrPredKind
+{
+    TwoDelta,   ///< the paper's mechanism
+    LastValue,
+    Context,
+};
+
+/** Display name of a predictor kind. */
+std::string_view addrPredKindName(AddrPredKind kind);
+
+/** Build a realistic predictor of the given kind. */
+std::unique_ptr<AddressPredictor>
+makeAddressPredictor(AddrPredKind kind, unsigned index_bits = 12,
+                     unsigned confidence_threshold = 1);
+
+/**
+ * Oracle predictor for configuration E: every load is predicted
+ * correctly.  predict() cannot know the answer, so the simulator wires
+ * the ideal case directly; this class exists so ablation code can swap
+ * predictors polymorphically, with the oracle fed through setOracle().
+ */
+class IdealAddressPredictor : public AddressPredictor
+{
+  public:
+    /** Supply the true address the next predict() should return. */
+    void setOracle(std::uint64_t addr) { oracle_ = addr; }
+
+    AddrPrediction
+    predict(std::uint64_t) override
+    {
+        return {true, oracle_};
+    }
+
+    void update(std::uint64_t, std::uint64_t) override {}
+    void reset() override { oracle_ = 0; }
+
+  private:
+    std::uint64_t oracle_ = 0;
+};
+
+} // namespace ddsc
+
+#endif // DDSC_ADDRPRED_ADDRPRED_HH

@@ -1,0 +1,229 @@
+#include "bpred.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace ddsc
+{
+
+namespace
+{
+
+/** Weakly-not-taken initial state for 2-bit counters. */
+constexpr unsigned kWeaklyNotTaken = 1;
+
+std::vector<SatCounter>
+makeTable(unsigned index_bits)
+{
+    ddsc_assert(index_bits >= 1 && index_bits <= 24,
+                "unreasonable predictor size 2^%u", index_bits);
+    return std::vector<SatCounter>(std::size_t{1} << index_bits,
+                                   SatCounter(2, kWeaklyNotTaken));
+}
+
+} // anonymous namespace
+
+BimodalPredictor::BimodalPredictor(unsigned index_bits)
+    : indexBits_(index_bits), table_(makeTable(index_bits))
+{}
+
+std::size_t
+BimodalPredictor::indexOf(std::uint64_t pc) const
+{
+    return (pc >> 2) & ((std::size_t{1} << indexBits_) - 1);
+}
+
+bool
+BimodalPredictor::predict(std::uint64_t pc)
+{
+    return table_[indexOf(pc)].taken();
+}
+
+void
+BimodalPredictor::update(std::uint64_t pc, bool taken)
+{
+    SatCounter &ctr = table_[indexOf(pc)];
+    if (taken)
+        ctr.increment();
+    else
+        ctr.decrement();
+}
+
+void
+BimodalPredictor::reset()
+{
+    for (auto &ctr : table_)
+        ctr.set(kWeaklyNotTaken);
+}
+
+std::string
+BimodalPredictor::name() const
+{
+    return "bimodal" + std::to_string(indexBits_);
+}
+
+GsharePredictor::GsharePredictor(unsigned index_bits)
+    : indexBits_(index_bits), table_(makeTable(index_bits))
+{}
+
+std::size_t
+GsharePredictor::indexOf(std::uint64_t pc) const
+{
+    const std::size_t mask = (std::size_t{1} << indexBits_) - 1;
+    return ((pc >> 2) ^ history_) & mask;
+}
+
+bool
+GsharePredictor::predict(std::uint64_t pc)
+{
+    return table_[indexOf(pc)].taken();
+}
+
+void
+GsharePredictor::update(std::uint64_t pc, bool taken)
+{
+    SatCounter &ctr = table_[indexOf(pc)];
+    if (taken)
+        ctr.increment();
+    else
+        ctr.decrement();
+    history_ = ((history_ << 1) | (taken ? 1 : 0)) &
+        ((std::uint64_t{1} << indexBits_) - 1);
+}
+
+void
+GsharePredictor::reset()
+{
+    for (auto &ctr : table_)
+        ctr.set(kWeaklyNotTaken);
+    history_ = 0;
+}
+
+std::string
+GsharePredictor::name() const
+{
+    return "gshare" + std::to_string(indexBits_);
+}
+
+LocalPredictor::LocalPredictor(unsigned history_bits,
+                               unsigned index_bits)
+    : historyBits_(history_bits),
+      indexBits_(index_bits),
+      histories_(std::size_t{1} << index_bits, 0),
+      patterns_(makeTable(history_bits))
+{
+    ddsc_assert(history_bits >= 1 && history_bits <= 24,
+                "unreasonable history length %u", history_bits);
+}
+
+std::size_t
+LocalPredictor::historyIndexOf(std::uint64_t pc) const
+{
+    return (pc >> 2) & ((std::size_t{1} << indexBits_) - 1);
+}
+
+bool
+LocalPredictor::predict(std::uint64_t pc)
+{
+    const std::uint32_t history = histories_[historyIndexOf(pc)];
+    return patterns_[history].taken();
+}
+
+void
+LocalPredictor::update(std::uint64_t pc, bool taken)
+{
+    std::uint32_t &history = histories_[historyIndexOf(pc)];
+    SatCounter &ctr = patterns_[history];
+    if (taken)
+        ctr.increment();
+    else
+        ctr.decrement();
+    history = ((history << 1) | (taken ? 1 : 0)) &
+        ((std::uint32_t{1} << historyBits_) - 1);
+}
+
+void
+LocalPredictor::reset()
+{
+    std::fill(histories_.begin(), histories_.end(), 0);
+    for (auto &ctr : patterns_)
+        ctr.set(kWeaklyNotTaken);
+}
+
+std::string
+LocalPredictor::name() const
+{
+    return "local" + std::to_string(indexBits_) + "/" +
+        std::to_string(historyBits_);
+}
+
+CombiningPredictor::CombiningPredictor(unsigned bimodal_bits)
+    : bimodalBits_(bimodal_bits),
+      bimodal_(bimodal_bits),
+      gshare_(bimodal_bits + 1),
+      chooser_(makeTable(bimodal_bits))
+{}
+
+bool
+CombiningPredictor::predict(std::uint64_t pc)
+{
+    const std::size_t mask = (std::size_t{1} << bimodalBits_) - 1;
+    const SatCounter &choice = chooser_[(pc >> 2) & mask];
+    // Chooser in the upper half selects gshare.
+    return choice.taken() ? gshare_.predict(pc) : bimodal_.predict(pc);
+}
+
+void
+CombiningPredictor::update(std::uint64_t pc, bool taken)
+{
+    const bool bim_correct = bimodal_.predict(pc) == taken;
+    const bool gsh_correct = gshare_.predict(pc) == taken;
+
+    // Train the chooser toward the component that was right when they
+    // disagree (McFarling's update rule).
+    if (bim_correct != gsh_correct) {
+        const std::size_t mask = (std::size_t{1} << bimodalBits_) - 1;
+        SatCounter &choice = chooser_[(pc >> 2) & mask];
+        if (gsh_correct)
+            choice.increment();
+        else
+            choice.decrement();
+    }
+
+    bimodal_.update(pc, taken);
+    gshare_.update(pc, taken);
+}
+
+void
+CombiningPredictor::reset()
+{
+    bimodal_.reset();
+    gshare_.reset();
+    for (auto &ctr : chooser_)
+        ctr.set(kWeaklyNotTaken);
+}
+
+std::string
+CombiningPredictor::name() const
+{
+    return "bimodal" + std::to_string(bimodalBits_) + "/gshare" +
+        std::to_string(bimodalBits_ + 1);
+}
+
+std::size_t
+CombiningPredictor::costBytes() const
+{
+    const std::size_t counters = (std::size_t{1} << bimodalBits_) +
+        (std::size_t{1} << (bimodalBits_ + 1)) +
+        (std::size_t{1} << bimodalBits_);
+    return counters * 2 / 8;
+}
+
+std::unique_ptr<BranchPredictor>
+makePaperPredictor()
+{
+    return std::make_unique<CombiningPredictor>(13);
+}
+
+} // namespace ddsc

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Conditional-branch direction predictors.
+ *
+ * The paper predicts conditional branches with McFarling's
+ * "bimodalN/gshareN+1" combining scheme at an 8 kByte hardware cost;
+ * all other control transfers are assumed perfectly predicted.  We
+ * provide the component predictors individually as well, both for unit
+ * testing and for ablation benchmarks.
+ */
+
+#ifndef DDSC_BPRED_BPRED_HH
+#define DDSC_BPRED_BPRED_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/sat_counter.hh"
+
+namespace ddsc
+{
+
+/**
+ * Direction predictor interface for conditional branches.
+ */
+class BranchPredictor
+{
+  public:
+    virtual ~BranchPredictor() = default;
+
+    /** Predict the direction of the branch at @p pc. */
+    virtual bool predict(std::uint64_t pc) = 0;
+
+    /** Train with the resolved direction. */
+    virtual void update(std::uint64_t pc, bool taken) = 0;
+
+    /** Clear all state. */
+    virtual void reset() = 0;
+
+    /** Human-readable configuration name. */
+    virtual std::string name() const = 0;
+
+    /**
+     * Convenience: predict, train, and report whether the prediction
+     * was correct.  This is the only call the simulator makes.
+     */
+    bool
+    predictAndUpdate(std::uint64_t pc, bool taken)
+    {
+        const bool predicted = predict(pc);
+        update(pc, taken);
+        return predicted == taken;
+    }
+};
+
+/** A predictor that is always right (the paper's non-conditional CTIs). */
+class PerfectPredictor : public BranchPredictor
+{
+  public:
+    bool predict(std::uint64_t) override { return last_; }
+    void update(std::uint64_t, bool) override {}
+    void reset() override {}
+    std::string name() const override { return "perfect"; }
+
+    /** Perfect prediction is modeled at the call site. */
+    bool
+    predictPerfectly(bool actual)
+    {
+        last_ = actual;
+        return actual;
+    }
+
+  private:
+    bool last_ = false;
+};
+
+/** Static always-taken / always-not-taken baseline. */
+class StaticPredictor : public BranchPredictor
+{
+  public:
+    explicit StaticPredictor(bool taken) : taken_(taken) {}
+    bool predict(std::uint64_t) override { return taken_; }
+    void update(std::uint64_t, bool) override {}
+    void reset() override {}
+    std::string name() const override
+    {
+        return taken_ ? "always-taken" : "always-not-taken";
+    }
+
+  private:
+    bool taken_;
+};
+
+/**
+ * Bimodal predictor: a table of 2-bit counters indexed by pc.
+ */
+class BimodalPredictor : public BranchPredictor
+{
+  public:
+    /** @param index_bits log2 of the number of counters. */
+    explicit BimodalPredictor(unsigned index_bits);
+
+    bool predict(std::uint64_t pc) override;
+    void update(std::uint64_t pc, bool taken) override;
+    void reset() override;
+    std::string name() const override;
+
+  private:
+    std::size_t indexOf(std::uint64_t pc) const;
+
+    unsigned indexBits_;
+    std::vector<SatCounter> table_;
+};
+
+/**
+ * Gshare predictor: 2-bit counters indexed by pc XOR global history.
+ */
+class GsharePredictor : public BranchPredictor
+{
+  public:
+    /** @param index_bits log2 table size; also the history length. */
+    explicit GsharePredictor(unsigned index_bits);
+
+    bool predict(std::uint64_t pc) override;
+    void update(std::uint64_t pc, bool taken) override;
+    void reset() override;
+    std::string name() const override;
+
+  private:
+    std::size_t indexOf(std::uint64_t pc) const;
+
+    unsigned indexBits_;
+    std::uint64_t history_ = 0;
+    std::vector<SatCounter> table_;
+};
+
+/**
+ * Two-level local-history predictor (PAg style): a per-branch history
+ * table indexed by pc feeds a shared pattern table of 2-bit counters.
+ * Captures per-branch periodic patterns (loop trip counts) that the
+ * global-history gshare dilutes.  Not used by the paper's machines;
+ * provided for the predictor-comparison study.
+ */
+class LocalPredictor : public BranchPredictor
+{
+  public:
+    /**
+     * @param history_bits history length and log2 pattern-table size.
+     * @param index_bits log2 of the per-branch history table size.
+     */
+    explicit LocalPredictor(unsigned history_bits = 10,
+                            unsigned index_bits = 10);
+
+    bool predict(std::uint64_t pc) override;
+    void update(std::uint64_t pc, bool taken) override;
+    void reset() override;
+    std::string name() const override;
+
+  private:
+    std::size_t historyIndexOf(std::uint64_t pc) const;
+
+    unsigned historyBits_;
+    unsigned indexBits_;
+    std::vector<std::uint32_t> histories_;
+    std::vector<SatCounter> patterns_;
+};
+
+/**
+ * McFarling combining predictor: bimodal(N) + gshare(N+1) + a chooser
+ * table of 2-bit counters indexed like the bimodal component.
+ *
+ * With N = 13 the cost is (2^13 + 2^14 + 2^13) 2-bit counters
+ * = 65536 bits = 8 kBytes, the budget quoted in the paper.
+ */
+class CombiningPredictor : public BranchPredictor
+{
+  public:
+    explicit CombiningPredictor(unsigned bimodal_bits = 13);
+
+    bool predict(std::uint64_t pc) override;
+    void update(std::uint64_t pc, bool taken) override;
+    void reset() override;
+    std::string name() const override;
+
+    /** Total predictor cost in bytes (for reporting). */
+    std::size_t costBytes() const;
+
+  private:
+    unsigned bimodalBits_;
+    BimodalPredictor bimodal_;
+    GsharePredictor gshare_;
+    std::vector<SatCounter> chooser_;
+};
+
+/** Build the paper's default 8 kByte combining predictor. */
+std::unique_ptr<BranchPredictor> makePaperPredictor();
+
+} // namespace ddsc
+
+#endif // DDSC_BPRED_BPRED_HH

@@ -1,0 +1,77 @@
+#include "cti_pred.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace ddsc
+{
+
+ReturnAddressStack::ReturnAddressStack(unsigned depth)
+    : entries_(depth, 0)
+{
+    ddsc_assert(depth >= 1, "RAS needs at least one entry");
+}
+
+void
+ReturnAddressStack::pushCall(std::uint64_t return_pc)
+{
+    entries_[top_] = return_pc;
+    top_ = (top_ + 1) % entries_.size();
+    occupancy_ = std::min<unsigned>(occupancy_ + 1,
+                                    static_cast<unsigned>(
+                                        entries_.size()));
+}
+
+std::uint64_t
+ReturnAddressStack::popReturn()
+{
+    if (occupancy_ == 0)
+        return 0;
+    top_ = (top_ + static_cast<unsigned>(entries_.size()) - 1) %
+        entries_.size();
+    --occupancy_;
+    return entries_[top_];
+}
+
+void
+ReturnAddressStack::reset()
+{
+    std::fill(entries_.begin(), entries_.end(), 0);
+    top_ = 0;
+    occupancy_ = 0;
+}
+
+IndirectTargetBuffer::IndirectTargetBuffer(unsigned index_bits)
+    : indexBits_(index_bits),
+      targets_(std::size_t{1} << index_bits, 0)
+{
+    ddsc_assert(index_bits >= 1 && index_bits <= 24,
+                "unreasonable buffer size 2^%u", index_bits);
+}
+
+std::size_t
+IndirectTargetBuffer::indexOf(std::uint64_t pc) const
+{
+    return (pc >> 2) & ((std::size_t{1} << indexBits_) - 1);
+}
+
+std::uint64_t
+IndirectTargetBuffer::predict(std::uint64_t pc) const
+{
+    return targets_[indexOf(pc)];
+}
+
+void
+IndirectTargetBuffer::update(std::uint64_t pc, std::uint64_t target)
+{
+    targets_[indexOf(pc)] = target;
+}
+
+void
+IndirectTargetBuffer::reset()
+{
+    std::fill(targets_.begin(), targets_.end(), 0);
+}
+
+} // namespace ddsc

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Control-transfer target prediction: a return-address stack for
+ * call/return pairs and a last-target buffer for indirect jumps.
+ *
+ * The paper assumes all non-conditional control transfers are
+ * "always predicted correctly" (section 4).  These structures let the
+ * simulator relax that assumption and measure what the idealization is
+ * worth (022.li spends ~7% of its instructions in calls/returns, which
+ * the paper cites as a reason its collapsing gains are small).
+ */
+
+#ifndef DDSC_BPRED_CTI_PRED_HH
+#define DDSC_BPRED_CTI_PRED_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace ddsc
+{
+
+/**
+ * A fixed-depth return-address stack.  Overflow wraps (oldest entry is
+ * overwritten), underflow predicts 0 (always wrong), both as in real
+ * hardware.
+ */
+class ReturnAddressStack
+{
+  public:
+    /** @param depth number of entries (default 16, a mid-90s size). */
+    explicit ReturnAddressStack(unsigned depth = 16);
+
+    /** Record the return address of a call being fetched. */
+    void pushCall(std::uint64_t return_pc);
+
+    /**
+     * Predict the target of a return and pop the stack.
+     * @return the predicted return address (0 when empty).
+     */
+    std::uint64_t popReturn();
+
+    /** Current occupancy (for tests). */
+    unsigned occupancy() const { return occupancy_; }
+
+    /** Clear the stack. */
+    void reset();
+
+  private:
+    std::vector<std::uint64_t> entries_;
+    unsigned top_ = 0;          ///< next push slot
+    unsigned occupancy_ = 0;
+};
+
+/**
+ * A direct-mapped last-target buffer for indirect jumps.
+ */
+class IndirectTargetBuffer
+{
+  public:
+    /** @param index_bits log2 of the entry count. */
+    explicit IndirectTargetBuffer(unsigned index_bits = 9);
+
+    /** Predicted target for the indirect jump at @p pc (0 = cold). */
+    std::uint64_t predict(std::uint64_t pc) const;
+
+    /** Train with the resolved target. */
+    void update(std::uint64_t pc, std::uint64_t target);
+
+    /** Clear all entries. */
+    void reset();
+
+  private:
+    std::size_t indexOf(std::uint64_t pc) const;
+
+    unsigned indexBits_;
+    std::vector<std::uint64_t> targets_;
+};
+
+} // namespace ddsc
+
+#endif // DDSC_BPRED_CTI_PRED_HH

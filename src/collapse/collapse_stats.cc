@@ -1,0 +1,75 @@
+#include "collapse_stats.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace ddsc
+{
+
+void
+CollapseStats::record(const CollapseEvent &event)
+{
+    ++events_;
+    ++byCategory_[static_cast<unsigned>(event.category)];
+    for (unsigned i = 0; i < event.distanceCount; ++i)
+        distances_.add(event.distances[i]);
+    if (event.groupSize == 2) {
+        ++pairEvents_;
+        ++pairSignatures_[event.signature];
+    } else {
+        ddsc_assert(event.groupSize == 3, "group size %u", event.groupSize);
+        ++tripleEvents_;
+        ++tripleSignatures_[event.signature];
+    }
+}
+
+double
+CollapseStats::pctOf(CollapseCategory c) const
+{
+    return percent(static_cast<double>(eventsOf(c)),
+                   static_cast<double>(events_));
+}
+
+void
+CollapseStats::merge(const CollapseStats &other)
+{
+    events_ += other.events_;
+    pairEvents_ += other.pairEvents_;
+    tripleEvents_ += other.tripleEvents_;
+    collapsedInstructions_ += other.collapsedInstructions_;
+    for (unsigned i = 0; i < kNumCollapseCategories; ++i)
+        byCategory_[i] += other.byCategory_[i];
+    distances_.merge(other.distances_);
+    for (const auto &[sig, count] : other.pairSignatures_)
+        pairSignatures_[sig] += count;
+    for (const auto &[sig, count] : other.tripleSignatures_)
+        tripleSignatures_[sig] += count;
+}
+
+std::vector<std::pair<std::string, double>>
+CollapseStats::topSignatures(unsigned group_size, std::size_t n) const
+{
+    const auto &table = group_size == 2 ? pairSignatures_
+                                        : tripleSignatures_;
+    const auto total = group_size == 2 ? pairEvents_ : tripleEvents_;
+    std::vector<std::pair<std::string, std::uint64_t>> entries(
+        table.begin(), table.end());
+    std::sort(entries.begin(), entries.end(),
+              [](const auto &a, const auto &b) {
+                  if (a.second != b.second)
+                      return a.second > b.second;
+                  return a.first < b.first;
+              });
+    if (entries.size() > n)
+        entries.resize(n);
+    std::vector<std::pair<std::string, double>> out;
+    out.reserve(entries.size());
+    for (const auto &[sig, count] : entries) {
+        out.emplace_back(sig, percent(static_cast<double>(count),
+                                      static_cast<double>(total)));
+    }
+    return out;
+}
+
+} // namespace ddsc

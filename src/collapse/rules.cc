@@ -1,0 +1,168 @@
+#include "rules.hh"
+
+#include "support/logging.hh"
+
+namespace ddsc
+{
+
+ExprSize
+ExprSize::of(const TraceRecord &rec)
+{
+    ExprSize size;
+    // Raw slots and zero slots follow the same enumeration the record
+    // uses for 0-op detection.
+    unsigned raw = 0;
+    unsigned non_zero = rec.nonZeroOperandCount();
+    switch (rec.cls()) {
+      case OpClass::Arith:
+      case OpClass::Logic:
+      case OpClass::Shift:
+      case OpClass::Mul:
+      case OpClass::Div:
+      case OpClass::Load:
+      case OpClass::IndirectJump:
+        raw = 2;
+        break;
+      case OpClass::Move:
+        raw = 1;
+        break;
+      case OpClass::Store:
+        raw = 3;    // base, offset, data
+        break;
+      case OpClass::Branch:
+        // A conditional branch has exactly one input: the condition
+        // codes.  Model it as one (non-zero) slot so substituting the
+        // cc producer consumes it, giving e.g. arrr-brc = 2 operands.
+        raw = 1;
+        non_zero = 1;
+        break;
+      default:
+        raw = 0;
+        non_zero = 0;
+        break;
+    }
+    size.rawOperands = raw;
+    size.nonZeroOperands = non_zero;
+    size.instructions = 1;
+    return size;
+}
+
+ExprSize
+ExprSize::substitute(const ExprSize &consumer, const ExprSize &producer,
+                     unsigned slots)
+{
+    ddsc_assert(slots >= 1 && slots <= 2, "bad substitution count %u",
+                slots);
+    ExprSize out;
+    // Each referencing slot disappears and is replaced by a copy of the
+    // producer's full operand list (Rc = Rb + Rb duplicates it).
+    out.rawOperands = consumer.rawOperands - slots +
+        slots * producer.rawOperands;
+    out.nonZeroOperands = consumer.nonZeroOperands - slots +
+        slots * producer.nonZeroOperands;
+    out.instructions = consumer.instructions + producer.instructions;
+    return out;
+}
+
+std::string_view
+collapseCategoryName(CollapseCategory c)
+{
+    switch (c) {
+      case CollapseCategory::ThreeOne: return "3-1";
+      case CollapseCategory::FourOne: return "4-1";
+      case CollapseCategory::ZeroOp: return "0-op";
+    }
+    return "?";
+}
+
+bool
+CollapseRules::judge(const ExprSize &combined,
+                     CollapseCategory &category) const
+{
+    if (combined.instructions > maxInstructions)
+        return false;
+
+    const unsigned effective = zeroOpDetection
+        ? combined.nonZeroOperands : combined.rawOperands;
+    if (effective > maxOperands)
+        return false;
+
+    if (zeroOpDetection && combined.rawOperands > maxOperands) {
+        // Legal only thanks to zero-operand elimination.
+        category = CollapseCategory::ZeroOp;
+    } else if (combined.instructions == 2 &&
+               combined.rawOperands <= narrowOperands) {
+        category = CollapseCategory::ThreeOne;
+    } else {
+        // Triples, and pairs too wide for the 3-1 device.
+        category = CollapseCategory::FourOne;
+    }
+    return true;
+}
+
+namespace
+{
+
+char
+regLetter(std::uint8_t reg)
+{
+    return reg == kRegZero ? '0' : 'r';
+}
+
+char
+src2Letter(const TraceRecord &rec)
+{
+    if (rec.useImm)
+        return rec.imm == 0 ? '0' : 'i';
+    return regLetter(rec.rs2);
+}
+
+} // anonymous namespace
+
+std::string
+instructionSignature(const TraceRecord &rec)
+{
+    std::string sig(opClassSignature(rec.cls()));
+    switch (rec.cls()) {
+      case OpClass::Arith:
+      case OpClass::Logic:
+      case OpClass::Shift:
+      case OpClass::Mul:
+      case OpClass::Div:
+        sig += regLetter(rec.rs1);
+        sig += src2Letter(rec);
+        break;
+      case OpClass::Move:
+        if (rec.op == Opcode::SETHI)
+            sig += rec.imm == 0 ? '0' : 'i';
+        else
+            sig += src2Letter(rec);
+        break;
+      case OpClass::Load:
+      case OpClass::Store:
+        // Address slots only, matching the two-letter ld/st signatures
+        // in the paper's tables.
+        sig += regLetter(rec.rs1);
+        sig += src2Letter(rec);
+        break;
+      case OpClass::Branch:
+        break;      // plain "brc"
+      default:
+        break;
+    }
+    return sig;
+}
+
+std::string
+groupSignature(const TraceRecord *const *members, unsigned count)
+{
+    std::string sig;
+    for (unsigned i = 0; i < count; ++i) {
+        if (i > 0)
+            sig += '-';
+        sig += instructionSignature(*members[i]);
+    }
+    return sig;
+}
+
+} // namespace ddsc

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Machine configurations for the limit simulator.
+ *
+ * The paper evaluates five configurations (Section 4):
+ *   A  base superscalar
+ *   B  base + real load-speculation
+ *   C  base + d-collapsing
+ *   D  base + d-collapsing + real load-speculation
+ *   E  base + d-collapsing + ideal load-speculation
+ * at issue widths 4, 8, 16, 32, and 2048 with window = 2 x width.
+ */
+
+#ifndef DDSC_CORE_CONFIG_HH
+#define DDSC_CORE_CONFIG_HH
+
+#include <string>
+#include <vector>
+
+#include "addrpred/addrpred.hh"
+#include "collapse/rules.hh"
+#include "support/logging.hh"
+
+namespace ddsc
+{
+
+/** Load-speculation variants. */
+enum class LoadSpecMode
+{
+    None,   ///< loads wait for their address operands
+    Real,   ///< two-delta stride table with confidence
+    Ideal,  ///< every load address predicted correctly
+};
+
+/**
+ * All knobs of one simulated machine.
+ */
+struct MachineConfig
+{
+    std::string name = "A";
+    unsigned issueWidth = 4;
+    unsigned windowSize = 8;            ///< paper: 2 x issueWidth
+    bool collapsing = false;
+    LoadSpecMode loadSpec = LoadSpecMode::None;
+
+    /** Collapsing legality knobs (ablations tweak these). */
+    CollapseRules rules;
+
+    /**
+     * Execute collapsed-away producers lazily and skip them entirely
+     * when nothing else reads their result before it is overwritten
+     * (the paper's Figure 1.f "node elimination").  Off in the paper's
+     * headline configurations; exposed for the extension study.
+     */
+    bool nodeElimination = false;
+
+    /**
+     * Predict loaded *values* in addition to addresses (the paper's
+     * Figure 1.d d-speculation flavour, not evaluated there).  A
+     * correctly value-predicted load delivers its data to dependents
+     * one cycle after its non-address constraints hold, without
+     * waiting for the memory access.  Extension study only.
+     */
+    bool loadValuePrediction = false;
+
+    /**
+     * Predict non-conditional control transfers realistically instead
+     * of the paper's "always predicted correctly" idealization: calls
+     * are always correct (direct targets), returns use a
+     * return-address stack, indirect jumps a last-target buffer.
+     * Mispredictions barrier like conditional-branch mispredictions.
+     */
+    bool realCtiPrediction = false;
+    /** Return-address-stack depth when realCtiPrediction is on. */
+    unsigned rasDepth = 16;
+
+    /**
+     * Use the O(window) scan engine instead of the event-driven one.
+     * Semantically identical and much slower; exists so the test
+     * suite can differentially validate the event-driven engine.
+     */
+    bool naiveEngine = false;
+
+    /** Branch predictor size: bimodalN/gshareN+1 (13 = 8 kByte). */
+    unsigned bpredIndexBits = 13;
+    /** Address predictor table size (12 = 4096 entries). */
+    unsigned addrPredIndexBits = 12;
+    /** Use a predicted address only when confidence > threshold. */
+    unsigned addrConfidenceThreshold = 1;
+    /** Which realistic predictor to use (paper: two-delta stride). */
+    AddrPredKind addrPredKind = AddrPredKind::TwoDelta;
+
+    /** The five paper configurations by letter. */
+    static MachineConfig
+    paper(char id, unsigned issue_width)
+    {
+        MachineConfig cfg;
+        cfg.name = std::string(1, id);
+        cfg.issueWidth = issue_width;
+        cfg.windowSize = 2 * issue_width;
+        switch (id) {
+          case 'A':
+            break;
+          case 'B':
+            cfg.loadSpec = LoadSpecMode::Real;
+            break;
+          case 'C':
+            cfg.collapsing = true;
+            break;
+          case 'D':
+            cfg.collapsing = true;
+            cfg.loadSpec = LoadSpecMode::Real;
+            break;
+          case 'E':
+            cfg.collapsing = true;
+            cfg.loadSpec = LoadSpecMode::Ideal;
+            break;
+          default:
+            ddsc_fatal("unknown configuration '%c'", id);
+        }
+        return cfg;
+    }
+
+    /** The issue widths the paper sweeps. */
+    static std::vector<unsigned>
+    paperWidths()
+    {
+        return {4, 8, 16, 32, 2048};
+    }
+
+    /** Display label for a width ("2k" for 2048). */
+    static std::string
+    widthLabel(unsigned width)
+    {
+        return width == 2048 ? "2k" : std::to_string(width);
+    }
+};
+
+} // namespace ddsc
+
+#endif // DDSC_CORE_CONFIG_HH

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Per-run statistics produced by the limit scheduler.
+ */
+
+#ifndef DDSC_CORE_SCHED_STATS_HH
+#define DDSC_CORE_SCHED_STATS_HH
+
+#include <array>
+#include <cstdint>
+
+#include "addrpred/addrpred.hh"
+#include "collapse/collapse_stats.hh"
+#include "support/stats.hh"
+
+namespace ddsc
+{
+
+/**
+ * Everything one simulation run reports.
+ */
+struct SchedStats
+{
+    std::uint64_t instructions = 0;
+    std::uint64_t cycles = 0;
+
+    std::uint64_t condBranches = 0;
+    std::uint64_t mispredicts = 0;
+
+    /** Non-conditional CTIs predicted when realCtiPrediction is on
+     *  (returns via the RAS, indirect jumps via the target buffer). */
+    std::uint64_t ctiPredictions = 0;
+    std::uint64_t ctiMispredicts = 0;
+
+    std::uint64_t loads = 0;
+    std::array<std::uint64_t, kNumLoadClasses> loadClasses = {};
+
+    /** Producers skipped by node elimination (Figure 1.f extension). */
+    std::uint64_t eliminatedInstructions = 0;
+
+    /** Value-prediction extension (Figure 1.d): loads whose *value*
+     *  was delivered speculatively / predicted confidently but wrong. */
+    std::uint64_t valuePredHits = 0;
+    std::uint64_t valuePredWrong = 0;
+
+    CollapseStats collapse;
+
+    /** Instructions issued per cycle (key = count, including zero). */
+    Histogram issuedPerCycle;
+
+    /** Fraction of cycles with no issue at all. */
+    double
+    pctIdleCycles() const
+    {
+        return issuedPerCycle.samples() == 0 ? 0.0
+            : percent(static_cast<double>(issuedPerCycle.count(0)),
+                      static_cast<double>(issuedPerCycle.samples()));
+    }
+
+    /** Instructions per cycle. */
+    double
+    ipc() const
+    {
+        return cycles == 0 ? 0.0
+            : static_cast<double>(instructions) /
+              static_cast<double>(cycles);
+    }
+
+    /** Conditional-branch prediction accuracy in percent (Table 2). */
+    double
+    branchAccuracy() const
+    {
+        return condBranches == 0 ? 0.0
+            : percent(static_cast<double>(condBranches - mispredicts),
+                      static_cast<double>(condBranches));
+    }
+
+    /** Percentage of dynamic loads in a class (Tables 3 and 4). */
+    double
+    loadClassPct(LoadClass c) const
+    {
+        return loads == 0 ? 0.0
+            : percent(static_cast<double>(
+                          loadClasses[static_cast<unsigned>(c)]),
+                      static_cast<double>(loads));
+    }
+
+    /** Percentage of instructions eliminated (extension study). */
+    double
+    pctEliminated() const
+    {
+        return instructions == 0 ? 0.0
+            : percent(static_cast<double>(eliminatedInstructions),
+                      static_cast<double>(instructions));
+    }
+
+    /** Percentage of instructions collapsed (Figure 8). */
+    double
+    pctCollapsed() const
+    {
+        return instructions == 0 ? 0.0
+            : percent(static_cast<double>(
+                          collapse.collapsedInstructions()),
+                      static_cast<double>(instructions));
+    }
+};
+
+} // namespace ddsc
+
+#endif // DDSC_CORE_SCHED_STATS_HH

@@ -1,0 +1,847 @@
+#include "scheduler.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace ddsc
+{
+
+LimitScheduler::LimitScheduler(const MachineConfig &config)
+    : config_(config),
+      bpred_(std::make_unique<CombiningPredictor>(config.bpredIndexBits)),
+      addrPred_(makeAddressPredictor(config.addrPredKind,
+                                     config.addrPredIndexBits,
+                                     config.addrConfidenceThreshold)),
+      ras_(config.rasDepth)
+{
+    ddsc_assert(config.issueWidth >= 1, "issue width must be positive");
+    ddsc_assert(config.windowSize >= config.issueWidth,
+                "window smaller than issue width");
+}
+
+const LimitScheduler::Entry *
+LimitScheduler::findWindow(std::uint64_t seq) const
+{
+    const auto it = bySeq_.find(seq);
+    return it == bySeq_.end() ? nullptr : &*it->second;
+}
+
+// --- exact satisfaction checks ----------------------------------------
+
+bool
+LimitScheduler::arcSatisfied(const DepArc &arc, std::uint64_t cycle) const
+{
+    if (const Entry *producer = findWindow(arc.producerSeq)) {
+        if (producer->issued) {
+            if (arc.collapsed)
+                return true;
+            return cycle >= producer->valueTime;
+        }
+        if (arc.collapsed) {
+            // Collapsed arc: the compound operation needs only the
+            // producer's own sources, not its result.
+            return sourcesSatisfied(*producer, cycle);
+        }
+        // Value arc to an unissued producer: available only if a
+        // correctly-speculated load already delivered its data.
+        return producer->specValueSet && cycle >= producer->valueTime;
+    }
+    // Producer issued and left the window.
+    if (arc.collapsed)
+        return true;
+    const auto it = retired_.find(arc.producerSeq);
+    if (it == retired_.end())
+        return true;    // pruned: value long since available
+    return cycle >= it->second;
+}
+
+bool
+LimitScheduler::barrierSatisfiedNow(const Entry &entry,
+                                    std::uint64_t cycle) const
+{
+    if (entry.barrierSeq == 0)
+        return true;
+    if (const Entry *branch = findWindow(entry.barrierSeq))
+        return branch->issued && cycle >= branch->valueTime;
+    const auto it = retired_.find(entry.barrierSeq);
+    return it == retired_.end() || cycle >= it->second;
+}
+
+bool
+LimitScheduler::sourcesSatisfied(const Entry &entry,
+                                 std::uint64_t cycle) const
+{
+    if (entry.ready || entry.issued)
+        return true;        // readiness is monotone
+    if (cycle < entry.fixedReady)
+        return false;
+    if (!barrierSatisfiedNow(entry, cycle))
+        return false;
+    for (unsigned i = 0; i < entry.numArcs; ++i) {
+        if (!arcSatisfied(entry.arcs[i], cycle))
+            return false;
+    }
+    return true;
+}
+
+bool
+LimitScheduler::addrArcsSatisfied(const Entry &entry,
+                                  std::uint64_t cycle) const
+{
+    for (unsigned i = 0; i < entry.numArcs; ++i) {
+        if (entry.arcs[i].address && !arcSatisfied(entry.arcs[i], cycle))
+            return false;
+    }
+    return true;
+}
+
+// --- lower bounds -------------------------------------------------------
+
+std::uint64_t
+LimitScheduler::arcBound(const DepArc &arc, std::uint64_t cycle) const
+{
+    if (const Entry *producer = findWindow(arc.producerSeq)) {
+        if (producer->issued || producer->ready) {
+            if (arc.collapsed)
+                return 0;           // sources certainly satisfied
+            if (producer->issued || producer->specValueSet)
+                return producer->valueTime;
+            // Ready but width-stalled: it could issue this very cycle,
+            // so the value can exist at cycle + latency at the soonest.
+            return cycle + opLatency(producer->rec.op);
+        }
+        if (arc.collapsed)
+            return producer->boundAll;
+        if (producer->specValueSet)
+            return producer->valueTime;
+        if (producer->isLoad && !producer->loadClassified &&
+            (config_.loadSpec != LoadSpecMode::None ||
+             config_.loadValuePrediction)) {
+            // Not yet classified: the earliest possible data delivery
+            // is a correct speculation right when the non-address
+            // constraints hold -- one cycle for a value prediction,
+            // the access latency for an address prediction.
+            const std::uint64_t spec_latency =
+                config_.loadValuePrediction
+                    ? 1 : opLatency(producer->rec.op);
+            return producer->boundNonAddr + spec_latency;
+        }
+        // Classified without speculation (or no speculation at all):
+        // the data arrives only after the load itself issues.
+        return producer->boundAll + opLatency(producer->rec.op);
+    }
+    if (arc.collapsed)
+        return 0;
+    const auto it = retired_.find(arc.producerSeq);
+    return it == retired_.end() ? 0 : it->second;
+}
+
+std::uint64_t
+LimitScheduler::barrierBound(const Entry &entry, std::uint64_t cycle) const
+{
+    if (entry.barrierSeq == 0)
+        return 0;
+    if (const Entry *branch = findWindow(entry.barrierSeq)) {
+        if (branch->issued)
+            return branch->valueTime;
+        if (branch->ready)
+            return cycle + 1;   // it could issue this very cycle
+        return branch->boundAll + 1;
+    }
+    const auto it = retired_.find(entry.barrierSeq);
+    return it == retired_.end() ? 0 : it->second;
+}
+
+LimitScheduler::Check
+LimitScheduler::checkAll(Entry &entry, std::uint64_t cycle) const
+{
+    std::uint64_t bound = entry.fixedReady;
+    bool ok = cycle >= entry.fixedReady;
+    if (const std::uint64_t b = barrierBound(entry, cycle); b > cycle) {
+        ok = false;
+        bound = std::max(bound, b);
+    } else if (!barrierSatisfiedNow(entry, cycle)) {
+        ok = false;
+        bound = std::max(bound, cycle + 1);
+    }
+    for (unsigned i = 0; i < entry.numArcs; ++i) {
+        if (arcSatisfied(entry.arcs[i], cycle))
+            continue;
+        ok = false;
+        bound = std::max(bound, arcBound(entry.arcs[i], cycle));
+    }
+    if (!ok)
+        bound = std::max(bound, cycle + 1);
+    entry.boundAll = std::max(entry.boundAll, ok ? cycle : bound);
+    return {ok, bound};
+}
+
+LimitScheduler::Check
+LimitScheduler::checkNonAddr(Entry &entry, std::uint64_t cycle) const
+{
+    std::uint64_t bound = entry.fixedReady;
+    bool ok = cycle >= entry.fixedReady;
+    if (const std::uint64_t b = barrierBound(entry, cycle); b > cycle) {
+        ok = false;
+        bound = std::max(bound, b);
+    } else if (!barrierSatisfiedNow(entry, cycle)) {
+        ok = false;
+        bound = std::max(bound, cycle + 1);
+    }
+    for (unsigned i = 0; i < entry.numArcs; ++i) {
+        if (entry.arcs[i].address)
+            continue;
+        if (arcSatisfied(entry.arcs[i], cycle))
+            continue;
+        ok = false;
+        bound = std::max(bound, arcBound(entry.arcs[i], cycle));
+    }
+    if (!ok)
+        bound = std::max(bound, cycle + 1);
+    entry.boundNonAddr = std::max(entry.boundNonAddr, ok ? cycle : bound);
+    return {ok, bound};
+}
+
+// --- window construction ------------------------------------------------
+
+void
+LimitScheduler::addArc(Entry &entry, std::uint64_t producer_seq,
+                       bool address)
+{
+    if (producer_seq == 0)
+        return;
+    if (findWindow(producer_seq) != nullptr) {
+        ddsc_assert(entry.numArcs < 4, "arc overflow");
+        entry.arcs[entry.numArcs++] = {producer_seq, false, address};
+        return;
+    }
+    const auto it = retired_.find(producer_seq);
+    if (it == retired_.end())
+        return;     // long retired; no constraint
+    if (address) {
+        // Keep address constraints as arcs even when resolved, so the
+        // ready/not-ready load classification can separate them from
+        // the other constraints.
+        ddsc_assert(entry.numArcs < 4, "arc overflow");
+        entry.arcs[entry.numArcs++] = {producer_seq, false, true};
+    } else {
+        entry.fixedReady = std::max(entry.fixedReady, it->second);
+    }
+}
+
+void
+LimitScheduler::insert(const TraceRecord &rec)
+{
+    window_.emplace_back();
+    const auto self = std::prev(window_.end());
+    Entry &entry = *self;
+    entry.rec = rec;
+    entry.seq = nextSeq_++;
+    entry.fixedReady = cycle_;      // issuable from the insertion cycle
+    entry.expr = ExprSize::of(rec);
+    entry.isLoad = rec.isLoad();
+    entry.bbId = nextBbId_;
+    if (isControl(rec.cls()))
+        ++nextBbId_;                // this instruction ends its block
+
+    ++stats_.instructions;
+
+    // --- control: predict branches, erect barriers -------------------
+    if (rec.isCondBranch()) {
+        ++stats_.condBranches;
+        const bool correct = bpred_->predictAndUpdate(rec.pc, rec.taken);
+        if (!correct) {
+            ++stats_.mispredicts;
+            lastBarrier_ = entry.seq;
+        }
+    } else if (config_.realCtiPrediction) {
+        // The paper idealizes these; optionally model them with a
+        // return-address stack and an indirect-target buffer.
+        switch (rec.cls()) {
+          case OpClass::Call:
+            ras_.pushCall(rec.pc + 4);
+            break;
+          case OpClass::CallIndirect:
+            // The return address is known (push it), but the callee
+            // target comes from a register: predict it like an
+            // indirect jump.
+            ras_.pushCall(rec.pc + 4);
+            ++stats_.ctiPredictions;
+            if (itb_.predict(rec.pc) != rec.target) {
+                ++stats_.ctiMispredicts;
+                lastBarrier_ = entry.seq;
+            }
+            itb_.update(rec.pc, rec.target);
+            break;
+          case OpClass::Ret:
+            ++stats_.ctiPredictions;
+            if (ras_.popReturn() != rec.target) {
+                ++stats_.ctiMispredicts;
+                lastBarrier_ = entry.seq;
+            }
+            break;
+          case OpClass::IndirectJump:
+            ++stats_.ctiPredictions;
+            if (itb_.predict(rec.pc) != rec.target) {
+                ++stats_.ctiMispredicts;
+                lastBarrier_ = entry.seq;
+            }
+            itb_.update(rec.pc, rec.target);
+            break;
+          default:
+            break;      // direct jumps and calls: target in the opcode
+        }
+    }
+
+    // Younger instructions cannot issue before or during the cycle a
+    // mispredicted branch issues.
+    if (lastBarrier_ != 0 && lastBarrier_ != entry.seq)
+        entry.barrierSeq = lastBarrier_;
+
+    // --- register RAW arcs -------------------------------------------
+    for (const int reg : rec.dataSources()) {
+        if (reg >= 0)
+            addArc(entry, lastRegWriter_[reg], false);
+    }
+    for (const int reg : rec.addressSources()) {
+        if (reg >= 0)
+            addArc(entry, lastRegWriter_[reg], true);
+    }
+
+    // --- condition codes ---------------------------------------------
+    if (rec.readsCC())
+        addArc(entry, lastCCWriter_, false);
+
+    // --- memory RAW (perfect disambiguation) -------------------------
+    if (rec.isLoad()) {
+        std::uint64_t dep = 0;
+        for (unsigned b = 0; b < rec.memSize(); ++b) {
+            const auto it = lastStoreToByte_.find(rec.ea + b);
+            if (it != lastStoreToByte_.end())
+                dep = std::max(dep, it->second);
+        }
+        addArc(entry, dep, false);
+    }
+
+    // --- d-collapsing --------------------------------------------------
+    if (config_.collapsing)
+        tryCollapse(entry);
+
+    // --- load-speculation table (trained by every load, in order) ----
+    if (rec.isLoad() && config_.loadSpec == LoadSpecMode::Real) {
+        const AddrPrediction pred = addrPred_->predict(rec.pc);
+        entry.predUsable = pred.usable;
+        entry.predCorrect = pred.usable && pred.addr == rec.ea;
+        addrPred_->update(rec.pc, rec.ea);
+    }
+
+    // --- value-prediction extension (Figure 1.d) ----------------------
+    if (rec.isLoad() && config_.loadValuePrediction) {
+        const ValuePrediction vp = valuePred_.predict(rec.pc);
+        entry.vpredUsable = vp.usable;
+        entry.vpredCorrect = vp.usable && vp.value == rec.memValue;
+        valuePred_.update(rec.pc, rec.memValue);
+    }
+
+    // --- node elimination bookkeeping ---------------------------------
+    if (config_.nodeElimination)
+        noteValueReaders(entry);
+
+    // --- update producer tables (after reading them) ------------------
+    const int dest = rec.destReg();
+    if (dest >= 0) {
+        const std::uint64_t old_writer = lastRegWriter_[dest];
+        lastRegWriter_[dest] = entry.seq;
+        if (config_.nodeElimination)
+            maybeEliminate(old_writer);
+    }
+    if (rec.setsCC())
+        lastCCWriter_ = entry.seq;
+    if (rec.isStore()) {
+        for (unsigned b = 0; b < rec.memSize(); ++b)
+            lastStoreToByte_[rec.ea + b] = entry.seq;
+    }
+
+    entry.boundAll = entry.fixedReady;
+    entry.boundNonAddr = entry.fixedReady;
+    bySeq_.emplace(entry.seq, self);
+
+    pending_.push({entry.fixedReady, entry.seq});
+    const bool classify = config_.loadSpec != LoadSpecMode::None ||
+        config_.loadValuePrediction;
+    if (entry.isLoad && classify)
+        classifyQueue_.push({entry.fixedReady, entry.seq});
+    else if (entry.isLoad)
+        ++stats_.loads;
+}
+
+void
+LimitScheduler::tryCollapse(Entry &entry)
+{
+    const TraceRecord &rec = entry.rec;
+    const OpClass cls = rec.cls();
+
+    // Gather the collapsible candidate arcs of this consumer.  An arc
+    // is a candidate when it is a register (or cc) RAW arc to a
+    // producer that is still unissued in the window, the producer is
+    // ALU-executable, and the arc kind is absorbable by this consumer.
+    struct Candidate
+    {
+        Entry *producer;
+        unsigned slots;         // consumer slots fed by this producer
+        unsigned arcIndices[2];
+        std::uint64_t distance;
+    };
+    Candidate candidates[2];
+    unsigned num_candidates = 0;
+
+    for (unsigned i = 0; i < entry.numArcs; ++i) {
+        DepArc &arc = entry.arcs[i];
+        if (arc.collapsed)
+            continue;
+        const auto it = bySeq_.find(arc.producerSeq);
+        if (it == bySeq_.end())
+            continue;                       // already issued
+        Entry *producer = &*it->second;
+        if (producer->issued)
+            continue;
+        if (!CollapseRules::producerEligible(producer->rec))
+            continue;
+        // In this ISA only conditional branches read the cc, and their
+        // sole candidate arc is the cc arc (barrier producers are
+        // branches, filtered above by producer eligibility).
+        const bool is_cc = cls == OpClass::Branch;
+        if (!CollapseRules::consumerEligible(rec, arc.address, is_cc))
+            continue;
+
+        // Prior-work restriction ablations (section 2 of the paper:
+        // earlier proposals collapsed "only consecutive instructions
+        // within a single basic block").
+        if (config_.rules.maxCollapseDistance != 0 &&
+            entry.seq - producer->seq > config_.rules.maxCollapseDistance)
+            continue;
+        if (config_.rules.sameBasicBlockOnly &&
+            producer->bbId != entry.bbId)
+            continue;
+
+        // Group with an existing candidate for the same producer
+        // (e.g. Rc = Rb + Rb).
+        bool merged = false;
+        for (unsigned c = 0; c < num_candidates; ++c) {
+            if (candidates[c].producer == producer) {
+                candidates[c].arcIndices[candidates[c].slots] = i;
+                ++candidates[c].slots;
+                merged = true;
+                break;
+            }
+        }
+        if (merged)
+            continue;
+        if (num_candidates == 2)
+            continue;       // at most two distinct producers matter
+        candidates[num_candidates++] = {producer, 1, {i, 0},
+                                        entry.seq - producer->seq};
+    }
+
+    if (num_candidates == 0)
+        return;
+
+    // Greedily absorb candidates while the compound expression stays
+    // within the 4-1 device and the group within 3 instructions.
+    bool any = false;
+    CollapseCategory category = CollapseCategory::ThreeOne;
+    std::uint64_t new_distances[2];
+    unsigned num_new = 0;
+
+    for (unsigned c = 0; c < num_candidates; ++c) {
+        Candidate &cand = candidates[c];
+        Entry *producer = cand.producer;
+        const unsigned group = entry.expr.instructions +
+            producer->expr.instructions;
+        if (group > config_.rules.maxInstructions)
+            continue;
+        const ExprSize combined = ExprSize::substitute(
+            entry.expr, producer->expr, cand.slots);
+        CollapseCategory judged;
+        if (!config_.rules.judge(combined, judged))
+            continue;
+
+        // Commit this collapse.
+        entry.expr = combined;
+        category = judged;
+        any = true;
+        for (unsigned s = 0; s < cand.slots; ++s)
+            entry.arcs[cand.arcIndices[s]].collapsed = true;
+        new_distances[num_new++] = cand.distance;
+
+        // Track group membership for the signature: the producer's own
+        // absorbed members plus the producer itself.
+        for (unsigned m = 0; m < producer->numMembers &&
+                 entry.numMembers < 2; ++m) {
+            entry.memberRecords[entry.numMembers] =
+                producer->memberRecords[m];
+            entry.memberSeqs[entry.numMembers] = producer->memberSeqs[m];
+            ++entry.numMembers;
+        }
+        if (entry.numMembers < 2) {
+            entry.memberRecords[entry.numMembers] = producer->rec;
+            entry.memberSeqs[entry.numMembers] = producer->seq;
+            ++entry.numMembers;
+        }
+
+        ++producer->absorbedCount;
+        if (!producer->inAnyGroup) {
+            producer->inAnyGroup = true;
+            stats_.collapse.noteCollapsedInstruction();
+        }
+    }
+
+    if (!any)
+        return;
+
+    if (!entry.inAnyGroup) {
+        entry.inAnyGroup = true;
+        stats_.collapse.noteCollapsedInstruction();
+    }
+
+    // Record the event: members oldest-first, then this consumer.
+    // Two producers of a tree triple may have been absorbed in either
+    // order, so sort by sequence number.
+    if (entry.numMembers == 2 &&
+        entry.memberSeqs[0] > entry.memberSeqs[1]) {
+        std::swap(entry.memberSeqs[0], entry.memberSeqs[1]);
+        std::swap(entry.memberRecords[0], entry.memberRecords[1]);
+    }
+    CollapseEvent event;
+    event.category = category;
+    event.groupSize = entry.numMembers + 1;
+    const TraceRecord *members[3];
+    unsigned count = 0;
+    for (unsigned m = 0; m < entry.numMembers; ++m)
+        members[count++] = &entry.memberRecords[m];
+    members[count++] = &entry.rec;
+    event.signature = groupSignature(members, count);
+    event.distanceCount = num_new;
+    for (unsigned i = 0; i < num_new; ++i)
+        event.distances[i] = new_distances[i];
+    stats_.collapse.record(event);
+}
+
+void
+LimitScheduler::removeFromWindow(std::uint64_t seq)
+{
+    const auto it = bySeq_.find(seq);
+    ddsc_assert(it != bySeq_.end(), "removing unknown entry");
+    window_.erase(it->second);
+    bySeq_.erase(it);
+}
+
+void
+LimitScheduler::noteValueReaders(const Entry &entry)
+{
+    // Any arc that survived collapsing is a real use of the producer's
+    // result; such producers must execute.
+    for (unsigned i = 0; i < entry.numArcs; ++i) {
+        if (entry.arcs[i].collapsed)
+            continue;
+        const auto it = bySeq_.find(entry.arcs[i].producerSeq);
+        if (it != bySeq_.end())
+            it->second->hasValueReader = true;
+    }
+}
+
+void
+LimitScheduler::maybeEliminate(std::uint64_t old_seq)
+{
+    if (old_seq == 0)
+        return;
+    const auto it = bySeq_.find(old_seq);
+    if (it == bySeq_.end())
+        return;             // already issued
+    Entry &old_entry = *it->second;
+    if (old_entry.issued || old_entry.eliminated)
+        return;
+    // Eliminable: absorbed by at least one consumer, no surviving
+    // value reader, and (for cc writers) the cc already overwritten.
+    if (old_entry.absorbedCount == 0 || old_entry.hasValueReader)
+        return;
+    if (old_entry.rec.setsCC() && lastCCWriter_ == old_entry.seq)
+        return;             // a future branch may still read the cc
+    old_entry.eliminated = true;
+    ++stats_.eliminatedInstructions;
+}
+
+// --- dynamic behaviour ----------------------------------------------------
+
+void
+LimitScheduler::classifyLoad(Entry &entry, std::uint64_t cycle)
+{
+    // First cycle at which all non-address constraints hold.
+    entry.loadClassified = true;
+    const bool addr_ready = addrArcsSatisfied(entry, cycle);
+    if (addr_ready) {
+        entry.loadClass = LoadClass::Ready;
+    } else if (config_.loadSpec == LoadSpecMode::Ideal ||
+               (entry.predUsable && entry.predCorrect)) {
+        entry.loadClass = LoadClass::PredictedCorrect;
+        // Data flows to dependents from the speculative access.
+        entry.valueTime = cycle + opLatency(entry.rec.op);
+        entry.specValueSet = true;
+    } else if (entry.predUsable) {
+        entry.loadClass = LoadClass::PredictedIncorrect;
+    } else {
+        entry.loadClass = LoadClass::NotPredicted;
+    }
+
+    // Value-prediction extension: a confident correct value prediction
+    // beats even a correct address prediction -- dependents get the
+    // value one cycle after the load's other constraints hold, without
+    // the memory access.  Wrong predictions fall back to normal
+    // timing (the verifying access supplies the real value).
+    if (config_.loadValuePrediction && entry.vpredUsable) {
+        if (entry.vpredCorrect) {
+            const std::uint64_t vp_time = cycle + 1;
+            if (!entry.specValueSet || vp_time < entry.valueTime) {
+                entry.valueTime = vp_time;
+                entry.specValueSet = true;
+            }
+            ++stats_.valuePredHits;
+        } else {
+            ++stats_.valuePredWrong;
+        }
+    }
+
+    ++stats_.loads;
+    ++stats_.loadClasses[static_cast<unsigned>(entry.loadClass)];
+}
+
+void
+LimitScheduler::issue(Entry &entry, std::uint64_t cycle)
+{
+    entry.issued = true;
+    if (!entry.specValueSet)
+        entry.valueTime = cycle + opLatency(entry.rec.op);
+    retired_.emplace(entry.seq, entry.valueTime);
+}
+
+void
+LimitScheduler::resetState()
+{
+    bpred_->reset();
+    addrPred_->reset();
+    valuePred_.reset();
+    ras_.reset();
+    itb_.reset();
+    window_.clear();
+    bySeq_.clear();
+    retired_.clear();
+    pending_ = BoundHeap();
+    classifyQueue_ = BoundHeap();
+    readySet_.clear();
+    lastStoreToByte_.clear();
+    std::fill(std::begin(lastRegWriter_), std::end(lastRegWriter_),
+              std::uint64_t{0});
+    lastCCWriter_ = 0;
+    lastBarrier_ = 0;
+    nextSeq_ = 1;
+    nextBbId_ = 0;
+    cycle_ = 0;
+    stats_ = SchedStats{};
+}
+
+SchedStats
+LimitScheduler::runNaive(TraceSource &trace)
+{
+    resetState();
+
+    TraceRecord rec;
+    bool exhausted = false;
+    while (window_.size() < config_.windowSize) {
+        if (!trace.next(rec)) {
+            exhausted = true;
+            break;
+        }
+        insert(rec);
+    }
+
+    std::uint64_t last_issue_cycle = 0;
+    while (!window_.empty()) {
+        // Classification: exact first cycle the non-address
+        // constraints hold, found by brute-force scan.
+        if (config_.loadSpec != LoadSpecMode::None) {
+            for (Entry &entry : window_) {
+                if (!entry.isLoad || entry.loadClassified)
+                    continue;
+                Check check = checkNonAddr(entry, cycle_);
+                if (check.ok)
+                    classifyLoad(entry, cycle_);
+            }
+        }
+
+        // Promotion: full scan.
+        for (Entry &entry : window_) {
+            if (!entry.ready && sourcesSatisfied(entry, cycle_)) {
+                entry.ready = true;
+                readySet_.emplace(entry.seq, &entry);
+            }
+        }
+
+        // Issue: oldest ready first.  Eliminated entries leave for
+        // free once their sources are satisfied.
+        unsigned issued = 0;
+        auto rit = readySet_.begin();
+        while (rit != readySet_.end() && issued < config_.issueWidth) {
+            Entry &entry = *rit->second;
+            const std::uint64_t seq = entry.seq;
+            if (entry.eliminated) {
+                rit = readySet_.erase(rit);
+                removeFromWindow(seq);
+                continue;
+            }
+            issue(entry, cycle_);
+            last_issue_cycle = cycle_;
+            ++issued;
+            rit = readySet_.erase(rit);
+            removeFromWindow(seq);
+        }
+
+        stats_.issuedPerCycle.add(issued);
+        ++cycle_;
+        while (!exhausted && window_.size() < config_.windowSize) {
+            if (!trace.next(rec)) {
+                exhausted = true;
+                break;
+            }
+            insert(rec);
+        }
+
+        if (issued == 0 && cycle_ > last_issue_cycle + 64) {
+            ddsc_panic("naive scheduler deadlock at cycle %llu",
+                       static_cast<unsigned long long>(cycle_));
+        }
+    }
+
+    stats_.cycles = last_issue_cycle + 1;
+    return stats_;
+}
+
+SchedStats
+LimitScheduler::run(TraceSource &trace)
+{
+    if (config_.naiveEngine)
+        return runNaive(trace);
+
+    resetState();
+
+    // Initial fill: instructions available in cycle 0.
+    TraceRecord rec;
+    bool exhausted = false;
+    while (window_.size() < config_.windowSize) {
+        if (!trace.next(rec)) {
+            exhausted = true;
+            break;
+        }
+        insert(rec);
+    }
+
+    std::uint64_t last_issue_cycle = 0;
+    std::uint64_t prune_mark = 0;
+
+    while (!window_.empty()) {
+        // 1. Load classification at the exact first cycle the
+        //    non-address constraints hold.
+        while (!classifyQueue_.empty() &&
+               classifyQueue_.top().first <= cycle_) {
+            const std::uint64_t seq = classifyQueue_.top().second;
+            classifyQueue_.pop();
+            const auto it = bySeq_.find(seq);
+            if (it == bySeq_.end())
+                continue;       // already issued (classified earlier)
+            Entry &entry = *it->second;
+            if (entry.loadClassified)
+                continue;
+            const Check check = checkNonAddr(entry, cycle_);
+            if (check.ok)
+                classifyLoad(entry, cycle_);
+            else
+                classifyQueue_.push({check.bound, seq});
+        }
+
+        // 2. Promote pending entries whose bound came due.
+        while (!pending_.empty() && pending_.top().first <= cycle_) {
+            const std::uint64_t seq = pending_.top().second;
+            pending_.pop();
+            const auto it = bySeq_.find(seq);
+            if (it == bySeq_.end())
+                continue;
+            Entry &entry = *it->second;
+            if (entry.ready || entry.issued)
+                continue;
+            const Check check = checkAll(entry, cycle_);
+            if (check.ok) {
+                entry.ready = true;
+                readySet_.emplace(entry.seq, &entry);
+            } else {
+                pending_.push({check.bound, seq});
+            }
+        }
+
+        // 3. Issue up to issueWidth ready entries, oldest first.
+        //    Eliminated entries leave for free once source-satisfied.
+        unsigned issued = 0;
+        auto rit = readySet_.begin();
+        while (rit != readySet_.end() && issued < config_.issueWidth) {
+            Entry &entry = *rit->second;
+            const std::uint64_t seq = entry.seq;
+            if (entry.eliminated) {
+                rit = readySet_.erase(rit);
+                removeFromWindow(seq);
+                continue;
+            }
+            issue(entry, cycle_);
+            last_issue_cycle = cycle_;
+            ++issued;
+            rit = readySet_.erase(rit);
+            removeFromWindow(seq);
+        }
+
+        // 4. Refill the window ("kept full"); new entries become
+        //    issuable from the next cycle.
+        stats_.issuedPerCycle.add(issued);
+        ++cycle_;
+        while (!exhausted && window_.size() < config_.windowSize) {
+            if (!trace.next(rec)) {
+                exhausted = true;
+                break;
+            }
+            insert(rec);
+        }
+
+        // Periodically prune the retired map: entries whose value time
+        // has passed can no longer constrain anyone.
+        if (cycle_ - prune_mark >= 4096) {
+            prune_mark = cycle_;
+            for (auto it = retired_.begin(); it != retired_.end();) {
+                if (it->second <= cycle_)
+                    it = retired_.erase(it);
+                else
+                    ++it;
+            }
+        }
+
+        if (issued == 0 && cycle_ > last_issue_cycle + 64) {
+            // Every latency is <= 12 cycles and all constraints resolve
+            // within a bounded time of the last issue, so a long
+            // stretch with no issue from a non-empty window is a
+            // dependence cycle: an internal bug.
+            ddsc_panic("scheduler deadlock at cycle %llu",
+                       static_cast<unsigned long long>(cycle_));
+        }
+    }
+
+    stats_.cycles = last_issue_cycle + 1;
+    return stats_;
+}
+
+} // namespace ddsc

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * The Wall-style window limit scheduler with d-speculation and
+ * d-collapsing (the paper's simulation engine).
+ *
+ * Model (Section 4 of the paper):
+ *  - Instructions enter a window of capacity 2 x issueWidth in program
+ *    order; the window is refilled each cycle ("kept full").
+ *  - Every cycle up to issueWidth instructions whose dependences are
+ *    satisfied issue, oldest first; execution takes 1 cycle (loads and
+ *    multiplies 2, divides 12).
+ *  - Renaming is ideal (only RAW register arcs), memory disambiguation
+ *    is perfect (a load depends only on the most recent store that
+ *    wrote one of its bytes), and there are no functional-unit limits
+ *    other than issue width.
+ *  - Conditional branches use the 8 kByte bimodal/gshare combining
+ *    predictor; younger instructions cannot issue before or during the
+ *    cycle a mispredicted branch issues.  All other control transfers
+ *    predict perfectly.
+ *  - Load-speculation and collapsing per MachineConfig; see DESIGN.md
+ *    section 5 for the precise semantics.
+ *
+ * Engine: event-driven rather than scan-based.  Each window entry
+ * carries a monotone lower bound on the cycle its constraints can
+ * first all hold ("next try"); entries wait in a min-heap keyed on
+ * that bound and are re-evaluated only when the bound comes due, so a
+ * blocked 4096-entry window costs nothing per idle cycle.  Bounds
+ * never overshoot the true readiness cycle (each failing evaluation
+ * derives the next bound from exact producer state), so readiness and
+ * load classification happen at exactly the same cycles as a naive
+ * full scan.
+ */
+
+#ifndef DDSC_CORE_SCHEDULER_HH
+#define DDSC_CORE_SCHEDULER_HH
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "addrpred/addrpred.hh"
+#include "bpred/bpred.hh"
+#include "bpred/cti_pred.hh"
+#include "core/config.hh"
+#include "core/sched_stats.hh"
+#include "trace/source.hh"
+#include "vpred/vpred.hh"
+
+namespace ddsc
+{
+
+/**
+ * One simulation engine instance.  Use run() once per trace; the
+ * predictors are reset between runs.
+ */
+class LimitScheduler
+{
+  public:
+    explicit LimitScheduler(const MachineConfig &config);
+
+    /** Simulate @p trace from its current position to the end. */
+    SchedStats run(TraceSource &trace);
+
+  private:
+    /** Reset all run state (predictors keep their construction). */
+    void resetState();
+
+    /** The O(window)-per-cycle reference engine (config.naiveEngine);
+     *  semantically identical to the event-driven engine and used to
+     *  differentially test it. */
+    SchedStats runNaive(TraceSource &trace);
+
+  private:
+    /** A dependence arc to an older instruction. */
+    struct DepArc
+    {
+        std::uint64_t producerSeq;
+        bool collapsed;     ///< SRC semantics: wait for producer sources
+        bool address;       ///< feeds address generation (load-spec)
+    };
+
+    /** One in-window dynamic instruction. */
+    struct Entry
+    {
+        TraceRecord rec;
+        std::uint64_t seq = 0;
+        std::uint64_t fixedReady = 0;   ///< folded fixed constraints
+        /** Last mispredicted branch before this instruction (0=none). */
+        std::uint64_t barrierSeq = 0;
+        /** Dynamic basic-block id (for the prior-work collapse
+         *  restriction ablation). */
+        std::uint64_t bbId = 0;
+        DepArc arcs[4];
+        unsigned numArcs = 0;
+        bool issued = false;
+        bool ready = false;             ///< in the ready set
+
+        /** Monotone lower bounds on constraint satisfaction, updated
+         *  each time this entry is evaluated.  Consumers read them to
+         *  derive their own bounds. */
+        std::uint64_t boundAll = 0;
+        std::uint64_t boundNonAddr = 0;
+
+        /** Value availability once known (issue + latency, or the
+         *  speculative completion for predicted-correct loads). */
+        std::uint64_t valueTime = 0;
+        bool specValueSet = false;      ///< valueTime valid pre-issue
+
+        /** Load-speculation bookkeeping. */
+        bool isLoad = false;
+        bool loadClassified = false;
+        LoadClass loadClass = LoadClass::Ready;
+        bool predUsable = false;        ///< table confidence > threshold
+        bool predCorrect = false;       ///< predicted addr == actual
+        bool vpredUsable = false;       ///< value prediction confident
+        bool vpredCorrect = false;      ///< predicted value == actual
+
+        /** Collapsing bookkeeping.  Absorbed producers are copied by
+         *  value: they may issue and leave the window while this entry
+         *  still waits, yet their identity is needed if a later
+         *  consumer extends the group (chain triples). */
+        ExprSize expr;                  ///< effective (compound) size
+        TraceRecord memberRecords[2];   ///< absorbed producers
+        std::uint64_t memberSeqs[2] = {0, 0};
+        unsigned numMembers = 0;        ///< producers absorbed (0..2)
+        bool inAnyGroup = false;
+
+        /** Node elimination (paper Figure 1.f): a producer absorbed by
+         *  consumers whose result no one else reads before it is
+         *  overwritten need not execute at all. */
+        unsigned absorbedCount = 0;     ///< times absorbed as producer
+        bool hasValueReader = false;    ///< non-collapsed arc exists
+        bool eliminated = false;        ///< never consumes an issue slot
+    };
+
+    /** Outcome of evaluating a constraint set at some cycle. */
+    struct Check
+    {
+        bool ok;
+        std::uint64_t bound;    ///< valid lower bound when !ok
+    };
+
+    void insert(const TraceRecord &rec);
+    void addArc(Entry &entry, std::uint64_t producer_seq, bool address);
+    void tryCollapse(Entry &entry);
+
+    bool arcSatisfied(const DepArc &arc, std::uint64_t cycle) const;
+    bool barrierSatisfiedNow(const Entry &entry,
+                             std::uint64_t cycle) const;
+    bool sourcesSatisfied(const Entry &entry, std::uint64_t cycle) const;
+    bool addrArcsSatisfied(const Entry &entry, std::uint64_t cycle) const;
+
+    /** Lower bound on when @p arc can be satisfied (exact for issued
+     *  producers). */
+    std::uint64_t arcBound(const DepArc &arc, std::uint64_t cycle) const;
+    std::uint64_t barrierBound(const Entry &entry,
+                               std::uint64_t cycle) const;
+    Check checkAll(Entry &entry, std::uint64_t cycle) const;
+    Check checkNonAddr(Entry &entry, std::uint64_t cycle) const;
+
+    void classifyLoad(Entry &entry, std::uint64_t cycle);
+    void issue(Entry &entry, std::uint64_t cycle);
+    const Entry *findWindow(std::uint64_t seq) const;
+
+    /** Post-collapse bookkeeping for node elimination: mark producers
+     *  that still have a real value reader. */
+    void noteValueReaders(const Entry &entry);
+
+    /** Try to eliminate the overwritten previous writer @p old_seq. */
+    void maybeEliminate(std::uint64_t old_seq);
+
+    /** Drop an entry from all structures; @p entry must be in window. */
+    void removeFromWindow(std::uint64_t seq);
+
+    MachineConfig config_;
+    std::unique_ptr<BranchPredictor> bpred_;
+    std::unique_ptr<AddressPredictor> addrPred_;
+    LoadValuePredictor valuePred_;
+    ReturnAddressStack ras_;
+    IndirectTargetBuffer itb_;
+
+    std::list<Entry> window_;
+    /** seq -> list position (gives both the Entry and O(1) removal). */
+    std::unordered_map<std::uint64_t, std::list<Entry>::iterator> bySeq_;
+    /** Issued-but-still-constraining producers: seq -> valueTime. */
+    std::unordered_map<std::uint64_t, std::uint64_t> retired_;
+
+    /** (bound, seq) min-heaps; lazily invalidated. */
+    using BoundHeap = std::priority_queue<
+        std::pair<std::uint64_t, std::uint64_t>,
+        std::vector<std::pair<std::uint64_t, std::uint64_t>>,
+        std::greater<>>;
+    BoundHeap pending_;         ///< waiting to become issue-ready
+    BoundHeap classifyQueue_;   ///< loads waiting for classification
+    /** Issue-ready entries in program order. */
+    std::map<std::uint64_t, Entry *> readySet_;
+
+    /** Rename state: last writer seq per register (0 = none). */
+    std::uint64_t lastRegWriter_[kNumRegs] = {};
+    std::uint64_t lastCCWriter_ = 0;
+    std::uint64_t lastBarrier_ = 0;     ///< last mispredicted branch
+    /** Perfect disambiguation: last store seq per byte address. */
+    std::unordered_map<std::uint64_t, std::uint64_t> lastStoreToByte_;
+
+    std::uint64_t nextSeq_ = 1;         ///< 0 reserved for "none"
+    std::uint64_t nextBbId_ = 0;        ///< dynamic basic-block counter
+    std::uint64_t cycle_ = 0;
+    SchedStats stats_;
+};
+
+} // namespace ddsc
+
+#endif // DDSC_CORE_SCHEDULER_HH

@@ -1,0 +1,74 @@
+#include "instruction.hh"
+
+#include <sstream>
+
+namespace ddsc
+{
+
+std::string
+regName(std::uint8_t reg)
+{
+    return "r" + std::to_string(static_cast<unsigned>(reg));
+}
+
+std::string
+Instruction::toString() const
+{
+    const OpTraits &traits = opTraits(op);
+    std::ostringstream out;
+    auto src2 = [&]() -> std::string {
+        return useImm ? std::to_string(imm) : regName(rs2);
+    };
+
+    switch (traits.cls) {
+      case OpClass::Arith:
+      case OpClass::Logic:
+      case OpClass::Shift:
+      case OpClass::Mul:
+      case OpClass::Div:
+        out << traits.mnemonic << ' ' << regName(rd) << ", "
+            << regName(rs1) << ", " << src2();
+        break;
+      case OpClass::Move:
+        if (op == Opcode::SETHI)
+            out << "sethi " << regName(rd) << ", " << imm;
+        else
+            out << "mov " << regName(rd) << ", " << src2();
+        break;
+      case OpClass::Load:
+        out << traits.mnemonic << ' ' << regName(rd) << ", ["
+            << regName(rs1) << " + " << src2() << ']';
+        break;
+      case OpClass::Store:
+        out << traits.mnemonic << ' ' << regName(rd) << ", ["
+            << regName(rs1) << " + " << src2() << ']';
+        break;
+      case OpClass::Branch:
+        out << 'b' << condName(cond) << " 0x" << std::hex << target;
+        break;
+      case OpClass::Jump:
+        out << "ba 0x" << std::hex << target;
+        break;
+      case OpClass::IndirectJump:
+        out << "jmpi [" << regName(rs1) << " + " << src2() << ']';
+        break;
+      case OpClass::CallIndirect:
+        out << "calli [" << regName(rs1) << " + " << src2() << ']';
+        break;
+      case OpClass::Call:
+        out << "call 0x" << std::hex << target;
+        break;
+      case OpClass::Ret:
+        out << "ret";
+        break;
+      case OpClass::Halt:
+        out << "halt";
+        break;
+      case OpClass::Nop:
+        out << "nop";
+        break;
+    }
+    return out.str();
+}
+
+} // namespace ddsc

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Static instruction representation and program images.
+ */
+
+#ifndef DDSC_ISA_INSTRUCTION_HH
+#define DDSC_ISA_INSTRUCTION_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/opcodes.hh"
+
+namespace ddsc
+{
+
+/** Number of architected integer registers; r0 is hardwired to zero. */
+constexpr unsigned kNumRegs = 32;
+
+/** Register conventions used by the assembler and the workloads. */
+constexpr std::uint8_t kRegZero = 0;   ///< always reads 0
+constexpr std::uint8_t kRegSp   = 14;  ///< stack pointer by convention
+constexpr std::uint8_t kRegLink = 15;  ///< written by call, read by ret
+
+/** Base virtual address of the text segment. */
+constexpr std::uint64_t kTextBase = 0x10000;
+/** Base virtual address of the data segment. */
+constexpr std::uint64_t kDataBase = 0x40000000;
+/** Initial stack pointer (grows down). */
+constexpr std::uint64_t kStackTop = 0x7fff0000;
+
+/**
+ * One static instruction.
+ *
+ * Format-3 style: a destination, a register first source, and a second
+ * source that is either a register or a signed immediate (@ref useImm).
+ * For stores, @ref rd names the register holding the value to be stored;
+ * rs1/src2 form the address, as in SPARC.
+ */
+struct Instruction
+{
+    Opcode op = Opcode::NOP;
+    Cond cond = Cond::EQ;       ///< condition for BCC
+    std::uint8_t rd = 0;        ///< destination (source for stores)
+    std::uint8_t rs1 = 0;       ///< first source
+    std::uint8_t rs2 = 0;       ///< second source when !useImm
+    bool useImm = false;        ///< second source is @ref imm
+    std::int32_t imm = 0;       ///< immediate second source
+    std::uint64_t target = 0;   ///< absolute target for bcc/ba/call
+
+    /** Render as assembly text (for debugging and error messages). */
+    std::string toString() const;
+};
+
+/**
+ * An assembled program: text, initialized data, and the entry point.
+ */
+struct Program
+{
+    std::vector<Instruction> text;
+    /** Initialized data bytes placed at kDataBase. */
+    std::vector<std::uint8_t> data;
+    std::uint64_t entry = kTextBase;
+
+    /** Byte address of instruction index @p idx. */
+    static std::uint64_t
+    pcOf(std::size_t idx)
+    {
+        return kTextBase + 4 * idx;
+    }
+
+    /** Instruction index of byte address @p pc. */
+    static std::size_t
+    indexOf(std::uint64_t pc)
+    {
+        return static_cast<std::size_t>((pc - kTextBase) / 4);
+    }
+
+    /** True when @p pc falls inside the text segment. */
+    bool
+    contains(std::uint64_t pc) const
+    {
+        return pc >= kTextBase && pc < kTextBase + 4 * text.size() &&
+            (pc & 3) == 0;
+    }
+};
+
+/** Register name ("r0".."r31", with sp/lr aliases resolved by number). */
+std::string regName(std::uint8_t reg);
+
+} // namespace ddsc
+
+#endif // DDSC_ISA_INSTRUCTION_HH

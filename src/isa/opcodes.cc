@@ -1,0 +1,158 @@
+#include "opcodes.hh"
+
+#include "support/logging.hh"
+
+namespace ddsc
+{
+
+namespace
+{
+
+constexpr OpTraits kTraits[kNumOpcodes] = {
+    // mnemonic  class                 setsCC readsCC
+    {"add",    OpClass::Arith,        false, false},  // ADD
+    {"sub",    OpClass::Arith,        false, false},  // SUB
+    {"addcc",  OpClass::Arith,        true,  false},  // ADDCC
+    {"subcc",  OpClass::Arith,        true,  false},  // SUBCC
+    {"and",    OpClass::Logic,        false, false},  // AND
+    {"or",     OpClass::Logic,        false, false},  // OR
+    {"xor",    OpClass::Logic,        false, false},  // XOR
+    {"andn",   OpClass::Logic,        false, false},  // ANDN
+    {"andcc",  OpClass::Logic,        true,  false},  // ANDCC
+    {"orcc",   OpClass::Logic,        true,  false},  // ORCC
+    {"xorcc",  OpClass::Logic,        true,  false},  // XORCC
+    {"sll",    OpClass::Shift,        false, false},  // SLL
+    {"srl",    OpClass::Shift,        false, false},  // SRL
+    {"sra",    OpClass::Shift,        false, false},  // SRA
+    {"mov",    OpClass::Move,         false, false},  // MOV
+    {"sethi",  OpClass::Move,         false, false},  // SETHI
+    {"mul",    OpClass::Mul,          false, false},  // MUL
+    {"div",    OpClass::Div,          false, false},  // DIV
+    {"ldw",    OpClass::Load,         false, false},  // LDW
+    {"ldb",    OpClass::Load,         false, false},  // LDB
+    {"stw",    OpClass::Store,        false, false},  // STW
+    {"stb",    OpClass::Store,        false, false},  // STB
+    {"bcc",    OpClass::Branch,       false, true},   // BCC
+    {"ba",     OpClass::Jump,         false, false},  // BA
+    {"jmpi",   OpClass::IndirectJump, false, false},  // JMPI
+    {"call",   OpClass::Call,         false, false},  // CALL
+    {"calli",  OpClass::CallIndirect, false, false},  // CALLI
+    {"ret",    OpClass::Ret,          false, false},  // RET
+    {"halt",   OpClass::Halt,         false, false},  // HALT
+    {"nop",    OpClass::Nop,          false, false},  // NOP
+};
+
+constexpr std::string_view kCondNames[kNumConds] = {
+    "eq", "ne", "lt", "le", "gt", "ge",
+    "ltu", "leu", "gtu", "geu", "neg", "pos",
+};
+
+} // anonymous namespace
+
+const OpTraits &
+opTraits(Opcode op)
+{
+    const auto idx = static_cast<unsigned>(op);
+    ddsc_assert(idx < kNumOpcodes, "opcode %u out of range", idx);
+    return kTraits[idx];
+}
+
+unsigned
+opLatency(Opcode op)
+{
+    switch (opTraits(op).cls) {
+      case OpClass::Load:
+      case OpClass::Mul:
+        return 2;
+      case OpClass::Div:
+        return 12;
+      default:
+        return 1;
+    }
+}
+
+std::string_view
+opClassSignature(OpClass cls)
+{
+    switch (cls) {
+      case OpClass::Arith: return "ar";
+      case OpClass::Logic: return "lg";
+      case OpClass::Shift: return "sh";
+      case OpClass::Move:  return "mv";
+      case OpClass::Load:  return "ld";
+      case OpClass::Store: return "st";
+      case OpClass::Branch: return "brc";
+      case OpClass::Mul:   return "mul";
+      case OpClass::Div:   return "div";
+      case OpClass::Jump:  return "jmp";
+      case OpClass::IndirectJump: return "jmpi";
+      case OpClass::Call:  return "call";
+      case OpClass::CallIndirect: return "calli";
+      case OpClass::Ret:   return "ret";
+      case OpClass::Halt:  return "halt";
+      case OpClass::Nop:   return "nop";
+    }
+    return "?";
+}
+
+std::string_view
+condName(Cond c)
+{
+    const auto idx = static_cast<unsigned>(c);
+    ddsc_assert(idx < kNumConds, "condition %u out of range", idx);
+    return kCondNames[idx];
+}
+
+bool
+isCollapsibleClass(OpClass cls)
+{
+    switch (cls) {
+      case OpClass::Arith:
+      case OpClass::Logic:
+      case OpClass::Shift:
+      case OpClass::Move:
+      case OpClass::Load:
+      case OpClass::Store:
+      case OpClass::Branch:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+writesRegister(OpClass cls)
+{
+    switch (cls) {
+      case OpClass::Arith:
+      case OpClass::Logic:
+      case OpClass::Shift:
+      case OpClass::Move:
+      case OpClass::Mul:
+      case OpClass::Div:
+      case OpClass::Load:
+      case OpClass::Call:           // writes the link register
+      case OpClass::CallIndirect:   // likewise
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isControl(OpClass cls)
+{
+    switch (cls) {
+      case OpClass::Branch:
+      case OpClass::Jump:
+      case OpClass::IndirectJump:
+      case OpClass::Call:
+      case OpClass::CallIndirect:
+      case OpClass::Ret:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace ddsc

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Opcode definitions and static traits for the ddsc mini ISA.
+ *
+ * The ISA is a SPARC-v8-flavoured integer RISC: 32 registers with r0
+ * hardwired to zero, a single integer condition-code register written by
+ * the "cc" opcode variants and read by conditional branches, and format-3
+ * style instructions whose second source is either a register or a signed
+ * immediate.  These are exactly the properties the paper's mechanisms key
+ * on: the zero register feeds 0-op detection, cc generation feeds the
+ * arrr-brc style collapses, and reg+imm addressing feeds address-generation
+ * collapsing into loads and stores.
+ */
+
+#ifndef DDSC_ISA_OPCODES_HH
+#define DDSC_ISA_OPCODES_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace ddsc
+{
+
+/**
+ * Coarse operation classes.  These drive latency, collapsibility, and the
+ * signature letters used by Tables 5 and 6 of the paper (ar, lg, sh, mv,
+ * ld, st, brc).
+ */
+enum class OpClass : std::uint8_t
+{
+    Arith,      ///< add/sub (not mul/div); signature "ar"
+    Logic,      ///< and/or/xor/andn; signature "lg"
+    Shift,      ///< sll/srl/sra; signature "sh"
+    Move,       ///< mov/sethi; signature "mv"
+    Mul,        ///< integer multiply; 2-cycle, not collapsible
+    Div,        ///< integer divide; 12-cycle, not collapsible
+    Load,       ///< ldw/ldb; 2-cycle; address generation collapsible
+    Store,      ///< stw/stb; address generation collapsible
+    Branch,     ///< conditional branch on cc; cc use collapsible
+    Jump,       ///< unconditional direct branch (ba)
+    IndirectJump, ///< register-indirect jump
+    Call,       ///< direct call, writes the link register
+    CallIndirect, ///< register-indirect call (SPARC jmpl style)
+    Ret,        ///< return via the link register
+    Halt,       ///< terminate the traced program
+    Nop,        ///< assembler-accepted, never traced
+};
+
+/** Condition codes for conditional branches (subset of SPARC icc tests). */
+enum class Cond : std::uint8_t
+{
+    EQ, NE,
+    LT, LE, GT, GE,         // signed
+    LTU, LEU, GTU, GEU,     // unsigned
+    NEG, POS,               // sign bit of the last cc result
+};
+
+/** Number of condition codes. */
+constexpr unsigned kNumConds = 12;
+
+/** Architected opcodes. */
+enum class Opcode : std::uint8_t
+{
+    // arithmetic
+    ADD, SUB, ADDCC, SUBCC,
+    // logic
+    AND, OR, XOR, ANDN, ANDCC, ORCC, XORCC,
+    // shift
+    SLL, SRL, SRA,
+    // move
+    MOV, SETHI,
+    // long-latency
+    MUL, DIV,
+    // memory
+    LDW, LDB, STW, STB,
+    // control
+    BCC, BA, JMPI, CALL, CALLI, RET, HALT, NOP,
+};
+
+/** Number of opcodes. */
+constexpr unsigned kNumOpcodes = static_cast<unsigned>(Opcode::NOP) + 1;
+
+/** Static per-opcode properties. */
+struct OpTraits
+{
+    std::string_view mnemonic;
+    OpClass cls;
+    bool setsCC;
+    bool readsCC;
+};
+
+/** Look up the traits of @p op. */
+const OpTraits &opTraits(Opcode op);
+
+/** Execution latency in cycles (paper section 4): 1, loads/mul 2, div 12. */
+unsigned opLatency(Opcode op);
+
+/** The paper's signature letters for an operation class ("ar", "ld", ...). */
+std::string_view opClassSignature(OpClass cls);
+
+/** Mnemonic of a condition code ("eq", "ltu", ...). */
+std::string_view condName(Cond c);
+
+/**
+ * True when the opcode belongs to the collapsible classes of the paper:
+ * shift, arithmetic (not mul/div), logic, move, address generation of
+ * loads and stores, and condition-code use by conditional branches.
+ */
+bool isCollapsibleClass(OpClass cls);
+
+/** True for classes that produce a register result. */
+bool writesRegister(OpClass cls);
+
+/** True for any control-transfer class. */
+bool isControl(OpClass cls);
+
+} // namespace ddsc
+
+#endif // DDSC_ISA_OPCODES_HH

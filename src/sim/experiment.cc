@@ -1,0 +1,150 @@
+#include "experiment.hh"
+
+#include <cstdlib>
+
+#include "support/logging.hh"
+#include "support/stats.hh"
+
+namespace ddsc
+{
+
+std::uint64_t
+envTraceLimit()
+{
+    const char *value = std::getenv("DDSC_TRACE_LIMIT");
+    if (!value)
+        return 0;
+    char *end = nullptr;
+    const unsigned long long parsed = std::strtoull(value, &end, 10);
+    if (end == value) {
+        warn("ignoring malformed DDSC_TRACE_LIMIT='%s'", value);
+        return 0;
+    }
+    return parsed;
+}
+
+ExperimentDriver::ExperimentDriver(std::uint64_t trace_limit,
+                                   bool test_scale)
+    : traceLimit_(trace_limit != 0 ? trace_limit : envTraceLimit()),
+      testScale_(test_scale)
+{
+}
+
+VectorTraceSource &
+ExperimentDriver::trace(const WorkloadSpec &spec)
+{
+    auto it = traces_.find(spec.name);
+    if (it != traces_.end())
+        return it->second;
+    VectorTraceSource full =
+        traceWorkload(spec, testScale_ ? spec.testScale : 0);
+    if (traceLimit_ != 0 && full.size() > traceLimit_) {
+        std::vector<TraceRecord> truncated(
+            full.records().begin(),
+            full.records().begin() +
+                static_cast<std::ptrdiff_t>(traceLimit_));
+        full = VectorTraceSource(std::move(truncated));
+    }
+    return traces_.emplace(spec.name, std::move(full)).first->second;
+}
+
+const SchedStats &
+ExperimentDriver::statsFor(const WorkloadSpec &spec,
+                           const MachineConfig &config,
+                           const std::string &key)
+{
+    const std::string cache_key = spec.name + "/" + key;
+    const auto it = cache_.find(cache_key);
+    if (it != cache_.end())
+        return it->second;
+    VectorTraceSource &src = trace(spec);
+    src.reset();
+    LimitScheduler scheduler(config);
+    return cache_.emplace(cache_key, scheduler.run(src)).first->second;
+}
+
+const SchedStats &
+ExperimentDriver::stats(const WorkloadSpec &spec, char config,
+                        unsigned width)
+{
+    return statsFor(spec, MachineConfig::paper(config, width),
+                    std::string(1, config) + "/" + std::to_string(width));
+}
+
+double
+ExperimentDriver::hmeanIpc(const std::vector<const WorkloadSpec *> &set,
+                           char config, unsigned width)
+{
+    std::vector<double> ipcs;
+    ipcs.reserve(set.size());
+    for (const WorkloadSpec *spec : set)
+        ipcs.push_back(stats(*spec, config, width).ipc());
+    return harmonicMean(ipcs);
+}
+
+double
+ExperimentDriver::hmeanSpeedup(
+    const std::vector<const WorkloadSpec *> &set, char config,
+    unsigned width)
+{
+    std::vector<double> speedups;
+    speedups.reserve(set.size());
+    for (const WorkloadSpec *spec : set) {
+        const double base = stats(*spec, 'A', width).ipc();
+        const double that = stats(*spec, config, width).ipc();
+        ddsc_assert(base > 0.0, "zero base IPC for %s",
+                    spec->name.c_str());
+        speedups.push_back(that / base);
+    }
+    return harmonicMean(speedups);
+}
+
+CollapseStats
+ExperimentDriver::mergedCollapse(
+    const std::vector<const WorkloadSpec *> &set, char config,
+    unsigned width)
+{
+    CollapseStats merged;
+    for (const WorkloadSpec *spec : set)
+        merged.merge(stats(*spec, config, width).collapse);
+    return merged;
+}
+
+double
+ExperimentDriver::pctCollapsed(
+    const std::vector<const WorkloadSpec *> &set, char config,
+    unsigned width)
+{
+    std::uint64_t collapsed = 0;
+    std::uint64_t total = 0;
+    for (const WorkloadSpec *spec : set) {
+        const SchedStats &s = stats(*spec, config, width);
+        collapsed += s.collapse.collapsedInstructions();
+        total += s.instructions;
+    }
+    return percent(static_cast<double>(collapsed),
+                   static_cast<double>(total));
+}
+
+double
+ExperimentDriver::meanLoadClassPct(
+    const std::vector<const WorkloadSpec *> &set, char config,
+    unsigned width, LoadClass cls)
+{
+    std::vector<double> pcts;
+    pcts.reserve(set.size());
+    for (const WorkloadSpec *spec : set)
+        pcts.push_back(stats(*spec, config, width).loadClassPct(cls));
+    return arithmeticMean(pcts);
+}
+
+std::vector<const WorkloadSpec *>
+ExperimentDriver::everything()
+{
+    std::vector<const WorkloadSpec *> set;
+    for (const WorkloadSpec &spec : allWorkloads())
+        set.push_back(&spec);
+    return set;
+}
+
+} // namespace ddsc

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Experiment driver: runs the paper's configuration matrix over the
+ * workload set with trace and result caching, and provides the
+ * aggregations the paper reports (harmonic-mean IPC and speedup over
+ * the base machine, merged collapse statistics, mean load-class
+ * percentages).
+ *
+ * The environment variable DDSC_TRACE_LIMIT truncates every trace to
+ * at most that many instructions — the same rule the paper applied at
+ * 250M ("only the first 250 million instructions of each benchmark
+ * trace were simulated").  Use it to make quick bench runs cheap.
+ */
+
+#ifndef DDSC_SIM_EXPERIMENT_HH
+#define DDSC_SIM_EXPERIMENT_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/config.hh"
+#include "core/scheduler.hh"
+#include "core/sched_stats.hh"
+#include "workloads/workloads.hh"
+
+namespace ddsc
+{
+
+/**
+ * Runs and caches simulations of the A..E matrix.
+ */
+class ExperimentDriver
+{
+  public:
+    /**
+     * @param trace_limit 0 = unlimited (or $DDSC_TRACE_LIMIT).
+     * @param test_scale build workloads at their small test scale
+     *        instead of the default experiment scale (used by the
+     *        test suite to keep the matrix cheap).
+     */
+    explicit ExperimentDriver(std::uint64_t trace_limit = 0,
+                              bool test_scale = false);
+
+    /** Simulate (cached) one workload under one configuration. */
+    const SchedStats &stats(const WorkloadSpec &spec, char config,
+                            unsigned width);
+
+    /** As above with an arbitrary MachineConfig (ablation studies).
+     *  @param key must uniquely identify the configuration. */
+    const SchedStats &statsFor(const WorkloadSpec &spec,
+                               const MachineConfig &config,
+                               const std::string &key);
+
+    /** Harmonic-mean IPC over @p set (paper Figures 2, 4, 6). */
+    double hmeanIpc(const std::vector<const WorkloadSpec *> &set,
+                    char config, unsigned width);
+
+    /** Harmonic mean of per-benchmark speedups versus configuration A
+     *  at the same width (paper Figures 3, 5, 7). */
+    double hmeanSpeedup(const std::vector<const WorkloadSpec *> &set,
+                        char config, unsigned width);
+
+    /** Collapse statistics merged across @p set (Figures 8-10 and
+     *  Tables 5-6 aggregate over all benchmarks). */
+    CollapseStats mergedCollapse(
+        const std::vector<const WorkloadSpec *> &set, char config,
+        unsigned width);
+
+    /** Aggregate percentage of instructions collapsed (Figure 8). */
+    double pctCollapsed(const std::vector<const WorkloadSpec *> &set,
+                        char config, unsigned width);
+
+    /** Arithmetic mean over @p set of a load-class percentage under
+     *  configuration D-style runs (Tables 3 and 4). */
+    double meanLoadClassPct(const std::vector<const WorkloadSpec *> &set,
+                            char config, unsigned width, LoadClass cls);
+
+    /** The trace (cached, truncated) for one workload. */
+    VectorTraceSource &trace(const WorkloadSpec &spec);
+
+    /** Pointers to all six workloads. */
+    static std::vector<const WorkloadSpec *> everything();
+
+    /** The configured trace limit (0 = none). */
+    std::uint64_t traceLimit() const { return traceLimit_; }
+
+  private:
+    std::uint64_t traceLimit_;
+    bool testScale_;
+    std::map<std::string, VectorTraceSource> traces_;
+    std::map<std::string, SchedStats> cache_;
+};
+
+/** Parse $DDSC_TRACE_LIMIT (0 when unset/invalid). */
+std::uint64_t envTraceLimit();
+
+} // namespace ddsc
+
+#endif // DDSC_SIM_EXPERIMENT_HH

@@ -1,0 +1,64 @@
+#include "logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ddsc
+{
+
+namespace
+{
+
+void
+vreport(const char *tag, const char *file, int line,
+        const char *fmt, va_list ap)
+{
+    std::fprintf(stderr, "%s: ", tag);
+    std::vfprintf(stderr, fmt, ap);
+    if (file)
+        std::fprintf(stderr, " @ %s:%d", file, line);
+    std::fprintf(stderr, "\n");
+    std::fflush(stderr);
+}
+
+} // anonymous namespace
+
+void
+panicImpl(const char *file, int line, const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vreport("panic", file, line, fmt, ap);
+    va_end(ap);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vreport("fatal", file, line, fmt, ap);
+    va_end(ap);
+    std::exit(1);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vreport("warn", nullptr, 0, fmt, ap);
+    va_end(ap);
+}
+
+void
+inform(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vreport("info", nullptr, 0, fmt, ap);
+    va_end(ap);
+}
+
+} // namespace ddsc

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Error / status reporting in the gem5 style.
+ *
+ * panic()  -- an internal invariant was violated: a ddsc bug.  Aborts.
+ * fatal()  -- the simulation cannot continue because of a user error
+ *             (bad configuration, malformed input).  Exits with code 1.
+ * warn()   -- something is suspicious but the run can continue.
+ * inform() -- plain status output.
+ */
+
+#ifndef DDSC_SUPPORT_LOGGING_HH
+#define DDSC_SUPPORT_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace ddsc
+{
+
+/** Print a formatted message tagged "panic" and abort(). */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+/** Print a formatted message tagged "fatal" and exit(1). */
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+/** Print a formatted warning to stderr. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print a formatted status message to stderr. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+} // namespace ddsc
+
+#define ddsc_panic(...) ::ddsc::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define ddsc_fatal(...) ::ddsc::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+
+/** Check an internal invariant; panic with a message when it fails. */
+#define ddsc_assert(cond, ...)                                              \
+    do {                                                                    \
+        if (!(cond))                                                        \
+            ::ddsc::panicImpl(__FILE__, __LINE__, "assertion '" #cond       \
+                              "' failed: " __VA_ARGS__);                    \
+    } while (0)
+
+#endif // DDSC_SUPPORT_LOGGING_HH

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Saturating counters used throughout the predictors.
+ */
+
+#ifndef DDSC_SUPPORT_SAT_COUNTER_HH
+#define DDSC_SUPPORT_SAT_COUNTER_HH
+
+#include <cstdint>
+
+#include "logging.hh"
+
+namespace ddsc
+{
+
+/**
+ * An n-bit saturating up/down counter.
+ *
+ * The counter saturates at [0, 2^bits - 1].  Arbitrary step sizes are
+ * supported because the paper's address-prediction confidence counter
+ * increments by 1 on a correct prediction but decrements by 2 on a wrong
+ * one.
+ */
+class SatCounter
+{
+  public:
+    SatCounter() = default;
+
+    /**
+     * @param bits Width of the counter in bits (1..16).
+     * @param initial Initial value; must fit in @p bits.
+     */
+    explicit SatCounter(unsigned bits, unsigned initial = 0)
+        : max_((1u << bits) - 1), value_(initial)
+    {
+        ddsc_assert(bits >= 1 && bits <= 16, "bad counter width %u", bits);
+        ddsc_assert(initial <= max_, "initial %u exceeds max %u",
+                    initial, max_);
+    }
+
+    /** Current counter value. */
+    unsigned value() const { return value_; }
+
+    /** Saturating maximum. */
+    unsigned max() const { return max_; }
+
+    /** Increment by @p step, saturating at max. */
+    void
+    increment(unsigned step = 1)
+    {
+        value_ = (value_ + step > max_) ? max_ : value_ + step;
+    }
+
+    /** Decrement by @p step, saturating at zero. */
+    void
+    decrement(unsigned step = 1)
+    {
+        value_ = (value_ < step) ? 0 : value_ - step;
+    }
+
+    /** True when the counter is in the upper half of its range. */
+    bool taken() const { return value_ > max_ / 2; }
+
+    /** Reset to an explicit value. */
+    void
+    set(unsigned v)
+    {
+        ddsc_assert(v <= max_, "value %u exceeds max %u", v, max_);
+        value_ = v;
+    }
+
+  private:
+    unsigned max_ = 3;
+    unsigned value_ = 0;
+};
+
+} // namespace ddsc
+
+#endif // DDSC_SUPPORT_SAT_COUNTER_HH

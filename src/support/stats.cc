@@ -1,0 +1,112 @@
+#include "stats.hh"
+
+#include "logging.hh"
+
+namespace ddsc
+{
+
+double
+harmonicMean(std::span<const double> values)
+{
+    if (values.empty())
+        return 0.0;
+    double inv_sum = 0.0;
+    for (double v : values) {
+        ddsc_assert(v > 0.0, "harmonic mean requires positive values");
+        inv_sum += 1.0 / v;
+    }
+    return static_cast<double>(values.size()) / inv_sum;
+}
+
+double
+arithmeticMean(std::span<const double> values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+double
+percent(double part, double whole)
+{
+    return whole == 0.0 ? 0.0 : 100.0 * part / whole;
+}
+
+void
+Histogram::add(std::uint64_t key, std::uint64_t count)
+{
+    bins_[key] += count;
+    samples_ += count;
+}
+
+std::uint64_t
+Histogram::count(std::uint64_t key) const
+{
+    auto it = bins_.find(key);
+    return it == bins_.end() ? 0 : it->second;
+}
+
+double
+Histogram::cumulativeAt(std::uint64_t key) const
+{
+    if (samples_ == 0)
+        return 0.0;
+    std::uint64_t below = 0;
+    for (const auto &[k, c] : bins_) {
+        if (k > key)
+            break;
+        below += c;
+    }
+    return static_cast<double>(below) / static_cast<double>(samples_);
+}
+
+double
+Histogram::mean() const
+{
+    if (samples_ == 0)
+        return 0.0;
+    double weighted = 0.0;
+    for (const auto &[k, c] : bins_)
+        weighted += static_cast<double>(k) * static_cast<double>(c);
+    return weighted / static_cast<double>(samples_);
+}
+
+std::uint64_t
+Histogram::maxKey() const
+{
+    return bins_.empty() ? 0 : bins_.rbegin()->first;
+}
+
+std::vector<double>
+Histogram::bucketFractions(std::span<const std::uint64_t> edges) const
+{
+    ddsc_assert(!edges.empty(), "need at least one bucket edge");
+    std::vector<double> fractions(edges.size(), 0.0);
+    if (samples_ == 0)
+        return fractions;
+    for (const auto &[k, c] : bins_) {
+        // Find the bucket whose [edge_i, edge_{i+1}) range contains k.
+        std::size_t bucket = 0;
+        for (std::size_t i = 0; i < edges.size(); ++i) {
+            if (k >= edges[i])
+                bucket = i;
+        }
+        fractions[bucket] += static_cast<double>(c);
+    }
+    for (double &f : fractions)
+        f /= static_cast<double>(samples_);
+    return fractions;
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    for (const auto &[k, c] : other.bins_)
+        bins_[k] += c;
+    samples_ += other.samples_;
+}
+
+} // namespace ddsc

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Statistics helpers: means, percentages, and histograms.
+ *
+ * The paper summarizes per-benchmark IPC with the harmonic mean and
+ * reports many distributions (collapse distance, load classes); these
+ * small utilities keep that arithmetic in one audited place.
+ */
+
+#ifndef DDSC_SUPPORT_STATS_HH
+#define DDSC_SUPPORT_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ddsc
+{
+
+/** Harmonic mean of strictly positive values; 0 for an empty span. */
+double harmonicMean(std::span<const double> values);
+
+/** Arithmetic mean; 0 for an empty span. */
+double arithmeticMean(std::span<const double> values);
+
+/** 100 * part / whole, 0 when whole == 0. */
+double percent(double part, double whole);
+
+/**
+ * A histogram over unsigned integer keys with sparse storage.
+ *
+ * Used for collapse-distance and basic-block-size distributions.
+ */
+class Histogram
+{
+  public:
+    /** Record one observation of @p key. */
+    void add(std::uint64_t key, std::uint64_t count = 1);
+
+    /** Total number of observations. */
+    std::uint64_t samples() const { return samples_; }
+
+    /** Count recorded for @p key (0 when absent). */
+    std::uint64_t count(std::uint64_t key) const;
+
+    /** Fraction (0..1) of samples with key <= @p key. */
+    double cumulativeAt(std::uint64_t key) const;
+
+    /** Mean of the observed keys. */
+    double mean() const;
+
+    /** Largest observed key; 0 when empty. */
+    std::uint64_t maxKey() const;
+
+    /**
+     * Bucketize into [edges[0], edges[1]), ..., [edges[n-1], inf) and
+     * return the per-bucket fraction of all samples.
+     */
+    std::vector<double> bucketFractions(
+        std::span<const std::uint64_t> edges) const;
+
+    /** Underlying sparse key->count map (sorted by key). */
+    const std::map<std::uint64_t, std::uint64_t> &raw() const
+    {
+        return bins_;
+    }
+
+    /** Merge another histogram into this one. */
+    void merge(const Histogram &other);
+
+  private:
+    std::map<std::uint64_t, std::uint64_t> bins_;
+    std::uint64_t samples_ = 0;
+};
+
+} // namespace ddsc
+
+#endif // DDSC_SUPPORT_STATS_HH

@@ -1,0 +1,69 @@
+#include "table.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace ddsc
+{
+
+void
+TextTable::header(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+void
+TextTable::row(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::render() const
+{
+    // Column count is the widest row seen.
+    std::size_t cols = header_.size();
+    for (const auto &r : rows_)
+        cols = std::max(cols, r.size());
+
+    std::vector<std::size_t> widths(cols, 0);
+    auto grow = [&](const std::vector<std::string> &r) {
+        for (std::size_t i = 0; i < r.size(); ++i)
+            widths[i] = std::max(widths[i], r[i].size());
+    };
+    grow(header_);
+    for (const auto &r : rows_)
+        grow(r);
+
+    std::ostringstream out;
+    auto emit = [&](const std::vector<std::string> &r) {
+        for (std::size_t i = 0; i < cols; ++i) {
+            const std::string cell = i < r.size() ? r[i] : "";
+            out << cell << std::string(widths[i] - cell.size(), ' ');
+            if (i + 1 < cols)
+                out << "  ";
+        }
+        out << '\n';
+    };
+    if (!header_.empty()) {
+        emit(header_);
+        std::size_t total = 0;
+        for (std::size_t w : widths)
+            total += w;
+        out << std::string(total + 2 * (cols - 1), '-') << '\n';
+    }
+    for (const auto &r : rows_)
+        emit(r);
+    return out.str();
+}
+
+std::string
+TextTable::num(double value, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", digits, value);
+    return buf;
+}
+
+} // namespace ddsc

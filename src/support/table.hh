@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Plain-text table formatting for the benchmark harness.
+ *
+ * Every bench binary reproduces one table or figure of the paper; this
+ * formatter keeps their output uniform and diffable.
+ */
+
+#ifndef DDSC_SUPPORT_TABLE_HH
+#define DDSC_SUPPORT_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace ddsc
+{
+
+/**
+ * A simple column-aligned text table.
+ */
+class TextTable
+{
+  public:
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row. */
+    void row(std::vector<std::string> cells);
+
+    /** Render with aligned columns and a separator under the header. */
+    std::string render() const;
+
+    /** Format a double with @p digits fraction digits. */
+    static std::string num(double value, int digits = 2);
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace ddsc
+
+#endif // DDSC_SUPPORT_TABLE_HH

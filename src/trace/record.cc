@@ -1,0 +1,101 @@
+#include "record.hh"
+
+namespace ddsc
+{
+
+namespace
+{
+
+/**
+ * Enumerate the leaf source-operand slots of a record: each slot is
+ * either a register (possibly r0) or an immediate.  The condition-code
+ * input of a branch is not a slot here; it is the arc being collapsed.
+ */
+struct OperandSlots
+{
+    unsigned total = 0;
+    unsigned zero = 0;
+
+    void
+    addReg(std::uint8_t reg)
+    {
+        ++total;
+        if (reg == kRegZero)
+            ++zero;
+    }
+
+    void
+    addImm(std::int32_t imm)
+    {
+        ++total;
+        if (imm == 0)
+            ++zero;
+    }
+};
+
+OperandSlots
+slotsOf(const TraceRecord &rec)
+{
+    OperandSlots s;
+    switch (rec.cls()) {
+      case OpClass::Arith:
+      case OpClass::Logic:
+      case OpClass::Shift:
+      case OpClass::Mul:
+      case OpClass::Div:
+        s.addReg(rec.rs1);
+        if (rec.useImm)
+            s.addImm(rec.imm);
+        else
+            s.addReg(rec.rs2);
+        break;
+      case OpClass::Move:
+        if (rec.op == Opcode::SETHI) {
+            s.addImm(rec.imm);
+        } else if (rec.useImm) {
+            s.addImm(rec.imm);
+        } else {
+            s.addReg(rec.rs2);
+        }
+        break;
+      case OpClass::Load:
+      case OpClass::IndirectJump:
+        s.addReg(rec.rs1);
+        if (rec.useImm)
+            s.addImm(rec.imm);
+        else
+            s.addReg(rec.rs2);
+        break;
+      case OpClass::Store:
+        s.addReg(rec.rs1);
+        if (rec.useImm)
+            s.addImm(rec.imm);
+        else
+            s.addReg(rec.rs2);
+        s.addReg(rec.rd);      // store data
+        break;
+      case OpClass::Branch:
+        // The cc input is the dependence arc itself, not a value slot.
+        break;
+      default:
+        break;
+    }
+    return s;
+}
+
+} // anonymous namespace
+
+unsigned
+TraceRecord::nonZeroOperandCount() const
+{
+    const OperandSlots s = slotsOf(*this);
+    return s.total - s.zero;
+}
+
+bool
+TraceRecord::hasZeroOperand() const
+{
+    return slotsOf(*this).zero > 0;
+}
+
+} // namespace ddsc

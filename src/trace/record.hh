@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Dynamic trace records.
+ *
+ * A trace record carries everything the limit simulator needs about one
+ * dynamic instruction: identity (pc, opcode, operand kinds), the true
+ * register/cc dependences, the effective address of memory operations,
+ * and the resolved outcome of control transfers.  This mirrors what the
+ * paper extracted from qpt2-generated SPARC traces.
+ */
+
+#ifndef DDSC_TRACE_RECORD_HH
+#define DDSC_TRACE_RECORD_HH
+
+#include <array>
+#include <cstdint>
+
+#include "isa/instruction.hh"
+#include "isa/opcodes.hh"
+
+namespace ddsc
+{
+
+/**
+ * One dynamic instruction.
+ */
+struct TraceRecord
+{
+    std::uint64_t pc = 0;
+    std::uint64_t ea = 0;       ///< effective address of loads/stores
+    std::uint64_t target = 0;   ///< actual successor pc of control ops
+    /** The value loaded or stored by memory operations; enables the
+     *  value-prediction extension (paper Figure 1.d). */
+    std::uint32_t memValue = 0;
+    std::int32_t imm = 0;
+    Opcode op = Opcode::NOP;
+    Cond cond = Cond::EQ;
+    std::uint8_t rd = 0;
+    std::uint8_t rs1 = 0;
+    std::uint8_t rs2 = 0;
+    bool useImm = false;
+    bool taken = false;         ///< conditional branch outcome
+
+    /** Operation class shorthand. */
+    OpClass cls() const { return opTraits(op).cls; }
+
+    bool isLoad() const { return cls() == OpClass::Load; }
+    bool isStore() const { return cls() == OpClass::Store; }
+    bool isCondBranch() const { return cls() == OpClass::Branch; }
+    bool setsCC() const { return opTraits(op).setsCC; }
+    bool readsCC() const { return opTraits(op).readsCC; }
+
+    /** Number of memory bytes touched by loads/stores (1 or 4). */
+    unsigned
+    memSize() const
+    {
+        return (op == Opcode::LDB || op == Opcode::STB) ? 1 : 4;
+    }
+
+    /**
+     * Destination register, or -1 when none is written.  Writes to r0
+     * are discarded and create no dependence.
+     */
+    int
+    destReg() const
+    {
+        const OpClass c = cls();
+        if (!writesRegister(c))
+            return -1;
+        const std::uint8_t dst =
+            (c == OpClass::Call || c == OpClass::CallIndirect)
+                ? kRegLink : rd;
+        return dst == kRegZero ? -1 : dst;
+    }
+
+    /**
+     * Register sources that feed *address generation*.  Only loads,
+     * stores, and indirect jumps have these.  r0 never appears.
+     */
+    std::array<int, 2>
+    addressSources() const
+    {
+        std::array<int, 2> srcs = {-1, -1};
+        const OpClass c = cls();
+        if (c != OpClass::Load && c != OpClass::Store &&
+            c != OpClass::IndirectJump && c != OpClass::CallIndirect) {
+            return srcs;
+        }
+        int n = 0;
+        if (rs1 != kRegZero)
+            srcs[n++] = rs1;
+        if (!useImm && rs2 != kRegZero)
+            srcs[n++] = rs2;
+        return srcs;
+    }
+
+    /**
+     * Register sources *other than* address generation: ALU operands,
+     * store data, and the link register for returns.  r0 never appears.
+     */
+    std::array<int, 2>
+    dataSources() const
+    {
+        std::array<int, 2> srcs = {-1, -1};
+        int n = 0;
+        switch (cls()) {
+          case OpClass::Arith:
+          case OpClass::Logic:
+          case OpClass::Shift:
+          case OpClass::Mul:
+          case OpClass::Div:
+            if (rs1 != kRegZero)
+                srcs[n++] = rs1;
+            if (!useImm && rs2 != kRegZero)
+                srcs[n++] = rs2;
+            break;
+          case OpClass::Move:
+            if (op == Opcode::MOV && !useImm && rs2 != kRegZero)
+                srcs[n++] = rs2;
+            break;
+          case OpClass::Store:
+            if (rd != kRegZero)
+                srcs[n++] = rd;    // the value being stored
+            break;
+          case OpClass::Ret:
+            srcs[n++] = kRegLink;
+            break;
+          default:
+            break;
+        }
+        return srcs;
+    }
+
+    /**
+     * Count of non-zero source operands (registers plus a non-zero
+     * immediate), the quantity that sizes a dependence expression for
+     * collapsing.  A zero immediate and reads of r0 are "zero operands"
+     * the paper's 0-op detection discards.
+     */
+    unsigned nonZeroOperandCount() const;
+
+    /** True when the instruction has a zero operand that 0-op detection
+     * could discard (r0 source or zero immediate in an operand slot). */
+    bool hasZeroOperand() const;
+};
+
+} // namespace ddsc
+
+#endif // DDSC_TRACE_RECORD_HH

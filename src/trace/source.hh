@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Trace sources: the interface through which the simulator consumes
+ * dynamic instruction streams, with in-memory and file-backed
+ * implementations.
+ */
+
+#ifndef DDSC_TRACE_SOURCE_HH
+#define DDSC_TRACE_SOURCE_HH
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/record.hh"
+
+namespace ddsc
+{
+
+/**
+ * Abstract pull-based stream of trace records.
+ *
+ * Sources are rewindable because one trace is fed to many machine
+ * configurations (A..E at five issue widths).
+ */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /** Fetch the next record; @return false at end of trace. */
+    virtual bool next(TraceRecord &rec) = 0;
+
+    /** Rewind to the beginning of the trace. */
+    virtual void reset() = 0;
+};
+
+/**
+ * A trace held entirely in memory.
+ */
+class VectorTraceSource : public TraceSource
+{
+  public:
+    VectorTraceSource() = default;
+    explicit VectorTraceSource(std::vector<TraceRecord> records)
+        : records_(std::move(records))
+    {}
+
+    bool
+    next(TraceRecord &rec) override
+    {
+        if (pos_ >= records_.size())
+            return false;
+        rec = records_[pos_++];
+        return true;
+    }
+
+    void reset() override { pos_ = 0; }
+
+    /** Append a record (used by the VM and by tests). */
+    void push(const TraceRecord &rec) { records_.push_back(rec); }
+
+    std::size_t size() const { return records_.size(); }
+    const std::vector<TraceRecord> &records() const { return records_; }
+
+  private:
+    std::vector<TraceRecord> records_;
+    std::size_t pos_ = 0;
+};
+
+/**
+ * Sink interface for trace producers (the VM writes through this).
+ */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+    virtual void emit(const TraceRecord &rec) = 0;
+};
+
+/** Sink that appends into a VectorTraceSource. */
+class VectorTraceSink : public TraceSink
+{
+  public:
+    explicit VectorTraceSink(VectorTraceSource &dest) : dest_(dest) {}
+    void emit(const TraceRecord &rec) override { dest_.push(rec); }
+
+  private:
+    VectorTraceSource &dest_;
+};
+
+/**
+ * Binary trace file writer.  The format is a fixed header followed by
+ * packed little-endian records; see trace_file.cc for the layout.
+ */
+class TraceFileWriter : public TraceSink
+{
+  public:
+    /** Open @p path for writing; fatal() on failure. */
+    explicit TraceFileWriter(const std::string &path);
+    ~TraceFileWriter() override;
+
+    TraceFileWriter(const TraceFileWriter &) = delete;
+    TraceFileWriter &operator=(const TraceFileWriter &) = delete;
+
+    void emit(const TraceRecord &rec) override;
+
+    /** Flush and finalize the header; called by the destructor too. */
+    void close();
+
+    std::uint64_t count() const { return count_; }
+
+  private:
+    std::FILE *file_ = nullptr;
+    std::uint64_t count_ = 0;
+};
+
+/**
+ * Streaming reader for files produced by TraceFileWriter.
+ */
+class TraceFileSource : public TraceSource
+{
+  public:
+    /** Open @p path; fatal() on failure or bad magic. */
+    explicit TraceFileSource(const std::string &path);
+    ~TraceFileSource() override;
+
+    TraceFileSource(const TraceFileSource &) = delete;
+    TraceFileSource &operator=(const TraceFileSource &) = delete;
+
+    bool next(TraceRecord &rec) override;
+    void reset() override;
+
+    std::uint64_t count() const { return count_; }
+
+  private:
+    std::FILE *file_ = nullptr;
+    std::uint64_t count_ = 0;
+    std::uint64_t read_ = 0;
+};
+
+/**
+ * A bounding adaptor that truncates an underlying source after N
+ * records, mirroring the paper's "first 250 million instructions"
+ * truncation rule.
+ */
+class BoundedTraceSource : public TraceSource
+{
+  public:
+    BoundedTraceSource(TraceSource &inner, std::uint64_t limit)
+        : inner_(inner), limit_(limit)
+    {}
+
+    bool
+    next(TraceRecord &rec) override
+    {
+        if (served_ >= limit_)
+            return false;
+        if (!inner_.next(rec))
+            return false;
+        ++served_;
+        return true;
+    }
+
+    void
+    reset() override
+    {
+        inner_.reset();
+        served_ = 0;
+    }
+
+  private:
+    TraceSource &inner_;
+    std::uint64_t limit_;
+    std::uint64_t served_ = 0;
+};
+
+} // namespace ddsc
+
+#endif // DDSC_TRACE_SOURCE_HH

@@ -1,0 +1,167 @@
+#include "synthetic.hh"
+
+#include <vector>
+
+#include "support/random.hh"
+
+namespace ddsc
+{
+
+namespace
+{
+
+/** Static description of one loop-body slot. */
+struct Slot
+{
+    Opcode op;
+    Cond cond;
+    std::uint8_t rd, rs1, rs2;
+    bool useImm;
+    std::int32_t imm;
+    bool strided;           // memory slots
+    std::uint64_t base;     // memory base or chain seed
+    std::uint64_t stride;
+    double takenP;          // branch slots
+};
+
+std::uint8_t
+randomReg(Rng &rng)
+{
+    // r1..r13: plenty of reuse so dependences actually form.
+    return static_cast<std::uint8_t>(1 + rng.below(13));
+}
+
+} // anonymous namespace
+
+VectorTraceSource
+generateSynthetic(const SyntheticTraceConfig &config)
+{
+    Rng rng(config.seed);
+
+    // Build a static loop body.
+    std::vector<Slot> body;
+    body.reserve(config.staticInstructions);
+    while (body.size() < config.staticInstructions) {
+        Slot slot = {};
+        const double pick = static_cast<double>(rng.below(1000)) / 1000.0;
+        double acc = 0.0;
+
+        auto in = [&](double fraction) {
+            acc += fraction;
+            return pick < acc;
+        };
+
+        slot.rd = randomReg(rng);
+        slot.rs1 = randomReg(rng);
+        slot.rs2 = randomReg(rng);
+        slot.useImm = rng.chance(config.immFraction);
+        slot.imm = slot.useImm
+            ? (rng.chance(config.zeroImmFraction)
+               ? 0 : static_cast<std::int32_t>(rng.range(1, 255)))
+            : 0;
+
+        if (in(config.branchFraction)) {
+            // Emit a cmp/branch pair (needs two slots).
+            if (body.size() + 2 > config.staticInstructions)
+                continue;
+            Slot cmp = slot;
+            cmp.op = Opcode::SUBCC;
+            cmp.rd = kRegZero;
+            body.push_back(cmp);
+            slot.op = Opcode::BCC;
+            slot.cond = static_cast<Cond>(rng.below(kNumConds));
+            slot.takenP = config.takenBias;
+            body.push_back(slot);
+            continue;
+        }
+        if (in(config.loadFraction)) {
+            slot.op = rng.chance(0.85) ? Opcode::LDW : Opcode::LDB;
+        } else if (in(config.storeFraction)) {
+            slot.op = rng.chance(0.85) ? Opcode::STW : Opcode::STB;
+        } else if (in(config.shiftFraction)) {
+            constexpr Opcode kShifts[] = {Opcode::SLL, Opcode::SRL,
+                                          Opcode::SRA};
+            slot.op = kShifts[rng.below(3)];
+            if (slot.useImm)
+                slot.imm = static_cast<std::int32_t>(rng.below(31) + 1);
+        } else if (in(config.logicFraction)) {
+            constexpr Opcode kLogic[] = {Opcode::AND, Opcode::OR,
+                                         Opcode::XOR, Opcode::ANDN};
+            slot.op = kLogic[rng.below(4)];
+        } else if (in(config.moveFraction)) {
+            slot.op = rng.chance(0.5) ? Opcode::MOV : Opcode::SETHI;
+            slot.useImm = true;
+            slot.imm = static_cast<std::int32_t>(rng.below(4096));
+        } else if (in(config.mulFraction)) {
+            slot.op = Opcode::MUL;
+        } else if (in(config.divFraction)) {
+            slot.op = Opcode::DIV;
+        } else {
+            slot.op = rng.chance(0.5) ? Opcode::ADD : Opcode::SUB;
+        }
+
+        if (slot.op == Opcode::LDW || slot.op == Opcode::LDB ||
+            slot.op == Opcode::STW || slot.op == Opcode::STB) {
+            slot.strided = rng.chance(config.strideFraction);
+            slot.base = 0x40000000 + rng.below(1 << 16) * 4;
+            slot.stride = slot.strided ? (rng.below(4) + 1) * 4 : 0;
+        }
+        body.push_back(slot);
+    }
+
+    // Unroll dynamically.
+    VectorTraceSource trace;
+    std::uint64_t iteration = 0;
+    std::uint64_t emitted = 0;
+    // Per-slot pointer-chain state for non-strided memory slots.
+    std::vector<std::uint64_t> chain(body.size());
+    for (std::size_t i = 0; i < body.size(); ++i)
+        chain[i] = body[i].base;
+
+    while (emitted < config.instructions) {
+        for (std::size_t i = 0;
+             i < body.size() && emitted < config.instructions; ++i) {
+            const Slot &slot = body[i];
+            TraceRecord rec;
+            rec.pc = kTextBase + 4 * i;
+            rec.op = slot.op;
+            rec.cond = slot.cond;
+            rec.rd = slot.rd;
+            rec.rs1 = slot.rs1;
+            rec.rs2 = slot.rs2;
+            rec.useImm = slot.useImm;
+            rec.imm = slot.imm;
+
+            switch (rec.cls()) {
+              case OpClass::Load:
+              case OpClass::Store:
+                if (slot.strided) {
+                    rec.ea = slot.base + iteration * slot.stride;
+                } else {
+                    // Deterministic pseudo-random walk per slot.
+                    const std::uint64_t mixed =
+                        chain[i] * 6364136223846793005ull +
+                        1442695040888963407ull;
+                    chain[i] = slot.base + (mixed >> 40) * 4;
+                    rec.ea = chain[i];
+                }
+                rec.useImm = true;  // memory ops use base+imm form here
+                rec.imm = 0;
+                break;
+              case OpClass::Branch:
+                rec.taken = rng.chance(slot.takenP);
+                rec.target = rec.taken
+                    ? kTextBase : rec.pc + 4;
+                break;
+              default:
+                break;
+            }
+            trace.push(rec);
+            ++emitted;
+        }
+        ++iteration;
+    }
+    return trace;
+}
+
+} // namespace ddsc

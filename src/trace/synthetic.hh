@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Deterministic synthetic trace generation.
+ *
+ * Used by property tests and microbenchmarks: produces a structurally
+ * plausible dynamic trace (a loop of static instructions with stable
+ * pcs, cc-setting compares in front of branches, strided or random load
+ * addresses) without needing an assembled program.  The real
+ * experiments use traces produced by the VM from the workload programs;
+ * this generator exists so the scheduler can be exercised across a wide
+ * parameter space quickly and reproducibly.
+ */
+
+#ifndef DDSC_TRACE_SYNTHETIC_HH
+#define DDSC_TRACE_SYNTHETIC_HH
+
+#include <cstdint>
+
+#include "trace/source.hh"
+
+namespace ddsc
+{
+
+/**
+ * Parameters of the synthetic workload.  Fractions need not sum to 1;
+ * the remainder becomes plain arithmetic.
+ */
+struct SyntheticTraceConfig
+{
+    std::uint64_t instructions = 10000;
+    std::uint64_t seed = 1;
+
+    /** Static loop body length (distinct pcs). */
+    unsigned staticInstructions = 64;
+
+    double loadFraction = 0.20;
+    double storeFraction = 0.10;
+    double branchFraction = 0.12;   ///< cmp+branch slot pairs
+    double shiftFraction = 0.06;
+    double logicFraction = 0.10;
+    double moveFraction = 0.05;
+    double mulFraction = 0.01;
+    double divFraction = 0.005;
+
+    /** Fraction of load/store slots with strided addresses; the rest
+     *  walk a pseudo-random pointer chain. */
+    double strideFraction = 0.7;
+
+    /** Per-branch-slot probability that an iteration takes the branch. */
+    double takenBias = 0.7;
+
+    /** Fraction of ALU slots using an immediate second operand. */
+    double immFraction = 0.5;
+
+    /** Fraction of immediates that are zero (0-op fodder). */
+    double zeroImmFraction = 0.1;
+};
+
+/** Generate a trace; same config => identical trace. */
+VectorTraceSource generateSynthetic(const SyntheticTraceConfig &config);
+
+} // namespace ddsc
+
+#endif // DDSC_TRACE_SYNTHETIC_HH

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Binary trace file I/O.
+ *
+ * Layout: a 24-byte header (magic "DDSCTRC1", version u32, pad u32,
+ * record count u64) followed by packed records.  The count field is
+ * back-patched on close so interrupted writes are detectable.
+ */
+
+#include "source.hh"
+
+#include <cstring>
+
+#include "support/logging.hh"
+
+namespace ddsc
+{
+
+namespace
+{
+
+constexpr char kMagic[8] = {'D', 'D', 'S', 'C', 'T', 'R', 'C', '1'};
+constexpr std::uint32_t kVersion = 2;   // v2 added memValue
+
+struct FileHeader
+{
+    char magic[8];
+    std::uint32_t version;
+    std::uint32_t pad;
+    std::uint64_t count;
+};
+
+/** On-disk record; kept packed and explicitly sized. */
+struct DiskRecord
+{
+    std::uint64_t pc;
+    std::uint64_t ea;
+    std::uint64_t target;
+    std::uint32_t memValue;
+    std::int32_t imm;
+    std::uint8_t op;
+    std::uint8_t cond;
+    std::uint8_t rd;
+    std::uint8_t rs1;
+    std::uint8_t rs2;
+    std::uint8_t flags;     // bit0: useImm, bit1: taken
+    std::uint8_t pad[2];
+};
+
+static_assert(sizeof(DiskRecord) == 40, "disk record layout changed");
+
+DiskRecord
+pack(const TraceRecord &rec)
+{
+    DiskRecord d = {};
+    d.pc = rec.pc;
+    d.ea = rec.ea;
+    d.target = rec.target;
+    d.memValue = rec.memValue;
+    d.imm = rec.imm;
+    d.op = static_cast<std::uint8_t>(rec.op);
+    d.cond = static_cast<std::uint8_t>(rec.cond);
+    d.rd = rec.rd;
+    d.rs1 = rec.rs1;
+    d.rs2 = rec.rs2;
+    d.flags = (rec.useImm ? 1 : 0) | (rec.taken ? 2 : 0);
+    return d;
+}
+
+TraceRecord
+unpack(const DiskRecord &d)
+{
+    TraceRecord rec;
+    rec.pc = d.pc;
+    rec.ea = d.ea;
+    rec.target = d.target;
+    rec.memValue = d.memValue;
+    rec.imm = d.imm;
+    rec.op = static_cast<Opcode>(d.op);
+    rec.cond = static_cast<Cond>(d.cond);
+    rec.rd = d.rd;
+    rec.rs1 = d.rs1;
+    rec.rs2 = d.rs2;
+    rec.useImm = (d.flags & 1) != 0;
+    rec.taken = (d.flags & 2) != 0;
+    return rec;
+}
+
+} // anonymous namespace
+
+TraceFileWriter::TraceFileWriter(const std::string &path)
+{
+    file_ = std::fopen(path.c_str(), "wb");
+    if (!file_)
+        ddsc_fatal("cannot open trace file '%s' for writing", path.c_str());
+    FileHeader hdr = {};
+    std::memcpy(hdr.magic, kMagic, sizeof kMagic);
+    hdr.version = kVersion;
+    hdr.count = 0;
+    if (std::fwrite(&hdr, sizeof hdr, 1, file_) != 1)
+        ddsc_fatal("cannot write trace header to '%s'", path.c_str());
+}
+
+TraceFileWriter::~TraceFileWriter()
+{
+    close();
+}
+
+void
+TraceFileWriter::emit(const TraceRecord &rec)
+{
+    ddsc_assert(file_ != nullptr, "emit() after close()");
+    const DiskRecord d = pack(rec);
+    if (std::fwrite(&d, sizeof d, 1, file_) != 1)
+        ddsc_fatal("short write to trace file");
+    ++count_;
+}
+
+void
+TraceFileWriter::close()
+{
+    if (!file_)
+        return;
+    // Back-patch the record count.
+    if (std::fseek(file_, offsetof(FileHeader, count), SEEK_SET) != 0)
+        ddsc_fatal("cannot seek to trace header");
+    if (std::fwrite(&count_, sizeof count_, 1, file_) != 1)
+        ddsc_fatal("cannot finalize trace header");
+    std::fclose(file_);
+    file_ = nullptr;
+}
+
+TraceFileSource::TraceFileSource(const std::string &path)
+{
+    file_ = std::fopen(path.c_str(), "rb");
+    if (!file_)
+        ddsc_fatal("cannot open trace file '%s'", path.c_str());
+    FileHeader hdr = {};
+    if (std::fread(&hdr, sizeof hdr, 1, file_) != 1)
+        ddsc_fatal("cannot read trace header from '%s'", path.c_str());
+    if (std::memcmp(hdr.magic, kMagic, sizeof kMagic) != 0)
+        ddsc_fatal("'%s' is not a ddsc trace file", path.c_str());
+    if (hdr.version != kVersion)
+        ddsc_fatal("trace file version %u unsupported", hdr.version);
+    count_ = hdr.count;
+}
+
+TraceFileSource::~TraceFileSource()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+bool
+TraceFileSource::next(TraceRecord &rec)
+{
+    if (read_ >= count_)
+        return false;
+    DiskRecord d;
+    if (std::fread(&d, sizeof d, 1, file_) != 1)
+        ddsc_fatal("trace file truncated (read %llu of %llu records)",
+                   static_cast<unsigned long long>(read_),
+                   static_cast<unsigned long long>(count_));
+    rec = unpack(d);
+    ++read_;
+    return true;
+}
+
+void
+TraceFileSource::reset()
+{
+    if (std::fseek(file_, sizeof(FileHeader), SEEK_SET) != 0)
+        ddsc_fatal("cannot rewind trace file");
+    read_ = 0;
+}
+
+} // namespace ddsc

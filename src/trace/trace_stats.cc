@@ -1,0 +1,35 @@
+#include "trace_stats.hh"
+
+#include "support/stats.hh"
+
+namespace ddsc
+{
+
+void
+TraceStats::account(const TraceRecord &rec)
+{
+    ++total_;
+    ++byClass_[static_cast<unsigned>(rec.cls())];
+    ++bbLen_;
+    if (isControl(rec.cls()) || rec.cls() == OpClass::Halt) {
+        bbSizes_.add(bbLen_);
+        bbLen_ = 0;
+    }
+}
+
+void
+TraceStats::accountAll(TraceSource &src)
+{
+    TraceRecord rec;
+    while (src.next(rec))
+        account(rec);
+}
+
+double
+TraceStats::pctOf(OpClass cls) const
+{
+    return percent(static_cast<double>(countOf(cls)),
+                   static_cast<double>(total_));
+}
+
+} // namespace ddsc

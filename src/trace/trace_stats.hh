@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Static/dynamic trace statistics: instruction mix, conditional-branch
+ * percentage (Table 2's first column), and basic-block sizes.
+ */
+
+#ifndef DDSC_TRACE_TRACE_STATS_HH
+#define DDSC_TRACE_TRACE_STATS_HH
+
+#include <array>
+#include <cstdint>
+
+#include "support/stats.hh"
+#include "trace/record.hh"
+#include "trace/source.hh"
+
+namespace ddsc
+{
+
+/**
+ * Accumulated per-trace statistics.
+ */
+class TraceStats
+{
+  public:
+    /** Account one record. */
+    void account(const TraceRecord &rec);
+
+    /** Consume and account an entire source (leaves it at end). */
+    void accountAll(TraceSource &src);
+
+    std::uint64_t instructions() const { return total_; }
+
+    /** Dynamic count of the given class. */
+    std::uint64_t countOf(OpClass cls) const
+    {
+        return byClass_[static_cast<unsigned>(cls)];
+    }
+
+    /** Percentage of dynamic instructions in the given class. */
+    double pctOf(OpClass cls) const;
+
+    /** Percentage of conditional branches (paper Table 2). */
+    double pctCondBranches() const { return pctOf(OpClass::Branch); }
+
+    /** Fraction of loads among all instructions. */
+    double pctLoads() const { return pctOf(OpClass::Load); }
+
+    /** Distribution of dynamic basic-block sizes. */
+    const Histogram &basicBlockSizes() const { return bbSizes_; }
+
+  private:
+    std::uint64_t total_ = 0;
+    std::array<std::uint64_t, 16> byClass_ = {};
+    std::uint64_t bbLen_ = 0;
+    Histogram bbSizes_;
+};
+
+} // namespace ddsc
+
+#endif // DDSC_TRACE_TRACE_STATS_HH

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Sparse byte-addressed memory for the functional emulator.
+ */
+
+#ifndef DDSC_VM_MEMORY_HH
+#define DDSC_VM_MEMORY_HH
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+
+namespace ddsc
+{
+
+/**
+ * Demand-allocated paged memory.  Reads of untouched bytes return zero,
+ * which lets workloads use .space-style zero-initialized regions and a
+ * downward-growing stack without explicit mapping.
+ */
+class SparseMemory
+{
+  public:
+    static constexpr std::size_t kPageBytes = 4096;
+
+    /** Read one byte. */
+    std::uint8_t
+    readByte(std::uint64_t addr) const
+    {
+        const auto it = pages_.find(addr / kPageBytes);
+        if (it == pages_.end())
+            return 0;
+        return it->second[addr % kPageBytes];
+    }
+
+    /** Write one byte. */
+    void
+    writeByte(std::uint64_t addr, std::uint8_t value)
+    {
+        pages_[addr / kPageBytes][addr % kPageBytes] = value;
+    }
+
+    /** Read a little-endian 32-bit word (no alignment requirement). */
+    std::uint32_t
+    readWord(std::uint64_t addr) const
+    {
+        return static_cast<std::uint32_t>(readByte(addr)) |
+            (static_cast<std::uint32_t>(readByte(addr + 1)) << 8) |
+            (static_cast<std::uint32_t>(readByte(addr + 2)) << 16) |
+            (static_cast<std::uint32_t>(readByte(addr + 3)) << 24);
+    }
+
+    /** Write a little-endian 32-bit word. */
+    void
+    writeWord(std::uint64_t addr, std::uint32_t value)
+    {
+        writeByte(addr, static_cast<std::uint8_t>(value));
+        writeByte(addr + 1, static_cast<std::uint8_t>(value >> 8));
+        writeByte(addr + 2, static_cast<std::uint8_t>(value >> 16));
+        writeByte(addr + 3, static_cast<std::uint8_t>(value >> 24));
+    }
+
+    /** Drop all contents. */
+    void clear() { pages_.clear(); }
+
+    /** Number of resident pages (for tests and stats). */
+    std::size_t residentPages() const { return pages_.size(); }
+
+  private:
+    std::unordered_map<std::uint64_t,
+                       std::array<std::uint8_t, kPageBytes>> pages_;
+};
+
+} // namespace ddsc
+
+#endif // DDSC_VM_MEMORY_HH

@@ -1,0 +1,269 @@
+#include "vm.hh"
+
+#include "support/logging.hh"
+
+namespace ddsc
+{
+
+bool
+CondCodes::test(Cond cond) const
+{
+    switch (cond) {
+      case Cond::EQ:  return z;
+      case Cond::NE:  return !z;
+      case Cond::LT:  return n != v;
+      case Cond::GE:  return n == v;
+      case Cond::LE:  return z || (n != v);
+      case Cond::GT:  return !z && (n == v);
+      case Cond::LTU: return c;
+      case Cond::GEU: return !c;
+      case Cond::LEU: return c || z;
+      case Cond::GTU: return !c && !z;
+      case Cond::NEG: return n;
+      case Cond::POS: return !n;
+    }
+    return false;
+}
+
+Vm::Vm(const Program &program)
+    : program_(program)
+{
+    reset();
+}
+
+void
+Vm::reset()
+{
+    mem_.clear();
+    for (auto &r : regs_)
+        r = 0;
+    cc_ = CondCodes{};
+    pc_ = program_.entry;
+    regs_[kRegSp] = static_cast<std::uint32_t>(kStackTop);
+    for (std::size_t i = 0; i < program_.data.size(); ++i)
+        mem_.writeByte(kDataBase + i, program_.data[i]);
+}
+
+std::uint32_t
+Vm::reg(unsigned index) const
+{
+    ddsc_assert(index < kNumRegs, "register %u out of range", index);
+    return index == kRegZero ? 0 : regs_[index];
+}
+
+void
+Vm::setReg(unsigned index, std::uint32_t value)
+{
+    ddsc_assert(index < kNumRegs, "register %u out of range", index);
+    if (index != kRegZero)
+        regs_[index] = value;
+}
+
+Vm::RunResult
+Vm::run(TraceSink *sink, std::uint64_t max_instructions)
+{
+    RunResult result;
+    while (result.instructions < max_instructions) {
+        bool traced = false;
+        const bool keep_going = step(sink, traced);
+        if (traced)
+            ++result.instructions;
+        if (!keep_going) {
+            result.halted = true;
+            break;
+        }
+    }
+    return result;
+}
+
+bool
+Vm::step(TraceSink *sink, bool &traced)
+{
+    if (!program_.contains(pc_))
+        ddsc_fatal("pc 0x%llx escaped the text segment",
+                   static_cast<unsigned long long>(pc_));
+    const Instruction &inst = program_.text[Program::indexOf(pc_)];
+    const OpClass cls = opTraits(inst.op).cls;
+
+    // Nops execute but are never traced, matching the paper's
+    // methodology ("Nop operations were ignored").  The artificial halt
+    // marker is likewise excluded from the trace.
+    traced = cls != OpClass::Nop && cls != OpClass::Halt;
+
+    TraceRecord rec;
+    rec.pc = pc_;
+    rec.op = inst.op;
+    rec.cond = inst.cond;
+    rec.rd = inst.rd;
+    rec.rs1 = inst.rs1;
+    rec.rs2 = inst.rs2;
+    rec.useImm = inst.useImm;
+    rec.imm = inst.imm;
+
+    const std::uint32_t a = reg(inst.rs1);
+    const std::uint32_t b = inst.useImm
+        ? static_cast<std::uint32_t>(inst.imm) : reg(inst.rs2);
+    std::uint64_t next_pc = pc_ + 4;
+    bool keep_going = true;
+
+    switch (inst.op) {
+      case Opcode::ADD:
+        setReg(inst.rd, a + b);
+        break;
+      case Opcode::SUB:
+        setReg(inst.rd, a - b);
+        break;
+      case Opcode::ADDCC: {
+        const std::uint64_t wide = std::uint64_t{a} + b;
+        const auto res = static_cast<std::uint32_t>(wide);
+        cc_.n = (res >> 31) != 0;
+        cc_.z = res == 0;
+        cc_.c = (wide >> 32) != 0;
+        cc_.v = (~(a ^ b) & (a ^ res) & 0x80000000u) != 0;
+        setReg(inst.rd, res);
+        break;
+      }
+      case Opcode::SUBCC: {
+        const std::uint32_t res = a - b;
+        cc_.n = (res >> 31) != 0;
+        cc_.z = res == 0;
+        cc_.c = a < b;  // unsigned borrow
+        cc_.v = ((a ^ b) & (a ^ res) & 0x80000000u) != 0;
+        setReg(inst.rd, res);
+        break;
+      }
+      case Opcode::AND:
+        setReg(inst.rd, a & b);
+        break;
+      case Opcode::OR:
+        setReg(inst.rd, a | b);
+        break;
+      case Opcode::XOR:
+        setReg(inst.rd, a ^ b);
+        break;
+      case Opcode::ANDN:
+        setReg(inst.rd, a & ~b);
+        break;
+      case Opcode::ANDCC:
+      case Opcode::ORCC:
+      case Opcode::XORCC: {
+        const std::uint32_t res = inst.op == Opcode::ANDCC ? (a & b)
+            : inst.op == Opcode::ORCC ? (a | b) : (a ^ b);
+        cc_.n = (res >> 31) != 0;
+        cc_.z = res == 0;
+        cc_.c = false;
+        cc_.v = false;
+        setReg(inst.rd, res);
+        break;
+      }
+      case Opcode::SLL:
+        setReg(inst.rd, a << (b & 31));
+        break;
+      case Opcode::SRL:
+        setReg(inst.rd, a >> (b & 31));
+        break;
+      case Opcode::SRA:
+        setReg(inst.rd, static_cast<std::uint32_t>(
+                   static_cast<std::int32_t>(a) >> (b & 31)));
+        break;
+      case Opcode::MOV:
+        setReg(inst.rd, b);
+        break;
+      case Opcode::SETHI:
+        setReg(inst.rd, static_cast<std::uint32_t>(inst.imm) << 12);
+        break;
+      case Opcode::MUL:
+        setReg(inst.rd, a * b);
+        break;
+      case Opcode::DIV:
+        if (b == 0)
+            ddsc_fatal("division by zero at pc 0x%llx",
+                       static_cast<unsigned long long>(pc_));
+        setReg(inst.rd, a / b);
+        break;
+      case Opcode::LDW: {
+        const std::uint64_t ea = (a + b) & 0xffffffffu;
+        rec.ea = ea;
+        rec.memValue = mem_.readWord(ea);
+        setReg(inst.rd, rec.memValue);
+        break;
+      }
+      case Opcode::LDB: {
+        const std::uint64_t ea = (a + b) & 0xffffffffu;
+        rec.ea = ea;
+        rec.memValue = mem_.readByte(ea);
+        setReg(inst.rd, rec.memValue);
+        break;
+      }
+      case Opcode::STW: {
+        const std::uint64_t ea = (a + b) & 0xffffffffu;
+        rec.ea = ea;
+        rec.memValue = reg(inst.rd);
+        mem_.writeWord(ea, rec.memValue);
+        break;
+      }
+      case Opcode::STB: {
+        const std::uint64_t ea = (a + b) & 0xffffffffu;
+        rec.ea = ea;
+        rec.memValue = static_cast<std::uint8_t>(reg(inst.rd));
+        mem_.writeByte(ea, static_cast<std::uint8_t>(rec.memValue));
+        break;
+      }
+      case Opcode::BCC:
+        rec.taken = cc_.test(inst.cond);
+        if (rec.taken)
+            next_pc = inst.target;
+        break;
+      case Opcode::BA:
+        rec.taken = true;
+        next_pc = inst.target;
+        break;
+      case Opcode::JMPI:
+        rec.taken = true;
+        rec.ea = (a + b) & 0xffffffffu;
+        next_pc = (a + b) & 0xffffffffu;
+        break;
+      case Opcode::CALL:
+        rec.taken = true;
+        setReg(kRegLink, static_cast<std::uint32_t>(pc_ + 4));
+        next_pc = inst.target;
+        break;
+      case Opcode::CALLI:
+        rec.taken = true;
+        rec.ea = (a + b) & 0xffffffffu;
+        setReg(kRegLink, static_cast<std::uint32_t>(pc_ + 4));
+        next_pc = (a + b) & 0xffffffffu;
+        break;
+      case Opcode::RET:
+        rec.taken = true;
+        next_pc = reg(kRegLink);
+        break;
+      case Opcode::HALT:
+        keep_going = false;
+        break;
+      case Opcode::NOP:
+        break;
+    }
+
+    rec.target = next_pc;
+    pc_ = next_pc;
+
+    if (traced && sink)
+        sink->emit(rec);
+    return keep_going;
+}
+
+VectorTraceSource
+traceProgram(const Program &program, std::uint64_t max_instructions)
+{
+    VectorTraceSource trace;
+    VectorTraceSink sink(trace);
+    Vm vm(program);
+    const Vm::RunResult result = vm.run(&sink, max_instructions);
+    if (!result.halted)
+        ddsc_fatal("program did not halt within %llu instructions",
+                   static_cast<unsigned long long>(max_instructions));
+    return trace;
+}
+
+} // namespace ddsc

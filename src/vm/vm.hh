@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Functional emulator for the ddsc mini ISA.
+ *
+ * Executes an assembled Program and optionally emits the dynamic
+ * instruction trace that the limit simulator consumes.  This plays the
+ * role qpt2 played for the paper: user-level tracing with nops excluded.
+ */
+
+#ifndef DDSC_VM_VM_HH
+#define DDSC_VM_VM_HH
+
+#include <cstdint>
+#include <limits>
+
+#include "isa/instruction.hh"
+#include "trace/source.hh"
+#include "vm/memory.hh"
+
+namespace ddsc
+{
+
+/**
+ * Integer condition codes (SPARC icc-style N/Z/V/C).
+ */
+struct CondCodes
+{
+    bool n = false;     ///< negative
+    bool z = false;     ///< zero
+    bool v = false;     ///< signed overflow
+    bool c = false;     ///< carry / unsigned borrow
+
+    /** Evaluate a branch condition against these flags. */
+    bool test(Cond cond) const;
+};
+
+/**
+ * The emulator.
+ */
+class Vm
+{
+  public:
+    struct RunResult
+    {
+        std::uint64_t instructions = 0; ///< traced (non-nop) instructions
+        bool halted = false;            ///< reached a halt instruction
+    };
+
+    /** Bind to a program; registers and memory are reset. */
+    explicit Vm(const Program &program);
+
+    /**
+     * Run until halt or until @p max_instructions have been traced.
+     * @param sink receives one record per traced instruction (may be
+     *        null for functional-only runs).
+     */
+    RunResult run(TraceSink *sink = nullptr,
+                  std::uint64_t max_instructions =
+                      std::numeric_limits<std::uint64_t>::max());
+
+    /** Reset registers, flags, memory, and pc to the initial state. */
+    void reset();
+
+    /** Architected register value (r0 reads as zero). */
+    std::uint32_t reg(unsigned index) const;
+
+    /** Set a register (for test setup); writes to r0 are ignored. */
+    void setReg(unsigned index, std::uint32_t value);
+
+    /** Current pc. */
+    std::uint64_t pc() const { return pc_; }
+
+    /** Condition codes (for tests). */
+    const CondCodes &cc() const { return cc_; }
+
+    /** Memory inspection. */
+    std::uint32_t loadWord(std::uint64_t addr) const
+    {
+        return mem_.readWord(addr);
+    }
+    std::uint8_t loadByte(std::uint64_t addr) const
+    {
+        return mem_.readByte(addr);
+    }
+
+    /** Memory poke (for test setup). */
+    void storeWord(std::uint64_t addr, std::uint32_t value)
+    {
+        mem_.writeWord(addr, value);
+    }
+
+  private:
+    /** Execute one instruction; returns false on halt. */
+    bool step(TraceSink *sink, bool &traced);
+
+    const Program &program_;
+    SparseMemory mem_;
+    std::uint32_t regs_[kNumRegs] = {};
+    CondCodes cc_;
+    std::uint64_t pc_ = 0;
+};
+
+/**
+ * Convenience: assemble-free helper that runs @p program to completion
+ * and returns the trace in memory.  fatal()s if the program does not
+ * halt within @p max_instructions.
+ */
+VectorTraceSource traceProgram(const Program &program,
+                               std::uint64_t max_instructions = 500'000'000);
+
+} // namespace ddsc
+
+#endif // DDSC_VM_VM_HH

@@ -1,0 +1,58 @@
+#include "vpred.hh"
+
+#include "support/logging.hh"
+
+namespace ddsc
+{
+
+LoadValuePredictor::LoadValuePredictor(unsigned index_bits,
+                                       unsigned confidence_threshold)
+    : indexBits_(index_bits),
+      threshold_(confidence_threshold),
+      table_(std::size_t{1} << index_bits)
+{
+    ddsc_assert(index_bits >= 1 && index_bits <= 24,
+                "unreasonable table size 2^%u", index_bits);
+}
+
+std::size_t
+LoadValuePredictor::indexOf(std::uint64_t pc) const
+{
+    return (pc >> 2) & ((std::size_t{1} << indexBits_) - 1);
+}
+
+ValuePrediction
+LoadValuePredictor::predict(std::uint64_t pc) const
+{
+    const Entry &e = table_[indexOf(pc)];
+    ValuePrediction p;
+    p.usable = e.valid && e.confidence.value() > threshold_;
+    p.value = e.lastValue;
+    return p;
+}
+
+void
+LoadValuePredictor::update(std::uint64_t pc, std::uint32_t actual)
+{
+    Entry &e = table_[indexOf(pc)];
+    if (!e.valid) {
+        e.valid = true;
+        e.lastValue = actual;
+        e.confidence.set(0);
+        return;
+    }
+    if (e.lastValue == actual)
+        e.confidence.increment(1);
+    else
+        e.confidence.decrement(2);
+    e.lastValue = actual;
+}
+
+void
+LoadValuePredictor::reset()
+{
+    for (auto &e : table_)
+        e = Entry{};
+}
+
+} // namespace ddsc

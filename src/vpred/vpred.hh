@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Load-value prediction (the paper's Figure 1.d d-speculation flavour,
+ * after Lipasti et al.'s value-locality observation, reference [9] of
+ * the paper).
+ *
+ * Unlike address prediction, a correct value prediction removes the
+ * memory access from the consumer's critical path entirely: dependents
+ * can proceed the moment the predicted value is supplied, without
+ * waiting even for the cache.  The paper describes the mechanism but
+ * evaluates only address prediction; this module enables the
+ * evaluation as an extension.
+ */
+
+#ifndef DDSC_VPRED_VPRED_HH
+#define DDSC_VPRED_VPRED_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "support/sat_counter.hh"
+
+namespace ddsc
+{
+
+/** Result of a value-prediction lookup. */
+struct ValuePrediction
+{
+    bool usable = false;        ///< confidence above the threshold
+    std::uint32_t value = 0;    ///< predicted loaded value
+};
+
+/**
+ * Last-value load-value predictor with 2-bit confidence, structured
+ * like the paper's address table: direct-mapped on the load pc,
+ * confidence +1 on a correct check and -2 on a wrong one, predictions
+ * used only above the threshold.
+ */
+class LoadValuePredictor
+{
+  public:
+    /**
+     * @param index_bits log2 of the entry count (default 12 = 4096).
+     * @param confidence_threshold predict only when counter > this.
+     */
+    explicit LoadValuePredictor(unsigned index_bits = 12,
+                                unsigned confidence_threshold = 1);
+
+    /** Look up a prediction for the load at @p pc. */
+    ValuePrediction predict(std::uint64_t pc) const;
+
+    /** Train with the actually loaded value (every dynamic load). */
+    void update(std::uint64_t pc, std::uint32_t actual);
+
+    /** Clear all state. */
+    void reset();
+
+    /** Entry count (for reporting). */
+    std::size_t entries() const { return table_.size(); }
+
+  private:
+    struct Entry
+    {
+        std::uint32_t lastValue = 0;
+        SatCounter confidence{2, 0};
+        bool valid = false;
+    };
+
+    std::size_t indexOf(std::uint64_t pc) const;
+
+    unsigned indexBits_;
+    unsigned threshold_;
+    std::vector<Entry> table_;
+};
+
+} // namespace ddsc
+
+#endif // DDSC_VPRED_VPRED_HH

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * The 026.compress analogue: LZW-style dictionary compression.
+ *
+ * An LCG fills an input buffer with a 16-symbol alphabet; the main
+ * loop then hashes (code << 8 | symbol) into a 4096-entry direct-mapped
+ * dictionary, extending matches on hits and emitting codes on misses.
+ * The hashed dictionary probes give the irregular-but-repeating load
+ * address behaviour characteristic of compress, while the input scan
+ * is strided.  Scale = input length in bytes.
+ */
+
+#include "workloads.hh"
+
+namespace ddsc
+{
+
+namespace
+{
+
+const char kSource[] = R"(
+; compress: LZW-style compression.
+; r1=i  r2=N  r3=input  r4=table  r5=code  r6=symbol  r7=key  r8=entry
+; r9=tmp  r10=nextcode  r11=lcg-x  r12/r13=lcg-consts  r14=hash-const
+; r25=checksum
+main:
+    li   r2, {SCALE}
+    la   r3, input
+    la   r4, table
+
+    ; generate the input: x = x*1664525 + 1013904223; sym = (x>>24)&15
+    li   r11, 12345
+    li   r12, 1664525
+    li   r13, 1013904223
+    mov  r1, 0
+gen:
+    mul  r11, r11, r12
+    add  r11, r11, r13
+    srl  r6, r11, 24
+    and  r6, r6, 15
+    add  r9, r3, r1
+    stb  r6, [r9]
+    add  r1, r1, 1
+    cmp  r1, r2
+    blt  gen
+
+    ; clear dictionary keys to -1 (4096 entries of 8 bytes)
+    mov  r1, 0
+    mov  r8, -1
+    li   r20, 4096
+init:
+    sll  r9, r1, 3
+    add  r9, r4, r9
+    stw  r8, [r9]
+    add  r1, r1, 1
+    cmp  r1, r20
+    blt  init
+
+    ; main compression loop
+    mov  r25, 0
+    li   r10, 256              ; next free code
+    li   r14, 0x9e3779b1       ; hash multiplier
+    ldb  r5, [r3]              ; code = input[0]
+    mov  r1, 1
+loop:
+    add  r9, r3, r1
+    ldb  r6, [r9]              ; symbol
+    sll  r7, r5, 8
+    or   r7, r7, r6            ; key = code<<8 | symbol
+    mul  r8, r7, r14
+    srl  r8, r8, 20
+    and  r8, r8, 0xfff
+    sll  r8, r8, 3
+    add  r8, r4, r8            ; entry address
+    ldw  r9, [r8]
+    cmp  r9, r7
+    bne  miss
+    ldw  r5, [r8 + 4]          ; hit: extend the match
+    ba   next
+miss:
+    add  r25, r25, r5          ; emit current code
+    stw  r7, [r8]
+    stw  r10, [r8 + 4]
+    add  r10, r10, 1
+    and  r10, r10, 0xfff       ; wrap the code space
+    mov  r5, r6
+next:
+    add  r1, r1, 1
+    cmp  r1, r2
+    blt  loop
+
+    add  r25, r25, r5          ; emit the final code
+    halt
+
+.data
+input: .space 70000
+.align 8
+table: .space 32768
+)";
+
+} // anonymous namespace
+
+const WorkloadSpec &
+compressWorkload()
+{
+    static const WorkloadSpec spec = {
+        "compress",
+        "026.compress",
+        "LZW-style dictionary compression of an LCG input stream",
+        false,          // not pointer chasing
+        60000,          // default scale: input bytes
+        600,            // test scale
+        kSource,
+    };
+    return spec;
+}
+
+} // namespace ddsc

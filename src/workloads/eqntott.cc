@@ -1,0 +1,171 @@
+/**
+ * @file
+ * The 023.eqntott analogue: quicksort of integer keys.
+ *
+ * eqntott spends its time in qsort comparing PLA terms through a
+ * comparison callback.  The analogue quicksorts an LCG-filled array of
+ * 16-bit keys with an explicit worklist stack and a compare subroutine
+ * invoked per element, giving the comparison-dominated, call-heavy,
+ * well-predicted profile of the original.  Scale = key count.
+ */
+
+#include "workloads.hh"
+
+namespace ddsc
+{
+
+namespace
+{
+
+const char kSource[] = R"(
+; eqntott: quicksort with a compare subroutine.
+; r1=lo r2=hi r3=keys r4=sp(worklist) r5=i r6=j r7=pivot
+; r8/r9/r14/r19=tmp r10=N r11-r13=lcg r16/r17=compare args
+; r18=compare result r21=worklist base r25=checksum
+main:
+    li   r10, {SCALE}
+    la   r3, keys
+
+    ; fill with 16-bit keys (duplicates likely, like PLA terms)
+    li   r11, 555
+    li   r12, 1664525
+    li   r13, 1013904223
+    mov  r1, 0
+fill:
+    mul  r11, r11, r12
+    add  r11, r11, r13
+    srl  r9, r11, 16
+    sll  r8, r1, 2
+    add  r8, r3, r8
+    stw  r9, [r8]
+    add  r1, r1, 1
+    cmp  r1, r10
+    blt  fill
+
+    ; eqntott calls its comparator through qsort's function pointer;
+    ; model that with an indirect call through a data word.
+    la   r22, cmpfn
+    ldw  r23, [r22]
+
+    ; worklist holds (lo, hi) ranges
+    la   r21, qstack
+    mov  r4, r21
+    mov  r1, 0
+    sub  r2, r10, 1
+    stw  r1, [r4]
+    stw  r2, [r4 + 4]
+    add  r4, r4, 8
+
+qloop:
+    cmp  r4, r21
+    bleu qdone                 ; worklist empty
+    sub  r4, r4, 8
+    ldw  r1, [r4]              ; lo
+    ldw  r2, [r4 + 4]          ; hi
+    cmp  r1, r2
+    bge  qloop
+
+    ; Lomuto partition with pivot = keys[hi]
+    sll  r9, r2, 2
+    add  r9, r3, r9
+    ldw  r7, [r9]
+    sub  r5, r1, 1             ; i = lo - 1
+    mov  r6, r1                ; j = lo
+part:
+    sll  r9, r6, 2
+    add  r9, r3, r9
+    ldw  r16, [r9]
+    mov  r17, r7
+    calli [r23]                ; r18 = compare(keys[j], pivot)
+    cmp  r18, 0
+    beq  noswap
+    add  r5, r5, 1
+    sll  r8, r5, 2
+    add  r8, r3, r8
+    ldw  r9, [r8]
+    sll  r14, r6, 2
+    add  r14, r3, r14
+    ldw  r19, [r14]
+    stw  r19, [r8]
+    stw  r9, [r14]
+noswap:
+    add  r6, r6, 1
+    cmp  r6, r2
+    blt  part
+
+    ; place the pivot at i+1
+    add  r5, r5, 1
+    sll  r8, r5, 2
+    add  r8, r3, r8
+    ldw  r9, [r8]
+    sll  r14, r2, 2
+    add  r14, r3, r14
+    ldw  r19, [r14]
+    stw  r19, [r8]
+    stw  r9, [r14]
+
+    ; push (lo, p-1) and (p+1, hi)
+    sub  r9, r5, 1
+    stw  r1, [r4]
+    stw  r9, [r4 + 4]
+    add  r4, r4, 8
+    add  r9, r5, 1
+    stw  r9, [r4]
+    stw  r2, [r4 + 4]
+    add  r4, r4, 8
+    ba   qloop
+
+compare:
+    mov  r18, 0
+    cmp  r16, r17
+    bgt  cmp_done
+    mov  r18, 1
+cmp_done:
+    ret
+
+qdone:
+    ; checksum: fold the sorted array and count ordered neighbours
+    mov  r25, 0
+    mov  r1, 0
+    mov  r5, 0
+check:
+    sll  r9, r1, 2
+    add  r9, r3, r9
+    ldw  r6, [r9]
+    xor  r9, r6, r1
+    add  r25, r25, r9
+    cmp  r5, r6
+    bgt  out_of_order
+    add  r25, r25, 1
+out_of_order:
+    mov  r5, r6
+    add  r1, r1, 1
+    cmp  r1, r10
+    blt  check
+    halt
+
+.data
+.align 8
+cmpfn:  .word compare
+keys:   .space 32768
+qstack: .space 65536
+)";
+
+} // anonymous namespace
+
+const WorkloadSpec &
+eqntottWorkload()
+{
+    static const WorkloadSpec spec = {
+        "eqntott",
+        "023.eqntott",
+        "quicksort of 16-bit keys through a compare subroutine",
+        false,
+        2600,           // default scale: keys (fits the 32 kB array)
+        64,             // test scale
+        kSource,
+    };
+    return spec;
+}
+
+} // namespace ddsc

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * The 008.espresso analogue: bitset cover operations.
+ *
+ * Two cube arrays of 64 words each are combined repeatedly with the
+ * and/or/andn/shift mix a two-level logic minimizer spends its time
+ * in, plus a containment test per word pair.  Accesses are strided and
+ * branches well predicted, matching espresso's profile in Table 2.
+ * Scale = number of rounds over the arrays.
+ */
+
+#include "workloads.hh"
+
+namespace ddsc
+{
+
+namespace
+{
+
+const char kSource[] = R"(
+; espresso: bitset cover operations.
+; r1=i  r2=rounds  r3=A  r4=B  r5=a  r6=b  r7/r8=tmp  r9=addr
+; r10=round  r11=lcg-x  r12/r13=lcg-consts  r25=checksum
+main:
+    li   r2, {SCALE}
+    la   r3, cubes_a
+    la   r4, cubes_b
+
+    ; fill both arrays from the LCG
+    li   r11, 98765
+    li   r12, 1664525
+    li   r13, 1013904223
+    mov  r1, 0
+fill:
+    mul  r11, r11, r12
+    add  r11, r11, r13
+    sll  r9, r1, 2
+    add  r9, r3, r9
+    stw  r11, [r9]
+    mul  r11, r11, r12
+    add  r11, r11, r13
+    sll  r9, r1, 2
+    add  r9, r4, r9
+    stw  r11, [r9]
+    add  r1, r1, 1
+    cmp  r1, 64
+    blt  fill
+
+    mov  r25, 0
+    mov  r10, 0
+round:
+    mov  r1, 0
+word:
+    sll  r9, r1, 2
+    add  r9, r3, r9
+    ldw  r5, [r9]              ; a = A[i]
+    sll  r9, r1, 2
+    add  r9, r4, r9
+    ldw  r6, [r9]              ; b = B[i]
+
+    andn r7, r5, r6            ; cover:  a & ~b
+    srl  r8, r6, 1
+    or   r8, r5, r8            ; merge:  a | (b >> 1)
+    xor  r7, r7, r8
+    sll  r9, r1, 2
+    add  r9, r3, r9
+    stw  r7, [r9]              ; A[i] = cover ^ merge
+
+    ; containment test: (a & b) == b means b is covered by a
+    and  r8, r5, r6
+    cmp  r8, r6
+    bne  notcov
+    add  r25, r25, 1
+notcov:
+    srl  r8, r7, 16
+    add  r25, r25, r8          ; fold the new word into the checksum
+
+    add  r1, r1, 1
+    cmp  r1, 64
+    blt  word
+
+    ; rotate B by one word each round so patterns shift
+    ldw  r5, [r4]
+    mov  r1, 0
+rot:
+    add  r9, r1, 1
+    and  r9, r9, 63
+    sll  r9, r9, 2
+    add  r9, r4, r9
+    ldw  r6, [r9]
+    sll  r9, r1, 2
+    add  r9, r4, r9
+    stw  r6, [r9]
+    add  r1, r1, 1
+    cmp  r1, 63
+    blt  rot
+    sll  r9, r1, 2
+    add  r9, r4, r9
+    stw  r5, [r9]
+
+    add  r10, r10, 1
+    cmp  r10, r2
+    blt  round
+    halt
+
+.data
+.align 8
+cubes_a: .space 256
+cubes_b: .space 256
+)";
+
+} // anonymous namespace
+
+const WorkloadSpec &
+espressoWorkload()
+{
+    static const WorkloadSpec spec = {
+        "espresso",
+        "008.espresso",
+        "bitset cover/containment operations over cube arrays",
+        false,
+        900,            // default scale: rounds
+        12,             // test scale
+        kSource,
+    };
+    return spec;
+}
+
+} // namespace ddsc

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * The 099.go analogue: flood-fill liberty counting on a go board.
+ *
+ * Game-tree evaluators spend their time in branchy board-scanning code
+ * whose outcomes depend on data, not on loop structure, which is why
+ * go has the worst branch-prediction rate in the paper's Table 2
+ * (83.7%).  The analogue scans a bordered 21x21 board, flood-fills the
+ * group under every stone with an explicit worklist, and counts its
+ * liberties with generation-stamped visited marks.  Between passes a
+ * random cell mutates, so the work changes continuously.
+ * Scale = board passes.
+ */
+
+#include "workloads.hh"
+
+namespace ddsc
+{
+
+namespace
+{
+
+const char kSource[] = R"(
+; go: liberty counting via flood fill.
+; Board: 21x21 bytes, value 0=empty 1=black 2=white 3=border.
+; Visited: 21x21 words holding the generation that last saw the point.
+; r1=idx r2=passes r3=board r4=visited r6=sp r7=gen r8=point r9=color
+; r10=libs r11-r13=lcg r14/r19=tmp r16=pass r18=neighbor (subroutine arg)
+; r21=worklist base r25=checksum
+main:
+    li   r2, {SCALE}
+    la   r3, board
+    la   r4, visited
+    la   r21, worklist
+
+    ; paint the border (rows 0 and 20, columns 0 and 20)
+    mov  r1, 0
+    mov  r9, 3
+border_top:
+    add  r14, r3, r1
+    stb  r9, [r14]
+    add  r14, r14, 420
+    stb  r9, [r14]             ; bottom row (idx + 20*21)
+    add  r1, r1, 1
+    cmp  r1, 21
+    blt  border_top
+    mov  r1, 0
+border_side:
+    mul  r14, r1, 21           ; hmm: keep mul for row stride
+    add  r14, r3, r14
+    stb  r9, [r14]
+    add  r14, r14, 20
+    stb  r9, [r14]
+    add  r1, r1, 1
+    cmp  r1, 21
+    blt  border_side
+
+    ; fill the interior from the LCG: 0..2 with empty bias
+    li   r11, 777
+    li   r12, 1664525
+    li   r13, 1013904223
+    mov  r1, 22                ; first interior point
+fill:
+    ; skip border cells
+    add  r14, r3, r1
+    ldb  r9, [r14]
+    cmp  r9, 3
+    beq  fill_next
+    mul  r11, r11, r12
+    add  r11, r11, r13
+    srl  r9, r11, 28
+    and  r9, r9, 3
+    cmp  r9, 3
+    bne  fill_store
+    mov  r9, 0
+fill_store:
+    stb  r9, [r14]
+fill_next:
+    add  r1, r1, 1
+    cmp  r1, 419               ; last interior point is 418
+    blt  fill
+
+    mov  r25, 0
+    mov  r7, 0                 ; generation
+    mov  r16, 0                ; pass counter
+pass:
+    mov  r1, 22
+scan:
+    add  r14, r3, r1
+    ldb  r9, [r14]             ; color at the scan point
+    cmp  r9, 1
+    beq  flood
+    cmp  r9, 2
+    beq  flood
+    ba   scan_next
+
+flood:
+    ; flood-fill the group rooted at r1, counting liberties
+    add  r7, r7, 1             ; new generation
+    mov  r10, 0                ; liberties
+    mov  r6, r21               ; worklist sp
+    stw  r1, [r6]
+    add  r6, r6, 4
+    sll  r14, r1, 2
+    add  r14, r4, r14
+    stw  r7, [r14]             ; mark the root visited
+floodloop:
+    cmp  r6, r21
+    bleu flood_done
+    sub  r6, r6, 4
+    ldw  r8, [r6]              ; pop a group point
+    sub  r18, r8, 1
+    call neigh
+    add  r18, r8, 1
+    call neigh
+    sub  r18, r8, 21
+    call neigh
+    add  r18, r8, 21
+    call neigh
+    ba   floodloop
+flood_done:
+    add  r25, r25, r10
+    ba   scan_next
+
+; neighbor check: r18 = point.  Empty and unseen => liberty; same
+; color and unseen => push onto the worklist.
+neigh:
+    add  r14, r3, r18
+    ldb  r19, [r14]
+    cmp  r19, 0
+    bne  nb_stone
+    sll  r14, r18, 2
+    add  r14, r4, r14
+    ldw  r19, [r14]
+    cmp  r19, r7
+    beq  nb_done
+    stw  r7, [r14]
+    add  r10, r10, 1
+    ret
+nb_stone:
+    cmp  r19, r9
+    bne  nb_done
+    sll  r14, r18, 2
+    add  r14, r4, r14
+    ldw  r19, [r14]
+    cmp  r19, r7
+    beq  nb_done
+    stw  r7, [r14]
+    stw  r18, [r6]
+    add  r6, r6, 4
+nb_done:
+    ret
+
+scan_next:
+    add  r1, r1, 1
+    cmp  r1, 419
+    blt  scan
+
+    ; mutate one non-border cell so the next pass differs
+    mul  r11, r11, r12
+    add  r11, r11, r13
+    srl  r14, r11, 16
+    and  r14, r14, 255
+    add  r14, r14, 100         ; 100..355: inside the array
+    add  r14, r3, r14
+    ldb  r19, [r14]
+    cmp  r19, 3
+    beq  mutate_done           ; never touch the border
+    srl  r19, r11, 28
+    and  r19, r19, 3
+    cmp  r19, 3
+    bne  mutate_store
+    mov  r19, 0
+mutate_store:
+    stb  r19, [r14]
+mutate_done:
+
+    add  r16, r16, 1
+    cmp  r16, r2
+    blt  pass
+    halt
+
+.data
+.align 8
+board:    .space 441
+.align 8
+visited:  .space 1764
+worklist: .space 2048
+)";
+
+} // anonymous namespace
+
+const WorkloadSpec &
+goWorkload()
+{
+    static const WorkloadSpec spec = {
+        "go",
+        "099.go",
+        "flood-fill liberty counting with data-dependent branches",
+        true,           // pointer chasing
+        36,             // default scale: board passes
+        2,              // test scale
+        kSource,
+    };
+    return spec;
+}
+
+} // namespace ddsc

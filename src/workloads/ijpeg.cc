@@ -1,0 +1,189 @@
+/**
+ * @file
+ * The 132.ijpeg analogue: 8x8 integer butterfly transforms.
+ *
+ * JPEG encoding is dominated by blocked integer DCTs: long stretches
+ * of add/sub/shift on register-resident pixels with strided row and
+ * column walks.  The analogue applies a fixed 8-point butterfly to
+ * every row and then every column of each 8x8 block of a 64x64 image,
+ * folds the outputs into a checksum, and writes truncated results
+ * back so successive rounds transform new data.
+ * Scale = rounds over the image.
+ */
+
+#include "workloads.hh"
+
+namespace ddsc
+{
+
+namespace
+{
+
+const char kSource[] = R"(
+; ijpeg: 8x8 butterfly transform.
+; r2=rounds r3=image r4=work r24=round r26=block r27=row/col
+; r5-r12=x0..x7 then y's, r16-r23=t0..t7, r14/r19=tmp, r28=base
+; r25=checksum, r11-r13=lcg (fill phase only)
+main:
+    li   r2, {SCALE}
+    la   r3, image
+
+    ; fill the 64x64 image from the LCG
+    li   r11, 31415
+    li   r12, 1664525
+    li   r13, 1013904223
+    mov  r1, 0
+    li   r20, 4096
+fill:
+    mul  r11, r11, r12
+    add  r11, r11, r13
+    srl  r9, r11, 24
+    add  r14, r3, r1
+    stb  r9, [r14]
+    add  r1, r1, 1
+    cmp  r1, r20
+    blt  fill
+
+    la   r4, work
+    mov  r25, 0
+    mov  r24, 0
+round:
+    mov  r26, 0                ; block index (8x8 grid of blocks)
+block:
+    ; base = image + (block>>3)*512 + (block&7)*8
+    srl  r28, r26, 3
+    sll  r28, r28, 9
+    and  r14, r26, 7
+    sll  r14, r14, 3
+    add  r28, r28, r14
+    add  r28, r3, r28
+
+    ; --- row pass: butterfly each row into the work buffer ---
+    mov  r27, 0
+row:
+    sll  r14, r27, 6           ; row offset in the image (stride 64)
+    add  r14, r28, r14
+    ldb  r5, [r14]
+    ldb  r6, [r14 + 1]
+    ldb  r7, [r14 + 2]
+    ldb  r8, [r14 + 3]
+    ldb  r9, [r14 + 4]
+    ldb  r10, [r14 + 5]
+    ldb  r11, [r14 + 6]
+    ldb  r12, [r14 + 7]
+    call butterfly
+    sll  r14, r27, 5           ; row offset in work (stride 32)
+    add  r14, r4, r14
+    stw  r9, [r14]             ; y0
+    stw  r5, [r14 + 4]         ; y1
+    stw  r11, [r14 + 8]        ; y2
+    stw  r7, [r14 + 12]        ; y3
+    stw  r10, [r14 + 16]       ; y4
+    stw  r6, [r14 + 20]        ; y5
+    stw  r12, [r14 + 24]       ; y6
+    stw  r8, [r14 + 28]        ; y7
+    add  r27, r27, 1
+    cmp  r27, 8
+    blt  row
+
+    ; --- column pass: butterfly work columns, fold, write back ---
+    mov  r27, 0
+col:
+    sll  r14, r27, 2           ; column offset in work
+    add  r14, r4, r14
+    ldw  r5, [r14]
+    ldw  r6, [r14 + 32]
+    ldw  r7, [r14 + 64]
+    ldw  r8, [r14 + 96]
+    ldw  r9, [r14 + 128]
+    ldw  r10, [r14 + 160]
+    ldw  r11, [r14 + 192]
+    ldw  r12, [r14 + 224]
+    call butterfly
+    ; fold the outputs into the checksum
+    add  r25, r25, r9
+    add  r25, r25, r5
+    add  r25, r25, r11
+    add  r25, r25, r7
+    add  r25, r25, r10
+    add  r25, r25, r6
+    add  r25, r25, r12
+    add  r25, r25, r8
+    ; write truncated outputs back down the image column
+    add  r14, r28, r27
+    stb  r9, [r14]
+    stb  r5, [r14 + 64]
+    stb  r11, [r14 + 128]
+    stb  r7, [r14 + 192]
+    stb  r10, [r14 + 256]
+    stb  r6, [r14 + 320]
+    stb  r12, [r14 + 384]
+    stb  r8, [r14 + 448]
+    add  r27, r27, 1
+    cmp  r27, 8
+    blt  col
+
+    add  r26, r26, 1
+    cmp  r26, 64
+    blt  block
+
+    add  r24, r24, 1
+    cmp  r24, r2
+    blt  round
+    halt
+
+; 8-point butterfly on x0..x7 = r5..r12.
+; Outputs: y0=r9 y1=r5 y2=r11 y3=r7 y4=r10 y5=r6 y6=r12 y7=r8.
+butterfly:
+    add  r16, r5, r12          ; t0 = x0 + x7
+    sub  r23, r5, r12          ; t7 = x0 - x7
+    add  r17, r6, r11          ; t1 = x1 + x6
+    sub  r22, r6, r11          ; t6 = x1 - x6
+    add  r18, r7, r10          ; t2 = x2 + x5
+    sub  r21, r7, r10          ; t5 = x2 - x5
+    add  r19, r8, r9           ; t3 = x3 + x4
+    sub  r20, r8, r9           ; t4 = x3 - x4
+    add  r5, r16, r19          ; u0
+    sub  r8, r16, r19          ; u3
+    add  r6, r17, r18          ; u1
+    sub  r7, r17, r18          ; u2
+    add  r9, r5, r6            ; y0 = u0 + u1
+    sub  r10, r5, r6           ; y4 = u0 - u1
+    sra  r14, r8, 1
+    add  r11, r7, r14          ; y2 = u2 + (u3 >> 1)
+    sra  r14, r7, 1
+    sub  r12, r8, r14          ; y6 = u3 - (u2 >> 1)
+    sra  r14, r21, 1
+    add  r5, r20, r14          ; y1 = t4 + (t5 >> 1)
+    sra  r14, r22, 1
+    sub  r6, r21, r14          ; y5 = t5 - (t6 >> 1)
+    sra  r14, r23, 2
+    add  r7, r22, r14          ; y3 = t6 + (t7 >> 2)
+    sra  r14, r20, 2
+    sub  r8, r23, r14          ; y7 = t7 - (t4 >> 2)
+    ret
+
+.data
+.align 8
+image: .space 4096
+work:  .space 256
+)";
+
+} // anonymous namespace
+
+const WorkloadSpec &
+ijpegWorkload()
+{
+    static const WorkloadSpec spec = {
+        "ijpeg",
+        "132.ijpeg",
+        "blocked 8x8 integer butterfly transform over an image",
+        false,
+        22,             // default scale: rounds over the image
+        1,              // test scale
+        kSource,
+    };
+    return spec;
+}
+
+} // namespace ddsc

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * The 022.li analogue: cons-cell list processing (pointer chasing).
+ *
+ * A lisp interpreter's time goes into walking cons cells scattered
+ * through the heap.  The analogue lays N cells out in a multiplicative
+ * permutation of a heap region (so successive cdr links jump around in
+ * memory), then repeatedly traverses, reverses in place, and maps over
+ * the list.  The cdr-chasing loads have no stride, defeating the
+ * two-delta predictor exactly as li defeats it in the paper.
+ * Scale = cell count; must be a power of two.
+ */
+
+#include "workloads.hh"
+
+namespace ddsc
+{
+
+namespace
+{
+
+const char kSource[] = R"(
+; li: cons-cell list processing.
+; Cell layout: [car, cdr], 8 bytes.  The list visits heap slots along
+; a full-period LCG walk,
+;   slot' = (slot * 1103515245 + 12345) & (N-1)
+; (a = 1 mod 4, c odd => period N), so successive cdr links jump
+; around the heap with non-repeating deltas: genuine pointer chasing
+; that defeats a stride predictor.
+; r1=i r2=N r3=heap r4=mask r6=slot r7=cur r8=next-slot r9=tmp
+; r10=round r11-r13=lcg r16=prev r22/r23=walk-consts r24=head
+; r25=checksum
+main:
+    li   r2, {SCALE}
+    la   r3, heap
+    sub  r4, r2, 1             ; mask (N is a power of two)
+    li   r22, 1103515245       ; walk multiplier (= 1 mod 4)
+    li   r23, 12345            ; walk increment (odd)
+
+    ; build the list along the walk
+    li   r11, 24680
+    li   r12, 1664525
+    li   r13, 1013904223
+    mov  r6, 0                 ; current slot
+    mov  r1, 0
+build:
+    sll  r9, r6, 3
+    add  r7, r3, r9            ; cell address
+    mul  r11, r11, r12
+    add  r11, r11, r13
+    srl  r9, r11, 20
+    stw  r9, [r7]              ; car = lcg value
+    mul  r8, r6, r22
+    add  r8, r8, r23
+    and  r8, r8, r4            ; next slot on the walk
+    add  r9, r1, 1
+    cmp  r9, r2
+    beq  lastcell
+    sll  r9, r8, 3
+    add  r9, r3, r9
+    stw  r9, [r7 + 4]          ; cdr = next cell
+    ba   builtlink
+lastcell:
+    stw  r0, [r7 + 4]          ; nil-terminate
+builtlink:
+    mov  r6, r8
+    add  r1, r1, 1
+    cmp  r1, r2
+    blt  build
+
+    mov  r24, r3               ; head = cell at slot 0
+    mov  r25, 0
+    mov  r10, 0
+round:
+    ; traverse and sum the cars
+    mov  r7, r24
+trav:
+    cmp  r7, 0
+    beq  trav_done
+    ldw  r9, [r7]
+    add  r25, r25, r9
+    ldw  r7, [r7 + 4]
+    ba   trav
+trav_done:
+
+    ; reverse the list in place
+    mov  r16, 0                ; prev
+    mov  r7, r24               ; cur
+rev:
+    cmp  r7, 0
+    beq  rev_done
+    ldw  r8, [r7 + 4]          ; next
+    stw  r16, [r7 + 4]
+    mov  r16, r7
+    mov  r7, r8
+    ba   rev
+rev_done:
+    mov  r24, r16              ; new head
+
+    ; map: car += 1 down the (now reversed) list
+    mov  r7, r24
+map:
+    cmp  r7, 0
+    beq  map_done
+    ldw  r9, [r7]
+    add  r9, r9, 1
+    stw  r9, [r7]
+    ldw  r7, [r7 + 4]
+    ba   map
+map_done:
+
+    ; eval: tag-dispatch on (car & 3) through a jump table, the way a
+    ; lisp interpreter dispatches on object type.  The indirect-jump
+    ; target is data dependent, so a last-target buffer mispredicts
+    ; most of the time -- li's signature control behaviour.
+    la   r17, evaltab
+    mov  r7, r24
+eval:
+    cmp  r7, 0
+    beq  eval_done
+    ldw  r9, [r7]              ; car
+    and  r8, r9, 3             ; type tag
+    sll  r8, r8, 2
+    add  r8, r17, r8
+    ldw  r8, [r8]
+    jmpi [r8]
+ev_fixnum:
+    add  r25, r25, r9          ; fixnum: accumulate the value
+    ba   eval_next
+ev_cons:
+    xor  r25, r25, r9          ; cons: fold the pointer bits
+    ba   eval_next
+ev_symbol:
+    add  r25, r25, 1           ; symbol: count it
+    ba   eval_next
+ev_string:
+    srl  r9, r9, 2
+    add  r25, r25, r9          ; string: add its length field
+eval_next:
+    ldw  r7, [r7 + 4]
+    ba   eval
+eval_done:
+
+    add  r10, r10, 1
+    cmp  r10, 8
+    blt  round
+    halt
+
+.data
+.align 8
+evaltab: .word ev_fixnum, ev_cons, ev_symbol, ev_string
+heap:    .space 65536
+)";
+
+} // anonymous namespace
+
+const WorkloadSpec &
+liWorkload()
+{
+    static const WorkloadSpec spec = {
+        "li",
+        "022.li",
+        "cons-cell traversal/reversal over a permuted heap",
+        true,           // pointer chasing
+        4096,           // default scale: cells (power of two)
+        128,            // test scale (power of two)
+        kSource,
+    };
+    return spec;
+}
+
+} // namespace ddsc

@@ -1,0 +1,77 @@
+#include "workloads.hh"
+
+#include "masm/assembler.hh"
+#include "support/logging.hh"
+#include "vm/vm.hh"
+
+namespace ddsc
+{
+
+const std::vector<WorkloadSpec> &
+allWorkloads()
+{
+    static const std::vector<WorkloadSpec> workloads = {
+        compressWorkload(),
+        espressoWorkload(),
+        eqntottWorkload(),
+        liWorkload(),
+        goWorkload(),
+        ijpegWorkload(),
+    };
+    return workloads;
+}
+
+const WorkloadSpec &
+findWorkload(const std::string &name)
+{
+    for (const WorkloadSpec &spec : allWorkloads()) {
+        if (spec.name == name)
+            return spec;
+    }
+    ddsc_fatal("unknown workload '%s'", name.c_str());
+}
+
+std::vector<const WorkloadSpec *>
+workloadSubset(bool pointer_chasing)
+{
+    std::vector<const WorkloadSpec *> subset;
+    for (const WorkloadSpec &spec : allWorkloads()) {
+        if (spec.pointerChasing == pointer_chasing)
+            subset.push_back(&spec);
+    }
+    return subset;
+}
+
+Program
+buildWorkload(const WorkloadSpec &spec, unsigned scale)
+{
+    if (scale == 0)
+        scale = spec.defaultScale;
+    std::string source = spec.source;
+    const std::string hole = "{SCALE}";
+    const std::string value = std::to_string(scale);
+    std::size_t pos = 0;
+    while ((pos = source.find(hole, pos)) != std::string::npos) {
+        source.replace(pos, hole.size(), value);
+        pos += value.size();
+    }
+    return assembleOrDie(source);
+}
+
+VectorTraceSource
+traceWorkload(const WorkloadSpec &spec, unsigned scale,
+              std::uint32_t *checksum)
+{
+    const Program program = buildWorkload(spec, scale);
+    VectorTraceSource trace;
+    VectorTraceSink sink(trace);
+    Vm vm(program);
+    const Vm::RunResult result = vm.run(&sink, 2'000'000'000ull);
+    if (!result.halted)
+        ddsc_fatal("workload '%s' did not halt", spec.name.c_str());
+    if (checksum)
+        *checksum = vm.reg(kChecksumReg);
+    return trace;
+}
+
+} // namespace ddsc

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The six benchmark analogues.
+ *
+ * The paper evaluates on SPECINT92/95 binaries (compress, espresso,
+ * eqntott, li, go, ijpeg) traced with qpt2.  We cannot ship SPEC, so
+ * each benchmark is replaced by an analogue written in the ddsc mini
+ * ISA that reproduces the property the paper's mechanisms key on:
+ *
+ *  - compress  LZW-style hash-table compression over an LCG-generated
+ *              input stream (mixed strided/hashed load addresses).
+ *  - espresso  bitset cover operations over word arrays (strided,
+ *              logic/shift heavy, well-predicted branches).
+ *  - eqntott   quicksort of an integer key array with a compare
+ *              subroutine (comparison-dominated, call/ret traffic).
+ *  - li        cons-cell list building, traversal, and in-place
+ *              reversal over a permuted heap (pointer chasing).
+ *  - go        flood-fill liberty counting on a go board (pointer-ish
+ *              worklist, data-dependent hard-to-predict branches).
+ *  - ijpeg     8x8 integer butterfly transform over an image (strided
+ *              rows/columns, shift/add dominated).
+ *
+ * Each program seeds its own data with a deterministic LCG, leaves a
+ * checksum in register r25, and halts.  The checksums are verified
+ * against plain C++ mirrors of the same algorithms in the test suite,
+ * which validates the assembler, the VM, and the workload code end to
+ * end.
+ */
+
+#ifndef DDSC_WORKLOADS_WORKLOADS_HH
+#define DDSC_WORKLOADS_WORKLOADS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/instruction.hh"
+#include "trace/source.hh"
+
+namespace ddsc
+{
+
+/** Register in which every workload leaves its checksum. */
+constexpr unsigned kChecksumReg = 25;
+
+/**
+ * One benchmark analogue.
+ */
+struct WorkloadSpec
+{
+    std::string name;           ///< "compress", "espresso", ...
+    std::string paperName;      ///< "026.compress", ...
+    std::string description;
+    bool pointerChasing;        ///< go and li (paper section 5.2)
+    unsigned defaultScale;      ///< scale for the full experiments
+    unsigned testScale;         ///< small scale for unit tests
+    std::string source;         ///< assembly with a "{SCALE}" hole
+};
+
+/** All six workloads, in the paper's Table 1 order. */
+const std::vector<WorkloadSpec> &allWorkloads();
+
+/** Look up one workload by name; fatal() when unknown. */
+const WorkloadSpec &findWorkload(const std::string &name);
+
+/** The pointer-chasing subset (go, li) or its complement. */
+std::vector<const WorkloadSpec *> workloadSubset(bool pointer_chasing);
+
+/**
+ * Assemble a workload at the given scale (0 = its default scale).
+ */
+Program buildWorkload(const WorkloadSpec &spec, unsigned scale = 0);
+
+/**
+ * Assemble, execute, and return the dynamic trace of a workload.
+ * @param scale 0 = the workload's default scale.
+ * @param checksum optional out-parameter receiving r25.
+ */
+VectorTraceSource traceWorkload(const WorkloadSpec &spec,
+                                unsigned scale = 0,
+                                std::uint32_t *checksum = nullptr);
+
+/** The individual specs (defined one per source file). */
+const WorkloadSpec &compressWorkload();
+const WorkloadSpec &espressoWorkload();
+const WorkloadSpec &eqntottWorkload();
+const WorkloadSpec &liWorkload();
+const WorkloadSpec &goWorkload();
+const WorkloadSpec &ijpegWorkload();
+
+} // namespace ddsc
+
+#endif // DDSC_WORKLOADS_WORKLOADS_HH

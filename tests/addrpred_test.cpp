@@ -1,0 +1,280 @@
+/**
+ * @file
+ * Unit tests for the two-delta stride address predictor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "addrpred/addrpred.hh"
+
+namespace ddsc
+{
+namespace
+{
+
+constexpr std::uint64_t kPc = 0x10040;
+
+/** Feed a sequence of addresses and return the final prediction. */
+AddrPrediction
+train(StrideAddressPredictor &pred, std::uint64_t pc,
+      std::initializer_list<std::uint64_t> addrs)
+{
+    for (const std::uint64_t a : addrs)
+        pred.update(pc, a);
+    return pred.predict(pc);
+}
+
+TEST(StridePredictor, ColdEntryIsUnusable)
+{
+    StrideAddressPredictor pred;
+    EXPECT_FALSE(pred.predict(kPc).usable);
+}
+
+TEST(StridePredictor, LearnsAConstantStride)
+{
+    StrideAddressPredictor pred;
+    // 100,104,108,112,116: two-delta locks stride=4 at the third
+    // update; confidence reaches 2 after two correct checks.
+    const AddrPrediction p =
+        train(pred, kPc, {100, 104, 108, 112, 116});
+    EXPECT_TRUE(p.usable);
+    EXPECT_EQ(p.addr, 120u);
+}
+
+TEST(StridePredictor, ConfidenceBuildupMatchesPaperRule)
+{
+    StrideAddressPredictor pred;
+    // After 100,104,108 the stride is locked but the confidence is
+    // still 0 (predictions at 104 and 108 were wrong).
+    train(pred, kPc, {100, 104, 108});
+    EXPECT_FALSE(pred.predict(kPc).usable);
+    // 112 checks correct: confidence 1, still not above threshold.
+    pred.update(kPc, 112);
+    EXPECT_FALSE(pred.predict(kPc).usable);
+    // 116 checks correct: confidence 2 > 1, usable.
+    pred.update(kPc, 116);
+    EXPECT_TRUE(pred.predict(kPc).usable);
+}
+
+TEST(StridePredictor, WrongPredictionCostsDouble)
+{
+    StrideAddressPredictor pred;
+    train(pred, kPc, {100, 104, 108, 112, 116, 120});  // confidence 3
+    // A break in the pattern decrements by 2 and breaks lastAddr.
+    pred.update(kPc, 500);     // wrong: 3 -> 1
+    EXPECT_FALSE(pred.predict(kPc).usable);
+}
+
+TEST(StridePredictor, ConstantAddressIsAStrideOfZero)
+{
+    StrideAddressPredictor pred;
+    const AddrPrediction p = train(pred, kPc, {64, 64, 64});
+    EXPECT_TRUE(p.usable);
+    EXPECT_EQ(p.addr, 64u);
+}
+
+TEST(StridePredictor, TwoDeltaFiltersAOneOffJump)
+{
+    StrideAddressPredictor pred;
+    // Steady stride 4, one jump, then steady stride 4 again: the
+    // stride register must still hold 4 after the jump (the jump's
+    // delta appears only once).
+    train(pred, kPc, {100, 104, 108, 112});
+    pred.update(kPc, 400);      // one-off
+    pred.update(kPc, 404);
+    pred.update(kPc, 408);
+    pred.update(kPc, 412);
+    const AddrPrediction p = pred.predict(kPc);
+    EXPECT_TRUE(p.usable);
+    EXPECT_EQ(p.addr, 416u);
+}
+
+TEST(StridePredictor, RandomWalkNeverBecomesUsable)
+{
+    StrideAddressPredictor pred;
+    std::uint64_t addr = 0x1000;
+    for (int i = 0; i < 200; ++i) {
+        addr = addr * 2654435761u + 17;     // no repeated delta
+        pred.update(kPc, addr & 0xffffff);
+    }
+    EXPECT_FALSE(pred.predict(kPc).usable);
+}
+
+TEST(StridePredictor, DistinctPcsHaveDistinctEntries)
+{
+    StrideAddressPredictor pred;
+    train(pred, 0x10000, {100, 104, 108, 112, 116});
+    EXPECT_FALSE(pred.predict(0x10004).usable);
+}
+
+TEST(StridePredictor, DirectMappedAliasing)
+{
+    StrideAddressPredictor pred(4);    // 16 entries
+    const std::uint64_t a = 0x10000;
+    const std::uint64_t b = a + 16 * 4;    // same index
+    train(pred, a, {100, 104, 108, 112, 116});
+    EXPECT_TRUE(pred.predict(a).usable);
+    // The alias writes destroy a's entry.
+    pred.update(b, 9999);
+    EXPECT_FALSE(pred.predict(a).usable);
+}
+
+TEST(StridePredictor, ResetClearsEverything)
+{
+    StrideAddressPredictor pred;
+    train(pred, kPc, {100, 104, 108, 112, 116});
+    pred.reset();
+    EXPECT_FALSE(pred.predict(kPc).usable);
+}
+
+TEST(StridePredictor, DefaultGeometryMatchesPaper)
+{
+    StrideAddressPredictor pred;
+    EXPECT_EQ(pred.entries(), 4096u);
+}
+
+TEST(StridePredictor, ThresholdKnob)
+{
+    // With threshold 0, a single correct check suffices.
+    StrideAddressPredictor eager(12, 0);
+    train(eager, kPc, {100, 104, 108});
+    eager.update(kPc, 112);     // first correct check: confidence 1
+    EXPECT_TRUE(eager.predict(kPc).usable);
+}
+
+TEST(StridePredictor, NegativeStride)
+{
+    StrideAddressPredictor pred;
+    const AddrPrediction p =
+        train(pred, kPc, {1000, 992, 984, 976, 968});
+    EXPECT_TRUE(p.usable);
+    EXPECT_EQ(p.addr, 960u);
+}
+
+TEST(IdealPredictor, ReturnsTheOracle)
+{
+    IdealAddressPredictor pred;
+    pred.setOracle(0xdead0);
+    const AddrPrediction p = pred.predict(0x10000);
+    EXPECT_TRUE(p.usable);
+    EXPECT_EQ(p.addr, 0xdead0u);
+}
+
+TEST(LastValuePredictor, LearnsAConstantAddress)
+{
+    LastValueAddressPredictor pred;
+    pred.update(kPc, 64);
+    pred.update(kPc, 64);   // correct check: confidence 1
+    EXPECT_FALSE(pred.predict(kPc).usable);
+    pred.update(kPc, 64);   // confidence 2
+    const AddrPrediction p = pred.predict(kPc);
+    EXPECT_TRUE(p.usable);
+    EXPECT_EQ(p.addr, 64u);
+}
+
+TEST(LastValuePredictor, CannotLearnAStride)
+{
+    LastValueAddressPredictor pred;
+    for (std::uint64_t a = 100; a < 400; a += 4)
+        pred.update(kPc, a);
+    EXPECT_FALSE(pred.predict(kPc).usable);
+}
+
+TEST(LastValuePredictor, ResetForgets)
+{
+    LastValueAddressPredictor pred;
+    for (int i = 0; i < 5; ++i)
+        pred.update(kPc, 64);
+    pred.reset();
+    EXPECT_FALSE(pred.predict(kPc).usable);
+}
+
+TEST(ContextPredictor, LearnsAConstantStrideLikeTwoDelta)
+{
+    ContextAddressPredictor pred;
+    std::uint64_t addr = 100;
+    for (int i = 0; i < 20; ++i) {
+        pred.update(kPc, addr);
+        addr += 4;
+    }
+    const AddrPrediction p = pred.predict(kPc);
+    EXPECT_TRUE(p.usable);
+    EXPECT_EQ(p.addr, addr);    // last update was addr-4, next is addr
+}
+
+TEST(ContextPredictor, LearnsAlternatingStridesTwoDeltaCannot)
+{
+    // Deltas alternate +4, +12 (e.g. a field walk through an array of
+    // structs): two-delta never sees the same delta twice in a row and
+    // stays silent; order-2 context prediction nails it.
+    StrideAddressPredictor two_delta;
+    ContextAddressPredictor context;
+    std::uint64_t addr = 0x1000;
+    int context_hits = 0, two_delta_usable = 0;
+    for (int i = 0; i < 400; ++i) {
+        const AddrPrediction cp = context.predict(kPc);
+        const AddrPrediction sp = two_delta.predict(kPc);
+        addr += (i % 2 == 0) ? 4 : 12;
+        if (cp.usable && cp.addr == addr)
+            ++context_hits;
+        if (sp.usable)
+            ++two_delta_usable;
+        context.update(kPc, addr);
+        two_delta.update(kPc, addr);
+    }
+    EXPECT_GT(context_hits, 350);
+    EXPECT_EQ(two_delta_usable, 0);
+}
+
+TEST(ContextPredictor, RandomWalkStaysSilent)
+{
+    ContextAddressPredictor pred;
+    std::uint64_t addr = 0x4000;
+    int usable = 0;
+    for (int i = 0; i < 500; ++i) {
+        addr = (addr * 2654435761u + 12345) & 0xffffff;
+        if (pred.predict(kPc).usable)
+            ++usable;
+        pred.update(kPc, addr);
+    }
+    // A handful of accidental context hits are tolerable; sustained
+    // confidence is not.
+    EXPECT_LT(usable, 25);
+}
+
+TEST(ContextPredictor, ResetForgets)
+{
+    ContextAddressPredictor pred;
+    std::uint64_t addr = 100;
+    for (int i = 0; i < 20; ++i) {
+        pred.update(kPc, addr);
+        addr += 4;
+    }
+    pred.reset();
+    EXPECT_FALSE(pred.predict(kPc).usable);
+}
+
+TEST(PredictorFactory, BuildsEachKind)
+{
+    for (const AddrPredKind kind :
+         {AddrPredKind::TwoDelta, AddrPredKind::LastValue,
+          AddrPredKind::Context}) {
+        auto pred = makeAddressPredictor(kind);
+        ASSERT_NE(pred, nullptr);
+        EXPECT_FALSE(pred->predict(kPc).usable);
+        EXPECT_FALSE(addrPredKindName(kind).empty());
+    }
+}
+
+TEST(LoadClassNames, AllDefined)
+{
+    EXPECT_EQ(loadClassName(LoadClass::Ready), "ready");
+    EXPECT_EQ(loadClassName(LoadClass::PredictedCorrect),
+              "predicted-correctly");
+    EXPECT_EQ(loadClassName(LoadClass::PredictedIncorrect),
+              "predicted-incorrectly");
+    EXPECT_EQ(loadClassName(LoadClass::NotPredicted), "not-predicted");
+}
+
+} // anonymous namespace
+} // namespace ddsc

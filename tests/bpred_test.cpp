@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Unit tests for the branch direction predictors.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bpred/bpred.hh"
+
+namespace ddsc
+{
+namespace
+{
+
+TEST(Bimodal, LearnsAStrongDirection)
+{
+    BimodalPredictor pred(4);
+    const std::uint64_t pc = 0x10000;
+    // Initially weakly-not-taken.
+    EXPECT_FALSE(pred.predict(pc));
+    pred.update(pc, true);
+    pred.update(pc, true);
+    EXPECT_TRUE(pred.predict(pc));
+    // One not-taken does not flip a saturated counter.
+    pred.update(pc, true);
+    pred.update(pc, false);
+    EXPECT_TRUE(pred.predict(pc));
+}
+
+TEST(Bimodal, DistinctPcsAreIndependent)
+{
+    BimodalPredictor pred(8);
+    const std::uint64_t a = 0x10000, b = 0x10004;
+    pred.update(a, true);
+    pred.update(a, true);
+    EXPECT_TRUE(pred.predict(a));
+    EXPECT_FALSE(pred.predict(b));
+}
+
+TEST(Bimodal, AliasingWrapsModuloTableSize)
+{
+    BimodalPredictor pred(2);       // 4 entries
+    const std::uint64_t a = 0x10000;
+    const std::uint64_t b = a + 4 * 4;  // same index mod 4
+    pred.update(a, true);
+    pred.update(a, true);
+    EXPECT_TRUE(pred.predict(b));
+}
+
+TEST(Bimodal, ResetRestoresInitialState)
+{
+    BimodalPredictor pred(4);
+    pred.update(0x10000, true);
+    pred.update(0x10000, true);
+    pred.reset();
+    EXPECT_FALSE(pred.predict(0x10000));
+}
+
+TEST(Gshare, LearnsAlternatingPatternBimodalCannot)
+{
+    // A strictly alternating branch: bimodal hovers around 50%,
+    // gshare keys on the history and becomes perfect.
+    GsharePredictor gshare(10);
+    BimodalPredictor bimodal(10);
+    const std::uint64_t pc = 0x20000;
+    int gshare_hits = 0, bimodal_hits = 0;
+    bool dir = false;
+    for (int i = 0; i < 2000; ++i) {
+        dir = !dir;
+        gshare_hits += gshare.predictAndUpdate(pc, dir) ? 1 : 0;
+        bimodal_hits += bimodal.predictAndUpdate(pc, dir) ? 1 : 0;
+    }
+    EXPECT_GT(gshare_hits, 1900);
+    EXPECT_LT(bimodal_hits, 1300);
+}
+
+TEST(Gshare, ResetClearsHistory)
+{
+    GsharePredictor pred(6);
+    for (int i = 0; i < 50; ++i)
+        pred.update(0x30000, i % 2 == 0);
+    pred.reset();
+    EXPECT_FALSE(pred.predict(0x30000));
+}
+
+TEST(Local, LearnsAPeriodicLoopPattern)
+{
+    // A loop taken 7 times then not taken once: local history nails
+    // the exit after warm-up; bimodal mispredicts every exit.
+    LocalPredictor local(10, 8);
+    BimodalPredictor bimodal(10);
+    const std::uint64_t pc = 0x70000;
+    int local_hits = 0, bimodal_hits = 0;
+    int phase = 0;
+    for (int i = 0; i < 4000; ++i) {
+        const bool taken = (phase = (phase + 1) % 8) != 0;
+        const bool l = local.predictAndUpdate(pc, taken);
+        const bool b = bimodal.predictAndUpdate(pc, taken);
+        if (i >= 2000) {
+            local_hits += l ? 1 : 0;
+            bimodal_hits += b ? 1 : 0;
+        }
+    }
+    EXPECT_EQ(local_hits, 2000);
+    EXPECT_LT(bimodal_hits, 1800);
+}
+
+TEST(Local, ResetForgets)
+{
+    LocalPredictor local(8, 8);
+    for (int i = 0; i < 100; ++i)
+        local.update(0x70000, true);
+    local.reset();
+    EXPECT_FALSE(local.predict(0x70000));
+}
+
+TEST(Local, Name)
+{
+    EXPECT_EQ(LocalPredictor(10, 12).name(), "local12/10");
+}
+
+TEST(Combining, NameAndCost)
+{
+    CombiningPredictor pred(13);
+    EXPECT_EQ(pred.name(), "bimodal13/gshare14");
+    // (2^13 + 2^14 + 2^13) two-bit counters = 8 kBytes (paper budget).
+    EXPECT_EQ(pred.costBytes(), 8192u);
+}
+
+TEST(Combining, AtLeastAsGoodAsWorstComponentOnBiasedStream)
+{
+    CombiningPredictor comb(10);
+    const std::uint64_t pc = 0x40000;
+    int hits = 0;
+    for (int i = 0; i < 1000; ++i)
+        hits += comb.predictAndUpdate(pc, true) ? 1 : 0;
+    EXPECT_GT(hits, 980);
+}
+
+TEST(Combining, TracksAlternatingPatternViaGshare)
+{
+    CombiningPredictor comb(10);
+    const std::uint64_t pc = 0x50000;
+    int hits = 0;
+    bool dir = false;
+    for (int i = 0; i < 4000; ++i) {
+        dir = !dir;
+        const bool correct = comb.predictAndUpdate(pc, dir);
+        if (i >= 2000)
+            hits += correct ? 1 : 0;
+    }
+    // After warm-up the chooser should have moved to gshare.
+    EXPECT_GT(hits, 1900);
+}
+
+TEST(Combining, ResetForgetsEverything)
+{
+    CombiningPredictor comb(8);
+    for (int i = 0; i < 100; ++i)
+        comb.update(0x60000, true);
+    comb.reset();
+    EXPECT_FALSE(comb.predict(0x60000));
+}
+
+TEST(Static, FixedAnswers)
+{
+    StaticPredictor taken(true), not_taken(false);
+    EXPECT_TRUE(taken.predict(0x1234));
+    EXPECT_FALSE(not_taken.predict(0x1234));
+    EXPECT_EQ(taken.name(), "always-taken");
+}
+
+TEST(Factory, PaperPredictorIs8kBytes)
+{
+    auto pred = makePaperPredictor();
+    EXPECT_EQ(pred->name(), "bimodal13/gshare14");
+}
+
+TEST(PredictAndUpdate, ReportsCorrectness)
+{
+    StaticPredictor taken(true);
+    EXPECT_TRUE(taken.predictAndUpdate(0x1000, true));
+    EXPECT_FALSE(taken.predictAndUpdate(0x1000, false));
+}
+
+} // anonymous namespace
+} // namespace ddsc

@@ -1,0 +1,302 @@
+/**
+ * @file
+ * Unit tests for dependence-expression sizing, collapse legality, and
+ * signature encoding.
+ */
+
+#include <gtest/gtest.h>
+
+#include "collapse/collapse_stats.hh"
+#include "collapse/rules.hh"
+#include "test_helpers.hh"
+
+namespace ddsc
+{
+namespace
+{
+
+using test::Rec;
+using test::alu;
+using test::aluImm;
+using test::branch;
+using test::load;
+using test::store;
+
+TEST(ExprSize, SingleInstructions)
+{
+    const ExprSize add = ExprSize::of(alu(Opcode::ADD, 3, 1, 2));
+    EXPECT_EQ(add.rawOperands, 2u);
+    EXPECT_EQ(add.nonZeroOperands, 2u);
+    EXPECT_EQ(add.instructions, 1u);
+
+    const ExprSize addi0 = ExprSize::of(aluImm(Opcode::ADD, 3, 1, 0));
+    EXPECT_EQ(addi0.rawOperands, 2u);
+    EXPECT_EQ(addi0.nonZeroOperands, 1u);
+
+    const ExprSize mv = ExprSize::of(aluImm(Opcode::MOV, 3, 0, 5));
+    EXPECT_EQ(mv.rawOperands, 1u);
+
+    const ExprSize st = ExprSize::of(store(5, 2, 4, 0));
+    EXPECT_EQ(st.rawOperands, 3u);
+
+    // The branch's one input is the cc arc itself.
+    const ExprSize br = ExprSize::of(branch(Cond::EQ, true));
+    EXPECT_EQ(br.rawOperands, 1u);
+    EXPECT_EQ(br.nonZeroOperands, 1u);
+}
+
+TEST(ExprSize, SubstituteSingleSlot)
+{
+    // Rg = (Rd << Rh) + Re: 2 + 2 - 1 = 3 operands.
+    const ExprSize shift = ExprSize::of(alu(Opcode::SLL, 2, 3, 4));
+    const ExprSize add = ExprSize::of(alu(Opcode::ADD, 5, 2, 6));
+    const ExprSize combined = ExprSize::substitute(add, shift, 1);
+    EXPECT_EQ(combined.rawOperands, 3u);
+    EXPECT_EQ(combined.nonZeroOperands, 3u);
+    EXPECT_EQ(combined.instructions, 2u);
+}
+
+TEST(ExprSize, SubstituteBothSlots)
+{
+    // Rb = Ra + Rd; Rc = Rb + Rb: (Ra+Rd)+(Ra+Rd) is a 4-1 expression
+    // (the paper's own example in Section 3).
+    const ExprSize prod = ExprSize::of(alu(Opcode::ADD, 2, 1, 4));
+    const ExprSize cons = ExprSize::of(alu(Opcode::ADD, 3, 2, 2));
+    const ExprSize combined = ExprSize::substitute(cons, prod, 2);
+    EXPECT_EQ(combined.rawOperands, 4u);
+    EXPECT_EQ(combined.instructions, 2u);
+}
+
+TEST(Judge, PairWithinThreeOperandsIsThreeOne)
+{
+    CollapseRules rules;
+    ExprSize e;
+    e.rawOperands = 3;
+    e.nonZeroOperands = 3;
+    e.instructions = 2;
+    CollapseCategory cat;
+    ASSERT_TRUE(rules.judge(e, cat));
+    EXPECT_EQ(cat, CollapseCategory::ThreeOne);
+}
+
+TEST(Judge, WidePairNeedsFourOneDevice)
+{
+    CollapseRules rules;
+    ExprSize e;
+    e.rawOperands = 4;
+    e.nonZeroOperands = 4;
+    e.instructions = 2;
+    CollapseCategory cat;
+    ASSERT_TRUE(rules.judge(e, cat));
+    EXPECT_EQ(cat, CollapseCategory::FourOne);
+}
+
+TEST(Judge, TripleIsFourOne)
+{
+    CollapseRules rules;
+    ExprSize e;
+    e.rawOperands = 4;
+    e.nonZeroOperands = 4;
+    e.instructions = 3;
+    CollapseCategory cat;
+    ASSERT_TRUE(rules.judge(e, cat));
+    EXPECT_EQ(cat, CollapseCategory::FourOne);
+}
+
+TEST(Judge, ZeroEnabledCollapseIsZeroOp)
+{
+    CollapseRules rules;
+    ExprSize e;
+    e.rawOperands = 5;      // too wide for the device...
+    e.nonZeroOperands = 4;  // ...but fits once the zero is discarded
+    e.instructions = 3;
+    CollapseCategory cat;
+    ASSERT_TRUE(rules.judge(e, cat));
+    EXPECT_EQ(cat, CollapseCategory::ZeroOp);
+}
+
+TEST(Judge, TooManyOperandsRejected)
+{
+    CollapseRules rules;
+    ExprSize e;
+    e.rawOperands = 5;
+    e.nonZeroOperands = 5;
+    e.instructions = 3;
+    CollapseCategory cat;
+    EXPECT_FALSE(rules.judge(e, cat));
+}
+
+TEST(Judge, TooManyInstructionsRejected)
+{
+    CollapseRules rules;
+    ExprSize e;
+    e.rawOperands = 4;
+    e.nonZeroOperands = 4;
+    e.instructions = 4;
+    CollapseCategory cat;
+    EXPECT_FALSE(rules.judge(e, cat));
+}
+
+TEST(Judge, ZeroOpDetectionCanBeDisabled)
+{
+    CollapseRules rules;
+    rules.zeroOpDetection = false;
+    ExprSize e;
+    e.rawOperands = 5;
+    e.nonZeroOperands = 4;
+    e.instructions = 3;
+    CollapseCategory cat;
+    EXPECT_FALSE(rules.judge(e, cat));
+}
+
+TEST(Judge, PairLimitKnob)
+{
+    CollapseRules rules;
+    rules.maxInstructions = 2;      // pairs only (ablation)
+    ExprSize e;
+    e.rawOperands = 4;
+    e.nonZeroOperands = 4;
+    e.instructions = 3;
+    CollapseCategory cat;
+    EXPECT_FALSE(rules.judge(e, cat));
+}
+
+TEST(Eligibility, ProducersAreAluClassesOnly)
+{
+    EXPECT_TRUE(CollapseRules::producerEligible(alu(Opcode::ADD, 1, 2, 3)));
+    EXPECT_TRUE(CollapseRules::producerEligible(alu(Opcode::SLL, 1, 2, 3)));
+    EXPECT_TRUE(CollapseRules::producerEligible(alu(Opcode::OR, 1, 2, 3)));
+    EXPECT_TRUE(CollapseRules::producerEligible(
+        aluImm(Opcode::MOV, 1, 0, 5)));
+    EXPECT_FALSE(CollapseRules::producerEligible(alu(Opcode::MUL, 1, 2, 3)));
+    EXPECT_FALSE(CollapseRules::producerEligible(alu(Opcode::DIV, 1, 2, 3)));
+    EXPECT_FALSE(CollapseRules::producerEligible(load(1, 2, 0, 0)));
+}
+
+TEST(Eligibility, ConsumersByArcKind)
+{
+    const TraceRecord add = alu(Opcode::ADD, 1, 2, 3);
+    EXPECT_TRUE(CollapseRules::consumerEligible(add, false, false));
+    EXPECT_FALSE(CollapseRules::consumerEligible(add, true, false));
+
+    const TraceRecord ld = load(1, 2, 0, 0);
+    EXPECT_TRUE(CollapseRules::consumerEligible(ld, true, false));
+    EXPECT_FALSE(CollapseRules::consumerEligible(ld, false, false));
+
+    const TraceRecord st = store(1, 2, 0, 0);
+    EXPECT_TRUE(CollapseRules::consumerEligible(st, true, false));
+    EXPECT_FALSE(CollapseRules::consumerEligible(st, false, false));
+
+    const TraceRecord br = branch(Cond::EQ, true);
+    EXPECT_TRUE(CollapseRules::consumerEligible(br, false, true));
+
+    const TraceRecord mul = alu(Opcode::MUL, 1, 2, 3);
+    EXPECT_FALSE(CollapseRules::consumerEligible(mul, false, false));
+}
+
+TEST(Signature, PaperEncodings)
+{
+    EXPECT_EQ(instructionSignature(alu(Opcode::ADD, 1, 2, 3)), "arrr");
+    EXPECT_EQ(instructionSignature(aluImm(Opcode::ADD, 1, 2, 9)), "arri");
+    EXPECT_EQ(instructionSignature(aluImm(Opcode::ADD, 1, 2, 0)), "arr0");
+    EXPECT_EQ(instructionSignature(alu(Opcode::SUB, 1, 0, 3)), "ar0r");
+    EXPECT_EQ(instructionSignature(aluImm(Opcode::SLL, 1, 2, 4)), "shri");
+    EXPECT_EQ(instructionSignature(aluImm(Opcode::OR, 1, 2, 7)), "lgri");
+    EXPECT_EQ(instructionSignature(alu(Opcode::AND, 1, 2, 0)), "lgr0");
+    EXPECT_EQ(instructionSignature(aluImm(Opcode::MOV, 1, 0, 5)), "mvi");
+    EXPECT_EQ(instructionSignature(Rec(Opcode::SETHI).rd(1).imm(0x40000)),
+              "mvi");
+    EXPECT_EQ(instructionSignature(
+                  Rec(Opcode::MOV).rd(1).rs2(7)), "mvr");
+    EXPECT_EQ(instructionSignature(load(1, 2, 0, 0)), "ldr0");
+    EXPECT_EQ(instructionSignature(
+                  Rec(Opcode::LDW).rd(1).rs1(2).rs2(3)), "ldrr");
+    EXPECT_EQ(instructionSignature(load(1, 2, 8, 0)), "ldri");
+    EXPECT_EQ(instructionSignature(store(5, 2, 8, 0)), "stri");
+    EXPECT_EQ(instructionSignature(branch(Cond::NE, true)), "brc");
+}
+
+TEST(Signature, Groups)
+{
+    const TraceRecord a = aluImm(Opcode::ADD, 1, 2, 5);
+    const TraceRecord b = branch(Cond::EQ, true);
+    const TraceRecord *pair[] = {&a, &b};
+    EXPECT_EQ(groupSignature(pair, 2), "arri-brc");
+
+    const TraceRecord c = alu(Opcode::SLL, 3, 1, 4);
+    const TraceRecord *triple[] = {&a, &c, &b};
+    EXPECT_EQ(groupSignature(triple, 3), "arri-shrr-brc");
+}
+
+TEST(CollapseStats, CategoriesAndDistances)
+{
+    CollapseStats stats;
+    CollapseEvent e1;
+    e1.category = CollapseCategory::ThreeOne;
+    e1.groupSize = 2;
+    e1.signature = "arri-brc";
+    e1.distances = {1, 0};
+    e1.distanceCount = 1;
+    stats.record(e1);
+    stats.record(e1);
+
+    CollapseEvent e2;
+    e2.category = CollapseCategory::FourOne;
+    e2.groupSize = 3;
+    e2.signature = "arri-arri-arri";
+    e2.distances = {2, 5};
+    e2.distanceCount = 2;
+    stats.record(e2);
+
+    EXPECT_EQ(stats.events(), 3u);
+    EXPECT_EQ(stats.eventsOf(CollapseCategory::ThreeOne), 2u);
+    EXPECT_EQ(stats.eventsOf(CollapseCategory::FourOne), 1u);
+    EXPECT_NEAR(stats.pctOf(CollapseCategory::ThreeOne), 66.67, 0.01);
+    EXPECT_EQ(stats.pairEvents(), 2u);
+    EXPECT_EQ(stats.tripleEvents(), 1u);
+    EXPECT_EQ(stats.distances().samples(), 4u);
+    EXPECT_EQ(stats.distances().count(1), 2u);
+    EXPECT_EQ(stats.distances().count(5), 1u);
+}
+
+TEST(CollapseStats, TopSignatures)
+{
+    CollapseStats stats;
+    CollapseEvent e;
+    e.category = CollapseCategory::ThreeOne;
+    e.groupSize = 2;
+    e.distanceCount = 0;
+    e.signature = "arri-brc";
+    stats.record(e);
+    stats.record(e);
+    stats.record(e);
+    e.signature = "shri-ldrr";
+    stats.record(e);
+    const auto top = stats.topSignatures(2, 5);
+    ASSERT_EQ(top.size(), 2u);
+    EXPECT_EQ(top[0].first, "arri-brc");
+    EXPECT_NEAR(top[0].second, 75.0, 1e-9);
+    EXPECT_EQ(top[1].first, "shri-ldrr");
+    EXPECT_NEAR(top[1].second, 25.0, 1e-9);
+}
+
+TEST(CollapseStats, Merge)
+{
+    CollapseStats a, b;
+    CollapseEvent e;
+    e.category = CollapseCategory::ZeroOp;
+    e.groupSize = 2;
+    e.signature = "lgr0-arrr";
+    e.distances = {3, 0};
+    e.distanceCount = 1;
+    a.record(e);
+    b.record(e);
+    b.noteCollapsedInstruction();
+    a.merge(b);
+    EXPECT_EQ(a.events(), 2u);
+    EXPECT_EQ(a.collapsedInstructions(), 1u);
+    EXPECT_EQ(a.pairSignatures().at("lgr0-arrr"), 2u);
+}
+
+} // anonymous namespace
+} // namespace ddsc

@@ -1,0 +1,294 @@
+/**
+ * @file
+ * Tests for the experiment driver and, through it, the paper's
+ * qualitative invariants on real (small-scale) workload traces:
+ * configuration ordering, load-class partitioning, collapse-distance
+ * bounds, and aggregation arithmetic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hh"
+
+namespace ddsc
+{
+namespace
+{
+
+/** Shared driver over test-scale workload traces to keep tests quick.
+ *  (Truncating the full-scale traces instead would capture only the
+ *  loadless data-initialization phase of some workloads.) */
+ExperimentDriver &
+driver()
+{
+    static ExperimentDriver instance(0, /*test_scale=*/true);
+    return instance;
+}
+
+TEST(Experiment, TraceLimitIsApplied)
+{
+    ExperimentDriver limited(1000);
+    EXPECT_EQ(limited.trace(findWorkload("espresso")).size(), 1000u);
+}
+
+TEST(Experiment, StatsAreCached)
+{
+    ExperimentDriver d(5000);
+    const SchedStats &first = d.stats(findWorkload("ijpeg"), 'A', 4);
+    const SchedStats &second = d.stats(findWorkload("ijpeg"), 'A', 4);
+    EXPECT_EQ(&first, &second);
+}
+
+TEST(Experiment, EverythingHasSixEntries)
+{
+    EXPECT_EQ(ExperimentDriver::everything().size(), 6u);
+}
+
+TEST(Experiment, SpeedupOfBaseIsOne)
+{
+    EXPECT_NEAR(driver().hmeanSpeedup(ExperimentDriver::everything(),
+                                      'A', 8), 1.0, 1e-12);
+}
+
+TEST(Experiment, HmeanIpcBetweenMinAndMax)
+{
+    const auto set = ExperimentDriver::everything();
+    const double hm = driver().hmeanIpc(set, 'D', 8);
+    double lo = 1e9, hi = 0.0;
+    for (const WorkloadSpec *spec : set) {
+        const double ipc = driver().stats(*spec, 'D', 8).ipc();
+        lo = std::min(lo, ipc);
+        hi = std::max(hi, ipc);
+    }
+    EXPECT_GE(hm, lo - 1e-12);
+    EXPECT_LE(hm, hi + 1e-12);
+}
+
+TEST(Experiment, SchedulerBranchStatsMatchStandalonePredictor)
+{
+    // The scheduler trains the combining predictor at fetch (window
+    // insertion) in program order, so its accuracy must equal running
+    // the predictor standalone over the branch stream -- the
+    // consistency between Table 2's bench and the simulator proper.
+    const WorkloadSpec &spec = findWorkload("espresso");
+    const SchedStats &sched = driver().stats(spec, 'A', 8);
+
+    auto predictor = makePaperPredictor();
+    VectorTraceSource &trace = driver().trace(spec);
+    trace.reset();
+    TraceRecord rec;
+    std::uint64_t branches = 0, correct = 0;
+    while (trace.next(rec)) {
+        if (rec.isCondBranch()) {
+            ++branches;
+            if (predictor->predictAndUpdate(rec.pc, rec.taken))
+                ++correct;
+        }
+    }
+    EXPECT_EQ(sched.condBranches, branches);
+    EXPECT_EQ(sched.condBranches - sched.mispredicts, correct);
+}
+
+// --- the paper's qualitative invariants, per benchmark ---------------
+
+class PaperInvariants : public testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(PaperInvariants, ConfigurationOrdering)
+{
+    const WorkloadSpec &spec = findWorkload(GetParam());
+    for (const unsigned w : {4u, 16u}) {
+        const double a = driver().stats(spec, 'A', w).ipc();
+        const double b = driver().stats(spec, 'B', w).ipc();
+        const double c = driver().stats(spec, 'C', w).ipc();
+        const double d = driver().stats(spec, 'D', w).ipc();
+        const double e = driver().stats(spec, 'E', w).ipc();
+        // Each mechanism helps, up to greedy-scheduling effects: issue
+        // is oldest-ready-first (not optimal), so accelerating
+        // non-critical work can steal narrow-width slots from the
+        // critical chain (li loses ~3% from collapsing at width 4 this
+        // way), and collapse formation depends on window co-residency.
+        // Allow 5% per benchmark; aggregate-level monotonicity is
+        // asserted strictly below.
+        EXPECT_GE(b, a * 0.95) << spec.name << " w" << w;
+        EXPECT_GE(c, a * 0.95) << spec.name << " w" << w;
+        EXPECT_GE(d, c * 0.95) << spec.name << " w" << w;
+        EXPECT_GE(e, d * 0.95) << spec.name << " w" << w;
+    }
+}
+
+TEST_P(PaperInvariants, IpcDoesNotExceedWidth)
+{
+    const WorkloadSpec &spec = findWorkload(GetParam());
+    for (const char config : {'A', 'D', 'E'}) {
+        for (const unsigned w : {4u, 8u}) {
+            EXPECT_LE(driver().stats(spec, config, w).ipc(),
+                      static_cast<double>(w) + 1e-12)
+                << spec.name << config << w;
+        }
+    }
+}
+
+TEST_P(PaperInvariants, WiderMachinesAreNotSlower)
+{
+    const WorkloadSpec &spec = findWorkload(GetParam());
+    for (const char config : {'A', 'D'}) {
+        const double w4 = driver().stats(spec, config, 4).ipc();
+        const double w16 = driver().stats(spec, config, 16).ipc();
+        EXPECT_GE(w16, w4 * 0.99) << spec.name << config;
+    }
+}
+
+TEST_P(PaperInvariants, LoadClassesPartitionLoads)
+{
+    const WorkloadSpec &spec = findWorkload(GetParam());
+    const SchedStats &stats = driver().stats(spec, 'D', 8);
+    std::uint64_t sum = 0;
+    for (const std::uint64_t n : stats.loadClasses)
+        sum += n;
+    EXPECT_EQ(sum, stats.loads);
+    EXPECT_GT(stats.loads, 0u);
+}
+
+TEST_P(PaperInvariants, CollapseDistancesAreMostlyShort)
+{
+    // Distances can exceed the window capacity (a stuck producer's
+    // younger neighbours issue and are replaced), but the bulk must be
+    // short -- the paper's Figure 10 finding.
+    const WorkloadSpec &spec = findWorkload(GetParam());
+    for (const unsigned w : {4u, 16u}) {
+        const SchedStats &stats = driver().stats(spec, 'D', w);
+        EXPECT_GT(stats.collapse.distances().cumulativeAt(2 * w), 0.85)
+            << spec.name << " w" << w;
+    }
+}
+
+TEST_P(PaperInvariants, SubstantialFractionCollapses)
+{
+    // The paper reports 29-47%; our denser integer analogues collapse
+    // more, but every benchmark must show a substantial fraction at
+    // every width.
+    const WorkloadSpec &spec = findWorkload(GetParam());
+    for (const unsigned w : {4u, 32u}) {
+        EXPECT_GT(driver().stats(spec, 'D', w).pctCollapsed(), 25.0)
+            << spec.name << " w" << w;
+    }
+}
+
+TEST_P(PaperInvariants, CategoriesSumToAllEvents)
+{
+    const WorkloadSpec &spec = findWorkload(GetParam());
+    const CollapseStats &c = driver().stats(spec, 'D', 16).collapse;
+    EXPECT_EQ(c.eventsOf(CollapseCategory::ThreeOne) +
+              c.eventsOf(CollapseCategory::FourOne) +
+              c.eventsOf(CollapseCategory::ZeroOp),
+              c.events());
+    EXPECT_EQ(c.pairEvents() + c.tripleEvents(), c.events());
+}
+
+TEST_P(PaperInvariants, BranchAccuracyIsInACredibleBand)
+{
+    const WorkloadSpec &spec = findWorkload(GetParam());
+    const SchedStats &stats = driver().stats(spec, 'A', 8);
+    EXPECT_GT(stats.branchAccuracy(), 70.0) << spec.name;
+    EXPECT_LE(stats.branchAccuracy(), 100.0) << spec.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, PaperInvariants,
+                         testing::Values("compress", "espresso",
+                                         "eqntott", "li", "go", "ijpeg"));
+
+// --- pointer-chasing contrast (paper section 5.2) ---------------------
+
+TEST(PaperFindings, StridePredictionFailsOnPointerChasing)
+{
+    // Fraction of loads predicted correctly under D at width 8:
+    // pointer-chasing benchmarks must be far below the others.
+    const double pc = driver().meanLoadClassPct(
+        workloadSubset(true), 'D', 8, LoadClass::PredictedCorrect);
+    const double npc = driver().meanLoadClassPct(
+        workloadSubset(false), 'D', 8, LoadClass::PredictedCorrect);
+    EXPECT_LT(pc, npc);
+}
+
+TEST(PaperFindings, RealSpeculationGainsLittleOnPointerChasing)
+{
+    const double gain_pc =
+        driver().hmeanSpeedup(workloadSubset(true), 'B', 8);
+    const double gain_npc =
+        driver().hmeanSpeedup(workloadSubset(false), 'B', 8);
+    EXPECT_LT(gain_pc, gain_npc);
+    EXPECT_LT(gain_pc, 1.15);   // "5%-9%" in the paper
+}
+
+TEST(PaperFindings, AggregateOrderingHolds)
+{
+    // Over the full benchmark set the paper's ordering is strict:
+    // E >= D >= C >= A and B >= A in harmonic-mean speedup.
+    const auto set = ExperimentDriver::everything();
+    for (const unsigned w : {4u, 16u}) {
+        const double b = driver().hmeanSpeedup(set, 'B', w);
+        const double c = driver().hmeanSpeedup(set, 'C', w);
+        const double d = driver().hmeanSpeedup(set, 'D', w);
+        const double e = driver().hmeanSpeedup(set, 'E', w);
+        EXPECT_GE(b, 1.0) << w;
+        EXPECT_GT(c, 1.0) << w;
+        EXPECT_GE(d, c) << w;
+        EXPECT_GE(e, d) << w;
+    }
+}
+
+TEST(PaperFindings, CollapsingContributesTheMajority)
+{
+    // Speedup(C) > Speedup(B) on the full set (the paper's headline:
+    // d-collapsing is responsible for the majority of the gains).
+    const auto set = ExperimentDriver::everything();
+    EXPECT_GT(driver().hmeanSpeedup(set, 'C', 8),
+              driver().hmeanSpeedup(set, 'B', 8));
+}
+
+TEST(PaperFindings, IdealBeatsRealMoreOnPointerChasing)
+{
+    const double drop_pc =
+        driver().hmeanSpeedup(workloadSubset(true), 'E', 16) -
+        driver().hmeanSpeedup(workloadSubset(true), 'D', 16);
+    const double drop_npc =
+        driver().hmeanSpeedup(workloadSubset(false), 'E', 16) -
+        driver().hmeanSpeedup(workloadSubset(false), 'D', 16);
+    EXPECT_GT(drop_pc, drop_npc);
+}
+
+TEST(PaperFindings, LiLoadsDefeatTheStrideTable)
+{
+    // The cdr chain walks an LCG permutation: under D nearly nothing
+    // is predicted correctly.
+    const SchedStats &stats =
+        driver().stats(findWorkload("li"), 'D', 8);
+    EXPECT_LT(stats.loadClassPct(LoadClass::PredictedCorrect), 10.0);
+    EXPECT_GT(stats.loadClassPct(LoadClass::NotPredicted), 50.0);
+}
+
+TEST(PaperFindings, RegularCodesFeedTheStrideTable)
+{
+    // espresso's strided cube scans are bread and butter for the
+    // two-delta table: ready or predicted-correctly dominates.
+    const SchedStats &stats =
+        driver().stats(findWorkload("espresso"), 'D', 8);
+    const double covered =
+        stats.loadClassPct(LoadClass::Ready) +
+        stats.loadClassPct(LoadClass::PredictedCorrect);
+    EXPECT_GT(covered, 60.0);
+}
+
+TEST(PaperFindings, MostCollapseDistancesAreShort)
+{
+    // "The distance separating the collapsed instructions is nearly
+    // always less than 8" -- even at large widths.
+    const CollapseStats merged = driver().mergedCollapse(
+        ExperimentDriver::everything(), 'D', 32);
+    EXPECT_GT(merged.distances().cumulativeAt(7), 0.60);
+}
+
+} // anonymous namespace
+} // namespace ddsc

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Unit tests for opcode traits and instruction formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/instruction.hh"
+#include "isa/opcodes.hh"
+
+namespace ddsc
+{
+namespace
+{
+
+TEST(OpTraits, Classes)
+{
+    EXPECT_EQ(opTraits(Opcode::ADD).cls, OpClass::Arith);
+    EXPECT_EQ(opTraits(Opcode::SUBCC).cls, OpClass::Arith);
+    EXPECT_EQ(opTraits(Opcode::AND).cls, OpClass::Logic);
+    EXPECT_EQ(opTraits(Opcode::SLL).cls, OpClass::Shift);
+    EXPECT_EQ(opTraits(Opcode::MOV).cls, OpClass::Move);
+    EXPECT_EQ(opTraits(Opcode::SETHI).cls, OpClass::Move);
+    EXPECT_EQ(opTraits(Opcode::MUL).cls, OpClass::Mul);
+    EXPECT_EQ(opTraits(Opcode::DIV).cls, OpClass::Div);
+    EXPECT_EQ(opTraits(Opcode::LDW).cls, OpClass::Load);
+    EXPECT_EQ(opTraits(Opcode::STB).cls, OpClass::Store);
+    EXPECT_EQ(opTraits(Opcode::BCC).cls, OpClass::Branch);
+    EXPECT_EQ(opTraits(Opcode::CALL).cls, OpClass::Call);
+    EXPECT_EQ(opTraits(Opcode::CALLI).cls, OpClass::CallIndirect);
+}
+
+TEST(OpTraits, Mnemonics)
+{
+    EXPECT_EQ(opTraits(Opcode::ADD).mnemonic, "add");
+    EXPECT_EQ(opTraits(Opcode::XORCC).mnemonic, "xorcc");
+    EXPECT_EQ(opTraits(Opcode::LDB).mnemonic, "ldb");
+}
+
+TEST(OpTraits, ConditionCodes)
+{
+    EXPECT_TRUE(opTraits(Opcode::ADDCC).setsCC);
+    EXPECT_TRUE(opTraits(Opcode::SUBCC).setsCC);
+    EXPECT_TRUE(opTraits(Opcode::ANDCC).setsCC);
+    EXPECT_FALSE(opTraits(Opcode::ADD).setsCC);
+    EXPECT_TRUE(opTraits(Opcode::BCC).readsCC);
+    EXPECT_FALSE(opTraits(Opcode::BA).readsCC);
+}
+
+TEST(OpLatency, MatchesPaperSection4)
+{
+    // "The latency of the different operations is 1 cycle with the
+    // following exceptions: loads and multiplications require 2 cycles
+    // and divides require 12 cycles."
+    EXPECT_EQ(opLatency(Opcode::ADD), 1u);
+    EXPECT_EQ(opLatency(Opcode::SLL), 1u);
+    EXPECT_EQ(opLatency(Opcode::BCC), 1u);
+    EXPECT_EQ(opLatency(Opcode::STW), 1u);
+    EXPECT_EQ(opLatency(Opcode::LDW), 2u);
+    EXPECT_EQ(opLatency(Opcode::LDB), 2u);
+    EXPECT_EQ(opLatency(Opcode::MUL), 2u);
+    EXPECT_EQ(opLatency(Opcode::DIV), 12u);
+}
+
+TEST(OpClassSignature, PaperLetters)
+{
+    EXPECT_EQ(opClassSignature(OpClass::Arith), "ar");
+    EXPECT_EQ(opClassSignature(OpClass::Logic), "lg");
+    EXPECT_EQ(opClassSignature(OpClass::Shift), "sh");
+    EXPECT_EQ(opClassSignature(OpClass::Move), "mv");
+    EXPECT_EQ(opClassSignature(OpClass::Load), "ld");
+    EXPECT_EQ(opClassSignature(OpClass::Store), "st");
+    EXPECT_EQ(opClassSignature(OpClass::Branch), "brc");
+}
+
+TEST(Collapsibility, MatchesPaperClasses)
+{
+    // Shift, arithmetic (not mul/div), logical, move, address
+    // generation, condition-code generation for branches.
+    EXPECT_TRUE(isCollapsibleClass(OpClass::Arith));
+    EXPECT_TRUE(isCollapsibleClass(OpClass::Logic));
+    EXPECT_TRUE(isCollapsibleClass(OpClass::Shift));
+    EXPECT_TRUE(isCollapsibleClass(OpClass::Move));
+    EXPECT_TRUE(isCollapsibleClass(OpClass::Load));
+    EXPECT_TRUE(isCollapsibleClass(OpClass::Store));
+    EXPECT_TRUE(isCollapsibleClass(OpClass::Branch));
+    EXPECT_FALSE(isCollapsibleClass(OpClass::Mul));
+    EXPECT_FALSE(isCollapsibleClass(OpClass::Div));
+    EXPECT_FALSE(isCollapsibleClass(OpClass::Call));
+    EXPECT_FALSE(isCollapsibleClass(OpClass::Ret));
+    EXPECT_FALSE(isCollapsibleClass(OpClass::Jump));
+}
+
+TEST(WritesRegister, PerClass)
+{
+    EXPECT_TRUE(writesRegister(OpClass::Arith));
+    EXPECT_TRUE(writesRegister(OpClass::Load));
+    EXPECT_TRUE(writesRegister(OpClass::Call));   // link register
+    EXPECT_TRUE(writesRegister(OpClass::CallIndirect));
+    EXPECT_FALSE(writesRegister(OpClass::Store));
+    EXPECT_FALSE(writesRegister(OpClass::Branch));
+    EXPECT_FALSE(writesRegister(OpClass::Ret));
+}
+
+TEST(IsControl, PerClass)
+{
+    EXPECT_TRUE(isControl(OpClass::Branch));
+    EXPECT_TRUE(isControl(OpClass::Jump));
+    EXPECT_TRUE(isControl(OpClass::IndirectJump));
+    EXPECT_TRUE(isControl(OpClass::Call));
+    EXPECT_TRUE(isControl(OpClass::CallIndirect));
+    EXPECT_TRUE(isControl(OpClass::Ret));
+    EXPECT_FALSE(isControl(OpClass::Arith));
+    EXPECT_FALSE(isControl(OpClass::Halt));
+}
+
+TEST(CondName, AllDefined)
+{
+    for (unsigned i = 0; i < kNumConds; ++i)
+        EXPECT_FALSE(condName(static_cast<Cond>(i)).empty());
+    EXPECT_EQ(condName(Cond::EQ), "eq");
+    EXPECT_EQ(condName(Cond::GTU), "gtu");
+}
+
+TEST(Instruction, ToStringAlu)
+{
+    Instruction inst;
+    inst.op = Opcode::ADD;
+    inst.rd = 3;
+    inst.rs1 = 1;
+    inst.rs2 = 2;
+    EXPECT_EQ(inst.toString(), "add r3, r1, r2");
+
+    inst.useImm = true;
+    inst.imm = -5;
+    EXPECT_EQ(inst.toString(), "add r3, r1, -5");
+}
+
+TEST(Instruction, ToStringMemory)
+{
+    Instruction inst;
+    inst.op = Opcode::LDW;
+    inst.rd = 4;
+    inst.rs1 = 2;
+    inst.useImm = true;
+    inst.imm = 8;
+    EXPECT_EQ(inst.toString(), "ldw r4, [r2 + 8]");
+}
+
+TEST(Instruction, ToStringBranch)
+{
+    Instruction inst;
+    inst.op = Opcode::BCC;
+    inst.cond = Cond::NE;
+    inst.target = 0x10010;
+    EXPECT_EQ(inst.toString(), "bne 0x10010");
+}
+
+TEST(Program, PcMapping)
+{
+    EXPECT_EQ(Program::pcOf(0), kTextBase);
+    EXPECT_EQ(Program::pcOf(5), kTextBase + 20);
+    EXPECT_EQ(Program::indexOf(kTextBase + 20), 5u);
+}
+
+TEST(Program, Contains)
+{
+    Program prog;
+    prog.text.resize(3);
+    EXPECT_TRUE(prog.contains(kTextBase));
+    EXPECT_TRUE(prog.contains(kTextBase + 8));
+    EXPECT_FALSE(prog.contains(kTextBase + 12));
+    EXPECT_FALSE(prog.contains(kTextBase + 2));    // misaligned
+    EXPECT_FALSE(prog.contains(kTextBase - 4));
+}
+
+} // anonymous namespace
+} // namespace ddsc

@@ -1,0 +1,366 @@
+/**
+ * @file
+ * Unit tests for the two-pass assembler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "masm/assembler.hh"
+
+namespace ddsc
+{
+namespace
+{
+
+TEST(Assembler, MinimalProgram)
+{
+    const AsmResult result = assemble("main:\n  halt\n");
+    ASSERT_TRUE(result.ok()) << result.errorText();
+    ASSERT_EQ(result.program.text.size(), 1u);
+    EXPECT_EQ(result.program.text[0].op, Opcode::HALT);
+    EXPECT_EQ(result.program.entry, kTextBase);
+}
+
+TEST(Assembler, AluThreeOperandForms)
+{
+    const AsmResult result = assemble(
+        "  add r1, r2, r3\n"
+        "  sub r4, r5, -7\n"
+        "  xorcc r6, r7, 0x1f\n"
+        "  halt\n");
+    ASSERT_TRUE(result.ok()) << result.errorText();
+    const auto &text = result.program.text;
+    EXPECT_EQ(text[0].op, Opcode::ADD);
+    EXPECT_EQ(text[0].rd, 1);
+    EXPECT_EQ(text[0].rs1, 2);
+    EXPECT_EQ(text[0].rs2, 3);
+    EXPECT_FALSE(text[0].useImm);
+    EXPECT_EQ(text[1].op, Opcode::SUB);
+    EXPECT_TRUE(text[1].useImm);
+    EXPECT_EQ(text[1].imm, -7);
+    EXPECT_EQ(text[2].op, Opcode::XORCC);
+    EXPECT_EQ(text[2].imm, 0x1f);
+}
+
+TEST(Assembler, RegisterAliases)
+{
+    const AsmResult result = assemble(
+        "  add sp, sp, -16\n"
+        "  mov lr, zero\n"
+        "  halt\n");
+    ASSERT_TRUE(result.ok()) << result.errorText();
+    EXPECT_EQ(result.program.text[0].rd, kRegSp);
+    EXPECT_EQ(result.program.text[1].rd, kRegLink);
+    EXPECT_EQ(result.program.text[1].rs2, kRegZero);
+}
+
+TEST(Assembler, MemoryOperandForms)
+{
+    const AsmResult result = assemble(
+        "  ldw r1, [r2]\n"
+        "  ldw r3, [r4 + 12]\n"
+        "  ldb r5, [r6 - 1]\n"
+        "  stw r7, [r8 + r9]\n"
+        "  halt\n");
+    ASSERT_TRUE(result.ok()) << result.errorText();
+    const auto &text = result.program.text;
+    EXPECT_TRUE(text[0].useImm);
+    EXPECT_EQ(text[0].imm, 0);
+    EXPECT_EQ(text[1].imm, 12);
+    EXPECT_EQ(text[2].imm, -1);
+    EXPECT_EQ(text[2].op, Opcode::LDB);
+    EXPECT_FALSE(text[3].useImm);
+    EXPECT_EQ(text[3].rs2, 9);
+    EXPECT_EQ(text[3].rd, 7);      // store value register
+}
+
+TEST(Assembler, BranchesResolveForwardAndBackwardLabels)
+{
+    const AsmResult result = assemble(
+        "top:\n"
+        "  cmp r1, r2\n"
+        "  beq done\n"
+        "  ba top\n"
+        "done:\n"
+        "  halt\n");
+    ASSERT_TRUE(result.ok()) << result.errorText();
+    const auto &text = result.program.text;
+    EXPECT_EQ(text[1].op, Opcode::BCC);
+    EXPECT_EQ(text[1].cond, Cond::EQ);
+    EXPECT_EQ(text[1].target, Program::pcOf(3));
+    EXPECT_EQ(text[2].op, Opcode::BA);
+    EXPECT_EQ(text[2].target, Program::pcOf(0));
+}
+
+TEST(Assembler, CmpIsSubccToR0)
+{
+    const AsmResult result = assemble("  cmp r3, 9\n  halt\n");
+    ASSERT_TRUE(result.ok()) << result.errorText();
+    const Instruction &cmp = result.program.text[0];
+    EXPECT_EQ(cmp.op, Opcode::SUBCC);
+    EXPECT_EQ(cmp.rd, kRegZero);
+    EXPECT_EQ(cmp.rs1, 3);
+    EXPECT_EQ(cmp.imm, 9);
+}
+
+TEST(Assembler, LiSmallIsOneMove)
+{
+    const AsmResult result = assemble("  li r1, 100\n  halt\n");
+    ASSERT_TRUE(result.ok()) << result.errorText();
+    ASSERT_EQ(result.program.text.size(), 2u);
+    EXPECT_EQ(result.program.text[0].op, Opcode::MOV);
+    EXPECT_EQ(result.program.text[0].imm, 100);
+}
+
+TEST(Assembler, LiWideIsSethiOr)
+{
+    const AsmResult result = assemble("  li r1, 0xdeadbeef\n  halt\n");
+    ASSERT_TRUE(result.ok()) << result.errorText();
+    ASSERT_EQ(result.program.text.size(), 3u);
+    EXPECT_EQ(result.program.text[0].op, Opcode::SETHI);
+    EXPECT_EQ(result.program.text[0].imm,
+              static_cast<std::int32_t>(0xdeadbeefu >> 12));
+    EXPECT_EQ(result.program.text[1].op, Opcode::OR);
+    EXPECT_EQ(result.program.text[1].imm,
+              static_cast<std::int32_t>(0xeef));
+}
+
+TEST(Assembler, LiAlignedWideOmitsTheOr)
+{
+    const AsmResult result = assemble("  li r1, 0x40000000\n  halt\n");
+    ASSERT_TRUE(result.ok()) << result.errorText();
+    ASSERT_EQ(result.program.text.size(), 2u);
+    EXPECT_EQ(result.program.text[0].op, Opcode::SETHI);
+}
+
+TEST(Assembler, LaResolvesDataLabels)
+{
+    const AsmResult result = assemble(
+        "  la r1, table\n"
+        "  halt\n"
+        ".data\n"
+        "table: .word 1, 2, 3\n");
+    ASSERT_TRUE(result.ok()) << result.errorText();
+    ASSERT_EQ(result.program.text.size(), 3u);
+    EXPECT_EQ(result.program.text[0].op, Opcode::SETHI);
+    EXPECT_EQ(result.program.text[1].op, Opcode::OR);
+    const std::uint32_t addr =
+        (static_cast<std::uint32_t>(result.program.text[0].imm) << 12) |
+        static_cast<std::uint32_t>(result.program.text[1].imm);
+    EXPECT_EQ(addr, kDataBase);
+}
+
+TEST(Assembler, LabelSizingAccountsForPseudoExpansion)
+{
+    // The branch target after a wide li must account for li's 2 slots.
+    const AsmResult result = assemble(
+        "  li r1, 0x12345678\n"
+        "  ba done\n"
+        "done:\n"
+        "  halt\n");
+    ASSERT_TRUE(result.ok()) << result.errorText();
+    EXPECT_EQ(result.program.text[2].target, Program::pcOf(3));
+}
+
+TEST(Assembler, DataDirectives)
+{
+    const AsmResult result = assemble(
+        "  halt\n"
+        ".data\n"
+        "bytes: .byte 1, 2, 3\n"
+        ".align 4\n"
+        "words: .word 0x11223344\n"
+        "buf:   .space 8\n"
+        "tail:  .byte 0xff\n");
+    ASSERT_TRUE(result.ok()) << result.errorText();
+    const auto &data = result.program.data;
+    ASSERT_EQ(data.size(), 3u + 1u + 4u + 8u + 1u);
+    EXPECT_EQ(data[0], 1);
+    EXPECT_EQ(data[4], 0x44);   // little-endian word after align pad
+    EXPECT_EQ(data[7], 0x11);
+    EXPECT_EQ(data[16], 0xff);
+}
+
+TEST(Assembler, WordCanHoldALabelAddress)
+{
+    const AsmResult result = assemble(
+        "  halt\n"
+        ".data\n"
+        "a: .word b\n"
+        "b: .word 7\n");
+    ASSERT_TRUE(result.ok()) << result.errorText();
+    const auto &data = result.program.data;
+    const std::uint32_t stored = data[0] | (data[1] << 8) |
+        (data[2] << 16) | (static_cast<std::uint32_t>(data[3]) << 24);
+    EXPECT_EQ(stored, kDataBase + 4);
+}
+
+TEST(Assembler, EquConstantsFeedImmediates)
+{
+    const AsmResult result = assemble(
+        ".equ ITERS, 64\n"
+        ".equ STEP, -4\n"
+        "main:\n"
+        "  cmp r1, ITERS\n"
+        "  add r2, r2, STEP\n"
+        "  halt\n");
+    ASSERT_TRUE(result.ok()) << result.errorText();
+    EXPECT_EQ(result.program.text[0].imm, 64);
+    EXPECT_EQ(result.program.text[1].imm, -4);
+}
+
+TEST(Assembler, EquOutOfRangeIsAnError)
+{
+    const AsmResult result = assemble(
+        ".equ BIG, 100000\n"
+        "  add r1, r1, BIG\n"
+        "  halt\n");
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.errors[0].message.find("simm13"), std::string::npos);
+}
+
+TEST(Assembler, EquDuplicateIsAnError)
+{
+    const AsmResult result = assemble(
+        ".equ X, 1\n"
+        ".equ X, 2\n"
+        "  halt\n");
+    ASSERT_FALSE(result.ok());
+}
+
+TEST(Assembler, ConveniencePseudoOps)
+{
+    const AsmResult result = assemble(
+        "  inc r3\n"
+        "  dec r4\n"
+        "  neg r5, r6\n"
+        "  not r7, r8\n"
+        "  halt\n");
+    ASSERT_TRUE(result.ok()) << result.errorText();
+    const auto &text = result.program.text;
+    EXPECT_EQ(text[0].op, Opcode::ADD);
+    EXPECT_EQ(text[0].rd, 3);
+    EXPECT_EQ(text[0].rs1, 3);
+    EXPECT_EQ(text[0].imm, 1);
+    EXPECT_EQ(text[1].op, Opcode::SUB);
+    EXPECT_EQ(text[1].imm, 1);
+    EXPECT_EQ(text[2].op, Opcode::SUB);
+    EXPECT_EQ(text[2].rs1, kRegZero);
+    EXPECT_EQ(text[2].rs2, 6);
+    EXPECT_EQ(text[3].op, Opcode::XOR);
+    EXPECT_EQ(text[3].rs1, 8);
+    EXPECT_EQ(text[3].imm, -1);
+}
+
+TEST(Assembler, IndirectCallForm)
+{
+    const AsmResult result = assemble(
+        "  calli [r9]\n"
+        "  calli [r9 + 4]\n"
+        "  calli [r9 + r10]\n"
+        "  halt\n");
+    ASSERT_TRUE(result.ok()) << result.errorText();
+    const auto &text = result.program.text;
+    EXPECT_EQ(text[0].op, Opcode::CALLI);
+    EXPECT_EQ(text[0].rs1, 9);
+    EXPECT_TRUE(text[0].useImm);
+    EXPECT_EQ(text[1].imm, 4);
+    EXPECT_FALSE(text[2].useImm);
+    EXPECT_EQ(text[2].rs2, 10);
+}
+
+TEST(Assembler, EntryPointIsMain)
+{
+    const AsmResult result = assemble(
+        "helper:\n  ret\n"
+        "main:\n  halt\n");
+    ASSERT_TRUE(result.ok()) << result.errorText();
+    EXPECT_EQ(result.program.entry, Program::pcOf(1));
+}
+
+TEST(Assembler, CommentsAndBlankLines)
+{
+    const AsmResult result = assemble(
+        "; full line comment\n"
+        "# another comment style\n"
+        "\n"
+        "  add r1, r2, r3   ; trailing comment\n"
+        "  halt # trailing too\n");
+    ASSERT_TRUE(result.ok()) << result.errorText();
+    EXPECT_EQ(result.program.text.size(), 2u);
+}
+
+TEST(AssemblerErrors, UnknownMnemonic)
+{
+    const AsmResult result = assemble("  frobnicate r1, r2\n");
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.errors[0].message.find("unknown mnemonic"),
+              std::string::npos);
+    EXPECT_EQ(result.errors[0].line, 1);
+}
+
+TEST(AssemblerErrors, ImmediateOutOfRange)
+{
+    const AsmResult result = assemble("  add r1, r2, 5000\n  halt\n");
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.errors[0].message.find("simm13"), std::string::npos);
+}
+
+TEST(AssemblerErrors, UndefinedLabel)
+{
+    const AsmResult result = assemble("  ba nowhere\n  halt\n");
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.errors[0].message.find("undefined"),
+              std::string::npos);
+}
+
+TEST(AssemblerErrors, DuplicateLabel)
+{
+    const AsmResult result = assemble(
+        "x:\n  halt\n"
+        "x:\n  halt\n");
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.errors[0].message.find("duplicate"),
+              std::string::npos);
+}
+
+TEST(AssemblerErrors, WrongOperandCount)
+{
+    const AsmResult result = assemble("  add r1, r2\n  halt\n");
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.errors[0].message.find("expects 3"),
+              std::string::npos);
+}
+
+TEST(AssemblerErrors, InstructionInDataSegment)
+{
+    const AsmResult result = assemble(
+        "  halt\n"
+        ".data\n"
+        "  add r1, r2, r3\n");
+    ASSERT_FALSE(result.ok());
+}
+
+TEST(AssemblerErrors, BadRegister)
+{
+    const AsmResult result = assemble("  add r99, r1, r2\n  halt\n");
+    ASSERT_FALSE(result.ok());
+}
+
+TEST(AssemblerErrors, EmptyProgram)
+{
+    const AsmResult result = assemble("; nothing\n");
+    ASSERT_FALSE(result.ok());
+}
+
+TEST(AssemblerErrors, MultipleErrorsAllReported)
+{
+    const AsmResult result = assemble(
+        "  bogus r1\n"
+        "  add r1, r2\n"
+        "  halt\n");
+    EXPECT_EQ(result.errors.size(), 2u);
+}
+
+} // anonymous namespace
+} // namespace ddsc

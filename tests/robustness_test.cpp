@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Failure-injection and error-path tests: panics on internal
+ * invariant violations, fatal exits on bad user input, and graceful
+ * handling of malformed trace files.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <gtest/gtest.h>
+
+#include "core/scheduler.hh"
+#include "masm/assembler.hh"
+#include "support/logging.hh"
+#include "support/sat_counter.hh"
+#include "test_helpers.hh"
+#include "trace/source.hh"
+#include "vm/vm.hh"
+
+namespace ddsc
+{
+namespace
+{
+
+using test::alu;
+using test::aluImm;
+
+TEST(RobustnessDeath, SatCounterRejectsBadWidth)
+{
+    EXPECT_DEATH({ SatCounter ctr(0); }, "bad counter width");
+    EXPECT_DEATH({ SatCounter ctr(17); }, "bad counter width");
+}
+
+TEST(RobustnessDeath, SatCounterRejectsOverflowingInitial)
+{
+    EXPECT_DEATH({ SatCounter ctr(2, 4); }, "exceeds max");
+}
+
+TEST(RobustnessDeath, SchedulerRejectsZeroWidth)
+{
+    MachineConfig config;
+    config.issueWidth = 0;
+    EXPECT_DEATH({ LimitScheduler s(config); }, "positive");
+}
+
+TEST(RobustnessDeath, SchedulerRejectsWindowSmallerThanWidth)
+{
+    MachineConfig config;
+    config.issueWidth = 8;
+    config.windowSize = 4;
+    EXPECT_DEATH({ LimitScheduler s(config); }, "window smaller");
+}
+
+TEST(RobustnessDeath, UnknownPaperConfigIsFatal)
+{
+    EXPECT_EXIT({ MachineConfig::paper('Z', 4); },
+                testing::ExitedWithCode(1), "unknown configuration");
+}
+
+TEST(RobustnessDeath, AssembleOrDieIsFatalOnErrors)
+{
+    EXPECT_EXIT({ assembleOrDie("  bogus\n"); },
+                testing::ExitedWithCode(1), "assembly failed");
+}
+
+TEST(RobustnessDeath, VmDivisionByZeroIsFatal)
+{
+    EXPECT_EXIT({
+        const Program program = assembleOrDie(
+            "main:\n  mov r1, 4\n  div r2, r1, r0\n  halt\n");
+        Vm vm(program);
+        vm.run();
+    }, testing::ExitedWithCode(1), "division by zero");
+}
+
+TEST(RobustnessDeath, VmPcEscapeIsFatal)
+{
+    EXPECT_EXIT({
+        // Fall off the end of the text segment (no halt).
+        const Program program = assembleOrDie(
+            "main:\n  add r1, r2, r3\n");
+        Vm vm(program);
+        vm.run();
+    }, testing::ExitedWithCode(1), "escaped the text segment");
+}
+
+TEST(RobustnessDeath, MissingTraceFileIsFatal)
+{
+    EXPECT_EXIT({ TraceFileSource src("/nonexistent/foo.trc"); },
+                testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST(RobustnessDeath, NonTraceFileIsRejected)
+{
+    const std::string path = testing::TempDir() + "/not_a_trace.trc";
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << "this is definitely not a ddsc trace file at all";
+    }
+    EXPECT_EXIT({ TraceFileSource src(path); },
+                testing::ExitedWithCode(1), "not a ddsc trace");
+    std::remove(path.c_str());
+}
+
+TEST(RobustnessDeath, TruncatedTraceFileIsDetected)
+{
+    const std::string path = testing::TempDir() + "/truncated.trc";
+    {
+        TraceFileWriter writer(path);
+        for (int i = 0; i < 10; ++i)
+            writer.emit(alu(Opcode::ADD, 1, 2, 3));
+    }
+    // Chop off the last record's tail.
+    {
+        std::ifstream in(path, std::ios::binary);
+        std::string bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size() - 15));
+    }
+    EXPECT_EXIT({
+        TraceFileSource src(path);
+        TraceRecord rec;
+        while (src.next(rec)) {
+        }
+    }, testing::ExitedWithCode(1), "truncated");
+    std::remove(path.c_str());
+}
+
+TEST(Robustness, WarnAndInformDoNotTerminate)
+{
+    warn("this is a test warning %d", 42);
+    inform("this is a test info message");
+    SUCCEED();
+}
+
+TEST(Robustness, SchedulerHandlesWindowLargerThanTrace)
+{
+    // A 2048-wide machine fed a 10-instruction trace.
+    std::vector<TraceRecord> recs;
+    for (int i = 0; i < 10; ++i)
+        recs.push_back(alu(Opcode::ADD, 1 + i % 4, 0, 0,
+                           0x10000 + 4 * i));
+    VectorTraceSource trace(std::move(recs));
+    LimitScheduler scheduler(MachineConfig::paper('D', 2048));
+    const SchedStats stats = scheduler.run(trace);
+    EXPECT_EQ(stats.instructions, 10u);
+    EXPECT_EQ(stats.cycles, 1u);
+}
+
+TEST(Robustness, SchedulerIsReusableAcrossRuns)
+{
+    std::vector<TraceRecord> recs;
+    for (int i = 0; i < 100; ++i)
+        recs.push_back(aluImm(Opcode::ADD, 1, 1, 1, 0x10000 + 4 * i));
+    VectorTraceSource trace(std::move(recs));
+    LimitScheduler scheduler(MachineConfig::paper('D', 4));
+    const SchedStats first = scheduler.run(trace);
+    trace.reset();
+    const SchedStats second = scheduler.run(trace);
+    EXPECT_EQ(first.cycles, second.cycles);
+    EXPECT_EQ(first.collapse.events(), second.collapse.events());
+}
+
+TEST(Robustness, EmptyProgramDataSegmentIsFine)
+{
+    const Program program = assembleOrDie("main:\n  halt\n");
+    Vm vm(program);
+    EXPECT_TRUE(vm.run().halted);
+}
+
+} // anonymous namespace
+} // namespace ddsc

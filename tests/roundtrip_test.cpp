@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Property test: Instruction::toString() output reassembles to the
+ * identical instruction.  Exercises the disassembler and the
+ * assembler's operand grammar against each other over randomly
+ * generated instructions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/instruction.hh"
+#include "masm/assembler.hh"
+#include "support/random.hh"
+
+namespace ddsc
+{
+namespace
+{
+
+/** Generate a random but well-formed instruction. */
+Instruction
+randomInstruction(Rng &rng)
+{
+    // Opcodes whose textual form is self-contained (branch/call/jump
+    // targets must land inside the reassembled 2-instruction program,
+    // so control ops are pinned to a valid target below).
+    constexpr Opcode kOps[] = {
+        Opcode::ADD, Opcode::SUB, Opcode::ADDCC, Opcode::SUBCC,
+        Opcode::AND, Opcode::OR, Opcode::XOR, Opcode::ANDN,
+        Opcode::ANDCC, Opcode::ORCC, Opcode::XORCC,
+        Opcode::SLL, Opcode::SRL, Opcode::SRA,
+        Opcode::MOV, Opcode::SETHI,
+        Opcode::MUL, Opcode::DIV,
+        Opcode::LDW, Opcode::LDB, Opcode::STW, Opcode::STB,
+        Opcode::BCC, Opcode::BA, Opcode::JMPI, Opcode::CALLI,
+        Opcode::RET, Opcode::HALT, Opcode::NOP,
+    };
+    Instruction inst;
+    inst.op = kOps[rng.below(std::size(kOps))];
+    inst.rd = static_cast<std::uint8_t>(rng.below(kNumRegs));
+    inst.rs1 = static_cast<std::uint8_t>(rng.below(kNumRegs));
+    inst.useImm = rng.chance(0.5);
+    if (inst.useImm)
+        inst.imm = static_cast<std::int32_t>(rng.range(-4096, 4095));
+    else
+        inst.rs2 = static_cast<std::uint8_t>(rng.below(kNumRegs));
+    if (inst.op == Opcode::SETHI) {
+        inst.useImm = true;
+        inst.imm = static_cast<std::int32_t>(rng.below(1 << 20));
+    }
+    if (inst.op == Opcode::BCC)
+        inst.cond = static_cast<Cond>(rng.below(kNumConds));
+    if (inst.op == Opcode::BCC || inst.op == Opcode::BA) {
+        // Point at the second instruction of the reassembled program.
+        inst.target = Program::pcOf(1);
+    }
+    // Clear the fields the textual form does not carry, so the
+    // reassembled instruction (which leaves them defaulted) compares
+    // equal on every meaningful field.
+    switch (opTraits(inst.op).cls) {
+      case OpClass::Branch:
+      case OpClass::Jump:
+      case OpClass::Ret:
+      case OpClass::Halt:
+      case OpClass::Nop:
+        inst.rd = 0;
+        inst.rs1 = 0;
+        inst.rs2 = 0;
+        inst.useImm = false;
+        inst.imm = 0;
+        break;
+      default:
+        break;
+    }
+    return inst;
+}
+
+bool
+equivalent(const Instruction &a, const Instruction &b)
+{
+    if (a.op != b.op || a.useImm != b.useImm)
+        return false;
+    const OpClass cls = opTraits(a.op).cls;
+    switch (cls) {
+      case OpClass::Arith:
+      case OpClass::Logic:
+      case OpClass::Shift:
+      case OpClass::Mul:
+      case OpClass::Div:
+        if (a.rd != b.rd || a.rs1 != b.rs1)
+            return false;
+        break;
+      case OpClass::Move:
+        if (a.rd != b.rd)
+            return false;
+        break;
+      case OpClass::Load:
+      case OpClass::Store:
+        if (a.rd != b.rd || a.rs1 != b.rs1)
+            return false;
+        break;
+      case OpClass::IndirectJump:
+      case OpClass::CallIndirect:
+        if (a.rs1 != b.rs1)
+            return false;
+        break;
+      case OpClass::Branch:
+        if (a.cond != b.cond || a.target != b.target)
+            return false;
+        break;
+      case OpClass::Jump:
+        if (a.target != b.target)
+            return false;
+        break;
+      default:
+        break;      // ret/halt/nop carry no operands
+    }
+    if (a.useImm)
+        return a.imm == b.imm;
+    // Register src2 applies to the classes with a second source.
+    switch (cls) {
+      case OpClass::Arith:
+      case OpClass::Logic:
+      case OpClass::Shift:
+      case OpClass::Mul:
+      case OpClass::Div:
+      case OpClass::Move:
+      case OpClass::Load:
+      case OpClass::Store:
+      case OpClass::IndirectJump:
+      case OpClass::CallIndirect:
+        return a.rs2 == b.rs2;
+      default:
+        return true;
+    }
+}
+
+TEST(Roundtrip, DisassembledInstructionsReassembleIdentically)
+{
+    Rng rng(20260704);
+    int checked = 0;
+    for (int i = 0; i < 2000; ++i) {
+        const Instruction original = randomInstruction(rng);
+        const std::string text = "  " + original.toString() +
+            "\n  halt\n";
+        const AsmResult result = assemble(text);
+        ASSERT_TRUE(result.ok())
+            << "failed to reassemble: " << original.toString()
+            << "\n" << result.errorText();
+        ASSERT_GE(result.program.text.size(), 1u);
+        const Instruction &reassembled = result.program.text[0];
+        EXPECT_TRUE(equivalent(original, reassembled))
+            << original.toString() << "  vs  "
+            << reassembled.toString();
+        ++checked;
+    }
+    EXPECT_EQ(checked, 2000);
+}
+
+} // anonymous namespace
+} // namespace ddsc

@@ -1,0 +1,628 @@
+/**
+ * @file
+ * Unit tests for the limit scheduler: hand-computed issue schedules for
+ * micro-traces covering width limits, latencies, branch barriers,
+ * memory dependences, load speculation, and collapsing.
+ *
+ * Timing conventions under test (DESIGN.md section 5): the initial
+ * window fill can issue at cycle 0; a producer issuing at cycle t with
+ * latency L feeds consumers from cycle t+L; refilled instructions issue
+ * no earlier than the cycle after insertion; cycles = last issue + 1.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/config.hh"
+#include "core/scheduler.hh"
+#include "test_helpers.hh"
+
+namespace ddsc
+{
+namespace
+{
+
+using test::Rec;
+using test::alu;
+using test::aluImm;
+using test::branch;
+using test::load;
+using test::store;
+using test::traceOf;
+
+SchedStats
+runOn(const MachineConfig &config, std::vector<TraceRecord> records)
+{
+    VectorTraceSource trace = traceOf(std::move(records));
+    LimitScheduler scheduler(config);
+    return scheduler.run(trace);
+}
+
+MachineConfig
+cfg(char id, unsigned width)
+{
+    return MachineConfig::paper(id, width);
+}
+
+TEST(Scheduler, EmptyTrace)
+{
+    const SchedStats stats = runOn(cfg('A', 4), {});
+    EXPECT_EQ(stats.instructions, 0u);
+    EXPECT_EQ(stats.ipc(), 0.0);
+}
+
+TEST(Scheduler, IndependentInstructionsSaturateWidth)
+{
+    // 8 independent adds, width 4, window 8: 4 issue at cycle 0 and 4
+    // at cycle 1 => IPC 4.
+    std::vector<TraceRecord> recs;
+    for (int i = 0; i < 8; ++i)
+        recs.push_back(alu(Opcode::ADD, 1 + i % 8, 0, 0,
+                           0x10000 + 4 * i));
+    const SchedStats stats = runOn(cfg('A', 4), recs);
+    EXPECT_EQ(stats.instructions, 8u);
+    EXPECT_EQ(stats.cycles, 2u);
+    EXPECT_NEAR(stats.ipc(), 4.0, 1e-12);
+}
+
+TEST(Scheduler, WidthOneSerializes)
+{
+    std::vector<TraceRecord> recs;
+    for (int i = 0; i < 5; ++i)
+        recs.push_back(alu(Opcode::ADD, 1, 0, 0, 0x10000 + 4 * i));
+    const SchedStats stats = runOn(cfg('A', 1), recs);
+    EXPECT_EQ(stats.cycles, 5u);
+}
+
+TEST(Scheduler, DependentChainIssuesOnePerCycle)
+{
+    // add r1 = r1 + 1, six times: RAW chain, 1-cycle latency.
+    std::vector<TraceRecord> recs;
+    for (int i = 0; i < 6; ++i)
+        recs.push_back(aluImm(Opcode::ADD, 1, 1, 1, 0x10000 + 4 * i));
+    const SchedStats stats = runOn(cfg('A', 4), recs);
+    EXPECT_EQ(stats.cycles, 6u);
+    EXPECT_NEAR(stats.ipc(), 1.0, 1e-12);
+}
+
+TEST(Scheduler, WritesToR0CreateNoDependence)
+{
+    std::vector<TraceRecord> recs;
+    for (int i = 0; i < 4; ++i)
+        recs.push_back(aluImm(Opcode::ADD, 0, 0, 1, 0x10000 + 4 * i));
+    const SchedStats stats = runOn(cfg('A', 4), recs);
+    EXPECT_EQ(stats.cycles, 1u);
+}
+
+TEST(Scheduler, LoadLatencyIsTwoCycles)
+{
+    // ld r1 (cycle 0, completes for consumers at 2); add r2 = r1 + 1
+    // at cycle 2.
+    const SchedStats stats = runOn(cfg('A', 4), {
+        load(1, 0, 0, 0x1000, 0x10000),
+        aluImm(Opcode::ADD, 2, 1, 1, 0x10004),
+    });
+    EXPECT_EQ(stats.cycles, 3u);
+}
+
+TEST(Scheduler, DivideLatencyIsTwelveCycles)
+{
+    const SchedStats stats = runOn(cfg('A', 4), {
+        alu(Opcode::DIV, 1, 2, 3, 0x10000),
+        aluImm(Opcode::ADD, 4, 1, 1, 0x10004),
+    });
+    // div at 0, add at 12 => 13 cycles.
+    EXPECT_EQ(stats.cycles, 13u);
+}
+
+TEST(Scheduler, MultiplyLatencyIsTwoCycles)
+{
+    const SchedStats stats = runOn(cfg('A', 4), {
+        alu(Opcode::MUL, 1, 2, 3, 0x10000),
+        aluImm(Opcode::ADD, 4, 1, 1, 0x10004),
+    });
+    EXPECT_EQ(stats.cycles, 3u);
+}
+
+TEST(Scheduler, IdealRenamingIgnoresWarAndWaw)
+{
+    // WAW on r1 and WAR on r2 must not serialize anything.
+    const SchedStats stats = runOn(cfg('A', 4), {
+        alu(Opcode::ADD, 1, 2, 3, 0x10000),
+        alu(Opcode::ADD, 1, 4, 5, 0x10004),    // WAW with 0
+        alu(Opcode::ADD, 2, 6, 7, 0x10008),    // WAR with 0
+    });
+    EXPECT_EQ(stats.cycles, 1u);
+}
+
+TEST(Scheduler, StoreToLoadDependenceHonored)
+{
+    // store to 0x1000 at cycle 0 (latency 1), aliasing load issues at
+    // cycle 1, dependent add at 3.
+    const SchedStats stats = runOn(cfg('A', 4), {
+        store(5, 0, 0, 0x1000, 0x10000),
+        load(1, 0, 0, 0x1000, 0x10004),
+        aluImm(Opcode::ADD, 2, 1, 1, 0x10008),
+    });
+    EXPECT_EQ(stats.cycles, 4u);
+}
+
+TEST(Scheduler, NonAliasingLoadIgnoresStore)
+{
+    const SchedStats stats = runOn(cfg('A', 4), {
+        store(5, 0, 0, 0x1000, 0x10000),
+        load(1, 0, 0, 0x2000, 0x10004),
+    });
+    EXPECT_EQ(stats.cycles, 1u);
+}
+
+TEST(Scheduler, PartialOverlapIsADependence)
+{
+    // Byte store into the middle of the word the load reads.
+    const SchedStats stats = runOn(cfg('A', 4), {
+        Rec(Opcode::STB).rd(5).rs1(0).imm(0).ea(0x1002).pc(0x10000),
+        load(1, 0, 0, 0x1000, 0x10004),
+    });
+    // store at 0, load at 1 => 2 cycles.
+    EXPECT_EQ(stats.cycles, 2u);
+}
+
+TEST(Scheduler, MispredictedBranchBarriers)
+{
+    // The predictor starts weakly-not-taken, so a taken branch
+    // mispredicts.  Younger instructions cannot issue before or during
+    // the branch's issue cycle.
+    const SchedStats stats = runOn(cfg('A', 4), {
+        aluImm(Opcode::SUBCC, 0, 5, 1, 0x10000),     // cmp: cycle 0
+        branch(Cond::EQ, true, 0x10004),             // cc at 1: cycle 1
+        alu(Opcode::ADD, 1, 0, 0, 0x10008),          // barrier: cycle 2
+    });
+    EXPECT_EQ(stats.cycles, 3u);
+    EXPECT_EQ(stats.condBranches, 1u);
+    EXPECT_EQ(stats.mispredicts, 1u);
+}
+
+TEST(Scheduler, CorrectlyPredictedBranchDoesNotBarrier)
+{
+    // A not-taken branch agrees with the weakly-not-taken initial
+    // prediction: the younger add can issue immediately.
+    const SchedStats stats = runOn(cfg('A', 4), {
+        aluImm(Opcode::SUBCC, 0, 5, 1, 0x10000),
+        branch(Cond::EQ, false, 0x10004),
+        alu(Opcode::ADD, 1, 0, 0, 0x10008),
+    });
+    EXPECT_EQ(stats.cycles, 2u);    // cmp+add at 0, branch at 1
+    EXPECT_EQ(stats.mispredicts, 0u);
+}
+
+TEST(Scheduler, WindowLimitsLookahead)
+{
+    // Width 1, window 2.  A long chain head blocks the window, so the
+    // independent tail cannot be seen until the chain drains.
+    std::vector<TraceRecord> recs;
+    recs.push_back(alu(Opcode::DIV, 1, 2, 3, 0x10000));
+    recs.push_back(aluImm(Opcode::ADD, 4, 1, 1, 0x10004)); // waits 12
+    recs.push_back(alu(Opcode::ADD, 5, 0, 0, 0x10008));
+    const SchedStats narrow = runOn(cfg('A', 1), recs);
+    // div at 0; the dependent add issues at 12; the independent add
+    // only entered the window after the div issued (cycle 1) and
+    // issues at... width 1: div@0, indep-add enters at 1 and issues at
+    // 1, dep-add at 12 => cycles 13.
+    EXPECT_EQ(narrow.cycles, 13u);
+}
+
+TEST(Scheduler, RefilledInstructionsWaitOneCycle)
+{
+    // Width 4 / window 8 with 12 independent adds: 4+4 issue in cycles
+    // 0 and 1; the 4 refilled at the end of cycle 0 issue at cycle 1?
+    // No: refills happen after issue each cycle, so entries inserted
+    // during cycle 0 become eligible at cycle 1, and the last 4 issue
+    // at cycle 2.
+    std::vector<TraceRecord> recs;
+    for (int i = 0; i < 12; ++i)
+        recs.push_back(alu(Opcode::ADD, 1 + i % 4, 0, 0,
+                           0x10000 + 4 * i));
+    const SchedStats stats = runOn(cfg('A', 4), recs);
+    EXPECT_EQ(stats.cycles, 3u);
+    EXPECT_NEAR(stats.ipc(), 4.0, 1e-12);
+}
+
+// --- collapsing ------------------------------------------------------
+
+TEST(Scheduler, CollapsePairIssuesTogether)
+{
+    // Producer/consumer adds: base takes 2 cycles, collapsing 1.
+    std::vector<TraceRecord> recs = {
+        alu(Opcode::ADD, 1, 2, 3, 0x10000),
+        alu(Opcode::ADD, 4, 1, 5, 0x10004),
+    };
+    EXPECT_EQ(runOn(cfg('A', 4), recs).cycles, 2u);
+    const SchedStats c = runOn(cfg('C', 4), recs);
+    EXPECT_EQ(c.cycles, 1u);
+    EXPECT_EQ(c.collapse.events(), 1u);
+    EXPECT_EQ(c.collapse.eventsOf(CollapseCategory::ThreeOne), 1u);
+    EXPECT_EQ(c.collapse.collapsedInstructions(), 2u);
+    EXPECT_NEAR(c.pctCollapsed(), 100.0, 1e-9);
+    EXPECT_EQ(c.collapse.pairSignatures().at("arrr-arrr"), 1u);
+    EXPECT_EQ(c.collapse.distances().count(1), 1u);
+}
+
+TEST(Scheduler, CollapseTripleChain)
+{
+    // Three chained arri adds: 2+1+1 = 4 operands, a 4-1 triple; all
+    // three issue in cycle 0.
+    std::vector<TraceRecord> recs = {
+        aluImm(Opcode::ADD, 1, 2, 5, 0x10000),
+        aluImm(Opcode::ADD, 3, 1, 6, 0x10004),
+        aluImm(Opcode::ADD, 4, 3, 7, 0x10008),
+    };
+    EXPECT_EQ(runOn(cfg('A', 4), recs).cycles, 3u);
+    const SchedStats c = runOn(cfg('C', 4), recs);
+    EXPECT_EQ(c.cycles, 1u);
+    EXPECT_EQ(c.collapse.events(), 2u);   // the pair, then the triple
+    EXPECT_EQ(c.collapse.tripleSignatures().at("arri-arri-arri"), 1u);
+    EXPECT_EQ(c.collapse.collapsedInstructions(), 3u);
+}
+
+TEST(Scheduler, FourChainCannotFullyCollapse)
+{
+    // A fourth chained add exceeds the 3-instruction group limit; it
+    // must wait for the triple's head to produce a value.
+    std::vector<TraceRecord> recs = {
+        aluImm(Opcode::ADD, 1, 2, 5, 0x10000),
+        aluImm(Opcode::ADD, 3, 1, 6, 0x10004),
+        aluImm(Opcode::ADD, 4, 3, 7, 0x10008),
+        aluImm(Opcode::ADD, 5, 4, 8, 0x1000c),
+    };
+    const SchedStats c = runOn(cfg('C', 4), recs);
+    // Triple at cycle 0; instruction 3 (producer of r4) issues at 0,
+    // so the fourth issues at 1 => 2 cycles.
+    EXPECT_EQ(c.cycles, 2u);
+}
+
+TEST(Scheduler, WidePairRejectedByOperandCount)
+{
+    // arrr feeding arrr: 2 + 2 - 1 = 3 ok.  But arrr feeding both
+    // slots (Rc = Rb + Rb) is 4 operands: still legal on the 4-1
+    // device, categorized FourOne.
+    std::vector<TraceRecord> recs = {
+        alu(Opcode::ADD, 1, 2, 3, 0x10000),
+        alu(Opcode::ADD, 4, 1, 1, 0x10004),
+    };
+    const SchedStats c = runOn(cfg('C', 4), recs);
+    EXPECT_EQ(c.cycles, 1u);
+    EXPECT_EQ(c.collapse.eventsOf(CollapseCategory::FourOne), 1u);
+}
+
+TEST(Scheduler, CmpBranchCollapse)
+{
+    // cmp + mispredicted branch: collapsing lets the branch issue with
+    // the cmp at cycle 0, shrinking the misprediction barrier.
+    std::vector<TraceRecord> recs = {
+        alu(Opcode::SUBCC, 0, 5, 6, 0x10000),
+        branch(Cond::EQ, true, 0x10004),
+        alu(Opcode::ADD, 1, 0, 0, 0x10008),
+    };
+    EXPECT_EQ(runOn(cfg('A', 4), recs).cycles, 3u);
+    const SchedStats c = runOn(cfg('C', 4), recs);
+    // cmp+branch at 0, barrier lifts at 1 => 2 cycles.
+    EXPECT_EQ(c.cycles, 2u);
+    EXPECT_EQ(c.collapse.pairSignatures().at("arrr-brc"), 1u);
+}
+
+TEST(Scheduler, AddressGenerationCollapsesIntoLoad)
+{
+    // add r1 = r2 + r3 ; ld r4, [r1 + 8]: shri/arri->ld is the
+    // paper's address-generation collapse.
+    std::vector<TraceRecord> recs = {
+        alu(Opcode::ADD, 1, 2, 3, 0x10000),
+        load(4, 1, 8, 0x1008, 0x10004),
+        aluImm(Opcode::ADD, 5, 4, 1, 0x10008),
+    };
+    // Base: add@0, ld@1, add@3 => 4 cycles.
+    EXPECT_EQ(runOn(cfg('A', 4), recs).cycles, 4u);
+    // Collapsed: add+ld@0, consumer at 2 => 3 cycles.
+    const SchedStats c = runOn(cfg('C', 4), recs);
+    EXPECT_EQ(c.cycles, 3u);
+    EXPECT_EQ(c.collapse.pairSignatures().at("arrr-ldri"), 1u);
+}
+
+TEST(Scheduler, MulIsNotACollapseProducer)
+{
+    std::vector<TraceRecord> recs = {
+        alu(Opcode::MUL, 1, 2, 3, 0x10000),
+        aluImm(Opcode::ADD, 4, 1, 1, 0x10004),
+    };
+    const SchedStats c = runOn(cfg('C', 4), recs);
+    EXPECT_EQ(c.cycles, 3u);    // same as base
+    EXPECT_EQ(c.collapse.events(), 0u);
+}
+
+TEST(Scheduler, StoreDataArcDoesNotCollapse)
+{
+    // The stored value comes from an add: address generation may
+    // collapse but the data arc may not.
+    std::vector<TraceRecord> recs = {
+        alu(Opcode::ADD, 1, 2, 3, 0x10000),          // data producer
+        store(1, 0, 0, 0x1000, 0x10004),             // st r1, [r0+0]
+    };
+    const SchedStats c = runOn(cfg('C', 4), recs);
+    EXPECT_EQ(c.cycles, 2u);
+    EXPECT_EQ(c.collapse.events(), 0u);
+}
+
+TEST(Scheduler, ZeroOpCollapse)
+{
+    // st r0, [r1 + r2] with both address registers produced by adds:
+    // raw 3 + 2 + 2 - 2 = 5 operands, nonzero 4 (store data is r0):
+    // legal only via 0-op detection.
+    std::vector<TraceRecord> recs = {
+        alu(Opcode::ADD, 1, 3, 4, 0x10000),
+        alu(Opcode::ADD, 2, 5, 6, 0x10004),
+        Rec(Opcode::STW).rd(0).rs1(1).rs2(2).ea(0x1000).pc(0x10008),
+    };
+    const SchedStats c = runOn(cfg('C', 4), recs);
+    EXPECT_EQ(c.cycles, 1u);
+    EXPECT_EQ(c.collapse.eventsOf(CollapseCategory::ZeroOp), 1u);
+    EXPECT_EQ(c.collapse.tripleSignatures().count("arrr-arrr-strr"), 1u);
+}
+
+TEST(Scheduler, CollapseRequiresCoResidency)
+{
+    // Producer long issued before the consumer enters the window:
+    // no collapse event recorded.
+    std::vector<TraceRecord> recs;
+    recs.push_back(alu(Opcode::ADD, 1, 2, 3, 0x10000));
+    // Filler to push the consumer out of the initial window (window 8).
+    for (int i = 0; i < 20; ++i)
+        recs.push_back(alu(Opcode::ADD, 10 + i % 4, 0, 0,
+                           0x10004 + 4 * i));
+    recs.push_back(aluImm(Opcode::ADD, 4, 1, 1, 0x10100));
+    const SchedStats c = runOn(cfg('C', 4), recs);
+    EXPECT_EQ(c.collapse.events(), 0u);
+}
+
+// --- load speculation -------------------------------------------------
+
+/** A div-delayed strided load stream: the address register is always
+ *  late, so loads are speculation candidates at every iteration. */
+std::vector<TraceRecord>
+stridedLateAddressLoads(int iterations)
+{
+    std::vector<TraceRecord> recs;
+    std::uint64_t ea = 0x40000000;
+    for (int i = 0; i < iterations; ++i) {
+        // div makes the address register late by 12 cycles.
+        recs.push_back(alu(Opcode::DIV, 1, 1, 2, 0x10000));
+        recs.push_back(load(3, 1, 0, ea, 0x10004));
+        recs.push_back(aluImm(Opcode::ADD, 4, 3, 1, 0x10008));
+        ea += 4;
+    }
+    return recs;
+}
+
+TEST(Scheduler, RealLoadSpeculationBeatsBase)
+{
+    const auto recs = stridedLateAddressLoads(40);
+    const SchedStats base = runOn(cfg('A', 4), recs);
+    const SchedStats spec = runOn(cfg('B', 4), recs);
+    EXPECT_LT(spec.cycles, base.cycles);
+    EXPECT_EQ(spec.loads, 40u);
+    // The stride predictor warms up, then predicts correctly.
+    EXPECT_GT(spec.loadClasses[static_cast<unsigned>(
+                  LoadClass::PredictedCorrect)], 30u);
+    EXPECT_GT(spec.loadClasses[static_cast<unsigned>(
+                  LoadClass::NotPredicted)], 0u);
+}
+
+TEST(Scheduler, LoadClassesPartitionAllLoads)
+{
+    const auto recs = stridedLateAddressLoads(25);
+    const SchedStats spec = runOn(cfg('B', 4), recs);
+    std::uint64_t sum = 0;
+    for (const auto n : spec.loadClasses)
+        sum += n;
+    EXPECT_EQ(sum, spec.loads);
+}
+
+TEST(Scheduler, EarlyAddressLoadsAreReady)
+{
+    // The address register is ready from the start: every load is
+    // "ready" and speculation changes nothing.
+    std::vector<TraceRecord> recs;
+    for (int i = 0; i < 10; ++i) {
+        recs.push_back(load(3, 1, 4 * i, 0x40000000 + 4 * i,
+                            0x10000 + 8 * i));
+        recs.push_back(alu(Opcode::DIV, 4, 3, 2, 0x10004 + 8 * i));
+    }
+    const SchedStats spec = runOn(cfg('B', 4), recs);
+    EXPECT_EQ(spec.loadClasses[static_cast<unsigned>(LoadClass::Ready)],
+              spec.loads);
+    EXPECT_EQ(runOn(cfg('A', 4), recs).cycles, spec.cycles);
+}
+
+TEST(Scheduler, IdealSpeculationAtLeastAsGoodAsReal)
+{
+    const auto recs = stridedLateAddressLoads(40);
+    const SchedStats real = runOn(cfg('D', 4), recs);
+    const SchedStats ideal = runOn(cfg('E', 4), recs);
+    EXPECT_LE(ideal.cycles, real.cycles);
+}
+
+TEST(Scheduler, RandomAddressesAreNotPredicted)
+{
+    std::vector<TraceRecord> recs;
+    std::uint64_t ea = 0x40000000;
+    for (int i = 0; i < 30; ++i) {
+        ea = (ea * 2654435761u + 12345) & 0xfffffffcu;
+        recs.push_back(alu(Opcode::DIV, 1, 1, 2, 0x10000));
+        recs.push_back(load(3, 1, 0, ea, 0x10004));
+    }
+    const SchedStats spec = runOn(cfg('B', 4), recs);
+    EXPECT_EQ(spec.loadClasses[static_cast<unsigned>(
+                  LoadClass::PredictedCorrect)], 0u);
+    EXPECT_GT(spec.loadClasses[static_cast<unsigned>(
+                  LoadClass::NotPredicted)], 25u);
+}
+
+TEST(Scheduler, MispredictedSpeculationMatchesNoSpeculationTiming)
+{
+    // A stream that builds confidence, then breaks stride: the broken
+    // load must be classed predicted-incorrectly and timing must not
+    // be worse than config A.
+    std::vector<TraceRecord> recs;
+    std::uint64_t ea = 0x40000000;
+    for (int i = 0; i < 20; ++i) {
+        recs.push_back(alu(Opcode::DIV, 1, 1, 2, 0x10000));
+        recs.push_back(load(3, 1, 0, i == 15 ? 0x50000000 : ea,
+                            0x10004));
+        ea += 4;
+    }
+    const SchedStats base = runOn(cfg('A', 4), recs);
+    const SchedStats spec = runOn(cfg('B', 4), recs);
+    EXPECT_GT(spec.loadClasses[static_cast<unsigned>(
+                  LoadClass::PredictedIncorrect)], 0u);
+    EXPECT_LE(spec.cycles, base.cycles);
+}
+
+// --- cross-config invariants on synthetic micro-traces ----------------
+
+TEST(Scheduler, IssuedPerCycleHistogram)
+{
+    // 8 independent adds at width 4: two cycles of exactly 4 issues.
+    std::vector<TraceRecord> recs;
+    for (int i = 0; i < 8; ++i)
+        recs.push_back(alu(Opcode::ADD, 1 + i % 8, 0, 0,
+                           0x10000 + 4 * i));
+    const SchedStats stats = runOn(cfg('A', 4), recs);
+    EXPECT_EQ(stats.issuedPerCycle.count(4), 2u);
+    EXPECT_EQ(stats.issuedPerCycle.maxKey(), 4u);
+    // A divide chain at width 4: 11 idle cycles while the divide runs.
+    const SchedStats divs = runOn(cfg('A', 4), {
+        alu(Opcode::DIV, 1, 2, 3, 0x10000),
+        aluImm(Opcode::ADD, 4, 1, 1, 0x10004),
+    });
+    EXPECT_EQ(divs.issuedPerCycle.count(0), 11u);
+    EXPECT_GT(divs.pctIdleCycles(), 80.0);
+}
+
+TEST(Scheduler, ConsecutiveMispredictedBranchesStackBarriers)
+{
+    // Two taken branches in a row (both mispredicted cold): each
+    // serializes what follows it.
+    const SchedStats stats = runOn(cfg('A', 8), {
+        aluImm(Opcode::SUBCC, 0, 5, 1, 0x10000),    // cmp @0
+        branch(Cond::EQ, true, 0x10004),            // @1 (cc at 1)
+        aluImm(Opcode::SUBCC, 0, 6, 1, 0x10008),    // barrier: @2
+        branch(Cond::EQ, true, 0x1000c),            // cc at 3: @3
+        alu(Opcode::ADD, 1, 0, 0, 0x10010),         // barrier: @4
+    });
+    EXPECT_EQ(stats.mispredicts, 2u);
+    EXPECT_EQ(stats.cycles, 5u);
+}
+
+TEST(Scheduler, CollapseShrinksBothBarriersInAChain)
+{
+    // Same stream under collapsing: each cmp fuses into its branch,
+    // halving the serialization.
+    std::vector<TraceRecord> recs = {
+        aluImm(Opcode::SUBCC, 0, 5, 1, 0x10000),    // @0 (fused)
+        branch(Cond::EQ, true, 0x10004),            // @0
+        aluImm(Opcode::SUBCC, 0, 6, 1, 0x10008),    // barrier: @1 (fused)
+        branch(Cond::EQ, true, 0x1000c),            // @1
+        alu(Opcode::ADD, 1, 0, 0, 0x10010),         // barrier: @2
+    };
+    const SchedStats stats = runOn(cfg('C', 8), recs);
+    EXPECT_EQ(stats.cycles, 3u);
+    EXPECT_EQ(stats.collapse.pairSignatures().at("arri-brc"), 2u);
+}
+
+TEST(Scheduler, SpeculatedLoadStillRespectsTheBarrier)
+{
+    // A confidently predicted load after a mispredicted branch must
+    // not deliver data before the barrier lifts ("a load-speculated
+    // load needs to respect all dependences with the exception of
+    // address generation").
+    std::vector<TraceRecord> recs;
+    // Warm the stride table at this pc first (ready loads, no deps).
+    std::uint64_t ea = 0x40000000;
+    for (int i = 0; i < 8; ++i) {
+        recs.push_back(load(3, 0, 0, ea, 0x20000));
+        ea += 4;
+    }
+    // Now: mispredicted branch, then the load (address late via div).
+    recs.push_back(aluImm(Opcode::SUBCC, 0, 5, 1, 0x10000));
+    recs.push_back(branch(Cond::EQ, true, 0x10004));
+    recs.push_back(alu(Opcode::DIV, 1, 2, 3, 0x10008));
+    recs.push_back(load(3, 1, 0, ea, 0x20000));     // same table entry
+    recs.push_back(aluImm(Opcode::ADD, 4, 3, 1, 0x1000c));
+    const SchedStats stats = runOn(cfg('B', 8), recs);
+    // The 8 warm-up loads fill cycle 0's issue slots; cmp @1; branch
+    // @2 (cc ready at 2); the barrier lifts at 3, so the divide
+    // issues @3 and the chased load's address is ready @15.  The load
+    // classifies at cycle 3 (its non-address constraints INCLUDE the
+    // barrier), so speculative data reaches the consumer at 5 -- but
+    // the load itself still issues @15: 16 cycles total.
+    EXPECT_EQ(stats.cycles, 16u);
+}
+
+TEST(Scheduler, ConsecutiveOnlyRestrictionBlocksDistantCollapse)
+{
+    // Producer and consumer separated by an unrelated instruction:
+    // the full model collapses (distance 2), the prior-work
+    // "consecutive only" model does not.
+    std::vector<TraceRecord> recs = {
+        alu(Opcode::ADD, 1, 2, 3, 0x10000),
+        alu(Opcode::ADD, 9, 10, 11, 0x10004),   // unrelated filler
+        alu(Opcode::ADD, 4, 1, 5, 0x10008),     // consumer, distance 2
+    };
+    const SchedStats full = runOn(cfg('C', 4), recs);
+    EXPECT_EQ(full.collapse.events(), 1u);
+    EXPECT_EQ(full.collapse.distances().count(2), 1u);
+
+    MachineConfig restricted = cfg('C', 4);
+    restricted.rules.maxCollapseDistance = 1;
+    VectorTraceSource trace = traceOf(recs);
+    LimitScheduler sched(restricted);
+    const SchedStats adj = sched.run(trace);
+    EXPECT_EQ(adj.collapse.events(), 0u);
+}
+
+TEST(Scheduler, SameBasicBlockRestrictionBlocksCrossBlockCollapse)
+{
+    // The producer sits before a (perfectly predicted) branch; the
+    // consumer after it.  Cross-block collapsing is what the paper
+    // added over prior work.
+    std::vector<TraceRecord> recs = {
+        alu(Opcode::ADD, 1, 2, 3, 0x10000),
+        aluImm(Opcode::SUBCC, 0, 5, 1, 0x10004),
+        branch(Cond::EQ, false, 0x10008),       // block boundary
+        alu(Opcode::ADD, 4, 1, 5, 0x1000c),     // consumer, next block
+    };
+    const SchedStats full = runOn(cfg('C', 4), recs);
+    // Two collapses: cmp-branch and the cross-block add pair.
+    EXPECT_EQ(full.collapse.events(), 2u);
+
+    MachineConfig restricted = cfg('C', 4);
+    restricted.rules.sameBasicBlockOnly = true;
+    VectorTraceSource trace = traceOf(recs);
+    LimitScheduler sched(restricted);
+    const SchedStats bb = sched.run(trace);
+    // Only the within-block cmp-branch pair survives.
+    EXPECT_EQ(bb.collapse.events(), 1u);
+    EXPECT_EQ(bb.collapse.pairSignatures().count("arri-brc"), 1u);
+}
+
+TEST(Scheduler, IpcNeverExceedsWidth)
+{
+    std::vector<TraceRecord> recs;
+    for (int i = 0; i < 64; ++i)
+        recs.push_back(alu(Opcode::ADD, 1 + i % 8, 0, 0,
+                           0x10000 + 4 * (i % 16)));
+    for (const unsigned width : {1u, 2u, 4u, 8u}) {
+        const SchedStats stats = runOn(cfg('E', width), recs);
+        EXPECT_LE(stats.ipc(), static_cast<double>(width) + 1e-9);
+    }
+}
+
+} // anonymous namespace
+} // namespace ddsc

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Shared helpers for building trace records and micro-traces by hand.
+ */
+
+#ifndef DDSC_TESTS_TEST_HELPERS_HH
+#define DDSC_TESTS_TEST_HELPERS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/record.hh"
+#include "trace/source.hh"
+
+namespace ddsc::test
+{
+
+/** Fluent builder for one trace record. */
+class Rec
+{
+  public:
+    explicit Rec(Opcode op) { rec_.op = op; }
+
+    Rec &pc(std::uint64_t v) { rec_.pc = v; return *this; }
+    Rec &rd(unsigned v) { rec_.rd = static_cast<std::uint8_t>(v); return *this; }
+    Rec &rs1(unsigned v) { rec_.rs1 = static_cast<std::uint8_t>(v); return *this; }
+    Rec &rs2(unsigned v)
+    {
+        rec_.rs2 = static_cast<std::uint8_t>(v);
+        rec_.useImm = false;
+        return *this;
+    }
+    Rec &imm(std::int32_t v) { rec_.imm = v; rec_.useImm = true; return *this; }
+    Rec &ea(std::uint64_t v) { rec_.ea = v; return *this; }
+    Rec &cond(Cond c) { rec_.cond = c; return *this; }
+    Rec &taken(bool t) { rec_.taken = t; return *this; }
+    Rec &target(std::uint64_t v) { rec_.target = v; return *this; }
+
+    operator TraceRecord() const { return rec_; }
+
+  private:
+    TraceRecord rec_;
+};
+
+/** ALU convenience: op rd, rs1, rs2. */
+inline TraceRecord
+alu(Opcode op, unsigned rd, unsigned rs1, unsigned rs2,
+    std::uint64_t pc = 0x10000)
+{
+    return Rec(op).pc(pc).rd(rd).rs1(rs1).rs2(rs2);
+}
+
+/** ALU with immediate: op rd, rs1, imm. */
+inline TraceRecord
+aluImm(Opcode op, unsigned rd, unsigned rs1, std::int32_t imm,
+       std::uint64_t pc = 0x10000)
+{
+    return Rec(op).pc(pc).rd(rd).rs1(rs1).imm(imm);
+}
+
+/** Load word: ld rd, [rs1 + imm] touching @p ea. */
+inline TraceRecord
+load(unsigned rd, unsigned rs1, std::int32_t imm, std::uint64_t ea,
+     std::uint64_t pc = 0x10000)
+{
+    return Rec(Opcode::LDW).pc(pc).rd(rd).rs1(rs1).imm(imm).ea(ea);
+}
+
+/** Store word: st rd, [rs1 + imm] touching @p ea. */
+inline TraceRecord
+store(unsigned rd, unsigned rs1, std::int32_t imm, std::uint64_t ea,
+      std::uint64_t pc = 0x10000)
+{
+    return Rec(Opcode::STW).pc(pc).rd(rd).rs1(rs1).imm(imm).ea(ea);
+}
+
+/** Conditional branch with an outcome. */
+inline TraceRecord
+branch(Cond cond, bool taken, std::uint64_t pc = 0x10000)
+{
+    return Rec(Opcode::BCC).pc(pc).cond(cond).taken(taken)
+        .target(taken ? pc + 16 : pc + 4);
+}
+
+/** Wrap records into a rewindable source. */
+inline VectorTraceSource
+traceOf(std::vector<TraceRecord> records)
+{
+    return VectorTraceSource(std::move(records));
+}
+
+} // namespace ddsc::test
+
+#endif // DDSC_TESTS_TEST_HELPERS_HH

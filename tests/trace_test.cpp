@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Unit tests for trace records, sources, file I/O, statistics, and the
+ * synthetic generator.
+ */
+
+#include <cstdio>
+#include <gtest/gtest.h>
+
+#include "test_helpers.hh"
+#include "trace/record.hh"
+#include "trace/source.hh"
+#include "trace/synthetic.hh"
+#include "trace/trace_stats.hh"
+
+namespace ddsc
+{
+namespace
+{
+
+using test::Rec;
+using test::alu;
+using test::aluImm;
+using test::branch;
+using test::load;
+using test::store;
+
+TEST(Record, DestRegOfAlu)
+{
+    const TraceRecord rec = alu(Opcode::ADD, 3, 1, 2);
+    EXPECT_EQ(rec.destReg(), 3);
+}
+
+TEST(Record, WritesToR0AreDiscarded)
+{
+    const TraceRecord rec = alu(Opcode::SUBCC, 0, 1, 2);   // cmp
+    EXPECT_EQ(rec.destReg(), -1);
+}
+
+TEST(Record, StoreHasNoDest)
+{
+    const TraceRecord rec = store(5, 2, 0, 0x1000);
+    EXPECT_EQ(rec.destReg(), -1);
+}
+
+TEST(Record, CallWritesLink)
+{
+    TraceRecord rec = Rec(Opcode::CALL);
+    EXPECT_EQ(rec.destReg(), kRegLink);
+}
+
+TEST(Record, DataSourcesOfAlu)
+{
+    const TraceRecord rec = alu(Opcode::ADD, 3, 1, 2);
+    const auto srcs = rec.dataSources();
+    EXPECT_EQ(srcs[0], 1);
+    EXPECT_EQ(srcs[1], 2);
+}
+
+TEST(Record, ImmediateSecondSourceIsNotARegister)
+{
+    const TraceRecord rec = aluImm(Opcode::ADD, 3, 1, 42);
+    const auto srcs = rec.dataSources();
+    EXPECT_EQ(srcs[0], 1);
+    EXPECT_EQ(srcs[1], -1);
+}
+
+TEST(Record, ReadsOfR0AreNotDependences)
+{
+    const TraceRecord rec = alu(Opcode::ADD, 3, 0, 2);
+    const auto srcs = rec.dataSources();
+    EXPECT_EQ(srcs[0], 2);
+    EXPECT_EQ(srcs[1], -1);
+}
+
+TEST(Record, LoadSeparatesAddressSources)
+{
+    const TraceRecord rec = Rec(Opcode::LDW).rd(4).rs1(2).rs2(3)
+        .ea(0x1000);
+    const auto addr = rec.addressSources();
+    EXPECT_EQ(addr[0], 2);
+    EXPECT_EQ(addr[1], 3);
+    const auto data = rec.dataSources();
+    EXPECT_EQ(data[0], -1);
+}
+
+TEST(Record, StoreDataIsANonAddressSource)
+{
+    const TraceRecord rec = store(5, 2, 8, 0x1000);
+    const auto addr = rec.addressSources();
+    EXPECT_EQ(addr[0], 2);
+    EXPECT_EQ(addr[1], -1);
+    const auto data = rec.dataSources();
+    EXPECT_EQ(data[0], 5);
+}
+
+TEST(Record, RetReadsLink)
+{
+    TraceRecord rec = Rec(Opcode::RET);
+    const auto data = rec.dataSources();
+    EXPECT_EQ(data[0], kRegLink);
+}
+
+TEST(Record, MemSize)
+{
+    EXPECT_EQ(load(1, 2, 0, 0).memSize(), 4u);
+    TraceRecord byte_load = Rec(Opcode::LDB).rd(1).rs1(2).imm(0);
+    EXPECT_EQ(byte_load.memSize(), 1u);
+}
+
+TEST(Record, NonZeroOperandCount)
+{
+    EXPECT_EQ(alu(Opcode::ADD, 3, 1, 2).nonZeroOperandCount(), 2u);
+    EXPECT_EQ(aluImm(Opcode::ADD, 3, 1, 5).nonZeroOperandCount(), 2u);
+    EXPECT_EQ(aluImm(Opcode::ADD, 3, 1, 0).nonZeroOperandCount(), 1u);
+    EXPECT_EQ(alu(Opcode::ADD, 3, 0, 2).nonZeroOperandCount(), 1u);
+    // Store: base + offset + data.
+    EXPECT_EQ(store(5, 2, 4, 0).nonZeroOperandCount(), 3u);
+    EXPECT_EQ(store(0, 2, 0, 0).nonZeroOperandCount(), 1u);
+    // Branch: the cc arc is not a value slot.
+    EXPECT_EQ(branch(Cond::EQ, true).nonZeroOperandCount(), 0u);
+}
+
+TEST(Record, HasZeroOperand)
+{
+    EXPECT_FALSE(alu(Opcode::ADD, 3, 1, 2).hasZeroOperand());
+    EXPECT_TRUE(aluImm(Opcode::ADD, 3, 1, 0).hasZeroOperand());
+    EXPECT_TRUE(store(0, 2, 4, 0).hasZeroOperand());
+}
+
+TEST(VectorSource, IterationAndReset)
+{
+    VectorTraceSource src({alu(Opcode::ADD, 1, 2, 3),
+                           alu(Opcode::SUB, 4, 5, 6)});
+    TraceRecord rec;
+    ASSERT_TRUE(src.next(rec));
+    EXPECT_EQ(rec.op, Opcode::ADD);
+    ASSERT_TRUE(src.next(rec));
+    EXPECT_EQ(rec.op, Opcode::SUB);
+    EXPECT_FALSE(src.next(rec));
+    src.reset();
+    ASSERT_TRUE(src.next(rec));
+    EXPECT_EQ(rec.op, Opcode::ADD);
+}
+
+TEST(BoundedSource, TruncatesAndResets)
+{
+    VectorTraceSource inner({alu(Opcode::ADD, 1, 2, 3),
+                             alu(Opcode::SUB, 4, 5, 6),
+                             alu(Opcode::XOR, 7, 8, 9)});
+    BoundedTraceSource bounded(inner, 2);
+    TraceRecord rec;
+    EXPECT_TRUE(bounded.next(rec));
+    EXPECT_TRUE(bounded.next(rec));
+    EXPECT_FALSE(bounded.next(rec));
+    bounded.reset();
+    EXPECT_TRUE(bounded.next(rec));
+    EXPECT_EQ(rec.op, Opcode::ADD);
+}
+
+TEST(TraceFile, RoundTrip)
+{
+    const std::string path = testing::TempDir() + "/ddsc_roundtrip.trc";
+    std::vector<TraceRecord> records = {
+        load(4, 2, 8, 0x40001000, 0x10004),
+        branch(Cond::NE, true, 0x10008),
+        aluImm(Opcode::SUBCC, 0, 7, -3, 0x1000c),
+    };
+    {
+        TraceFileWriter writer(path);
+        for (const auto &rec : records)
+            writer.emit(rec);
+    }
+    TraceFileSource reader(path);
+    EXPECT_EQ(reader.count(), records.size());
+    TraceRecord rec;
+    ASSERT_TRUE(reader.next(rec));
+    EXPECT_EQ(rec.op, Opcode::LDW);
+    EXPECT_EQ(rec.ea, 0x40001000u);
+    EXPECT_EQ(rec.pc, 0x10004u);
+    EXPECT_EQ(rec.rd, 4);
+    EXPECT_EQ(rec.rs1, 2);
+    EXPECT_TRUE(rec.useImm);
+    EXPECT_EQ(rec.imm, 8);
+    ASSERT_TRUE(reader.next(rec));
+    EXPECT_EQ(rec.op, Opcode::BCC);
+    EXPECT_EQ(rec.cond, Cond::NE);
+    EXPECT_TRUE(rec.taken);
+    ASSERT_TRUE(reader.next(rec));
+    EXPECT_EQ(rec.imm, -3);
+    EXPECT_FALSE(reader.next(rec));
+    reader.reset();
+    ASSERT_TRUE(reader.next(rec));
+    EXPECT_EQ(rec.op, Opcode::LDW);
+    std::remove(path.c_str());
+}
+
+TEST(TraceStats, InstructionMix)
+{
+    TraceStats stats;
+    stats.account(alu(Opcode::ADD, 1, 2, 3));
+    stats.account(load(4, 2, 0, 0x1000));
+    stats.account(aluImm(Opcode::SUBCC, 0, 1, 0));
+    stats.account(branch(Cond::EQ, false));
+    EXPECT_EQ(stats.instructions(), 4u);
+    EXPECT_EQ(stats.countOf(OpClass::Arith), 2u);
+    EXPECT_EQ(stats.countOf(OpClass::Load), 1u);
+    EXPECT_NEAR(stats.pctCondBranches(), 25.0, 1e-9);
+    EXPECT_NEAR(stats.pctLoads(), 25.0, 1e-9);
+}
+
+TEST(TraceStats, BasicBlockSizes)
+{
+    TraceStats stats;
+    // Two blocks: 3 instructions ending in a branch, then 1 + branch.
+    stats.account(alu(Opcode::ADD, 1, 2, 3));
+    stats.account(alu(Opcode::ADD, 1, 2, 3));
+    stats.account(branch(Cond::EQ, true));
+    stats.account(alu(Opcode::ADD, 1, 2, 3));
+    stats.account(branch(Cond::EQ, false));
+    EXPECT_EQ(stats.basicBlockSizes().samples(), 2u);
+    EXPECT_EQ(stats.basicBlockSizes().count(3), 1u);
+    EXPECT_EQ(stats.basicBlockSizes().count(2), 1u);
+}
+
+TEST(Synthetic, DeterministicForSameSeed)
+{
+    SyntheticTraceConfig config;
+    config.instructions = 500;
+    config.seed = 33;
+    VectorTraceSource a = generateSynthetic(config);
+    VectorTraceSource b = generateSynthetic(config);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a.records()[i].pc, b.records()[i].pc);
+        EXPECT_EQ(a.records()[i].op, b.records()[i].op);
+        EXPECT_EQ(a.records()[i].ea, b.records()[i].ea);
+        EXPECT_EQ(a.records()[i].taken, b.records()[i].taken);
+    }
+}
+
+TEST(Synthetic, ProducesRequestedLength)
+{
+    SyntheticTraceConfig config;
+    config.instructions = 1234;
+    EXPECT_EQ(generateSynthetic(config).size(), 1234u);
+}
+
+TEST(Synthetic, ContainsTheRequestedClasses)
+{
+    SyntheticTraceConfig config;
+    config.instructions = 20000;
+    VectorTraceSource trace = generateSynthetic(config);
+    TraceStats stats;
+    stats.accountAll(trace);
+    EXPECT_GT(stats.countOf(OpClass::Load), 0u);
+    EXPECT_GT(stats.countOf(OpClass::Store), 0u);
+    EXPECT_GT(stats.countOf(OpClass::Branch), 0u);
+    EXPECT_GT(stats.countOf(OpClass::Shift), 0u);
+    EXPECT_GT(stats.countOf(OpClass::Arith), 0u);
+}
+
+TEST(Synthetic, BranchesFollowCompares)
+{
+    SyntheticTraceConfig config;
+    config.instructions = 5000;
+    VectorTraceSource trace = generateSynthetic(config);
+    const auto &records = trace.records();
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        if (records[i].isCondBranch() && i > 0) {
+            EXPECT_TRUE(records[i - 1].setsCC());
+        }
+    }
+}
+
+} // anonymous namespace
+} // namespace ddsc

@@ -1,0 +1,485 @@
+/**
+ * @file
+ * Unit tests for the functional emulator: per-opcode semantics,
+ * condition codes, control flow, memory, and trace emission.
+ */
+
+#include <gtest/gtest.h>
+
+#include "masm/assembler.hh"
+#include "trace/trace_stats.hh"
+#include "vm/memory.hh"
+#include "vm/vm.hh"
+
+namespace ddsc
+{
+namespace
+{
+
+/** Assemble, run to halt, return the VM for inspection. */
+Vm
+runProgram(const std::string &source, VectorTraceSource *trace = nullptr)
+{
+    static Program program;    // keep alive for the Vm reference
+    program = assembleOrDie(source);
+    Vm vm(program);
+    if (trace) {
+        VectorTraceSink sink(*trace);
+        const auto result = vm.run(&sink, 1'000'000);
+        EXPECT_TRUE(result.halted);
+    } else {
+        const auto result = vm.run(nullptr, 1'000'000);
+        EXPECT_TRUE(result.halted);
+    }
+    return vm;
+}
+
+TEST(SparseMemory, ZeroInitialized)
+{
+    SparseMemory mem;
+    EXPECT_EQ(mem.readByte(0x12345), 0);
+    EXPECT_EQ(mem.readWord(0xdeadbeef), 0u);
+    EXPECT_EQ(mem.residentPages(), 0u);
+}
+
+TEST(SparseMemory, ByteAndWordAccess)
+{
+    SparseMemory mem;
+    mem.writeWord(0x1000, 0x11223344);
+    EXPECT_EQ(mem.readWord(0x1000), 0x11223344u);
+    EXPECT_EQ(mem.readByte(0x1000), 0x44);      // little endian
+    EXPECT_EQ(mem.readByte(0x1003), 0x11);
+    mem.writeByte(0x1001, 0xff);
+    EXPECT_EQ(mem.readWord(0x1000), 0x1122ff44u);
+}
+
+TEST(SparseMemory, CrossPageWord)
+{
+    SparseMemory mem;
+    const std::uint64_t addr = SparseMemory::kPageBytes - 2;
+    mem.writeWord(addr, 0xaabbccdd);
+    EXPECT_EQ(mem.readWord(addr), 0xaabbccddu);
+    EXPECT_EQ(mem.residentPages(), 2u);
+}
+
+TEST(Vm, Arithmetic)
+{
+    Vm vm = runProgram(
+        "main:\n"
+        "  mov r1, 10\n"
+        "  mov r2, 3\n"
+        "  add r3, r1, r2\n"
+        "  sub r4, r1, r2\n"
+        "  mul r5, r1, r2\n"
+        "  div r6, r1, r2\n"
+        "  halt\n");
+    EXPECT_EQ(vm.reg(3), 13u);
+    EXPECT_EQ(vm.reg(4), 7u);
+    EXPECT_EQ(vm.reg(5), 30u);
+    EXPECT_EQ(vm.reg(6), 3u);
+}
+
+TEST(Vm, LogicAndShifts)
+{
+    Vm vm = runProgram(
+        "main:\n"
+        "  li r1, 0xf0f0\n"
+        "  li r2, 0x0ff0\n"
+        "  and r3, r1, r2\n"
+        "  or r4, r1, r2\n"
+        "  xor r5, r1, r2\n"
+        "  andn r6, r1, r2\n"
+        "  sll r7, r2, 4\n"
+        "  srl r8, r1, 4\n"
+        "  mov r9, -16\n"
+        "  sra r10, r9, 2\n"
+        "  halt\n");
+    EXPECT_EQ(vm.reg(3), 0x00f0u);
+    EXPECT_EQ(vm.reg(4), 0xfff0u);
+    EXPECT_EQ(vm.reg(5), 0xff00u);
+    EXPECT_EQ(vm.reg(6), 0xf000u);
+    EXPECT_EQ(vm.reg(7), 0xff00u);
+    EXPECT_EQ(vm.reg(8), 0x0f0fu);
+    EXPECT_EQ(vm.reg(10), static_cast<std::uint32_t>(-4));
+}
+
+TEST(Vm, R0IsAlwaysZero)
+{
+    Vm vm = runProgram(
+        "main:\n"
+        "  add r0, r0, 5\n"
+        "  add r1, r0, 7\n"
+        "  halt\n");
+    EXPECT_EQ(vm.reg(0), 0u);
+    EXPECT_EQ(vm.reg(1), 7u);
+}
+
+TEST(Vm, SethiShiftsBy12)
+{
+    Vm vm = runProgram("main:\n  sethi r1, 0x12345\n  halt\n");
+    EXPECT_EQ(vm.reg(1), 0x12345000u);
+}
+
+TEST(Vm, ConditionCodesSigned)
+{
+    Vm vm = runProgram(
+        "main:\n"
+        "  mov r1, 5\n"
+        "  cmp r1, 5\n"
+        "  halt\n");
+    EXPECT_TRUE(vm.cc().z);
+    EXPECT_FALSE(vm.cc().n);
+
+    Vm vm2 = runProgram(
+        "main:\n"
+        "  mov r1, 3\n"
+        "  cmp r1, 5\n"
+        "  halt\n");
+    EXPECT_TRUE(vm2.cc().n);
+    EXPECT_TRUE(vm2.cc().c);    // unsigned borrow
+    EXPECT_FALSE(vm2.cc().z);
+}
+
+TEST(Vm, SignedOverflowSetsV)
+{
+    Vm vm = runProgram(
+        "main:\n"
+        "  sethi r1, 0x7ffff\n"     // 0x7ffff000, near INT_MAX
+        "  addcc r2, r1, r1\n"
+        "  halt\n");
+    EXPECT_TRUE(vm.cc().v);
+}
+
+TEST(Vm, SubccOverflowFlag)
+{
+    // INT_MIN - 1 overflows signed subtraction.
+    Vm vm = runProgram(
+        "main:\n"
+        "  sethi r1, 0x80000\n"      // 0x80000000 = INT_MIN
+        "  cmp r1, 1\n"
+        "  halt\n");
+    EXPECT_TRUE(vm.cc().v);
+    EXPECT_FALSE(vm.cc().z);
+}
+
+TEST(Vm, AddccCarryFlag)
+{
+    Vm vm = runProgram(
+        "main:\n"
+        "  mov r1, -1\n"             // 0xffffffff
+        "  addcc r2, r1, 1\n"        // wraps to 0 with carry out
+        "  halt\n");
+    EXPECT_TRUE(vm.cc().c);
+    EXPECT_TRUE(vm.cc().z);
+    EXPECT_FALSE(vm.cc().v);         // unsigned wrap is not overflow
+    EXPECT_EQ(vm.reg(2), 0u);
+}
+
+TEST(Vm, LogicCcClearsCarryAndOverflow)
+{
+    Vm vm = runProgram(
+        "main:\n"
+        "  mov r1, -1\n"
+        "  addcc r2, r1, 1\n"        // sets C
+        "  orcc r3, r1, 0\n"         // logic cc clears C and V
+        "  halt\n");
+    EXPECT_FALSE(vm.cc().c);
+    EXPECT_FALSE(vm.cc().v);
+    EXPECT_TRUE(vm.cc().n);          // 0xffffffff is negative
+}
+
+TEST(Vm, ShiftAmountsAreMaskedToFiveBits)
+{
+    Vm vm = runProgram(
+        "main:\n"
+        "  mov r1, 1\n"
+        "  mov r2, 33\n"             // 33 & 31 == 1
+        "  sll r3, r1, r2\n"
+        "  srl r4, r3, 33\n"
+        "  halt\n");
+    EXPECT_EQ(vm.reg(3), 2u);
+    EXPECT_EQ(vm.reg(4), 1u);
+}
+
+TEST(Vm, ArithmeticWrapsModulo32Bits)
+{
+    Vm vm = runProgram(
+        "main:\n"
+        "  li r1, 0xffffffff\n"
+        "  add r2, r1, 2\n"
+        "  li r3, 0x10000\n"
+        "  mul r4, r3, r3\n"         // 2^32 wraps to 0
+        "  halt\n");
+    EXPECT_EQ(vm.reg(2), 1u);
+    EXPECT_EQ(vm.reg(4), 0u);
+}
+
+TEST(Vm, BranchesTakeTheRightPath)
+{
+    Vm vm = runProgram(
+        "main:\n"
+        "  mov r1, 2\n"
+        "  cmp r1, 5\n"
+        "  blt is_less\n"
+        "  mov r2, 111\n"
+        "  halt\n"
+        "is_less:\n"
+        "  mov r2, 222\n"
+        "  halt\n");
+    EXPECT_EQ(vm.reg(2), 222u);
+}
+
+TEST(Vm, UnsignedComparisonDiffersFromSigned)
+{
+    // -1 (0xffffffff) is less than 1 signed but greater unsigned.
+    Vm vm = runProgram(
+        "main:\n"
+        "  mov r1, -1\n"
+        "  cmp r1, 1\n"
+        "  bgtu unsigned_gt\n"
+        "  mov r2, 0\n"
+        "  halt\n"
+        "unsigned_gt:\n"
+        "  cmp r1, 1\n"
+        "  blt signed_lt\n"
+        "  mov r2, 1\n"
+        "  halt\n"
+        "signed_lt:\n"
+        "  mov r2, 2\n"
+        "  halt\n");
+    EXPECT_EQ(vm.reg(2), 2u);
+}
+
+TEST(Vm, LoopComputesASum)
+{
+    // sum(1..10) = 55
+    Vm vm = runProgram(
+        "main:\n"
+        "  mov r1, 0\n"
+        "  mov r2, 1\n"
+        "loop:\n"
+        "  add r1, r1, r2\n"
+        "  add r2, r2, 1\n"
+        "  cmp r2, 10\n"
+        "  bleu loop\n"
+        "  halt\n");
+    EXPECT_EQ(vm.reg(1), 55u);
+}
+
+TEST(Vm, MemoryWordAndByte)
+{
+    Vm vm = runProgram(
+        "main:\n"
+        "  la r1, buf\n"
+        "  li r2, 0xabcd\n"
+        "  stw r2, [r1]\n"
+        "  ldw r3, [r1 + 0]\n"
+        "  ldb r4, [r1]\n"
+        "  ldb r5, [r1 + 1]\n"
+        "  stb r2, [r1 + 8]\n"
+        "  ldw r6, [r1 + 8]\n"
+        "  halt\n"
+        ".data\n"
+        "buf: .space 16\n");
+    EXPECT_EQ(vm.reg(3), 0xabcdu);
+    EXPECT_EQ(vm.reg(4), 0xcdu);
+    EXPECT_EQ(vm.reg(5), 0xabu);
+    EXPECT_EQ(vm.reg(6), 0xcdu);   // single byte stored
+}
+
+TEST(Vm, InitializedData)
+{
+    Vm vm = runProgram(
+        "main:\n"
+        "  la r1, table\n"
+        "  ldw r2, [r1]\n"
+        "  ldw r3, [r1 + 4]\n"
+        "  halt\n"
+        ".data\n"
+        "table: .word 17, 42\n");
+    EXPECT_EQ(vm.reg(2), 17u);
+    EXPECT_EQ(vm.reg(3), 42u);
+}
+
+TEST(Vm, CallAndRet)
+{
+    Vm vm = runProgram(
+        "main:\n"
+        "  mov r1, 5\n"
+        "  call double_it\n"
+        "  add r3, r2, 1\n"
+        "  halt\n"
+        "double_it:\n"
+        "  add r2, r1, r1\n"
+        "  ret\n");
+    EXPECT_EQ(vm.reg(2), 10u);
+    EXPECT_EQ(vm.reg(3), 11u);
+}
+
+TEST(Vm, IndirectCallThroughFunctionPointer)
+{
+    Vm vm = runProgram(
+        "main:\n"
+        "  la r1, fnptr\n"
+        "  ldw r2, [r1]\n"
+        "  mov r3, 21\n"
+        "  calli [r2]\n"
+        "  add r5, r4, 1\n"
+        "  halt\n"
+        "double_it:\n"
+        "  add r4, r3, r3\n"
+        "  ret\n"
+        ".data\n"
+        "fnptr: .word double_it\n");
+    EXPECT_EQ(vm.reg(4), 42u);
+    EXPECT_EQ(vm.reg(5), 43u);
+}
+
+TEST(Vm, IndirectJumpThroughTable)
+{
+    Vm vm = runProgram(
+        "main:\n"
+        "  la r1, jumptab\n"
+        "  ldw r2, [r1 + 4]\n"     // second entry
+        "  jmpi [r2]\n"
+        "  halt\n"
+        "case0:\n"
+        "  mov r3, 100\n"
+        "  halt\n"
+        "case1:\n"
+        "  mov r3, 200\n"
+        "  halt\n"
+        ".data\n"
+        "jumptab: .word case0, case1\n");
+    EXPECT_EQ(vm.reg(3), 200u);
+}
+
+TEST(Vm, StackConvention)
+{
+    Vm vm = runProgram(
+        "main:\n"
+        "  sub sp, sp, 8\n"
+        "  mov r1, 77\n"
+        "  stw r1, [sp]\n"
+        "  mov r1, 0\n"
+        "  ldw r2, [sp]\n"
+        "  add sp, sp, 8\n"
+        "  halt\n");
+    EXPECT_EQ(vm.reg(2), 77u);
+    EXPECT_EQ(vm.reg(kRegSp), kStackTop);
+}
+
+TEST(Vm, TraceExcludesNopsAndHalt)
+{
+    VectorTraceSource trace;
+    runProgram(
+        "main:\n"
+        "  nop\n"
+        "  add r1, r2, r3\n"
+        "  nop\n"
+        "  halt\n", &trace);
+    ASSERT_EQ(trace.size(), 1u);
+    EXPECT_EQ(trace.records()[0].op, Opcode::ADD);
+}
+
+TEST(Vm, TraceRecordsEffectiveAddresses)
+{
+    VectorTraceSource trace;
+    runProgram(
+        "main:\n"
+        "  la r1, buf\n"
+        "  stw r0, [r1 + 4]\n"
+        "  ldw r2, [r1 + 4]\n"
+        "  halt\n"
+        ".data\n"
+        "buf: .space 8\n", &trace);
+    ASSERT_EQ(trace.size(), 4u);
+    EXPECT_EQ(trace.records()[2].ea, kDataBase + 4);
+    EXPECT_EQ(trace.records()[3].ea, kDataBase + 4);
+}
+
+TEST(Vm, TraceRecordsBranchOutcomes)
+{
+    VectorTraceSource trace;
+    runProgram(
+        "main:\n"
+        "  mov r1, 1\n"
+        "  cmp r1, 1\n"
+        "  beq yes\n"
+        "  halt\n"
+        "yes:\n"
+        "  cmp r1, 2\n"
+        "  beq no\n"
+        "  halt\n"
+        "no:\n"
+        "  halt\n", &trace);
+    // mov, cmp, beq(taken), cmp, beq(not taken)
+    ASSERT_EQ(trace.size(), 5u);
+    EXPECT_TRUE(trace.records()[2].taken);
+    EXPECT_FALSE(trace.records()[4].taken);
+    EXPECT_EQ(trace.records()[2].target, trace.records()[3].pc);
+}
+
+TEST(Vm, RunRespectsInstructionLimit)
+{
+    Program program = assembleOrDie(
+        "main:\n"
+        "loop:\n"
+        "  add r1, r1, 1\n"
+        "  ba loop\n");
+    Vm vm(program);
+    const auto result = vm.run(nullptr, 100);
+    EXPECT_FALSE(result.halted);
+    EXPECT_EQ(result.instructions, 100u);
+}
+
+TEST(Vm, ResetRestoresInitialState)
+{
+    Program program = assembleOrDie(
+        "main:\n"
+        "  mov r1, 9\n"
+        "  la r2, buf\n"
+        "  stw r1, [r2]\n"
+        "  halt\n"
+        ".data\n"
+        "buf: .space 4\n");
+    Vm vm(program);
+    ASSERT_TRUE(vm.run(nullptr, 1000).halted);
+    EXPECT_EQ(vm.reg(1), 9u);
+    vm.reset();
+    EXPECT_EQ(vm.reg(1), 0u);
+    EXPECT_EQ(vm.loadWord(kDataBase), 0u);
+    EXPECT_EQ(vm.pc(), program.entry);
+    // And it runs again identically.
+    ASSERT_TRUE(vm.run(nullptr, 1000).halted);
+    EXPECT_EQ(vm.reg(1), 9u);
+}
+
+TEST(Vm, DeterministicTraces)
+{
+    Program program = assembleOrDie(
+        "main:\n"
+        "  mov r1, 0\n"
+        "loop:\n"
+        "  add r1, r1, 1\n"
+        "  cmp r1, 50\n"
+        "  blt loop\n"
+        "  halt\n");
+    VectorTraceSource a, b;
+    {
+        Vm vm(program);
+        VectorTraceSink sink(a);
+        vm.run(&sink, 100000);
+    }
+    {
+        Vm vm(program);
+        VectorTraceSink sink(b);
+        vm.run(&sink, 100000);
+    }
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a.records()[i].pc, b.records()[i].pc);
+}
+
+} // anonymous namespace
+} // namespace ddsc

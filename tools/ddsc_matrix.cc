@@ -1,0 +1,144 @@
+/**
+ * @file
+ * ddsc-matrix: run an arbitrary slice of the experiment matrix.
+ *
+ * Usage:
+ *   ddsc-matrix [--set all|pc|npc] [--configs ABCDE] [--widths 4,8,16]
+ *               [--metric ipc|speedup|collapsed] [--csv]
+ *
+ * Examples:
+ *   ddsc-matrix --set pc --configs BDE --metric speedup
+ *   ddsc-matrix --widths 4,32 --metric collapsed --csv > fig8.csv
+ *
+ * DDSC_TRACE_LIMIT truncates traces as everywhere else.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "support/table.hh"
+
+namespace
+{
+
+using namespace ddsc;
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(stderr,
+        "usage: ddsc-matrix [--set all|pc|npc] [--configs ABCDE]\n"
+        "                   [--widths 4,8,...] "
+        "[--metric ipc|speedup|collapsed] [--csv]\n");
+    std::exit(2);
+}
+
+std::vector<unsigned>
+parseWidths(const std::string &spec)
+{
+    std::vector<unsigned> widths;
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+        const std::size_t comma = spec.find(',', pos);
+        const std::string tok = spec.substr(
+            pos, comma == std::string::npos ? std::string::npos
+                                            : comma - pos);
+        const unsigned w = tok == "2k"
+            ? 2048u : static_cast<unsigned>(std::atoi(tok.c_str()));
+        if (w == 0)
+            usage();
+        widths.push_back(w);
+        pos = comma == std::string::npos ? spec.size() : comma + 1;
+    }
+    if (widths.empty())
+        usage();
+    return widths;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string set = "all";
+    std::string configs = "ABCDE";
+    std::vector<unsigned> widths = MachineConfig::paperWidths();
+    std::string metric = "ipc";
+    bool csv = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage();
+            return argv[++i];
+        };
+        if (arg == "--set") {
+            set = value();
+        } else if (arg == "--configs") {
+            configs = value();
+        } else if (arg == "--widths") {
+            widths = parseWidths(value());
+        } else if (arg == "--metric") {
+            metric = value();
+        } else if (arg == "--csv") {
+            csv = true;
+        } else {
+            usage();
+        }
+    }
+    if (set != "all" && set != "pc" && set != "npc")
+        usage();
+    if (metric != "ipc" && metric != "speedup" && metric != "collapsed")
+        usage();
+    for (const char c : configs) {
+        if (c < 'A' || c > 'E')
+            usage();
+    }
+
+    ExperimentDriver driver;
+    const auto workloads = set == "all"
+        ? ExperimentDriver::everything()
+        : workloadSubset(set == "pc");
+
+    auto cell = [&](char config, unsigned width) {
+        if (metric == "ipc")
+            return driver.hmeanIpc(workloads, config, width);
+        if (metric == "speedup")
+            return driver.hmeanSpeedup(workloads, config, width);
+        return driver.pctCollapsed(workloads, config, width);
+    };
+
+    if (csv) {
+        std::printf("config");
+        for (const unsigned w : widths)
+            std::printf(",%s", MachineConfig::widthLabel(w).c_str());
+        std::printf("\n");
+        for (const char config : configs) {
+            std::printf("%c", config);
+            for (const unsigned w : widths)
+                std::printf(",%.4f", cell(config, w));
+            std::printf("\n");
+        }
+        return 0;
+    }
+
+    TextTable table;
+    std::vector<std::string> header = {"config"};
+    for (const unsigned w : widths)
+        header.push_back("w=" + MachineConfig::widthLabel(w));
+    table.header(std::move(header));
+    for (const char config : configs) {
+        std::vector<std::string> row = {std::string(1, config)};
+        for (const unsigned w : widths)
+            row.push_back(TextTable::num(cell(config, w)));
+        table.row(std::move(row));
+    }
+    std::printf("%s (%s, %s)\n%s", metric.c_str(), set.c_str(),
+                "harmonic mean over the set", table.render().c_str());
+    return 0;
+}

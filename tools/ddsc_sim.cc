@@ -1,0 +1,210 @@
+/**
+ * @file
+ * ddsc-sim: command-line driver for the limit simulator.
+ *
+ * Usage:
+ *   ddsc-sim --workload li [--scale N] [--config D] [--width 16]
+ *   ddsc-sim --asm prog.s  [--config D] [--width 16]
+ *   ddsc-sim --trace prog.trc [--config D] [--width 16]
+ *
+ * Options:
+ *   --workload NAME   one of compress espresso eqntott li go ijpeg
+ *   --scale N         workload scale (0 = default)
+ *   --asm FILE        assemble FILE, execute it, simulate its trace
+ *   --trace FILE      simulate a binary trace file (see ddsc-asm)
+ *   --config X        A|B|C|D|E (default D)
+ *   --width N         issue width (default 16); window is 2x width
+ *   --elim            enable node elimination (extension)
+ *   --addrpred KIND   twodelta|lastvalue|context (default twodelta)
+ *   --limit N         simulate at most N instructions
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "core/scheduler.hh"
+#include "masm/assembler.hh"
+#include "support/logging.hh"
+#include "vm/vm.hh"
+#include "workloads/workloads.hh"
+
+namespace
+{
+
+using namespace ddsc;
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(stderr,
+        "usage: ddsc-sim --workload NAME | --asm FILE | --trace FILE\n"
+        "                [--scale N] [--config A..E] [--width N]\n"
+        "                [--elim] [--addrpred twodelta|lastvalue|context]\n"
+        "                [--limit N]\n");
+    std::exit(2);
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        ddsc_fatal("cannot open '%s'", path.c_str());
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+void
+printStats(const MachineConfig &config, const SchedStats &stats)
+{
+    std::printf("machine     : %s, width %u, window %u\n",
+                config.name.c_str(), config.issueWidth,
+                config.windowSize);
+    std::printf("instructions: %llu\n",
+                static_cast<unsigned long long>(stats.instructions));
+    std::printf("cycles      : %llu\n",
+                static_cast<unsigned long long>(stats.cycles));
+    std::printf("IPC         : %.3f  (%.1f%% idle cycles, peak %llu "
+                "issues/cycle)\n",
+                stats.ipc(), stats.pctIdleCycles(),
+                static_cast<unsigned long long>(
+                    stats.issuedPerCycle.maxKey()));
+    std::printf("branches    : %llu cond, %.2f%% predicted correctly\n",
+                static_cast<unsigned long long>(stats.condBranches),
+                stats.branchAccuracy());
+    if (config.loadSpec != LoadSpecMode::None && stats.loads > 0) {
+        std::printf("loads       : %llu (",
+                    static_cast<unsigned long long>(stats.loads));
+        for (unsigned c = 0; c < kNumLoadClasses; ++c) {
+            std::printf("%s%s %.1f%%", c ? ", " : "",
+                        std::string(loadClassName(
+                            static_cast<LoadClass>(c))).c_str(),
+                        stats.loadClassPct(static_cast<LoadClass>(c)));
+        }
+        std::printf(")\n");
+    }
+    if (config.collapsing) {
+        std::printf("collapsing  : %.1f%% of instructions, "
+                    "%llu events (3-1 %.1f%%, 4-1 %.1f%%, 0-op %.1f%%)\n",
+                    stats.pctCollapsed(),
+                    static_cast<unsigned long long>(
+                        stats.collapse.events()),
+                    stats.collapse.pctOf(CollapseCategory::ThreeOne),
+                    stats.collapse.pctOf(CollapseCategory::FourOne),
+                    stats.collapse.pctOf(CollapseCategory::ZeroOp));
+    }
+    if (config.nodeElimination) {
+        std::printf("eliminated  : %.2f%% of instructions\n",
+                    stats.pctEliminated());
+    }
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string workload, asm_path, trace_path;
+    unsigned scale = 0;
+    char config_id = 'D';
+    unsigned width = 16;
+    bool elim = false;
+    AddrPredKind pred_kind = AddrPredKind::TwoDelta;
+    std::uint64_t limit = 0;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage();
+            return argv[++i];
+        };
+        if (arg == "--workload") {
+            workload = value();
+        } else if (arg == "--asm") {
+            asm_path = value();
+        } else if (arg == "--trace") {
+            trace_path = value();
+        } else if (arg == "--scale") {
+            scale = static_cast<unsigned>(std::atoi(value().c_str()));
+        } else if (arg == "--config") {
+            const std::string v = value();
+            if (v.size() != 1 || v[0] < 'A' || v[0] > 'E')
+                usage();
+            config_id = v[0];
+        } else if (arg == "--width") {
+            width = static_cast<unsigned>(std::atoi(value().c_str()));
+            if (width == 0)
+                usage();
+        } else if (arg == "--elim") {
+            elim = true;
+        } else if (arg == "--addrpred") {
+            const std::string v = value();
+            if (v == "twodelta") {
+                pred_kind = AddrPredKind::TwoDelta;
+            } else if (v == "lastvalue") {
+                pred_kind = AddrPredKind::LastValue;
+            } else if (v == "context") {
+                pred_kind = AddrPredKind::Context;
+            } else {
+                usage();
+            }
+        } else if (arg == "--limit") {
+            limit = std::strtoull(value().c_str(), nullptr, 10);
+        } else {
+            usage();
+        }
+    }
+
+    const int sources = (workload.empty() ? 0 : 1) +
+        (asm_path.empty() ? 0 : 1) + (trace_path.empty() ? 0 : 1);
+    if (sources != 1)
+        usage();
+
+    // Build the trace.
+    std::unique_ptr<TraceSource> source;
+    if (!workload.empty()) {
+        std::uint32_t checksum = 0;
+        auto trace = std::make_unique<VectorTraceSource>(
+            traceWorkload(findWorkload(workload), scale, &checksum));
+        std::printf("workload    : %s (%zu instructions, checksum %u)\n",
+                    workload.c_str(), trace->size(), checksum);
+        source = std::move(trace);
+    } else if (!asm_path.empty()) {
+        const Program program = assembleOrDie(readFile(asm_path));
+        auto trace = std::make_unique<VectorTraceSource>();
+        VectorTraceSink sink(*trace);
+        Vm vm(program);
+        const Vm::RunResult run = vm.run(&sink, 2'000'000'000ull);
+        if (!run.halted)
+            ddsc_fatal("'%s' did not halt", asm_path.c_str());
+        std::printf("program     : %s (%zu instructions, r25=%u)\n",
+                    asm_path.c_str(), trace->size(),
+                    vm.reg(kChecksumReg));
+        source = std::move(trace);
+    } else {
+        source = std::make_unique<TraceFileSource>(trace_path);
+        std::printf("trace file  : %s\n", trace_path.c_str());
+    }
+
+    MachineConfig config = MachineConfig::paper(config_id, width);
+    config.nodeElimination = elim;
+    config.addrPredKind = pred_kind;
+
+    LimitScheduler scheduler(config);
+    SchedStats stats;
+    if (limit != 0) {
+        BoundedTraceSource bounded(*source, limit);
+        stats = scheduler.run(bounded);
+    } else {
+        stats = scheduler.run(*source);
+    }
+    printStats(config, stats);
+    return 0;
+}
