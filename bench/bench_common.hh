@@ -6,6 +6,9 @@
  * columns) so EXPERIMENTS.md can record paper-vs-measured side by side.
  *
  * Set DDSC_TRACE_LIMIT=<n> to truncate traces for quick runs.
+ * Cells are simulated in parallel (DDSC_JOBS worker threads, default
+ * hardware concurrency) with results bit-identical to a serial run;
+ * see tests/parallel_equiv_test.cpp.
  */
 
 #ifndef DDSC_BENCH_BENCH_COMMON_HH
@@ -32,6 +35,20 @@ banner(const std::string &what, const ExperimentDriver &driver)
                     "DDSC_TRACE_LIMIT)\n",
                     static_cast<unsigned long long>(driver.traceLimit()));
     }
+    if (driver.jobs() > 1)
+        std::printf("(cells simulated on %u worker threads)\n",
+                    driver.jobs());
+}
+
+/** Simulate all of @p configs x the paper widths for @p set up front,
+ *  in parallel, so the table printers below only hit the cache. */
+inline void
+prefetchMatrix(ExperimentDriver &driver,
+               const std::vector<const WorkloadSpec *> &set,
+               const std::string &configs)
+{
+    driver.prefetch(ExperimentDriver::cellsFor(
+        set, configs, MachineConfig::paperWidths()));
 }
 
 /** Describe a configuration letter as in the paper's Section 4. */
@@ -61,6 +78,8 @@ inline void
 printIpcMatrix(ExperimentDriver &driver,
                const std::vector<const WorkloadSpec *> &set)
 {
+    prefetchMatrix(driver, set, std::string(kConfigs.begin(),
+                                            kConfigs.end()));
     TextTable table;
     std::vector<std::string> header = {"config"};
     for (const unsigned w : MachineConfig::paperWidths())
@@ -80,6 +99,8 @@ inline void
 printSpeedupMatrix(ExperimentDriver &driver,
                    const std::vector<const WorkloadSpec *> &set)
 {
+    prefetchMatrix(driver, set, std::string(kConfigs.begin(),
+                                            kConfigs.end()));
     TextTable table;
     std::vector<std::string> header = {"config"};
     for (const unsigned w : MachineConfig::paperWidths())
@@ -101,6 +122,7 @@ inline void
 printLoadSpecTable(ExperimentDriver &driver,
                    const std::vector<const WorkloadSpec *> &set)
 {
+    prefetchMatrix(driver, set, "D");
     TextTable table;
     table.header({"Issue Width", "Ready (%)", "Predicted Correctly (%)",
                   "Predicted Incorrectly (%)", "Not Predicted (%)"});
@@ -128,6 +150,7 @@ printSignatureTable(ExperimentDriver &driver, unsigned group_size,
     // Rank by the widest machine, then report that signature across
     // all widths, mirroring the tables' layout.
     const auto set = ExperimentDriver::everything();
+    prefetchMatrix(driver, set, "D");
     const CollapseStats widest =
         driver.mergedCollapse(set, 'D', 2048);
     const auto ranked = widest.topSignatures(group_size, top_n);

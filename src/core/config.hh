@@ -90,6 +90,42 @@ struct MachineConfig
     /** Which realistic predictor to use (paper: two-delta stride). */
     AddrPredKind addrPredKind = AddrPredKind::TwoDelta;
 
+    /**
+     * Canonical encoding of every behavioural knob (the display name
+     * is deliberately excluded).  Two configs with equal fingerprints
+     * simulate identically; ExperimentDriver uses this to detect
+     * result-cache keys that alias distinct machines.
+     */
+    std::string
+    fingerprint() const
+    {
+        std::string fp;
+        auto field = [&fp](const std::string &v) {
+            fp += v;
+            fp += '|';
+        };
+        field(std::to_string(issueWidth));
+        field(std::to_string(windowSize));
+        field(std::to_string(collapsing));
+        field(std::to_string(static_cast<unsigned>(loadSpec)));
+        field(std::to_string(rules.maxOperands));
+        field(std::to_string(rules.narrowOperands));
+        field(std::to_string(rules.maxInstructions));
+        field(std::to_string(rules.zeroOpDetection));
+        field(std::to_string(rules.maxCollapseDistance));
+        field(std::to_string(rules.sameBasicBlockOnly));
+        field(std::to_string(nodeElimination));
+        field(std::to_string(loadValuePrediction));
+        field(std::to_string(realCtiPrediction));
+        field(std::to_string(rasDepth));
+        field(std::to_string(naiveEngine));
+        field(std::to_string(bpredIndexBits));
+        field(std::to_string(addrPredIndexBits));
+        field(std::to_string(addrConfidenceThreshold));
+        field(std::to_string(static_cast<unsigned>(addrPredKind)));
+        return fp;
+    }
+
     /** The five paper configurations by letter. */
     static MachineConfig
     paper(char id, unsigned issue_width)

@@ -48,6 +48,14 @@ struct SchedStats
     /** Instructions issued per cycle (key = count, including zero). */
     Histogram issuedPerCycle;
 
+    /**
+     * Host wall-clock nanoseconds spent inside LimitScheduler::run for
+     * this cell.  Purely observational: it makes the parallel engine's
+     * speedup measurable (sum of cell times vs. elapsed time) and is
+     * the one field excluded from serial-vs-parallel bit-identity.
+     */
+    std::uint64_t wallNanos = 0;
+
     /** Fraction of cycles with no issue at all. */
     double
     pctIdleCycles() const

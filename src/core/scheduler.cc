@@ -1,6 +1,7 @@
 #include "scheduler.hh"
 
 #include <algorithm>
+#include <chrono>
 
 #include "support/logging.hh"
 
@@ -729,9 +730,18 @@ LimitScheduler::runNaive(TraceSource &trace)
 SchedStats
 LimitScheduler::run(TraceSource &trace)
 {
-    if (config_.naiveEngine)
-        return runNaive(trace);
+    const auto start = std::chrono::steady_clock::now();
+    SchedStats stats =
+        config_.naiveEngine ? runNaive(trace) : runEvent(trace);
+    stats.wallNanos = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start).count());
+    return stats;
+}
 
+SchedStats
+LimitScheduler::runEvent(TraceSource &trace)
+{
     resetState();
 
     // Initial fill: instructions available in cycle 0.

@@ -69,6 +69,9 @@ class LimitScheduler
     /** Reset all run state (predictors keep their construction). */
     void resetState();
 
+    /** The event-driven engine proper (run() adds wall timing). */
+    SchedStats runEvent(TraceSource &trace);
+
     /** The O(window)-per-cycle reference engine (config.naiveEngine);
      *  semantically identical to the event-driven engine and used to
      *  differentially test it. */

@@ -1,9 +1,15 @@
 #include "experiment.hh"
 
+#include <cctype>
+#include <cerrno>
 #include <cstdlib>
+#include <limits>
+#include <set>
+#include <utility>
 
 #include "support/logging.hh"
 #include "support/stats.hh"
+#include "support/thread_pool.hh"
 
 namespace ddsc
 {
@@ -14,20 +20,39 @@ envTraceLimit()
     const char *value = std::getenv("DDSC_TRACE_LIMIT");
     if (!value)
         return 0;
-    char *end = nullptr;
-    const unsigned long long parsed = std::strtoull(value, &end, 10);
-    if (end == value) {
+    // Insist on a plain decimal count: strtoull alone would skip
+    // leading whitespace and silently wrap negatives to huge values.
+    if (!std::isdigit(static_cast<unsigned char>(value[0]))) {
         warn("ignoring malformed DDSC_TRACE_LIMIT='%s'", value);
         return 0;
+    }
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long long parsed = std::strtoull(value, &end, 10);
+    if (end == value || *end != '\0') {
+        warn("ignoring malformed DDSC_TRACE_LIMIT='%s'", value);
+        return 0;
+    }
+    if (errno == ERANGE) {
+        warn("DDSC_TRACE_LIMIT='%s' out of range; treating as unlimited",
+             value);
+        return std::numeric_limits<std::uint64_t>::max();
     }
     return parsed;
 }
 
 ExperimentDriver::ExperimentDriver(std::uint64_t trace_limit,
-                                   bool test_scale)
+                                   bool test_scale, unsigned jobs)
     : traceLimit_(trace_limit != 0 ? trace_limit : envTraceLimit()),
-      testScale_(test_scale)
+      testScale_(test_scale),
+      jobs_(jobs != 0 ? jobs : support::ThreadPool::defaultJobs())
 {
+}
+
+void
+ExperimentDriver::setJobs(unsigned jobs)
+{
+    jobs_ = jobs != 0 ? jobs : support::ThreadPool::defaultJobs();
 }
 
 VectorTraceSource &
@@ -48,19 +73,59 @@ ExperimentDriver::trace(const WorkloadSpec &spec)
     return traces_.emplace(spec.name, std::move(full)).first->second;
 }
 
+std::string
+ExperimentDriver::cellKey(char config, unsigned width)
+{
+    return std::string(1, config) + "/" + std::to_string(width);
+}
+
+std::string
+ExperimentDriver::guardKey(const std::string &cache_key,
+                           const MachineConfig &config)
+{
+    const std::string fp = config.fingerprint();
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto [it, inserted] = fingerprints_.try_emplace(cache_key, fp);
+    if (inserted || it->second == fp)
+        return cache_key;
+#ifndef NDEBUG
+    ddsc_panic("statsFor key '%s' aliases two different MachineConfigs",
+               cache_key.c_str());
+#else
+    warn("statsFor key '%s' aliases two different MachineConfigs; "
+         "disambiguating by fingerprint", cache_key.c_str());
+    const std::string disambiguated = cache_key + "#" + fp;
+    fingerprints_.try_emplace(disambiguated, fp);
+    return disambiguated;
+#endif
+}
+
+SchedStats
+ExperimentDriver::runCell(const VectorTraceSource &trace,
+                          const MachineConfig &config) const
+{
+    VectorTraceView view(trace);
+    LimitScheduler scheduler(config);
+    return scheduler.run(view);
+}
+
 const SchedStats &
 ExperimentDriver::statsFor(const WorkloadSpec &spec,
                            const MachineConfig &config,
                            const std::string &key)
 {
-    const std::string cache_key = spec.name + "/" + key;
-    const auto it = cache_.find(cache_key);
-    if (it != cache_.end())
-        return it->second;
-    VectorTraceSource &src = trace(spec);
-    src.reset();
-    LimitScheduler scheduler(config);
-    return cache_.emplace(cache_key, scheduler.run(src)).first->second;
+    const std::string cache_key =
+        guardKey(spec.name + "/" + key, config);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = cache_.find(cache_key);
+        if (it != cache_.end())
+            return it->second;
+    }
+    const VectorTraceSource &src = trace(spec);
+    SchedStats stats = runCell(src, config);
+    std::lock_guard<std::mutex> lock(mutex_);
+    return cache_.emplace(cache_key, std::move(stats)).first->second;
 }
 
 const SchedStats &
@@ -68,13 +133,91 @@ ExperimentDriver::stats(const WorkloadSpec &spec, char config,
                         unsigned width)
 {
     return statsFor(spec, MachineConfig::paper(config, width),
-                    std::string(1, config) + "/" + std::to_string(width));
+                    cellKey(config, width));
+}
+
+std::vector<ExperimentCell>
+ExperimentDriver::cellsFor(const std::vector<const WorkloadSpec *> &set,
+                           const std::string &configs,
+                           const std::vector<unsigned> &widths)
+{
+    std::vector<ExperimentCell> cells;
+    cells.reserve(set.size() * configs.size() * widths.size());
+    for (const WorkloadSpec *spec : set)
+        for (const char config : configs)
+            for (const unsigned width : widths)
+                cells.push_back({spec, config, width});
+    return cells;
+}
+
+void
+ExperimentDriver::prefetch(const std::vector<ExperimentCell> &cells)
+{
+    struct Task
+    {
+        const VectorTraceSource *trace;
+        MachineConfig config;
+        std::string key;
+    };
+
+    // Enumerate the missing cells and materialize their traces from
+    // this thread (trace generation runs the VM and is kept serial;
+    // it is shared across the 25 cells of each workload anyway).
+    std::vector<Task> missing;
+    std::set<std::string> queued;
+    for (const ExperimentCell &cell : cells) {
+        ddsc_assert(cell.spec != nullptr, "null workload in cell");
+        const std::string cache_key =
+            cell.spec->name + "/" + cellKey(cell.config, cell.width);
+        if (!queued.insert(cache_key).second)
+            continue;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (cache_.find(cache_key) != cache_.end())
+                continue;
+        }
+        MachineConfig config =
+            MachineConfig::paper(cell.config, cell.width);
+        guardKey(cache_key, config);
+        const VectorTraceSource &src = trace(*cell.spec);
+        missing.push_back({&src, std::move(config), cache_key});
+    }
+    if (missing.empty())
+        return;
+
+    // Run the missing cells concurrently.  Each task owns a private
+    // trace cursor and scheduler and writes only its own result slot,
+    // so the computation is race-free by construction; the shared
+    // cache is filled afterwards, under the mutex, in enumeration
+    // order (a std::map is insertion-order independent anyway).
+    std::vector<SchedStats> results(missing.size());
+    support::parallelFor(
+        missing.size(),
+        static_cast<unsigned>(
+            std::min<std::size_t>(jobs_, missing.size())),
+        [&](std::size_t i) {
+            results[i] = runCell(*missing[i].trace, missing[i].config);
+        });
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t i = 0; i < missing.size(); ++i)
+        cache_.emplace(missing[i].key, std::move(results[i]));
+}
+
+double
+ExperimentDriver::cachedCellSeconds() const
+{
+    double seconds = 0.0;
+    for (const auto &[key, stats] : cache_)
+        seconds += static_cast<double>(stats.wallNanos) * 1e-9;
+    return seconds;
 }
 
 double
 ExperimentDriver::hmeanIpc(const std::vector<const WorkloadSpec *> &set,
                            char config, unsigned width)
 {
+    prefetch(cellsFor(set, std::string(1, config), {width}));
     std::vector<double> ipcs;
     ipcs.reserve(set.size());
     for (const WorkloadSpec *spec : set)
@@ -87,6 +230,7 @@ ExperimentDriver::hmeanSpeedup(
     const std::vector<const WorkloadSpec *> &set, char config,
     unsigned width)
 {
+    prefetch(cellsFor(set, std::string("A") + config, {width}));
     std::vector<double> speedups;
     speedups.reserve(set.size());
     for (const WorkloadSpec *spec : set) {
@@ -104,6 +248,7 @@ ExperimentDriver::mergedCollapse(
     const std::vector<const WorkloadSpec *> &set, char config,
     unsigned width)
 {
+    prefetch(cellsFor(set, std::string(1, config), {width}));
     CollapseStats merged;
     for (const WorkloadSpec *spec : set)
         merged.merge(stats(*spec, config, width).collapse);
@@ -115,6 +260,7 @@ ExperimentDriver::pctCollapsed(
     const std::vector<const WorkloadSpec *> &set, char config,
     unsigned width)
 {
+    prefetch(cellsFor(set, std::string(1, config), {width}));
     std::uint64_t collapsed = 0;
     std::uint64_t total = 0;
     for (const WorkloadSpec *spec : set) {
@@ -131,6 +277,7 @@ ExperimentDriver::meanLoadClassPct(
     const std::vector<const WorkloadSpec *> &set, char config,
     unsigned width, LoadClass cls)
 {
+    prefetch(cellsFor(set, std::string(1, config), {width}));
     std::vector<double> pcts;
     pcts.reserve(set.size());
     for (const WorkloadSpec *spec : set)

@@ -6,6 +6,16 @@
  * the base machine, merged collapse statistics, mean load-class
  * percentages).
  *
+ * The driver is parallel: every (workload, config, width) cell is an
+ * independent LimitScheduler run over an immutable cached trace, so
+ * prefetch() farms missing cells out to a thread pool (`--jobs` /
+ * $DDSC_JOBS, default hardware_concurrency) and the aggregation
+ * helpers prefetch their whole cell set before reducing serially.
+ * Results are bit-identical to a serial run regardless of job count
+ * (tests/parallel_equiv_test.cpp is the oracle): each cell is computed
+ * by the same deterministic scheduler over a private trace cursor, and
+ * the reductions always read cells in the caller-given set order.
+ *
  * The environment variable DDSC_TRACE_LIMIT truncates every trace to
  * at most that many instructions — the same rule the paper applied at
  * 250M ("only the first 250 million instructions of each benchmark
@@ -17,6 +27,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -27,6 +38,14 @@
 
 namespace ddsc
 {
+
+/** One cell of the experiment matrix. */
+struct ExperimentCell
+{
+    const WorkloadSpec *spec;
+    char config;        ///< paper configuration letter A..E
+    unsigned width;     ///< issue width
+};
 
 /**
  * Runs and caches simulations of the A..E matrix.
@@ -39,16 +58,41 @@ class ExperimentDriver
      * @param test_scale build workloads at their small test scale
      *        instead of the default experiment scale (used by the
      *        test suite to keep the matrix cheap).
+     * @param jobs worker threads for prefetch(); 0 = $DDSC_JOBS or
+     *        hardware_concurrency, 1 = fully serial.
      */
     explicit ExperimentDriver(std::uint64_t trace_limit = 0,
-                              bool test_scale = false);
+                              bool test_scale = false,
+                              unsigned jobs = 0);
+
+    /** Worker threads used by prefetch() (>= 1). */
+    unsigned jobs() const { return jobs_; }
+
+    /** Change the worker-thread count (0 = default policy). */
+    void setJobs(unsigned jobs);
+
+    /**
+     * Simulate every not-yet-cached cell of @p cells concurrently on
+     * up to jobs() threads, filling the result cache.  Subsequent
+     * stats()/aggregation calls for those cells are cache hits.  Safe
+     * to call with duplicate or already-cached cells.
+     */
+    void prefetch(const std::vector<ExperimentCell> &cells);
+
+    /** Enumerate @p set x @p configs x @p widths as cells. */
+    static std::vector<ExperimentCell>
+    cellsFor(const std::vector<const WorkloadSpec *> &set,
+             const std::string &configs,
+             const std::vector<unsigned> &widths);
 
     /** Simulate (cached) one workload under one configuration. */
     const SchedStats &stats(const WorkloadSpec &spec, char config,
                             unsigned width);
 
     /** As above with an arbitrary MachineConfig (ablation studies).
-     *  @param key must uniquely identify the configuration. */
+     *  @param key must uniquely identify the configuration; the driver
+     *  cross-checks it against MachineConfig::fingerprint() and panics
+     *  (debug) or warns and disambiguates (release) on collisions. */
     const SchedStats &statsFor(const WorkloadSpec &spec,
                                const MachineConfig &config,
                                const std::string &key);
@@ -86,14 +130,41 @@ class ExperimentDriver
     /** The configured trace limit (0 = none). */
     std::uint64_t traceLimit() const { return traceLimit_; }
 
+    /** Number of cached cells. */
+    std::size_t cachedCells() const { return cache_.size(); }
+
+    /** Cumulative scheduler wall time over all cached cells, in
+     *  seconds — compare against elapsed time to see the parallel
+     *  speedup. */
+    double cachedCellSeconds() const;
+
   private:
+    /** Cache key for a paper cell. */
+    static std::string cellKey(char config, unsigned width);
+
+    /** Look up / verify the fingerprint for @p cache_key, returning
+     *  the (possibly disambiguated) key to use.  Caller holds no
+     *  lock; this takes mutex_ itself. */
+    std::string guardKey(const std::string &cache_key,
+                         const MachineConfig &config);
+
+    /** Run one cell (no caching, no locking). */
+    SchedStats runCell(const VectorTraceSource &trace,
+                       const MachineConfig &config) const;
+
     std::uint64_t traceLimit_;
     bool testScale_;
+    unsigned jobs_;
     std::map<std::string, VectorTraceSource> traces_;
     std::map<std::string, SchedStats> cache_;
+    /** cache key -> MachineConfig::fingerprint() that filled it. */
+    std::map<std::string, std::string> fingerprints_;
+    /** Guards cache_ / fingerprints_ during parallel prefetch. */
+    std::mutex mutex_;
 };
 
-/** Parse $DDSC_TRACE_LIMIT (0 when unset/invalid). */
+/** Parse $DDSC_TRACE_LIMIT (0 when unset/invalid/trailing garbage;
+ *  out-of-range values clamp to UINT64_MAX = effectively unlimited). */
 std::uint64_t envTraceLimit();
 
 } // namespace ddsc

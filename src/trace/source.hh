@@ -70,6 +70,39 @@ class VectorTraceSource : public TraceSource
 };
 
 /**
+ * A read-only cursor over another VectorTraceSource's records.
+ *
+ * VectorTraceSource carries its iteration position, so one instance
+ * cannot feed two simulations at once.  Views share the underlying
+ * immutable record vector but own their position, which is what lets
+ * the parallel experiment engine run many LimitSchedulers over one
+ * cached trace concurrently.  The viewed source must outlive the view
+ * and must not be mutated (push) while views exist.
+ */
+class VectorTraceView : public TraceSource
+{
+  public:
+    explicit VectorTraceView(const VectorTraceSource &source)
+        : records_(&source.records())
+    {}
+
+    bool
+    next(TraceRecord &rec) override
+    {
+        if (pos_ >= records_->size())
+            return false;
+        rec = (*records_)[pos_++];
+        return true;
+    }
+
+    void reset() override { pos_ = 0; }
+
+  private:
+    const std::vector<TraceRecord> *records_;
+    std::size_t pos_ = 0;
+};
+
+/**
  * Sink interface for trace producers (the VM writes through this).
  */
 class TraceSink

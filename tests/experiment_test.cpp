@@ -8,6 +8,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <limits>
+
 #include "sim/experiment.hh"
 
 namespace ddsc
@@ -42,6 +45,146 @@ TEST(Experiment, StatsAreCached)
 TEST(Experiment, EverythingHasSixEntries)
 {
     EXPECT_EQ(ExperimentDriver::everything().size(), 6u);
+}
+
+// --- statsFor cache-key semantics ------------------------------------
+
+TEST(Experiment, FingerprintSeparatesMachinesNotNames)
+{
+    MachineConfig a4 = MachineConfig::paper('A', 4);
+    MachineConfig b4 = MachineConfig::paper('B', 4);
+    MachineConfig d16 = MachineConfig::paper('D', 16);
+    EXPECT_NE(a4.fingerprint(), b4.fingerprint());
+    EXPECT_NE(b4.fingerprint(), d16.fingerprint());
+
+    // The display name is cosmetic: renaming must not change identity.
+    MachineConfig renamed = a4;
+    renamed.name = "base-machine";
+    EXPECT_EQ(a4.fingerprint(), renamed.fingerprint());
+
+    // Every behavioural knob must feed the fingerprint.
+    MachineConfig tweaked = a4;
+    tweaked.rules.zeroOpDetection = false;
+    EXPECT_NE(a4.fingerprint(), tweaked.fingerprint());
+    tweaked = a4;
+    tweaked.addrConfidenceThreshold += 1;
+    EXPECT_NE(a4.fingerprint(), tweaked.fingerprint());
+}
+
+TEST(Experiment, StatsForSameKeySameConfigIsACacheHit)
+{
+    ExperimentDriver d(4000, /*test_scale=*/true);
+    const WorkloadSpec &spec = findWorkload("espresso");
+    const MachineConfig config = MachineConfig::paper('C', 8);
+    const SchedStats &first = d.statsFor(spec, config, "ablation-x");
+    const SchedStats &second = d.statsFor(spec, config, "ablation-x");
+    EXPECT_EQ(&first, &second);
+}
+
+#ifdef NDEBUG
+TEST(Experiment, StatsForKeyCollisionIsDisambiguated)
+{
+    // Two different machines under one key: release builds warn and
+    // fall back to fingerprint-disambiguated keys, so each caller
+    // still gets the stats of the machine it actually passed.
+    ExperimentDriver d(0, /*test_scale=*/true);
+    const WorkloadSpec &spec = findWorkload("espresso");
+    const SchedStats &as_a =
+        d.statsFor(spec, MachineConfig::paper('A', 4), "same-key");
+    const SchedStats &as_d =
+        d.statsFor(spec, MachineConfig::paper('D', 16), "same-key");
+    EXPECT_NE(&as_a, &as_d);
+    EXPECT_EQ(as_a.cycles, d.stats(spec, 'A', 4).cycles);
+    EXPECT_EQ(as_d.cycles, d.stats(spec, 'D', 16).cycles);
+}
+#else
+TEST(ExperimentDeathTest, StatsForKeyCollisionPanicsInDebug)
+{
+    ExperimentDriver d(0, /*test_scale=*/true);
+    const WorkloadSpec &spec = findWorkload("espresso");
+    d.statsFor(spec, MachineConfig::paper('A', 4), "same-key");
+    EXPECT_DEATH(
+        d.statsFor(spec, MachineConfig::paper('D', 16), "same-key"),
+        "aliases");
+}
+#endif
+
+// --- DDSC_TRACE_LIMIT parsing ----------------------------------------
+
+namespace
+{
+
+/** Set DDSC_TRACE_LIMIT for one scope, restoring the old value. */
+class ScopedTraceLimit
+{
+  public:
+    explicit ScopedTraceLimit(const char *value)
+    {
+        const char *old = std::getenv("DDSC_TRACE_LIMIT");
+        had_ = old != nullptr;
+        if (had_)
+            saved_ = old;
+        if (value)
+            ::setenv("DDSC_TRACE_LIMIT", value, 1);
+        else
+            ::unsetenv("DDSC_TRACE_LIMIT");
+    }
+
+    ~ScopedTraceLimit()
+    {
+        if (had_)
+            ::setenv("DDSC_TRACE_LIMIT", saved_.c_str(), 1);
+        else
+            ::unsetenv("DDSC_TRACE_LIMIT");
+    }
+
+  private:
+    std::string saved_;
+    bool had_;
+};
+
+} // anonymous namespace
+
+TEST(Experiment, EnvTraceLimitUnsetIsUnlimited)
+{
+    ScopedTraceLimit env(nullptr);
+    EXPECT_EQ(envTraceLimit(), 0u);
+}
+
+TEST(Experiment, EnvTraceLimitParsesPlainNumbers)
+{
+    ScopedTraceLimit env("250000000");
+    EXPECT_EQ(envTraceLimit(), 250000000u);
+}
+
+TEST(Experiment, EnvTraceLimitZeroMeansUnlimited)
+{
+    ScopedTraceLimit env("0");
+    EXPECT_EQ(envTraceLimit(), 0u);
+}
+
+TEST(Experiment, EnvTraceLimitRejectsMalformedValues)
+{
+    for (const char *bad : {"", "abc", "12cats", "0x10", " 5", "-3"}) {
+        ScopedTraceLimit env(bad);
+        EXPECT_EQ(envTraceLimit(), 0u) << "'" << bad << "'";
+    }
+}
+
+TEST(Experiment, EnvTraceLimitClampsHugeValues)
+{
+    // One digit beyond 2^64-1: out of range clamps to "unlimited in
+    // practice" rather than silently wrapping.
+    ScopedTraceLimit env("99999999999999999999");
+    EXPECT_EQ(envTraceLimit(),
+              std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(Experiment, EnvTraceLimitMaxUint64IsAccepted)
+{
+    ScopedTraceLimit env("18446744073709551615");
+    EXPECT_EQ(envTraceLimit(),
+              std::numeric_limits<std::uint64_t>::max());
 }
 
 TEST(Experiment, SpeedupOfBaseIsOne)

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * The serial-equivalence oracle for the parallel experiment engine:
+ * the same test-scale matrix is simulated with 1, 2, 4, and 8 worker
+ * threads and every cell's SchedStats must be bit-identical to the
+ * serial run — cycle counts, IPC, branch and CTI counters, load-class
+ * partitions, collapse events, signature tables, distance histograms,
+ * and the issued-per-cycle distribution.  Only wallNanos (host
+ * timing, observational) is allowed to differ.
+ *
+ * This guards the tentpole invariant: parallelism is an execution
+ * detail and can never perturb simulation results.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "sim/experiment.hh"
+
+namespace ddsc
+{
+namespace
+{
+
+const std::string kConfigs = "ACD";
+const std::vector<unsigned> kWidths = {4, 16};
+
+void
+expectSameHistogram(const Histogram &a, const Histogram &b,
+                    const std::string &what)
+{
+    EXPECT_EQ(a.samples(), b.samples()) << what;
+    EXPECT_EQ(a.raw(), b.raw()) << what;
+}
+
+void
+expectSameCollapse(const CollapseStats &a, const CollapseStats &b,
+                   const std::string &what)
+{
+    EXPECT_EQ(a.events(), b.events()) << what;
+    EXPECT_EQ(a.pairEvents(), b.pairEvents()) << what;
+    EXPECT_EQ(a.tripleEvents(), b.tripleEvents()) << what;
+    EXPECT_EQ(a.collapsedInstructions(), b.collapsedInstructions())
+        << what;
+    for (unsigned c = 0; c < kNumCollapseCategories; ++c) {
+        EXPECT_EQ(a.eventsOf(static_cast<CollapseCategory>(c)),
+                  b.eventsOf(static_cast<CollapseCategory>(c)))
+            << what << " category " << c;
+    }
+    expectSameHistogram(a.distances(), b.distances(),
+                        what + " distances");
+    EXPECT_EQ(a.pairSignatures(), b.pairSignatures()) << what;
+    EXPECT_EQ(a.tripleSignatures(), b.tripleSignatures()) << what;
+}
+
+/** Everything except wallNanos must match bit for bit. */
+void
+expectSameStats(const SchedStats &a, const SchedStats &b,
+                const std::string &what)
+{
+    EXPECT_EQ(a.instructions, b.instructions) << what;
+    EXPECT_EQ(a.cycles, b.cycles) << what;
+    EXPECT_EQ(a.ipc(), b.ipc()) << what;           // bit-identical
+    EXPECT_EQ(a.condBranches, b.condBranches) << what;
+    EXPECT_EQ(a.mispredicts, b.mispredicts) << what;
+    EXPECT_EQ(a.ctiPredictions, b.ctiPredictions) << what;
+    EXPECT_EQ(a.ctiMispredicts, b.ctiMispredicts) << what;
+    EXPECT_EQ(a.loads, b.loads) << what;
+    for (unsigned c = 0; c < kNumLoadClasses; ++c)
+        EXPECT_EQ(a.loadClasses[c], b.loadClasses[c])
+            << what << " load class " << c;
+    EXPECT_EQ(a.eliminatedInstructions, b.eliminatedInstructions)
+        << what;
+    EXPECT_EQ(a.valuePredHits, b.valuePredHits) << what;
+    EXPECT_EQ(a.valuePredWrong, b.valuePredWrong) << what;
+    expectSameCollapse(a.collapse, b.collapse, what + " collapse");
+    expectSameHistogram(a.issuedPerCycle, b.issuedPerCycle,
+                        what + " issuedPerCycle");
+}
+
+/** A fresh test-scale driver with the whole test matrix simulated. */
+std::unique_ptr<ExperimentDriver>
+runMatrix(unsigned jobs)
+{
+    auto driver = std::make_unique<ExperimentDriver>(
+        0, /*test_scale=*/true, jobs);
+    driver->prefetch(ExperimentDriver::cellsFor(
+        ExperimentDriver::everything(), kConfigs, kWidths));
+    return driver;
+}
+
+/** Matrix drivers cached per job count (each cell is simulated once
+ *  per job count across the whole test binary). */
+ExperimentDriver &
+driverFor(unsigned jobs)
+{
+    static std::map<unsigned, std::unique_ptr<ExperimentDriver>> cache;
+    auto it = cache.find(jobs);
+    if (it == cache.end())
+        it = cache.emplace(jobs, runMatrix(jobs)).first;
+    return *it->second;
+}
+
+/** The serial baseline, shared by all comparisons. */
+ExperimentDriver &
+serialDriver()
+{
+    return driverFor(1);
+}
+
+class ParallelEquiv : public testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(ParallelEquiv, EveryCellIsBitIdentical)
+{
+    const unsigned jobs = GetParam();
+    ExperimentDriver *parallel = &driverFor(jobs);
+    EXPECT_EQ(parallel->jobs(), jobs);
+
+    for (const WorkloadSpec *spec : ExperimentDriver::everything()) {
+        for (const char config : kConfigs) {
+            for (const unsigned width : kWidths) {
+                const std::string what = spec->name + "/" + config +
+                    "/" + std::to_string(width) + " jobs=" +
+                    std::to_string(jobs);
+                expectSameStats(
+                    serialDriver().stats(*spec, config, width),
+                    parallel->stats(*spec, config, width), what);
+            }
+        }
+    }
+}
+
+TEST_P(ParallelEquiv, AggregationsAreBitIdentical)
+{
+    // The reductions the figures/tables are built from: double
+    // equality, not near-equality — identical cells reduced in
+    // identical order must give identical bits.
+    const unsigned jobs = GetParam();
+    ExperimentDriver *parallel = &driverFor(jobs);
+    const auto set = ExperimentDriver::everything();
+
+    for (const char config : kConfigs) {
+        for (const unsigned width : kWidths) {
+            EXPECT_EQ(serialDriver().hmeanIpc(set, config, width),
+                      parallel->hmeanIpc(set, config, width))
+                << config << width;
+            EXPECT_EQ(serialDriver().hmeanSpeedup(set, config, width),
+                      parallel->hmeanSpeedup(set, config, width))
+                << config << width;
+            EXPECT_EQ(serialDriver().pctCollapsed(set, config, width),
+                      parallel->pctCollapsed(set, config, width))
+                << config << width;
+            expectSameCollapse(
+                serialDriver().mergedCollapse(set, config, width),
+                parallel->mergedCollapse(set, config, width),
+                std::string("merged ") + config +
+                std::to_string(width));
+            for (unsigned c = 0; c < kNumLoadClasses; ++c) {
+                EXPECT_EQ(
+                    serialDriver().meanLoadClassPct(
+                        set, config, width,
+                        static_cast<LoadClass>(c)),
+                    parallel->meanLoadClassPct(
+                        set, config, width,
+                        static_cast<LoadClass>(c)))
+                    << config << width << " class " << c;
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Jobs, ParallelEquiv,
+                         testing::Values(2u, 4u, 8u));
+
+TEST(ParallelEquivMisc, PrefetchIsIdempotentAndCachePreserving)
+{
+    // A second prefetch of the same cells must not recompute: the
+    // cached SchedStats objects keep their addresses.
+    ExperimentDriver driver(0, /*test_scale=*/true, 4);
+    const WorkloadSpec &spec = findWorkload("espresso");
+    driver.prefetch({{&spec, 'D', 8}, {&spec, 'D', 8}});
+    const SchedStats &first = driver.stats(spec, 'D', 8);
+    driver.prefetch({{&spec, 'D', 8}});
+    EXPECT_EQ(&first, &driver.stats(spec, 'D', 8));
+    EXPECT_EQ(driver.cachedCells(), 1u);
+}
+
+TEST(ParallelEquivMisc, WallTimeIsRecordedPerCell)
+{
+    ExperimentDriver driver(0, /*test_scale=*/true, 2);
+    const WorkloadSpec &spec = findWorkload("compress");
+    driver.prefetch({{&spec, 'A', 4}, {&spec, 'D', 4}});
+    EXPECT_GT(driver.stats(spec, 'A', 4).wallNanos, 0u);
+    EXPECT_GT(driver.stats(spec, 'D', 4).wallNanos, 0u);
+    EXPECT_GT(driver.cachedCellSeconds(), 0.0);
+}
+
+TEST(ParallelEquivMisc, SetJobsZeroFallsBackToDefaultPolicy)
+{
+    ExperimentDriver driver(0, true, 3);
+    EXPECT_EQ(driver.jobs(), 3u);
+    driver.setJobs(0);
+    EXPECT_GE(driver.jobs(), 1u);
+}
+
+} // anonymous namespace
+} // namespace ddsc

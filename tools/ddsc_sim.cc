@@ -12,11 +12,15 @@
  *   --scale N         workload scale (0 = default)
  *   --asm FILE        assemble FILE, execute it, simulate its trace
  *   --trace FILE      simulate a binary trace file (see ddsc-asm)
- *   --config X        A|B|C|D|E (default D)
+ *   --config X..      one or more of A|B|C|D|E (default D); several
+ *                     letters (e.g. --config ABDE) sweep the trace
+ *                     through each machine, in parallel across --jobs
  *   --width N         issue width (default 16); window is 2x width
  *   --elim            enable node elimination (extension)
  *   --addrpred KIND   twodelta|lastvalue|context (default twodelta)
  *   --limit N         simulate at most N instructions
+ *   --jobs N          worker threads for multi-config sweeps
+ *                     (default $DDSC_JOBS or hardware concurrency)
  */
 
 #include <cstdio>
@@ -30,6 +34,7 @@
 #include "core/scheduler.hh"
 #include "masm/assembler.hh"
 #include "support/logging.hh"
+#include "support/thread_pool.hh"
 #include "vm/vm.hh"
 #include "workloads/workloads.hh"
 
@@ -43,9 +48,9 @@ usage()
 {
     std::fprintf(stderr,
         "usage: ddsc-sim --workload NAME | --asm FILE | --trace FILE\n"
-        "                [--scale N] [--config A..E] [--width N]\n"
+        "                [--scale N] [--config A..E ...] [--width N]\n"
         "                [--elim] [--addrpred twodelta|lastvalue|context]\n"
-        "                [--limit N]\n");
+        "                [--limit N] [--jobs N]\n");
     std::exit(2);
 }
 
@@ -112,11 +117,12 @@ main(int argc, char **argv)
 {
     std::string workload, asm_path, trace_path;
     unsigned scale = 0;
-    char config_id = 'D';
+    std::string config_ids = "D";
     unsigned width = 16;
     bool elim = false;
     AddrPredKind pred_kind = AddrPredKind::TwoDelta;
     std::uint64_t limit = 0;
+    unsigned jobs = support::ThreadPool::defaultJobs();
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -135,9 +141,17 @@ main(int argc, char **argv)
             scale = static_cast<unsigned>(std::atoi(value().c_str()));
         } else if (arg == "--config") {
             const std::string v = value();
-            if (v.size() != 1 || v[0] < 'A' || v[0] > 'E')
+            if (v.empty())
                 usage();
-            config_id = v[0];
+            for (const char c : v) {
+                if (c < 'A' || c > 'E')
+                    usage();
+            }
+            config_ids = v;
+        } else if (arg == "--jobs") {
+            jobs = static_cast<unsigned>(std::atoi(value().c_str()));
+            if (jobs == 0)
+                usage();
         } else if (arg == "--width") {
             width = static_cast<unsigned>(std::atoi(value().c_str()));
             if (width == 0)
@@ -193,18 +207,55 @@ main(int argc, char **argv)
         std::printf("trace file  : %s\n", trace_path.c_str());
     }
 
-    MachineConfig config = MachineConfig::paper(config_id, width);
-    config.nodeElimination = elim;
-    config.addrPredKind = pred_kind;
+    auto machineFor = [&](char config_id) {
+        MachineConfig config = MachineConfig::paper(config_id, width);
+        config.nodeElimination = elim;
+        config.addrPredKind = pred_kind;
+        return config;
+    };
 
-    LimitScheduler scheduler(config);
-    SchedStats stats;
-    if (limit != 0) {
-        BoundedTraceSource bounded(*source, limit);
-        stats = scheduler.run(bounded);
-    } else {
-        stats = scheduler.run(*source);
+    if (config_ids.size() == 1) {
+        const MachineConfig config = machineFor(config_ids[0]);
+        LimitScheduler scheduler(config);
+        SchedStats stats;
+        if (limit != 0) {
+            BoundedTraceSource bounded(*source, limit);
+            stats = scheduler.run(bounded);
+        } else {
+            stats = scheduler.run(*source);
+        }
+        printStats(config, stats);
+        return 0;
     }
-    printStats(config, stats);
+
+    // Multi-config sweep: materialize the trace once and run every
+    // machine over a private read-only cursor, in parallel.  Results
+    // print in the order the configs were given regardless of which
+    // finished first.
+    VectorTraceSource materialized;
+    {
+        VectorTraceSink sink(materialized);
+        TraceRecord rec;
+        std::uint64_t taken = 0;
+        while ((limit == 0 || taken < limit) && source->next(rec)) {
+            sink.emit(rec);
+            ++taken;
+        }
+    }
+    std::vector<MachineConfig> configs;
+    std::vector<SchedStats> results(config_ids.size());
+    for (const char c : config_ids)
+        configs.push_back(machineFor(c));
+    support::parallelFor(
+        configs.size(), jobs, [&](std::size_t i) {
+            VectorTraceView view(materialized);
+            LimitScheduler scheduler(configs[i]);
+            results[i] = scheduler.run(view);
+        });
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        if (i != 0)
+            std::printf("\n");
+        printStats(configs[i], results[i]);
+    }
     return 0;
 }
