@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Scheduler-throughput microbenchmark over the test-scale experiment
+ * matrix.  Unlike the figure/table benches (which reproduce paper
+ * numbers), this one records how fast the simulator itself runs, so
+ * the perf trajectory of the core is tracked across PRs:
+ *
+ *   bench_sched [output.json]        (default BENCH_sched.json)
+ *
+ * The JSON reports cells/sec and instrs/sec over the whole matrix,
+ * per-cell wallNanos, and a per-cell digest folding every
+ * deterministic SchedStats field (everything except wallNanos) so two
+ * builds can be compared for bit-identical simulation results.
+ *
+ * It also cross-checks a subset of cells between the event-driven and
+ * the naive reference engine — including a value-prediction-only
+ * configuration, which the paper matrix never exercises — and exits
+ * nonzero on any stats mismatch.  The CI bench smoke job relies on
+ * that exit code.
+ */
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/scheduler.hh"
+#include "sim/experiment.hh"
+
+namespace ddsc
+{
+namespace
+{
+
+const std::string kConfigs = "ABCDE";
+const std::vector<unsigned> kTimedWidths = {4, 8, 16, 2048};
+const std::vector<unsigned> kVerifyWidths = {4, 16};
+
+/** FNV-1a over the bytes of one 64-bit value. */
+std::uint64_t
+fold(std::uint64_t h, std::uint64_t v)
+{
+    for (unsigned i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xff;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+/** Digest every deterministic field of @p s (wallNanos excluded). */
+std::uint64_t
+digest(const SchedStats &s)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    h = fold(h, s.instructions);
+    h = fold(h, s.cycles);
+    h = fold(h, s.condBranches);
+    h = fold(h, s.mispredicts);
+    h = fold(h, s.ctiPredictions);
+    h = fold(h, s.ctiMispredicts);
+    h = fold(h, s.loads);
+    for (const std::uint64_t n : s.loadClasses)
+        h = fold(h, n);
+    h = fold(h, s.eliminatedInstructions);
+    h = fold(h, s.valuePredHits);
+    h = fold(h, s.valuePredWrong);
+    h = fold(h, s.collapse.events());
+    h = fold(h, s.collapse.pairEvents());
+    h = fold(h, s.collapse.tripleEvents());
+    h = fold(h, s.collapse.collapsedInstructions());
+    for (unsigned c = 0; c < kNumCollapseCategories; ++c)
+        h = fold(h, s.collapse.eventsOf(static_cast<CollapseCategory>(c)));
+    for (const auto &[key, count] : s.collapse.distances().raw()) {
+        h = fold(h, key);
+        h = fold(h, count);
+    }
+    for (const auto &[key, count] : s.issuedPerCycle.raw()) {
+        h = fold(h, key);
+        h = fold(h, count);
+    }
+    return h;
+}
+
+/** Compare two runs field by field, reporting the first difference. */
+bool
+sameStats(const SchedStats &a, const SchedStats &b, const char *what)
+{
+    if (digest(a) == digest(b))
+        return true;
+    std::fprintf(stderr,
+                 "MISMATCH %s: event {cycles=%" PRIu64 " loads=%" PRIu64
+                 " vpredHits=%" PRIu64 "} naive {cycles=%" PRIu64
+                 " loads=%" PRIu64 " vpredHits=%" PRIu64 "}\n",
+                 what, a.cycles, a.loads, a.valuePredHits,
+                 b.cycles, b.loads, b.valuePredWrong);
+    return false;
+}
+
+SchedStats
+runOnce(const VectorTraceSource &trace, const MachineConfig &config)
+{
+    VectorTraceView view(trace);
+    LimitScheduler scheduler(config);
+    return scheduler.run(view);
+}
+
+/** The extension configuration the paper matrix never covers: value
+ *  prediction without address speculation. */
+MachineConfig
+valuePredOnly(unsigned width)
+{
+    MachineConfig config = MachineConfig::paper('A', width);
+    config.name = "VP";
+    config.loadValuePrediction = true;
+    return config;
+}
+
+} // anonymous namespace
+} // namespace ddsc
+
+int
+main(int argc, char **argv)
+{
+    using namespace ddsc;
+    using Clock = std::chrono::steady_clock;
+
+    const char *out_path = argc > 1 ? argv[1] : "BENCH_sched.json";
+    ExperimentDriver driver(0, /*test_scale=*/true);
+
+    std::printf("=== scheduler throughput (test-scale matrix) ===\n");
+    std::printf("configs %s, widths", kConfigs.c_str());
+    for (const unsigned w : kTimedWidths)
+        std::printf(" %s", MachineConfig::widthLabel(w).c_str());
+    std::printf(", %u jobs\n", driver.jobs());
+
+    // Materialize the traces up front so the timed region measures the
+    // scheduler, not the VM generating traces.
+    for (const WorkloadSpec *spec : ExperimentDriver::everything())
+        driver.trace(*spec);
+
+    const auto cells = ExperimentDriver::cellsFor(
+        ExperimentDriver::everything(), kConfigs, kTimedWidths);
+    const auto start = Clock::now();
+    driver.prefetch(cells);
+    const double elapsed =
+        std::chrono::duration<double>(Clock::now() - start).count();
+
+    // Aggregate over the matrix.  instrs/sec uses the summed per-cell
+    // wall time, not the elapsed time, so the metric measures engine
+    // speed independent of the worker-thread count.
+    struct CellReport
+    {
+        std::string key;
+        std::uint64_t instructions;
+        std::uint64_t cycles;
+        std::uint64_t wallNanos;
+        std::uint64_t digest;
+    };
+    std::vector<CellReport> reports;
+    std::uint64_t total_instrs = 0;
+    std::uint64_t total_nanos = 0;
+    for (const ExperimentCell &cell : cells) {
+        const SchedStats &s =
+            driver.stats(*cell.spec, cell.config, cell.width);
+        const std::string key = cell.spec->name + "/" + cell.config +
+            "/" + MachineConfig::widthLabel(cell.width);
+        reports.push_back({key, s.instructions, s.cycles, s.wallNanos,
+                           digest(s)});
+        total_instrs += s.instructions;
+        total_nanos += s.wallNanos;
+    }
+    const double cell_seconds =
+        static_cast<double>(total_nanos) * 1e-9;
+    const double instrs_per_sec = cell_seconds > 0.0
+        ? static_cast<double>(total_instrs) / cell_seconds : 0.0;
+    const double cells_per_sec = elapsed > 0.0
+        ? static_cast<double>(cells.size()) / elapsed : 0.0;
+
+    std::printf("%zu cells, %" PRIu64 " instrs in %.2fs cell time "
+                "(%.2fs elapsed)\n",
+                cells.size(), total_instrs, cell_seconds, elapsed);
+    std::printf("%.0f instrs/sec, %.1f cells/sec\n",
+                instrs_per_sec, cells_per_sec);
+
+    // Naive-vs-event cross-check on the small widths (the naive engine
+    // is O(window) per cycle), plus the value-prediction-only
+    // configuration the matrix never covers.
+    unsigned checked = 0, mismatches = 0;
+    for (const WorkloadSpec *spec : ExperimentDriver::everything()) {
+        const VectorTraceSource &trace = driver.trace(*spec);
+        std::vector<MachineConfig> configs;
+        for (const char c : kConfigs)
+            for (const unsigned w : kVerifyWidths)
+                configs.push_back(MachineConfig::paper(c, w));
+        configs.push_back(valuePredOnly(8));
+        for (const MachineConfig &config : configs) {
+            MachineConfig naive = config;
+            naive.naiveEngine = true;
+            const SchedStats fast = runOnce(trace, config);
+            const SchedStats slow = runOnce(trace, naive);
+            const std::string what = spec->name + "/" + config.name +
+                "/" + std::to_string(config.issueWidth);
+            ++checked;
+            if (!sameStats(fast, slow, what.c_str()))
+                ++mismatches;
+        }
+    }
+    std::printf("naive/event cross-check: %u cells, %u mismatches\n",
+                checked, mismatches);
+
+    std::FILE *out = std::fopen(out_path, "w");
+    if (!out) {
+        std::fprintf(stderr, "cannot open %s\n", out_path);
+        return 1;
+    }
+    std::fprintf(out, "{\n");
+    std::fprintf(out, "  \"matrix\": {\"workloads\": 6, "
+                 "\"configs\": \"%s\", \"widths\": [", kConfigs.c_str());
+    for (std::size_t i = 0; i < kTimedWidths.size(); ++i)
+        std::fprintf(out, "%s%u", i ? ", " : "", kTimedWidths[i]);
+    std::fprintf(out, "]},\n");
+    std::fprintf(out, "  \"jobs\": %u,\n", driver.jobs());
+    std::fprintf(out, "  \"cells\": %zu,\n", cells.size());
+    std::fprintf(out, "  \"instructions\": %" PRIu64 ",\n", total_instrs);
+    std::fprintf(out, "  \"elapsedSeconds\": %.6f,\n", elapsed);
+    std::fprintf(out, "  \"cellSeconds\": %.6f,\n", cell_seconds);
+    std::fprintf(out, "  \"cellsPerSec\": %.3f,\n", cells_per_sec);
+    std::fprintf(out, "  \"instrsPerSec\": %.0f,\n", instrs_per_sec);
+    std::fprintf(out, "  \"verify\": {\"checked\": %u, "
+                 "\"mismatches\": %u},\n", checked, mismatches);
+    std::fprintf(out, "  \"perCell\": [\n");
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+        const CellReport &r = reports[i];
+        std::fprintf(out,
+                     "    {\"cell\": \"%s\", \"instructions\": %" PRIu64
+                     ", \"cycles\": %" PRIu64 ", \"wallNanos\": %" PRIu64
+                     ", \"digest\": \"%016" PRIx64 "\"}%s\n",
+                     r.key.c_str(), r.instructions, r.cycles,
+                     r.wallNanos, r.digest,
+                     i + 1 < reports.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+    std::printf("wrote %s\n", out_path);
+
+    return mismatches == 0 ? 0 : 1;
+}

@@ -1,12 +1,24 @@
 #include "scheduler.hh"
 
 #include <algorithm>
+#include <bit>
 #include <chrono>
 
 #include "support/logging.hh"
 
 namespace ddsc
 {
+
+namespace
+{
+
+std::uint64_t
+ringSize(std::uint64_t wanted)
+{
+    return std::bit_ceil(std::max<std::uint64_t>(wanted, 64));
+}
+
+} // anonymous namespace
 
 LimitScheduler::LimitScheduler(const MachineConfig &config)
     : config_(config),
@@ -19,13 +31,140 @@ LimitScheduler::LimitScheduler(const MachineConfig &config)
     ddsc_assert(config.issueWidth >= 1, "issue width must be positive");
     ddsc_assert(config.windowSize >= config.issueWidth,
                 "window smaller than issue width");
+    // Live entries never exceed windowSize, but the live *span* can:
+    // younger generations churn past a stalled oldest entry.  Start
+    // with headroom and let growWindow() handle the pathological case.
+    slots_.resize(ringSize(8 * config.windowSize));
+    slotMask_ = slots_.size() - 1;
+    readyBits_.resize(slots_.size() / 64);
+    // Retired producers constrain consumers for at most the maximum
+    // latency after issue; size for that churn plus the window span.
+    retired_.resize(ringSize(4 * config.windowSize));
+    retiredMask_ = retired_.size() - 1;
 }
 
 const LimitScheduler::Entry *
 LimitScheduler::findWindow(std::uint64_t seq) const
 {
-    const auto it = bySeq_.find(seq);
-    return it == bySeq_.end() ? nullptr : &*it->second;
+    const Entry &slot = slots_[seq & slotMask_];
+    return slot.live && slot.seq == seq ? &slot : nullptr;
+}
+
+LimitScheduler::Entry *
+LimitScheduler::findWindow(std::uint64_t seq)
+{
+    Entry &slot = slots_[seq & slotMask_];
+    return slot.live && slot.seq == seq ? &slot : nullptr;
+}
+
+void
+LimitScheduler::growWindow()
+{
+    // Pick the first doubling that fits the whole live span: seqs in
+    // [oldestSeq_, nextSeq_) are distinct mod size once size >= span.
+    const std::uint64_t span = nextSeq_ - oldestSeq_;
+    std::uint64_t size = (slotMask_ + 1) * 2;
+    while (size < span)
+        size *= 2;
+    std::vector<Entry> grown(size);
+    std::vector<std::uint64_t> grown_bits(size / 64);
+    const std::uint64_t mask = size - 1;
+    for (std::uint64_t seq = oldestSeq_; seq < nextSeq_; ++seq) {
+        if (const Entry *entry = findWindow(seq)) {
+            grown[seq & mask] = *entry;
+            if (entry->ready && !entry->issued)
+                grown_bits[(seq & mask) >> 6] |=
+                    std::uint64_t{1} << (seq & 63);
+        }
+    }
+    slots_ = std::move(grown);
+    readyBits_ = std::move(grown_bits);
+    slotMask_ = mask;
+}
+
+std::uint64_t
+LimitScheduler::retiredValueTime(std::uint64_t seq) const
+{
+    const Retired &slot = retired_[seq & retiredMask_];
+    return slot.seq == seq ? slot.valueTime : 0;
+}
+
+void
+LimitScheduler::recordRetired(std::uint64_t seq, std::uint64_t value_time)
+{
+    Retired *slot = &retired_[seq & retiredMask_];
+    if (slot->seq != 0 && slot->seq != seq && slot->valueTime > cycle_) {
+        // The occupant can still constrain a consumer: overwriting it
+        // would turn "wait until valueTime" into "value available".
+        growRetired();
+        slot = &retired_[seq & retiredMask_];
+    }
+    *slot = {seq, value_time};
+}
+
+void
+LimitScheduler::growRetired()
+{
+    std::uint64_t size = (retiredMask_ + 1) * 2;
+    for (;;) {
+        std::vector<Retired> grown(size);
+        const std::uint64_t mask = size - 1;
+        bool collision = false;
+        for (const Retired &slot : retired_) {
+            if (slot.seq == 0 || slot.valueTime <= cycle_)
+                continue;       // resolved: dropping it is the same
+            Retired &dst = grown[slot.seq & mask];
+            if (dst.seq != 0) {
+                collision = true;
+                break;
+            }
+            dst = slot;
+        }
+        if (!collision) {
+            retired_ = std::move(grown);
+            retiredMask_ = mask;
+            return;
+        }
+        size *= 2;
+    }
+}
+
+void
+LimitScheduler::BoundWheel::clear()
+{
+    for (std::vector<std::uint64_t> &bucket : buckets)
+        bucket.clear();     // keeps capacity for the next run
+    far = BoundHeap();
+}
+
+LimitScheduler::StorePage *
+LimitScheduler::storePage(std::uint64_t base, bool create)
+{
+    if (base == storePageCacheBase_ &&
+        (storePageCache_ != nullptr || !create))
+        return storePageCache_;
+    const auto it = storePages_.find(base);
+    StorePage *page;
+    if (it != storePages_.end()) {
+        page = it->second.get();
+    } else {
+        if (!create) {
+            // Negative results are cached too: a loop of loads over a
+            // never-stored page costs one hash probe, not one per load.
+            storePageCacheBase_ = base;
+            storePageCache_ = nullptr;
+            return nullptr;
+        }
+        page = storePages_.emplace(base, std::make_unique<StorePage>())
+                   .first->second.get();
+    }
+    if (page->epoch != storeEpoch_) {
+        page->seq.fill(0);
+        page->epoch = storeEpoch_;
+    }
+    storePageCacheBase_ = base;
+    storePageCache_ = page;
+    return page;
 }
 
 // --- exact satisfaction checks ----------------------------------------
@@ -51,10 +190,8 @@ LimitScheduler::arcSatisfied(const DepArc &arc, std::uint64_t cycle) const
     // Producer issued and left the window.
     if (arc.collapsed)
         return true;
-    const auto it = retired_.find(arc.producerSeq);
-    if (it == retired_.end())
-        return true;    // pruned: value long since available
-    return cycle >= it->second;
+    const std::uint64_t value_time = retiredValueTime(arc.producerSeq);
+    return value_time == 0 || cycle >= value_time;
 }
 
 bool
@@ -65,8 +202,8 @@ LimitScheduler::barrierSatisfiedNow(const Entry &entry,
         return true;
     if (const Entry *branch = findWindow(entry.barrierSeq))
         return branch->issued && cycle >= branch->valueTime;
-    const auto it = retired_.find(entry.barrierSeq);
-    return it == retired_.end() || cycle >= it->second;
+    const std::uint64_t value_time = retiredValueTime(entry.barrierSeq);
+    return value_time == 0 || cycle >= value_time;
 }
 
 bool
@@ -134,8 +271,7 @@ LimitScheduler::arcBound(const DepArc &arc, std::uint64_t cycle) const
     }
     if (arc.collapsed)
         return 0;
-    const auto it = retired_.find(arc.producerSeq);
-    return it == retired_.end() ? 0 : it->second;
+    return retiredValueTime(arc.producerSeq);
 }
 
 std::uint64_t
@@ -150,8 +286,7 @@ LimitScheduler::barrierBound(const Entry &entry, std::uint64_t cycle) const
             return cycle + 1;   // it could issue this very cycle
         return branch->boundAll + 1;
     }
-    const auto it = retired_.find(entry.barrierSeq);
-    return it == retired_.end() ? 0 : it->second;
+    return retiredValueTime(entry.barrierSeq);
 }
 
 LimitScheduler::Check
@@ -217,8 +352,8 @@ LimitScheduler::addArc(Entry &entry, std::uint64_t producer_seq,
         entry.arcs[entry.numArcs++] = {producer_seq, false, address};
         return;
     }
-    const auto it = retired_.find(producer_seq);
-    if (it == retired_.end())
+    const std::uint64_t value_time = retiredValueTime(producer_seq);
+    if (value_time == 0)
         return;     // long retired; no constraint
     if (address) {
         // Keep address constraints as arcs even when resolved, so the
@@ -227,18 +362,25 @@ LimitScheduler::addArc(Entry &entry, std::uint64_t producer_seq,
         ddsc_assert(entry.numArcs < 4, "arc overflow");
         entry.arcs[entry.numArcs++] = {producer_seq, false, true};
     } else {
-        entry.fixedReady = std::max(entry.fixedReady, it->second);
+        entry.fixedReady = std::max(entry.fixedReady, value_time);
     }
 }
 
 void
 LimitScheduler::insert(const TraceRecord &rec)
 {
-    window_.emplace_back();
-    const auto self = std::prev(window_.end());
-    Entry &entry = *self;
+    const std::uint64_t seq = nextSeq_++;
+    Entry *slot = &slots_[seq & slotMask_];
+    if (slot->live) {
+        growWindow();
+        slot = &slots_[seq & slotMask_];
+    }
+    *slot = Entry{};
+    Entry &entry = *slot;
     entry.rec = rec;
-    entry.seq = nextSeq_++;
+    entry.seq = seq;
+    entry.live = true;
+    ++windowCount_;
     entry.fixedReady = cycle_;      // issuable from the insertion cycle
     entry.expr = ExprSize::of(rec);
     entry.isLoad = rec.isLoad();
@@ -317,10 +459,18 @@ LimitScheduler::insert(const TraceRecord &rec)
     // --- memory RAW (perfect disambiguation) -------------------------
     if (rec.isLoad()) {
         std::uint64_t dep = 0;
+        const StorePage *page = nullptr;
+        std::uint64_t page_base = 1;    // unaligned = no page yet
         for (unsigned b = 0; b < rec.memSize(); ++b) {
-            const auto it = lastStoreToByte_.find(rec.ea + b);
-            if (it != lastStoreToByte_.end())
-                dep = std::max(dep, it->second);
+            const std::uint64_t addr = rec.ea + b;
+            const std::uint64_t base = addr & ~(kStorePageBytes - 1);
+            if (base != page_base) {
+                page = storePage(base, /*create=*/false);
+                page_base = base;
+            }
+            if (page)
+                dep = std::max(dep,
+                               page->seq[addr & (kStorePageBytes - 1)]);
         }
         addArc(entry, dep, false);
     }
@@ -360,20 +510,32 @@ LimitScheduler::insert(const TraceRecord &rec)
     if (rec.setsCC())
         lastCCWriter_ = entry.seq;
     if (rec.isStore()) {
-        for (unsigned b = 0; b < rec.memSize(); ++b)
-            lastStoreToByte_[rec.ea + b] = entry.seq;
+        StorePage *page = nullptr;
+        std::uint64_t page_base = 1;
+        for (unsigned b = 0; b < rec.memSize(); ++b) {
+            const std::uint64_t addr = rec.ea + b;
+            const std::uint64_t base = addr & ~(kStorePageBytes - 1);
+            if (base != page_base) {
+                page = storePage(base, /*create=*/true);
+                page_base = base;
+            }
+            page->seq[addr & (kStorePageBytes - 1)] = entry.seq;
+        }
     }
 
     entry.boundAll = entry.fixedReady;
     entry.boundNonAddr = entry.fixedReady;
-    bySeq_.emplace(entry.seq, self);
 
-    pending_.push({entry.fixedReady, entry.seq});
     const bool classify = config_.loadSpec != LoadSpecMode::None ||
         config_.loadValuePrediction;
-    if (entry.isLoad && classify)
-        classifyQueue_.push({entry.fixedReady, entry.seq});
-    else if (entry.isLoad)
+    if (!config_.naiveEngine) {
+        // The naive engine rescans the window every cycle instead of
+        // reacting to events; queueing for it would only accumulate.
+        pending_.push(entry.fixedReady, cycle_, entry.seq);
+        if (entry.isLoad && classify)
+            classifyQueue_.push(entry.fixedReady, cycle_, entry.seq);
+    }
+    if (entry.isLoad && !classify)
         ++stats_.loads;
 }
 
@@ -401,10 +563,9 @@ LimitScheduler::tryCollapse(Entry &entry)
         DepArc &arc = entry.arcs[i];
         if (arc.collapsed)
             continue;
-        const auto it = bySeq_.find(arc.producerSeq);
-        if (it == bySeq_.end())
+        Entry *producer = findWindow(arc.producerSeq);
+        if (producer == nullptr)
             continue;                       // already issued
-        Entry *producer = &*it->second;
         if (producer->issued)
             continue;
         if (!CollapseRules::producerEligible(producer->rec))
@@ -532,10 +693,68 @@ LimitScheduler::tryCollapse(Entry &entry)
 void
 LimitScheduler::removeFromWindow(std::uint64_t seq)
 {
-    const auto it = bySeq_.find(seq);
-    ddsc_assert(it != bySeq_.end(), "removing unknown entry");
-    window_.erase(it->second);
-    bySeq_.erase(it);
+    Entry *entry = findWindow(seq);
+    ddsc_assert(entry != nullptr, "removing unknown entry");
+    entry->live = false;
+    --windowCount_;
+    std::uint64_t &word = readyBits_[(seq & slotMask_) >> 6];
+    const std::uint64_t bit = std::uint64_t{1} << (seq & 63);
+    if (word & bit) {
+        word &= ~bit;
+        --readyCount_;
+    }
+    while (oldestSeq_ < nextSeq_ && findWindow(oldestSeq_) == nullptr)
+        ++oldestSeq_;
+}
+
+void
+LimitScheduler::markReady(Entry &entry)
+{
+    entry.ready = true;
+    readyBits_[(entry.seq & slotMask_) >> 6] |=
+        std::uint64_t{1} << (entry.seq & 63);
+    ++readyCount_;
+}
+
+unsigned
+LimitScheduler::issueReady(std::uint64_t &last_issue_cycle,
+                           bool &any_issue)
+{
+    // Oldest ready first: walk the bitmap from the oldest live seq.
+    // Ready bits below oldestSeq_ cannot exist (removeFromWindow
+    // clears them) and seqs are dense, so 64-aligned seq blocks map to
+    // whole ring words.  Eliminated entries leave for free, but only
+    // while issue slots remain this cycle (matching the historical
+    // pop-loop condition).
+    unsigned issued = 0;
+    for (std::uint64_t base = oldestSeq_ & ~std::uint64_t{63};
+         base < nextSeq_ && readyCount_ != 0; base += 64) {
+        std::uint64_t word = readyBits_[(base & slotMask_) >> 6];
+        // Positions below oldestSeq_ in the first word can alias the
+        // ready bits of seqs one ring generation younger when the
+        // live span approaches the ring size; mask them off (the
+        // aliased seqs are rediscovered at their own word).
+        if (base < oldestSeq_)
+            word &= ~std::uint64_t{0} << (oldestSeq_ - base);
+        while (word != 0) {
+            if (issued == config_.issueWidth)
+                return issued;
+            const std::uint64_t seq =
+                base + static_cast<unsigned>(std::countr_zero(word));
+            word &= word - 1;
+            Entry &entry = slots_[seq & slotMask_];
+            if (entry.eliminated) {
+                removeFromWindow(seq);
+                continue;
+            }
+            issue(entry, cycle_);
+            last_issue_cycle = cycle_;
+            any_issue = true;
+            ++issued;
+            removeFromWindow(seq);
+        }
+    }
+    return issued;
 }
 
 void
@@ -546,9 +765,8 @@ LimitScheduler::noteValueReaders(const Entry &entry)
     for (unsigned i = 0; i < entry.numArcs; ++i) {
         if (entry.arcs[i].collapsed)
             continue;
-        const auto it = bySeq_.find(entry.arcs[i].producerSeq);
-        if (it != bySeq_.end())
-            it->second->hasValueReader = true;
+        if (Entry *producer = findWindow(entry.arcs[i].producerSeq))
+            producer->hasValueReader = true;
     }
 }
 
@@ -557,19 +775,18 @@ LimitScheduler::maybeEliminate(std::uint64_t old_seq)
 {
     if (old_seq == 0)
         return;
-    const auto it = bySeq_.find(old_seq);
-    if (it == bySeq_.end())
+    Entry *old_entry = findWindow(old_seq);
+    if (old_entry == nullptr)
         return;             // already issued
-    Entry &old_entry = *it->second;
-    if (old_entry.issued || old_entry.eliminated)
+    if (old_entry->issued || old_entry->eliminated)
         return;
     // Eliminable: absorbed by at least one consumer, no surviving
     // value reader, and (for cc writers) the cc already overwritten.
-    if (old_entry.absorbedCount == 0 || old_entry.hasValueReader)
+    if (old_entry->absorbedCount == 0 || old_entry->hasValueReader)
         return;
-    if (old_entry.rec.setsCC() && lastCCWriter_ == old_entry.seq)
+    if (old_entry->rec.setsCC() && lastCCWriter_ == old_entry->seq)
         return;             // a future branch may still read the cc
-    old_entry.eliminated = true;
+    old_entry->eliminated = true;
     ++stats_.eliminatedInstructions;
 }
 
@@ -623,7 +840,7 @@ LimitScheduler::issue(Entry &entry, std::uint64_t cycle)
     entry.issued = true;
     if (!entry.specValueSet)
         entry.valueTime = cycle + opLatency(entry.rec.op);
-    retired_.emplace(entry.seq, entry.valueTime);
+    recordRetired(entry.seq, entry.valueTime);
 }
 
 void
@@ -634,13 +851,22 @@ LimitScheduler::resetState()
     valuePred_.reset();
     ras_.reset();
     itb_.reset();
-    window_.clear();
-    bySeq_.clear();
-    retired_.clear();
-    pending_ = BoundHeap();
-    classifyQueue_ = BoundHeap();
-    readySet_.clear();
-    lastStoreToByte_.clear();
+    for (Entry &slot : slots_)
+        slot.live = false;
+    windowCount_ = 0;
+    oldestSeq_ = 1;
+    for (Retired &slot : retired_)
+        slot = Retired{};
+    pending_.clear();
+    classifyQueue_.clear();
+    std::fill(readyBits_.begin(), readyBits_.end(), std::uint64_t{0});
+    readyCount_ = 0;
+    // Seqs restart at 1 every run, so stale store pages must not be
+    // consulted: bump the epoch and let pages lazily re-zero on first
+    // touch instead of deallocating or clearing them all here.
+    ++storeEpoch_;
+    storePageCache_ = nullptr;
+    storePageCacheBase_ = 1;
     std::fill(std::begin(lastRegWriter_), std::end(lastRegWriter_),
               std::uint64_t{0});
     lastCCWriter_ = 0;
@@ -658,7 +884,7 @@ LimitScheduler::runNaive(TraceSource &trace)
 
     TraceRecord rec;
     bool exhausted = false;
-    while (window_.size() < config_.windowSize) {
+    while (windowCount_ < config_.windowSize) {
         if (!trace.next(rec)) {
             exhausted = true;
             break;
@@ -667,49 +893,42 @@ LimitScheduler::runNaive(TraceSource &trace)
     }
 
     std::uint64_t last_issue_cycle = 0;
-    while (!window_.empty()) {
+    bool any_issue = false;
+    // Loads queue for classification whenever any load speculation is
+    // on -- address prediction or value prediction (matching insert()).
+    const bool classify_loads =
+        config_.loadSpec != LoadSpecMode::None ||
+        config_.loadValuePrediction;
+    while (windowCount_ > 0) {
         // Classification: exact first cycle the non-address
-        // constraints hold, found by brute-force scan.
-        if (config_.loadSpec != LoadSpecMode::None) {
-            for (Entry &entry : window_) {
-                if (!entry.isLoad || entry.loadClassified)
+        // constraints hold, found by brute-force scan in seq order.
+        if (classify_loads) {
+            for (std::uint64_t seq = oldestSeq_; seq < nextSeq_; ++seq) {
+                Entry *entry = findWindow(seq);
+                if (!entry || !entry->isLoad || entry->loadClassified)
                     continue;
-                Check check = checkNonAddr(entry, cycle_);
+                Check check = checkNonAddr(*entry, cycle_);
                 if (check.ok)
-                    classifyLoad(entry, cycle_);
+                    classifyLoad(*entry, cycle_);
             }
         }
 
-        // Promotion: full scan.
-        for (Entry &entry : window_) {
-            if (!entry.ready && sourcesSatisfied(entry, cycle_)) {
-                entry.ready = true;
-                readySet_.emplace(entry.seq, &entry);
-            }
+        // Promotion: full scan in seq order.
+        for (std::uint64_t seq = oldestSeq_; seq < nextSeq_; ++seq) {
+            Entry *entry = findWindow(seq);
+            if (!entry)
+                continue;
+            if (!entry->ready && sourcesSatisfied(*entry, cycle_))
+                markReady(*entry);
         }
 
         // Issue: oldest ready first.  Eliminated entries leave for
         // free once their sources are satisfied.
-        unsigned issued = 0;
-        auto rit = readySet_.begin();
-        while (rit != readySet_.end() && issued < config_.issueWidth) {
-            Entry &entry = *rit->second;
-            const std::uint64_t seq = entry.seq;
-            if (entry.eliminated) {
-                rit = readySet_.erase(rit);
-                removeFromWindow(seq);
-                continue;
-            }
-            issue(entry, cycle_);
-            last_issue_cycle = cycle_;
-            ++issued;
-            rit = readySet_.erase(rit);
-            removeFromWindow(seq);
-        }
+        const unsigned issued = issueReady(last_issue_cycle, any_issue);
 
         stats_.issuedPerCycle.add(issued);
         ++cycle_;
-        while (!exhausted && window_.size() < config_.windowSize) {
+        while (!exhausted && windowCount_ < config_.windowSize) {
             if (!trace.next(rec)) {
                 exhausted = true;
                 break;
@@ -723,7 +942,9 @@ LimitScheduler::runNaive(TraceSource &trace)
         }
     }
 
-    stats_.cycles = last_issue_cycle + 1;
+    // A run in which nothing ever issues (e.g. an empty trace)
+    // occupies zero cycles; "last issue + 1" only counts real issues.
+    stats_.cycles = any_issue ? last_issue_cycle + 1 : 0;
     return stats_;
 }
 
@@ -747,7 +968,7 @@ LimitScheduler::runEvent(TraceSource &trace)
     // Initial fill: instructions available in cycle 0.
     TraceRecord rec;
     bool exhausted = false;
-    while (window_.size() < config_.windowSize) {
+    while (windowCount_ < config_.windowSize) {
         if (!trace.next(rec)) {
             exhausted = true;
             break;
@@ -756,88 +977,79 @@ LimitScheduler::runEvent(TraceSource &trace)
     }
 
     std::uint64_t last_issue_cycle = 0;
-    std::uint64_t prune_mark = 0;
+    bool any_issue = false;
 
-    while (!window_.empty()) {
+    // Drain-one-bucket helpers: every event due this cycle is either
+    // in the bucket of the current cycle (drained and cleared whole)
+    // or at the top of the far heap.  No push during a drain can
+    // target the bucket being drained (re-evaluation bounds are
+    // strictly in the future), so plain index iteration is safe.
+    const auto classifyOne = [&](std::uint64_t seq) {
+        Entry *entry = findWindow(seq);
+        if (entry == nullptr)
+            return;             // already issued (classified earlier)
+        if (entry->loadClassified)
+            return;
+        const Check check = checkNonAddr(*entry, cycle_);
+        if (check.ok)
+            classifyLoad(*entry, cycle_);
+        else
+            classifyQueue_.push(check.bound, cycle_, seq);
+    };
+    const auto promoteOne = [&](std::uint64_t seq) {
+        Entry *entry = findWindow(seq);
+        if (entry == nullptr)
+            return;
+        if (entry->ready || entry->issued)
+            return;
+        const Check check = checkAll(*entry, cycle_);
+        if (check.ok)
+            markReady(*entry);
+        else
+            pending_.push(check.bound, cycle_, seq);
+    };
+
+    while (windowCount_ > 0) {
         // 1. Load classification at the exact first cycle the
         //    non-address constraints hold.
-        while (!classifyQueue_.empty() &&
-               classifyQueue_.top().first <= cycle_) {
-            const std::uint64_t seq = classifyQueue_.top().second;
-            classifyQueue_.pop();
-            const auto it = bySeq_.find(seq);
-            if (it == bySeq_.end())
-                continue;       // already issued (classified earlier)
-            Entry &entry = *it->second;
-            if (entry.loadClassified)
-                continue;
-            const Check check = checkNonAddr(entry, cycle_);
-            if (check.ok)
-                classifyLoad(entry, cycle_);
-            else
-                classifyQueue_.push({check.bound, seq});
+        while (!classifyQueue_.far.empty() &&
+               classifyQueue_.far.top().first <= cycle_) {
+            const std::uint64_t seq = classifyQueue_.far.top().second;
+            classifyQueue_.far.pop();
+            classifyOne(seq);
         }
+        auto &classify_due =
+            classifyQueue_.buckets[cycle_ & (kWheelSlots - 1)];
+        for (std::size_t i = 0; i < classify_due.size(); ++i)
+            classifyOne(classify_due[i]);
+        classify_due.clear();
 
         // 2. Promote pending entries whose bound came due.
-        while (!pending_.empty() && pending_.top().first <= cycle_) {
-            const std::uint64_t seq = pending_.top().second;
-            pending_.pop();
-            const auto it = bySeq_.find(seq);
-            if (it == bySeq_.end())
-                continue;
-            Entry &entry = *it->second;
-            if (entry.ready || entry.issued)
-                continue;
-            const Check check = checkAll(entry, cycle_);
-            if (check.ok) {
-                entry.ready = true;
-                readySet_.emplace(entry.seq, &entry);
-            } else {
-                pending_.push({check.bound, seq});
-            }
+        while (!pending_.far.empty() &&
+               pending_.far.top().first <= cycle_) {
+            const std::uint64_t seq = pending_.far.top().second;
+            pending_.far.pop();
+            promoteOne(seq);
         }
+        auto &pending_due = pending_.buckets[cycle_ & (kWheelSlots - 1)];
+        for (std::size_t i = 0; i < pending_due.size(); ++i)
+            promoteOne(pending_due[i]);
+        pending_due.clear();
 
         // 3. Issue up to issueWidth ready entries, oldest first.
         //    Eliminated entries leave for free once source-satisfied.
-        unsigned issued = 0;
-        auto rit = readySet_.begin();
-        while (rit != readySet_.end() && issued < config_.issueWidth) {
-            Entry &entry = *rit->second;
-            const std::uint64_t seq = entry.seq;
-            if (entry.eliminated) {
-                rit = readySet_.erase(rit);
-                removeFromWindow(seq);
-                continue;
-            }
-            issue(entry, cycle_);
-            last_issue_cycle = cycle_;
-            ++issued;
-            rit = readySet_.erase(rit);
-            removeFromWindow(seq);
-        }
+        const unsigned issued = issueReady(last_issue_cycle, any_issue);
 
         // 4. Refill the window ("kept full"); new entries become
         //    issuable from the next cycle.
         stats_.issuedPerCycle.add(issued);
         ++cycle_;
-        while (!exhausted && window_.size() < config_.windowSize) {
+        while (!exhausted && windowCount_ < config_.windowSize) {
             if (!trace.next(rec)) {
                 exhausted = true;
                 break;
             }
             insert(rec);
-        }
-
-        // Periodically prune the retired map: entries whose value time
-        // has passed can no longer constrain anyone.
-        if (cycle_ - prune_mark >= 4096) {
-            prune_mark = cycle_;
-            for (auto it = retired_.begin(); it != retired_.end();) {
-                if (it->second <= cycle_)
-                    it = retired_.erase(it);
-                else
-                    ++it;
-            }
         }
 
         if (issued == 0 && cycle_ > last_issue_cycle + 64) {
@@ -850,7 +1062,9 @@ LimitScheduler::runEvent(TraceSource &trace)
         }
     }
 
-    stats_.cycles = last_issue_cycle + 1;
+    // A run in which nothing ever issues (e.g. an empty trace)
+    // occupies zero cycles; "last issue + 1" only counts real issues.
+    stats_.cycles = any_issue ? last_issue_cycle + 1 : 0;
     return stats_;
 }
 

@@ -29,14 +29,42 @@
  * derives the next bound from exact producer state), so readiness and
  * load classification happen at exactly the same cycles as a naive
  * full scan.
+ *
+ * Hot-path layout: sequence numbers are dense (one per inserted
+ * instruction, never reused within a run), so every per-instruction
+ * structure is a power-of-two ring addressed by seq instead of an
+ * associative container:
+ *  - the window is a ring of Entry slots (`slots_`); findWindow is one
+ *    index + tag compare, and slot reuse replaces list/hash-map
+ *    erase traffic (the ring grows when a stalled oldest entry would
+ *    be overrun, which the issue rules bound to a small multiple of
+ *    the window size);
+ *  - issued-but-still-constraining producers live in a seq-tagged ring
+ *    of value times (`retired_`); a tag mismatch means the entry was
+ *    retired so long ago that its value is certainly available, which
+ *    replaces the old periodic prune loop outright;
+ *  - perfect memory disambiguation uses 4 KiB pages of per-byte seq
+ *    words, invalidated between runs by epoch instead of deallocation,
+ *    so a load/store touches one page pointer instead of one hash
+ *    probe per byte;
+ *  - the bound queues ("re-evaluate entry E at cycle C") are timing
+ *    wheels: events due within the wheel span go to the bucket of
+ *    their cycle and each cycle drains exactly one bucket, so the
+ *    per-event cost is O(1) instead of a log-depth heap sift; the
+ *    rare far-future bound (deep long-latency chains) waits in a
+ *    small min-heap consulted once per cycle;
+ *  - the ready set is a bitmap over the window ring scanned with
+ *    countr_zero, which both engines share for the issue stage:
+ *    oldest-first selection is a word scan from the oldest live seq,
+ *    and set/clear are single bit operations (no lazy deletion).
+ * docs/simulator.md ("Hot-path data layout") states the invariants.
  */
 
 #ifndef DDSC_CORE_SCHEDULER_HH
 #define DDSC_CORE_SCHEDULER_HH
 
+#include <array>
 #include <cstdint>
-#include <list>
-#include <map>
 #include <memory>
 #include <queue>
 #include <unordered_map>
@@ -99,6 +127,7 @@ class LimitScheduler
         std::uint64_t bbId = 0;
         DepArc arcs[4];
         unsigned numArcs = 0;
+        bool live = false;              ///< slot holds an in-window entry
         bool issued = false;
         bool ready = false;             ///< in the ready set
 
@@ -167,7 +196,11 @@ class LimitScheduler
 
     void classifyLoad(Entry &entry, std::uint64_t cycle);
     void issue(Entry &entry, std::uint64_t cycle);
+
+    /** The in-window entry with sequence number @p seq, or nullptr
+     *  (one ring index plus a tag compare). */
     const Entry *findWindow(std::uint64_t seq) const;
+    Entry *findWindow(std::uint64_t seq);
 
     /** Post-collapse bookkeeping for node elimination: mark producers
      *  that still have a real value reader. */
@@ -179,6 +212,35 @@ class LimitScheduler
     /** Drop an entry from all structures; @p entry must be in window. */
     void removeFromWindow(std::uint64_t seq);
 
+    /** Mark @p entry issue-ready (sets its bit in readyBits_). */
+    void markReady(Entry &entry);
+
+    /** Shared issue stage: scan readyBits_ oldest-first and issue up
+     *  to issueWidth ready entries (eliminated entries leave for free
+     *  while issue slots remain).  Returns the number issued. */
+    unsigned issueReady(std::uint64_t &last_issue_cycle,
+                        bool &any_issue);
+
+    /** Double the window ring until the live span [oldestSeq_,
+     *  nextSeq_) fits without slot collisions. */
+    void growWindow();
+
+    /** The value time of an issued producer, or 0 when it retired so
+     *  long ago that its value is certainly available. */
+    std::uint64_t retiredValueTime(std::uint64_t seq) const;
+
+    /** Record an issued producer's value time in the retired ring,
+     *  growing the ring rather than overwriting a still-constraining
+     *  slot. */
+    void recordRetired(std::uint64_t seq, std::uint64_t value_time);
+    void growRetired();
+
+    /** The store page covering byte address @p base (page-aligned), or
+     *  nullptr when absent and @p create is false.  Pages persist
+     *  across runs and are invalidated wholesale by epoch. */
+    struct StorePage;
+    StorePage *storePage(std::uint64_t base, bool create);
+
     MachineConfig config_;
     std::unique_ptr<BranchPredictor> bpred_;
     std::unique_ptr<AddressPredictor> addrPred_;
@@ -186,28 +248,91 @@ class LimitScheduler
     ReturnAddressStack ras_;
     IndirectTargetBuffer itb_;
 
-    std::list<Entry> window_;
-    /** seq -> list position (gives both the Entry and O(1) removal). */
-    std::unordered_map<std::uint64_t, std::list<Entry>::iterator> bySeq_;
-    /** Issued-but-still-constraining producers: seq -> valueTime. */
-    std::unordered_map<std::uint64_t, std::uint64_t> retired_;
+    /** The window: a power-of-two ring of slots addressed by
+     *  seq & slotMask_, tagged by Entry::seq + Entry::live.  Dense
+     *  seqs keep live entries collision-free up to the ring size;
+     *  growWindow() handles the rare pathological span. */
+    std::vector<Entry> slots_;
+    std::uint64_t slotMask_ = 0;
+    std::size_t windowCount_ = 0;       ///< live entries
+    /** No live entry has a smaller seq (watermark; naive scans and
+     *  ring growth iterate [oldestSeq_, nextSeq_)). */
+    std::uint64_t oldestSeq_ = 1;
 
-    /** (bound, seq) min-heaps; lazily invalidated. */
+    /** Issued-but-still-constraining producers: a seq-tagged ring of
+     *  value times.  A tag mismatch means "retired long ago, value
+     *  available" — the ring replaces both the unordered_map and the
+     *  periodic prune loop. */
+    struct Retired
+    {
+        std::uint64_t seq = 0;          ///< 0 = empty slot
+        std::uint64_t valueTime = 0;
+    };
+    std::vector<Retired> retired_;
+    std::uint64_t retiredMask_ = 0;
+
+    /** (bound, seq) min-heap for far-future wheel events. */
     using BoundHeap = std::priority_queue<
         std::pair<std::uint64_t, std::uint64_t>,
         std::vector<std::pair<std::uint64_t, std::uint64_t>>,
         std::greater<>>;
-    BoundHeap pending_;         ///< waiting to become issue-ready
-    BoundHeap classifyQueue_;   ///< loads waiting for classification
-    /** Issue-ready entries in program order. */
-    std::map<std::uint64_t, Entry *> readySet_;
+
+    /** Timing wheel of (bound, seq) re-evaluation events.  cycle_
+     *  advances by exactly 1 per engine iteration and every bucket is
+     *  drained each cycle, so an event pushed with bound within
+     *  kWheelSlots of the current cycle sits in the bucket of its due
+     *  cycle and is popped exactly then; farther bounds (deep
+     *  long-latency chains) wait in `far`, whose top is consulted once
+     *  per cycle.  Push is O(1) versus the log-depth sift of a global
+     *  heap; events are still lazily invalidated at drain (the entry
+     *  may have issued meanwhile). */
+    static constexpr std::uint64_t kWheelSlots = 256;
+    struct BoundWheel
+    {
+        std::array<std::vector<std::uint64_t>, kWheelSlots> buckets;
+        BoundHeap far;
+
+        void
+        push(std::uint64_t bound, std::uint64_t cycle, std::uint64_t seq)
+        {
+            if (bound - cycle < kWheelSlots)
+                buckets[bound & (kWheelSlots - 1)].push_back(seq);
+            else
+                far.push({bound, seq});
+        }
+
+        void clear();
+    };
+    BoundWheel pending_;        ///< waiting to become issue-ready
+    BoundWheel classifyQueue_;  ///< loads waiting for classification
+
+    /** Issue-ready entries: one bit per window-ring slot (index
+     *  seq & slotMask_).  The issue stage scans words oldest-first;
+     *  removeFromWindow clears the bit, so no lazy deletion. */
+    std::vector<std::uint64_t> readyBits_;
+    std::size_t readyCount_ = 0;
 
     /** Rename state: last writer seq per register (0 = none). */
     std::uint64_t lastRegWriter_[kNumRegs] = {};
     std::uint64_t lastCCWriter_ = 0;
     std::uint64_t lastBarrier_ = 0;     ///< last mispredicted branch
-    /** Perfect disambiguation: last store seq per byte address. */
-    std::unordered_map<std::uint64_t, std::uint64_t> lastStoreToByte_;
+
+    /** Perfect disambiguation: last store seq per byte, held in 4 KiB
+     *  pages keyed by page base address.  A page is valid only when
+     *  its epoch matches storeEpoch_; resetState() bumps the epoch
+     *  instead of touching the pages. */
+    static constexpr std::uint64_t kStorePageBytes = 4096;
+    struct StorePage
+    {
+        std::uint64_t epoch = 0;
+        std::array<std::uint64_t, kStorePageBytes> seq;
+    };
+    std::unordered_map<std::uint64_t,
+                       std::unique_ptr<StorePage>> storePages_;
+    std::uint64_t storeEpoch_ = 0;
+    /** One-entry page cache; most accesses stay within a page. */
+    StorePage *storePageCache_ = nullptr;
+    std::uint64_t storePageCacheBase_ = 1;  ///< 1 = nothing cached
 
     std::uint64_t nextSeq_ = 1;         ///< 0 reserved for "none"
     std::uint64_t nextBbId_ = 0;        ///< dynamic basic-block counter

@@ -8,68 +8,12 @@ namespace ddsc
 namespace
 {
 
-constexpr OpTraits kTraits[kNumOpcodes] = {
-    // mnemonic  class                 setsCC readsCC
-    {"add",    OpClass::Arith,        false, false},  // ADD
-    {"sub",    OpClass::Arith,        false, false},  // SUB
-    {"addcc",  OpClass::Arith,        true,  false},  // ADDCC
-    {"subcc",  OpClass::Arith,        true,  false},  // SUBCC
-    {"and",    OpClass::Logic,        false, false},  // AND
-    {"or",     OpClass::Logic,        false, false},  // OR
-    {"xor",    OpClass::Logic,        false, false},  // XOR
-    {"andn",   OpClass::Logic,        false, false},  // ANDN
-    {"andcc",  OpClass::Logic,        true,  false},  // ANDCC
-    {"orcc",   OpClass::Logic,        true,  false},  // ORCC
-    {"xorcc",  OpClass::Logic,        true,  false},  // XORCC
-    {"sll",    OpClass::Shift,        false, false},  // SLL
-    {"srl",    OpClass::Shift,        false, false},  // SRL
-    {"sra",    OpClass::Shift,        false, false},  // SRA
-    {"mov",    OpClass::Move,         false, false},  // MOV
-    {"sethi",  OpClass::Move,         false, false},  // SETHI
-    {"mul",    OpClass::Mul,          false, false},  // MUL
-    {"div",    OpClass::Div,          false, false},  // DIV
-    {"ldw",    OpClass::Load,         false, false},  // LDW
-    {"ldb",    OpClass::Load,         false, false},  // LDB
-    {"stw",    OpClass::Store,        false, false},  // STW
-    {"stb",    OpClass::Store,        false, false},  // STB
-    {"bcc",    OpClass::Branch,       false, true},   // BCC
-    {"ba",     OpClass::Jump,         false, false},  // BA
-    {"jmpi",   OpClass::IndirectJump, false, false},  // JMPI
-    {"call",   OpClass::Call,         false, false},  // CALL
-    {"calli",  OpClass::CallIndirect, false, false},  // CALLI
-    {"ret",    OpClass::Ret,          false, false},  // RET
-    {"halt",   OpClass::Halt,         false, false},  // HALT
-    {"nop",    OpClass::Nop,          false, false},  // NOP
-};
-
 constexpr std::string_view kCondNames[kNumConds] = {
     "eq", "ne", "lt", "le", "gt", "ge",
     "ltu", "leu", "gtu", "geu", "neg", "pos",
 };
 
 } // anonymous namespace
-
-const OpTraits &
-opTraits(Opcode op)
-{
-    const auto idx = static_cast<unsigned>(op);
-    ddsc_assert(idx < kNumOpcodes, "opcode %u out of range", idx);
-    return kTraits[idx];
-}
-
-unsigned
-opLatency(Opcode op)
-{
-    switch (opTraits(op).cls) {
-      case OpClass::Load:
-      case OpClass::Mul:
-        return 2;
-      case OpClass::Div:
-        return 12;
-      default:
-        return 1;
-    }
-}
 
 std::string_view
 opClassSignature(OpClass cls)

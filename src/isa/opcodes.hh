@@ -89,11 +89,70 @@ struct OpTraits
     bool readsCC;
 };
 
+namespace detail
+{
+
+/** The static trait table (indexed by Opcode).  Lives in the header so
+ *  the accessors below inline to a single indexed load on the
+ *  scheduler hot path, where cls()/opLatency() run per dependence-arc
+ *  evaluation. */
+inline constexpr OpTraits kOpTraits[kNumOpcodes] = {
+    // mnemonic  class                 setsCC readsCC
+    {"add",    OpClass::Arith,        false, false},  // ADD
+    {"sub",    OpClass::Arith,        false, false},  // SUB
+    {"addcc",  OpClass::Arith,        true,  false},  // ADDCC
+    {"subcc",  OpClass::Arith,        true,  false},  // SUBCC
+    {"and",    OpClass::Logic,        false, false},  // AND
+    {"or",     OpClass::Logic,        false, false},  // OR
+    {"xor",    OpClass::Logic,        false, false},  // XOR
+    {"andn",   OpClass::Logic,        false, false},  // ANDN
+    {"andcc",  OpClass::Logic,        true,  false},  // ANDCC
+    {"orcc",   OpClass::Logic,        true,  false},  // ORCC
+    {"xorcc",  OpClass::Logic,        true,  false},  // XORCC
+    {"sll",    OpClass::Shift,        false, false},  // SLL
+    {"srl",    OpClass::Shift,        false, false},  // SRL
+    {"sra",    OpClass::Shift,        false, false},  // SRA
+    {"mov",    OpClass::Move,         false, false},  // MOV
+    {"sethi",  OpClass::Move,         false, false},  // SETHI
+    {"mul",    OpClass::Mul,          false, false},  // MUL
+    {"div",    OpClass::Div,          false, false},  // DIV
+    {"ldw",    OpClass::Load,         false, false},  // LDW
+    {"ldb",    OpClass::Load,         false, false},  // LDB
+    {"stw",    OpClass::Store,        false, false},  // STW
+    {"stb",    OpClass::Store,        false, false},  // STB
+    {"bcc",    OpClass::Branch,       false, true},   // BCC
+    {"ba",     OpClass::Jump,         false, false},  // BA
+    {"jmpi",   OpClass::IndirectJump, false, false},  // JMPI
+    {"call",   OpClass::Call,         false, false},  // CALL
+    {"calli",  OpClass::CallIndirect, false, false},  // CALLI
+    {"ret",    OpClass::Ret,          false, false},  // RET
+    {"halt",   OpClass::Halt,         false, false},  // HALT
+    {"nop",    OpClass::Nop,          false, false},  // NOP
+};
+
+} // namespace detail
+
 /** Look up the traits of @p op. */
-const OpTraits &opTraits(Opcode op);
+inline const OpTraits &
+opTraits(Opcode op)
+{
+    return detail::kOpTraits[static_cast<unsigned>(op)];
+}
 
 /** Execution latency in cycles (paper section 4): 1, loads/mul 2, div 12. */
-unsigned opLatency(Opcode op);
+inline unsigned
+opLatency(Opcode op)
+{
+    switch (opTraits(op).cls) {
+      case OpClass::Load:
+      case OpClass::Mul:
+        return 2;
+      case OpClass::Div:
+        return 12;
+      default:
+        return 1;
+    }
+}
 
 /** The paper's signature letters for an operation class ("ar", "ld", ...). */
 std::string_view opClassSignature(OpClass cls);

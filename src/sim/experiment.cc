@@ -171,16 +171,21 @@ ExperimentDriver::prefetch(const std::vector<ExperimentCell> &cells)
             cell.spec->name + "/" + cellKey(cell.config, cell.width);
         if (!queued.insert(cache_key).second)
             continue;
-        {
-            std::lock_guard<std::mutex> lock(mutex_);
-            if (cache_.find(cache_key) != cache_.end())
-                continue;
-        }
         MachineConfig config =
             MachineConfig::paper(cell.config, cell.width);
-        guardKey(cache_key, config);
+        // The guarded key is where statsFor() will look: when the raw
+        // key aliases a different machine (release builds), the result
+        // must be cached under the disambiguated key, or the cell
+        // would silently re-simulate on every statsFor() while the
+        // aliased entry lingers.
+        const std::string guarded_key = guardKey(cache_key, config);
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (cache_.find(guarded_key) != cache_.end())
+                continue;
+        }
         const VectorTraceSource &src = trace(*cell.spec);
-        missing.push_back({&src, std::move(config), cache_key});
+        missing.push_back({&src, std::move(config), guarded_key});
     }
     if (missing.empty())
         return;
@@ -207,10 +212,20 @@ ExperimentDriver::prefetch(const std::vector<ExperimentCell> &cells)
 double
 ExperimentDriver::cachedCellSeconds() const
 {
+    // Callers may poll progress while a prefetch() is filling cache_
+    // on worker threads; iterating unlocked would be a data race.
+    std::lock_guard<std::mutex> lock(mutex_);
     double seconds = 0.0;
     for (const auto &[key, stats] : cache_)
         seconds += static_cast<double>(stats.wallNanos) * 1e-9;
     return seconds;
+}
+
+std::size_t
+ExperimentDriver::cachedCells() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return cache_.size();
 }
 
 double

@@ -130,12 +130,12 @@ class ExperimentDriver
     /** The configured trace limit (0 = none). */
     std::uint64_t traceLimit() const { return traceLimit_; }
 
-    /** Number of cached cells. */
-    std::size_t cachedCells() const { return cache_.size(); }
+    /** Number of cached cells (safe to call during a prefetch). */
+    std::size_t cachedCells() const;
 
     /** Cumulative scheduler wall time over all cached cells, in
      *  seconds — compare against elapsed time to see the parallel
-     *  speedup. */
+     *  speedup.  Safe to call during a prefetch. */
     double cachedCellSeconds() const;
 
   private:
@@ -159,8 +159,9 @@ class ExperimentDriver
     std::map<std::string, SchedStats> cache_;
     /** cache key -> MachineConfig::fingerprint() that filled it. */
     std::map<std::string, std::string> fingerprints_;
-    /** Guards cache_ / fingerprints_ during parallel prefetch. */
-    std::mutex mutex_;
+    /** Guards cache_ / fingerprints_ during parallel prefetch
+     *  (mutable: the const observers lock it too). */
+    mutable std::mutex mutex_;
 };
 
 /** Parse $DDSC_TRACE_LIMIT (0 when unset/invalid/trailing garbage;

@@ -97,6 +97,32 @@ TEST(Experiment, StatsForKeyCollisionIsDisambiguated)
     EXPECT_EQ(as_a.cycles, d.stats(spec, 'A', 4).cycles);
     EXPECT_EQ(as_d.cycles, d.stats(spec, 'D', 16).cycles);
 }
+
+TEST(Experiment, PrefetchStoresUnderGuardedKey)
+{
+    // Poison the raw cache key of the paper cell C/8 with a different
+    // machine via statsFor(), then prefetch the real C/8 cell.  The
+    // prefetch must consult and fill the fingerprint-disambiguated
+    // key; it used to discard guardKey()'s return and test the raw
+    // key, concluding the cell was already cached and leaving the
+    // aliased entry to shadow it.
+    ExperimentDriver d(4000, /*test_scale=*/true, 2);
+    const WorkloadSpec &spec = findWorkload("espresso");
+    d.statsFor(spec, MachineConfig::paper('D', 8), "C/8");
+    EXPECT_EQ(d.cachedCells(), 1u);
+
+    d.prefetch({{&spec, 'C', 8}});
+    EXPECT_EQ(d.cachedCells(), 2u);     // simulated, not skipped
+
+    // And the cached cell is really config C: stats() is a cache hit
+    // that matches an unpoisoned driver bit for bit.
+    const SchedStats &cached = d.stats(spec, 'C', 8);
+    EXPECT_EQ(d.cachedCells(), 2u);
+    ExperimentDriver fresh(4000, /*test_scale=*/true);
+    EXPECT_EQ(cached.cycles, fresh.stats(spec, 'C', 8).cycles);
+    EXPECT_EQ(cached.instructions,
+              fresh.stats(spec, 'C', 8).instructions);
+}
 #else
 TEST(ExperimentDeathTest, StatsForKeyCollisionPanicsInDebug)
 {

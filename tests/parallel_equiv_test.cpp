@@ -14,8 +14,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <map>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "sim/experiment.hh"
@@ -197,6 +199,40 @@ TEST(ParallelEquivMisc, WallTimeIsRecordedPerCell)
     driver.prefetch({{&spec, 'A', 4}, {&spec, 'D', 4}});
     EXPECT_GT(driver.stats(spec, 'A', 4).wallNanos, 0u);
     EXPECT_GT(driver.stats(spec, 'D', 4).wallNanos, 0u);
+    EXPECT_GT(driver.cachedCellSeconds(), 0.0);
+}
+
+TEST(ParallelEquivMisc, ProgressObserversAreSafeDuringPrefetch)
+{
+    // cachedCells()/cachedCellSeconds() are documented as safe to call
+    // while a prefetch() is filling the cache from worker threads;
+    // they used to iterate the cache without taking the mutex.  Poll
+    // them concurrently with a prefetch — the TSan CI job runs this
+    // binary, so an unlocked iteration is a hard failure there, and
+    // the monotonicity checks catch torn reads everywhere else.
+    ExperimentDriver driver(0, /*test_scale=*/true, 4);
+    const std::vector<ExperimentCell> cells = ExperimentDriver::cellsFor(
+        ExperimentDriver::everything(), "AD", {4, 8});
+
+    std::atomic<bool> done{false};
+    std::size_t last_cells = 0;
+    double last_seconds = 0.0;
+    std::thread poller([&] {
+        while (!done.load(std::memory_order_relaxed)) {
+            const std::size_t cached = driver.cachedCells();
+            const double seconds = driver.cachedCellSeconds();
+            EXPECT_GE(cached, last_cells);
+            EXPECT_GE(seconds, last_seconds - 1e-12);
+            last_cells = cached;
+            last_seconds = seconds;
+            std::this_thread::yield();
+        }
+    });
+    driver.prefetch(cells);
+    done.store(true, std::memory_order_relaxed);
+    poller.join();
+
+    EXPECT_EQ(driver.cachedCells(), cells.size());
     EXPECT_GT(driver.cachedCellSeconds(), 0.0);
 }
 

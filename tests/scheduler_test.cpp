@@ -45,9 +45,32 @@ cfg(char id, unsigned width)
 
 TEST(Scheduler, EmptyTrace)
 {
-    const SchedStats stats = runOn(cfg('A', 4), {});
-    EXPECT_EQ(stats.instructions, 0u);
-    EXPECT_EQ(stats.ipc(), 0.0);
+    // A run in which nothing ever issues occupies zero cycles; the
+    // "last issue cycle + 1" accounting must not report a phantom
+    // cycle.  Both engines agree.
+    for (const bool naive : {false, true}) {
+        MachineConfig config = cfg('A', 4);
+        config.naiveEngine = naive;
+        const SchedStats stats = runOn(config, {});
+        EXPECT_EQ(stats.instructions, 0u) << "naive=" << naive;
+        EXPECT_EQ(stats.cycles, 0u) << "naive=" << naive;
+        EXPECT_EQ(stats.ipc(), 0.0) << "naive=" << naive;
+    }
+}
+
+TEST(Scheduler, SingleInstructionTrace)
+{
+    // One instruction issues at cycle 0 => exactly one cycle, IPC 1,
+    // in both engines.
+    for (const bool naive : {false, true}) {
+        MachineConfig config = cfg('A', 4);
+        config.naiveEngine = naive;
+        const SchedStats stats =
+            runOn(config, {aluImm(Opcode::ADD, 1, 0, 5, 0x10000)});
+        EXPECT_EQ(stats.instructions, 1u) << "naive=" << naive;
+        EXPECT_EQ(stats.cycles, 1u) << "naive=" << naive;
+        EXPECT_NEAR(stats.ipc(), 1.0, 1e-12) << "naive=" << naive;
+    }
 }
 
 TEST(Scheduler, IndependentInstructionsSaturateWidth)
