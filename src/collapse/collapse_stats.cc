@@ -47,6 +47,61 @@ CollapseStats::merge(const CollapseStats &other)
         tripleSignatures_[sig] += count;
 }
 
+void
+CollapseStats::encode(std::string &out) const
+{
+    using support::wire::putString;
+    using support::wire::putU64;
+    putU64(out, events_);
+    putU64(out, pairEvents_);
+    putU64(out, tripleEvents_);
+    putU64(out, collapsedInstructions_);
+    for (unsigned i = 0; i < kNumCollapseCategories; ++i)
+        putU64(out, byCategory_[i]);
+    distances_.encode(out);
+    putU64(out, static_cast<std::uint64_t>(pairSignatures_.size()));
+    for (const auto &[sig, count] : pairSignatures_) {
+        putString(out, sig);
+        putU64(out, count);
+    }
+    putU64(out, static_cast<std::uint64_t>(tripleSignatures_.size()));
+    for (const auto &[sig, count] : tripleSignatures_) {
+        putString(out, sig);
+        putU64(out, count);
+    }
+}
+
+bool
+CollapseStats::decode(support::wire::Reader &in)
+{
+    *this = CollapseStats();
+    events_ = in.u64();
+    pairEvents_ = in.u64();
+    tripleEvents_ = in.u64();
+    collapsedInstructions_ = in.u64();
+    for (unsigned i = 0; i < kNumCollapseCategories; ++i)
+        byCategory_[i] = in.u64();
+    if (!distances_.decode(in)) {
+        *this = CollapseStats();
+        return false;
+    }
+    const std::uint64_t pairs = in.u64();
+    for (std::uint64_t i = 0; i < pairs && in.ok(); ++i) {
+        std::string sig = in.str();
+        pairSignatures_[std::move(sig)] = in.u64();
+    }
+    const std::uint64_t triples = in.u64();
+    for (std::uint64_t i = 0; i < triples && in.ok(); ++i) {
+        std::string sig = in.str();
+        tripleSignatures_[std::move(sig)] = in.u64();
+    }
+    if (!in.ok()) {
+        *this = CollapseStats();
+        return false;
+    }
+    return true;
+}
+
 std::vector<std::pair<std::string, double>>
 CollapseStats::topSignatures(unsigned group_size, std::size_t n) const
 {

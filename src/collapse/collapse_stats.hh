@@ -93,6 +93,13 @@ class CollapseStats
     std::vector<std::pair<std::string, double>>
     topSignatures(unsigned group_size, std::size_t n) const;
 
+    /** Append a canonical byte encoding (persistent result cache). */
+    void encode(std::string &out) const;
+
+    /** Rebuild from an encoding; false (and *this reset) on truncated
+     *  or inconsistent bytes. */
+    bool decode(support::wire::Reader &in);
+
   private:
     std::uint64_t events_ = 0;
     std::uint64_t pairEvents_ = 0;

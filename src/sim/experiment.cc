@@ -7,6 +7,7 @@
 #include <set>
 #include <utility>
 
+#include "support/fault.hh"
 #include "support/logging.hh"
 #include "support/stats.hh"
 #include "support/thread_pool.hh"
@@ -73,6 +74,17 @@ ExperimentDriver::trace(const WorkloadSpec &spec)
     return traces_.emplace(spec.name, std::move(full)).first->second;
 }
 
+std::uint64_t
+ExperimentDriver::traceDigest(const WorkloadSpec &spec)
+{
+    const auto it = digests_.find(spec.name);
+    if (it != digests_.end())
+        return it->second;
+    const std::uint64_t digest = trace(spec).digest();
+    digests_.emplace(spec.name, digest);
+    return digest;
+}
+
 std::string
 ExperimentDriver::cellKey(char config, unsigned width)
 {
@@ -109,6 +121,43 @@ ExperimentDriver::runCell(const VectorTraceSource &trace,
     return scheduler.run(view);
 }
 
+SchedStats
+ExperimentDriver::runCellChecked(const std::string &key,
+                                 const VectorTraceSource &trace,
+                                 const MachineConfig &config) const
+{
+    if (support::faultShouldFire("cell-throw", key.c_str()))
+        throw std::runtime_error("injected fault: cell-throw at '" +
+                                 key + "'");
+    return runCell(trace, config);
+}
+
+bool
+ExperimentDriver::attemptCell(const std::string &key,
+                              const VectorTraceSource &trace,
+                              const MachineConfig &config,
+                              SchedStats &out,
+                              CellFailure &failure) const
+{
+    for (unsigned attempt = 1; attempt <= kCellAttempts; ++attempt) {
+        try {
+            out = runCellChecked(key, trace, config);
+            if (attempt > 1) {
+                warn("cell '%s' recovered on attempt %u of %u",
+                     key.c_str(), attempt, kCellAttempts);
+            }
+            return true;
+        } catch (const std::exception &e) {
+            failure = {key, e.what(), attempt};
+        } catch (...) {
+            failure = {key, "unknown exception", attempt};
+        }
+        warn("cell '%s' failed (attempt %u of %u): %s", key.c_str(),
+             attempt, kCellAttempts, failure.message.c_str());
+    }
+    return false;
+}
+
 const SchedStats &
 ExperimentDriver::statsFor(const WorkloadSpec &spec,
                            const MachineConfig &config,
@@ -121,9 +170,31 @@ ExperimentDriver::statsFor(const WorkloadSpec &spec,
         const auto it = cache_.find(cache_key);
         if (it != cache_.end())
             return it->second;
+        const auto bad = quarantine_.find(cache_key);
+        if (bad != quarantine_.end())
+            throw CellQuarantined(bad->second);
     }
     const VectorTraceSource &src = trace(spec);
-    SchedStats stats = runCell(src, config);
+    if (store_) {
+        const SchedStats *stored = store_->lookup(
+            cache_key, config.fingerprint(), traceDigest(spec));
+        if (stored) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++storeHits_;
+            return cache_.emplace(cache_key, *stored).first->second;
+        }
+    }
+    SchedStats stats;
+    CellFailure failure;
+    if (!attemptCell(cache_key, src, config, stats, failure)) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        quarantine_.emplace(cache_key, failure);
+        throw CellQuarantined(failure);
+    }
+    if (store_) {
+        store_->append(cache_key, config.fingerprint(),
+                       traceDigest(spec), stats);
+    }
     std::lock_guard<std::mutex> lock(mutex_);
     return cache_.emplace(cache_key, std::move(stats)).first->second;
 }
@@ -158,11 +229,17 @@ ExperimentDriver::prefetch(const std::vector<ExperimentCell> &cells)
         const VectorTraceSource *trace;
         MachineConfig config;
         std::string key;
+        std::string fingerprint;
+        std::uint64_t digest;
     };
 
     // Enumerate the missing cells and materialize their traces from
     // this thread (trace generation runs the VM and is kept serial;
     // it is shared across the 25 cells of each workload anyway).
+    // Cells found intact in the attached persistent store are copied
+    // into the in-memory cache here and never reach the workers —
+    // this is what --resume resumes.  Quarantined cells are skipped
+    // too: a known-poisoned simulation is not retried every sweep.
     std::vector<Task> missing;
     std::set<std::string> queued;
     for (const ExperimentCell &cell : cells) {
@@ -183,9 +260,24 @@ ExperimentDriver::prefetch(const std::vector<ExperimentCell> &cells)
             std::lock_guard<std::mutex> lock(mutex_);
             if (cache_.find(guarded_key) != cache_.end())
                 continue;
+            if (quarantine_.find(guarded_key) != quarantine_.end())
+                continue;
         }
         const VectorTraceSource &src = trace(*cell.spec);
-        missing.push_back({&src, std::move(config), guarded_key});
+        std::string fingerprint = config.fingerprint();
+        const std::uint64_t digest = traceDigest(*cell.spec);
+        if (store_) {
+            const SchedStats *stored =
+                store_->lookup(guarded_key, fingerprint, digest);
+            if (stored) {
+                std::lock_guard<std::mutex> lock(mutex_);
+                ++storeHits_;
+                cache_.emplace(guarded_key, *stored);
+                continue;
+            }
+        }
+        missing.push_back({&src, std::move(config), guarded_key,
+                           std::move(fingerprint), digest});
     }
     if (missing.empty())
         return;
@@ -195,18 +287,57 @@ ExperimentDriver::prefetch(const std::vector<ExperimentCell> &cells)
     // so the computation is race-free by construction; the shared
     // cache is filled afterwards, under the mutex, in enumeration
     // order (a std::map is insertion-order independent anyway).
+    // attemptCell() contains worker exceptions: a throwing cell is
+    // retried, then quarantined, and never takes the sweep down with
+    // it, so every other slot still holds its bit-exact result.
     std::vector<SchedStats> results(missing.size());
+    std::vector<CellFailure> failures(missing.size());
+    std::vector<char> succeeded(missing.size(), 0);
     support::parallelFor(
         missing.size(),
         static_cast<unsigned>(
             std::min<std::size_t>(jobs_, missing.size())),
         [&](std::size_t i) {
-            results[i] = runCell(*missing[i].trace, missing[i].config);
+            succeeded[i] = attemptCell(missing[i].key,
+                                       *missing[i].trace,
+                                       missing[i].config, results[i],
+                                       failures[i])
+                               ? 1 : 0;
         });
 
     std::lock_guard<std::mutex> lock(mutex_);
-    for (std::size_t i = 0; i < missing.size(); ++i)
+    for (std::size_t i = 0; i < missing.size(); ++i) {
+        if (!succeeded[i]) {
+            quarantine_.emplace(missing[i].key, failures[i]);
+            continue;
+        }
+        // Persist before publishing, in enumeration order: a kill
+        // between cells loses at most the one record being written,
+        // and the store contents are deterministic for a given sweep.
+        if (store_) {
+            store_->append(missing[i].key, missing[i].fingerprint,
+                           missing[i].digest, results[i]);
+        }
         cache_.emplace(missing[i].key, std::move(results[i]));
+    }
+}
+
+std::size_t
+ExperimentDriver::storeHits() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return storeHits_;
+}
+
+std::vector<CellFailure>
+ExperimentDriver::quarantineReport() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<CellFailure> report;
+    report.reserve(quarantine_.size());
+    for (const auto &[key, failure] : quarantine_)
+        report.push_back(failure);
+    return report;
 }
 
 double

@@ -20,6 +20,19 @@
  * at most that many instructions — the same rule the paper applied at
  * 250M ("only the first 250 million instructions of each benchmark
  * trace were simulated").  Use it to make quick bench runs cheap.
+ *
+ * Durability: attachStore() plugs in a persistent ResultStore.  Every
+ * finished cell is appended to it immediately, and cells whose stored
+ * fingerprint and trace digest still match are served from it without
+ * re-simulating, which is what makes an interrupted sweep resumable
+ * (--cache-dir/--resume in the tools).
+ *
+ * Fault containment: a cell whose simulation throws no longer kills
+ * the whole sweep.  The worker retries it up to kCellAttempts times
+ * (a transient fault recovers invisibly), then quarantines it; every
+ * other cell completes bit-identical to a serial run, and stats() for
+ * a quarantined cell throws CellQuarantined instead of returning
+ * garbage or silently re-running a known-bad simulation.
  */
 
 #ifndef DDSC_SIM_EXPERIMENT_HH
@@ -28,12 +41,14 @@
 #include <cstdint>
 #include <map>
 #include <mutex>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "core/config.hh"
 #include "core/scheduler.hh"
 #include "core/sched_stats.hh"
+#include "sim/result_store.hh"
 #include "workloads/workloads.hh"
 
 namespace ddsc
@@ -45,6 +60,28 @@ struct ExperimentCell
     const WorkloadSpec *spec;
     char config;        ///< paper configuration letter A..E
     unsigned width;     ///< issue width
+};
+
+/** Why one cell is quarantined. */
+struct CellFailure
+{
+    std::string key;        ///< cache key, e.g. "li/D/16"
+    std::string message;    ///< what the last attempt threw
+    unsigned attempts = 0;  ///< how many times it was tried
+};
+
+/** Thrown by stats()/statsFor() for a quarantined cell. */
+class CellQuarantined : public std::runtime_error
+{
+  public:
+    explicit CellQuarantined(const CellFailure &f)
+        : std::runtime_error("cell '" + f.key + "' is quarantined "
+                             "after " + std::to_string(f.attempts) +
+                             " failed attempts: " + f.message),
+          failure(f)
+    {}
+
+    const CellFailure failure;
 };
 
 /**
@@ -70,6 +107,26 @@ class ExperimentDriver
 
     /** Change the worker-thread count (0 = default policy). */
     void setJobs(unsigned jobs);
+
+    /** Times a cell simulation is attempted before quarantine. */
+    static constexpr unsigned kCellAttempts = 3;
+
+    /**
+     * Plug in a persistent result cache (nullptr detaches).  Not
+     * owned; must outlive the driver or the next attachStore().  Safe
+     * only between sweeps, not during a prefetch().
+     */
+    void attachStore(ResultStore *store) { store_ = store; }
+
+    /** The attached store (nullptr when none). */
+    ResultStore *store() const { return store_; }
+
+    /** Cells served from the attached store instead of simulated. */
+    std::size_t storeHits() const;
+
+    /** Snapshot of the quarantined cells, sorted by key.  Empty means
+     *  every requested cell simulated cleanly. */
+    std::vector<CellFailure> quarantineReport() const;
 
     /**
      * Simulate every not-yet-cached cell of @p cells concurrently on
@@ -124,6 +181,11 @@ class ExperimentDriver
     /** The trace (cached, truncated) for one workload. */
     VectorTraceSource &trace(const WorkloadSpec &spec);
 
+    /** Content digest of trace(spec), memoized (digesting is O(n)).
+     *  Keys the persistent result store together with the machine
+     *  fingerprint. */
+    std::uint64_t traceDigest(const WorkloadSpec &spec);
+
     /** Pointers to all six workloads. */
     static std::vector<const WorkloadSpec *> everything();
 
@@ -152,15 +214,36 @@ class ExperimentDriver
     SchedStats runCell(const VectorTraceSource &trace,
                        const MachineConfig &config) const;
 
+    /** runCell plus the "cell-throw" fault-injection hook (@p key is
+     *  the hook's tag, e.g. "li/D/16"). */
+    SchedStats runCellChecked(const std::string &key,
+                              const VectorTraceSource &trace,
+                              const MachineConfig &config) const;
+
+    /** Try a cell up to kCellAttempts times.  True with @p out filled
+     *  on success; false with @p failure describing the last error
+     *  when every attempt threw.  Thread-safe (touches no driver
+     *  state). */
+    bool attemptCell(const std::string &key,
+                     const VectorTraceSource &trace,
+                     const MachineConfig &config, SchedStats &out,
+                     CellFailure &failure) const;
+
     std::uint64_t traceLimit_;
     bool testScale_;
     unsigned jobs_;
     std::map<std::string, VectorTraceSource> traces_;
+    /** workload name -> memoized digestRecords of its trace. */
+    std::map<std::string, std::uint64_t> digests_;
     std::map<std::string, SchedStats> cache_;
     /** cache key -> MachineConfig::fingerprint() that filled it. */
     std::map<std::string, std::string> fingerprints_;
-    /** Guards cache_ / fingerprints_ during parallel prefetch
-     *  (mutable: the const observers lock it too). */
+    /** cache key -> why the cell is poisoned. */
+    std::map<std::string, CellFailure> quarantine_;
+    ResultStore *store_ = nullptr;      ///< optional, not owned
+    std::size_t storeHits_ = 0;
+    /** Guards cache_ / fingerprints_ / quarantine_ / storeHits_ during
+     *  parallel prefetch (mutable: const observers lock it too). */
     mutable std::mutex mutex_;
 };
 

@@ -1,0 +1,359 @@
+#include "result_store.hh"
+
+#include <cstring>
+#include <filesystem>
+#include <vector>
+
+#include "support/fault.hh"
+#include "support/logging.hh"
+#include "support/wire.hh"
+
+namespace ddsc
+{
+
+namespace
+{
+
+constexpr char kStoreMagic[8] = {'D', 'D', 'S', 'C', 'R', 'E', 'S', '1'};
+constexpr std::size_t kHeaderBytes = 16;    // magic + schema u32 + pad u32
+constexpr std::size_t kRecordHeaderBytes = 8;   // length u32 + crc u32
+constexpr char kFileName[] = "results.ddsc";
+
+} // anonymous namespace
+
+void
+encodeSchedStats(std::string &out, const SchedStats &stats)
+{
+    using support::wire::putU32;
+    using support::wire::putU64;
+    putU64(out, stats.instructions);
+    putU64(out, stats.cycles);
+    putU64(out, stats.condBranches);
+    putU64(out, stats.mispredicts);
+    putU64(out, stats.ctiPredictions);
+    putU64(out, stats.ctiMispredicts);
+    putU64(out, stats.loads);
+    putU32(out, kNumLoadClasses);
+    for (unsigned i = 0; i < kNumLoadClasses; ++i)
+        putU64(out, stats.loadClasses[i]);
+    putU64(out, stats.eliminatedInstructions);
+    putU64(out, stats.valuePredHits);
+    putU64(out, stats.valuePredWrong);
+    stats.collapse.encode(out);
+    stats.issuedPerCycle.encode(out);
+    putU64(out, stats.wallNanos);
+}
+
+bool
+decodeSchedStats(support::wire::Reader &in, SchedStats &stats)
+{
+    stats = SchedStats();
+    stats.instructions = in.u64();
+    stats.cycles = in.u64();
+    stats.condBranches = in.u64();
+    stats.mispredicts = in.u64();
+    stats.ctiPredictions = in.u64();
+    stats.ctiMispredicts = in.u64();
+    stats.loads = in.u64();
+    if (in.u32() != kNumLoadClasses) {
+        stats = SchedStats();
+        return false;
+    }
+    for (unsigned i = 0; i < kNumLoadClasses; ++i)
+        stats.loadClasses[i] = in.u64();
+    stats.eliminatedInstructions = in.u64();
+    stats.valuePredHits = in.u64();
+    stats.valuePredWrong = in.u64();
+    if (!stats.collapse.decode(in) ||
+        !stats.issuedPerCycle.decode(in)) {
+        stats = SchedStats();
+        return false;
+    }
+    stats.wallNanos = in.u64();
+    if (!in.ok()) {
+        stats = SchedStats();
+        return false;
+    }
+    return true;
+}
+
+ResultStore::ResultStore(const std::string &dir) : dir_(dir)
+{
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    fs::create_directories(dir_, ec);
+    if (ec) {
+        ddsc_fatal("cannot create cache directory '%s': %s",
+                   dir_.c_str(), ec.message().c_str());
+    }
+    path_ = (fs::path(dir_) / kFileName).string();
+    std::lock_guard<std::mutex> lock(mutex_);
+    report_ = loadLocked();
+}
+
+ResultStore::~ResultStore()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+void
+ResultStore::writeHeaderLocked(std::FILE *file, const std::string &path)
+    const
+{
+    std::string hdr;
+    hdr.append(kStoreMagic, sizeof kStoreMagic);
+    support::wire::putU32(hdr, kSchema);
+    support::wire::putU32(hdr, 0);
+    ddsc_assert(hdr.size() == kHeaderBytes, "header layout changed");
+    if (std::fwrite(hdr.data(), 1, hdr.size(), file) != hdr.size() ||
+        std::fflush(file) != 0) {
+        ddsc_fatal("cannot write result-store header to '%s'",
+                   path.c_str());
+    }
+}
+
+StoreLoadReport
+ResultStore::loadLocked()
+{
+    namespace fs = std::filesystem;
+    StoreLoadReport report;
+
+    std::string bytes;
+    if (std::FILE *existing = std::fopen(path_.c_str(), "rb")) {
+        char buf[1 << 16];
+        std::size_t n;
+        while ((n = std::fread(buf, 1, sizeof buf, existing)) > 0)
+            bytes.append(buf, n);
+        std::fclose(existing);
+    }
+
+    bool start_fresh = bytes.empty();
+    if (!bytes.empty()) {
+        if (bytes.size() < kHeaderBytes ||
+            std::memcmp(bytes.data(), kStoreMagic,
+                        sizeof kStoreMagic) != 0) {
+            // Never treat a foreign file as ours: overwriting it could
+            // destroy user data over a mistyped --cache-dir.
+            ddsc_fatal("'%s' is not a ddsc result store; refusing to "
+                       "overwrite it (remove the file or pick another "
+                       "--cache-dir)", path_.c_str());
+        }
+        support::wire::Reader hdr(
+            std::string_view(bytes).substr(sizeof kStoreMagic));
+        const std::uint32_t schema = hdr.u32();
+        if (schema != kSchema) {
+            warn("result store '%s' has schema %u but this build "
+                 "writes schema %u; discarding all cached cells",
+                 path_.c_str(), schema, kSchema);
+            report.schemaReset = true;
+            report.note = "schema changed; cache discarded";
+            start_fresh = true;
+        }
+    }
+
+    if (start_fresh) {
+        std::FILE *fresh = std::fopen(path_.c_str(), "wb");
+        if (!fresh)
+            ddsc_fatal("cannot create result store '%s'", path_.c_str());
+        writeHeaderLocked(fresh, path_);
+        std::fclose(fresh);
+        file_ = std::fopen(path_.c_str(), "ab");
+        if (!file_)
+            ddsc_fatal("cannot open result store '%s' for appending",
+                       path_.c_str());
+        return report;
+    }
+
+    // Walk the records.  Appends are record-atomic-or-torn, so the
+    // first bad record marks the start of the torn tail: everything
+    // before it is intact, everything from it on is dropped.
+    std::size_t pos = kHeaderBytes;
+    std::size_t intact_end = pos;
+    while (pos < bytes.size()) {
+        support::wire::Reader rec_hdr(
+            std::string_view(bytes).substr(pos));
+        if (bytes.size() - pos < kRecordHeaderBytes) {
+            ++report.discarded;
+            break;
+        }
+        const std::uint32_t len = rec_hdr.u32();
+        const std::uint32_t crc = rec_hdr.u32();
+        if (bytes.size() - pos - kRecordHeaderBytes < len) {
+            ++report.discarded;
+            break;
+        }
+        const std::string_view payload =
+            std::string_view(bytes).substr(pos + kRecordHeaderBytes, len);
+        if (support::wire::crc32(payload.data(), payload.size()) != crc) {
+            ++report.discarded;
+            break;
+        }
+        support::wire::Reader in(payload);
+        std::string key = in.str();
+        Entry entry;
+        entry.fingerprint = in.str();
+        entry.traceDigest = in.u64();
+        if (!decodeSchedStats(in, entry.stats) || in.remaining() != 0) {
+            ++report.discarded;
+            break;
+        }
+        cells_[std::move(key)] = std::move(entry);
+        pos += kRecordHeaderBytes + len;
+        intact_end = pos;
+    }
+    report.loaded = cells_.size();
+    if (report.discarded > 0) {
+        report.note =
+            "discarded a torn record at byte offset " +
+            std::to_string(intact_end) + " of " +
+            std::to_string(bytes.size()) +
+            " (interrupted write); intact cells were kept";
+        warn("result store '%s': %s", path_.c_str(),
+             report.note.c_str());
+        // Drop the torn tail on disk too, so the next append starts at
+        // a record boundary.
+        std::error_code ec;
+        fs::resize_file(path_, intact_end, ec);
+        if (ec) {
+            ddsc_fatal("cannot truncate torn result store '%s': %s",
+                       path_.c_str(), ec.message().c_str());
+        }
+    }
+
+    file_ = std::fopen(path_.c_str(), "ab");
+    if (!file_)
+        ddsc_fatal("cannot open result store '%s' for appending",
+                   path_.c_str());
+    return report;
+}
+
+const SchedStats *
+ResultStore::lookup(const std::string &key,
+                    const std::string &fingerprint,
+                    std::uint64_t trace_digest)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = cells_.find(key);
+    if (it == cells_.end())
+        return nullptr;
+    if (it->second.fingerprint != fingerprint) {
+        warn("result store '%s': cached cell '%s' was produced by a "
+             "different machine configuration; re-simulating",
+             path_.c_str(), key.c_str());
+        cells_.erase(it);
+        return nullptr;
+    }
+    if (it->second.traceDigest != trace_digest) {
+        warn("result store '%s': cached cell '%s' was produced from a "
+             "different trace (digest changed); re-simulating",
+             path_.c_str(), key.c_str());
+        cells_.erase(it);
+        return nullptr;
+    }
+    return &it->second.stats;
+}
+
+void
+ResultStore::appendRecordLocked(const std::string &key,
+                                const Entry &entry)
+{
+    std::string payload;
+    support::wire::putString(payload, key);
+    support::wire::putString(payload, entry.fingerprint);
+    support::wire::putU64(payload, entry.traceDigest);
+    encodeSchedStats(payload, entry.stats);
+
+    std::string rec;
+    support::wire::putU32(rec,
+                          static_cast<std::uint32_t>(payload.size()));
+    support::wire::putU32(
+        rec, support::wire::crc32(payload.data(), payload.size()));
+    rec += payload;
+
+    if (support::faultShouldFire("checkpoint-torn-write")) {
+        // Simulate a kill mid-append: flush a partial record to disk,
+        // then die the way a real SIGKILL would leave things.  The
+        // resume run must detect and discard exactly this tail.
+        const std::size_t torn = kRecordHeaderBytes + payload.size() / 2;
+        std::fwrite(rec.data(), 1, torn, file_);
+        std::fflush(file_);
+        ddsc_fatal("injected fault: killed while appending '%s' to "
+                   "result store '%s' (%zu of %zu bytes written)",
+                   key.c_str(), path_.c_str(), torn, rec.size());
+    }
+
+    if (std::fwrite(rec.data(), 1, rec.size(), file_) != rec.size() ||
+        std::fflush(file_) != 0) {
+        ddsc_fatal("cannot append cell '%s' to result store '%s'",
+                   key.c_str(), path_.c_str());
+    }
+}
+
+void
+ResultStore::append(const std::string &key,
+                    const std::string &fingerprint,
+                    std::uint64_t trace_digest, const SchedStats &stats)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Entry entry;
+    entry.fingerprint = fingerprint;
+    entry.traceDigest = trace_digest;
+    entry.stats = stats;
+    appendRecordLocked(key, entry);
+    cells_[key] = std::move(entry);
+}
+
+std::size_t
+ResultStore::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return cells_.size();
+}
+
+void
+ResultStore::compact()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::string tmp = path_ + ".tmp";
+    std::FILE *out = std::fopen(tmp.c_str(), "wb");
+    if (!out)
+        ddsc_fatal("cannot create '%s' for compaction", tmp.c_str());
+    writeHeaderLocked(out, tmp);
+
+    // std::map iteration is key-sorted, so compaction is deterministic:
+    // the same cells always produce the same file bytes.
+    for (const auto &[key, entry] : cells_) {
+        std::string payload;
+        support::wire::putString(payload, key);
+        support::wire::putString(payload, entry.fingerprint);
+        support::wire::putU64(payload, entry.traceDigest);
+        encodeSchedStats(payload, entry.stats);
+        std::string rec;
+        support::wire::putU32(
+            rec, static_cast<std::uint32_t>(payload.size()));
+        support::wire::putU32(
+            rec, support::wire::crc32(payload.data(), payload.size()));
+        rec += payload;
+        if (std::fwrite(rec.data(), 1, rec.size(), out) != rec.size())
+            ddsc_fatal("short write compacting result store to '%s'",
+                       tmp.c_str());
+    }
+    if (std::fflush(out) != 0 || std::fclose(out) != 0)
+        ddsc_fatal("cannot finish compacting result store to '%s'",
+                   tmp.c_str());
+
+    if (file_) {
+        std::fclose(file_);
+        file_ = nullptr;
+    }
+    if (std::rename(tmp.c_str(), path_.c_str()) != 0)
+        ddsc_fatal("cannot rename '%s' over '%s'", tmp.c_str(),
+                   path_.c_str());
+    file_ = std::fopen(path_.c_str(), "ab");
+    if (!file_)
+        ddsc_fatal("cannot reopen result store '%s' after compaction",
+                   path_.c_str());
+}
+
+} // namespace ddsc

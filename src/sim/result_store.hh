@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Persistent, checksummed result cache for experiment cells.
+ *
+ * A sweep over the full paper matrix can run for hours; this store
+ * makes it killable.  Every finished (workload, config, width) cell is
+ * appended to one on-disk file as soon as it is computed, and a
+ * restarted sweep with --resume reloads the file, skips every cell
+ * that is still valid, and re-simulates only what is missing.
+ *
+ * File format ("results.ddsc" inside the cache directory):
+ *
+ *   header   16 bytes: magic "DDSCRES1", schema u32, pad u32
+ *   records  each: payload length u32, CRC32(payload) u32, payload
+ *
+ * A record's payload is: cache key (string), machine-configuration
+ * fingerprint (string), trace digest (u64), then the serialized
+ * SchedStats.  Appends are flushed record-at-a-time, so a kill leaves
+ * at most one torn record at the tail; load() detects it by length or
+ * CRC, reports it, and truncates the file back to the intact prefix.
+ *
+ * Staleness is caught at lookup time, not load time: an entry whose
+ * stored fingerprint or trace digest no longer matches the caller's is
+ * dropped with a warning and treated as a miss, so changed machine
+ * knobs or a rebuilt trace can never resurrect stale numbers.
+ *
+ * A schema bump (kSchema) invalidates the whole file loudly.  A file
+ * that is not a result store at all (wrong magic) is a fatal error:
+ * the store never clobbers a file it did not write.
+ */
+
+#ifndef DDSC_SIM_RESULT_STORE_HH
+#define DDSC_SIM_RESULT_STORE_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "core/sched_stats.hh"
+
+namespace ddsc
+{
+
+/** What load() found on disk. */
+struct StoreLoadReport
+{
+    std::size_t loaded = 0;     ///< intact cells now available
+    std::size_t discarded = 0;  ///< torn/corrupt records dropped
+    bool schemaReset = false;   ///< file had an old schema; started fresh
+    std::string note;           ///< human-readable diagnosis ("" if clean)
+};
+
+/**
+ * The on-disk cell cache.  Thread-safe; every mutation is flushed
+ * before it is visible in memory, so the disk never lags the cache.
+ */
+class ResultStore
+{
+  public:
+    /** Bump when the record payload layout changes. */
+    static constexpr std::uint32_t kSchema = 1;
+
+    /**
+     * Open (creating if needed) the store inside @p dir.  The
+     * directory itself is created when missing.  Existing contents
+     * are validated and loaded; see the returned report.  fatal() if
+     * @p dir is unusable or the file is not a result store.
+     */
+    explicit ResultStore(const std::string &dir);
+    ~ResultStore();
+
+    ResultStore(const ResultStore &) = delete;
+    ResultStore &operator=(const ResultStore &) = delete;
+
+    /** What the constructor found on disk. */
+    const StoreLoadReport &loadReport() const { return report_; }
+
+    /** Full path of the backing file. */
+    const std::string &path() const { return path_; }
+
+    /**
+     * The cached stats for @p key, or nullptr when absent or stale.
+     * A fingerprint or digest mismatch warns, drops the entry, and
+     * returns nullptr so the caller re-simulates.
+     */
+    const SchedStats *lookup(const std::string &key,
+                             const std::string &fingerprint,
+                             std::uint64_t trace_digest);
+
+    /**
+     * Persist one cell and make it visible to lookup().  The record is
+     * written and flushed before the in-memory map is updated.  Fault
+     * point "checkpoint-torn-write" makes this write a partial record
+     * and die, simulating a kill mid-append.
+     */
+    void append(const std::string &key, const std::string &fingerprint,
+                std::uint64_t trace_digest, const SchedStats &stats);
+
+    /** Number of cells currently cached. */
+    std::size_t size() const;
+
+    /**
+     * Rewrite the file with exactly one record per live cell (appends
+     * and stale-drops leave dead bytes behind).  Atomic: writes a
+     * temporary file, then rename()s it over the store.
+     */
+    void compact();
+
+  private:
+    struct Entry
+    {
+        std::string fingerprint;
+        std::uint64_t traceDigest;
+        SchedStats stats;
+    };
+
+    StoreLoadReport loadLocked();
+    void writeHeaderLocked(std::FILE *file, const std::string &path) const;
+    void appendRecordLocked(const std::string &key, const Entry &entry);
+
+    std::string dir_;
+    std::string path_;
+    std::FILE *file_ = nullptr;     ///< open in append mode
+    std::map<std::string, Entry> cells_;
+    StoreLoadReport report_;
+    mutable std::mutex mutex_;
+};
+
+/** Append the canonical byte encoding of @p stats (exposed for
+ *  tests; the store uses it for record payloads). */
+void encodeSchedStats(std::string &out, const SchedStats &stats);
+
+/** Rebuild @p stats from an encoding; false (stats reset) on
+ *  truncated or inconsistent bytes. */
+bool decodeSchedStats(support::wire::Reader &in, SchedStats &stats);
+
+} // namespace ddsc
+
+#endif // DDSC_SIM_RESULT_STORE_HH

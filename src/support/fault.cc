@@ -1,0 +1,155 @@
+#include "fault.hh"
+
+#ifndef DDSC_NO_FAULT_INJECTION
+
+#include <atomic>
+#include <cctype>
+#include <cstdlib>
+#include <mutex>
+
+#include "support/logging.hh"
+
+namespace ddsc::support
+{
+
+namespace
+{
+
+struct FaultState
+{
+    std::mutex mutex;
+    std::string spec;       ///< as armed, for faultArmed()
+    std::string point;
+    std::string tag;        ///< tag spec; empty for nth specs
+    std::uint64_t nth = 0;  ///< nth spec; 0 for tag specs
+    std::uint64_t hits = 0; ///< hits of the armed point so far
+    bool fired = false;     ///< nth specs fire exactly once
+    bool envChecked = false;
+};
+
+FaultState &
+state()
+{
+    static FaultState s;
+    return s;
+}
+
+/** Fast path: avoids the mutex entirely while nothing is armed. */
+std::atomic<bool> g_armed{false};
+std::atomic<bool> g_envPending{true};
+
+/** Parse "point:value" into @p s; returns false on malformed input. */
+bool
+parseSpec(const std::string &spec, FaultState &s)
+{
+    const std::size_t colon = spec.find(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 == spec.size()) {
+        return false;
+    }
+    s.point = spec.substr(0, colon);
+    const std::string value = spec.substr(colon + 1);
+    bool numeric = true;
+    for (const char c : value) {
+        if (!std::isdigit(static_cast<unsigned char>(c)))
+            numeric = false;
+    }
+    if (numeric) {
+        s.nth = std::strtoull(value.c_str(), nullptr, 10);
+        if (s.nth == 0)
+            return false;   // "fire on the 0th hit" is meaningless
+        s.tag.clear();
+    } else {
+        s.tag = value;
+        s.nth = 0;
+    }
+    s.spec = spec;
+    s.hits = 0;
+    s.fired = false;
+    return true;
+}
+
+/** Arm from $DDSC_FAULT the first time anyone asks. */
+void
+armFromEnvLocked(FaultState &s)
+{
+    if (s.envChecked)
+        return;
+    s.envChecked = true;
+    const char *env = std::getenv("DDSC_FAULT");
+    if (!env || env[0] == '\0')
+        return;
+    if (!parseSpec(env, s)) {
+        warn("ignoring malformed DDSC_FAULT='%s' "
+             "(want <point>:<nth> or <point>:<tag>)", env);
+        return;
+    }
+    g_armed.store(true, std::memory_order_release);
+}
+
+} // anonymous namespace
+
+bool
+faultShouldFire(const char *point, const char *tag)
+{
+    if (g_envPending.load(std::memory_order_acquire)) {
+        FaultState &s = state();
+        std::lock_guard<std::mutex> lock(s.mutex);
+        armFromEnvLocked(s);
+        g_envPending.store(false, std::memory_order_release);
+    }
+    if (!g_armed.load(std::memory_order_acquire))
+        return false;
+
+    FaultState &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    if (s.point != point)
+        return false;
+    if (!s.tag.empty())
+        return tag != nullptr && s.tag == tag;
+    if (s.fired)
+        return false;
+    if (++s.hits < s.nth)
+        return false;
+    s.fired = true;
+    return true;
+}
+
+void
+faultArm(const std::string &spec)
+{
+    FaultState &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.envChecked = true;    // explicit arming overrides $DDSC_FAULT
+    g_envPending.store(false, std::memory_order_release);
+    if (spec.empty()) {
+        s.spec.clear();
+        s.point.clear();
+        s.tag.clear();
+        s.nth = 0;
+        s.hits = 0;
+        s.fired = false;
+        g_armed.store(false, std::memory_order_release);
+        return;
+    }
+    if (!parseSpec(spec, s)) {
+        warn("ignoring malformed fault spec '%s' "
+             "(want <point>:<nth> or <point>:<tag>)", spec.c_str());
+        g_armed.store(false, std::memory_order_release);
+        return;
+    }
+    g_armed.store(true, std::memory_order_release);
+}
+
+std::string
+faultArmed()
+{
+    FaultState &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    return g_armed.load(std::memory_order_acquire) ? s.spec
+                                                   : std::string();
+}
+
+} // namespace ddsc::support
+
+#endif // DDSC_NO_FAULT_INJECTION

@@ -109,4 +109,34 @@ Histogram::merge(const Histogram &other)
     samples_ += other.samples_;
 }
 
+void
+Histogram::encode(std::string &out) const
+{
+    support::wire::putU64(out, static_cast<std::uint64_t>(bins_.size()));
+    for (const auto &[k, c] : bins_) {
+        support::wire::putU64(out, k);
+        support::wire::putU64(out, c);
+    }
+}
+
+bool
+Histogram::decode(support::wire::Reader &in)
+{
+    bins_.clear();
+    samples_ = 0;
+    const std::uint64_t n = in.u64();
+    for (std::uint64_t i = 0; i < n && in.ok(); ++i) {
+        const std::uint64_t key = in.u64();
+        const std::uint64_t count = in.u64();
+        bins_[key] = count;
+        samples_ += count;
+    }
+    if (!in.ok()) {
+        bins_.clear();
+        samples_ = 0;
+        return false;
+    }
+    return true;
+}
+
 } // namespace ddsc

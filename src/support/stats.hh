@@ -16,6 +16,8 @@
 #include <string>
 #include <vector>
 
+#include "support/wire.hh"
+
 namespace ddsc
 {
 
@@ -69,6 +71,13 @@ class Histogram
 
     /** Merge another histogram into this one. */
     void merge(const Histogram &other);
+
+    /** Append a canonical byte encoding (persistent result cache). */
+    void encode(std::string &out) const;
+
+    /** Rebuild from an encoding; false (and *this reset) on truncated
+     *  or inconsistent bytes. */
+    bool decode(support::wire::Reader &in);
 
   private:
     std::map<std::uint64_t, std::uint64_t> bins_;

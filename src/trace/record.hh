@@ -14,6 +14,7 @@
 
 #include <array>
 #include <cstdint>
+#include <vector>
 
 #include "isa/instruction.hh"
 #include "isa/opcodes.hh"
@@ -143,6 +144,14 @@ struct TraceRecord
      * could discard (r0 source or zero immediate in an operand slot). */
     bool hasZeroOperand() const;
 };
+
+/**
+ * FNV-1a digest over every architectural field of @p records, in
+ * order.  Two traces digest equal iff they would drive the simulator
+ * identically; the persistent result cache keys cached cells on it so
+ * a rebuilt or truncated trace invalidates stale results.
+ */
+std::uint64_t digestRecords(const std::vector<TraceRecord> &records);
 
 } // namespace ddsc
 

@@ -64,6 +64,10 @@ class VectorTraceSource : public TraceSource
     std::size_t size() const { return records_.size(); }
     const std::vector<TraceRecord> &records() const { return records_; }
 
+    /** Content digest (see digestRecords); keys the persistent result
+     *  cache.  O(n) — callers cache it per trace. */
+    std::uint64_t digest() const { return digestRecords(records_); }
+
   private:
     std::vector<TraceRecord> records_;
     std::size_t pos_ = 0;
@@ -125,7 +129,8 @@ class VectorTraceSink : public TraceSink
 
 /**
  * Binary trace file writer.  The format is a fixed header followed by
- * packed little-endian records; see trace_file.cc for the layout.
+ * packed little-endian records and (since DDSCTRC v3) a CRC32 footer;
+ * see trace_file.cc for the layout.
  */
 class TraceFileWriter : public TraceSink
 {
@@ -139,23 +144,33 @@ class TraceFileWriter : public TraceSink
 
     void emit(const TraceRecord &rec) override;
 
-    /** Flush and finalize the header; called by the destructor too. */
+    /** Write the CRC footer and finalize the header; called by the
+     *  destructor too. */
     void close();
 
     std::uint64_t count() const { return count_; }
 
   private:
     std::FILE *file_ = nullptr;
+    std::string path_;
     std::uint64_t count_ = 0;
+    std::uint32_t crc_ = 0;     ///< running CRC32 over record bytes
 };
 
 /**
  * Streaming reader for files produced by TraceFileWriter.
+ *
+ * The constructor validates the whole file before the first next():
+ * magic and version (v2 legacy and v3 accepted), the count field
+ * against the actual file size (truncations are reported with the
+ * offending byte offset and record index), and — for v3 — the CRC32
+ * footer over every record byte.
  */
 class TraceFileSource : public TraceSource
 {
   public:
-    /** Open @p path; fatal() on failure or bad magic. */
+    /** Open and validate @p path; fatal() with a diagnosis on any
+     *  mismatch. */
     explicit TraceFileSource(const std::string &path);
     ~TraceFileSource() override;
 
@@ -167,10 +182,15 @@ class TraceFileSource : public TraceSource
 
     std::uint64_t count() const { return count_; }
 
+    /** Header version of the file being read (2 or 3). */
+    std::uint32_t version() const { return version_; }
+
   private:
     std::FILE *file_ = nullptr;
+    std::string path_;
     std::uint64_t count_ = 0;
     std::uint64_t read_ = 0;
+    std::uint32_t version_ = 0;
 };
 
 /**

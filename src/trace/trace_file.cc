@@ -2,16 +2,25 @@
  * @file
  * Binary trace file I/O.
  *
- * Layout: a 24-byte header (magic "DDSCTRC1", version u32, pad u32,
- * record count u64) followed by packed records.  The count field is
- * back-patched on close so interrupted writes are detectable.
+ * Layout (DDSCTRC v3): a 24-byte header (magic "DDSCTRC1", version
+ * u32, pad u32, record count u64), packed 40-byte records, then a
+ * 16-byte footer (magic "DDSCEOF1", CRC32 of all record bytes, pad).
+ * The count field is back-patched on close and the footer is written
+ * last, so an interrupted write is detectable three ways: a zero
+ * count, a file-size/count mismatch, or a CRC mismatch.
+ *
+ * v2 files (no footer) remain readable; v1 never shipped.  Unknown
+ * versions are rejected with a rebuild hint rather than misparsed.
  */
 
 #include "source.hh"
 
 #include <cstring>
+#include <sys/stat.h>
 
+#include "support/fault.hh"
 #include "support/logging.hh"
+#include "support/wire.hh"
 
 namespace ddsc
 {
@@ -20,7 +29,10 @@ namespace
 {
 
 constexpr char kMagic[8] = {'D', 'D', 'S', 'C', 'T', 'R', 'C', '1'};
-constexpr std::uint32_t kVersion = 2;   // v2 added memValue
+constexpr char kFooterMagic[8] =
+    {'D', 'D', 'S', 'C', 'E', 'O', 'F', '1'};
+constexpr std::uint32_t kVersion = 3;       // v3 added the CRC footer
+constexpr std::uint32_t kLegacyVersion = 2; // v2 added memValue
 
 struct FileHeader
 {
@@ -29,6 +41,16 @@ struct FileHeader
     std::uint32_t pad;
     std::uint64_t count;
 };
+
+struct FileFooter
+{
+    char magic[8];
+    std::uint32_t crc;
+    std::uint32_t pad;
+};
+
+static_assert(sizeof(FileHeader) == 24, "header layout changed");
+static_assert(sizeof(FileFooter) == 16, "footer layout changed");
 
 /** On-disk record; kept packed and explicitly sized. */
 struct DiskRecord
@@ -86,9 +108,26 @@ unpack(const DiskRecord &d)
     return rec;
 }
 
+/** Byte offset of record @p index within a trace file. */
+std::uint64_t
+recordOffset(std::uint64_t index)
+{
+    return sizeof(FileHeader) + index * sizeof(DiskRecord);
+}
+
+/** Size of @p file in bytes via fstat (the file stays open). */
+std::uint64_t
+fileSize(std::FILE *file, const std::string &path)
+{
+    struct stat st;
+    if (fstat(fileno(file), &st) != 0)
+        ddsc_fatal("cannot stat trace file '%s'", path.c_str());
+    return static_cast<std::uint64_t>(st.st_size);
+}
+
 } // anonymous namespace
 
-TraceFileWriter::TraceFileWriter(const std::string &path)
+TraceFileWriter::TraceFileWriter(const std::string &path) : path_(path)
 {
     file_ = std::fopen(path.c_str(), "wb");
     if (!file_)
@@ -111,8 +150,19 @@ TraceFileWriter::emit(const TraceRecord &rec)
 {
     ddsc_assert(file_ != nullptr, "emit() after close()");
     const DiskRecord d = pack(rec);
-    if (std::fwrite(&d, sizeof d, 1, file_) != 1)
-        ddsc_fatal("short write to trace file");
+    // The injection point models fwrite() writing fewer bytes than one
+    // record (disk full, quota, signal): the same diagnostic the real
+    // short write would produce must fire.
+    const bool injected = support::faultShouldFire("trace-short-write");
+    if (injected || std::fwrite(&d, sizeof d, 1, file_) != 1) {
+        ddsc_fatal("short write to trace file '%s': record %llu "
+                   "(byte offset %llu) was not fully written%s",
+                   path_.c_str(),
+                   static_cast<unsigned long long>(count_),
+                   static_cast<unsigned long long>(recordOffset(count_)),
+                   injected ? " [injected fault]" : "");
+    }
+    crc_ = support::wire::crc32(&d, sizeof d, crc_);
     ++count_;
 }
 
@@ -121,28 +171,107 @@ TraceFileWriter::close()
 {
     if (!file_)
         return;
-    // Back-patch the record count.
+    // Records, then footer, then the back-patched count: a crash
+    // before this point leaves count == 0 (or a short file), both of
+    // which the reader rejects with a diagnosis.
+    FileFooter footer = {};
+    std::memcpy(footer.magic, kFooterMagic, sizeof kFooterMagic);
+    footer.crc = crc_;
+    if (std::fwrite(&footer, sizeof footer, 1, file_) != 1)
+        ddsc_fatal("cannot write trace footer to '%s'", path_.c_str());
     if (std::fseek(file_, offsetof(FileHeader, count), SEEK_SET) != 0)
-        ddsc_fatal("cannot seek to trace header");
+        ddsc_fatal("cannot seek to trace header of '%s'", path_.c_str());
     if (std::fwrite(&count_, sizeof count_, 1, file_) != 1)
-        ddsc_fatal("cannot finalize trace header");
+        ddsc_fatal("cannot finalize trace header of '%s'", path_.c_str());
     std::fclose(file_);
     file_ = nullptr;
 }
 
-TraceFileSource::TraceFileSource(const std::string &path)
+TraceFileSource::TraceFileSource(const std::string &path) : path_(path)
 {
     file_ = std::fopen(path.c_str(), "rb");
     if (!file_)
         ddsc_fatal("cannot open trace file '%s'", path.c_str());
     FileHeader hdr = {};
     if (std::fread(&hdr, sizeof hdr, 1, file_) != 1)
-        ddsc_fatal("cannot read trace header from '%s'", path.c_str());
+        ddsc_fatal("'%s' is too small for a trace header (%llu bytes "
+                   "needed)", path.c_str(),
+                   static_cast<unsigned long long>(sizeof hdr));
     if (std::memcmp(hdr.magic, kMagic, sizeof kMagic) != 0)
         ddsc_fatal("'%s' is not a ddsc trace file", path.c_str());
-    if (hdr.version != kVersion)
-        ddsc_fatal("trace file version %u unsupported", hdr.version);
+    if (hdr.version != kVersion && hdr.version != kLegacyVersion) {
+        ddsc_fatal("trace file '%s' has version %u but this reader "
+                   "knows only v%u and v%u; rebuild the trace with "
+                   "ddsc-asm", path.c_str(), hdr.version,
+                   kLegacyVersion, kVersion);
+    }
     count_ = hdr.count;
+    version_ = hdr.version;
+
+    // Cross-check the count field against the actual file size before
+    // serving a single record, so a torn or truncated file fails here
+    // with a byte-accurate diagnosis instead of mid-simulation.
+    const std::uint64_t size = fileSize(file_, path);
+    const std::uint64_t footer_bytes =
+        version_ == kVersion ? sizeof(FileFooter) : 0;
+    const std::uint64_t expected = recordOffset(count_) + footer_bytes;
+    if (size < expected) {
+        const std::uint64_t record_bytes =
+            size < sizeof(FileHeader) ? 0 : size - sizeof(FileHeader);
+        ddsc_fatal("trace file '%s' truncated: header promises %llu "
+                   "records (%llu bytes) but the file ends at byte "
+                   "offset %llu, inside record %llu",
+                   path.c_str(),
+                   static_cast<unsigned long long>(count_),
+                   static_cast<unsigned long long>(expected),
+                   static_cast<unsigned long long>(size),
+                   static_cast<unsigned long long>(
+                       record_bytes / sizeof(DiskRecord)));
+    }
+    if (size > expected) {
+        ddsc_fatal("trace file '%s' has %llu bytes of trailing garbage "
+                   "after record %llu (byte offset %llu); the count "
+                   "field and file size disagree",
+                   path.c_str(),
+                   static_cast<unsigned long long>(size - expected),
+                   static_cast<unsigned long long>(count_),
+                   static_cast<unsigned long long>(expected));
+    }
+
+    if (version_ == kVersion) {
+        // Verify the footer CRC over every record byte up front; the
+        // one extra streaming pass is what makes a bit flip a loud
+        // open-time failure instead of silently skewed results.
+        std::uint32_t crc = 0;
+        DiskRecord d;
+        for (std::uint64_t i = 0; i < count_; ++i) {
+            if (std::fread(&d, sizeof d, 1, file_) != 1)
+                ddsc_fatal("trace file '%s': short read at byte offset "
+                           "%llu while checksumming record %llu of %llu",
+                           path.c_str(),
+                           static_cast<unsigned long long>(
+                               recordOffset(i)),
+                           static_cast<unsigned long long>(i),
+                           static_cast<unsigned long long>(count_));
+            crc = support::wire::crc32(&d, sizeof d, crc);
+        }
+        FileFooter footer = {};
+        if (std::fread(&footer, sizeof footer, 1, file_) != 1)
+            ddsc_fatal("trace file '%s': cannot read footer",
+                       path.c_str());
+        if (std::memcmp(footer.magic, kFooterMagic,
+                        sizeof kFooterMagic) != 0)
+            ddsc_fatal("trace file '%s': footer magic missing at byte "
+                       "offset %llu; the file was not finalized",
+                       path.c_str(),
+                       static_cast<unsigned long long>(
+                           recordOffset(count_)));
+        if (footer.crc != crc)
+            ddsc_fatal("trace file '%s' is corrupt: footer CRC32 "
+                       "0x%08x but records checksum to 0x%08x",
+                       path.c_str(), footer.crc, crc);
+    }
+    reset();
 }
 
 TraceFileSource::~TraceFileSource()
@@ -157,10 +286,18 @@ TraceFileSource::next(TraceRecord &rec)
     if (read_ >= count_)
         return false;
     DiskRecord d;
-    if (std::fread(&d, sizeof d, 1, file_) != 1)
-        ddsc_fatal("trace file truncated (read %llu of %llu records)",
+    // Injection point for fread() returning short (I/O error, file
+    // shrunk underneath us after the open-time validation).
+    const bool injected = support::faultShouldFire("trace-short-read");
+    if (injected || std::fread(&d, sizeof d, 1, file_) != 1) {
+        ddsc_fatal("trace file '%s': short read at byte offset %llu "
+                   "(record %llu of %llu)%s",
+                   path_.c_str(),
+                   static_cast<unsigned long long>(recordOffset(read_)),
                    static_cast<unsigned long long>(read_),
-                   static_cast<unsigned long long>(count_));
+                   static_cast<unsigned long long>(count_),
+                   injected ? " [injected fault]" : "");
+    }
     rec = unpack(d);
     ++read_;
     return true;
@@ -170,7 +307,7 @@ void
 TraceFileSource::reset()
 {
     if (std::fseek(file_, sizeof(FileHeader), SEEK_SET) != 0)
-        ddsc_fatal("cannot rewind trace file");
+        ddsc_fatal("cannot rewind trace file '%s'", path_.c_str());
     read_ = 0;
 }
 

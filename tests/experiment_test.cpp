@@ -9,9 +9,13 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <filesystem>
 #include <limits>
+#include <string>
 
 #include "sim/experiment.hh"
+#include "sim/result_store.hh"
+#include "support/fault.hh"
 
 namespace ddsc
 {
@@ -458,6 +462,152 @@ TEST(PaperFindings, MostCollapseDistancesAreShort)
         ExperimentDriver::everything(), 'D', 32);
     EXPECT_GT(merged.distances().cumulativeAt(7), 0.60);
 }
+
+// --- durability: result store + fault containment ---------------------
+
+/** Canonical byte encoding of @p s, minus the trailing wallNanos
+ *  field (encoded last; it is the one field allowed to differ between
+ *  bit-identical runs). */
+std::string
+encodedSansWall(const SchedStats &s)
+{
+    std::string out;
+    encodeSchedStats(out, s);
+    out.resize(out.size() - 8);
+    return out;
+}
+
+/** Full encoding, wallNanos included (store round trips preserve it). */
+std::string
+encoded(const SchedStats &s)
+{
+    std::string out;
+    encodeSchedStats(out, s);
+    return out;
+}
+
+/** Fresh empty directory under the test temp root. */
+std::filesystem::path
+scratchStoreDir(const char *leaf)
+{
+    const std::filesystem::path dir =
+        std::filesystem::path(testing::TempDir()) / leaf;
+    std::filesystem::remove_all(dir);
+    return dir;
+}
+
+TEST(Durability, StoreResumeServesBitIdenticalCells)
+{
+    const auto dir = scratchStoreDir("exp-store-resume");
+    const WorkloadSpec &spec = findWorkload("espresso");
+    const std::vector<ExperimentCell> cells = {{&spec, 'A', 4},
+                                               {&spec, 'C', 8}};
+
+    std::string first_a, first_c;
+    {
+        ExperimentDriver d(4000, /*test_scale=*/true, 2);
+        ResultStore store(dir);
+        d.attachStore(&store);
+        d.prefetch(cells);
+        EXPECT_EQ(d.storeHits(), 0u);
+        EXPECT_EQ(store.size(), 2u);
+        first_a = encoded(d.stats(spec, 'A', 4));
+        first_c = encoded(d.stats(spec, 'C', 8));
+    }
+
+    // A fresh driver over the same traces is served both cells from
+    // disk, bit for bit (wall time included: it is the stored run's).
+    ExperimentDriver d(4000, /*test_scale=*/true, 2);
+    ResultStore store(dir);
+    EXPECT_EQ(store.loadReport().loaded, 2u);
+    EXPECT_EQ(store.loadReport().discarded, 0u);
+    d.attachStore(&store);
+    d.prefetch(cells);
+    EXPECT_EQ(d.storeHits(), 2u);
+    EXPECT_EQ(encoded(d.stats(spec, 'A', 4)), first_a);
+    EXPECT_EQ(encoded(d.stats(spec, 'C', 8)), first_c);
+}
+
+TEST(Durability, StaleStoreEntriesAreResimulated)
+{
+    // Same key, different trace length => different digest: the store
+    // entry must be treated as a miss, not served.
+    const auto dir = scratchStoreDir("exp-store-stale");
+    const WorkloadSpec &spec = findWorkload("espresso");
+    {
+        ExperimentDriver d(2000, /*test_scale=*/true, 1);
+        ResultStore store(dir);
+        d.attachStore(&store);
+        d.prefetch({{&spec, 'A', 4}});
+        EXPECT_EQ(store.size(), 1u);
+    }
+
+    ExperimentDriver d(4000, /*test_scale=*/true, 1);
+    ResultStore store(dir);
+    d.attachStore(&store);
+    d.prefetch({{&spec, 'A', 4}});
+    EXPECT_EQ(d.storeHits(), 0u);
+
+    ExperimentDriver clean(4000, /*test_scale=*/true, 1);
+    EXPECT_EQ(encodedSansWall(d.stats(spec, 'A', 4)),
+              encodedSansWall(clean.stats(spec, 'A', 4)));
+}
+
+#ifndef DDSC_NO_FAULT_INJECTION
+
+/** Disarm the injection framework when the test exits, pass or fail. */
+class ScopedFault
+{
+  public:
+    explicit ScopedFault(const char *spec) { support::faultArm(spec); }
+    ~ScopedFault() { support::faultArm(""); }
+};
+
+TEST(Durability, PoisonedCellIsQuarantinedOthersSurvive)
+{
+    const auto dir = scratchStoreDir("exp-store-quarantine");
+    const WorkloadSpec &spec = findWorkload("espresso");
+    ScopedFault fault("cell-throw:espresso/C/8");
+
+    ExperimentDriver d(4000, /*test_scale=*/true, 2);
+    ResultStore store(dir);
+    d.attachStore(&store);
+    d.prefetch({{&spec, 'A', 4}, {&spec, 'C', 8}, {&spec, 'D', 4}});
+
+    const std::vector<CellFailure> report = d.quarantineReport();
+    ASSERT_EQ(report.size(), 1u);
+    EXPECT_EQ(report[0].key, "espresso/C/8");
+    EXPECT_EQ(report[0].attempts, ExperimentDriver::kCellAttempts);
+    EXPECT_NE(report[0].message.find("injected fault"),
+              std::string::npos);
+    EXPECT_THROW(d.stats(spec, 'C', 8), CellQuarantined);
+    EXPECT_EQ(store.size(), 2u);    // only the survivors persisted
+
+    // Every surviving cell matches a clean serial driver bit for bit.
+    ExperimentDriver clean(4000, /*test_scale=*/true, 1);
+    EXPECT_EQ(encodedSansWall(d.stats(spec, 'A', 4)),
+              encodedSansWall(clean.stats(spec, 'A', 4)));
+    EXPECT_EQ(encodedSansWall(d.stats(spec, 'D', 4)),
+              encodedSansWall(clean.stats(spec, 'D', 4)));
+}
+
+TEST(Durability, TransientFaultRecoversInvisibly)
+{
+    const WorkloadSpec &spec = findWorkload("espresso");
+    ExperimentDriver clean(4000, /*test_scale=*/true, 1);
+    const std::string want =
+        encodedSansWall(clean.stats(spec, 'A', 4));
+
+    // The first attempt at the cell throws; the bounded retry must
+    // absorb it with no quarantine entry and an identical result.
+    ScopedFault fault("cell-throw:1");
+    ExperimentDriver d(4000, /*test_scale=*/true, 1);
+    d.prefetch({{&spec, 'A', 4}});
+    EXPECT_TRUE(d.quarantineReport().empty());
+    EXPECT_EQ(encodedSansWall(d.stats(spec, 'A', 4)), want);
+}
+
+#endif // DDSC_NO_FAULT_INJECTION
 
 } // anonymous namespace
 } // namespace ddsc

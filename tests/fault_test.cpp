@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Unit tests for the deterministic fault-injection framework
+ * (support/fault.hh): spec parsing, nth-hit and tag semantics,
+ * $DDSC_FAULT arming, and thread safety of the hit counter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "support/fault.hh"
+
+namespace ddsc::support
+{
+namespace
+{
+
+#ifndef DDSC_NO_FAULT_INJECTION
+
+/** Disarm before and after every test so cases cannot leak state. */
+class FaultTest : public testing::Test
+{
+  protected:
+    void SetUp() override { faultArm(""); }
+    void TearDown() override { faultArm(""); }
+};
+
+TEST_F(FaultTest, UnarmedNeverFires)
+{
+    for (int i = 0; i < 10; ++i)
+        EXPECT_FALSE(faultShouldFire("cell-throw", "li/D/16"));
+    EXPECT_EQ(faultArmed(), "");
+}
+
+TEST_F(FaultTest, NthHitFiresExactlyOnce)
+{
+    faultArm("cell-throw:3");
+    EXPECT_EQ(faultArmed(), "cell-throw:3");
+    EXPECT_FALSE(faultShouldFire("cell-throw"));    // hit 1
+    EXPECT_FALSE(faultShouldFire("cell-throw"));    // hit 2
+    EXPECT_TRUE(faultShouldFire("cell-throw"));     // hit 3: fires
+    // A transient fault: every later hit succeeds, so a retry works.
+    for (int i = 0; i < 5; ++i)
+        EXPECT_FALSE(faultShouldFire("cell-throw"));
+}
+
+TEST_F(FaultTest, OtherPointsDoNotConsumeHits)
+{
+    faultArm("trace-short-read:2");
+    EXPECT_FALSE(faultShouldFire("trace-short-write"));
+    EXPECT_FALSE(faultShouldFire("cell-throw"));
+    EXPECT_FALSE(faultShouldFire("trace-short-read"));  // hit 1
+    EXPECT_FALSE(faultShouldFire("trace-short-write"));
+    EXPECT_TRUE(faultShouldFire("trace-short-read"));   // hit 2
+}
+
+TEST_F(FaultTest, TagSpecIsPersistent)
+{
+    faultArm("cell-throw:li/D/16");
+    // Fires on every matching hit: a retry keeps failing, which is
+    // what drives a cell into quarantine.
+    EXPECT_TRUE(faultShouldFire("cell-throw", "li/D/16"));
+    EXPECT_TRUE(faultShouldFire("cell-throw", "li/D/16"));
+    EXPECT_FALSE(faultShouldFire("cell-throw", "go/D/16"));
+    EXPECT_FALSE(faultShouldFire("cell-throw", nullptr));
+    EXPECT_TRUE(faultShouldFire("cell-throw", "li/D/16"));
+}
+
+TEST_F(FaultTest, RearmingResetsTheCounter)
+{
+    faultArm("cell-throw:2");
+    EXPECT_FALSE(faultShouldFire("cell-throw"));
+    faultArm("cell-throw:2");
+    EXPECT_FALSE(faultShouldFire("cell-throw"));    // counter restarted
+    EXPECT_TRUE(faultShouldFire("cell-throw"));
+}
+
+TEST_F(FaultTest, MalformedSpecsWarnAndDisarm)
+{
+    for (const char *bad : {"no-colon", "point:", ":5", "point:0", ""}) {
+        faultArm(bad);
+        EXPECT_EQ(faultArmed(), "") << "spec '" << bad << "'";
+        EXPECT_FALSE(faultShouldFire("point"));
+    }
+}
+
+// Note: the $DDSC_FAULT arming path is deliberately first-use-only, so
+// it cannot be exercised from this process once any test has armed or
+// disarmed explicitly.  The CLI smoke tests in tools/CMakeLists.txt
+// (tools_fault_*) cover it end to end through the real environment.
+
+TEST_F(FaultTest, NthCountingIsThreadSafe)
+{
+    // 4 threads hammer one point; exactly one of the 400 hits fires.
+    faultArm("cell-throw:97");
+    std::atomic<int> fired{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([&fired]() {
+            for (int i = 0; i < 100; ++i) {
+                if (faultShouldFire("cell-throw"))
+                    fired.fetch_add(1);
+            }
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    EXPECT_EQ(fired.load(), 1);
+}
+
+#else // DDSC_NO_FAULT_INJECTION
+
+TEST(Fault, CompiledOutHooksAreInert)
+{
+    faultArm("cell-throw:1");
+    EXPECT_FALSE(faultShouldFire("cell-throw"));
+    EXPECT_EQ(faultArmed(), "");
+}
+
+#endif // DDSC_NO_FAULT_INJECTION
+
+} // anonymous namespace
+} // namespace ddsc::support

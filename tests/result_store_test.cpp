@@ -1,0 +1,356 @@
+/**
+ * @file
+ * Unit tests for the persistent result cache (sim/result_store.hh):
+ * SchedStats serialization round-trips, crash recovery at every
+ * possible truncation boundary, torn-write fault injection, staleness
+ * rejection (fingerprint, trace digest, schema), foreign-file safety,
+ * and compaction.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "sim/result_store.hh"
+#include "support/fault.hh"
+#include "support/wire.hh"
+
+namespace ddsc
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+/** A SchedStats with every field populated distinctively. */
+SchedStats
+sampleStats(std::uint64_t salt)
+{
+    SchedStats s;
+    s.instructions = 1000 + salt;
+    s.cycles = 400 + salt;
+    s.condBranches = 90 + salt;
+    s.mispredicts = 7 + salt;
+    s.ctiPredictions = 21 + salt;
+    s.ctiMispredicts = 2 + salt;
+    s.loads = 150 + salt;
+    for (unsigned i = 0; i < kNumLoadClasses; ++i)
+        s.loadClasses[i] = 10 * i + salt;
+    s.eliminatedInstructions = 12 + salt;
+    s.valuePredHits = 31 + salt;
+    s.valuePredWrong = 3 + salt;
+    s.issuedPerCycle.add(0, 40 + salt);
+    s.issuedPerCycle.add(4, 100);
+    s.issuedPerCycle.add(16, 2);
+    CollapseEvent ev;
+    ev.category = CollapseCategory::ThreeOne;
+    ev.groupSize = 2;
+    ev.signature = "add+add";
+    ev.distanceCount = 1;
+    ev.distances[0] = 3 + static_cast<unsigned>(salt % 5);
+    s.collapse.record(ev);
+    for (std::uint64_t i = 0; i < 17 + salt; ++i)
+        s.collapse.noteCollapsedInstruction();
+    s.wallNanos = 123456 + salt;
+    return s;
+}
+
+void
+expectStatsEqual(const SchedStats &a, const SchedStats &b)
+{
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.condBranches, b.condBranches);
+    EXPECT_EQ(a.mispredicts, b.mispredicts);
+    EXPECT_EQ(a.ctiPredictions, b.ctiPredictions);
+    EXPECT_EQ(a.ctiMispredicts, b.ctiMispredicts);
+    EXPECT_EQ(a.loads, b.loads);
+    EXPECT_EQ(a.loadClasses, b.loadClasses);
+    EXPECT_EQ(a.eliminatedInstructions, b.eliminatedInstructions);
+    EXPECT_EQ(a.valuePredHits, b.valuePredHits);
+    EXPECT_EQ(a.valuePredWrong, b.valuePredWrong);
+    EXPECT_EQ(a.issuedPerCycle.raw(), b.issuedPerCycle.raw());
+    EXPECT_EQ(a.issuedPerCycle.samples(), b.issuedPerCycle.samples());
+    EXPECT_EQ(a.collapse.events(), b.collapse.events());
+    EXPECT_EQ(a.collapse.collapsedInstructions(),
+              b.collapse.collapsedInstructions());
+    EXPECT_EQ(a.collapse.distances().raw(),
+              b.collapse.distances().raw());
+    EXPECT_EQ(a.wallNanos, b.wallNanos);
+}
+
+/** Fresh scratch directory for one test. */
+std::string
+scratchDir(const std::string &name)
+{
+    const std::string dir = testing::TempDir() + "/" + name;
+    fs::remove_all(dir);
+    return dir;
+}
+
+TEST(SchedStatsCodec, RoundTripsEveryField)
+{
+    const SchedStats original = sampleStats(5);
+    std::string bytes;
+    encodeSchedStats(bytes, original);
+    support::wire::Reader in(bytes);
+    SchedStats decoded;
+    ASSERT_TRUE(decodeSchedStats(in, decoded));
+    EXPECT_EQ(in.remaining(), 0u);
+    expectStatsEqual(original, decoded);
+}
+
+TEST(SchedStatsCodec, EveryTruncationFailsCleanly)
+{
+    const SchedStats original = sampleStats(9);
+    std::string bytes;
+    encodeSchedStats(bytes, original);
+    for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+        support::wire::Reader in(
+            std::string_view(bytes).substr(0, cut));
+        SchedStats decoded;
+        EXPECT_FALSE(decodeSchedStats(in, decoded))
+            << "cut at byte " << cut;
+    }
+}
+
+TEST(ResultStore, PersistsAcrossReopen)
+{
+    const std::string dir = scratchDir("store_reopen");
+    const SchedStats stats = sampleStats(1);
+    {
+        ResultStore store(dir);
+        EXPECT_EQ(store.loadReport().loaded, 0u);
+        store.append("li/D/16", "fp-d16", 111, stats);
+        store.append("go/A/4", "fp-a4", 222, sampleStats(2));
+        EXPECT_EQ(store.size(), 2u);
+    }
+    ResultStore reopened(dir);
+    EXPECT_EQ(reopened.loadReport().loaded, 2u);
+    EXPECT_EQ(reopened.loadReport().discarded, 0u);
+    const SchedStats *hit = reopened.lookup("li/D/16", "fp-d16", 111);
+    ASSERT_NE(hit, nullptr);
+    expectStatsEqual(stats, *hit);
+}
+
+TEST(ResultStore, LaterAppendSupersedesEarlier)
+{
+    const std::string dir = scratchDir("store_supersede");
+    {
+        ResultStore store(dir);
+        store.append("li/D/16", "fp", 1, sampleStats(1));
+        store.append("li/D/16", "fp", 1, sampleStats(8));
+    }
+    ResultStore reopened(dir);
+    EXPECT_EQ(reopened.loadReport().loaded, 1u);
+    const SchedStats *hit = reopened.lookup("li/D/16", "fp", 1);
+    ASSERT_NE(hit, nullptr);
+    expectStatsEqual(sampleStats(8), *hit);
+}
+
+TEST(ResultStore, StaleFingerprintIsAMiss)
+{
+    const std::string dir = scratchDir("store_stale_fp");
+    ResultStore store(dir);
+    store.append("li/D/16", "fp-old", 1, sampleStats(1));
+    EXPECT_EQ(store.lookup("li/D/16", "fp-new", 1), nullptr);
+    // The stale entry is dropped, not resurrected.
+    EXPECT_EQ(store.lookup("li/D/16", "fp-old", 1), nullptr);
+}
+
+TEST(ResultStore, StaleTraceDigestIsAMiss)
+{
+    const std::string dir = scratchDir("store_stale_digest");
+    ResultStore store(dir);
+    store.append("li/D/16", "fp", 1, sampleStats(1));
+    EXPECT_EQ(store.lookup("li/D/16", "fp", 2), nullptr);
+    EXPECT_EQ(store.lookup("li/D/16", "fp", 1), nullptr);
+}
+
+TEST(ResultStore, SchemaBumpDiscardsLoudly)
+{
+    const std::string dir = scratchDir("store_schema");
+    {
+        ResultStore store(dir);
+        store.append("li/D/16", "fp", 1, sampleStats(1));
+    }
+    // Bump the schema field in place (byte 8, little-endian u32).
+    const std::string path =
+        (fs::path(dir) / "results.ddsc").string();
+    std::fstream file(path,
+                      std::ios::binary | std::ios::in | std::ios::out);
+    file.seekp(8);
+    const char bumped = static_cast<char>(ResultStore::kSchema + 1);
+    file.write(&bumped, 1);
+    file.close();
+
+    ResultStore reopened(dir);
+    EXPECT_TRUE(reopened.loadReport().schemaReset);
+    EXPECT_EQ(reopened.loadReport().loaded, 0u);
+    EXPECT_EQ(reopened.lookup("li/D/16", "fp", 1), nullptr);
+}
+
+TEST(ResultStoreDeathTest, RefusesForeignFile)
+{
+    const std::string dir = scratchDir("store_foreign");
+    fs::create_directories(dir);
+    std::ofstream((fs::path(dir) / "results.ddsc").string())
+        << "precious user data that is not a result store";
+    EXPECT_EXIT({ ResultStore store(dir); },
+                testing::ExitedWithCode(1),
+                "not a ddsc result store; refusing");
+}
+
+TEST(ResultStore, TruncationSweepRecoversIntactPrefix)
+{
+    // The crash-recovery oracle: write n records, then for every byte
+    // boundary inside the *last* record, truncate there and assert
+    // the load recovers all earlier cells and reports exactly one
+    // discarded entry (zero when the cut lands on the record start).
+    const std::string dir = scratchDir("store_sweep");
+    {
+        ResultStore store(dir);
+        store.append("cell/A", "fp", 1, sampleStats(1));
+        store.append("cell/B", "fp", 2, sampleStats(2));
+        store.append("cell/C", "fp", 3, sampleStats(3));
+    }
+    const std::string path =
+        (fs::path(dir) / "results.ddsc").string();
+    std::ifstream in(path, std::ios::binary);
+    const std::string bytes(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+    in.close();
+
+    // Locate the last record's start: records A..C are identical in
+    // size, so it is header + 2/3 of the record bytes.
+    ASSERT_EQ((bytes.size() - 16) % 3, 0u);
+    const std::size_t record_size = (bytes.size() - 16) / 3;
+    const std::size_t last_start = 16 + 2 * record_size;
+
+    for (std::size_t cut = last_start; cut < bytes.size(); ++cut) {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(), static_cast<std::streamsize>(cut));
+        out.close();
+
+        ResultStore store(dir);
+        const StoreLoadReport &report = store.loadReport();
+        EXPECT_EQ(report.loaded, 2u) << "cut at byte " << cut;
+        EXPECT_EQ(report.discarded, cut == last_start ? 0u : 1u)
+            << "cut at byte " << cut;
+        EXPECT_NE(store.lookup("cell/A", "fp", 1), nullptr)
+            << "cut at byte " << cut;
+        EXPECT_NE(store.lookup("cell/B", "fp", 2), nullptr)
+            << "cut at byte " << cut;
+        EXPECT_EQ(store.lookup("cell/C", "fp", 3), nullptr)
+            << "cut at byte " << cut;
+    }
+}
+
+TEST(ResultStore, CorruptPayloadByteDiscardsTail)
+{
+    const std::string dir = scratchDir("store_corrupt");
+    {
+        ResultStore store(dir);
+        store.append("cell/A", "fp", 1, sampleStats(1));
+        store.append("cell/B", "fp", 2, sampleStats(2));
+    }
+    const std::string path =
+        (fs::path(dir) / "results.ddsc").string();
+    std::ifstream in(path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    in.close();
+    const std::size_t record_size = (bytes.size() - 16) / 2;
+    // Flip a byte inside the second record's payload.
+    bytes[16 + record_size + 20] ^= static_cast<char>(0x10);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size()));
+    out.close();
+
+    ResultStore store(dir);
+    EXPECT_EQ(store.loadReport().loaded, 1u);
+    EXPECT_EQ(store.loadReport().discarded, 1u);
+    EXPECT_NE(store.lookup("cell/A", "fp", 1), nullptr);
+    EXPECT_EQ(store.lookup("cell/B", "fp", 2), nullptr);
+}
+
+TEST(ResultStore, AppendAfterTornLoadStartsAtRecordBoundary)
+{
+    const std::string dir = scratchDir("store_heal");
+    {
+        ResultStore store(dir);
+        store.append("cell/A", "fp", 1, sampleStats(1));
+        store.append("cell/B", "fp", 2, sampleStats(2));
+    }
+    const std::string path =
+        (fs::path(dir) / "results.ddsc").string();
+    // Tear the last record.
+    fs::resize_file(path, fs::file_size(path) - 11);
+    {
+        ResultStore store(dir);
+        EXPECT_EQ(store.loadReport().discarded, 1u);
+        store.append("cell/C", "fp", 3, sampleStats(3));
+    }
+    // After healing + appending, everything must reload cleanly.
+    ResultStore reopened(dir);
+    EXPECT_EQ(reopened.loadReport().loaded, 2u);
+    EXPECT_EQ(reopened.loadReport().discarded, 0u);
+    EXPECT_NE(reopened.lookup("cell/A", "fp", 1), nullptr);
+    EXPECT_NE(reopened.lookup("cell/C", "fp", 3), nullptr);
+}
+
+TEST(ResultStore, CompactDropsDeadBytes)
+{
+    const std::string dir = scratchDir("store_compact");
+    ResultStore store(dir);
+    store.append("cell/A", "fp", 1, sampleStats(1));
+    store.append("cell/A", "fp", 1, sampleStats(2));  // superseded
+    store.append("cell/B", "fp", 2, sampleStats(3));
+    const std::string path = store.path();
+    const auto before = fs::file_size(path);
+    store.compact();
+    EXPECT_LT(fs::file_size(path), before);
+    // Still fully usable, in memory and on disk.
+    EXPECT_NE(store.lookup("cell/A", "fp", 1), nullptr);
+    store.append("cell/C", "fp", 3, sampleStats(4));
+    ResultStore reopened(dir);
+    EXPECT_EQ(reopened.loadReport().loaded, 3u);
+    expectStatsEqual(sampleStats(2),
+                     *reopened.lookup("cell/A", "fp", 1));
+}
+
+#ifndef DDSC_NO_FAULT_INJECTION
+TEST(ResultStoreDeathTest, TornWriteFaultLeavesRecoverableFile)
+{
+    // The full checkpoint-torn-write cycle: die mid-append, then
+    // prove the survivor loads every intact cell and reports exactly
+    // one discarded entry.
+    const std::string dir = scratchDir("store_torn_fault");
+    {
+        ResultStore store(dir);
+        store.append("cell/A", "fp", 1, sampleStats(1));
+    }
+    EXPECT_EXIT(
+        {
+            support::faultArm("checkpoint-torn-write:1");
+            ResultStore store(dir);
+            store.append("cell/B", "fp", 2, sampleStats(2));
+        },
+        testing::ExitedWithCode(1),
+        "injected fault: killed while appending 'cell/B'");
+
+    ResultStore survivor(dir);
+    EXPECT_EQ(survivor.loadReport().loaded, 1u);
+    EXPECT_EQ(survivor.loadReport().discarded, 1u);
+    EXPECT_NE(survivor.lookup("cell/A", "fp", 1), nullptr);
+    EXPECT_EQ(survivor.lookup("cell/B", "fp", 2), nullptr);
+}
+#endif // DDSC_NO_FAULT_INJECTION
+
+} // anonymous namespace
+} // namespace ddsc

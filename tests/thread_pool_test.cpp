@@ -13,6 +13,7 @@
 #include <cstdlib>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -187,6 +188,38 @@ TEST(ParallelFor, RethrowsLowestIndexException)
         EXPECT_STREQ(e.what(), "index 9");
     }
     EXPECT_EQ(completed.load(), 62);
+}
+
+TEST(ParallelFor, ConcurrentThrowsSurfaceLowestIndex)
+{
+    // The exception-ordering contract (thread_pool.hh): when several
+    // indices throw, the lowest index's exception is rethrown no
+    // matter which worker threw first.  A spin barrier makes the two
+    // throwers release as close to simultaneously as the scheduler
+    // allows, and the loop gives a wrong implementation (e.g. "first
+    // throw wins") many chances to surface index 5's exception.
+    for (int round = 0; round < 25; ++round) {
+        std::atomic<int> at_barrier{0};
+        std::atomic<int> completed{0};
+        try {
+            parallelFor(8, 2, [&](std::size_t i) {
+                if (i == 3 || i == 5) {
+                    at_barrier.fetch_add(1);
+                    while (at_barrier.load() < 2) {
+                        // spin: both throwers release together
+                    }
+                    throw std::runtime_error("index " +
+                                             std::to_string(i));
+                }
+                completed.fetch_add(1);
+            });
+            FAIL() << "expected an exception";
+        } catch (const std::runtime_error &e) {
+            EXPECT_STREQ(e.what(), "index 3") << "round " << round;
+        }
+        // The contract also promises a full drain before the rethrow.
+        EXPECT_EQ(completed.load(), 6) << "round " << round;
+    }
 }
 
 TEST(ParallelFor, SerialPathPropagatesException)

@@ -1,12 +1,15 @@
 /**
  * @file
- * Unit tests for trace records, sources, file I/O, statistics, and the
- * synthetic generator.
+ * Unit tests for trace records, sources, file I/O (including the v3
+ * CRC footer, v2 legacy compatibility, and corruption diagnostics),
+ * statistics, and the synthetic generator.
  */
 
 #include <cstdio>
+#include <fstream>
 #include <gtest/gtest.h>
 
+#include "support/fault.hh"
 #include "test_helpers.hh"
 #include "trace/record.hh"
 #include "trace/source.hh"
@@ -193,6 +196,207 @@ TEST(TraceFile, RoundTrip)
     ASSERT_TRUE(reader.next(rec));
     EXPECT_EQ(rec.op, Opcode::LDW);
     std::remove(path.c_str());
+}
+
+/** Read a whole file into a byte string. */
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << path;
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+}
+
+/** Overwrite @p path with @p bytes. */
+void
+spew(const std::string &path, const std::string &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size()));
+    ASSERT_TRUE(out.good()) << path;
+}
+
+/** Write a small valid v3 trace file and return its path. */
+std::string
+writeSampleTrace(const std::string &name, std::size_t records = 5)
+{
+    const std::string path = testing::TempDir() + "/" + name;
+    TraceFileWriter writer(path);
+    for (std::size_t i = 0; i < records; ++i) {
+        writer.emit(aluImm(Opcode::ADD, 3, 1,
+                           static_cast<std::int32_t>(i),
+                           0x10000 + 4 * i));
+    }
+    writer.close();
+    return path;
+}
+
+constexpr std::size_t kTrcHeaderBytes = 24;
+constexpr std::size_t kTrcRecordBytes = 40;
+constexpr std::size_t kTrcFooterBytes = 16;
+
+TEST(TraceFile, WriterProducesV3WithFooter)
+{
+    const std::string path = writeSampleTrace("v3_layout.trc", 3);
+    const std::string bytes = slurp(path);
+    EXPECT_EQ(bytes.size(),
+              kTrcHeaderBytes + 3 * kTrcRecordBytes + kTrcFooterBytes);
+    EXPECT_EQ(bytes.substr(0, 8), "DDSCTRC1");
+    EXPECT_EQ(bytes.substr(bytes.size() - kTrcFooterBytes, 8),
+              "DDSCEOF1");
+    TraceFileSource reader(path);
+    EXPECT_EQ(reader.version(), 3u);
+    EXPECT_EQ(reader.count(), 3u);
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, V2LegacyStillReadable)
+{
+    // A v2 file is a v3 file minus the footer, with version = 2 in the
+    // header; old traces on disk must keep loading.
+    const std::string path = writeSampleTrace("v2_compat.trc", 4);
+    std::string bytes = slurp(path);
+    bytes.resize(bytes.size() - kTrcFooterBytes);
+    bytes[8] = 2;   // little-endian version field
+    spew(path, bytes);
+
+    TraceFileSource reader(path);
+    EXPECT_EQ(reader.version(), 2u);
+    EXPECT_EQ(reader.count(), 4u);
+    TraceRecord rec;
+    for (unsigned i = 0; i < 4; ++i) {
+        ASSERT_TRUE(reader.next(rec));
+        EXPECT_EQ(rec.imm, static_cast<std::int32_t>(i));
+    }
+    EXPECT_FALSE(reader.next(rec));
+    std::remove(path.c_str());
+}
+
+TEST(TraceFileDeathTest, UnknownVersionNamesRebuildTool)
+{
+    const std::string path = writeSampleTrace("v9_reject.trc");
+    std::string bytes = slurp(path);
+    bytes[8] = 9;
+    spew(path, bytes);
+    EXPECT_EXIT({ TraceFileSource reader(path); },
+                testing::ExitedWithCode(1),
+                "version 9.*rebuild the trace with ddsc-asm");
+    std::remove(path.c_str());
+}
+
+TEST(TraceFileDeathTest, TruncationNamesByteOffsetAndRecord)
+{
+    // Cut the file mid-record 2: the diagnostic must carry the actual
+    // end offset, the promised byte count, and the record index.
+    const std::string path = writeSampleTrace("trunc_diag.trc", 5);
+    std::string bytes = slurp(path);
+    bytes.resize(kTrcHeaderBytes + 2 * kTrcRecordBytes + 7);
+    spew(path, bytes);
+    EXPECT_EXIT({ TraceFileSource reader(path); },
+                testing::ExitedWithCode(1),
+                "promises 5 records \\(240 bytes\\) but the file ends "
+                "at byte offset 111, inside record 2");
+    std::remove(path.c_str());
+}
+
+TEST(TraceFileDeathTest, CountSmallerThanFileIsRejected)
+{
+    const std::string path = writeSampleTrace("garbage_tail.trc", 2);
+    std::string bytes = slurp(path);
+    bytes += "extra";
+    spew(path, bytes);
+    EXPECT_EXIT({ TraceFileSource reader(path); },
+                testing::ExitedWithCode(1),
+                "trailing garbage");
+    std::remove(path.c_str());
+}
+
+TEST(TraceFileDeathTest, BitFlipFailsFooterCrc)
+{
+    const std::string path = writeSampleTrace("bitflip.trc", 5);
+    std::string bytes = slurp(path);
+    bytes[kTrcHeaderBytes + kTrcRecordBytes + 3] ^=
+        static_cast<char>(0x40);
+    spew(path, bytes);
+    EXPECT_EXIT({ TraceFileSource reader(path); },
+                testing::ExitedWithCode(1), "corrupt.*CRC32");
+    std::remove(path.c_str());
+}
+
+TEST(TraceFileDeathTest, NotATraceFile)
+{
+    const std::string path = testing::TempDir() + "/not_a_trace.trc";
+    spew(path, "this is sixteen+ bytes of not-a-trace-file content");
+    EXPECT_EXIT({ TraceFileSource reader(path); },
+                testing::ExitedWithCode(1), "not a ddsc trace file");
+    std::remove(path.c_str());
+}
+
+#ifndef DDSC_NO_FAULT_INJECTION
+TEST(TraceFileDeathTest, InjectedShortWriteDiagnosesOffset)
+{
+    const std::string path = testing::TempDir() + "/short_write.trc";
+    EXPECT_EXIT(
+        {
+            support::faultArm("trace-short-write:3");
+            TraceFileWriter writer(path);
+            for (unsigned i = 0; i < 5; ++i)
+                writer.emit(alu(Opcode::ADD, 1, 2, 3));
+        },
+        testing::ExitedWithCode(1),
+        "short write.*record 2 \\(byte offset 104\\)");
+    support::faultArm("");
+    std::remove(path.c_str());
+}
+
+TEST(TraceFileDeathTest, InjectedShortReadDiagnosesOffset)
+{
+    const std::string path = writeSampleTrace("short_read.trc", 5);
+    EXPECT_EXIT(
+        {
+            support::faultArm("trace-short-read:4");
+            TraceFileSource reader(path);
+            TraceRecord rec;
+            while (reader.next(rec)) {
+            }
+        },
+        testing::ExitedWithCode(1),
+        "short read at byte offset 144 \\(record 3 of 5\\)");
+    support::faultArm("");
+    std::remove(path.c_str());
+}
+#endif // DDSC_NO_FAULT_INJECTION
+
+TEST(Digest, SensitiveToEveryArchitecturalField)
+{
+    const std::vector<TraceRecord> base = {
+        load(4, 2, 8, 0x40001000, 0x10004),
+        branch(Cond::NE, true, 0x10008),
+    };
+    const std::uint64_t digest = digestRecords(base);
+    EXPECT_EQ(digestRecords(base), digest);    // deterministic
+
+    auto mutated = [&base](auto &&edit) {
+        std::vector<TraceRecord> copy = base;
+        edit(copy);
+        return digestRecords(copy);
+    };
+    EXPECT_NE(mutated([](auto &r) { r[0].pc ^= 4; }), digest);
+    EXPECT_NE(mutated([](auto &r) { r[0].ea ^= 4; }), digest);
+    EXPECT_NE(mutated([](auto &r) { r[0].memValue ^= 1; }), digest);
+    EXPECT_NE(mutated([](auto &r) { r[0].imm += 1; }), digest);
+    EXPECT_NE(mutated([](auto &r) { r[0].rd ^= 1; }), digest);
+    EXPECT_NE(mutated([](auto &r) { r[1].taken = false; }), digest);
+    EXPECT_NE(mutated([](auto &r) { r[1].target ^= 8; }), digest);
+    EXPECT_NE(mutated([](auto &r) { r.pop_back(); }), digest);
+}
+
+TEST(Digest, VectorSourceExposesIt)
+{
+    VectorTraceSource src({alu(Opcode::ADD, 1, 2, 3)});
+    EXPECT_EQ(src.digest(), digestRecords(src.records()));
 }
 
 TEST(TraceStats, InstructionMix)

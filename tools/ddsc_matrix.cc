@@ -5,26 +5,41 @@
  * Usage:
  *   ddsc-matrix [--set all|pc|npc] [--configs ABCDE] [--widths 4,8,16]
  *               [--metric ipc|speedup|collapsed] [--csv] [--jobs N]
+ *               [--cache-dir DIR] [--resume]
  *
  * Examples:
  *   ddsc-matrix --set pc --configs BDE --metric speedup
  *   ddsc-matrix --widths 4,32 --metric collapsed --csv > fig8.csv
  *   ddsc-matrix --jobs $(nproc)        # parallel cell execution
+ *   ddsc-matrix --cache-dir run1       # checkpoint cells as they finish
+ *   ddsc-matrix --cache-dir run1 --resume   # ...and pick up after a kill
  *
  * All requested cells are simulated concurrently on --jobs worker
  * threads (default $DDSC_JOBS or the hardware concurrency) before the
  * table is printed; results are bit-identical to --jobs 1.
  * DDSC_TRACE_LIMIT truncates traces as everywhere else.
+ *
+ * --cache-dir DIR (or $DDSC_CACHE_DIR) persists every finished cell to
+ * DIR/results.ddsc.  Reusing a non-empty cache requires --resume, so a
+ * stale directory is never picked up by accident.  A cell whose
+ * simulation keeps failing is quarantined: the rest of the matrix
+ * completes, the cell prints as "n/a", the failure summary names it on
+ * stderr, and the exit status is 1.
  */
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "sim/experiment.hh"
+#include "sim/result_store.hh"
+#include "support/logging.hh"
 #include "support/table.hh"
 
 namespace
@@ -38,7 +53,8 @@ usage()
     std::fprintf(stderr,
         "usage: ddsc-matrix [--set all|pc|npc] [--configs ABCDE]\n"
         "                   [--widths 4,8,...] "
-        "[--metric ipc|speedup|collapsed] [--csv] [--jobs N]\n");
+        "[--metric ipc|speedup|collapsed] [--csv] [--jobs N]\n"
+        "                   [--cache-dir DIR] [--resume]\n");
     std::exit(2);
 }
 
@@ -75,6 +91,10 @@ main(int argc, char **argv)
     std::string metric = "ipc";
     bool csv = false;
     unsigned jobs = 0;      // 0 = $DDSC_JOBS or hardware concurrency
+    std::string cache_dir;
+    if (const char *env = std::getenv("DDSC_CACHE_DIR"))
+        cache_dir = env;
+    bool resume = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -97,9 +117,19 @@ main(int argc, char **argv)
             jobs = static_cast<unsigned>(std::atoi(value().c_str()));
             if (jobs == 0)
                 usage();
+        } else if (arg == "--cache-dir") {
+            cache_dir = value();
+        } else if (arg == "--resume") {
+            resume = true;
         } else {
             usage();
         }
+    }
+    if (resume && cache_dir.empty()) {
+        std::fprintf(stderr,
+                     "ddsc-matrix: --resume needs --cache-dir "
+                     "(or $DDSC_CACHE_DIR)\n");
+        usage();
     }
     if (set != "all" && set != "pc" && set != "npc")
         usage();
@@ -113,6 +143,31 @@ main(int argc, char **argv)
     ExperimentDriver driver;
     if (jobs != 0)
         driver.setJobs(jobs);
+
+    std::unique_ptr<ResultStore> store;
+    if (!cache_dir.empty()) {
+        const auto file =
+            std::filesystem::path(cache_dir) / "results.ddsc";
+        std::error_code ec;
+        if (!resume && std::filesystem::exists(file, ec)) {
+            ddsc_fatal("cache '%s' already exists; pass --resume to "
+                       "reuse it or remove the directory",
+                       file.string().c_str());
+        }
+        store = std::make_unique<ResultStore>(cache_dir);
+        const StoreLoadReport &report = store->loadReport();
+        if (resume) {
+            std::fprintf(stderr,
+                         "# resuming from %s: %zu cells on disk, "
+                         "%zu discarded%s%s\n",
+                         store->path().c_str(), report.loaded,
+                         report.discarded,
+                         report.note.empty() ? "" : " -- ",
+                         report.note.c_str());
+        }
+        driver.attachStore(store.get());
+    }
+
     const auto workloads = set == "all"
         ? ExperimentDriver::everything()
         : workloadSubset(set == "pc");
@@ -130,12 +185,19 @@ main(int argc, char **argv)
         std::chrono::duration<double>(
             std::chrono::steady_clock::now() - wall_start).count();
 
-    auto cell = [&](char config, unsigned width) {
-        if (metric == "ipc")
-            return driver.hmeanIpc(workloads, config, width);
-        if (metric == "speedup")
-            return driver.hmeanSpeedup(workloads, config, width);
-        return driver.pctCollapsed(workloads, config, width);
+    // A quarantined cell poisons any aggregate that needs it; the rest
+    // of the matrix still prints.  nullopt renders as "n/a".
+    auto cell = [&](char config,
+                    unsigned width) -> std::optional<double> {
+        try {
+            if (metric == "ipc")
+                return driver.hmeanIpc(workloads, config, width);
+            if (metric == "speedup")
+                return driver.hmeanSpeedup(workloads, config, width);
+            return driver.pctCollapsed(workloads, config, width);
+        } catch (const CellQuarantined &) {
+            return std::nullopt;
+        }
     };
 
     if (csv) {
@@ -145,34 +207,60 @@ main(int argc, char **argv)
         std::printf("\n");
         for (const char config : configs) {
             std::printf("%c", config);
-            for (const unsigned w : widths)
-                std::printf(",%.4f", cell(config, w));
+            for (const unsigned w : widths) {
+                const std::optional<double> v = cell(config, w);
+                if (v)
+                    std::printf(",%.4f", *v);
+                else
+                    std::printf(",n/a");
+            }
             std::printf("\n");
         }
-        std::fprintf(stderr,
-                     "# %zu cells, %.2fs of simulation in %.2fs wall "
-                     "(%u jobs)\n",
-                     driver.cachedCells(), driver.cachedCellSeconds(),
-                     wall_seconds, driver.jobs());
-        return 0;
+    } else {
+        TextTable table;
+        std::vector<std::string> header = {"config"};
+        for (const unsigned w : widths)
+            header.push_back("w=" + MachineConfig::widthLabel(w));
+        table.header(std::move(header));
+        for (const char config : configs) {
+            std::vector<std::string> row = {std::string(1, config)};
+            for (const unsigned w : widths) {
+                const std::optional<double> v = cell(config, w);
+                row.push_back(v ? TextTable::num(*v)
+                                : std::string("n/a"));
+            }
+            table.row(std::move(row));
+        }
+        std::printf("%s (%s, %s)\n%s", metric.c_str(), set.c_str(),
+                    "harmonic mean over the set",
+                    table.render().c_str());
     }
 
-    TextTable table;
-    std::vector<std::string> header = {"config"};
-    for (const unsigned w : widths)
-        header.push_back("w=" + MachineConfig::widthLabel(w));
-    table.header(std::move(header));
-    for (const char config : configs) {
-        std::vector<std::string> row = {std::string(1, config)};
-        for (const unsigned w : widths)
-            row.push_back(TextTable::num(cell(config, w)));
-        table.row(std::move(row));
+    std::FILE *status = csv ? stderr : stdout;
+    std::fprintf(status,
+                 "%s%zu cells, %.2fs of simulation in %.2fs wall "
+                 "(%u jobs)\n",
+                 csv ? "# " : "", driver.cachedCells(),
+                 driver.cachedCellSeconds(), wall_seconds,
+                 driver.jobs());
+    if (store) {
+        std::fprintf(status, "%s%zu cells served from %s\n",
+                     csv ? "# " : "", driver.storeHits(),
+                     store->path().c_str());
     }
-    std::printf("%s (%s, %s)\n%s", metric.c_str(), set.c_str(),
-                "harmonic mean over the set", table.render().c_str());
-    std::printf("%zu cells, %.2fs of simulation in %.2fs wall "
-                "(%u jobs)\n",
-                driver.cachedCells(), driver.cachedCellSeconds(),
-                wall_seconds, driver.jobs());
+
+    const std::vector<CellFailure> quarantined =
+        driver.quarantineReport();
+    if (!quarantined.empty()) {
+        std::fprintf(stderr,
+                     "ddsc-matrix: %zu cell%s quarantined:\n",
+                     quarantined.size(),
+                     quarantined.size() == 1 ? "" : "s");
+        for (const CellFailure &f : quarantined) {
+            std::fprintf(stderr, "  %s: %s (after %u attempts)\n",
+                         f.key.c_str(), f.message.c_str(), f.attempts);
+        }
+        return 1;
+    }
     return 0;
 }

@@ -21,18 +21,31 @@
  *   --limit N         simulate at most N instructions
  *   --jobs N          worker threads for multi-config sweeps
  *                     (default $DDSC_JOBS or hardware concurrency)
+ *   --cache-dir DIR   persist each finished config's stats to
+ *                     DIR/results.ddsc (or $DDSC_CACHE_DIR)
+ *   --resume          reuse an existing cache: configs whose stored
+ *                     fingerprint and trace digest still match are
+ *                     served from disk instead of re-simulated
+ *
+ * A config whose simulation keeps throwing is contained: the other
+ * configs of the sweep still run and print, the failure summary names
+ * the bad cell on stderr, and the exit status is 1.
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/scheduler.hh"
 #include "masm/assembler.hh"
+#include "sim/result_store.hh"
+#include "support/fault.hh"
 #include "support/logging.hh"
 #include "support/thread_pool.hh"
 #include "vm/vm.hh"
@@ -50,7 +63,8 @@ usage()
         "usage: ddsc-sim --workload NAME | --asm FILE | --trace FILE\n"
         "                [--scale N] [--config A..E ...] [--width N]\n"
         "                [--elim] [--addrpred twodelta|lastvalue|context]\n"
-        "                [--limit N] [--jobs N]\n");
+        "                [--limit N] [--jobs N] [--cache-dir DIR]\n"
+        "                [--resume]\n");
     std::exit(2);
 }
 
@@ -123,6 +137,10 @@ main(int argc, char **argv)
     AddrPredKind pred_kind = AddrPredKind::TwoDelta;
     std::uint64_t limit = 0;
     unsigned jobs = support::ThreadPool::defaultJobs();
+    std::string cache_dir;
+    if (const char *env = std::getenv("DDSC_CACHE_DIR"))
+        cache_dir = env;
+    bool resume = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -171,6 +189,10 @@ main(int argc, char **argv)
             }
         } else if (arg == "--limit") {
             limit = std::strtoull(value().c_str(), nullptr, 10);
+        } else if (arg == "--cache-dir") {
+            cache_dir = value();
+        } else if (arg == "--resume") {
+            resume = true;
         } else {
             usage();
         }
@@ -180,6 +202,35 @@ main(int argc, char **argv)
         (asm_path.empty() ? 0 : 1) + (trace_path.empty() ? 0 : 1);
     if (sources != 1)
         usage();
+    if (resume && cache_dir.empty()) {
+        std::fprintf(stderr,
+                     "ddsc-sim: --resume needs --cache-dir "
+                     "(or $DDSC_CACHE_DIR)\n");
+        usage();
+    }
+
+    std::unique_ptr<ResultStore> store;
+    if (!cache_dir.empty()) {
+        const auto file =
+            std::filesystem::path(cache_dir) / "results.ddsc";
+        std::error_code ec;
+        if (!resume && std::filesystem::exists(file, ec)) {
+            ddsc_fatal("cache '%s' already exists; pass --resume to "
+                       "reuse it or remove the directory",
+                       file.string().c_str());
+        }
+        store = std::make_unique<ResultStore>(cache_dir);
+        if (resume) {
+            const StoreLoadReport &report = store->loadReport();
+            std::fprintf(stderr,
+                         "# resuming from %s: %zu cells on disk, "
+                         "%zu discarded%s%s\n",
+                         store->path().c_str(), report.loaded,
+                         report.discarded,
+                         report.note.empty() ? "" : " -- ",
+                         report.note.c_str());
+        }
+    }
 
     // Build the trace.
     std::unique_ptr<TraceSource> source;
@@ -214,7 +265,11 @@ main(int argc, char **argv)
         return config;
     };
 
-    if (config_ids.size() == 1) {
+    // Without a cache a single config streams the source directly;
+    // everything else materializes the (possibly --limit-truncated)
+    // trace once so each run gets a private cursor and the cache key
+    // can include the trace digest.
+    if (config_ids.size() == 1 && !store) {
         const MachineConfig config = machineFor(config_ids[0]);
         LimitScheduler scheduler(config);
         SchedStats stats;
@@ -228,10 +283,6 @@ main(int argc, char **argv)
         return 0;
     }
 
-    // Multi-config sweep: materialize the trace once and run every
-    // machine over a private read-only cursor, in parallel.  Results
-    // print in the order the configs were given regardless of which
-    // finished first.
     VectorTraceSource materialized;
     {
         VectorTraceSink sink(materialized);
@@ -242,20 +293,106 @@ main(int argc, char **argv)
             ++taken;
         }
     }
-    std::vector<MachineConfig> configs;
-    std::vector<SchedStats> results(config_ids.size());
-    for (const char c : config_ids)
-        configs.push_back(machineFor(c));
-    support::parallelFor(
-        configs.size(), jobs, [&](std::size_t i) {
-            VectorTraceView view(materialized);
-            LimitScheduler scheduler(configs[i]);
-            results[i] = scheduler.run(view);
-        });
-    for (std::size_t i = 0; i < configs.size(); ++i) {
-        if (i != 0)
+    const std::string label = !workload.empty() ? workload
+        : !asm_path.empty() ? asm_path : trace_path;
+    const std::uint64_t digest = store ? materialized.digest() : 0;
+
+    struct CellRun
+    {
+        MachineConfig config;
+        std::string key;        ///< e.g. "li/D/16"
+        SchedStats stats;
+        bool ok = false;
+        bool fromStore = false;
+        std::string error;
+        unsigned attempts = 0;
+    };
+    std::vector<CellRun> runs;
+    for (const char c : config_ids) {
+        CellRun run;
+        run.config = machineFor(c);
+        run.key = label + "/" + std::string(1, c) + "/" +
+                  std::to_string(width);
+        if (store) {
+            const SchedStats *stored = store->lookup(
+                run.key, run.config.fingerprint(), digest);
+            if (stored) {
+                run.stats = *stored;
+                run.ok = run.fromStore = true;
+            }
+        }
+        runs.push_back(std::move(run));
+    }
+
+    // Run every machine over a private read-only cursor, in parallel.
+    // Results print in the order the configs were given regardless of
+    // which finished first.  A throwing config is retried, then
+    // reported — it never takes the rest of the sweep down.
+    constexpr unsigned kAttempts = 3;
+    support::parallelFor(runs.size(), jobs, [&](std::size_t i) {
+        CellRun &run = runs[i];
+        if (run.fromStore)
+            return;
+        for (unsigned attempt = 1; attempt <= kAttempts; ++attempt) {
+            try {
+                if (support::faultShouldFire("cell-throw",
+                                             run.key.c_str())) {
+                    throw std::runtime_error(
+                        "injected fault: cell-throw at '" + run.key +
+                        "'");
+                }
+                VectorTraceView view(materialized);
+                LimitScheduler scheduler(run.config);
+                run.stats = scheduler.run(view);
+                run.ok = true;
+                return;
+            } catch (const std::exception &e) {
+                run.error = e.what();
+                run.attempts = attempt;
+            } catch (...) {
+                run.error = "unknown exception";
+                run.attempts = attempt;
+            }
+            warn("config %s failed (attempt %u of %u): %s",
+                 run.key.c_str(), attempt, kAttempts,
+                 run.error.c_str());
+        }
+    });
+
+    // Persist serially, in config order, so the cache bytes are
+    // deterministic for a given sweep.
+    if (store) {
+        for (const CellRun &run : runs) {
+            if (run.ok && !run.fromStore) {
+                store->append(run.key, run.config.fingerprint(),
+                              digest, run.stats);
+            }
+        }
+    }
+
+    bool first = true;
+    std::size_t failed = 0;
+    for (const CellRun &run : runs) {
+        if (!run.ok) {
+            ++failed;
+            continue;
+        }
+        if (!first)
             std::printf("\n");
-        printStats(configs[i], results[i]);
+        first = false;
+        printStats(run.config, run.stats);
+    }
+    if (failed > 0) {
+        std::fprintf(stderr, "ddsc-sim: %zu cell%s quarantined:\n",
+                     failed, failed == 1 ? "" : "s");
+        for (const CellRun &run : runs) {
+            if (!run.ok) {
+                std::fprintf(stderr, "  %s: %s (after %u attempts)\n",
+                             run.key.c_str(), run.error.c_str(),
+                             run.attempts);
+            }
+        }
+        return 1;
     }
     return 0;
 }
