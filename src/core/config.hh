@@ -95,6 +95,10 @@ struct MachineConfig
      * is deliberately excluded).  Two configs with equal fingerprints
      * simulate identically; ExperimentDriver uses this to detect
      * result-cache keys that alias distinct machines.
+     *
+     * Adding, removing, or reordering a field changes the layout:
+     * bump support::version::kFingerprintSchema and kFingerprintFields
+     * with it (experiment_test pins the field count).
      */
     std::string
     fingerprint() const

@@ -1,0 +1,106 @@
+#include "client.hh"
+
+namespace ddsc::net
+{
+
+namespace
+{
+
+const char *
+readStatusName(ReadStatus status)
+{
+    switch (status) {
+      case ReadStatus::Ok:      return "ok";
+      case ReadStatus::Eof:     return "server closed the connection";
+      case ReadStatus::Torn:    return "connection died mid-frame";
+      case ReadStatus::Bad:     return "malformed frame from server";
+      case ReadStatus::Timeout: return "timed out waiting for reply";
+    }
+    return "?";
+}
+
+} // anonymous namespace
+
+Client::Client(std::uint16_t port, int timeout_ms)
+    : fd_(connectLocal(port)), timeoutMs_(timeout_ms)
+{
+    if (!fd_.valid())
+        throw TransportError("cannot connect to 127.0.0.1:" +
+                             std::to_string(port) +
+                             " (is ddsc-served running?)");
+    std::string payload;
+    Hello::current().encode(payload);
+    const Frame reply = roundTrip(MsgType::Hello, payload,
+                                  MsgType::HelloOk, timeoutMs_);
+    support::wire::Reader reader(reply.payload);
+    if (!serverVersions_.decode(reader))
+        throw TransportError("malformed HelloOk payload");
+}
+
+MatrixResult
+Client::matrix(const MatrixQuery &query)
+{
+    std::string payload;
+    query.encode(payload);
+    // The server may legitimately take the whole deadline before
+    // replying Deadline; give it that plus slack.  With no deadline
+    // the reply waits as long as the simulation takes.
+    int wait = timeoutMs_;
+    if (query.deadlineMs > 0) {
+        const std::uint64_t budget = query.deadlineMs + 2000;
+        if (wait < 0 || static_cast<std::uint64_t>(wait) < budget)
+            wait = static_cast<int>(budget);
+    }
+    const Frame reply = roundTrip(MsgType::MatrixRequest, payload,
+                                  MsgType::MatrixReply, wait);
+    support::wire::Reader reader(reply.payload);
+    MatrixResult result;
+    if (!result.decode(reader))
+        throw TransportError("malformed MatrixReply payload");
+    return result;
+}
+
+ServerInfo
+Client::info()
+{
+    const Frame reply = roundTrip(MsgType::InfoRequest, {},
+                                  MsgType::InfoReply, timeoutMs_);
+    support::wire::Reader reader(reply.payload);
+    ServerInfo info;
+    if (!info.decode(reader))
+        throw TransportError("malformed InfoReply payload");
+    return info;
+}
+
+void
+Client::ping()
+{
+    roundTrip(MsgType::Ping, {}, MsgType::Pong, timeoutMs_);
+}
+
+Frame
+Client::roundTrip(MsgType request, std::string_view payload,
+                  MsgType expected, int timeout_ms)
+{
+    if (!writeFrame(fd_.get(), request, payload))
+        throw TransportError("send failed: connection is dead");
+    Frame reply;
+    const ReadStatus status =
+        readFrame(fd_.get(), reply, timeout_ms);
+    if (status != ReadStatus::Ok)
+        throw TransportError(readStatusName(status));
+    if (reply.type == MsgType::Error) {
+        ErrorMsg err;
+        support::wire::Reader reader(reply.payload);
+        if (!err.decode(reader))
+            throw TransportError("malformed Error payload");
+        throw ServerError(err.code, err.message);
+    }
+    if (reply.type != expected)
+        throw TransportError("unexpected reply type " +
+                             std::to_string(static_cast<unsigned>(
+                                 reply.type)));
+    return reply;
+}
+
+} // namespace ddsc::net

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Client library for ddsc-served: connect, handshake, and issue the
+ * same queries ddsc-matrix answers locally.
+ *
+ * Errors split into two kinds the caller treats differently:
+ *
+ *  - TransportError: the connection failed, died mid-message, or the
+ *    peer sent garbage.  The server's state is unknown; retrying on a
+ *    fresh connection is reasonable.
+ *  - ServerError: the server answered with a typed protocol error
+ *    (ErrCode) — overloaded, draining, deadline expired, bad request,
+ *    version mismatch.  The message got through; retrying the same
+ *    request unchanged will usually fail the same way (except
+ *    Overloaded/Draining, which are advice to come back later).
+ */
+
+#ifndef DDSC_NET_CLIENT_HH
+#define DDSC_NET_CLIENT_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "net/protocol.hh"
+#include "net/socket.hh"
+#include "sim/matrix_query.hh"
+
+namespace ddsc::net
+{
+
+/** The connection failed or the byte stream broke. */
+class TransportError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** The server replied with a typed Error frame. */
+class ServerError : public std::runtime_error
+{
+  public:
+    ServerError(ErrCode code, const std::string &message)
+        : std::runtime_error(std::string(errCodeName(code)) + ": " +
+                             message),
+          code(code)
+    {}
+
+    const ErrCode code;
+};
+
+/**
+ * One connection to a ddsc-served instance.  Not thread-safe; open
+ * one Client per thread (the server multiplexes sessions, not the
+ * client).
+ */
+class Client
+{
+  public:
+    /**
+     * Connect to 127.0.0.1:@p port and run the version handshake.
+     *
+     * @param timeout_ms bounds every individual reply wait on this
+     *        connection (-1 = wait forever).  A MatrixQuery deadline
+     *        widens the wait for that request — the server is allowed
+     *        the full deadline before answering.
+     * @throws TransportError, ServerError (VersionMismatch).
+     */
+    explicit Client(std::uint16_t port, int timeout_ms = -1);
+
+    /** Run one matrix query on the server.
+     *  @throws TransportError, ServerError. */
+    MatrixResult matrix(const MatrixQuery &query);
+
+    /** Counters snapshot of the running server.
+     *  @throws TransportError, ServerError. */
+    ServerInfo info();
+
+    /** Liveness probe.  @throws TransportError, ServerError. */
+    void ping();
+
+    /** The server's handshake versions. */
+    const Hello &serverVersions() const { return serverVersions_; }
+
+  private:
+    /** Send @p request, read one frame, unwrap Error frames into
+     *  ServerError, and check the reply type. */
+    Frame roundTrip(MsgType request, std::string_view payload,
+                    MsgType expected, int timeout_ms);
+
+    Fd fd_;
+    int timeoutMs_;
+    Hello serverVersions_;
+};
+
+} // namespace ddsc::net
+
+#endif // DDSC_NET_CLIENT_HH

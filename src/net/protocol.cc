@@ -1,0 +1,184 @@
+#include "protocol.hh"
+
+#include "socket.hh"
+#include "support/fault.hh"
+#include "support/version.hh"
+
+namespace ddsc::net
+{
+
+bool
+knownMsgType(std::uint8_t type)
+{
+    return type >= static_cast<std::uint8_t>(MsgType::Hello) &&
+           type <= static_cast<std::uint8_t>(MsgType::Error);
+}
+
+const char *
+errCodeName(ErrCode code)
+{
+    switch (code) {
+      case ErrCode::BadRequest:      return "bad-request";
+      case ErrCode::Overloaded:      return "overloaded";
+      case ErrCode::Deadline:        return "deadline";
+      case ErrCode::VersionMismatch: return "version-mismatch";
+      case ErrCode::Draining:        return "draining";
+      case ErrCode::Internal:        return "internal";
+    }
+    return "?";
+}
+
+Hello
+Hello::current()
+{
+    Hello h;
+    h.protocol = support::version::kProtocol;
+    h.traceFormat = support::version::kTraceFormat;
+    h.storeSchema = support::version::kStoreSchema;
+    h.fingerprintSchema = support::version::kFingerprintSchema;
+    return h;
+}
+
+bool
+Hello::compatible(const Hello &other) const
+{
+    return protocol == other.protocol &&
+           traceFormat == other.traceFormat &&
+           storeSchema == other.storeSchema &&
+           fingerprintSchema == other.fingerprintSchema;
+}
+
+void
+Hello::encode(std::string &out) const
+{
+    using namespace support::wire;
+    putU32(out, protocol);
+    putU32(out, traceFormat);
+    putU32(out, storeSchema);
+    putU32(out, fingerprintSchema);
+}
+
+bool
+Hello::decode(support::wire::Reader &in)
+{
+    protocol = in.u32();
+    traceFormat = in.u32();
+    storeSchema = in.u32();
+    fingerprintSchema = in.u32();
+    return in.ok();
+}
+
+void
+ErrorMsg::encode(std::string &out) const
+{
+    support::wire::putU8(out, static_cast<std::uint8_t>(code));
+    support::wire::putString(out, message);
+}
+
+bool
+ErrorMsg::decode(support::wire::Reader &in)
+{
+    code = static_cast<ErrCode>(in.u8());
+    message = in.str();
+    return in.ok();
+}
+
+void
+ServerInfo::encode(std::string &out) const
+{
+    using namespace support::wire;
+    versions.encode(out);
+    putU32(out, jobs);
+    putU64(out, cachedCells);
+    putU64(out, simulated);
+    putU64(out, storeHits);
+    putU64(out, coalesced);
+    putU64(out, requestsServed);
+    putU64(out, activeSessions);
+    putU8(out, hasStore);
+    putString(out, storePath);
+}
+
+bool
+ServerInfo::decode(support::wire::Reader &in)
+{
+    if (!versions.decode(in))
+        return false;
+    jobs = in.u32();
+    cachedCells = in.u64();
+    simulated = in.u64();
+    storeHits = in.u64();
+    coalesced = in.u64();
+    requestsServed = in.u64();
+    activeSessions = in.u64();
+    hasStore = in.u8();
+    storePath = in.str();
+    return in.ok();
+}
+
+std::string
+encodeFrame(MsgType type, std::string_view payload)
+{
+    using namespace support::wire;
+    std::string frame;
+    frame.reserve(kFrameHeaderSize + payload.size());
+    putU32(frame, kMagic);
+    putU8(frame, static_cast<std::uint8_t>(type));
+    putU32(frame, static_cast<std::uint32_t>(payload.size()));
+    putU32(frame, crc32(payload.data(), payload.size()));
+    frame.append(payload);
+    return frame;
+}
+
+bool
+writeFrame(int fd, MsgType type, std::string_view payload)
+{
+    const std::string frame = encodeFrame(type, payload);
+    if (support::faultShouldFire("net-torn-frame")) {
+        // Die mid-send: the peer gets a prefix and must handle the
+        // torn tail.  Half the frame always cuts inside the header or
+        // payload, never on a frame boundary.
+        sendAll(fd, std::string_view(frame).substr(0, frame.size() / 2));
+        return false;
+    }
+    return sendAll(fd, frame);
+}
+
+ReadStatus
+readFrame(int fd, Frame &out, int timeout_ms)
+{
+    using namespace support::wire;
+    char header[kFrameHeaderSize];
+    const std::size_t got =
+        recvExact(fd, header, sizeof header, timeout_ms);
+    if (got == 0)
+        return ReadStatus::Eof;
+    if (got < sizeof header)
+        return timeout_ms >= 0 ? ReadStatus::Timeout : ReadStatus::Torn;
+
+    Reader reader(std::string_view(header, sizeof header));
+    const std::uint32_t magic = reader.u32();
+    const std::uint8_t type = reader.u8();
+    const std::uint32_t len = reader.u32();
+    const std::uint32_t crc = reader.u32();
+    if (magic != kMagic || !knownMsgType(type) ||
+        len > kMaxFramePayload)
+        return ReadStatus::Bad;
+
+    std::string payload(len, '\0');
+    if (len > 0) {
+        const std::size_t body =
+            recvExact(fd, payload.data(), len, timeout_ms);
+        if (body < len)
+            return timeout_ms >= 0 ? ReadStatus::Timeout
+                                   : ReadStatus::Torn;
+    }
+    if (crc32(payload.data(), payload.size()) != crc)
+        return ReadStatus::Bad;
+
+    out.type = static_cast<MsgType>(type);
+    out.payload = std::move(payload);
+    return ReadStatus::Ok;
+}
+
+} // namespace ddsc::net

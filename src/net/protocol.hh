@@ -1,0 +1,174 @@
+/**
+ * @file
+ * The DDSN wire protocol: length-prefixed, checksummed frames carrying
+ * the serving layer's messages over a byte stream.
+ *
+ * Frame layout (all integers little-endian, per support/wire.hh):
+ *
+ *     offset  size  field
+ *     ------  ----  --------------------------------------------
+ *          0     4  magic "DDSN" (0x4E534444)
+ *          4     1  message type (MsgType)
+ *          5     4  payload length in bytes
+ *          9     4  CRC32 of the payload (IEEE, zlib convention)
+ *         13   len  payload (message-specific, support/wire.hh codec)
+ *
+ * Reading is defensive end to end: a frame with a bad magic, an
+ * unknown type, a length above kMaxFramePayload, or a CRC mismatch is
+ * rejected without allocating the claimed length, and a connection
+ * that dies mid-frame surfaces as Torn rather than blocking forever
+ * or yielding a half-parsed message.  Payload decoding then goes
+ * through wire::Reader, which never throws and never overreads, so a
+ * malicious or corrupted peer can at worst get its connection
+ * dropped.
+ *
+ * Fault points (support/fault.hh):
+ *
+ *     net-torn-frame   writeFrame: emits roughly half the frame and
+ *                      reports failure — the peer observes a torn
+ *                      frame exactly as if the writer died mid-send
+ *     net-disconnect   checked by the server session just before
+ *                      writing a reply; the session closes instead,
+ *                      so the client sees a mid-response hang-up
+ */
+
+#ifndef DDSC_NET_PROTOCOL_HH
+#define DDSC_NET_PROTOCOL_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "support/wire.hh"
+
+namespace ddsc::net
+{
+
+/** "DDSN" read as a little-endian u32. */
+constexpr std::uint32_t kMagic = 0x4E534444u;
+
+/** Frames above this are rejected before allocation.  The full-matrix
+ *  reply is a few KiB; 16 MiB is generous headroom, not a target. */
+constexpr std::uint32_t kMaxFramePayload = 16u << 20;
+
+/** Bytes before the payload: magic + type + length + crc. */
+constexpr std::size_t kFrameHeaderSize = 13;
+
+enum class MsgType : std::uint8_t
+{
+    Hello = 1,          ///< client -> server: version handshake
+    HelloOk = 2,        ///< server -> client: versions accepted
+    MatrixRequest = 3,  ///< client -> server: MatrixQuery
+    MatrixReply = 4,    ///< server -> client: MatrixResult
+    Ping = 5,           ///< client -> server: liveness probe
+    Pong = 6,           ///< server -> client: liveness answer
+    InfoRequest = 7,    ///< client -> server: ask for ServerInfo
+    InfoReply = 8,      ///< server -> client: ServerInfo
+    Error = 9,          ///< server -> client: typed failure
+};
+
+/** True for type bytes this protocol version defines. */
+bool knownMsgType(std::uint8_t type);
+
+enum class ErrCode : std::uint8_t
+{
+    BadRequest = 1,     ///< frame decoded but the query is invalid
+    Overloaded = 2,     ///< session limit reached; retry later
+    Deadline = 3,       ///< the request's deadline expired while
+                        ///< waiting (the cells keep computing)
+    VersionMismatch = 4,///< handshake versions incompatible
+    Draining = 5,       ///< server is shutting down; not accepting
+                        ///< new requests
+    Internal = 6,       ///< unexpected server-side failure
+};
+
+/** Human-readable name for an error code ("?" for unknown bytes). */
+const char *errCodeName(ErrCode code);
+
+/** One decoded frame. */
+struct Frame
+{
+    MsgType type = MsgType::Error;
+    std::string payload;
+};
+
+/** Version handshake, sent by the client and echoed by the server.
+ *  Every field must match for the session to proceed; the versions
+ *  all come from support/version.hh. */
+struct Hello
+{
+    std::uint32_t protocol = 0;
+    std::uint32_t traceFormat = 0;
+    std::uint32_t storeSchema = 0;
+    std::uint32_t fingerprintSchema = 0;
+
+    /** A Hello carrying this build's versions. */
+    static Hello current();
+
+    /** True when @p other can talk to us (exact match on all
+     *  fields). */
+    bool compatible(const Hello &other) const;
+
+    void encode(std::string &out) const;
+    bool decode(support::wire::Reader &in);
+};
+
+/** Error payload. */
+struct ErrorMsg
+{
+    ErrCode code = ErrCode::Internal;
+    std::string message;
+
+    void encode(std::string &out) const;
+    bool decode(support::wire::Reader &in);
+};
+
+/** InfoReply payload: a counters snapshot of the running server. */
+struct ServerInfo
+{
+    Hello versions;
+    std::uint32_t jobs = 0;          ///< simulation worker threads
+    std::uint64_t cachedCells = 0;   ///< cells resident in memory
+    std::uint64_t simulated = 0;     ///< cells computed since start
+    std::uint64_t storeHits = 0;     ///< cells served from the store
+    std::uint64_t coalesced = 0;     ///< cells single-flighted onto
+                                     ///< another request's simulation
+    std::uint64_t requestsServed = 0;
+    std::uint64_t activeSessions = 0;
+    std::uint8_t hasStore = 0;
+    std::string storePath;
+
+    void encode(std::string &out) const;
+    bool decode(support::wire::Reader &in);
+};
+
+/** The full encoded frame for @p type and @p payload. */
+std::string encodeFrame(MsgType type, std::string_view payload);
+
+/**
+ * Encode and send one frame.  False when the connection is dead —
+ * including when the "net-torn-frame" fault point fires, in which
+ * case only a prefix of the frame was sent first (the receiving side
+ * then exercises its Torn path).
+ */
+bool writeFrame(int fd, MsgType type, std::string_view payload);
+
+enum class ReadStatus
+{
+    Ok,       ///< frame delivered
+    Eof,      ///< clean hang-up on a frame boundary
+    Torn,     ///< connection died mid-frame
+    Bad,      ///< magic/type/length/CRC rejected the frame
+    Timeout,  ///< the deadline passed first
+};
+
+/**
+ * Read one frame.  @p timeout_ms bounds the whole read (-1 = block
+ * forever).  On anything but Ok the connection should be dropped;
+ * Bad and Torn frames never hand partial payloads to the caller.
+ */
+ReadStatus readFrame(int fd, Frame &out, int timeout_ms = -1);
+
+} // namespace ddsc::net
+
+#endif // DDSC_NET_PROTOCOL_HH

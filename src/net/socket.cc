@@ -1,0 +1,157 @@
+#include "socket.hh"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace ddsc::net
+{
+
+void
+Fd::reset()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+void
+Fd::shutdownRead() const
+{
+    if (fd_ >= 0)
+        ::shutdown(fd_, SHUT_RD);
+}
+
+void
+Fd::shutdownBoth() const
+{
+    if (fd_ >= 0)
+        ::shutdown(fd_, SHUT_RDWR);
+}
+
+TcpListener
+TcpListener::bindLocal(std::uint16_t port, int backlog)
+{
+    TcpListener listener;
+    Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+    if (!fd.valid())
+        return listener;
+
+    const int one = 1;
+    ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(fd.get(), reinterpret_cast<sockaddr *>(&addr),
+               sizeof addr) != 0)
+        return listener;
+    if (::listen(fd.get(), backlog) != 0)
+        return listener;
+
+    socklen_t len = sizeof addr;
+    if (::getsockname(fd.get(), reinterpret_cast<sockaddr *>(&addr),
+                      &len) != 0)
+        return listener;
+
+    listener.fd_ = std::move(fd);
+    listener.port_ = ntohs(addr.sin_port);
+    return listener;
+}
+
+Fd
+TcpListener::accept() const
+{
+    if (!fd_.valid())
+        return Fd();
+    return Fd(::accept4(fd_.get(), nullptr, nullptr, SOCK_CLOEXEC));
+}
+
+Fd
+connectLocal(std::uint16_t port)
+{
+    Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+    if (!fd.valid())
+        return fd;
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    int rc;
+    do {
+        rc = ::connect(fd.get(), reinterpret_cast<sockaddr *>(&addr),
+                       sizeof addr);
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0)
+        return Fd();
+    const int one = 1;
+    ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    return fd;
+}
+
+bool
+sendAll(int fd, std::string_view data)
+{
+    std::size_t sent = 0;
+    while (sent < data.size()) {
+        const ssize_t n = ::send(fd, data.data() + sent,
+                                 data.size() - sent, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+std::size_t
+recvExact(int fd, void *buf, std::size_t size, int timeout_ms)
+{
+    using Clock = std::chrono::steady_clock;
+    const Clock::time_point deadline =
+        timeout_ms < 0 ? Clock::time_point::max()
+                       : Clock::now() + std::chrono::milliseconds(
+                                            timeout_ms);
+    std::size_t got = 0;
+    while (got < size) {
+        if (timeout_ms >= 0) {
+            const auto left =
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    deadline - Clock::now())
+                    .count();
+            if (left <= 0)
+                return got;
+            pollfd pfd{fd, POLLIN, 0};
+            const int ready =
+                ::poll(&pfd, 1, static_cast<int>(left));
+            if (ready < 0 && errno == EINTR)
+                continue;
+            if (ready <= 0)
+                return got;
+        }
+        const ssize_t n = ::recv(fd, static_cast<char *>(buf) + got,
+                                 size - got, 0);
+        if (n == 0)
+            return got;            // peer hung up
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return got;
+        }
+        got += static_cast<std::size_t>(n);
+    }
+    return got;
+}
+
+} // namespace ddsc::net

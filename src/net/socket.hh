@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Minimal RAII TCP plumbing for the serving layer: an owned file
+ * descriptor, a localhost listener, and exact send/recv loops with
+ * optional deadlines.
+ *
+ * Everything binds and connects on 127.0.0.1 only — ddsc-served is a
+ * local experiment daemon, not an internet service, and keeping the
+ * listener loopback-only means no auth story is needed.  Errors are
+ * reported by return value (an invalid Fd, false); nothing here
+ * throws, so the serving loop can treat every peer failure as "drop
+ * the connection" without exception plumbing.
+ */
+
+#ifndef DDSC_NET_SOCKET_HH
+#define DDSC_NET_SOCKET_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <utility>
+
+namespace ddsc::net
+{
+
+/** Owned file descriptor: closes on destruction, move-only. */
+class Fd
+{
+  public:
+    Fd() = default;
+    explicit Fd(int fd) : fd_(fd) {}
+    ~Fd() { reset(); }
+
+    Fd(const Fd &) = delete;
+    Fd &operator=(const Fd &) = delete;
+    Fd(Fd &&other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+    Fd &
+    operator=(Fd &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            fd_ = other.fd_;
+            other.fd_ = -1;
+        }
+        return *this;
+    }
+
+    bool valid() const { return fd_ >= 0; }
+    int get() const { return fd_; }
+
+    /** Close now (idempotent). */
+    void reset();
+
+    /** Half-close the read side: the peer's next send still lands,
+     *  our next recv sees EOF.  This is how the server drains a
+     *  session — the in-flight request finishes and replies, then the
+     *  request loop reads EOF and exits. */
+    void shutdownRead() const;
+
+    /** Shut down both directions (sends FIN) without closing the
+     *  descriptor.  Lets a session thread hang up on its peer while
+     *  another thread may still hold shutdownRead() on the same fd —
+     *  close() here could race that call onto a recycled descriptor. */
+    void shutdownBoth() const;
+
+  private:
+    int fd_ = -1;
+};
+
+/** Listening socket on 127.0.0.1. */
+class TcpListener
+{
+  public:
+    /** Bind and listen on 127.0.0.1:@p port (0 = kernel-assigned
+     *  ephemeral port; read it back with port()).  Invalid on
+     *  failure. */
+    static TcpListener bindLocal(std::uint16_t port, int backlog);
+
+    bool valid() const { return fd_.valid(); }
+    int fd() const { return fd_.get(); }
+
+    /** The actually-bound port (resolves port 0). */
+    std::uint16_t port() const { return port_; }
+
+    /** Accept one connection (blocking).  Invalid Fd on error or
+     *  EINTR — the caller's poll loop decides what interrupted it. */
+    Fd accept() const;
+
+    /** Stop accepting: close the listening socket. */
+    void close() { fd_.reset(); }
+
+  private:
+    Fd fd_;
+    std::uint16_t port_ = 0;
+};
+
+/** Connect to 127.0.0.1:@p port.  Invalid Fd on failure. */
+Fd connectLocal(std::uint16_t port);
+
+/** Write all of @p data (handles short writes and EINTR; never raises
+ *  SIGPIPE).  False on any error — the connection is then dead. */
+bool sendAll(int fd, std::string_view data);
+
+/**
+ * Read exactly @p size bytes into @p buf.
+ *
+ * @param timeout_ms  -1 = block forever, otherwise the whole read
+ *        must finish within this budget.
+ * @return bytes actually read: @p size on success, less on EOF,
+ *         timeout, or error.  (0 with size > 0 means clean EOF before
+ *         anything arrived — how the request loop detects a hung-up
+ *         or drained peer.)
+ */
+std::size_t recvExact(int fd, void *buf, std::size_t size,
+                      int timeout_ms = -1);
+
+} // namespace ddsc::net
+
+#endif // DDSC_NET_SOCKET_HH

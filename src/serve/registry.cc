@@ -1,0 +1,123 @@
+#include "registry.hh"
+
+#include <chrono>
+
+namespace ddsc::serve
+{
+
+std::string
+CellRegistry::flightKey(const ExperimentCell &cell)
+{
+    // Cell coordinates alone would collide if two drivers with
+    // different machines or traces ever shared a registry; folding in
+    // the fingerprint and trace digest makes the key self-describing.
+    const MachineConfig config =
+        MachineConfig::paper(cell.config, cell.width);
+    return cell.spec->name + "/" + std::string(1, cell.config) + "/" +
+           std::to_string(cell.width) + "|" + config.fingerprint() +
+           "|" + std::to_string(driver_.traceDigest(*cell.spec));
+}
+
+ResolveOutcome
+CellRegistry::resolve(const std::vector<ExperimentCell> &cells,
+                      std::uint64_t deadline_ms)
+{
+    using Clock = std::chrono::steady_clock;
+    const Clock::time_point deadline =
+        Clock::now() + std::chrono::milliseconds(deadline_ms);
+
+    ResolveOutcome out;
+
+    // Keys first, outside the lock: the first flightKey() for a
+    // workload materializes and digests its trace.
+    std::vector<std::string> keys;
+    keys.reserve(cells.size());
+    for (const ExperimentCell &cell : cells)
+        keys.push_back(flightKey(cell));
+
+    // Claim every unresolved cell nobody else is flying.
+    std::vector<ExperimentCell> claimed;
+    std::vector<std::string> claimedKeys;
+    std::vector<std::size_t> waitFor;   // indexes into cells/keys
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        std::set<std::string> mine;
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            const ExperimentCell &cell = cells[i];
+            if (driver_.cellResolved(*cell.spec, cell.config,
+                                     cell.width))
+                continue;
+            if (mine.count(keys[i]))
+                continue;
+            if (inflight_.count(keys[i])) {
+                ++out.coalesced;
+                ++coalescedTotal_;
+                waitFor.push_back(i);
+                continue;
+            }
+            inflight_.insert(keys[i]);
+            mine.insert(keys[i]);
+            claimed.push_back(cell);
+            claimedKeys.push_back(keys[i]);
+        }
+    }
+
+    auto release = [&](const std::vector<std::string> &batch) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (const std::string &key : batch)
+            inflight_.erase(key);
+        cv_.notify_all();
+    };
+
+    if (!claimed.empty()) {
+        try {
+            driver_.prefetch(claimed);
+        } catch (...) {
+            release(claimedKeys);
+            throw;
+        }
+        release(claimedKeys);
+    }
+
+    // Wait for the cells other requests are computing.  An owner that
+    // threw releases its claim with the cell unresolved; the waiter
+    // then adopts the claim and computes the cell itself rather than
+    // waiting forever.
+    for (const std::size_t i : waitFor) {
+        const ExperimentCell &cell = cells[i];
+        std::unique_lock<std::mutex> lock(mutex_);
+        while (!driver_.cellResolved(*cell.spec, cell.config,
+                                     cell.width)) {
+            if (!inflight_.count(keys[i])) {
+                inflight_.insert(keys[i]);
+                lock.unlock();
+                try {
+                    driver_.prefetch({cell});
+                } catch (...) {
+                    release({keys[i]});
+                    throw;
+                }
+                release({keys[i]});
+                lock.lock();
+                continue;
+            }
+            if (deadline_ms == 0) {
+                cv_.wait(lock);
+            } else if (cv_.wait_until(lock, deadline) ==
+                       std::cv_status::timeout) {
+                out.deadlineExpired = true;
+                return out;
+            }
+        }
+    }
+    return out;
+}
+
+std::uint64_t
+CellRegistry::coalescedTotal() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return coalescedTotal_;
+}
+
+} // namespace ddsc::serve

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Single-flight cell registry: when several concurrent requests need
+ * the same not-yet-computed cell, exactly one of them simulates it
+ * and the rest wait for that result.
+ *
+ * The ExperimentDriver is already safe under concurrent prefetch()
+ * calls, but "safe" there means "both callers compute the cell and
+ * the second publish is a no-op" — correct, and exactly the
+ * duplicated work a resident server exists to avoid.  The registry
+ * closes that gap: each request first claims the cells nobody else is
+ * flying (keyed by cell, machine fingerprint, and trace digest, so a
+ * key collision across different machines or traces is impossible),
+ * simulates its claimed batch through the shared driver, and then
+ * waits for the cells other requests claimed.
+ *
+ * Deadlines bound the *wait*, never the computation: a request whose
+ * deadline expires while another request is still simulating its cell
+ * reports expiry and leaves, and the simulation lands in the driver
+ * cache for whoever asks next.  A claimed batch is always driven to
+ * resolution (cache or quarantine) by its owner, so waiters cannot
+ * deadlock on an abandoned claim — the owner releases and notifies
+ * even when the driver throws.
+ */
+
+#ifndef DDSC_SERVE_REGISTRY_HH
+#define DDSC_SERVE_REGISTRY_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+
+namespace ddsc::serve
+{
+
+/** How one resolve() call went. */
+struct ResolveOutcome
+{
+    /** Cells this request did not compute because another in-flight
+     *  request already was — the single-flight savings. */
+    std::size_t coalesced = 0;
+    /** True when the deadline expired before every cell resolved;
+     *  the result must not be aggregated. */
+    bool deadlineExpired = false;
+};
+
+/**
+ * Single-flights cell resolution for one shared ExperimentDriver.
+ * Thread-safe; one instance per server.
+ */
+class CellRegistry
+{
+  public:
+    explicit CellRegistry(ExperimentDriver &driver) : driver_(driver)
+    {}
+
+    /**
+     * Resolve every cell in @p cells (simulate, load from store, or
+     * wait for another request's in-flight simulation), bounded by
+     * @p deadline_ms of waiting (0 = wait forever).
+     */
+    ResolveOutcome resolve(const std::vector<ExperimentCell> &cells,
+                           std::uint64_t deadline_ms);
+
+    /** Total cells coalesced since construction. */
+    std::uint64_t coalescedTotal() const;
+
+  private:
+    /** The in-flight key: cell / fingerprint / trace digest. */
+    std::string flightKey(const ExperimentCell &cell);
+
+    ExperimentDriver &driver_;
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    std::set<std::string> inflight_;
+    std::uint64_t coalescedTotal_ = 0;
+};
+
+} // namespace ddsc::serve
+
+#endif // DDSC_SERVE_REGISTRY_HH

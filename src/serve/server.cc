@@ -1,0 +1,184 @@
+#include "server.hh"
+
+#include <cerrno>
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include "support/shutdown.hh"
+
+namespace ddsc::serve
+{
+
+Server::Server(const ServerOptions &opts)
+    : opts_(opts),
+      driver_(0, opts.testScale, opts.jobs),
+      registry_(driver_)
+{
+    if (!opts_.cacheDir.empty()) {
+        // A daemon restart over its existing store is the normal warm
+        // start — no --resume gate like the one-shot CLI has.
+        store_ = std::make_unique<ResultStore>(opts_.cacheDir);
+        driver_.attachStore(store_.get());
+    }
+    listener_ = net::TcpListener::bindLocal(opts_.port, opts_.backlog);
+    if (::pipe2(stopPipe_, O_NONBLOCK | O_CLOEXEC) != 0) {
+        stopPipe_[0] = -1;
+        stopPipe_[1] = -1;
+    }
+}
+
+Server::~Server()
+{
+    // run() joins every session before returning; a server destroyed
+    // without run() has none.
+    for (std::unique_ptr<Slot> &slot : sessions_) {
+        if (slot->thread.joinable())
+            slot->thread.join();
+    }
+    for (const int fd : stopPipe_) {
+        if (fd >= 0)
+            ::close(fd);
+    }
+}
+
+void
+Server::run()
+{
+    while (!draining_.load()) {
+        reapSessions();
+
+        pollfd fds[3];
+        nfds_t nfds = 0;
+        const std::size_t listenerSlot = nfds;
+        fds[nfds++] = {listener_.fd(), POLLIN, 0};
+        if (stopPipe_[0] >= 0)
+            fds[nfds++] = {stopPipe_[0], POLLIN, 0};
+        const int shutdownFd = support::shutdownFd();
+        if (shutdownFd >= 0)
+            fds[nfds++] = {shutdownFd, POLLIN, 0};
+
+        const int ready = ::poll(fds, nfds, -1);
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;       // signal; loop re-checks the pipes
+            break;
+        }
+
+        bool stopRequested = false;
+        for (nfds_t i = 0; i < nfds; ++i) {
+            if (i != listenerSlot && (fds[i].revents & POLLIN))
+                stopRequested = true;
+        }
+        if (stopRequested || support::shutdownRequested())
+            break;
+
+        if (!(fds[listenerSlot].revents & POLLIN))
+            continue;
+        net::Fd conn = listener_.accept();
+        if (!conn.valid())
+            continue;
+
+        reapSessions();
+        if (liveSessions() >= opts_.maxSessions) {
+            // Shed: answer *something* so the client knows to back
+            // off, instead of letting it stall in a queue.
+            net::ErrorMsg err;
+            err.code = net::ErrCode::Overloaded;
+            err.message =
+                "server at capacity (" +
+                std::to_string(opts_.maxSessions) +
+                " sessions); retry shortly";
+            std::string payload;
+            err.encode(payload);
+            net::writeFrame(conn.get(), net::MsgType::Error, payload);
+            continue;           // conn closes on scope exit
+        }
+
+        auto slot = std::make_unique<Slot>();
+        slot->session = std::make_unique<Session>(
+            *this, std::move(conn), nextSessionId_++);
+        Slot *raw = slot.get();
+        activeSessions_.fetch_add(1);
+        slot->thread = std::thread([this, raw]() {
+            raw->session->run();
+            activeSessions_.fetch_sub(1);
+            raw->done.store(true);
+        });
+        sessions_.push_back(std::move(slot));
+    }
+
+    // Drain: no new connections, let in-flight requests reply, then
+    // make the store durable and tidy.
+    draining_.store(true);
+    listener_.close();
+    for (std::unique_ptr<Slot> &slot : sessions_) {
+        if (!slot->done.load())
+            slot->session->shutdownRead();
+    }
+    for (std::unique_ptr<Slot> &slot : sessions_) {
+        if (slot->thread.joinable())
+            slot->thread.join();
+    }
+    sessions_.clear();
+    if (store_)
+        store_->compact();
+}
+
+void
+Server::stop()
+{
+    if (stopPipe_[1] >= 0) {
+        const char byte = 's';
+        [[maybe_unused]] const ssize_t n =
+            ::write(stopPipe_[1], &byte, 1);
+    } else {
+        draining_.store(true);
+    }
+}
+
+net::ServerInfo
+Server::infoSnapshot() const
+{
+    net::ServerInfo info;
+    info.versions = net::Hello::current();
+    info.jobs = driver_.jobs();
+    info.cachedCells = driver_.cachedCells();
+    info.simulated = driver_.simulatedCells();
+    info.storeHits = driver_.storeHits();
+    info.coalesced = registry_.coalescedTotal();
+    info.requestsServed = requestsServed_.load();
+    info.activeSessions = activeSessions_.load();
+    info.hasStore = store_ ? 1 : 0;
+    if (store_)
+        info.storePath = store_->path();
+    return info;
+}
+
+void
+Server::reapSessions()
+{
+    for (std::size_t i = 0; i < sessions_.size();) {
+        if (sessions_[i]->done.load()) {
+            if (sessions_[i]->thread.joinable())
+                sessions_[i]->thread.join();
+            sessions_.erase(sessions_.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+        } else {
+            ++i;
+        }
+    }
+}
+
+std::size_t
+Server::liveSessions() const
+{
+    std::size_t live = 0;
+    for (const std::unique_ptr<Slot> &slot : sessions_) {
+        if (!slot->done.load())
+            ++live;
+    }
+    return live;
+}
+
+} // namespace ddsc::serve

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * The resident sweep server: keeps one ExperimentDriver (traces,
+ * cell cache, optional persistent store) warm and serves
+ * experiment-matrix queries over localhost TCP.
+ *
+ * Concurrency model: one accept loop (run()'s thread) plus one thread
+ * per live session.  Sessions share the driver through the
+ * single-flight CellRegistry, and the driver farms actual simulation
+ * onto its own worker pool — so K concurrent identical requests cost
+ * one simulation per unique cell, and a repeated request is answered
+ * entirely from memory or the store.
+ *
+ * Overload: at most maxSessions live sessions.  The listener keeps
+ * accepting — each excess connection is *shed* with a typed
+ * Overloaded error and closed, rather than left to stall in the
+ * accept queue wondering whether the server is dead.
+ *
+ * Drain (SIGINT/SIGTERM or stop()): stop accepting, half-close every
+ * session so in-flight requests finish and reply, join the session
+ * threads, then flush/compact the store.  A drained server exits with
+ * every finished cell durable.
+ */
+
+#ifndef DDSC_SERVE_SERVER_HH
+#define DDSC_SERVE_SERVER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/protocol.hh"
+#include "net/socket.hh"
+#include "serve/registry.hh"
+#include "serve/session.hh"
+#include "sim/experiment.hh"
+#include "sim/result_store.hh"
+
+namespace ddsc::serve
+{
+
+struct ServerOptions
+{
+    std::uint16_t port = 0;     ///< 0 = kernel-assigned; see port()
+    unsigned jobs = 0;          ///< driver workers (0 = default policy)
+    std::string cacheDir;       ///< "" = in-memory only; otherwise the
+                                ///< store is (re)opened — a warm start
+                                ///< over an existing store is the
+                                ///< normal daemon restart
+    unsigned maxSessions = 8;   ///< live sessions before shedding
+    int backlog = 16;           ///< listen(2) backlog
+    bool testScale = false;     ///< small workloads (tests only)
+};
+
+class Server
+{
+  public:
+    explicit Server(const ServerOptions &opts);
+    ~Server();
+
+    /** False when the listener failed to bind (port in use). */
+    bool valid() const { return listener_.valid(); }
+
+    /** The bound port (resolves port 0). */
+    std::uint16_t port() const { return listener_.port(); }
+
+    /**
+     * Accept-and-serve until a drain is requested — by stop(), or by
+     * SIGINT/SIGTERM when installShutdownHandler() was called.
+     * Returns after the drain completes: no listener, no sessions,
+     * store flushed.
+     */
+    void run();
+
+    /** Request a drain from another thread (idempotent). */
+    void stop();
+
+    /** True once draining started; late requests get ErrCode::Draining. */
+    bool draining() const { return draining_.load(); }
+
+    /** Counters snapshot for InfoReply. */
+    net::ServerInfo infoSnapshot() const;
+
+    ExperimentDriver &driver() { return driver_; }
+    CellRegistry &registry() { return registry_; }
+
+    void countRequest() { requestsServed_.fetch_add(1); }
+
+  private:
+    struct Slot
+    {
+        std::thread thread;
+        std::unique_ptr<Session> session;
+        std::atomic<bool> done{false};
+    };
+
+    /** Join and drop finished session slots. */
+    void reapSessions();
+
+    /** Live (not-done) session count. */
+    std::size_t liveSessions() const;
+
+    ServerOptions opts_;
+    ExperimentDriver driver_;
+    std::unique_ptr<ResultStore> store_;
+    CellRegistry registry_;
+    net::TcpListener listener_;
+    int stopPipe_[2] = {-1, -1};    ///< self-pipe for stop()
+    std::atomic<bool> draining_{false};
+    std::vector<std::unique_ptr<Slot>> sessions_;   ///< accept thread only
+    std::atomic<std::uint64_t> requestsServed_{0};
+    /** Live session count, readable from session threads (sessions_
+     *  itself belongs to the accept thread). */
+    std::atomic<std::uint64_t> activeSessions_{0};
+    std::uint64_t nextSessionId_ = 1;
+};
+
+} // namespace ddsc::serve
+
+#endif // DDSC_SERVE_SERVER_HH

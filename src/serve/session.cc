@@ -1,0 +1,173 @@
+#include "session.hh"
+
+#include "serve/server.hh"
+#include "sim/matrix_query.hh"
+#include "support/fault.hh"
+
+namespace ddsc::serve
+{
+
+namespace
+{
+
+/** A connection that won't even say Hello within this budget is
+ *  holding a session slot hostage; drop it. */
+constexpr int kHandshakeTimeoutMs = 30000;
+
+} // anonymous namespace
+
+Session::Session(Server &server, net::Fd fd, std::uint64_t id)
+    : server_(server), fd_(std::move(fd)), id_(id)
+{
+}
+
+void
+Session::run()
+{
+    serveLoop();
+    // The Session object (and its fd) outlives this thread: the server
+    // reaps it later, from the accept thread.  Send FIN now so the
+    // peer sees EOF the moment the session ends, not at the reap.
+    fd_.shutdownBoth();
+}
+
+void
+Session::serveLoop()
+{
+    if (!handshake())
+        return;
+    for (;;) {
+        net::Frame frame;
+        const net::ReadStatus status =
+            net::readFrame(fd_.get(), frame, -1);
+        if (status != net::ReadStatus::Ok)
+            return;     // EOF (hang-up or drain), torn, or garbage
+        switch (frame.type) {
+          case net::MsgType::Ping:
+            if (!reply(net::MsgType::Pong, {}))
+                return;
+            break;
+          case net::MsgType::InfoRequest: {
+            std::string payload;
+            server_.infoSnapshot().encode(payload);
+            if (!reply(net::MsgType::InfoReply, payload))
+                return;
+            break;
+          }
+          case net::MsgType::MatrixRequest:
+            if (!handleMatrix(frame))
+                return;
+            break;
+          default:
+            // A client sending server-side verbs is confused; drop it.
+            return;
+        }
+    }
+}
+
+bool
+Session::handshake()
+{
+    net::Frame frame;
+    if (net::readFrame(fd_.get(), frame, kHandshakeTimeoutMs) !=
+            net::ReadStatus::Ok ||
+        frame.type != net::MsgType::Hello)
+        return false;
+    net::Hello theirs;
+    support::wire::Reader reader(frame.payload);
+    if (!theirs.decode(reader)) {
+        sendError(net::ErrCode::BadRequest, "malformed Hello");
+        return false;
+    }
+    const net::Hello ours = net::Hello::current();
+    if (!ours.compatible(theirs)) {
+        sendError(net::ErrCode::VersionMismatch,
+                  "client speaks protocol " +
+                      std::to_string(theirs.protocol) + "/trace v" +
+                      std::to_string(theirs.traceFormat) + "/store v" +
+                      std::to_string(theirs.storeSchema) +
+                      "/fingerprint v" +
+                      std::to_string(theirs.fingerprintSchema) +
+                      "; server has " + std::to_string(ours.protocol) +
+                      "/" + std::to_string(ours.traceFormat) + "/" +
+                      std::to_string(ours.storeSchema) + "/" +
+                      std::to_string(ours.fingerprintSchema));
+        return false;
+    }
+    std::string payload;
+    ours.encode(payload);
+    return reply(net::MsgType::HelloOk, payload);
+}
+
+bool
+Session::handleMatrix(const net::Frame &frame)
+{
+    MatrixQuery query;
+    support::wire::Reader reader(frame.payload);
+    if (!query.decode(reader))
+        return sendError(net::ErrCode::BadRequest,
+                         "malformed MatrixRequest payload");
+    std::string why;
+    if (!query.validate(&why))
+        return sendError(net::ErrCode::BadRequest, why);
+    if (server_.draining())
+        return sendError(net::ErrCode::Draining,
+                         "server is draining; retry elsewhere");
+
+    ResolveOutcome outcome;
+    MatrixResult result;
+    try {
+        result = runMatrixQuery(
+            server_.driver(), query,
+            [&](const std::vector<ExperimentCell> &cells) {
+                outcome = server_.registry().resolve(
+                    cells, query.deadlineMs);
+            });
+    } catch (const std::exception &e) {
+        return sendError(net::ErrCode::Internal, e.what());
+    }
+    if (outcome.deadlineExpired)
+        return sendError(
+            net::ErrCode::Deadline,
+            "deadline of " + std::to_string(query.deadlineMs) +
+                " ms expired before every cell resolved (the cells "
+                "keep computing and will be cached)");
+    if (result.interrupted)
+        return sendError(net::ErrCode::Internal,
+                         "sweep did not resolve every cell");
+    result.summary.coalesced = outcome.coalesced;
+
+    if (support::faultShouldFire("net-disconnect")) {
+        // Mid-response hang-up: the reply is computed but never
+        // written; the client sees the connection die.  shutdown, not
+        // close — the fd must stay valid for a concurrent drain.
+        fd_.shutdownBoth();
+        return false;
+    }
+
+    std::string payload;
+    result.encode(payload);
+    if (!reply(net::MsgType::MatrixReply, payload))
+        return false;
+    server_.countRequest();
+    return true;
+}
+
+bool
+Session::reply(net::MsgType type, std::string_view payload)
+{
+    return net::writeFrame(fd_.get(), type, payload);
+}
+
+bool
+Session::sendError(net::ErrCode code, const std::string &message)
+{
+    net::ErrorMsg err;
+    err.code = code;
+    err.message = message;
+    std::string payload;
+    err.encode(payload);
+    return reply(net::MsgType::Error, payload);
+}
+
+} // namespace ddsc::serve

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * One served connection: version handshake, then a request loop until
+ * the peer hangs up or the server drains.
+ *
+ * A session thread owns its socket outright.  Draining never yanks a
+ * session mid-reply: the server calls shutdownRead(), the request
+ * currently executing finishes and its reply is written, and the next
+ * read returns EOF, ending the loop.  Protocol violations (bad magic,
+ * torn frames, unknown types) end the session by dropping the
+ * connection — never by taking the server down.
+ */
+
+#ifndef DDSC_SERVE_SESSION_HH
+#define DDSC_SERVE_SESSION_HH
+
+#include <cstdint>
+#include <string>
+
+#include "net/protocol.hh"
+#include "net/socket.hh"
+
+namespace ddsc::serve
+{
+
+class Server;
+
+class Session
+{
+  public:
+    Session(Server &server, net::Fd fd, std::uint64_t id);
+
+    /** Handshake + request loop; returns when the connection ends.
+     *  Runs on the session's own thread. */
+    void run();
+
+    /** Drain: let the in-flight request reply, then the request
+     *  loop's next read sees EOF.  Callable from the server thread
+     *  while run() is executing. */
+    void shutdownRead() { fd_.shutdownRead(); }
+
+    std::uint64_t id() const { return id_; }
+
+  private:
+    /** The handshake + request loop; run() hangs up when it returns. */
+    void serveLoop();
+
+    /** Expect Hello, verify versions, answer HelloOk.  False ends the
+     *  session (mismatch already answered with a typed error). */
+    bool handshake();
+
+    /** Decode, resolve, and answer one MatrixRequest.  False when the
+     *  connection died. */
+    bool handleMatrix(const net::Frame &frame);
+
+    bool reply(net::MsgType type, std::string_view payload);
+    bool sendError(net::ErrCode code, const std::string &message);
+
+    Server &server_;
+    net::Fd fd_;
+    const std::uint64_t id_;
+};
+
+} // namespace ddsc::serve
+
+#endif // DDSC_SERVE_SESSION_HH

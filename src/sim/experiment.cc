@@ -2,13 +2,16 @@
 
 #include <cctype>
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <limits>
 #include <set>
+#include <thread>
 #include <utility>
 
 #include "support/fault.hh"
 #include "support/logging.hh"
+#include "support/shutdown.hh"
 #include "support/stats.hh"
 #include "support/thread_pool.hh"
 
@@ -54,11 +57,29 @@ void
 ExperimentDriver::setJobs(unsigned jobs)
 {
     jobs_ = jobs != 0 ? jobs : support::ThreadPool::defaultJobs();
+    std::lock_guard<std::mutex> lock(traceMutex_);
+    pool_.reset();      // next prefetch() rebuilds at the new size
+}
+
+support::ThreadPool &
+ExperimentDriver::pool()
+{
+    std::lock_guard<std::mutex> lock(traceMutex_);
+    if (!pool_)
+        pool_ = std::make_unique<support::ThreadPool>(jobs_);
+    return *pool_;
 }
 
 VectorTraceSource &
 ExperimentDriver::trace(const WorkloadSpec &spec)
 {
+    // Serialized: running the VM to materialize a trace is expensive
+    // but happens once per workload, and holding the lock for the
+    // whole materialization means two concurrent requests for the
+    // same workload cannot both build it.  References stay valid
+    // after unlock (std::map nodes are stable) and the sources are
+    // immutable once built.
+    std::lock_guard<std::mutex> lock(traceMutex_);
     auto it = traces_.find(spec.name);
     if (it != traces_.end())
         return it->second;
@@ -77,10 +98,12 @@ ExperimentDriver::trace(const WorkloadSpec &spec)
 std::uint64_t
 ExperimentDriver::traceDigest(const WorkloadSpec &spec)
 {
+    const VectorTraceSource &src = trace(spec);
+    std::lock_guard<std::mutex> lock(traceMutex_);
     const auto it = digests_.find(spec.name);
     if (it != digests_.end())
         return it->second;
-    const std::uint64_t digest = trace(spec).digest();
+    const std::uint64_t digest = src.digest();
     digests_.emplace(spec.name, digest);
     return digest;
 }
@@ -129,6 +152,12 @@ ExperimentDriver::runCellChecked(const std::string &key,
     if (support::faultShouldFire("cell-throw", key.c_str()))
         throw std::runtime_error("injected fault: cell-throw at '" +
                                  key + "'");
+    if (support::faultShouldFire("cell-stall", key.c_str())) {
+        // Hold the cell in flight for a while: the deadline and
+        // single-flight tests use this to widen the race window
+        // deterministically.
+        std::this_thread::sleep_for(std::chrono::milliseconds(400));
+    }
     return runCell(trace, config);
 }
 
@@ -180,8 +209,11 @@ ExperimentDriver::statsFor(const WorkloadSpec &spec,
             cache_key, config.fingerprint(), traceDigest(spec));
         if (stored) {
             std::lock_guard<std::mutex> lock(mutex_);
-            ++storeHits_;
-            return cache_.emplace(cache_key, *stored).first->second;
+            const auto [it, inserted] =
+                cache_.emplace(cache_key, *stored);
+            if (inserted)
+                ++storeHits_;
+            return it->second;
         }
     }
     SchedStats stats;
@@ -196,6 +228,7 @@ ExperimentDriver::statsFor(const WorkloadSpec &spec,
                        traceDigest(spec), stats);
     }
     std::lock_guard<std::mutex> lock(mutex_);
+    ++simulated_;
     return cache_.emplace(cache_key, std::move(stats)).first->second;
 }
 
@@ -205,6 +238,16 @@ ExperimentDriver::stats(const WorkloadSpec &spec, char config,
 {
     return statsFor(spec, MachineConfig::paper(config, width),
                     cellKey(config, width));
+}
+
+bool
+ExperimentDriver::cellResolved(const WorkloadSpec &spec, char config,
+                               unsigned width) const
+{
+    const std::string key = spec.name + "/" + cellKey(config, width);
+    std::lock_guard<std::mutex> lock(mutex_);
+    return cache_.find(key) != cache_.end() ||
+           quarantine_.find(key) != quarantine_.end();
 }
 
 std::vector<ExperimentCell>
@@ -270,9 +313,13 @@ ExperimentDriver::prefetch(const std::vector<ExperimentCell> &cells)
             const SchedStats *stored =
                 store_->lookup(guarded_key, fingerprint, digest);
             if (stored) {
+                // A concurrent prefetch may have cached this cell
+                // between our cache check and here; only the emplace
+                // that actually lands counts as a hit, so storeHits()
+                // never exceeds the number of unique cells loaded.
                 std::lock_guard<std::mutex> lock(mutex_);
-                ++storeHits_;
-                cache_.emplace(guarded_key, *stored);
+                if (cache_.emplace(guarded_key, *stored).second)
+                    ++storeHits_;
                 continue;
             }
         }
@@ -282,31 +329,47 @@ ExperimentDriver::prefetch(const std::vector<ExperimentCell> &cells)
     if (missing.empty())
         return;
 
-    // Run the missing cells concurrently.  Each task owns a private
-    // trace cursor and scheduler and writes only its own result slot,
-    // so the computation is race-free by construction; the shared
-    // cache is filled afterwards, under the mutex, in enumeration
-    // order (a std::map is insertion-order independent anyway).
-    // attemptCell() contains worker exceptions: a throwing cell is
-    // retried, then quarantined, and never takes the sweep down with
-    // it, so every other slot still holds its bit-exact result.
+    // Run the missing cells concurrently on the shared pool.  Each
+    // task owns a private trace cursor and scheduler and writes only
+    // its own result slot, so the computation is race-free by
+    // construction; the shared cache is filled afterwards, under the
+    // mutex, in enumeration order (a std::map is insertion-order
+    // independent anyway).  attemptCell() contains worker exceptions:
+    // a throwing cell is retried, then quarantined, and never takes
+    // the sweep down with it, so every other slot still holds its
+    // bit-exact result.  Waiting on this batch's own futures (rather
+    // than pool.wait()) is what lets several prefetch() calls share
+    // the workers: each caller blocks only until *its* cells are done.
     std::vector<SchedStats> results(missing.size());
     std::vector<CellFailure> failures(missing.size());
     std::vector<char> succeeded(missing.size(), 0);
-    support::parallelFor(
-        missing.size(),
-        static_cast<unsigned>(
-            std::min<std::size_t>(jobs_, missing.size())),
-        [&](std::size_t i) {
+    std::vector<char> skipped(missing.size(), 0);
+    support::ThreadPool &workers = pool();
+    std::vector<std::future<void>> batch;
+    batch.reserve(missing.size());
+    for (std::size_t i = 0; i < missing.size(); ++i) {
+        batch.push_back(workers.submit([&, i]() {
+            // An interruptible driver (the CLI tools after Ctrl-C)
+            // abandons cells it has not started; whatever already
+            // finished is still published and flushed below.
+            if (interruptible_ && support::shutdownRequested()) {
+                skipped[i] = 1;
+                return;
+            }
             succeeded[i] = attemptCell(missing[i].key,
                                        *missing[i].trace,
                                        missing[i].config, results[i],
                                        failures[i])
                                ? 1 : 0;
-        });
+        }));
+    }
+    for (std::future<void> &done : batch)
+        done.get();
 
     std::lock_guard<std::mutex> lock(mutex_);
     for (std::size_t i = 0; i < missing.size(); ++i) {
+        if (skipped[i])
+            continue;   // neither cached nor quarantined: never ran
         if (!succeeded[i]) {
             quarantine_.emplace(missing[i].key, failures[i]);
             continue;
@@ -318,8 +381,16 @@ ExperimentDriver::prefetch(const std::vector<ExperimentCell> &cells)
             store_->append(missing[i].key, missing[i].fingerprint,
                            missing[i].digest, results[i]);
         }
+        ++simulated_;
         cache_.emplace(missing[i].key, std::move(results[i]));
     }
+}
+
+std::size_t
+ExperimentDriver::simulatedCells() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return simulated_;
 }
 
 std::size_t

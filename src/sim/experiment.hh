@@ -8,9 +8,16 @@
  *
  * The driver is parallel: every (workload, config, width) cell is an
  * independent LimitScheduler run over an immutable cached trace, so
- * prefetch() farms missing cells out to a thread pool (`--jobs` /
- * $DDSC_JOBS, default hardware_concurrency) and the aggregation
- * helpers prefetch their whole cell set before reducing serially.
+ * prefetch() farms missing cells out to one persistent, driver-owned
+ * thread pool (`--jobs` / $DDSC_JOBS, default hardware_concurrency)
+ * and the aggregation helpers prefetch their whole cell set before
+ * reducing serially.  prefetch() may be called from several threads
+ * at once (the ddsc-served sessions do): each call waits only for its
+ * own batch, every batch shares the same workers, and trace
+ * materialization stays serial under its own lock.  Concurrent calls
+ * racing on the *same* missing cell may both simulate it (last write
+ * is a no-op; results are identical) — the serving layer's
+ * CellRegistry exists to single-flight that case.
  * Results are bit-identical to a serial run regardless of job count
  * (tests/parallel_equiv_test.cpp is the oracle): each cell is computed
  * by the same deterministic scheduler over a private trace cursor, and
@@ -40,6 +47,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <string>
@@ -49,6 +57,7 @@
 #include "core/scheduler.hh"
 #include "core/sched_stats.hh"
 #include "sim/result_store.hh"
+#include "support/thread_pool.hh"
 #include "workloads/workloads.hh"
 
 namespace ddsc
@@ -105,8 +114,19 @@ class ExperimentDriver
     /** Worker threads used by prefetch() (>= 1). */
     unsigned jobs() const { return jobs_; }
 
-    /** Change the worker-thread count (0 = default policy). */
+    /** Change the worker-thread count (0 = default policy).  Rebuilds
+     *  the shared pool; safe only between sweeps, not during a
+     *  prefetch(). */
     void setJobs(unsigned jobs);
+
+    /**
+     * Make prefetch() honour support::shutdownRequested(): workers
+     * skip cells they have not started yet, so the call returns
+     * promptly with every *finished* cell published (and flushed to
+     * the attached store).  Off by default — a draining ddsc-served
+     * wants the opposite, to finish its in-flight cells.
+     */
+    void setInterruptible(bool on) { interruptible_ = on; }
 
     /** Times a cell simulation is attempted before quarantine. */
     static constexpr unsigned kCellAttempts = 3;
@@ -123,6 +143,12 @@ class ExperimentDriver
 
     /** Cells served from the attached store instead of simulated. */
     std::size_t storeHits() const;
+
+    /** Cells actually simulated by this driver (cache misses that were
+     *  not store hits).  The serving layer's single-flight tests use
+     *  this as ground truth: K concurrent identical requests must
+     *  raise it by the number of *unique* cells only. */
+    std::size_t simulatedCells() const;
 
     /** Snapshot of the quarantined cells, sorted by key.  Empty means
      *  every requested cell simulated cleanly. */
@@ -145,6 +171,13 @@ class ExperimentDriver
     /** Simulate (cached) one workload under one configuration. */
     const SchedStats &stats(const WorkloadSpec &spec, char config,
                             unsigned width);
+
+    /** True when the cell is already cached or quarantined — i.e. a
+     *  stats() call would not have to simulate.  Lets callers detect
+     *  an interrupted prefetch() without triggering serial
+     *  re-simulation. */
+    bool cellResolved(const WorkloadSpec &spec, char config,
+                      unsigned width) const;
 
     /** As above with an arbitrary MachineConfig (ablation studies).
      *  @param key must uniquely identify the configuration; the driver
@@ -229,9 +262,21 @@ class ExperimentDriver
                      const MachineConfig &config, SchedStats &out,
                      CellFailure &failure) const;
 
+    /** The shared worker pool, created on first use with jobs_
+     *  threads.  Persistent across prefetch() calls so concurrent
+     *  batches (ddsc-served sessions) share one set of workers
+     *  instead of spawning pools per sweep. */
+    support::ThreadPool &pool();
+
     std::uint64_t traceLimit_;
     bool testScale_;
     unsigned jobs_;
+    bool interruptible_ = false;
+    std::unique_ptr<support::ThreadPool> pool_;
+    /** Guards pool_ creation and traces_/digests_ (trace
+     *  materialization runs the VM and is deliberately serial; map
+     *  node stability keeps returned references valid unlocked). */
+    mutable std::mutex traceMutex_;
     std::map<std::string, VectorTraceSource> traces_;
     /** workload name -> memoized digestRecords of its trace. */
     std::map<std::string, std::uint64_t> digests_;
@@ -242,8 +287,10 @@ class ExperimentDriver
     std::map<std::string, CellFailure> quarantine_;
     ResultStore *store_ = nullptr;      ///< optional, not owned
     std::size_t storeHits_ = 0;
-    /** Guards cache_ / fingerprints_ / quarantine_ / storeHits_ during
-     *  parallel prefetch (mutable: const observers lock it too). */
+    std::size_t simulated_ = 0;         ///< cells actually run
+    /** Guards cache_ / fingerprints_ / quarantine_ / storeHits_ /
+     *  simulated_ during parallel prefetch (mutable: const observers
+     *  lock it too). */
     mutable std::mutex mutex_;
 };
 

@@ -39,6 +39,7 @@
 #include <string>
 
 #include "core/sched_stats.hh"
+#include "support/version.hh"
 
 namespace ddsc
 {
@@ -59,8 +60,10 @@ struct StoreLoadReport
 class ResultStore
 {
   public:
-    /** Bump when the record payload layout changes. */
-    static constexpr std::uint32_t kSchema = 1;
+    /** Bump support::version::kStoreSchema when the record payload
+     *  layout changes; this alias keeps old call sites working. */
+    static constexpr std::uint32_t kSchema =
+        support::version::kStoreSchema;
 
     /**
      * Open (creating if needed) the store inside @p dir.  The

@@ -16,6 +16,16 @@
  *   checkpoint-torn-write   ResultStore::append: writes a partial
  *                           record then dies, simulating a mid-write
  *                           kill
+ *   cell-stall              same hook as cell-throw, but sleeps the
+ *                           worker 400 ms instead of throwing — the
+ *                           serving deadline/single-flight tests use
+ *                           it to hold a cell in flight
+ *   net-torn-frame          net::writeFrame: sends only a prefix of
+ *                           the frame and reports failure, as if the
+ *                           writer died mid-send
+ *   net-disconnect          ddsc-served session, before writing a
+ *                           MatrixReply: closes the connection
+ *                           instead (mid-response hang-up)
  *
  * Arming is driven by $DDSC_FAULT or faultArm(), with two spec forms:
  *

@@ -20,6 +20,7 @@
 
 #include "support/fault.hh"
 #include "support/logging.hh"
+#include "support/version.hh"
 #include "support/wire.hh"
 
 namespace ddsc
@@ -31,8 +32,11 @@ namespace
 constexpr char kMagic[8] = {'D', 'D', 'S', 'C', 'T', 'R', 'C', '1'};
 constexpr char kFooterMagic[8] =
     {'D', 'D', 'S', 'C', 'E', 'O', 'F', '1'};
-constexpr std::uint32_t kVersion = 3;       // v3 added the CRC footer
-constexpr std::uint32_t kLegacyVersion = 2; // v2 added memValue
+// The format numbers live in support/version.hh so every tool's
+// --version banner is guaranteed to match what this file writes.
+constexpr std::uint32_t kVersion = support::version::kTraceFormat;
+constexpr std::uint32_t kLegacyVersion =
+    support::version::kTraceLegacyFormat;
 
 struct FileHeader
 {

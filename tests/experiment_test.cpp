@@ -8,14 +8,17 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <filesystem>
 #include <limits>
 #include <string>
+#include <thread>
 
 #include "sim/experiment.hh"
 #include "sim/result_store.hh"
 #include "support/fault.hh"
+#include "support/version.hh"
 
 namespace ddsc
 {
@@ -73,6 +76,19 @@ TEST(Experiment, FingerprintSeparatesMachinesNotNames)
     tweaked = a4;
     tweaked.addrConfidenceThreshold += 1;
     EXPECT_NE(a4.fingerprint(), tweaked.fingerprint());
+}
+
+TEST(Experiment, FingerprintFieldCountMatchesVersionedSchema)
+{
+    // --version and the wire handshake advertise kFingerprintSchema;
+    // the store trusts it to mean "same layout".  Adding or removing a
+    // MachineConfig knob without bumping the schema would let a new
+    // binary silently accept a stale store, so the field count is
+    // pinned here (every field appends exactly one '|').
+    const std::string fp = MachineConfig::paper('A', 4).fingerprint();
+    EXPECT_EQ(static_cast<unsigned>(std::count(fp.begin(), fp.end(),
+                                               '|')),
+              support::version::kFingerprintFields);
 }
 
 TEST(Experiment, StatsForSameKeySameConfigIsACacheHit)
@@ -551,6 +567,37 @@ TEST(Durability, StaleStoreEntriesAreResimulated)
     ExperimentDriver clean(4000, /*test_scale=*/true, 1);
     EXPECT_EQ(encodedSansWall(d.stats(spec, 'A', 4)),
               encodedSansWall(clean.stats(spec, 'A', 4)));
+}
+
+TEST(Durability, ConcurrentIdenticalPrefetchesCountStoreHitsOnce)
+{
+    // Two sessions of a warm ddsc-served asking for the same sweep
+    // race their prefetch() calls into one driver.  Both may find a
+    // missing cell in the store; only the one whose cache insert wins
+    // may count the hit, or --info would overstate store traffic.
+    const auto dir = scratchStoreDir("exp-store-concurrent-hits");
+    const WorkloadSpec &spec = findWorkload("espresso");
+    const std::vector<ExperimentCell> cells = {
+        {&spec, 'A', 4}, {&spec, 'C', 4}, {&spec, 'D', 4},
+        {&spec, 'A', 8}, {&spec, 'C', 8}, {&spec, 'D', 8}};
+    {
+        ExperimentDriver d(4000, /*test_scale=*/true, 2);
+        ResultStore store(dir);
+        d.attachStore(&store);
+        d.prefetch(cells);
+        EXPECT_EQ(store.size(), cells.size());
+    }
+
+    ExperimentDriver d(4000, /*test_scale=*/true, 4);
+    ResultStore store(dir);
+    d.attachStore(&store);
+    std::thread racer([&]() { d.prefetch(cells); });
+    d.prefetch(cells);
+    racer.join();
+
+    EXPECT_EQ(d.storeHits(), cells.size());
+    EXPECT_EQ(d.simulatedCells(), 0u);
+    EXPECT_EQ(d.cachedCells(), cells.size());
 }
 
 #ifndef DDSC_NO_FAULT_INJECTION

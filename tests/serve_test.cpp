@@ -1,0 +1,319 @@
+/**
+ * @file
+ * The serving layer end to end: a real Server on an ephemeral
+ * localhost port, driven through the real Client.
+ *
+ * The two load-bearing guarantees:
+ *
+ *  - Oracle byte-identity: for any query, the bytes the client
+ *    renders equal the bytes a fresh local ddsc-matrix-style run
+ *    renders.  The server adds transport and caching, never content.
+ *  - Single-flight: K concurrent identical requests cost exactly one
+ *    simulation per unique cell, measured at the driver (the layer
+ *    below the registry being tested), not at the registry itself.
+ *
+ * Plus the robustness edges: overload shedding, deadline expiry,
+ * version mismatch, torn frames in both directions, mid-response
+ * disconnect, and drain.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "net/client.hh"
+#include "serve/server.hh"
+#include "sim/matrix_query.hh"
+#include "support/fault.hh"
+
+namespace ddsc
+{
+namespace
+{
+
+/** A running server on an ephemeral port, drained on destruction. */
+class ServerFixture
+{
+  public:
+    explicit ServerFixture(serve::ServerOptions opts = {})
+    {
+        opts.port = 0;              // ephemeral
+        opts.testScale = true;      // small workloads
+        if (opts.jobs == 0)
+            opts.jobs = 2;
+        server_ = std::make_unique<serve::Server>(opts);
+        EXPECT_TRUE(server_->valid());
+        thread_ = std::thread([this]() { server_->run(); });
+    }
+
+    ~ServerFixture()
+    {
+        server_->stop();
+        thread_.join();
+    }
+
+    serve::Server &server() { return *server_; }
+    std::uint16_t port() const { return server_->port(); }
+
+  private:
+    std::unique_ptr<serve::Server> server_;
+    std::thread thread_;
+};
+
+MatrixQuery
+smallQuery()
+{
+    MatrixQuery query;
+    query.set = "pc";
+    query.configs = "AD";
+    query.widths = {4};
+    query.metric = "ipc";
+    return query;
+}
+
+TEST(Serve, OracleByteIdentity)
+{
+    ServerFixture fx;
+    const MatrixQuery query = smallQuery();
+
+    // Ground truth: the same query against a fresh local driver at
+    // the same scale, rendered by the same code path ddsc-matrix uses.
+    ExperimentDriver local(0, /*test_scale=*/true, /*jobs=*/1);
+    const MatrixResult fresh = runMatrixQuery(local, query);
+
+    net::Client client(fx.port());
+    const MatrixResult served = client.matrix(query);
+
+    EXPECT_EQ(served.render(true), fresh.render(true));
+    EXPECT_EQ(served.render(false), fresh.render(false));
+
+    // Second ask: answered from the resident cache, same bytes.
+    const MatrixResult again = client.matrix(query);
+    EXPECT_EQ(again.render(true), fresh.render(true));
+    EXPECT_EQ(again.summary.simulated, 0u);
+
+    // Same identity for the speedup metric (reduces over the cached
+    // config-A cells; nothing new simulates).
+    MatrixQuery speedup = query;
+    speedup.metric = "speedup";
+    const MatrixResult freshSpeedup = runMatrixQuery(local, speedup);
+    const MatrixResult servedSpeedup = client.matrix(speedup);
+    EXPECT_EQ(servedSpeedup.render(true), freshSpeedup.render(true));
+    EXPECT_EQ(servedSpeedup.render(false), freshSpeedup.render(false));
+    EXPECT_EQ(servedSpeedup.summary.simulated, 0u);
+}
+
+TEST(Serve, HandshakeReportsServerVersions)
+{
+    ServerFixture fx;
+    net::Client client(fx.port());
+    const net::Hello ours = net::Hello::current();
+    EXPECT_TRUE(ours.compatible(client.serverVersions()));
+    client.ping();
+}
+
+TEST(Serve, ConcurrentIdenticalRequestsSingleFlight)
+{
+    ServerFixture fx;
+    const MatrixQuery query = smallQuery();
+    const std::size_t unique = query.cells().size();
+
+    constexpr int kClients = 4;
+    std::vector<std::string> rendered(kClients);
+    std::vector<std::thread> threads;
+    std::atomic<int> failures{0};
+    for (int i = 0; i < kClients; ++i) {
+        threads.emplace_back([&, i]() {
+            try {
+                net::Client client(fx.port());
+                rendered[i] = client.matrix(query).render(true);
+            } catch (const std::exception &) {
+                failures.fetch_add(1);
+            }
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+
+    EXPECT_EQ(failures.load(), 0);
+    for (int i = 1; i < kClients; ++i)
+        EXPECT_EQ(rendered[i], rendered[0]) << "client " << i;
+
+    // The ground truth for "exactly one simulation per unique cell"
+    // lives below the registry: the driver counts every cell it
+    // actually ran.
+    EXPECT_EQ(fx.server().driver().simulatedCells(), unique);
+}
+
+TEST(Serve, OverloadShedsWithTypedError)
+{
+    serve::ServerOptions opts;
+    opts.maxSessions = 1;
+    ServerFixture fx(opts);
+
+    // Occupy the only slot (handshake completes => session is live).
+    net::Client holder(fx.port());
+    holder.ping();
+
+    // The next connection must be shed with Overloaded, not stalled.
+    bool overloaded = false;
+    try {
+        net::Client excess(fx.port());
+    } catch (const net::ServerError &e) {
+        overloaded = e.code == net::ErrCode::Overloaded;
+    }
+    EXPECT_TRUE(overloaded);
+}
+
+TEST(Serve, DeadlineBoundsTheWaitNotTheSimulation)
+{
+    ServerFixture fx;
+    MatrixQuery slow = smallQuery();
+    slow.set = "pc";
+    slow.configs = "A";
+
+    // Hold one of the query's cells in flight for 400 ms.
+    support::faultArm("cell-stall:li/A/4");
+
+    std::thread owner([&]() {
+        net::Client client(fx.port());
+        const MatrixResult result = client.matrix(slow);
+        EXPECT_FALSE(result.interrupted);
+    });
+    // Give the owner time to claim the stalled cell, then ask for the
+    // same cells with a deadline far shorter than the stall.
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    MatrixQuery hurried = slow;
+    hurried.deadlineMs = 50;
+    bool expired = false;
+    try {
+        net::Client client(fx.port());
+        client.matrix(hurried);
+    } catch (const net::ServerError &e) {
+        expired = e.code == net::ErrCode::Deadline;
+    }
+    owner.join();
+    support::faultArm("");
+    EXPECT_TRUE(expired);
+
+    // The cells kept computing: the same query with no deadline is
+    // now answered from cache, instantly.
+    net::Client client(fx.port());
+    const MatrixResult cached = client.matrix(slow);
+    EXPECT_EQ(cached.summary.simulated, 0u);
+}
+
+TEST(Serve, VersionMismatchIsATypedError)
+{
+    ServerFixture fx;
+    net::Fd conn = net::connectLocal(fx.port());
+    ASSERT_TRUE(conn.valid());
+
+    net::Hello wrong = net::Hello::current();
+    wrong.traceFormat += 1;
+    std::string payload;
+    wrong.encode(payload);
+    ASSERT_TRUE(net::writeFrame(conn.get(), net::MsgType::Hello,
+                                payload));
+
+    net::Frame reply;
+    ASSERT_EQ(net::readFrame(conn.get(), reply, 5000),
+              net::ReadStatus::Ok);
+    ASSERT_EQ(reply.type, net::MsgType::Error);
+    net::ErrorMsg err;
+    support::wire::Reader reader(reply.payload);
+    ASSERT_TRUE(err.decode(reader));
+    EXPECT_EQ(err.code, net::ErrCode::VersionMismatch);
+}
+
+TEST(Serve, GarbageBytesDropTheSessionNotTheServer)
+{
+    ServerFixture fx;
+    net::Fd conn = net::connectLocal(fx.port());
+    ASSERT_TRUE(conn.valid());
+    ASSERT_TRUE(net::sendAll(conn.get(),
+                             "this is not a DDSN frame at all"));
+    // The server drops us...
+    net::Frame reply;
+    EXPECT_NE(net::readFrame(conn.get(), reply, 5000),
+              net::ReadStatus::Ok);
+    // ...and keeps serving everyone else.
+    net::Client client(fx.port());
+    client.ping();
+}
+
+TEST(Serve, TornRequestFrameDropsSessionServerSurvives)
+{
+    ServerFixture fx;
+    net::Client client(fx.port());
+
+    // Next writeFrame in this process is the client's request: it
+    // sends half and fails, and the server sees a torn frame.
+    support::faultArm("net-torn-frame:1");
+    EXPECT_THROW(client.matrix(smallQuery()), net::TransportError);
+    support::faultArm("");
+
+    net::Client fresh(fx.port());
+    fresh.ping();
+}
+
+TEST(Serve, TornReplyFrameSurfacesAsTransportError)
+{
+    ServerFixture fx;
+    net::Client client(fx.port());
+    // Resolve the cells once so the faulted request is answered
+    // without simulating (keeps hit ordering deterministic).
+    client.matrix(smallQuery());
+
+    // Hit 1 = the client's request write; hit 2 = the server's reply
+    // write, which is the one that tears.
+    support::faultArm("net-torn-frame:2");
+    EXPECT_THROW(client.matrix(smallQuery()), net::TransportError);
+    support::faultArm("");
+}
+
+TEST(Serve, MidResponseDisconnectSurfacesAsTransportError)
+{
+    ServerFixture fx;
+    net::Client client(fx.port());
+
+    support::faultArm("net-disconnect:1");
+    EXPECT_THROW(client.matrix(smallQuery()), net::TransportError);
+    support::faultArm("");
+
+    net::Client fresh(fx.port());
+    fresh.ping();
+}
+
+TEST(Serve, BadRequestIsTypedAndSessionSurvives)
+{
+    ServerFixture fx;
+    net::Client client(fx.port());
+    MatrixQuery bogus = smallQuery();
+    bogus.metric = "frobnication";
+    bool bad = false;
+    try {
+        client.matrix(bogus);
+    } catch (const net::ServerError &e) {
+        bad = e.code == net::ErrCode::BadRequest;
+    }
+    EXPECT_TRUE(bad);
+    client.ping();      // same session still usable
+}
+
+TEST(Serve, DrainRefusesNewConnections)
+{
+    auto fx = std::make_unique<ServerFixture>();
+    const std::uint16_t port = fx->port();
+    net::Client client(port);
+    client.ping();
+    fx.reset();         // stop() + join: full drain
+
+    EXPECT_THROW(net::Client{port}, net::TransportError);
+}
+
+} // anonymous namespace
+} // namespace ddsc

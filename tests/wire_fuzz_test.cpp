@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Fuzz-style pinning of the wire::Reader contract: decoding hostile
+ * bytes never throws, never reads out of bounds, and never succeeds
+ * on a strict prefix of a valid encoding.
+ *
+ * The three codecs that cross trust boundaries (the result store file
+ * and the DDSN wire protocol) are exercised: SchedStats (the full
+ * record), CollapseStats (nested maps with string keys), and
+ * Histogram (length-prefixed bins).  For each one:
+ *
+ *  - every strict prefix of a valid encoding must decode to false;
+ *  - corrupting any length-prefix byte to claim a huge count must
+ *    decode to false without allocating the claimed length;
+ *  - flipping every single byte (any position, any value class) must
+ *    never throw — a flipped payload byte may still decode, but it
+ *    must do so without UB.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "collapse/collapse_stats.hh"
+#include "core/sched_stats.hh"
+#include "sim/result_store.hh"
+#include "support/stats.hh"
+#include "support/wire.hh"
+
+namespace ddsc
+{
+namespace
+{
+
+Histogram
+sampleHistogram()
+{
+    Histogram h;
+    h.add(1, 3);
+    h.add(4, 7);
+    h.add(2048, 1);
+    return h;
+}
+
+CollapseStats
+sampleCollapse()
+{
+    CollapseStats stats;
+    CollapseEvent pair;
+    pair.category = CollapseCategory::ThreeOne;
+    pair.groupSize = 2;
+    pair.signature = "arri-brc";
+    pair.distances = {1, 0};
+    pair.distanceCount = 1;
+    stats.record(pair);
+
+    CollapseEvent triple;
+    triple.category = CollapseCategory::FourOne;
+    triple.groupSize = 3;
+    triple.signature = "arri-arri-brc";
+    triple.distances = {2, 5};
+    triple.distanceCount = 2;
+    stats.record(triple);
+    stats.noteCollapsedInstruction();
+    return stats;
+}
+
+SchedStats
+sampleSchedStats()
+{
+    SchedStats stats;
+    stats.instructions = 123456;
+    stats.cycles = 4321;
+    stats.condBranches = 999;
+    stats.mispredicts = 42;
+    stats.ctiPredictions = 1000;
+    stats.ctiMispredicts = 57;
+    stats.loads = 300;
+    for (unsigned i = 0; i < kNumLoadClasses; ++i)
+        stats.loadClasses[i] = 10 + i;
+    stats.eliminatedInstructions = 17;
+    stats.valuePredHits = 80;
+    stats.valuePredWrong = 20;
+    stats.collapse = sampleCollapse();
+    stats.issuedPerCycle = sampleHistogram();
+    stats.wallNanos = 987654321;
+    return stats;
+}
+
+/** Decode one encoding of type T via @p decode; used generically for
+ *  all three codecs. */
+template <typename Decoder>
+void
+expectEveryPrefixFails(const std::string &encoded, Decoder decode)
+{
+    for (std::size_t len = 0; len < encoded.size(); ++len) {
+        support::wire::Reader reader(
+            std::string_view(encoded).substr(0, len));
+        EXPECT_FALSE(decode(reader)) << "prefix of " << len
+                                     << " of " << encoded.size()
+                                     << " bytes decoded";
+        EXPECT_FALSE(reader.ok()) << "prefix " << len;
+    }
+}
+
+template <typename Decoder>
+void
+expectNoByteFlipThrows(const std::string &encoded, Decoder decode)
+{
+    // Three value classes per position: huge (length-bomb), zero, and
+    // a bit flip.  Each must decode or fail cleanly, never throw or
+    // overread (the Reader is bounds-checked; ASan/TSan CI would
+    // flag an escape).
+    for (std::size_t pos = 0; pos < encoded.size(); ++pos) {
+        for (const unsigned char value :
+             {static_cast<unsigned char>(0xff),
+              static_cast<unsigned char>(0x00),
+              static_cast<unsigned char>(
+                  static_cast<unsigned char>(encoded[pos]) ^ 0x40u)}) {
+            std::string corrupt = encoded;
+            corrupt[pos] = static_cast<char>(value);
+            support::wire::Reader reader(corrupt);
+            EXPECT_NO_THROW((void)decode(reader))
+                << "byte " << pos << " set to "
+                << static_cast<unsigned>(value);
+        }
+    }
+}
+
+TEST(WireFuzz, HistogramPrefixTruncationAlwaysFails)
+{
+    std::string encoded;
+    sampleHistogram().encode(encoded);
+    expectEveryPrefixFails(encoded, [](support::wire::Reader &in) {
+        Histogram h;
+        return h.decode(in);
+    });
+}
+
+TEST(WireFuzz, HistogramCorruptedLengthNeverOverreads)
+{
+    std::string encoded;
+    sampleHistogram().encode(encoded);
+    // The first 8 bytes are the bin count; claim ~2^64 bins.
+    for (std::size_t pos = 0; pos < 8; ++pos) {
+        std::string corrupt = encoded;
+        corrupt[pos] = '\xff';
+        support::wire::Reader reader(corrupt);
+        Histogram h;
+        EXPECT_FALSE(h.decode(reader));
+    }
+    expectNoByteFlipThrows(encoded, [](support::wire::Reader &in) {
+        Histogram h;
+        return h.decode(in);
+    });
+}
+
+TEST(WireFuzz, CollapseStatsPrefixTruncationAlwaysFails)
+{
+    std::string encoded;
+    sampleCollapse().encode(encoded);
+    expectEveryPrefixFails(encoded, [](support::wire::Reader &in) {
+        CollapseStats stats;
+        return stats.decode(in);
+    });
+}
+
+TEST(WireFuzz, CollapseStatsByteCorruptionNeverThrows)
+{
+    std::string encoded;
+    sampleCollapse().encode(encoded);
+    expectNoByteFlipThrows(encoded, [](support::wire::Reader &in) {
+        CollapseStats stats;
+        return stats.decode(in);
+    });
+}
+
+TEST(WireFuzz, SchedStatsPrefixTruncationAlwaysFails)
+{
+    std::string encoded;
+    encodeSchedStats(encoded, sampleSchedStats());
+    expectEveryPrefixFails(encoded, [](support::wire::Reader &in) {
+        SchedStats stats;
+        return decodeSchedStats(in, stats);
+    });
+}
+
+TEST(WireFuzz, SchedStatsByteCorruptionNeverThrows)
+{
+    std::string encoded;
+    encodeSchedStats(encoded, sampleSchedStats());
+    expectNoByteFlipThrows(encoded, [](support::wire::Reader &in) {
+        SchedStats stats;
+        return decodeSchedStats(in, stats);
+    });
+}
+
+TEST(WireFuzz, RoundTripsStillWork)
+{
+    // The fuzzing above is only meaningful if the encodings are valid
+    // in the first place.
+    {
+        std::string encoded;
+        sampleHistogram().encode(encoded);
+        support::wire::Reader reader(encoded);
+        Histogram h;
+        ASSERT_TRUE(h.decode(reader));
+        EXPECT_EQ(h.samples(), sampleHistogram().samples());
+        EXPECT_EQ(reader.remaining(), 0u);
+    }
+    {
+        std::string encoded;
+        sampleCollapse().encode(encoded);
+        support::wire::Reader reader(encoded);
+        CollapseStats stats;
+        ASSERT_TRUE(stats.decode(reader));
+        EXPECT_EQ(stats.events(), sampleCollapse().events());
+        EXPECT_EQ(reader.remaining(), 0u);
+    }
+    {
+        std::string encoded;
+        encodeSchedStats(encoded, sampleSchedStats());
+        support::wire::Reader reader(encoded);
+        SchedStats stats;
+        ASSERT_TRUE(decodeSchedStats(reader, stats));
+        EXPECT_EQ(stats.instructions, sampleSchedStats().instructions);
+        EXPECT_EQ(reader.remaining(), 0u);
+    }
+}
+
+TEST(WireFuzz, ReaderZeroFillsAfterFirstFailure)
+{
+    std::string encoded;
+    support::wire::putU32(encoded, 7);
+    support::wire::Reader reader(encoded);
+    EXPECT_EQ(reader.u32(), 7u);
+    EXPECT_EQ(reader.u64(), 0u);    // past the end: latches false
+    EXPECT_FALSE(reader.ok());
+    EXPECT_EQ(reader.u8(), 0u);     // stays zero forever after
+    EXPECT_EQ(reader.str(), "");
+    EXPECT_FALSE(reader.ok());
+}
+
+} // anonymous namespace
+} // namespace ddsc

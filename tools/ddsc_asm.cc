@@ -22,6 +22,7 @@
 
 #include "masm/assembler.hh"
 #include "support/logging.hh"
+#include "support/version.hh"
 #include "trace/source.hh"
 #include "vm/vm.hh"
 #include "workloads/workloads.hh"
@@ -35,7 +36,8 @@ using namespace ddsc;
 usage()
 {
     std::fprintf(stderr,
-        "usage: ddsc-asm prog.s -o prog.trc [--limit N] [--list]\n");
+        "usage: ddsc-asm prog.s -o prog.trc [--limit N] [--list]\n"
+        "       ddsc-asm --version\n");
     std::exit(2);
 }
 
@@ -60,6 +62,9 @@ main(int argc, char **argv)
             limit = std::strtoull(argv[++i], nullptr, 10);
         } else if (arg == "--list") {
             list = true;
+        } else if (arg == "--version") {
+            support::version::print("ddsc-asm");
+            return 0;
         } else if (!arg.empty() && arg[0] == '-') {
             usage();
         } else if (input.empty()) {

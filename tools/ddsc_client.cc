@@ -1,0 +1,224 @@
+/**
+ * @file
+ * ddsc-client: query a running ddsc-served.
+ *
+ * Usage:
+ *   ddsc-client [--port N | --port-file PATH]
+ *               [--set all|pc|npc] [--configs ABCDE] [--widths 4,8,...]
+ *               [--metric ipc|speedup|collapsed] [--csv]
+ *               [--deadline-ms N] [--info] [--ping] [--version]
+ *
+ * Examples:
+ *   ddsc-client --port 7411 --set pc --metric speedup
+ *   ddsc-client --port-file /tmp/ddsc.port --csv > fig.csv
+ *   ddsc-client --port 7411 --info
+ *
+ * The matrix flags are exactly ddsc-matrix's, and for any query the
+ * stdout bytes are identical to what ddsc-matrix prints for the same
+ * flags — both render through the same code; the server only adds
+ * transport and caching.  Per-request serving counters go to stderr.
+ *
+ * --deadline-ms bounds how long this client waits; an expired request
+ * comes back as a typed deadline error while the server keeps
+ * computing (the next request gets the cached cells).
+ *
+ * Exit status: 0 success; 1 quarantined cells in the answer (matches
+ * ddsc-matrix); 2 usage; 3 transport failure (cannot connect,
+ * connection died, malformed bytes); 4 typed server error (overloaded,
+ * draining, deadline, version mismatch, bad request).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "net/client.hh"
+#include "support/version.hh"
+
+namespace
+{
+
+using namespace ddsc;
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(stderr,
+        "usage: ddsc-client [--port N | --port-file PATH]\n"
+        "                   [--set all|pc|npc] [--configs ABCDE]\n"
+        "                   [--widths 4,8,...] "
+        "[--metric ipc|speedup|collapsed]\n"
+        "                   [--csv] [--deadline-ms N] [--info] "
+        "[--ping] [--version]\n");
+    std::exit(2);
+}
+
+std::vector<unsigned>
+parseWidths(const std::string &spec)
+{
+    std::vector<unsigned> widths;
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+        const std::size_t comma = spec.find(',', pos);
+        const std::string tok = spec.substr(
+            pos, comma == std::string::npos ? std::string::npos
+                                            : comma - pos);
+        const unsigned w = tok == "2k"
+            ? 2048u : static_cast<unsigned>(std::atoi(tok.c_str()));
+        if (w == 0)
+            usage();
+        widths.push_back(w);
+        pos = comma == std::string::npos ? spec.size() : comma + 1;
+    }
+    if (widths.empty())
+        usage();
+    return widths;
+}
+
+std::uint16_t
+readPortFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    if (f == nullptr) {
+        std::fprintf(stderr, "ddsc-client: cannot read port file %s\n",
+                     path.c_str());
+        std::exit(3);
+    }
+    unsigned port = 0;
+    const int n = std::fscanf(f, "%u", &port);
+    std::fclose(f);
+    if (n != 1 || port == 0 || port > 65535) {
+        std::fprintf(stderr, "ddsc-client: malformed port file %s\n",
+                     path.c_str());
+        std::exit(3);
+    }
+    return static_cast<std::uint16_t>(port);
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    MatrixQuery query;
+    bool csv = false;
+    bool info = false;
+    bool ping = false;
+    std::uint16_t port = 7411;
+    std::string port_file;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage();
+            return argv[++i];
+        };
+        if (arg == "--port") {
+            port = static_cast<std::uint16_t>(
+                std::atoi(value().c_str()));
+            if (port == 0)
+                usage();
+        } else if (arg == "--port-file") {
+            port_file = value();
+        } else if (arg == "--set") {
+            query.set = value();
+        } else if (arg == "--configs") {
+            query.configs = value();
+        } else if (arg == "--widths") {
+            query.widths = parseWidths(value());
+        } else if (arg == "--metric") {
+            query.metric = value();
+        } else if (arg == "--csv") {
+            csv = true;
+        } else if (arg == "--deadline-ms") {
+            query.deadlineMs = static_cast<std::uint64_t>(
+                std::atoll(value().c_str()));
+        } else if (arg == "--info") {
+            info = true;
+        } else if (arg == "--ping") {
+            ping = true;
+        } else if (arg == "--version") {
+            ddsc::support::version::print("ddsc-client");
+            return 0;
+        } else {
+            usage();
+        }
+    }
+    if (!port_file.empty())
+        port = readPortFile(port_file);
+    std::string why;
+    if (!info && !ping && !query.validate(&why)) {
+        std::fprintf(stderr, "ddsc-client: %s\n", why.c_str());
+        usage();
+    }
+
+    try {
+        net::Client client(port);
+
+        if (ping) {
+            client.ping();
+            std::printf("pong\n");
+            return 0;
+        }
+        if (info) {
+            const net::ServerInfo si = client.info();
+            std::printf("protocol          : %u\n", si.versions.protocol);
+            std::printf("trace format      : %u\n",
+                        si.versions.traceFormat);
+            std::printf("store schema      : %u\n",
+                        si.versions.storeSchema);
+            std::printf("fingerprint schema: %u\n",
+                        si.versions.fingerprintSchema);
+            std::printf("jobs              : %u\n", si.jobs);
+            std::printf("cached cells      : %llu\n",
+                        static_cast<unsigned long long>(si.cachedCells));
+            std::printf("simulated         : %llu\n",
+                        static_cast<unsigned long long>(si.simulated));
+            std::printf("store hits        : %llu\n",
+                        static_cast<unsigned long long>(si.storeHits));
+            std::printf("coalesced         : %llu\n",
+                        static_cast<unsigned long long>(si.coalesced));
+            std::printf("requests served   : %llu\n",
+                        static_cast<unsigned long long>(
+                            si.requestsServed));
+            std::printf("active sessions   : %llu\n",
+                        static_cast<unsigned long long>(
+                            si.activeSessions));
+            std::printf("store             : %s\n",
+                        si.hasStore ? si.storePath.c_str() : "(none)");
+            return 0;
+        }
+
+        const MatrixResult result = client.matrix(query);
+        std::fputs(result.render(csv).c_str(), stdout);
+        std::fprintf(stderr,
+                     "# %llu cells: %llu simulated, %llu store hits, "
+                     "%llu coalesced, %.2fs of simulation\n",
+                     static_cast<unsigned long long>(
+                         result.summary.cells),
+                     static_cast<unsigned long long>(
+                         result.summary.simulated),
+                     static_cast<unsigned long long>(
+                         result.summary.storeHits),
+                     static_cast<unsigned long long>(
+                         result.summary.coalesced),
+                     result.summary.cellSeconds);
+        if (!result.quarantined.empty()) {
+            std::fputs(
+                quarantineSummary(result.quarantined, "ddsc-client")
+                    .c_str(),
+                stderr);
+            return 1;
+        }
+        return 0;
+    } catch (const net::ServerError &e) {
+        std::fprintf(stderr, "ddsc-client: server error: %s\n",
+                     e.what());
+        return 4;
+    } catch (const net::TransportError &e) {
+        std::fprintf(stderr, "ddsc-client: %s\n", e.what());
+        return 3;
+    }
+}

@@ -24,6 +24,7 @@
 #include "collapse/rules.hh"
 #include "masm/assembler.hh"
 #include "support/logging.hh"
+#include "support/version.hh"
 #include "vm/vm.hh"
 
 namespace
@@ -34,7 +35,8 @@ using namespace ddsc;
 [[noreturn]] void
 usage()
 {
-    std::fprintf(stderr, "usage: ddsc-graph prog.s [--limit N]\n");
+    std::fprintf(stderr,
+                 "usage: ddsc-graph prog.s [--limit N] [--version]\n");
     std::exit(2);
 }
 
@@ -62,6 +64,9 @@ main(int argc, char **argv)
             if (i + 1 >= argc)
                 usage();
             limit = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--version") {
+            support::version::print("ddsc-graph");
+            return 0;
         } else if (!arg.empty() && arg[0] == '-') {
             usage();
         } else if (input.empty()) {

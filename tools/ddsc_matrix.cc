@@ -5,7 +5,7 @@
  * Usage:
  *   ddsc-matrix [--set all|pc|npc] [--configs ABCDE] [--widths 4,8,16]
  *               [--metric ipc|speedup|collapsed] [--csv] [--jobs N]
- *               [--cache-dir DIR] [--resume]
+ *               [--cache-dir DIR] [--resume] [--version]
  *
  * Examples:
  *   ddsc-matrix --set pc --configs BDE --metric speedup
@@ -19,12 +19,22 @@
  * table is printed; results are bit-identical to --jobs 1.
  * DDSC_TRACE_LIMIT truncates traces as everywhere else.
  *
+ * stdout carries only the table/CSV (the same bytes ddsc-client
+ * prints for the same query); status and timing lines go to stderr
+ * prefixed with "# ".
+ *
  * --cache-dir DIR (or $DDSC_CACHE_DIR) persists every finished cell to
  * DIR/results.ddsc.  Reusing a non-empty cache requires --resume, so a
  * stale directory is never picked up by accident.  A cell whose
  * simulation keeps failing is quarantined: the rest of the matrix
  * completes, the cell prints as "n/a", the failure summary names it on
  * stderr, and the exit status is 1.
+ *
+ * Ctrl-C (or SIGTERM) interrupts the sweep cooperatively: cells that
+ * already finished are flushed to the attached store record-complete,
+ * workers skip cells they have not started, and the tool exits
+ * 128+signal with a note saying how much was checkpointed — no torn
+ * tail for --resume to recover.
  */
 
 #include <chrono>
@@ -33,14 +43,15 @@
 #include <cstring>
 #include <filesystem>
 #include <memory>
-#include <optional>
 #include <string>
 #include <vector>
 
 #include "sim/experiment.hh"
+#include "sim/matrix_query.hh"
 #include "sim/result_store.hh"
 #include "support/logging.hh"
-#include "support/table.hh"
+#include "support/shutdown.hh"
+#include "support/version.hh"
 
 namespace
 {
@@ -54,7 +65,7 @@ usage()
         "usage: ddsc-matrix [--set all|pc|npc] [--configs ABCDE]\n"
         "                   [--widths 4,8,...] "
         "[--metric ipc|speedup|collapsed] [--csv] [--jobs N]\n"
-        "                   [--cache-dir DIR] [--resume]\n");
+        "                   [--cache-dir DIR] [--resume] [--version]\n");
     std::exit(2);
 }
 
@@ -85,10 +96,7 @@ parseWidths(const std::string &spec)
 int
 main(int argc, char **argv)
 {
-    std::string set = "all";
-    std::string configs = "ABCDE";
-    std::vector<unsigned> widths = MachineConfig::paperWidths();
-    std::string metric = "ipc";
+    MatrixQuery query;
     bool csv = false;
     unsigned jobs = 0;      // 0 = $DDSC_JOBS or hardware concurrency
     std::string cache_dir;
@@ -104,13 +112,13 @@ main(int argc, char **argv)
             return argv[++i];
         };
         if (arg == "--set") {
-            set = value();
+            query.set = value();
         } else if (arg == "--configs") {
-            configs = value();
+            query.configs = value();
         } else if (arg == "--widths") {
-            widths = parseWidths(value());
+            query.widths = parseWidths(value());
         } else if (arg == "--metric") {
-            metric = value();
+            query.metric = value();
         } else if (arg == "--csv") {
             csv = true;
         } else if (arg == "--jobs") {
@@ -121,6 +129,9 @@ main(int argc, char **argv)
             cache_dir = value();
         } else if (arg == "--resume") {
             resume = true;
+        } else if (arg == "--version") {
+            support::version::print("ddsc-matrix");
+            return 0;
         } else {
             usage();
         }
@@ -131,18 +142,18 @@ main(int argc, char **argv)
                      "(or $DDSC_CACHE_DIR)\n");
         usage();
     }
-    if (set != "all" && set != "pc" && set != "npc")
+    std::string why;
+    if (!query.validate(&why)) {
+        std::fprintf(stderr, "ddsc-matrix: %s\n", why.c_str());
         usage();
-    if (metric != "ipc" && metric != "speedup" && metric != "collapsed")
-        usage();
-    for (const char c : configs) {
-        if (c < 'A' || c > 'E')
-            usage();
     }
+
+    support::installShutdownHandler();
 
     ExperimentDriver driver;
     if (jobs != 0)
         driver.setJobs(jobs);
+    driver.setInterruptible(true);
 
     std::unique_ptr<ResultStore> store;
     if (!cache_dir.empty()) {
@@ -168,98 +179,45 @@ main(int argc, char **argv)
         driver.attachStore(store.get());
     }
 
-    const auto workloads = set == "all"
-        ? ExperimentDriver::everything()
-        : workloadSubset(set == "pc");
-
-    // Simulate every requested cell up front, in parallel.  Speedup
-    // needs the base machine at each width too.
     const auto wall_start = std::chrono::steady_clock::now();
-    std::string needed_configs = configs;
-    if (metric == "speedup" &&
-        needed_configs.find('A') == std::string::npos)
-        needed_configs += 'A';
-    driver.prefetch(
-        ExperimentDriver::cellsFor(workloads, needed_configs, widths));
+    const MatrixResult result = runMatrixQuery(driver, query);
     const double wall_seconds =
         std::chrono::duration<double>(
             std::chrono::steady_clock::now() - wall_start).count();
 
-    // A quarantined cell poisons any aggregate that needs it; the rest
-    // of the matrix still prints.  nullopt renders as "n/a".
-    auto cell = [&](char config,
-                    unsigned width) -> std::optional<double> {
-        try {
-            if (metric == "ipc")
-                return driver.hmeanIpc(workloads, config, width);
-            if (metric == "speedup")
-                return driver.hmeanSpeedup(workloads, config, width);
-            return driver.pctCollapsed(workloads, config, width);
-        } catch (const CellQuarantined &) {
-            return std::nullopt;
+    if (result.interrupted) {
+        if (store) {
+            std::fprintf(stderr,
+                         "# interrupted: %zu finished cells "
+                         "checkpointed to %s; rerun with --resume to "
+                         "continue\n",
+                         store->size(), store->path().c_str());
+        } else {
+            std::fprintf(stderr,
+                         "# interrupted: partial results discarded "
+                         "(use --cache-dir to checkpoint)\n");
         }
-    };
-
-    if (csv) {
-        std::printf("config");
-        for (const unsigned w : widths)
-            std::printf(",%s", MachineConfig::widthLabel(w).c_str());
-        std::printf("\n");
-        for (const char config : configs) {
-            std::printf("%c", config);
-            for (const unsigned w : widths) {
-                const std::optional<double> v = cell(config, w);
-                if (v)
-                    std::printf(",%.4f", *v);
-                else
-                    std::printf(",n/a");
-            }
-            std::printf("\n");
-        }
-    } else {
-        TextTable table;
-        std::vector<std::string> header = {"config"};
-        for (const unsigned w : widths)
-            header.push_back("w=" + MachineConfig::widthLabel(w));
-        table.header(std::move(header));
-        for (const char config : configs) {
-            std::vector<std::string> row = {std::string(1, config)};
-            for (const unsigned w : widths) {
-                const std::optional<double> v = cell(config, w);
-                row.push_back(v ? TextTable::num(*v)
-                                : std::string("n/a"));
-            }
-            table.row(std::move(row));
-        }
-        std::printf("%s (%s, %s)\n%s", metric.c_str(), set.c_str(),
-                    "harmonic mean over the set",
-                    table.render().c_str());
+        const int sig = support::shutdownSignal();
+        return 128 + (sig != 0 ? sig : 2 /* as if SIGINT */);
     }
 
-    std::FILE *status = csv ? stderr : stdout;
-    std::fprintf(status,
-                 "%s%zu cells, %.2fs of simulation in %.2fs wall "
+    std::fputs(result.render(csv).c_str(), stdout);
+
+    std::fprintf(stderr,
+                 "# %zu cells, %.2fs of simulation in %.2fs wall "
                  "(%u jobs)\n",
-                 csv ? "# " : "", driver.cachedCells(),
-                 driver.cachedCellSeconds(), wall_seconds,
-                 driver.jobs());
+                 driver.cachedCells(), driver.cachedCellSeconds(),
+                 wall_seconds, driver.jobs());
     if (store) {
-        std::fprintf(status, "%s%zu cells served from %s\n",
-                     csv ? "# " : "", driver.storeHits(),
-                     store->path().c_str());
+        std::fprintf(stderr, "# %zu cells served from %s\n",
+                     driver.storeHits(), store->path().c_str());
     }
 
-    const std::vector<CellFailure> quarantined =
-        driver.quarantineReport();
-    if (!quarantined.empty()) {
-        std::fprintf(stderr,
-                     "ddsc-matrix: %zu cell%s quarantined:\n",
-                     quarantined.size(),
-                     quarantined.size() == 1 ? "" : "s");
-        for (const CellFailure &f : quarantined) {
-            std::fprintf(stderr, "  %s: %s (after %u attempts)\n",
-                         f.key.c_str(), f.message.c_str(), f.attempts);
-        }
+    if (!result.quarantined.empty()) {
+        std::fputs(
+            quarantineSummary(result.quarantined, "ddsc-matrix")
+                .c_str(),
+            stderr);
         return 1;
     }
     return 0;

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * ddsc-served: resident experiment-matrix server.
+ *
+ * Usage:
+ *   ddsc-served [--port N] [--port-file PATH] [--jobs N]
+ *               [--cache-dir DIR] [--max-sessions N] [--version]
+ *
+ * Examples:
+ *   ddsc-served --port 7411 --cache-dir /var/tmp/ddsc
+ *   ddsc-served --port 0 --port-file /tmp/ddsc.port   # ephemeral port
+ *
+ * The server keeps traces and every simulated cell resident, so the
+ * first client pays for a sweep once and every later identical query
+ * is answered from memory (or from the --cache-dir store, which also
+ * makes answers survive a restart).  Concurrent identical requests
+ * are single-flighted: one simulation per unique cell, everyone gets
+ * the same bytes.
+ *
+ * --port 0 binds a kernel-assigned ephemeral port; --port-file writes
+ * the bound port (a single line) once the listener is live, which is
+ * also the "ready" signal scripts should poll for.
+ *
+ * SIGINT/SIGTERM drain: in-flight requests finish and reply, new
+ * connections are refused, the store is flushed and compacted, and
+ * the process exits 0.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "serve/server.hh"
+#include "support/shutdown.hh"
+#include "support/version.hh"
+
+namespace
+{
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(stderr,
+        "usage: ddsc-served [--port N] [--port-file PATH] [--jobs N]\n"
+        "                   [--cache-dir DIR] [--max-sessions N] "
+        "[--version]\n");
+    std::exit(2);
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace ddsc;
+
+    serve::ServerOptions opts;
+    opts.port = 7411;       // default; 0 = ephemeral
+    std::string port_file;
+    bool port_given = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage();
+            return argv[++i];
+        };
+        if (arg == "--port") {
+            opts.port = static_cast<std::uint16_t>(
+                std::atoi(value().c_str()));
+            port_given = true;
+        } else if (arg == "--port-file") {
+            port_file = value();
+        } else if (arg == "--jobs") {
+            opts.jobs = static_cast<unsigned>(
+                std::atoi(value().c_str()));
+            if (opts.jobs == 0)
+                usage();
+        } else if (arg == "--cache-dir") {
+            opts.cacheDir = value();
+        } else if (arg == "--max-sessions") {
+            opts.maxSessions = static_cast<unsigned>(
+                std::atoi(value().c_str()));
+            if (opts.maxSessions == 0)
+                usage();
+        } else if (arg == "--version") {
+            support::version::print("ddsc-served");
+            return 0;
+        } else {
+            usage();
+        }
+    }
+    (void)port_given;
+
+    support::installShutdownHandler();
+
+    serve::Server server(opts);
+    if (!server.valid()) {
+        std::fprintf(stderr,
+                     "ddsc-served: cannot listen on 127.0.0.1:%u "
+                     "(port in use?)\n",
+                     static_cast<unsigned>(opts.port));
+        return 1;
+    }
+
+    if (!port_file.empty()) {
+        std::FILE *f = std::fopen(port_file.c_str(), "w");
+        if (f == nullptr) {
+            std::fprintf(stderr,
+                         "ddsc-served: cannot write port file %s\n",
+                         port_file.c_str());
+            return 1;
+        }
+        std::fprintf(f, "%u\n",
+                     static_cast<unsigned>(server.port()));
+        std::fclose(f);
+    }
+
+    std::fprintf(stderr, "# ddsc-served listening on 127.0.0.1:%u\n",
+                 static_cast<unsigned>(server.port()));
+    if (!opts.cacheDir.empty()) {
+        std::fprintf(stderr, "# store: %s\n",
+                     server.infoSnapshot().storePath.c_str());
+    }
+
+    server.run();
+
+    std::fprintf(stderr,
+                 "# drained: %llu requests served, %llu cells "
+                 "simulated, %llu store hits, %llu coalesced\n",
+                 static_cast<unsigned long long>(
+                     server.infoSnapshot().requestsServed),
+                 static_cast<unsigned long long>(
+                     server.infoSnapshot().simulated),
+                 static_cast<unsigned long long>(
+                     server.infoSnapshot().storeHits),
+                 static_cast<unsigned long long>(
+                     server.infoSnapshot().coalesced));
+    return 0;
+}

@@ -26,10 +26,16 @@
  *   --resume          reuse an existing cache: configs whose stored
  *                     fingerprint and trace digest still match are
  *                     served from disk instead of re-simulated
+ *   --version         print format/schema versions and exit
  *
  * A config whose simulation keeps throwing is contained: the other
  * configs of the sweep still run and print, the failure summary names
  * the bad cell on stderr, and the exit status is 1.
+ *
+ * Ctrl-C (or SIGTERM) during a sweep is cooperative: configs that
+ * already finished are still persisted to the attached cache
+ * record-complete, unstarted configs are skipped, and the exit status
+ * is 128+signal.
  */
 
 #include <cstdio>
@@ -47,7 +53,9 @@
 #include "sim/result_store.hh"
 #include "support/fault.hh"
 #include "support/logging.hh"
+#include "support/shutdown.hh"
 #include "support/thread_pool.hh"
+#include "support/version.hh"
 #include "vm/vm.hh"
 #include "workloads/workloads.hh"
 
@@ -64,7 +72,7 @@ usage()
         "                [--scale N] [--config A..E ...] [--width N]\n"
         "                [--elim] [--addrpred twodelta|lastvalue|context]\n"
         "                [--limit N] [--jobs N] [--cache-dir DIR]\n"
-        "                [--resume]\n");
+        "                [--resume] [--version]\n");
     std::exit(2);
 }
 
@@ -193,10 +201,15 @@ main(int argc, char **argv)
             cache_dir = value();
         } else if (arg == "--resume") {
             resume = true;
+        } else if (arg == "--version") {
+            support::version::print("ddsc-sim");
+            return 0;
         } else {
             usage();
         }
     }
+
+    support::installShutdownHandler();
 
     const int sources = (workload.empty() ? 0 : 1) +
         (asm_path.empty() ? 0 : 1) + (trace_path.empty() ? 0 : 1);
@@ -333,6 +346,8 @@ main(int argc, char **argv)
         CellRun &run = runs[i];
         if (run.fromStore)
             return;
+        if (support::shutdownRequested())
+            return;     // interrupted: skip configs not yet started
         for (unsigned attempt = 1; attempt <= kAttempts; ++attempt) {
             try {
                 if (support::faultShouldFire("cell-throw",
@@ -368,6 +383,26 @@ main(int argc, char **argv)
                               digest, run.stats);
             }
         }
+    }
+
+    if (support::shutdownRequested()) {
+        std::size_t finished = 0;
+        for (const CellRun &run : runs)
+            finished += run.ok ? 1 : 0;
+        if (store) {
+            std::fprintf(stderr,
+                         "# interrupted: %zu finished config%s "
+                         "checkpointed to %s; rerun with --resume to "
+                         "continue\n",
+                         finished, finished == 1 ? "" : "s",
+                         store->path().c_str());
+        } else {
+            std::fprintf(stderr,
+                         "# interrupted: %zu finished config%s "
+                         "discarded (use --cache-dir to checkpoint)\n",
+                         finished, finished == 1 ? "" : "s");
+        }
+        return 128 + support::shutdownSignal();
     }
 
     bool first = true;

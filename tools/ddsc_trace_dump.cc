@@ -14,6 +14,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "support/version.hh"
 #include "trace/source.hh"
 #include "trace/trace_stats.hh"
 
@@ -26,7 +27,8 @@ using namespace ddsc;
 usage()
 {
     std::fprintf(stderr,
-        "usage: ddsc-trace-dump prog.trc [--head N] [--stats]\n");
+        "usage: ddsc-trace-dump prog.trc [--head N] [--stats]\n"
+        "       ddsc-trace-dump --version\n");
     std::exit(2);
 }
 
@@ -63,6 +65,9 @@ main(int argc, char **argv)
             head = std::strtoull(argv[++i], nullptr, 10);
         } else if (arg == "--stats") {
             stats = true;
+        } else if (arg == "--version") {
+            support::version::print("ddsc-trace-dump");
+            return 0;
         } else if (!arg.empty() && arg[0] == '-') {
             usage();
         } else if (path.empty()) {

@@ -1,0 +1,101 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the serving daemon, driven by ctest and CI:
+#
+#   1. cold query    ddsc-client output is byte-identical to ddsc-matrix
+#   2. warm query    same bytes, zero cells simulated
+#   3. fault         (fault-injection builds) the server hangs up
+#                    mid-response once; the client reports a transport
+#                    error with exit 3 and the server keeps serving
+#   4. drain         SIGTERM: the server exits 0 with a drain summary
+#   5. warm restart  a new server over the same --cache-dir answers
+#                    entirely from the store (store hits, none simulated)
+#
+# usage: serve_smoke.sh <ddsc-served> <ddsc-client> <ddsc-matrix> \
+#                       [faults|nofaults]
+set -euo pipefail
+
+SERVED=$1
+CLIENT=$2
+MATRIX=$3
+FAULTS=${4:-nofaults}
+
+export DDSC_TRACE_LIMIT=20000
+QUERY=(--set pc --configs AD --widths 4 --metric ipc --csv)
+
+work=$(mktemp -d)
+SPID=
+cleanup() {
+    [ -n "$SPID" ] && kill "$SPID" 2>/dev/null || true
+    rm -rf "$work"
+}
+trap cleanup EXIT
+
+start_server() { # args: extra served flags...
+    : > "$work/port"
+    "$SERVED" --port 0 --port-file "$work/port" --jobs 2 \
+        --cache-dir "$work/cache" "$@" 2>> "$work/served.log" &
+    SPID=$!
+    for _ in $(seq 1 100); do
+        [ -s "$work/port" ] && return 0
+        kill -0 "$SPID" 2>/dev/null || break
+        sleep 0.1
+    done
+    echo "server did not write its port file" >&2
+    return 1
+}
+
+stop_server() { # SIGTERM must drain: exit 0 and a drain summary
+    kill -TERM "$SPID"
+    local rc=0
+    wait "$SPID" || rc=$?
+    SPID=
+    [ "$rc" -eq 0 ] || { echo "drain exited $rc" >&2; return 1; }
+    grep -q '# drained:' "$work/served.log" ||
+        { echo "no drain summary" >&2; return 1; }
+}
+
+start_server
+
+# 1. Cold: the served bytes are the ddsc-matrix bytes.
+"$MATRIX" "${QUERY[@]}" > "$work/oracle.csv" 2> /dev/null
+"$CLIENT" --port-file "$work/port" "${QUERY[@]}" \
+    > "$work/cold.csv" 2> "$work/cold.log"
+cmp "$work/oracle.csv" "$work/cold.csv"
+
+# 2. Warm: same bytes, nothing simulated.
+"$CLIENT" --port-file "$work/port" "${QUERY[@]}" \
+    > "$work/warm.csv" 2> "$work/warm.log"
+cmp "$work/oracle.csv" "$work/warm.csv"
+grep -q ' 0 simulated' "$work/warm.log"
+
+# 3. One mid-response disconnect: typed client failure, healthy server.
+if [ "$FAULTS" = faults ]; then
+    stop_server
+    export DDSC_FAULT=net-disconnect:1
+    start_server
+    unset DDSC_FAULT
+    rc=0
+    "$CLIENT" --port-file "$work/port" "${QUERY[@]}" \
+        > /dev/null 2> "$work/fault.log" || rc=$?
+    [ "$rc" -eq 3 ] ||
+        { echo "disconnect: expected exit 3, got $rc" >&2; exit 1; }
+    # The reply was computed before the hang-up; the retry is warm and
+    # still byte-identical.
+    "$CLIENT" --port-file "$work/port" "${QUERY[@]}" \
+        > "$work/retry.csv" 2> /dev/null
+    cmp "$work/oracle.csv" "$work/retry.csv"
+fi
+
+# 4. Clean drain.
+stop_server
+
+# 5. Warm restart: the store answers everything.
+start_server
+"$CLIENT" --port-file "$work/port" "${QUERY[@]}" \
+    > "$work/restart.csv" 2> "$work/restart.log"
+cmp "$work/oracle.csv" "$work/restart.csv"
+grep -q ' 0 simulated' "$work/restart.log"
+grep -qE ' [1-9][0-9]* store hits' "$work/restart.log"
+stop_server
+
+echo "serve smoke: OK"
