@@ -1,5 +1,10 @@
 #include "client.hh"
 
+#include <algorithm>
+#include <chrono>
+#include <random>
+#include <thread>
+
 namespace ddsc::net
 {
 
@@ -19,11 +24,53 @@ readStatusName(ReadStatus status)
     return "?";
 }
 
+/** Jitter @p delay_ms to 50-100% of itself: shed clients that back
+ *  off in lockstep would all reconnect into the same full server. */
+std::uint64_t
+jittered(std::uint64_t delay_ms)
+{
+    if (delay_ms <= 1)
+        return delay_ms;
+    thread_local std::uint64_t state = [] {
+        std::random_device rd;
+        // Never zero (xorshift's fixed point).
+        return (static_cast<std::uint64_t>(rd()) << 32 | rd()) | 1u;
+    }();
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    const std::uint64_t half = delay_ms / 2;
+    return half + state % (delay_ms - half + 1);
+}
+
 } // anonymous namespace
 
 Client::Client(std::uint16_t port, int timeout_ms)
-    : fd_(connectLocal(port)), timeoutMs_(timeout_ms)
+    : timeoutMs_(timeout_ms),
+      portProvider_([port]() { return port; })
 {
+    // Eager and one-shot: the test suite (and any caller without a
+    // policy) sees connect-time failures — including an Overloaded
+    // shed — from the constructor, exactly as before retries existed.
+    connectNow();
+}
+
+Client::Client(std::function<std::uint16_t()> port_provider,
+               int timeout_ms, const RetryPolicy &policy)
+    : timeoutMs_(timeout_ms),
+      portProvider_(std::move(port_provider)),
+      policy_(policy)
+{
+}
+
+void
+Client::connectNow()
+{
+    const std::uint16_t port = portProvider_ ? portProvider_() : 0;
+    if (port == 0)
+        throw TransportError("server port not known yet (port file "
+                             "missing or empty?)");
+    fd_ = connectLocal(port);
     if (!fd_.valid())
         throw TransportError("cannot connect to 127.0.0.1:" +
                              std::to_string(port) +
@@ -33,8 +80,63 @@ Client::Client(std::uint16_t port, int timeout_ms)
     const Frame reply = roundTrip(MsgType::Hello, payload,
                                   MsgType::HelloOk, timeoutMs_);
     support::wire::Reader reader(reply.payload);
-    if (!serverVersions_.decode(reader))
+    if (!serverVersions_.decode(reader)) {
+        fd_.reset();
         throw TransportError("malformed HelloOk payload");
+    }
+}
+
+void
+Client::ensureConnected()
+{
+    if (!fd_.valid())
+        connectNow();
+}
+
+template <typename Fn>
+auto
+Client::withRetries(Fn &&attempt)
+{
+    using Clock = std::chrono::steady_clock;
+    const Clock::time_point start = Clock::now();
+    std::uint64_t delay = policy_.baseDelayMs;
+    for (unsigned tried = 0;; ++tried) {
+        try {
+            ensureConnected();
+            return attempt();
+        } catch (const ServerError &e) {
+            // A clean typed answer: the connection is synchronized,
+            // but on a retryable code (Overloaded, Draining, Stalled)
+            // the server wants us gone for now — reconnecting later
+            // is cheap and also handles a shed connect, where the
+            // server already closed its end.
+            if (!errCodeRetryable(e.code) || tried >= policy_.retries)
+                throw;
+            fd_.reset();
+        } catch (const TransportError &) {
+            // The stream state is unknown; roundTrip already poisoned
+            // the fd (or the connect never succeeded).
+            fd_.reset();
+            if (tried >= policy_.retries)
+                throw;
+        }
+        const std::uint64_t sleep = jittered(delay);
+        if (policy_.budgetMs > 0) {
+            const auto elapsed =
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    Clock::now() - start);
+            if (static_cast<std::uint64_t>(elapsed.count()) + sleep >
+                policy_.budgetMs)
+                throw TransportError(
+                    "retry budget of " +
+                    std::to_string(policy_.budgetMs) +
+                    " ms exhausted after " + std::to_string(tried + 1) +
+                    " attempts");
+        }
+        ++retriesUsed_;
+        std::this_thread::sleep_for(std::chrono::milliseconds(sleep));
+        delay = std::min(delay * 2, policy_.maxDelayMs);
+    }
 }
 
 MatrixResult
@@ -51,55 +153,94 @@ Client::matrix(const MatrixQuery &query)
         if (wait < 0 || static_cast<std::uint64_t>(wait) < budget)
             wait = static_cast<int>(budget);
     }
-    const Frame reply = roundTrip(MsgType::MatrixRequest, payload,
-                                  MsgType::MatrixReply, wait);
-    support::wire::Reader reader(reply.payload);
-    MatrixResult result;
-    if (!result.decode(reader))
-        throw TransportError("malformed MatrixReply payload");
-    return result;
+    return withRetries([&]() {
+        const Frame reply = roundTrip(MsgType::MatrixRequest, payload,
+                                      MsgType::MatrixReply, wait);
+        support::wire::Reader reader(reply.payload);
+        MatrixResult result;
+        if (!result.decode(reader)) {
+            fd_.reset();
+            throw TransportError("malformed MatrixReply payload");
+        }
+        return result;
+    });
 }
 
 ServerInfo
 Client::info()
 {
-    const Frame reply = roundTrip(MsgType::InfoRequest, {},
-                                  MsgType::InfoReply, timeoutMs_);
-    support::wire::Reader reader(reply.payload);
-    ServerInfo info;
-    if (!info.decode(reader))
-        throw TransportError("malformed InfoReply payload");
-    return info;
+    return withRetries([&]() {
+        const Frame reply = roundTrip(MsgType::InfoRequest, {},
+                                      MsgType::InfoReply, timeoutMs_);
+        support::wire::Reader reader(reply.payload);
+        ServerInfo info;
+        if (!info.decode(reader)) {
+            fd_.reset();
+            throw TransportError("malformed InfoReply payload");
+        }
+        return info;
+    });
+}
+
+HealthInfo
+Client::health()
+{
+    return withRetries([&]() {
+        const Frame reply = roundTrip(MsgType::HealthRequest, {},
+                                      MsgType::HealthReply, timeoutMs_);
+        support::wire::Reader reader(reply.payload);
+        HealthInfo health;
+        if (!health.decode(reader)) {
+            fd_.reset();
+            throw TransportError("malformed HealthReply payload");
+        }
+        return health;
+    });
 }
 
 void
 Client::ping()
 {
-    roundTrip(MsgType::Ping, {}, MsgType::Pong, timeoutMs_);
+    withRetries([&]() {
+        roundTrip(MsgType::Ping, {}, MsgType::Pong, timeoutMs_);
+        return 0;
+    });
 }
 
 Frame
 Client::roundTrip(MsgType request, std::string_view payload,
                   MsgType expected, int timeout_ms)
 {
-    if (!writeFrame(fd_.get(), request, payload))
+    if (!writeFrame(fd_.get(), request, payload)) {
+        fd_.reset();
         throw TransportError("send failed: connection is dead");
+    }
     Frame reply;
     const ReadStatus status =
         readFrame(fd_.get(), reply, timeout_ms);
-    if (status != ReadStatus::Ok)
+    if (status != ReadStatus::Ok) {
+        // Poison the connection: after a timeout or torn read the
+        // stream may still deliver the old reply later, and a future
+        // request would read it as its own answer.  Only a reconnect
+        // resynchronizes.
+        fd_.reset();
         throw TransportError(readStatusName(status));
+    }
     if (reply.type == MsgType::Error) {
         ErrorMsg err;
         support::wire::Reader reader(reply.payload);
-        if (!err.decode(reader))
+        if (!err.decode(reader)) {
+            fd_.reset();
             throw TransportError("malformed Error payload");
+        }
         throw ServerError(err.code, err.message);
     }
-    if (reply.type != expected)
+    if (reply.type != expected) {
+        fd_.reset();
         throw TransportError("unexpected reply type " +
                              std::to_string(static_cast<unsigned>(
                                  reply.type)));
+    }
     return reply;
 }
 

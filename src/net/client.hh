@@ -9,16 +9,37 @@
  *    peer sent garbage.  The server's state is unknown; retrying on a
  *    fresh connection is reasonable.
  *  - ServerError: the server answered with a typed protocol error
- *    (ErrCode) — overloaded, draining, deadline expired, bad request,
- *    version mismatch.  The message got through; retrying the same
- *    request unchanged will usually fail the same way (except
- *    Overloaded/Draining, which are advice to come back later).
+ *    (ErrCode) — overloaded, draining, stalled, deadline expired, bad
+ *    request, version mismatch.  The message got through; whether a
+ *    retry can help is a property of the code (errCodeRetryable()).
+ *
+ * Retries: a Client constructed with a RetryPolicy handles both kinds
+ * itself — transport failures and retryable server errors are retried
+ * on a *fresh* connection with capped exponential backoff and jitter,
+ * up to the policy's attempt and wall-clock budgets.  Retrying a
+ * matrix query is idempotent by construction: the server's
+ * single-flight registry and durable store mean the retry is answered
+ * from cache (or joins the in-flight computation) rather than paying
+ * for the sweep twice, and the reply bytes are deterministic.
+ * BadRequest and VersionMismatch are never retried — they fail the
+ * same way forever.
+ *
+ * Poisoned connections: any failed read (timeout, torn frame,
+ * garbage) closes the socket immediately.  The stream is
+ * unsynchronized after a partial exchange — the next reply on that
+ * socket could be the *previous* request's late answer — so the only
+ * safe continuation is a reconnect, which the next request performs
+ * lazily.  Combined with a port *provider* (re-read the server's
+ * --port-file before each connect), this lets one Client ride across
+ * supervised server restarts, where each generation binds a fresh
+ * ephemeral port.
  */
 
 #ifndef DDSC_NET_CLIENT_HH
 #define DDSC_NET_CLIENT_HH
 
 #include <cstdint>
+#include <functional>
 #include <stdexcept>
 #include <string>
 
@@ -49,6 +70,21 @@ class ServerError : public std::runtime_error
     const ErrCode code;
 };
 
+/** How hard a Client tries before surfacing a retryable failure. */
+struct RetryPolicy
+{
+    /** Retries after the first attempt (0 = fail fast, the default —
+     *  existing callers keep their one-shot semantics). */
+    unsigned retries = 0;
+    /** Wall-clock budget over all attempts, ms (0 = attempts only). */
+    std::uint64_t budgetMs = 0;
+    /** First backoff delay; doubles per retry up to maxDelayMs.  The
+     *  actual sleep is jittered to 50-100% of the delay so a herd of
+     *  shed clients does not return in lockstep. */
+    std::uint64_t baseDelayMs = 50;
+    std::uint64_t maxDelayMs = 2000;
+};
+
 /**
  * One connection to a ddsc-served instance.  Not thread-safe; open
  * one Client per thread (the server multiplexes sessions, not the
@@ -58,15 +94,32 @@ class Client
 {
   public:
     /**
-     * Connect to 127.0.0.1:@p port and run the version handshake.
+     * Connect to 127.0.0.1:@p port and run the version handshake,
+     * eagerly and without retries — a server at capacity sheds this
+     * connect with ServerError(Overloaded) out of the constructor.
      *
      * @param timeout_ms bounds every individual reply wait on this
      *        connection (-1 = wait forever).  A MatrixQuery deadline
      *        widens the wait for that request — the server is allowed
      *        the full deadline before answering.
-     * @throws TransportError, ServerError (VersionMismatch).
+     * @throws TransportError, ServerError (VersionMismatch,
+     *         Overloaded).
      */
     explicit Client(std::uint16_t port, int timeout_ms = -1);
+
+    /**
+     * Resolve the port through @p port_provider (called before every
+     * connect — typically a --port-file re-read, so the client
+     * follows a supervised server across restarts; returning 0 means
+     * "not known yet" and counts as a retryable transport failure)
+     * and retry per @p policy.  Connection is lazy: nothing happens
+     * until the first request.
+     */
+    Client(std::function<std::uint16_t()> port_provider, int timeout_ms,
+           const RetryPolicy &policy);
+
+    /** Replace the retry policy (applies from the next request). */
+    void setRetryPolicy(const RetryPolicy &policy) { policy_ = policy; }
 
     /** Run one matrix query on the server.
      *  @throws TransportError, ServerError. */
@@ -76,21 +129,46 @@ class Client
      *  @throws TransportError, ServerError. */
     ServerInfo info();
 
+    /** Readiness snapshot of the running server.
+     *  @throws TransportError, ServerError. */
+    HealthInfo health();
+
     /** Liveness probe.  @throws TransportError, ServerError. */
     void ping();
 
-    /** The server's handshake versions. */
+    /** The server's handshake versions (of the latest connection). */
     const Hello &serverVersions() const { return serverVersions_; }
 
+    /** Attempts beyond the first spent over this client's lifetime —
+     *  observability for tools and tests. */
+    std::uint64_t retriesUsed() const { return retriesUsed_; }
+
   private:
+    /** Connect + handshake now.  @throws on failure. */
+    void connectNow();
+
+    /** Connect + handshake unless already connected. */
+    void ensureConnected();
+
+    /** Run @p attempt with ensureConnected() and the retry policy
+     *  around it. */
+    template <typename Fn> auto withRetries(Fn &&attempt);
+
     /** Send @p request, read one frame, unwrap Error frames into
-     *  ServerError, and check the reply type. */
+     *  ServerError, and check the reply type.  Any transport failure
+     *  or desync *poisons* the connection (closes the fd) before
+     *  throwing: after a failed exchange the stream may still carry
+     *  the old reply, and reading it as the answer to a new request
+     *  would hand back the wrong bytes. */
     Frame roundTrip(MsgType request, std::string_view payload,
                     MsgType expected, int timeout_ms);
 
     Fd fd_;
     int timeoutMs_;
+    std::function<std::uint16_t()> portProvider_;
+    RetryPolicy policy_;
     Hello serverVersions_;
+    std::uint64_t retriesUsed_ = 0;
 };
 
 } // namespace ddsc::net

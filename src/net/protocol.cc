@@ -11,7 +11,7 @@ bool
 knownMsgType(std::uint8_t type)
 {
     return type >= static_cast<std::uint8_t>(MsgType::Hello) &&
-           type <= static_cast<std::uint8_t>(MsgType::Error);
+           type <= static_cast<std::uint8_t>(MsgType::HealthReply);
 }
 
 const char *
@@ -24,8 +24,20 @@ errCodeName(ErrCode code)
       case ErrCode::VersionMismatch: return "version-mismatch";
       case ErrCode::Draining:        return "draining";
       case ErrCode::Internal:        return "internal";
+      case ErrCode::Stalled:         return "stalled";
     }
     return "?";
+}
+
+bool
+errCodeRetryable(ErrCode code)
+{
+    // BadRequest and VersionMismatch fail the same way forever;
+    // Deadline means the *caller's* budget expired (retrying without
+    // raising it is the caller's decision, not the transport's);
+    // Internal is a server bug that a blind retry would just repeat.
+    return code == ErrCode::Overloaded || code == ErrCode::Draining ||
+           code == ErrCode::Stalled;
 }
 
 Hello
@@ -113,6 +125,34 @@ ServerInfo::decode(support::wire::Reader &in)
     activeSessions = in.u64();
     hasStore = in.u8();
     storePath = in.str();
+    return in.ok();
+}
+
+void
+HealthInfo::encode(std::string &out) const
+{
+    using namespace support::wire;
+    putU64(out, uptimeMs);
+    putU64(out, generation);
+    putU64(out, liveSessions);
+    putU64(out, quarantinedCells);
+    putU64(out, registryDepth);
+    putU64(out, stalledCells);
+    putU64(out, storeRecords);
+    putU64(out, watchdogBudgetMs);
+}
+
+bool
+HealthInfo::decode(support::wire::Reader &in)
+{
+    uptimeMs = in.u64();
+    generation = in.u64();
+    liveSessions = in.u64();
+    quarantinedCells = in.u64();
+    registryDepth = in.u64();
+    stalledCells = in.u64();
+    storeRecords = in.u64();
+    watchdogBudgetMs = in.u64();
     return in.ok();
 }
 

@@ -65,6 +65,8 @@ enum class MsgType : std::uint8_t
     InfoRequest = 7,    ///< client -> server: ask for ServerInfo
     InfoReply = 8,      ///< server -> client: ServerInfo
     Error = 9,          ///< server -> client: typed failure
+    HealthRequest = 10, ///< client -> server: readiness probe
+    HealthReply = 11,   ///< server -> client: HealthInfo
 };
 
 /** True for type bytes this protocol version defines. */
@@ -80,7 +82,15 @@ enum class ErrCode : std::uint8_t
     Draining = 5,       ///< server is shutting down; not accepting
                         ///< new requests
     Internal = 6,       ///< unexpected server-side failure
+    Stalled = 7,        ///< a cell this request waited on exceeded the
+                        ///< watchdog budget; retry later (the owner
+                        ///< may still finish and cache it)
 };
+
+/** True for codes a client may retry unchanged after a backoff: the
+ *  condition is about the *server's current state* (capacity, drain,
+ *  a stalled cell), not about the request itself. */
+bool errCodeRetryable(ErrCode code);
 
 /** Human-readable name for an error code ("?" for unknown bytes). */
 const char *errCodeName(ErrCode code);
@@ -137,6 +147,28 @@ struct ServerInfo
     std::uint64_t activeSessions = 0;
     std::uint8_t hasStore = 0;
     std::string storePath;
+
+    void encode(std::string &out) const;
+    bool decode(support::wire::Reader &in);
+};
+
+/** HealthReply payload: the readiness/self-healing view of the server
+ *  (InfoReply carries the workload counters; this carries what a
+ *  supervisor or operator probes for). */
+struct HealthInfo
+{
+    std::uint64_t uptimeMs = 0;      ///< since this process's Server
+    std::uint64_t generation = 0;    ///< supervisor restart count
+                                     ///< (0 = unsupervised)
+    std::uint64_t liveSessions = 0;
+    std::uint64_t quarantinedCells = 0;
+    std::uint64_t registryDepth = 0; ///< cells in flight right now
+    std::uint64_t stalledCells = 0;  ///< in-flight cells past the
+                                     ///< watchdog budget
+    std::uint64_t storeRecords = 0;  ///< durable cells in the store
+    std::uint64_t watchdogBudgetMs = 0; ///< effective soft budget
+                                     ///< (0 = adaptive with no
+                                     ///< history yet)
 
     void encode(std::string &out) const;
     bool decode(support::wire::Reader &in);

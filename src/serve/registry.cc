@@ -1,9 +1,25 @@
 #include "registry.hh"
 
 #include <chrono>
+#include <set>
 
 namespace ddsc::serve
 {
+
+namespace
+{
+
+std::uint64_t
+ageMsOf(std::chrono::steady_clock::time_point start,
+        std::chrono::steady_clock::time_point now)
+{
+    using std::chrono::duration_cast;
+    using std::chrono::milliseconds;
+    return static_cast<std::uint64_t>(
+        duration_cast<milliseconds>(now - start).count());
+}
+
+} // namespace
 
 std::string
 CellRegistry::flightKey(const ExperimentCell &cell)
@@ -35,12 +51,31 @@ CellRegistry::resolve(const std::vector<ExperimentCell> &cells,
     for (const ExperimentCell &cell : cells)
         keys.push_back(flightKey(cell));
 
+    auto cacheKeyOf = [](const ExperimentCell &cell) {
+        return cell.spec->name + "/" + std::string(1, cell.config) +
+               "/" + std::to_string(cell.width);
+    };
+
     // Claim every unresolved cell nobody else is flying.
     std::vector<ExperimentCell> claimed;
     std::vector<std::string> claimedKeys;
     std::vector<std::size_t> waitFor;   // indexes into cells/keys
     {
         std::lock_guard<std::mutex> lock(mutex_);
+        // Stalled flights fail the whole request up front, before it
+        // claims anything: while the stuck owner is still in flight,
+        // "the cell is quarantined" (hard budget) must read as the
+        // typed, retryable Stalled — the owner may yet publish and
+        // clear the quarantine — not as a silent n/a aggregation.
+        // Checked before any claim so a throw leaks no owned flights.
+        for (const std::string &key : keys) {
+            const auto flight = inflight_.find(key);
+            if (flight != inflight_.end() && flight->second.stalled)
+                throw CellStalled(
+                    flight->second.cacheKey,
+                    ageMsOf(flight->second.start, Clock::now()),
+                    flight->second.budgetMs);
+        }
         std::set<std::string> mine;
         for (std::size_t i = 0; i < cells.size(); ++i) {
             const ExperimentCell &cell = cells[i];
@@ -55,7 +90,8 @@ CellRegistry::resolve(const std::vector<ExperimentCell> &cells,
                 waitFor.push_back(i);
                 continue;
             }
-            inflight_.insert(keys[i]);
+            inflight_.emplace(keys[i],
+                              Flight{cacheKeyOf(cell), Clock::now()});
             mine.insert(keys[i]);
             claimed.push_back(cell);
             claimedKeys.push_back(keys[i]);
@@ -82,14 +118,27 @@ CellRegistry::resolve(const std::vector<ExperimentCell> &cells,
     // Wait for the cells other requests are computing.  An owner that
     // threw releases its claim with the cell unresolved; the waiter
     // then adopts the claim and computes the cell itself rather than
-    // waiting forever.
+    // waiting forever.  A claim the watchdog marked stalled fails the
+    // waiter immediately with CellStalled — checked *before* the
+    // resolved test so a hard-stall quarantine (which makes the cell
+    // "resolved") still surfaces as the typed, retryable condition.
     for (const std::size_t i : waitFor) {
         const ExperimentCell &cell = cells[i];
         std::unique_lock<std::mutex> lock(mutex_);
-        while (!driver_.cellResolved(*cell.spec, cell.config,
-                                     cell.width)) {
-            if (!inflight_.count(keys[i])) {
-                inflight_.insert(keys[i]);
+        for (;;) {
+            auto flight = inflight_.find(keys[i]);
+            if (flight != inflight_.end() && flight->second.stalled)
+                throw CellStalled(
+                    flight->second.cacheKey,
+                    ageMsOf(flight->second.start, Clock::now()),
+                    flight->second.budgetMs);
+            if (driver_.cellResolved(*cell.spec, cell.config,
+                                     cell.width))
+                break;
+            if (flight == inflight_.end()) {
+                inflight_.emplace(keys[i],
+                                  Flight{cacheKeyOf(cell),
+                                         Clock::now()});
                 lock.unlock();
                 try {
                     driver_.prefetch({cell});
@@ -113,11 +162,62 @@ CellRegistry::resolve(const std::vector<ExperimentCell> &cells,
     return out;
 }
 
+WatchdogReport
+CellRegistry::watchdogSweep(std::uint64_t soft_budget_ms,
+                            std::uint64_t hard_budget_ms)
+{
+    using Clock = std::chrono::steady_clock;
+    const Clock::time_point now = Clock::now();
+
+    WatchdogReport report;
+    bool marked = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (auto &[key, flight] : inflight_) {
+            const std::uint64_t age = ageMsOf(flight.start, now);
+            if (!flight.stalled && age >= soft_budget_ms) {
+                flight.stalled = true;
+                flight.budgetMs = soft_budget_ms;
+                marked = true;
+                report.stalled.push_back({flight.cacheKey, age});
+            }
+            if (flight.stalled && !flight.quarantined &&
+                age >= hard_budget_ms) {
+                flight.quarantined = true;
+                report.hardStalled.push_back({flight.cacheKey, age});
+            }
+        }
+    }
+    // Wake every waiter so those parked on a newly-stalled claim can
+    // fail with CellStalled instead of waiting out the owner.
+    if (marked)
+        cv_.notify_all();
+    return report;
+}
+
 std::uint64_t
 CellRegistry::coalescedTotal() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return coalescedTotal_;
+}
+
+std::uint64_t
+CellRegistry::inflightDepth() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return inflight_.size();
+}
+
+std::uint64_t
+CellRegistry::stalledCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::uint64_t n = 0;
+    for (const auto &[key, flight] : inflight_)
+        if (flight.stalled)
+            ++n;
+    return n;
 }
 
 } // namespace ddsc::serve

@@ -21,15 +21,29 @@
  * resolution (cache or quarantine) by its owner, so waiters cannot
  * deadlock on an abandoned claim — the owner releases and notifies
  * even when the driver throws.
+ *
+ * Stall detection: every claim records when it took off, and the
+ * server's watchdog thread calls watchdogSweep() periodically.  A
+ * claim in flight longer than the *soft* budget is marked stalled:
+ * every waiter (current and future) is failed immediately with
+ * CellStalled — a typed, retryable condition — instead of hanging on
+ * the condition variable for as long as the owner is stuck.  A claim
+ * past the *hard* budget is reported back so the server can
+ * quarantine the cell through the driver's quarantineReport() path:
+ * from then on the cell aggregates as n/a like any other poisoned
+ * cell, and if the owner ever does finish, its published result
+ * clears the quarantine again.
  */
 
 #ifndef DDSC_SERVE_REGISTRY_HH
 #define DDSC_SERVE_REGISTRY_HH
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <map>
 #include <mutex>
-#include <set>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -50,6 +64,42 @@ struct ResolveOutcome
 };
 
 /**
+ * Thrown to a waiter when the cell it is waiting on was marked
+ * stalled by the watchdog.  The serving layer turns this into the
+ * typed (and retryable) ErrCode::Stalled — the owner may still
+ * finish the cell and cache it for the retry.
+ */
+class CellStalled : public std::runtime_error
+{
+  public:
+    CellStalled(const std::string &cache_key, std::uint64_t age_ms,
+                std::uint64_t budget_ms)
+        : std::runtime_error(
+              "cell '" + cache_key + "' stalled: in flight for " +
+              std::to_string(age_ms) + " ms (watchdog budget " +
+              std::to_string(budget_ms) + " ms); retry shortly"),
+          key(cache_key)
+    {}
+
+    const std::string key;
+};
+
+/** One stalled claim, as reported by watchdogSweep(). */
+struct StalledFlight
+{
+    std::string cacheKey;       ///< driver cache key, e.g. "li/D/16"
+    std::uint64_t ageMs = 0;    ///< time in flight when detected
+};
+
+/** What one watchdog sweep found (newly detected only — a claim is
+ *  reported soft-stalled once and hard-stalled once). */
+struct WatchdogReport
+{
+    std::vector<StalledFlight> stalled;      ///< past the soft budget
+    std::vector<StalledFlight> hardStalled;  ///< past the hard budget
+};
+
+/**
  * Single-flights cell resolution for one shared ExperimentDriver.
  * Thread-safe; one instance per server.
  */
@@ -63,21 +113,51 @@ class CellRegistry
      * Resolve every cell in @p cells (simulate, load from store, or
      * wait for another request's in-flight simulation), bounded by
      * @p deadline_ms of waiting (0 = wait forever).
+     *
+     * @throws CellStalled when a cell this request would wait on has
+     *         been marked stalled by the watchdog.
      */
     ResolveOutcome resolve(const std::vector<ExperimentCell> &cells,
                            std::uint64_t deadline_ms);
 
+    /**
+     * Scan the in-flight claims: mark (and report) claims older than
+     * @p soft_budget_ms as stalled, waking every waiter so it can
+     * fail with CellStalled; report claims older than
+     * @p hard_budget_ms once for the caller to quarantine.  Called
+     * from the server's watchdog thread.
+     */
+    WatchdogReport watchdogSweep(std::uint64_t soft_budget_ms,
+                                 std::uint64_t hard_budget_ms);
+
     /** Total cells coalesced since construction. */
     std::uint64_t coalescedTotal() const;
 
+    /** Cells in flight right now (the registry depth). */
+    std::uint64_t inflightDepth() const;
+
+    /** In-flight cells currently marked stalled. */
+    std::uint64_t stalledCount() const;
+
   private:
+    /** One in-flight claim. */
+    struct Flight
+    {
+        std::string cacheKey;   ///< driver cache key ("li/D/16")
+        std::chrono::steady_clock::time_point start;
+        bool stalled = false;       ///< past the soft budget
+        bool quarantined = false;   ///< reported past the hard budget
+        std::uint64_t budgetMs = 0; ///< the budget it overran (for
+                                    ///< the CellStalled message)
+    };
+
     /** The in-flight key: cell / fingerprint / trace digest. */
     std::string flightKey(const ExperimentCell &cell);
 
     ExperimentDriver &driver_;
     mutable std::mutex mutex_;
     std::condition_variable cv_;
-    std::set<std::string> inflight_;
+    std::map<std::string, Flight> inflight_;
     std::uint64_t coalescedTotal_ = 0;
 };
 

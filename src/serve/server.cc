@@ -1,10 +1,13 @@
 #include "server.hh"
 
+#include <algorithm>
 #include <cerrno>
+#include <cstring>
 #include <fcntl.h>
 #include <poll.h>
 #include <unistd.h>
 
+#include "support/logging.hh"
 #include "support/shutdown.hh"
 
 namespace ddsc::serve
@@ -23,8 +26,12 @@ Server::Server(const ServerOptions &opts)
     }
     listener_ = net::TcpListener::bindLocal(opts_.port, opts_.backlog);
     if (::pipe2(stopPipe_, O_NONBLOCK | O_CLOEXEC) != 0) {
-        stopPipe_[0] = -1;
-        stopPipe_[1] = -1;
+        // Without the self-pipe, stop() would fall back to a flag the
+        // blocked poll() never notices — a server that cannot be told
+        // to drain.  pipe2 only fails when the process is out of fds,
+        // which is not a state to limp along in.
+        ddsc_fatal("ddsc-served: pipe2 failed: %s",
+                   std::strerror(errno));
     }
 }
 
@@ -45,6 +52,8 @@ Server::~Server()
 void
 Server::run()
 {
+    watchdog_ = std::thread([this]() { watchdogLoop(); });
+
     while (!draining_.load()) {
         reapSessions();
 
@@ -121,6 +130,16 @@ Server::run()
             slot->thread.join();
     }
     sessions_.clear();
+    // The watchdog outlives the session join on purpose: a session
+    // waiting on a stalled cell is failed by a sweep, which is what
+    // lets the join above complete.  Only then is it stopped.
+    {
+        std::lock_guard<std::mutex> lock(watchdogMutex_);
+        watchdogStop_ = true;
+    }
+    watchdogCv_.notify_all();
+    if (watchdog_.joinable())
+        watchdog_.join();
     if (store_)
         store_->compact();
 }
@@ -135,6 +154,26 @@ Server::stop()
     } else {
         draining_.store(true);
     }
+}
+
+net::HealthInfo
+Server::healthSnapshot() const
+{
+    using std::chrono::duration_cast;
+    using std::chrono::milliseconds;
+    net::HealthInfo health;
+    health.uptimeMs = static_cast<std::uint64_t>(
+        duration_cast<milliseconds>(std::chrono::steady_clock::now() -
+                                    started_)
+            .count());
+    health.generation = opts_.generation;
+    health.liveSessions = activeSessions_.load();
+    health.quarantinedCells = driver_.quarantineCount();
+    health.registryDepth = registry_.inflightDepth();
+    health.stalledCells = registry_.stalledCount();
+    health.storeRecords = store_ ? store_->size() : 0;
+    health.watchdogBudgetMs = effectiveBudgetMs_.load();
+    return health;
 }
 
 net::ServerInfo
@@ -153,6 +192,62 @@ Server::infoSnapshot() const
     if (store_)
         info.storePath = store_->path();
     return info;
+}
+
+std::uint64_t
+Server::watchdogBudget() const
+{
+    if (opts_.watchdogBudgetMs != 0)
+        return opts_.watchdogBudgetMs;
+    // Adaptive: a cell in flight for many times the slowest cell ever
+    // observed is stuck, not slow.  With no finished cell yet there
+    // is no baseline — first cells on a cold server legitimately pay
+    // trace materialization — so the sweep waits for history.
+    const std::uint64_t maxNanos = driver_.maxCellWallNanos();
+    if (maxNanos == 0)
+        return 0;
+    constexpr std::uint64_t kFloorMs = 2000;
+    return std::max<std::uint64_t>(kFloorMs, 8 * (maxNanos / 1000000));
+}
+
+void
+Server::watchdogLoop()
+{
+    constexpr auto kSweepInterval = std::chrono::milliseconds(100);
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(watchdogMutex_);
+            watchdogCv_.wait_for(lock, kSweepInterval,
+                                 [this]() { return watchdogStop_; });
+            if (watchdogStop_)
+                return;
+        }
+        const std::uint64_t soft = watchdogBudget();
+        effectiveBudgetMs_.store(soft);
+        if (soft == 0)
+            continue;   // adaptive with no history yet
+        const WatchdogReport report =
+            registry_.watchdogSweep(soft, soft * 8);
+        for (const StalledFlight &flight : report.stalled) {
+            warn("watchdog: cell '%s' stalled (%llu ms in flight, "
+                 "budget %llu ms); failing its waiters",
+                 flight.cacheKey.c_str(),
+                 static_cast<unsigned long long>(flight.ageMs),
+                 static_cast<unsigned long long>(soft));
+        }
+        for (const StalledFlight &flight : report.hardStalled) {
+            warn("watchdog: cell '%s' stuck for %llu ms (hard budget "
+                 "%llu ms); provisionally quarantining",
+                 flight.cacheKey.c_str(),
+                 static_cast<unsigned long long>(flight.ageMs),
+                 static_cast<unsigned long long>(soft * 8));
+            driver_.quarantineCell(
+                flight.cacheKey,
+                "watchdog: stuck in flight for " +
+                    std::to_string(flight.ageMs) + " ms (hard budget " +
+                    std::to_string(soft * 8) + " ms)");
+        }
+    }
 }
 
 void

@@ -26,8 +26,11 @@
 #define DDSC_SERVE_SERVER_HH
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -53,6 +56,15 @@ struct ServerOptions
     unsigned maxSessions = 8;   ///< live sessions before shedding
     int backlog = 16;           ///< listen(2) backlog
     bool testScale = false;     ///< small workloads (tests only)
+    /** Soft watchdog budget per in-flight cell, ms.  0 = adaptive:
+     *  8x the slowest cell ever observed (2 s floor), and no sweeps
+     *  at all until at least one cell has finished.  A cell past the
+     *  soft budget fails its waiters with ErrCode::Stalled; past 8x
+     *  the soft budget it is provisionally quarantined. */
+    std::uint64_t watchdogBudgetMs = 0;
+    /** Supervisor restart count, reported in HealthInfo (0 =
+     *  unsupervised first life). */
+    std::uint64_t generation = 0;
 };
 
 class Server
@@ -84,6 +96,10 @@ class Server
     /** Counters snapshot for InfoReply. */
     net::ServerInfo infoSnapshot() const;
 
+    /** Readiness snapshot for HealthReply (what a supervisor or
+     *  operator probes for). */
+    net::HealthInfo healthSnapshot() const;
+
     ExperimentDriver &driver() { return driver_; }
     CellRegistry &registry() { return registry_; }
 
@@ -103,6 +119,16 @@ class Server
     /** Live (not-done) session count. */
     std::size_t liveSessions() const;
 
+    /** The hung-cell watchdog: periodically sweep the registry for
+     *  claims past their budget.  Runs on its own thread for the
+     *  whole of run(), including the drain (a stalled cell must fail
+     *  its waiters or the drain's join would inherit the hang). */
+    void watchdogLoop();
+
+    /** This sweep's soft budget in ms (0 = adaptive with no history
+     *  yet: skip the sweep). */
+    std::uint64_t watchdogBudget() const;
+
     ServerOptions opts_;
     ExperimentDriver driver_;
     std::unique_ptr<ResultStore> store_;
@@ -116,6 +142,15 @@ class Server
      *  itself belongs to the accept thread). */
     std::atomic<std::uint64_t> activeSessions_{0};
     std::uint64_t nextSessionId_ = 1;
+
+    std::chrono::steady_clock::time_point started_ =
+        std::chrono::steady_clock::now();
+    std::thread watchdog_;
+    std::mutex watchdogMutex_;
+    std::condition_variable watchdogCv_;
+    bool watchdogStop_ = false;         ///< guarded by watchdogMutex_
+    /** Last sweep's effective soft budget, for HealthInfo. */
+    std::atomic<std::uint64_t> effectiveBudgetMs_{0};
 };
 
 } // namespace ddsc::serve

@@ -54,6 +54,13 @@ Session::serveLoop()
                 return;
             break;
           }
+          case net::MsgType::HealthRequest: {
+            std::string payload;
+            server_.healthSnapshot().encode(payload);
+            if (!reply(net::MsgType::HealthReply, payload))
+                return;
+            break;
+          }
           case net::MsgType::MatrixRequest:
             if (!handleMatrix(frame))
                 return;
@@ -123,6 +130,12 @@ Session::handleMatrix(const net::Frame &frame)
                 outcome = server_.registry().resolve(
                     cells, query.deadlineMs);
             });
+    } catch (const CellStalled &e) {
+        // The watchdog marked a cell this request waited on: typed
+        // and retryable — the stuck owner may yet finish and cache
+        // it, or the retry recomputes it after the quarantine path
+        // settles.
+        return sendError(net::ErrCode::Stalled, e.what());
     } catch (const std::exception &e) {
         return sendError(net::ErrCode::Internal, e.what());
     }

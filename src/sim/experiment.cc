@@ -153,10 +153,20 @@ ExperimentDriver::runCellChecked(const std::string &key,
         throw std::runtime_error("injected fault: cell-throw at '" +
                                  key + "'");
     if (support::faultShouldFire("cell-stall", key.c_str())) {
-        // Hold the cell in flight for a while: the deadline and
-        // single-flight tests use this to widen the race window
-        // deterministically.
-        std::this_thread::sleep_for(std::chrono::milliseconds(400));
+        // Hold the cell in flight for a while: the deadline,
+        // single-flight, and watchdog tests use this to widen the
+        // race window deterministically.  $DDSC_FAULT_STALL_MS
+        // tunes the duration (default 400 ms) so watchdog tests can
+        // stall well past their budgets without slowing the rest of
+        // the suite.
+        static const unsigned stall_ms = [] {
+            const char *v = std::getenv("DDSC_FAULT_STALL_MS");
+            if (v && std::isdigit(static_cast<unsigned char>(v[0])))
+                return static_cast<unsigned>(
+                    std::strtoul(v, nullptr, 10));
+            return 400u;
+        }();
+        std::this_thread::sleep_for(std::chrono::milliseconds(stall_ms));
     }
     return runCell(trace, config);
 }
@@ -229,6 +239,10 @@ ExperimentDriver::statsFor(const WorkloadSpec &spec,
     }
     std::lock_guard<std::mutex> lock(mutex_);
     ++simulated_;
+    // A successful publish clears any provisional quarantine the
+    // watchdog applied while this very simulation was stuck: the
+    // result in hand proves the cell is healthy.
+    quarantine_.erase(cache_key);
     return cache_.emplace(cache_key, std::move(stats)).first->second;
 }
 
@@ -382,6 +396,9 @@ ExperimentDriver::prefetch(const std::vector<ExperimentCell> &cells)
                            missing[i].digest, results[i]);
         }
         ++simulated_;
+        // The finished result clears any provisional watchdog
+        // quarantine applied while this cell was stuck in flight.
+        quarantine_.erase(missing[i].key);
         cache_.emplace(missing[i].key, std::move(results[i]));
     }
 }
@@ -398,6 +415,34 @@ ExperimentDriver::storeHits() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return storeHits_;
+}
+
+std::size_t
+ExperimentDriver::quarantineCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return quarantine_.size();
+}
+
+void
+ExperimentDriver::quarantineCell(const std::string &key,
+                                 const std::string &message)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (cache_.find(key) != cache_.end())
+        return;     // already finished: nothing to poison
+    quarantine_.emplace(key, CellFailure{key, message, 0});
+}
+
+std::uint64_t
+ExperimentDriver::maxCellWallNanos() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::uint64_t max = 0;
+    for (const auto &[key, stats] : cache_)
+        if (stats.wallNanos > max)
+            max = stats.wallNanos;
+    return max;
 }
 
 std::vector<CellFailure>

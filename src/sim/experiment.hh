@@ -154,6 +154,29 @@ class ExperimentDriver
      *  every requested cell simulated cleanly. */
     std::vector<CellFailure> quarantineReport() const;
 
+    /** Number of quarantined cells (cheaper than quarantineReport()
+     *  when only the count is wanted, e.g. a health probe). */
+    std::size_t quarantineCount() const;
+
+    /**
+     * Quarantine @p key from outside the simulation path — the
+     * serving watchdog uses this for a cell stuck past its hard
+     * budget.  The quarantine is *provisional*: should the stuck
+     * simulation ever finish, its published result clears the entry
+     * again (see prefetch()/statsFor()), so a transient stall
+     * self-heals while a true hang degrades to the same n/a
+     * aggregation as any other poisoned cell.  No-op when the cell is
+     * already cached or quarantined.
+     */
+    void quarantineCell(const std::string &key,
+                        const std::string &message);
+
+    /** Largest scheduler wall time of any cached cell, in
+     *  nanoseconds (0 with an empty cache).  Feeds the serving
+     *  watchdog's adaptive budget: a cell in flight for many times
+     *  the slowest cell ever observed is stuck, not slow. */
+    std::uint64_t maxCellWallNanos() const;
+
     /**
      * Simulate every not-yet-cached cell of @p cells concurrently on
      * up to jobs() threads, filling the result cache.  Subsequent

@@ -41,7 +41,7 @@ constexpr std::uint32_t kFingerprintSchema = 1;
 /** '|'-separated fields in MachineConfig::fingerprint(). */
 constexpr unsigned kFingerprintFields = 19;
 
-constexpr std::uint32_t kProtocol = 1;
+constexpr std::uint32_t kProtocol = 2;  ///< v2 added Health + Stalled
 
 /** The `--version` banner every CLI tool prints. */
 inline void

@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Deterministic in-process chaos for the crash-only serving stack:
+ * real Server generations over one durable store, a retrying Client,
+ * and armed fault points.
+ *
+ * What the process-level soak (tools/serve_chaos.sh) proves with real
+ * SIGKILLs, this file proves deterministically where a debugger can
+ * reach:
+ *
+ *  - Watchdog: a cell held in flight past the soft budget fails its
+ *    waiters — current and future — with the typed, retryable
+ *    Stalled error inside the budget (not after the stall), is
+ *    provisionally quarantined past the hard budget, and *self-heals*
+ *    when the stuck simulation finally publishes: retrying clients
+ *    converge to byte-identical output and the quarantine is empty
+ *    again.
+ *  - Soak: successive server generations over the same --cache-dir,
+ *    each armed with a different fault (transient cell throw, torn
+ *    frame, mid-response disconnect), all answered byte-identical to
+ *    a clean local run through a client with retries; the store's
+ *    record count never decreases across generations, and the final
+ *    cold generation serves everything from the store.
+ *
+ * Timing: stalls are DDSC_FAULT_STALL_MS (set per-test; each gtest
+ * case runs in its own process under ctest, so the latch-once env
+ * read is safe), watchdog budgets are explicit — nothing here trusts
+ * scheduler luck beyond "a 300 ms budget elapses well before a 3 s
+ * stall ends".
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/client.hh"
+#include "serve/server.hh"
+#include "sim/matrix_query.hh"
+#include "support/fault.hh"
+
+namespace ddsc
+{
+namespace
+{
+
+/** A running server on an ephemeral port, drained on destruction. */
+class ServerFixture
+{
+  public:
+    explicit ServerFixture(serve::ServerOptions opts = {})
+    {
+        opts.port = 0;              // ephemeral
+        opts.testScale = true;      // small workloads
+        if (opts.jobs == 0)
+            opts.jobs = 2;
+        server_ = std::make_unique<serve::Server>(opts);
+        EXPECT_TRUE(server_->valid());
+        thread_ = std::thread([this]() { server_->run(); });
+    }
+
+    ~ServerFixture()
+    {
+        server_->stop();
+        thread_.join();
+    }
+
+    serve::Server &server() { return *server_; }
+    std::uint16_t port() const { return server_->port(); }
+
+  private:
+    std::unique_ptr<serve::Server> server_;
+    std::thread thread_;
+};
+
+MatrixQuery
+smallQuery()
+{
+    MatrixQuery query;
+    query.set = "pc";       // go + li: 4 cells for configs AD, width 4
+    query.configs = "AD";
+    query.widths = {4};
+    query.metric = "ipc";
+    return query;
+}
+
+/** Ground truth: the same query against a fresh local driver (no
+ *  serving layer, no faults armed when called). */
+std::string
+oracleBytes(const MatrixQuery &query)
+{
+    ExperimentDriver local(0, /*test_scale=*/true, /*jobs=*/1);
+    return runMatrixQuery(local, query).render(true);
+}
+
+std::string
+freshDir(const std::string &leaf)
+{
+    const std::string dir = testing::TempDir() + "/" + leaf;
+    std::filesystem::remove_all(dir);
+    return dir;
+}
+
+TEST(ServeChaos, HealthReportsGenerationAndUptime)
+{
+    serve::ServerOptions opts;
+    opts.generation = 7;
+    opts.watchdogBudgetMs = 1234;
+    ServerFixture fx(opts);
+
+    net::Client client(fx.port());
+    const net::HealthInfo health = client.health();
+    EXPECT_EQ(health.generation, 7u);
+    EXPECT_EQ(health.liveSessions, 1u);
+    EXPECT_EQ(health.quarantinedCells, 0u);
+    EXPECT_EQ(health.stalledCells, 0u);
+    EXPECT_EQ(health.storeRecords, 0u);     // no store attached
+    // The watchdog publishes the pinned budget after its first sweep
+    // (within ~100 ms); poll briefly rather than racing it.
+    for (int i = 0; i < 50; ++i) {
+        if (client.health().watchdogBudgetMs == 1234u)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    EXPECT_EQ(client.health().watchdogBudgetMs, 1234u);
+}
+
+#ifndef DDSC_NO_FAULT_INJECTION
+
+TEST(ServeChaos, StalledCellFailsWaitersTypedThenHeals)
+{
+    // Ground truth before any fault is armed (the local driver shares
+    // this process's fault registry).
+    const MatrixQuery query = smallQuery();
+    const std::string oracle = oracleBytes(query);
+
+    // A 3 s stall against a 300 ms soft budget (hard budget 2.4 s):
+    // the watchdog soft-fails waiters at ~0.3-0.4 s, provisionally
+    // quarantines at ~2.4-2.5 s, and the publish at ~3 s clears it.
+    ::setenv("DDSC_FAULT_STALL_MS", "3000", 1);
+    support::faultArm("cell-stall:li/A/4");
+
+    serve::ServerOptions opts;
+    opts.watchdogBudgetMs = 300;
+    ServerFixture fx(opts);
+
+    // Request A owns the stalled cell's flight: it pays the full
+    // stall, then gets the clean answer (its own publish cleared the
+    // provisional quarantine).
+    std::string ownerBytes;
+    std::thread owner([&]() {
+        net::Client a(fx.port());
+        ownerBytes = a.matrix(query).render(true);
+    });
+
+    // Give A time to claim the cell and enter the stall.
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+
+    // Request B coalesces onto the stalled flight: it must fail with
+    // the typed Stalled error promptly — around the soft budget, not
+    // after the 3 s stall.
+    {
+        const auto before = std::chrono::steady_clock::now();
+        net::Client b(fx.port());
+        try {
+            (void)b.matrix(query);
+            FAIL() << "waiter on a stalled cell must fail typed";
+        } catch (const net::ServerError &e) {
+            EXPECT_EQ(e.code, net::ErrCode::Stalled);
+            EXPECT_TRUE(net::errCodeRetryable(e.code));
+            EXPECT_NE(std::string(e.what()).find("li/A/4"),
+                      std::string::npos)
+                << e.what();
+        }
+        const auto waited =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now() - before);
+        EXPECT_LT(waited.count(), 2000)
+            << "typed failure must beat the 3 s stall";
+
+        // While the flight is stuck, health shows it.
+        const net::HealthInfo health = b.health();
+        EXPECT_GE(health.stalledCells, 1u);
+    }
+
+    // Request C retries through the stall: every attempt before the
+    // owner publishes gets Stalled (including the hard-quarantine
+    // window — never a silent n/a), and the first attempt after the
+    // publish gets the clean, byte-identical answer.
+    {
+        net::RetryPolicy policy;
+        policy.retries = 30;
+        policy.budgetMs = 20000;
+        const std::uint16_t port = fx.port();
+        net::Client c([port]() { return port; }, -1, policy);
+        EXPECT_EQ(c.matrix(query).render(true), oracle);
+        EXPECT_GE(c.retriesUsed(), 1u);
+
+        // The stuck simulation finished and published: the
+        // provisional quarantine is gone.
+        EXPECT_EQ(c.health().quarantinedCells, 0u);
+        EXPECT_EQ(c.health().stalledCells, 0u);
+    }
+
+    owner.join();
+    EXPECT_EQ(ownerBytes, oracle);
+
+    support::faultArm("");
+    ::unsetenv("DDSC_FAULT_STALL_MS");
+}
+
+TEST(ServeChaos, SoakAcrossGenerationsAndFaults)
+{
+    const MatrixQuery query = smallQuery();
+    const std::string oracle = oracleBytes(query);
+    const std::string cache = freshDir("ddsc_chaos_soak");
+
+    // One fault per generation, every kind the wire and the driver
+    // know: nth-form faults are transient (fire once), so with
+    // retries every generation must converge to the oracle bytes.
+    const std::vector<std::string> faults = {
+        "",                     // clean cold start, fills the store
+        "cell-throw:2",         // transient cell failure, retried
+        "net-torn-frame:1",     // a frame dies mid-send
+        "net-disconnect:1",     // mid-response hang-up
+        "cell-throw:1",
+        "",                     // clean cold finish: store answers all
+    };
+
+    std::uint64_t prevRecords = 0;
+    for (std::size_t gen = 0; gen < faults.size(); ++gen) {
+        support::faultArm(faults[gen]);
+
+        serve::ServerOptions opts;
+        opts.cacheDir = cache;
+        opts.generation = gen;
+        opts.watchdogBudgetMs = 5000;
+        ServerFixture fx(opts);
+
+        net::RetryPolicy policy;
+        policy.retries = 10;
+        policy.budgetMs = 60000;
+        const std::uint16_t port = fx.port();
+        net::Client client([port]() { return port; }, -1, policy);
+
+        EXPECT_EQ(client.matrix(query).render(true), oracle)
+            << "generation " << gen << " fault '" << faults[gen] << "'";
+
+        const net::HealthInfo health = client.health();
+        EXPECT_EQ(health.generation, gen);
+        EXPECT_GE(health.storeRecords, prevRecords)
+            << "the store must never lose a completed cell";
+        prevRecords = health.storeRecords;
+
+        if (gen + 1 == faults.size()) {
+            // Cold final generation: everything came from the store.
+            EXPECT_EQ(client.info().simulated, 0u);
+            EXPECT_GE(client.info().storeHits, 4u);
+        }
+    }
+    EXPECT_EQ(prevRecords, 4u);     // 2 workloads x 2 configs x 1 width
+
+    support::faultArm("");
+    std::filesystem::remove_all(cache);
+}
+
+#endif // DDSC_NO_FAULT_INJECTION
+
+} // anonymous namespace
+} // namespace ddsc

@@ -21,6 +21,8 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstring>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -302,6 +304,128 @@ TEST(Serve, BadRequestIsTypedAndSessionSurvives)
     }
     EXPECT_TRUE(bad);
     client.ping();      // same session still usable
+}
+
+TEST(Serve, OverloadShedFrameBytesArePinned)
+{
+    serve::ServerOptions opts;
+    opts.maxSessions = 1;
+    ServerFixture fx(opts);
+
+    // Occupy the only slot so the next connect is shed at accept.
+    net::Client holder(fx.port());
+    holder.ping();
+
+    // The shed reply, byte for byte: DDSN magic, type Error (9),
+    // length, CRC-32, then payload { code Overloaded (2), message }.
+    // This pins the wire ABI — old clients decide "back off and
+    // retry" from exactly these bytes, so changing any of them is a
+    // protocol revision, not a refactor.
+    static const unsigned char kShedFrame[] = {
+        0x44, 0x44, 0x53, 0x4e,             // magic "DDSN"
+        0x09,                               // MsgType::Error
+        0x33, 0x00, 0x00, 0x00,             // payload length 51
+        0xf0, 0x40, 0x5f, 0x35,             // CRC-32 of the payload
+        0x02,                               // ErrCode::Overloaded
+        0x2e, 0x00, 0x00, 0x00,             // message length 46
+        's', 'e', 'r', 'v', 'e', 'r', ' ', 'a', 't', ' ',
+        'c', 'a', 'p', 'a', 'c', 'i', 't', 'y', ' ', '(',
+        '1', ' ', 's', 'e', 's', 's', 'i', 'o', 'n', 's',
+        ')', ';', ' ', 'r', 'e', 't', 'r', 'y', ' ',
+        's', 'h', 'o', 'r', 't', 'l', 'y',
+    };
+
+    net::Fd conn = net::connectLocal(fx.port());
+    ASSERT_TRUE(conn.valid());
+    unsigned char got[sizeof kShedFrame];
+    ASSERT_EQ(net::recvExact(conn.get(), got, sizeof got, 5000),
+              sizeof got);
+    EXPECT_EQ(std::memcmp(got, kShedFrame, sizeof kShedFrame), 0);
+
+    // After the shed frame the server hangs up: clean EOF, no tail.
+    unsigned char extra = 0;
+    EXPECT_EQ(net::recvExact(conn.get(), &extra, 1, 2000), 0u);
+}
+
+TEST(Serve, RetryRidesOutOverloadUntilASlotFrees)
+{
+    serve::ServerOptions opts;
+    opts.maxSessions = 1;
+    ServerFixture fx(opts);
+
+    ExperimentDriver local(0, /*test_scale=*/true, /*jobs=*/1);
+    const std::string oracle =
+        runMatrixQuery(local, smallQuery()).render(true);
+
+    auto holder = std::make_unique<net::Client>(fx.port());
+    holder->ping();
+    std::thread freeSlot([&holder]() {
+        std::this_thread::sleep_for(std::chrono::milliseconds(400));
+        holder.reset();     // hang up; the server reaps the slot
+    });
+
+    // Every attempt while the slot is held is shed with Overloaded
+    // (retryable); once the holder hangs up, an attempt lands and the
+    // answer is the ordinary byte-identical one.
+    net::RetryPolicy policy;
+    policy.retries = 20;
+    policy.budgetMs = 30000;
+    const std::uint16_t port = fx.port();
+    net::Client retrying([port]() { return port; }, -1, policy);
+    EXPECT_EQ(retrying.matrix(smallQuery()).render(true), oracle);
+    EXPECT_GE(retrying.retriesUsed(), 1u);
+    freeSlot.join();
+}
+
+TEST(Serve, TimedOutReplyPoisonsTheConnection)
+{
+    ServerFixture fx;
+
+    // One cell sleeps ~400 ms, so the reply outlives a 100 ms client
+    // read timeout and arrives on a socket the client abandoned.
+    support::faultArm("cell-stall:li/A/4");
+    net::Client client(fx.port(), /*timeout_ms=*/100);
+    EXPECT_THROW(client.matrix(smallQuery()), net::TransportError);
+    support::faultArm("");
+
+    // The timeout must have poisoned the connection: the stale
+    // MatrixReply lands on the old socket once the stall ends, and a
+    // ping over that socket would read it as a desynchronized,
+    // wrong-type frame.  Poisoned, the client reconnects instead.
+    // Under sanitizer builds the server can be slow enough that the
+    // 100 ms timeout keeps tripping — retrying a timeout is fine, but
+    // no attempt may ever read the stale frame.
+    auto neverDesynced = [](const net::TransportError &e) {
+        EXPECT_EQ(std::string(e.what()).find("unexpected reply"),
+                  std::string::npos)
+            << e.what();
+    };
+    bool ponged = false;
+    for (int i = 0; i < 100 && !ponged; ++i) {
+        try {
+            client.ping();
+            ponged = true;
+        } catch (const net::TransportError &e) {
+            neverDesynced(e);
+            std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        }
+    }
+    EXPECT_TRUE(ponged);
+
+    // ...and the answer it then gets is the ordinary, complete one
+    // (the server finished computing; only the wait was abandoned).
+    for (int i = 0; i < 100; ++i) {
+        try {
+            const MatrixResult result = client.matrix(smallQuery());
+            EXPECT_EQ(result.summary.cells, 4u);
+            EXPECT_TRUE(result.quarantined.empty());
+            return;
+        } catch (const net::TransportError &e) {
+            neverDesynced(e);
+            std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        }
+    }
+    FAIL() << "matrix never completed inside the 100 ms timeout";
 }
 
 TEST(Serve, DrainRefusesNewConnections)

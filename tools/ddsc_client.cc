@@ -6,12 +6,15 @@
  *   ddsc-client [--port N | --port-file PATH]
  *               [--set all|pc|npc] [--configs ABCDE] [--widths 4,8,...]
  *               [--metric ipc|speedup|collapsed] [--csv]
- *               [--deadline-ms N] [--info] [--ping] [--version]
+ *               [--deadline-ms N] [--retries N] [--retry-budget-ms N]
+ *               [--info] [--health] [--ping] [--version]
  *
  * Examples:
  *   ddsc-client --port 7411 --set pc --metric speedup
  *   ddsc-client --port-file /tmp/ddsc.port --csv > fig.csv
  *   ddsc-client --port 7411 --info
+ *   ddsc-client --port-file /tmp/ddsc.port --retries 10 \
+ *               --retry-budget-ms 60000   # rides across restarts
  *
  * The matrix flags are exactly ddsc-matrix's, and for any query the
  * stdout bytes are identical to what ddsc-matrix prints for the same
@@ -22,10 +25,20 @@
  * comes back as a typed deadline error while the server keeps
  * computing (the next request gets the cached cells).
  *
+ * --retries N retries transport failures and retryable server errors
+ * (overloaded, draining, stalled) up to N times with capped
+ * exponential backoff and jitter; --retry-budget-ms bounds the total
+ * wall clock spent retrying.  With --port-file the file is re-read
+ * before every connect, so a client with retries follows a supervised
+ * server across restarts (each generation binds a fresh ephemeral
+ * port).  Retried queries are answered from the server's cache/store
+ * — same bytes, no duplicated simulation.
+ *
  * Exit status: 0 success; 1 quarantined cells in the answer (matches
  * ddsc-matrix); 2 usage; 3 transport failure (cannot connect,
- * connection died, malformed bytes); 4 typed server error (overloaded,
- * draining, deadline, version mismatch, bad request).
+ * connection died, malformed bytes — after retries, if enabled);
+ * 4 typed server error (overloaded, draining, stalled, deadline,
+ * version mismatch, bad request — after retries where retryable).
  */
 
 #include <cstdio>
@@ -49,7 +62,8 @@ usage()
         "                   [--set all|pc|npc] [--configs ABCDE]\n"
         "                   [--widths 4,8,...] "
         "[--metric ipc|speedup|collapsed]\n"
-        "                   [--csv] [--deadline-ms N] [--info] "
+        "                   [--csv] [--deadline-ms N] [--retries N]\n"
+        "                   [--retry-budget-ms N] [--info] [--health] "
         "[--ping] [--version]\n");
     std::exit(2);
 }
@@ -76,23 +90,20 @@ parseWidths(const std::string &spec)
     return widths;
 }
 
+/** Read the server's port file; 0 when missing, empty, or malformed
+ *  (all transient during a supervised restart — the retry policy
+ *  treats 0 as a retryable transport failure). */
 std::uint16_t
 readPortFile(const std::string &path)
 {
     std::FILE *f = std::fopen(path.c_str(), "r");
-    if (f == nullptr) {
-        std::fprintf(stderr, "ddsc-client: cannot read port file %s\n",
-                     path.c_str());
-        std::exit(3);
-    }
+    if (f == nullptr)
+        return 0;
     unsigned port = 0;
     const int n = std::fscanf(f, "%u", &port);
     std::fclose(f);
-    if (n != 1 || port == 0 || port > 65535) {
-        std::fprintf(stderr, "ddsc-client: malformed port file %s\n",
-                     path.c_str());
-        std::exit(3);
-    }
+    if (n != 1 || port == 0 || port > 65535)
+        return 0;
     return static_cast<std::uint16_t>(port);
 }
 
@@ -104,9 +115,11 @@ main(int argc, char **argv)
     MatrixQuery query;
     bool csv = false;
     bool info = false;
+    bool health = false;
     bool ping = false;
     std::uint16_t port = 7411;
     std::string port_file;
+    net::RetryPolicy policy;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -135,8 +148,16 @@ main(int argc, char **argv)
         } else if (arg == "--deadline-ms") {
             query.deadlineMs = static_cast<std::uint64_t>(
                 std::atoll(value().c_str()));
+        } else if (arg == "--retries") {
+            policy.retries = static_cast<unsigned>(
+                std::atoi(value().c_str()));
+        } else if (arg == "--retry-budget-ms") {
+            policy.budgetMs = static_cast<std::uint64_t>(
+                std::atoll(value().c_str()));
         } else if (arg == "--info") {
             info = true;
+        } else if (arg == "--health") {
+            health = true;
         } else if (arg == "--ping") {
             ping = true;
         } else if (arg == "--version") {
@@ -146,16 +167,23 @@ main(int argc, char **argv)
             usage();
         }
     }
-    if (!port_file.empty())
-        port = readPortFile(port_file);
     std::string why;
-    if (!info && !ping && !query.validate(&why)) {
+    if (!info && !health && !ping && !query.validate(&why)) {
         std::fprintf(stderr, "ddsc-client: %s\n", why.c_str());
         usage();
     }
 
     try {
-        net::Client client(port);
+        // Re-reading the port file before every connect is what lets
+        // retries follow a supervised server across restarts: each
+        // generation binds a fresh ephemeral port and rewrites the
+        // file once its listener is live.
+        auto provider = [port, port_file]() -> std::uint16_t {
+            if (!port_file.empty())
+                return readPortFile(port_file);
+            return port;
+        };
+        net::Client client(provider, -1, policy);
 
         if (ping) {
             client.ping();
@@ -188,6 +216,33 @@ main(int argc, char **argv)
                             si.activeSessions));
             std::printf("store             : %s\n",
                         si.hasStore ? si.storePath.c_str() : "(none)");
+            return 0;
+        }
+        if (health) {
+            const net::HealthInfo hi = client.health();
+            std::printf("uptime ms         : %llu\n",
+                        static_cast<unsigned long long>(hi.uptimeMs));
+            std::printf("generation        : %llu\n",
+                        static_cast<unsigned long long>(
+                            hi.generation));
+            std::printf("live sessions     : %llu\n",
+                        static_cast<unsigned long long>(
+                            hi.liveSessions));
+            std::printf("quarantined cells : %llu\n",
+                        static_cast<unsigned long long>(
+                            hi.quarantinedCells));
+            std::printf("registry depth    : %llu\n",
+                        static_cast<unsigned long long>(
+                            hi.registryDepth));
+            std::printf("stalled cells     : %llu\n",
+                        static_cast<unsigned long long>(
+                            hi.stalledCells));
+            std::printf("store records     : %llu\n",
+                        static_cast<unsigned long long>(
+                            hi.storeRecords));
+            std::printf("watchdog budget ms: %llu\n",
+                        static_cast<unsigned long long>(
+                            hi.watchdogBudgetMs));
             return 0;
         }
 

@@ -4,11 +4,15 @@
  *
  * Usage:
  *   ddsc-served [--port N] [--port-file PATH] [--jobs N]
- *               [--cache-dir DIR] [--max-sessions N] [--version]
+ *               [--cache-dir DIR] [--max-sessions N]
+ *               [--watchdog-budget-ms N] [--supervise]
+ *               [--pid-file PATH] [--max-restarts K] [--version]
  *
  * Examples:
  *   ddsc-served --port 7411 --cache-dir /var/tmp/ddsc
  *   ddsc-served --port 0 --port-file /tmp/ddsc.port   # ephemeral port
+ *   ddsc-served --supervise --port 0 --port-file /tmp/ddsc.port \
+ *               --pid-file /tmp/ddsc.pid --cache-dir /var/tmp/ddsc
  *
  * The server keeps traces and every simulated cell resident, so the
  * first client pays for a sweep once and every later identical query
@@ -19,16 +23,41 @@
  *
  * --port 0 binds a kernel-assigned ephemeral port; --port-file writes
  * the bound port (a single line) once the listener is live, which is
- * also the "ready" signal scripts should poll for.
+ * also the "ready" signal scripts should poll for.  Each supervised
+ * generation rewrites it.
+ *
+ * --supervise runs crash-only: a supervisor process forks the actual
+ * server and restarts it whenever it dies for any reason other than a
+ * clean drain — non-zero exit, SIGKILL, SIGSEGV — with capped
+ * exponential backoff between rapid deaths.  The restarted generation
+ * re-attaches the same --cache-dir store, so every cell that was
+ * durable before the crash is served from disk, not recomputed.
+ * --max-restarts K is the flap breaker: K consecutive deaths within
+ * 5 s of birth and the supervisor gives up (exit 1) rather than spin
+ * on a server that cannot stay up.  --pid-file records the pid of the
+ * *serving* process of the current generation (what a chaos harness
+ * or an operator would signal), in supervised and plain mode alike.
+ *
+ * --watchdog-budget-ms pins the hung-cell watchdog's soft budget; by
+ * default it adapts to 8x the slowest cell observed (2 s floor).
  *
  * SIGINT/SIGTERM drain: in-flight requests finish and reply, new
  * connections are refused, the store is flushed and compacted, and
- * the process exits 0.
+ * the process exits 0.  The supervisor forwards the signal to the
+ * serving child and exits cleanly once the drain finishes.
  */
 
+#include <cerrno>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <poll.h>
 #include <string>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include "serve/server.hh"
 #include "support/shutdown.hh"
@@ -37,64 +66,41 @@
 namespace
 {
 
+using namespace ddsc;
+
 [[noreturn]] void
 usage()
 {
     std::fprintf(stderr,
         "usage: ddsc-served [--port N] [--port-file PATH] [--jobs N]\n"
-        "                   [--cache-dir DIR] [--max-sessions N] "
+        "                   [--cache-dir DIR] [--max-sessions N]\n"
+        "                   [--watchdog-budget-ms N] [--supervise]\n"
+        "                   [--pid-file PATH] [--max-restarts K] "
         "[--version]\n");
     std::exit(2);
 }
 
-} // anonymous namespace
-
-int
-main(int argc, char **argv)
+bool
+writeOneLine(const std::string &path, unsigned long long value,
+             const char *what)
 {
-    using namespace ddsc;
-
-    serve::ServerOptions opts;
-    opts.port = 7411;       // default; 0 = ephemeral
-    std::string port_file;
-    bool port_given = false;
-
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        auto value = [&]() -> std::string {
-            if (i + 1 >= argc)
-                usage();
-            return argv[++i];
-        };
-        if (arg == "--port") {
-            opts.port = static_cast<std::uint16_t>(
-                std::atoi(value().c_str()));
-            port_given = true;
-        } else if (arg == "--port-file") {
-            port_file = value();
-        } else if (arg == "--jobs") {
-            opts.jobs = static_cast<unsigned>(
-                std::atoi(value().c_str()));
-            if (opts.jobs == 0)
-                usage();
-        } else if (arg == "--cache-dir") {
-            opts.cacheDir = value();
-        } else if (arg == "--max-sessions") {
-            opts.maxSessions = static_cast<unsigned>(
-                std::atoi(value().c_str()));
-            if (opts.maxSessions == 0)
-                usage();
-        } else if (arg == "--version") {
-            support::version::print("ddsc-served");
-            return 0;
-        } else {
-            usage();
-        }
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "ddsc-served: cannot write %s %s\n",
+                     what, path.c_str());
+        return false;
     }
-    (void)port_given;
+    std::fprintf(f, "%llu\n", value);
+    std::fclose(f);
+    return true;
+}
 
-    support::installShutdownHandler();
-
+/** Construct and run one server process; the whole body of plain
+ *  (unsupervised) mode and of each supervised generation. */
+int
+runServer(const serve::ServerOptions &opts,
+          const std::string &port_file, const std::string &pid_file)
+{
     serve::Server server(opts);
     if (!server.valid()) {
         std::fprintf(stderr,
@@ -104,21 +110,21 @@ main(int argc, char **argv)
         return 1;
     }
 
-    if (!port_file.empty()) {
-        std::FILE *f = std::fopen(port_file.c_str(), "w");
-        if (f == nullptr) {
-            std::fprintf(stderr,
-                         "ddsc-served: cannot write port file %s\n",
-                         port_file.c_str());
-            return 1;
-        }
-        std::fprintf(f, "%u\n",
-                     static_cast<unsigned>(server.port()));
-        std::fclose(f);
-    }
+    if (!pid_file.empty() &&
+        !writeOneLine(pid_file,
+                      static_cast<unsigned long long>(::getpid()),
+                      "pid file"))
+        return 1;
+    // The port file is the "ready" signal scripts poll for; write it
+    // only after the listener is live.
+    if (!port_file.empty() &&
+        !writeOneLine(port_file, server.port(), "port file"))
+        return 1;
 
-    std::fprintf(stderr, "# ddsc-served listening on 127.0.0.1:%u\n",
-                 static_cast<unsigned>(server.port()));
+    std::fprintf(stderr, "# ddsc-served listening on 127.0.0.1:%u"
+                 " (generation %llu)\n",
+                 static_cast<unsigned>(server.port()),
+                 static_cast<unsigned long long>(opts.generation));
     if (!opts.cacheDir.empty()) {
         std::fprintf(stderr, "# store: %s\n",
                      server.infoSnapshot().storePath.c_str());
@@ -138,4 +144,211 @@ main(int argc, char **argv)
                  static_cast<unsigned long long>(
                      server.infoSnapshot().coalesced));
     return 0;
+}
+
+/** Sleep up to @p delay_ms, returning early (true) when shutdown was
+ *  requested meanwhile. */
+bool
+interruptibleSleep(std::uint64_t delay_ms)
+{
+    const int fd = support::shutdownFd();
+    pollfd p = {fd, POLLIN, 0};
+    const int n =
+        ::poll(&p, fd >= 0 ? 1u : 0u, static_cast<int>(delay_ms));
+    (void)n;
+    return support::shutdownRequested();
+}
+
+/** Crash-only supervision: fork the server, restart on any unclean
+ *  death, give up after @p max_restarts consecutive rapid deaths. */
+int
+supervise(serve::ServerOptions opts, const std::string &port_file,
+          const std::string &pid_file, unsigned max_restarts)
+{
+    /** A generation that died younger than this is a "rapid" death
+     *  for the flap breaker and escalates the restart backoff. */
+    constexpr std::uint64_t kRapidDeathMs = 5000;
+    constexpr std::uint64_t kBackoffBaseMs = 100;
+    constexpr std::uint64_t kBackoffCapMs = 5000;
+
+    unsigned rapid_deaths = 0;
+    for (std::uint64_t generation = 0;; ++generation) {
+        opts.generation = generation;
+        const pid_t child = ::fork();
+        if (child < 0) {
+            std::fprintf(stderr, "ddsc-served: fork failed: %s\n",
+                         std::strerror(errno));
+            return 1;
+        }
+        if (child == 0) {
+            // The serving process.  It writes the pid/port files
+            // itself, after its listener is live.  A pre-fork signal
+            // must not leak in as this generation's shutdown.
+            support::resetShutdownAfterFork();
+            std::exit(runServer(opts, port_file, pid_file));
+        }
+
+        std::fprintf(stderr,
+                     "# ddsc-served[supervisor]: generation %llu is "
+                     "pid %ld\n",
+                     static_cast<unsigned long long>(generation),
+                     static_cast<long>(child));
+
+        const auto born = std::chrono::steady_clock::now();
+        int status = 0;
+        bool failed = false;
+        for (bool forwarded = false;;) {
+            // Forward our own SIGTERM/SIGINT so the child drains.  A
+            // blocking waitpid alone would race a signal delivered
+            // just before it parks; polling the shutdown self-pipe
+            // (readable from the instant the handler ran) closes that
+            // window, and once forwarded there is nothing left to
+            // watch, so the wait can block for real.
+            if (support::shutdownRequested() && !forwarded) {
+                ::kill(child, SIGTERM);
+                forwarded = true;
+            }
+            const pid_t got =
+                ::waitpid(child, &status, forwarded ? 0 : WNOHANG);
+            if (got == child)
+                break;
+            if (got < 0 && errno != EINTR) {
+                std::fprintf(stderr,
+                             "ddsc-served[supervisor]: waitpid "
+                             "failed: %s\n", std::strerror(errno));
+                failed = true;
+                break;
+            }
+            if (!forwarded) {
+                pollfd p = {support::shutdownFd(), POLLIN, 0};
+                ::poll(&p, 1, 200);
+            }
+        }
+        if (failed)
+            return 1;
+
+        if (WIFEXITED(status) && WEXITSTATUS(status) == 0) {
+            std::fprintf(stderr,
+                         "# ddsc-served[supervisor]: generation %llu "
+                         "drained cleanly\n",
+                         static_cast<unsigned long long>(generation));
+            return 0;
+        }
+        if (support::shutdownRequested()) {
+            // We asked it to stop and it still died unclean — report
+            // but don't restart what we were told to shut down.
+            std::fprintf(stderr,
+                         "# ddsc-served[supervisor]: shutdown "
+                         "requested; not restarting\n");
+            return 0;
+        }
+
+        const std::uint64_t lifetime_ms = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now() - born)
+                .count());
+        if (WIFSIGNALED(status)) {
+            std::fprintf(stderr,
+                         "# ddsc-served[supervisor]: generation %llu "
+                         "killed by signal %d (%s) after %llu ms\n",
+                         static_cast<unsigned long long>(generation),
+                         WTERMSIG(status), strsignal(WTERMSIG(status)),
+                         static_cast<unsigned long long>(lifetime_ms));
+        } else {
+            std::fprintf(stderr,
+                         "# ddsc-served[supervisor]: generation %llu "
+                         "exited %d after %llu ms\n",
+                         static_cast<unsigned long long>(generation),
+                         WIFEXITED(status) ? WEXITSTATUS(status) : -1,
+                         static_cast<unsigned long long>(lifetime_ms));
+        }
+
+        rapid_deaths =
+            lifetime_ms < kRapidDeathMs ? rapid_deaths + 1 : 0;
+        if (rapid_deaths >= max_restarts) {
+            std::fprintf(stderr,
+                         "ddsc-served[supervisor]: flap breaker: %u "
+                         "consecutive rapid deaths; giving up\n",
+                         rapid_deaths);
+            return 1;
+        }
+
+        std::uint64_t delay = kBackoffBaseMs;
+        for (unsigned i = 1; i < rapid_deaths && delay < kBackoffCapMs;
+             ++i)
+            delay *= 2;
+        if (delay > kBackoffCapMs)
+            delay = kBackoffCapMs;
+        if (rapid_deaths > 0) {
+            std::fprintf(stderr,
+                         "# ddsc-served[supervisor]: restarting in "
+                         "%llu ms\n",
+                         static_cast<unsigned long long>(delay));
+            if (interruptibleSleep(delay))
+                return 0;
+        }
+    }
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    serve::ServerOptions opts;
+    opts.port = 7411;       // default; 0 = ephemeral
+    std::string port_file;
+    std::string pid_file;
+    bool do_supervise = false;
+    unsigned max_restarts = 10;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage();
+            return argv[++i];
+        };
+        if (arg == "--port") {
+            opts.port = static_cast<std::uint16_t>(
+                std::atoi(value().c_str()));
+        } else if (arg == "--port-file") {
+            port_file = value();
+        } else if (arg == "--pid-file") {
+            pid_file = value();
+        } else if (arg == "--jobs") {
+            opts.jobs = static_cast<unsigned>(
+                std::atoi(value().c_str()));
+            if (opts.jobs == 0)
+                usage();
+        } else if (arg == "--cache-dir") {
+            opts.cacheDir = value();
+        } else if (arg == "--max-sessions") {
+            opts.maxSessions = static_cast<unsigned>(
+                std::atoi(value().c_str()));
+            if (opts.maxSessions == 0)
+                usage();
+        } else if (arg == "--watchdog-budget-ms") {
+            opts.watchdogBudgetMs = static_cast<std::uint64_t>(
+                std::atoll(value().c_str()));
+        } else if (arg == "--supervise") {
+            do_supervise = true;
+        } else if (arg == "--max-restarts") {
+            max_restarts = static_cast<unsigned>(
+                std::atoi(value().c_str()));
+            if (max_restarts == 0)
+                usage();
+        } else if (arg == "--version") {
+            support::version::print("ddsc-served");
+            return 0;
+        } else {
+            usage();
+        }
+    }
+
+    support::installShutdownHandler();
+
+    if (do_supervise)
+        return supervise(opts, port_file, pid_file, max_restarts);
+    return runServer(opts, port_file, pid_file);
 }

@@ -1,0 +1,146 @@
+#!/usr/bin/env bash
+# Chaos soak of the crash-only serving stack, driven by ctest and CI:
+# one supervised ddsc-served over one durable store, clients with
+# retries, and a hostile operator.
+#
+#   1. cold query     retrying client output is byte-identical to
+#                     ddsc-matrix
+#   2. SIGKILL x3     kill -9 the *serving* child between and during
+#                     queries; the supervisor restarts it (fresh
+#                     generation, fresh ephemeral port), the client
+#                     re-reads the port file and retries, and every
+#                     answer stays byte-identical; the store's record
+#                     count never decreases across generations
+#   3. armed faults   restart the soak with DDSC_FAULT set: every
+#                     generation re-arms the fault (transient net
+#                     disconnect, then a transient cell throw over a
+#                     cleared store), and retries still converge to the
+#                     oracle bytes
+#   4. drain          SIGTERM to the supervisor: the serving child
+#                     drains, nothing restarts, exit 0
+#
+# The in-process half of this story (watchdog stall -> typed Stalled,
+# self-healing quarantine) lives in tests/serve_chaos_test.cpp.
+#
+# usage: serve_chaos.sh <ddsc-served> <ddsc-client> <ddsc-matrix>
+set -euo pipefail
+
+SERVED=$1
+CLIENT=$2
+MATRIX=$3
+
+export DDSC_TRACE_LIMIT=20000
+QUERY=(--set pc --configs AD --widths 4 --metric ipc --csv)
+RETRY=(--retries 20 --retry-budget-ms 60000)
+
+work=$(mktemp -d)
+SUPER=
+cleanup() {
+    [ -n "$SUPER" ] && kill "$SUPER" 2>/dev/null || true
+    rm -rf "$work"
+}
+trap cleanup EXIT
+
+start_supervised() { # args: extra served flags...
+    : > "$work/port"
+    : > "$work/pid"
+    "$SERVED" --supervise --port 0 --port-file "$work/port" \
+        --pid-file "$work/pid" --jobs 2 --cache-dir "$work/cache" \
+        --max-restarts 50 --watchdog-budget-ms 10000 "$@" \
+        2>> "$work/served.log" &
+    SUPER=$!
+    wait_ready
+}
+
+wait_ready() { # the port file is the generation's ready signal
+    for _ in $(seq 1 150); do
+        [ -s "$work/port" ] && return 0
+        kill -0 "$SUPER" 2>/dev/null ||
+            { echo "supervisor died while starting" >&2; return 1; }
+        sleep 0.1
+    done
+    echo "server did not write its port file" >&2
+    return 1
+}
+
+stop_supervised() { # SIGTERM: drain the child, do not restart, exit 0
+    kill -TERM "$SUPER"
+    local rc=0
+    wait "$SUPER" || rc=$?
+    SUPER=
+    [ "$rc" -eq 0 ] ||
+        { echo "supervisor exited $rc on SIGTERM" >&2; return 1; }
+}
+
+kill_serving_child() { # -9, the crash the stack promises to survive
+    local victim
+    victim=$(cat "$work/pid")
+    [ -n "$victim" ] || { echo "empty pid file" >&2; return 1; }
+    : > "$work/port"    # so wait_ready sees the *next* generation
+    kill -KILL "$victim"
+}
+
+store_records() {
+    "$CLIENT" --port-file "$work/port" "${RETRY[@]}" --health |
+        awk -F: '/store records/ { gsub(/ /, "", $2); print $2 }'
+}
+
+query_matches_oracle() { # args: label
+    "$CLIENT" --port-file "$work/port" "${RETRY[@]}" "${QUERY[@]}" \
+        > "$work/$1.csv" 2> "$work/$1.log"
+    cmp "$work/oracle.csv" "$work/$1.csv" ||
+        { echo "$1: bytes diverged from the oracle" >&2; return 1; }
+}
+
+"$MATRIX" "${QUERY[@]}" > "$work/oracle.csv" 2> /dev/null
+
+# --- 1 + 2: SIGKILL soak over one store --------------------------------
+start_supervised
+
+query_matches_oracle cold
+records=$(store_records)
+[ "$records" -ge 1 ] || { echo "cold run stored nothing" >&2; exit 1; }
+
+for round in 1 2 3; do
+    kill_serving_child
+    # Round 2 races the kill against an in-flight query instead of
+    # politely waiting for the restart first.
+    if [ "$round" -ne 2 ]; then
+        wait_ready
+    fi
+    query_matches_oracle "kill$round"
+    next=$(store_records)
+    [ "$next" -ge "$records" ] ||
+        { echo "store shrank: $records -> $next" >&2; exit 1; }
+    records=$next
+done
+
+gens=$(grep -c 'killed by signal 9' "$work/served.log") || true
+[ "$gens" -ge 3 ] ||
+    { echo "expected >=3 logged SIGKILL deaths, saw $gens" >&2; exit 1; }
+
+stop_supervised
+grep -q 'drained cleanly' "$work/served.log" ||
+    { echo "no clean drain after SIGTERM" >&2; exit 1; }
+
+# --- 3: armed faults, warm store ---------------------------------------
+# Transient mid-response disconnect, re-armed by every generation.
+export DDSC_FAULT=net-disconnect:1
+start_supervised
+query_matches_oracle disco1
+kill_serving_child
+wait_ready
+query_matches_oracle disco2
+stop_supervised
+unset DDSC_FAULT
+
+# Transient cell throw over a cleared store: the cell really recomputes
+# under the fault and the bounded retry inside the driver absorbs it.
+rm -rf "$work/cache"
+export DDSC_FAULT=cell-throw:2
+start_supervised
+query_matches_oracle throw
+stop_supervised
+unset DDSC_FAULT
+
+echo "serve chaos: OK"
