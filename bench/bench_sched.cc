@@ -12,11 +12,20 @@
  * deterministic SchedStats field (everything except wallNanos) so two
  * builds can be compared for bit-identical simulation results.
  *
+ * Two series run over the same matrix: `event` is the historical
+ * cell-at-a-time path (setBatched(false), one private front-end per
+ * cell, bound-heap promotion), and `batched` is the one-pass path
+ * (one shared front-end per (workload, front-end fingerprint) group
+ * feeding wakeup-list back-ends).  The JSON's top-level throughput
+ * numbers stay the event series for cross-PR comparability; the
+ * "batched" object reports the new path and its speedupOverEvent.
+ *
  * It also cross-checks a subset of cells between the event-driven and
  * the naive reference engine — including a value-prediction-only
  * configuration, which the paper matrix never exercises — and exits
- * nonzero on any stats mismatch.  The CI bench smoke job relies on
- * that exit code.
+ * nonzero on any stats mismatch *or* on any per-cell digest divergence
+ * between the batched and event series.  The CI bench smoke job
+ * relies on that exit code.
  */
 
 #include <chrono>
@@ -37,49 +46,11 @@ const std::string kConfigs = "ABCDE";
 const std::vector<unsigned> kTimedWidths = {4, 8, 16, 2048};
 const std::vector<unsigned> kVerifyWidths = {4, 16};
 
-/** FNV-1a over the bytes of one 64-bit value. */
-std::uint64_t
-fold(std::uint64_t h, std::uint64_t v)
-{
-    for (unsigned i = 0; i < 8; ++i) {
-        h ^= (v >> (8 * i)) & 0xff;
-        h *= 1099511628211ull;
-    }
-    return h;
-}
-
 /** Digest every deterministic field of @p s (wallNanos excluded). */
 std::uint64_t
 digest(const SchedStats &s)
 {
-    std::uint64_t h = 1469598103934665603ull;
-    h = fold(h, s.instructions);
-    h = fold(h, s.cycles);
-    h = fold(h, s.condBranches);
-    h = fold(h, s.mispredicts);
-    h = fold(h, s.ctiPredictions);
-    h = fold(h, s.ctiMispredicts);
-    h = fold(h, s.loads);
-    for (const std::uint64_t n : s.loadClasses)
-        h = fold(h, n);
-    h = fold(h, s.eliminatedInstructions);
-    h = fold(h, s.valuePredHits);
-    h = fold(h, s.valuePredWrong);
-    h = fold(h, s.collapse.events());
-    h = fold(h, s.collapse.pairEvents());
-    h = fold(h, s.collapse.tripleEvents());
-    h = fold(h, s.collapse.collapsedInstructions());
-    for (unsigned c = 0; c < kNumCollapseCategories; ++c)
-        h = fold(h, s.collapse.eventsOf(static_cast<CollapseCategory>(c)));
-    for (const auto &[key, count] : s.collapse.distances().raw()) {
-        h = fold(h, key);
-        h = fold(h, count);
-    }
-    for (const auto &[key, count] : s.issuedPerCycle.raw()) {
-        h = fold(h, key);
-        h = fold(h, count);
-    }
-    return h;
+    return digestSchedStats(s);
 }
 
 /** Compare two runs field by field, reporting the first difference. */
@@ -127,6 +98,9 @@ main(int argc, char **argv)
 
     const char *out_path = argc > 1 ? argv[1] : "BENCH_sched.json";
     ExperimentDriver driver(0, /*test_scale=*/true);
+    // The event series is the cross-PR baseline: the historical
+    // cell-at-a-time path, one private front-end per cell.
+    driver.setBatched(false);
 
     std::printf("=== scheduler throughput (test-scale matrix) ===\n");
     std::printf("configs %s, widths", kConfigs.c_str());
@@ -209,6 +183,55 @@ main(int argc, char **argv)
     std::printf("naive/event cross-check: %u cells, %u mismatches\n",
                 checked, mismatches);
 
+    // Batched series: the same matrix through the one-pass path on a
+    // fresh driver (own cache, batched prefetch on by default).  Its
+    // traces are materialized outside the timed region like the event
+    // series', and every cell digest must equal the event series' —
+    // a divergence fails the bench (and with it the CI smoke job).
+    ExperimentDriver batched_driver(0, /*test_scale=*/true);
+    for (const WorkloadSpec *spec : ExperimentDriver::everything())
+        batched_driver.trace(*spec);
+    const auto batched_start = Clock::now();
+    batched_driver.prefetch(cells);
+    const double batched_elapsed =
+        std::chrono::duration<double>(Clock::now() - batched_start)
+            .count();
+
+    std::vector<CellReport> batched_reports;
+    std::uint64_t batched_nanos = 0;
+    unsigned batched_mismatches = 0;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const ExperimentCell &cell = cells[i];
+        const SchedStats &s =
+            batched_driver.stats(*cell.spec, cell.config, cell.width);
+        batched_reports.push_back({reports[i].key, s.instructions,
+                                   s.cycles, s.wallNanos, digest(s)});
+        batched_nanos += s.wallNanos;
+        if (digest(s) != reports[i].digest) {
+            ++batched_mismatches;
+            std::fprintf(stderr,
+                         "MISMATCH %s: batched digest %016" PRIx64
+                         " != event digest %016" PRIx64 "\n",
+                         reports[i].key.c_str(), digest(s),
+                         reports[i].digest);
+        }
+    }
+    const double batched_cell_seconds =
+        static_cast<double>(batched_nanos) * 1e-9;
+    const double batched_instrs_per_sec = batched_cell_seconds > 0.0
+        ? static_cast<double>(total_instrs) / batched_cell_seconds
+        : 0.0;
+    const double batched_cells_per_sec = batched_elapsed > 0.0
+        ? static_cast<double>(cells.size()) / batched_elapsed : 0.0;
+    const double speedup_over_event = batched_cell_seconds > 0.0
+        ? cell_seconds / batched_cell_seconds : 0.0;
+    std::printf("batched: %.2fs cell time (%.2fs elapsed), "
+                "%.0f instrs/sec, %.2fx over event, %u digest "
+                "mismatches\n",
+                batched_cell_seconds, batched_elapsed,
+                batched_instrs_per_sec, speedup_over_event,
+                batched_mismatches);
+
     std::FILE *out = std::fopen(out_path, "w");
     if (!out) {
         std::fprintf(stderr, "cannot open %s\n", out_path);
@@ -229,6 +252,13 @@ main(int argc, char **argv)
     std::fprintf(out, "  \"instrsPerSec\": %.0f,\n", instrs_per_sec);
     std::fprintf(out, "  \"verify\": {\"checked\": %u, "
                  "\"mismatches\": %u},\n", checked, mismatches);
+    std::fprintf(out, "  \"batched\": {\"cellSeconds\": %.6f, "
+                 "\"elapsedSeconds\": %.6f, \"cellsPerSec\": %.3f, "
+                 "\"instrsPerSec\": %.0f, \"speedupOverEvent\": %.3f, "
+                 "\"digestMismatches\": %u},\n",
+                 batched_cell_seconds, batched_elapsed,
+                 batched_cells_per_sec, batched_instrs_per_sec,
+                 speedup_over_event, batched_mismatches);
     std::fprintf(out, "  \"perCell\": [\n");
     for (std::size_t i = 0; i < reports.size(); ++i) {
         const CellReport &r = reports[i];
@@ -240,9 +270,19 @@ main(int argc, char **argv)
                      r.wallNanos, r.digest,
                      i + 1 < reports.size() ? "," : "");
     }
+    std::fprintf(out, "  ],\n");
+    std::fprintf(out, "  \"perCellBatched\": [\n");
+    for (std::size_t i = 0; i < batched_reports.size(); ++i) {
+        const CellReport &r = batched_reports[i];
+        std::fprintf(out,
+                     "    {\"cell\": \"%s\", \"wallNanos\": %" PRIu64
+                     "}%s\n",
+                     r.key.c_str(), r.wallNanos,
+                     i + 1 < batched_reports.size() ? "," : "");
+    }
     std::fprintf(out, "  ]\n}\n");
     std::fclose(out);
     std::printf("wrote %s\n", out_path);
 
-    return mismatches == 0 ? 0 : 1;
+    return mismatches == 0 && batched_mismatches == 0 ? 0 : 1;
 }

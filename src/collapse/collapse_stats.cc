@@ -7,6 +7,22 @@
 namespace ddsc
 {
 
+namespace
+{
+
+/** Count @p sig without building a std::string unless it is new. */
+void
+bump(SignatureMap &map, std::string_view sig)
+{
+    const auto it = map.lower_bound(sig);
+    if (it != map.end() && it->first == sig)
+        ++it->second;
+    else
+        map.emplace_hint(it, std::string(sig), 1);
+}
+
+} // anonymous namespace
+
 void
 CollapseStats::record(const CollapseEvent &event)
 {
@@ -16,11 +32,11 @@ CollapseStats::record(const CollapseEvent &event)
         distances_.add(event.distances[i]);
     if (event.groupSize == 2) {
         ++pairEvents_;
-        ++pairSignatures_[event.signature];
+        bump(pairSignatures_, event.signature);
     } else {
         ddsc_assert(event.groupSize == 3, "group size %u", event.groupSize);
         ++tripleEvents_;
-        ++tripleSignatures_[event.signature];
+        bump(tripleSignatures_, event.signature);
     }
 }
 

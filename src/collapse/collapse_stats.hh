@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "collapse/rules.hh"
@@ -26,10 +27,16 @@ struct CollapseEvent
 {
     CollapseCategory category;
     unsigned groupSize;                     ///< 2 or 3 instructions
-    std::string signature;                  ///< e.g. "arri-brc"
+    /** e.g. "arri-brc"; borrowed bytes, valid only for the record()
+     *  call (the simulator builds it in a stack buffer). */
+    std::string_view signature;
     std::array<std::uint64_t, 2> distances; ///< per collapsed arc
     unsigned distanceCount;                 ///< valid entries above
 };
+
+/** Signature frequency table; the transparent comparator lets the hot
+ *  path count a string_view without materializing a std::string. */
+using SignatureMap = std::map<std::string, std::uint64_t, std::less<>>;
 
 /**
  * Aggregated collapse statistics for one simulation run.
@@ -66,13 +73,10 @@ class CollapseStats
     const Histogram &distances() const { return distances_; }
 
     /** Pair-signature frequency table (Table 5 input). */
-    const std::map<std::string, std::uint64_t> &pairSignatures() const
-    {
-        return pairSignatures_;
-    }
+    const SignatureMap &pairSignatures() const { return pairSignatures_; }
 
     /** Triple-signature frequency table (Table 6 input). */
-    const std::map<std::string, std::uint64_t> &tripleSignatures() const
+    const SignatureMap &tripleSignatures() const
     {
         return tripleSignatures_;
     }
@@ -107,8 +111,8 @@ class CollapseStats
     std::uint64_t collapsedInstructions_ = 0;
     std::array<std::uint64_t, kNumCollapseCategories> byCategory_ = {};
     Histogram distances_;
-    std::map<std::string, std::uint64_t> pairSignatures_;
-    std::map<std::string, std::uint64_t> tripleSignatures_;
+    SignatureMap pairSignatures_;
+    SignatureMap tripleSignatures_;
 };
 
 } // namespace ddsc

@@ -119,50 +119,67 @@ src2Letter(const TraceRecord &rec)
 
 } // anonymous namespace
 
-std::string
-instructionSignature(const TraceRecord &rec)
+std::size_t
+appendInstructionSignature(const TraceRecord &rec, char *out)
 {
-    std::string sig(opClassSignature(rec.cls()));
+    const std::string_view cls = opClassSignature(rec.cls());
+    cls.copy(out, cls.size());
+    char *p = out + cls.size();
     switch (rec.cls()) {
       case OpClass::Arith:
       case OpClass::Logic:
       case OpClass::Shift:
       case OpClass::Mul:
       case OpClass::Div:
-        sig += regLetter(rec.rs1);
-        sig += src2Letter(rec);
+        *p++ = regLetter(rec.rs1);
+        *p++ = src2Letter(rec);
         break;
       case OpClass::Move:
         if (rec.op == Opcode::SETHI)
-            sig += rec.imm == 0 ? '0' : 'i';
+            *p++ = rec.imm == 0 ? '0' : 'i';
         else
-            sig += src2Letter(rec);
+            *p++ = src2Letter(rec);
         break;
       case OpClass::Load:
       case OpClass::Store:
         // Address slots only, matching the two-letter ld/st signatures
         // in the paper's tables.
-        sig += regLetter(rec.rs1);
-        sig += src2Letter(rec);
+        *p++ = regLetter(rec.rs1);
+        *p++ = src2Letter(rec);
         break;
       case OpClass::Branch:
         break;      // plain "brc"
       default:
         break;
     }
-    return sig;
+    return static_cast<std::size_t>(p - out);
+}
+
+std::size_t
+groupSignature(const TraceRecord *const *members, unsigned count,
+               char *out)
+{
+    char *p = out;
+    for (unsigned i = 0; i < count; ++i) {
+        if (i > 0)
+            *p++ = '-';
+        p += appendInstructionSignature(*members[i], p);
+    }
+    return static_cast<std::size_t>(p - out);
+}
+
+std::string
+instructionSignature(const TraceRecord &rec)
+{
+    char buf[kMaxInstructionSignature];
+    return std::string(buf, appendInstructionSignature(rec, buf));
 }
 
 std::string
 groupSignature(const TraceRecord *const *members, unsigned count)
 {
-    std::string sig;
-    for (unsigned i = 0; i < count; ++i) {
-        if (i > 0)
-            sig += '-';
-        sig += instructionSignature(*members[i]);
-    }
-    return sig;
+    char buf[kMaxGroupSignature];
+    return std::string(buf, groupSignature(members, count, buf));
 }
 
 } // namespace ddsc

@@ -153,6 +153,22 @@ std::string instructionSignature(const TraceRecord &rec);
 std::string groupSignature(const TraceRecord *const *members,
                            unsigned count);
 
+/** Longest possible group signature: three members of up to
+ *  kMaxInstructionSignature bytes each plus two separators. */
+constexpr std::size_t kMaxInstructionSignature = 7;
+constexpr std::size_t kMaxGroupSignature =
+    3 * kMaxInstructionSignature + 2;
+
+/** Allocation-free variant for the simulator's collapse path: append
+ *  the signature bytes of @p rec to @p out (>= kMaxInstructionSignature
+ *  bytes) and return the count written. */
+std::size_t appendInstructionSignature(const TraceRecord &rec, char *out);
+
+/** Allocation-free groupSignature into @p out (>= kMaxGroupSignature
+ *  bytes); returns the length. */
+std::size_t groupSignature(const TraceRecord *const *members,
+                           unsigned count, char *out);
+
 } // namespace ddsc
 
 #endif // DDSC_COLLAPSE_RULES_HH

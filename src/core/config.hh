@@ -130,6 +130,40 @@ struct MachineConfig
         return fp;
     }
 
+    /**
+     * Canonical encoding of the knobs the speculative *front-end*
+     * depends on (see SpecFrontEnd): branch/CTI prediction and the
+     * load address/value predictor training.  Two configs with equal
+     * front-end fingerprints produce identical per-record annotations
+     * for any trace, so one streaming front-end pass can feed both
+     * back-ends.  Knobs that only matter when a predictor is off are
+     * normalized away (config A and config C group together even if
+     * their unused address-predictor knobs differ).
+     *
+     * Grouping only — never persisted, not part of
+     * kFingerprintSchema.  The paper matrix groups into two passes per
+     * workload: {A, C, E} (no trained load predictor) and {B, D}.
+     */
+    std::string
+    frontEndFingerprint() const
+    {
+        std::string fp;
+        auto field = [&fp](unsigned v) {
+            fp += std::to_string(v);
+            fp += '|';
+        };
+        field(bpredIndexBits);
+        const bool train_addr = loadSpec == LoadSpecMode::Real;
+        field(train_addr);
+        field(train_addr ? addrPredIndexBits : 0);
+        field(train_addr ? addrConfidenceThreshold : 0);
+        field(train_addr ? static_cast<unsigned>(addrPredKind) : 0);
+        field(loadValuePrediction);
+        field(realCtiPrediction);
+        field(realCtiPrediction ? rasDepth : 0);
+        return fp;
+    }
+
     /** The five paper configurations by letter. */
     static MachineConfig
     paper(char id, unsigned issue_width)

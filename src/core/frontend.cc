@@ -1,0 +1,279 @@
+#include "frontend.hh"
+
+#include <algorithm>
+#include <array>
+
+#include "support/logging.hh"
+
+namespace ddsc
+{
+
+/** 4 KiB of last-store-seq bytes, epoch-validated (see header). */
+struct SpecFrontEnd::StorePage
+{
+    std::uint64_t epoch = 0;
+    std::array<std::uint64_t, kStorePageBytes> seq;
+};
+
+SpecFrontEnd::SpecFrontEnd(const MachineConfig &config)
+    : collapseColumns_(config.collapsing),
+      trainAddr_(config.loadSpec == LoadSpecMode::Real),
+      trainValues_(config.loadValuePrediction),
+      realCti_(config.realCtiPrediction),
+      bpred_(std::make_unique<CombiningPredictor>(config.bpredIndexBits)),
+      addrPred_(makeAddressPredictor(config.addrPredKind,
+                                     config.addrPredIndexBits,
+                                     config.addrConfidenceThreshold)),
+      ras_(config.rasDepth)
+{
+}
+
+SpecFrontEnd::~SpecFrontEnd() = default;
+
+void
+SpecFrontEnd::reset()
+{
+    bpred_->reset();
+    addrPred_->reset();
+    valuePred_.reset();
+    ras_.reset();
+    itb_.reset();
+    std::fill(std::begin(lastRegWriter_), std::end(lastRegWriter_),
+              std::uint64_t{0});
+    lastCCWriter_ = 0;
+    lastBarrier_ = 0;
+    // Seqs restart at 1, so stale store pages must not be consulted:
+    // bump the epoch and let pages lazily re-zero on first touch.
+    ++storeEpoch_;
+    storePageCache_ = nullptr;
+    storePageCacheBase_ = 1;
+    nextSeq_ = 1;
+    nextBbId_ = 0;
+    trains_ = FrontEndTrainCounts{};
+}
+
+SpecFrontEnd::StorePage *
+SpecFrontEnd::storePage(std::uint64_t base, bool create)
+{
+    if (base == storePageCacheBase_ &&
+        (storePageCache_ != nullptr || !create))
+        return storePageCache_;
+    const auto it = storePages_.find(base);
+    StorePage *page;
+    if (it != storePages_.end()) {
+        page = it->second.get();
+    } else {
+        if (!create) {
+            // Negative results are cached too: a loop of loads over a
+            // never-stored page costs one hash probe, not one per load.
+            storePageCacheBase_ = base;
+            storePageCache_ = nullptr;
+            return nullptr;
+        }
+        page = storePages_.emplace(base, std::make_unique<StorePage>())
+                   .first->second.get();
+    }
+    if (page->epoch != storeEpoch_) {
+        page->seq.fill(0);
+        page->epoch = storeEpoch_;
+    }
+    storePageCacheBase_ = base;
+    storePageCache_ = page;
+    return page;
+}
+
+void
+SpecFrontEnd::annotate(const TraceRecord &rec, InsertAnnotation &out)
+{
+    const std::uint64_t seq = nextSeq_++;
+    out = InsertAnnotation{};
+    if (collapseColumns_) {
+        out.expr = ExprSize::of(rec);
+        out.sigLen = static_cast<std::uint8_t>(
+            appendInstructionSignature(rec, out.sig.data()));
+    }
+    out.bbId = nextBbId_;
+    if (isControl(rec.cls()))
+        ++nextBbId_;                // this instruction ends its block
+
+    // --- control: predict branches, erect barriers -------------------
+    if (rec.isCondBranch()) {
+        out.flags |= InsertAnnotation::kFlagCondBranch;
+        const bool correct = bpred_->predictAndUpdate(rec.pc, rec.taken);
+        ++trains_.branch;
+        if (!correct) {
+            out.flags |= InsertAnnotation::kFlagMispredict;
+            lastBarrier_ = seq;
+        }
+    } else if (realCti_) {
+        // The paper idealizes these; optionally model them with a
+        // return-address stack and an indirect-target buffer.
+        switch (rec.cls()) {
+          case OpClass::Call:
+            ras_.pushCall(rec.pc + 4);
+            ++trains_.cti;
+            break;
+          case OpClass::CallIndirect:
+            // The return address is known (push it), but the callee
+            // target comes from a register: predict it like an
+            // indirect jump.
+            ras_.pushCall(rec.pc + 4);
+            out.flags |= InsertAnnotation::kFlagCtiPrediction;
+            if (itb_.predict(rec.pc) != rec.target) {
+                out.flags |= InsertAnnotation::kFlagCtiMispredict;
+                lastBarrier_ = seq;
+            }
+            itb_.update(rec.pc, rec.target);
+            ++trains_.cti;
+            break;
+          case OpClass::Ret:
+            out.flags |= InsertAnnotation::kFlagCtiPrediction;
+            if (ras_.popReturn() != rec.target) {
+                out.flags |= InsertAnnotation::kFlagCtiMispredict;
+                lastBarrier_ = seq;
+            }
+            ++trains_.cti;
+            break;
+          case OpClass::IndirectJump:
+            out.flags |= InsertAnnotation::kFlagCtiPrediction;
+            if (itb_.predict(rec.pc) != rec.target) {
+                out.flags |= InsertAnnotation::kFlagCtiMispredict;
+                lastBarrier_ = seq;
+            }
+            itb_.update(rec.pc, rec.target);
+            ++trains_.cti;
+            break;
+          default:
+            break;      // direct jumps and calls: target in the opcode
+        }
+    }
+
+    // Younger instructions cannot issue before or during the cycle a
+    // mispredicted branch issues.
+    if (lastBarrier_ != 0 && lastBarrier_ != seq)
+        out.barrierSeq = lastBarrier_;
+
+    // --- RAW producer seqs, in the back-end's canonical arc order:
+    // data sources, address sources, condition codes, memory ----------
+    const auto dep = [&](std::uint64_t producer_seq, bool address) {
+        if (producer_seq == 0)
+            return;     // no producer; the back-end would drop it too
+        ddsc_assert(out.depCount < 4, "annotation dep overflow");
+        if (address)
+            out.depAddrMask |=
+                static_cast<std::uint8_t>(1u << out.depCount);
+        out.depSeq[out.depCount++] = producer_seq;
+    };
+    for (const int reg : rec.dataSources()) {
+        if (reg >= 0)
+            dep(lastRegWriter_[reg], false);
+    }
+    for (const int reg : rec.addressSources()) {
+        if (reg >= 0)
+            dep(lastRegWriter_[reg], true);
+    }
+    if (rec.readsCC())
+        dep(lastCCWriter_, false);
+    if (rec.isLoad()) {
+        // Perfect disambiguation: the most recent store that wrote one
+        // of this load's bytes.
+        std::uint64_t mem_dep = 0;
+        const StorePage *page = nullptr;
+        std::uint64_t page_base = 1;    // unaligned = no page yet
+        for (unsigned b = 0; b < rec.memSize(); ++b) {
+            const std::uint64_t addr = rec.ea + b;
+            const std::uint64_t base = addr & ~(kStorePageBytes - 1);
+            if (base != page_base) {
+                page = storePage(base, /*create=*/false);
+                page_base = base;
+            }
+            if (page)
+                mem_dep = std::max(
+                    mem_dep, page->seq[addr & (kStorePageBytes - 1)]);
+        }
+        dep(mem_dep, false);
+    }
+
+    // --- load-speculation table (trained by every load, in order) ----
+    if (rec.isLoad() && trainAddr_) {
+        const AddrPrediction pred = addrPred_->predict(rec.pc);
+        if (pred.usable) {
+            out.flags |= InsertAnnotation::kFlagPredUsable;
+            if (pred.addr == rec.ea)
+                out.flags |= InsertAnnotation::kFlagPredCorrect;
+        }
+        addrPred_->update(rec.pc, rec.ea);
+        ++trains_.address;
+    }
+
+    // --- value-prediction extension (Figure 1.d) ----------------------
+    if (rec.isLoad() && trainValues_) {
+        const ValuePrediction vp = valuePred_.predict(rec.pc);
+        if (vp.usable) {
+            out.flags |= InsertAnnotation::kFlagVpredUsable;
+            if (vp.value == rec.memValue)
+                out.flags |= InsertAnnotation::kFlagVpredCorrect;
+        }
+        valuePred_.update(rec.pc, rec.memValue);
+        ++trains_.value;
+    }
+
+    // --- update producer tables (after reading them) ------------------
+    const int dest = rec.destReg();
+    if (dest >= 0) {
+        // The overwritten previous writer is the node-elimination
+        // candidate; whether a live cc value blocks eliminating it is
+        // decided *before* this record updates lastCCWriter_ (only
+        // setsCC seqs ever land there, so seq equality implies the
+        // candidate sets the cc).
+        out.elimOldWriter = lastRegWriter_[dest];
+        if (out.elimOldWriter != 0 && out.elimOldWriter == lastCCWriter_)
+            out.flags |= InsertAnnotation::kFlagElimCcBlocked;
+        lastRegWriter_[dest] = seq;
+    }
+    if (rec.setsCC())
+        lastCCWriter_ = seq;
+    if (rec.isStore()) {
+        StorePage *page = nullptr;
+        std::uint64_t page_base = 1;
+        for (unsigned b = 0; b < rec.memSize(); ++b) {
+            const std::uint64_t addr = rec.ea + b;
+            const std::uint64_t base = addr & ~(kStorePageBytes - 1);
+            if (base != page_base) {
+                page = storePage(base, /*create=*/true);
+                page_base = base;
+            }
+            page->seq[addr & (kStorePageBytes - 1)] = seq;
+        }
+    }
+}
+
+std::size_t
+SpecFrontEnd::fill(TraceSource &trace, FrontEndBatch &batch,
+                   std::size_t max)
+{
+    batch.clear();
+    TraceRecord rec;
+    InsertAnnotation ann;
+    while (batch.size() < max && trace.next(rec)) {
+        annotate(rec, ann);
+        batch.records.push_back(rec);
+        batch.flags.push_back(ann.flags);
+        batch.depCount.push_back(ann.depCount);
+        batch.depAddrMask.push_back(ann.depAddrMask);
+        for (unsigned d = 0; d < 4; ++d)
+            batch.depSeqs.push_back(ann.depSeq[d]);
+        batch.barrierSeq.push_back(ann.barrierSeq);
+        batch.bbId.push_back(ann.bbId);
+        batch.elimOldWriter.push_back(ann.elimOldWriter);
+        batch.expr.push_back(ann.expr);
+        std::array<char, kMaxInstructionSignature + 1> sig = {};
+        for (unsigned b = 0; b < ann.sigLen; ++b)
+            sig[b] = ann.sig[b];
+        sig[kMaxInstructionSignature] = static_cast<char>(ann.sigLen);
+        batch.sig.push_back(sig);
+    }
+    return batch.size();
+}
+
+} // namespace ddsc

@@ -1,0 +1,258 @@
+/**
+ * @file
+ * The speculative front-end of the limit scheduler, decoupled from the
+ * window engines so one streaming pass over a trace can feed any
+ * number of back-end (config, width) cells.
+ *
+ * Everything the front-end computes is *pure program order* — it
+ * depends only on the trace prefix, never on window contents, issue
+ * timing, or width:
+ *
+ *  - sequence numbering and dynamic basic-block ids;
+ *  - conditional-branch prediction (bimodal/gshare) and, optionally,
+ *    real CTI prediction (return-address stack + indirect target
+ *    buffer), including the running "last mispredicted branch"
+ *    barrier;
+ *  - ideal-rename producer tracking (last writer per register, last
+ *    cc writer) and perfect memory disambiguation (last store per
+ *    byte), i.e. the raw RAW dependence seqs of every record;
+ *  - address-predictor and value-predictor training and their
+ *    per-load outcomes (usable/correct flags);
+ *  - the node-elimination overwrite bookkeeping (which older writer a
+ *    record's destination overwrites, and whether a live cc value
+ *    blocks eliminating it).
+ *
+ * The result is one InsertAnnotation per record.  A width-W back-end
+ * combines (record, annotation) with its own window state —
+ * arc-vs-resolved decisions, collapsing, load classification, issue
+ * timing — to reproduce bit-identical SchedStats to the historical
+ * monolithic insert() path; tests/batched_equiv_test.cpp is the
+ * oracle.  Crucially each predictor trains exactly once per record no
+ * matter how many back-ends consume the pass (trainCounts() lets the
+ * test suite pin that property).
+ *
+ * FrontEndBatch is the structure-of-arrays chunk format the streaming
+ * pass emits: parallel arrays indexed by record position, so N
+ * back-ends can replay a chunk without re-decoding or re-predicting
+ * anything.  Configurations whose front-end knobs agree
+ * (MachineConfig::frontEndFingerprint()) can share one pass: the
+ * paper matrix needs two passes per workload (A/C/E train no load
+ * predictors, B/D train the address predictor) to cover all 25 cells.
+ */
+
+#ifndef DDSC_CORE_FRONTEND_HH
+#define DDSC_CORE_FRONTEND_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include <array>
+
+#include "addrpred/addrpred.hh"
+#include "bpred/bpred.hh"
+#include "bpred/cti_pred.hh"
+#include "collapse/rules.hh"
+#include "core/config.hh"
+#include "trace/record.hh"
+#include "trace/source.hh"
+#include "vpred/vpred.hh"
+
+namespace ddsc
+{
+
+/** Width-independent annotation of one dynamic instruction. */
+struct InsertAnnotation
+{
+    /** Flag bits (see kFlag* below). */
+    std::uint16_t flags = 0;
+    /** RAW producer seqs in canonical arc order (data, address, cc,
+     *  memory); zeros already dropped.  kFlagDepAddr marks address
+     *  arcs. */
+    std::uint8_t depCount = 0;
+    std::uint8_t depAddrMask = 0;   ///< bit i: deps[i] feeds the address
+    std::uint64_t depSeq[4] = {0, 0, 0, 0};
+    /** Last mispredicted branch older than this record (0 = none). */
+    std::uint64_t barrierSeq = 0;
+    /** Dynamic basic-block id. */
+    std::uint64_t bbId = 0;
+    /** Previous writer of this record's destination register (0 =
+     *  none); the node-elimination candidate this record overwrites. */
+    std::uint64_t elimOldWriter = 0;
+
+    /** Collapse-rule detection, computed only when the front-end has
+     *  collapse columns enabled (any consumer collapses): the
+     *  record's compound-expression size and its paper signature
+     *  fragment.  Both are pure functions of the record, so one
+     *  front-end pass serves every collapsing back-end. */
+    ExprSize expr;
+    std::array<char, kMaxInstructionSignature> sig = {};
+    std::uint8_t sigLen = 0;
+
+    /// This record is a conditional branch (counts toward condBranches).
+    static constexpr std::uint16_t kFlagCondBranch = 1u << 0;
+    /// The branch predictor got it wrong (counts toward mispredicts).
+    static constexpr std::uint16_t kFlagMispredict = 1u << 1;
+    /// A real-CTI prediction was made (counts toward ctiPredictions).
+    static constexpr std::uint16_t kFlagCtiPrediction = 1u << 2;
+    /// ...and it was wrong (counts toward ctiMispredicts).
+    static constexpr std::uint16_t kFlagCtiMispredict = 1u << 3;
+    /// Address-predictor confidence exceeded the threshold.
+    static constexpr std::uint16_t kFlagPredUsable = 1u << 4;
+    /// ...and the predicted address was right.
+    static constexpr std::uint16_t kFlagPredCorrect = 1u << 5;
+    /// Value-predictor confidence held.
+    static constexpr std::uint16_t kFlagVpredUsable = 1u << 6;
+    /// ...and the predicted value was right.
+    static constexpr std::uint16_t kFlagVpredCorrect = 1u << 7;
+    /// elimOldWriter still holds the live cc value: not eliminable.
+    static constexpr std::uint16_t kFlagElimCcBlocked = 1u << 8;
+};
+
+/** How many times each predictor structure was trained (the
+ *  train-exactly-once-per-record property test reads these). */
+struct FrontEndTrainCounts
+{
+    std::uint64_t branch = 0;   ///< CombiningPredictor updates
+    std::uint64_t address = 0;  ///< AddressPredictor updates
+    std::uint64_t value = 0;    ///< LoadValuePredictor updates
+    std::uint64_t cti = 0;      ///< RAS/ITB operations
+};
+
+/**
+ * One structure-of-arrays chunk of annotated records.  Arrays are
+ * parallel: records[i] pairs with flags[i], depCount[i],
+ * depSeqs[4*i..4*i+3], ...  All vectors keep their capacity across
+ * clear() so a streaming pass reuses one chunk buffer.
+ */
+struct FrontEndBatch
+{
+    std::vector<TraceRecord> records;
+    std::vector<std::uint16_t> flags;
+    std::vector<std::uint8_t> depCount;
+    std::vector<std::uint8_t> depAddrMask;
+    std::vector<std::uint64_t> depSeqs;     ///< 4 per record
+    std::vector<std::uint64_t> barrierSeq;
+    std::vector<std::uint64_t> bbId;
+    std::vector<std::uint64_t> elimOldWriter;
+    std::vector<ExprSize> expr;
+    /** Signature fragment per record; [kMaxInstructionSignature]
+     *  holds the length. */
+    std::vector<std::array<char, kMaxInstructionSignature + 1>> sig;
+
+    std::size_t size() const { return records.size(); }
+
+    void
+    clear()
+    {
+        records.clear();
+        flags.clear();
+        depCount.clear();
+        depAddrMask.clear();
+        depSeqs.clear();
+        barrierSeq.clear();
+        bbId.clear();
+        elimOldWriter.clear();
+        expr.clear();
+        sig.clear();
+    }
+
+    /** Reassemble the annotation of record @p i. */
+    void
+    annotationAt(std::size_t i, InsertAnnotation &out) const
+    {
+        out.flags = flags[i];
+        out.depCount = depCount[i];
+        out.depAddrMask = depAddrMask[i];
+        // Only the used prefixes: consumers never read depSeq past
+        // depCount or sig past sigLen.
+        for (unsigned d = 0; d < out.depCount; ++d)
+            out.depSeq[d] = depSeqs[4 * i + d];
+        out.barrierSeq = barrierSeq[i];
+        out.bbId = bbId[i];
+        out.elimOldWriter = elimOldWriter[i];
+        out.expr = expr[i];
+        const auto &s = sig[i];
+        out.sigLen = static_cast<std::uint8_t>(
+            s[kMaxInstructionSignature]);
+        for (unsigned b = 0; b < out.sigLen; ++b)
+            out.sig[b] = s[b];
+    }
+};
+
+/**
+ * The streaming speculative front-end.  annotate() consumes records
+ * in program order; reset() restarts for a new run.  One instance may
+ * feed any number of back-ends — it never sees them.
+ */
+class SpecFrontEnd
+{
+  public:
+    /** Only the front-end-relevant knobs of @p config matter (see
+     *  MachineConfig::frontEndFingerprint()). */
+    explicit SpecFrontEnd(const MachineConfig &config);
+    ~SpecFrontEnd();    // out-of-line: StorePage is incomplete here
+
+    /** Restart for a new trace (predictors reset, tables cleared). */
+    void reset();
+
+    /** Enable or disable the collapse-detection columns (expression
+     *  sizes and signature fragments).  The constructor enables them
+     *  iff the owning configuration collapses; a shared batched pass
+     *  enables them when any consumer in its group does. */
+    void setCollapseColumns(bool on) { collapseColumns_ = on; }
+
+    /** Annotate the next record in program order. */
+    void annotate(const TraceRecord &rec, InsertAnnotation &out);
+
+    /** Annotate up to @p max records from @p trace into @p batch
+     *  (cleared first).  Returns the number produced; 0 means the
+     *  source is exhausted. */
+    std::size_t fill(TraceSource &trace, FrontEndBatch &batch,
+                     std::size_t max);
+
+    /** Cumulative training activity since the last reset(). */
+    const FrontEndTrainCounts &trainCounts() const { return trains_; }
+
+    /** Records annotated since the last reset(). */
+    std::uint64_t recordsAnnotated() const { return nextSeq_ - 1; }
+
+  private:
+    struct StorePage;
+    StorePage *storePage(std::uint64_t base, bool create);
+
+    bool collapseColumns_;      ///< annotate expr + signature fragment
+    bool trainAddr_;            ///< loadSpec == Real
+    bool trainValues_;          ///< loadValuePrediction
+    bool realCti_;              ///< realCtiPrediction
+
+    std::unique_ptr<BranchPredictor> bpred_;
+    std::unique_ptr<AddressPredictor> addrPred_;
+    LoadValuePredictor valuePred_;
+    ReturnAddressStack ras_;
+    IndirectTargetBuffer itb_;
+
+    /** Rename state: last writer seq per register (0 = none). */
+    std::uint64_t lastRegWriter_[kNumRegs] = {};
+    std::uint64_t lastCCWriter_ = 0;
+    std::uint64_t lastBarrier_ = 0;     ///< last mispredicted branch
+
+    /** Perfect disambiguation: last store seq per byte, held in 4 KiB
+     *  pages keyed by page base address, epoch-invalidated between
+     *  runs (same layout the monolithic scheduler used). */
+    static constexpr std::uint64_t kStorePageBytes = 4096;
+    std::unordered_map<std::uint64_t,
+                       std::unique_ptr<StorePage>> storePages_;
+    std::uint64_t storeEpoch_ = 0;
+    StorePage *storePageCache_ = nullptr;
+    std::uint64_t storePageCacheBase_ = 1;  ///< 1 = nothing cached
+
+    std::uint64_t nextSeq_ = 1;         ///< 0 reserved for "none"
+    std::uint64_t nextBbId_ = 0;
+    FrontEndTrainCounts trains_;
+};
+
+} // namespace ddsc
+
+#endif // DDSC_CORE_FRONTEND_HH

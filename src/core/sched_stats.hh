@@ -113,6 +113,14 @@ struct SchedStats
     }
 };
 
+/**
+ * FNV-1a digest over every deterministic field of @p s — everything
+ * except wallNanos, the sole field allowed to differ between runs that
+ * simulated identically.  The engine-equivalence oracles (bench_sched
+ * cross-checks, batched_equiv_test) compare runs by this value.
+ */
+std::uint64_t digestSchedStats(const SchedStats &s);
+
 } // namespace ddsc
 
 #endif // DDSC_CORE_SCHED_STATS_HH

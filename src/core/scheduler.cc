@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <chrono>
+#include <cstring>
 
 #include "support/logging.hh"
 
@@ -21,12 +22,7 @@ ringSize(std::uint64_t wanted)
 } // anonymous namespace
 
 LimitScheduler::LimitScheduler(const MachineConfig &config)
-    : config_(config),
-      bpred_(std::make_unique<CombiningPredictor>(config.bpredIndexBits)),
-      addrPred_(makeAddressPredictor(config.addrPredKind,
-                                     config.addrPredIndexBits,
-                                     config.addrConfidenceThreshold)),
-      ras_(config.rasDepth)
+    : config_(config), frontEnd_(config)
 {
     ddsc_assert(config.issueWidth >= 1, "issue width must be positive");
     ddsc_assert(config.windowSize >= config.issueWidth,
@@ -135,36 +131,6 @@ LimitScheduler::BoundWheel::clear()
     for (std::vector<std::uint64_t> &bucket : buckets)
         bucket.clear();     // keeps capacity for the next run
     far = BoundHeap();
-}
-
-LimitScheduler::StorePage *
-LimitScheduler::storePage(std::uint64_t base, bool create)
-{
-    if (base == storePageCacheBase_ &&
-        (storePageCache_ != nullptr || !create))
-        return storePageCache_;
-    const auto it = storePages_.find(base);
-    StorePage *page;
-    if (it != storePages_.end()) {
-        page = it->second.get();
-    } else {
-        if (!create) {
-            // Negative results are cached too: a loop of loads over a
-            // never-stored page costs one hash probe, not one per load.
-            storePageCacheBase_ = base;
-            storePageCache_ = nullptr;
-            return nullptr;
-        }
-        page = storePages_.emplace(base, std::make_unique<StorePage>())
-                   .first->second.get();
-    }
-    if (page->epoch != storeEpoch_) {
-        page->seq.fill(0);
-        page->epoch = storeEpoch_;
-    }
-    storePageCacheBase_ = base;
-    storePageCache_ = page;
-    return page;
 }
 
 // --- exact satisfaction checks ----------------------------------------
@@ -369,158 +335,96 @@ LimitScheduler::addArc(Entry &entry, std::uint64_t producer_seq,
 void
 LimitScheduler::insert(const TraceRecord &rec)
 {
+    // The historical monolithic insert, now split: the private
+    // front-end computes the program-order annotation, the shared
+    // back-end half builds the window entry from it.  The batched path
+    // calls insertAnnotated() with annotations from an external
+    // SpecFrontEnd pass, so the two paths agree by construction.
+    InsertAnnotation ann;
+    frontEnd_.annotate(rec, ann);
+    insertAnnotated(rec, ann);
+}
+
+void
+LimitScheduler::insertAnnotated(const TraceRecord &rec,
+                                const InsertAnnotation &ann)
+{
     const std::uint64_t seq = nextSeq_++;
     Entry *slot = &slots_[seq & slotMask_];
     if (slot->live) {
         growWindow();
         slot = &slots_[seq & slotMask_];
     }
-    *slot = Entry{};
+    // Reconstruct the slot in place rather than `*slot = Entry{}`:
+    // only fields a previous tenant can leave behind need clearing
+    // (arcs, member records, and wake links are guarded by their
+    // counts/heads), so slot reuse writes ~50 bytes instead of the
+    // whole ~330-byte Entry.  Every other field is assigned below.
     Entry &entry = *slot;
+    entry.numArcs = 0;
+    entry.issued = false;
+    entry.ready = false;
+    entry.valueTime = 0;
+    entry.specValueSet = false;
+    entry.loadClassified = false;
+    entry.loadClass = LoadClass::Ready;
+    entry.numMembers = 0;
+    entry.inAnyGroup = false;
+    entry.absorbedCount = 0;
+    entry.hasValueReader = false;
+    entry.eliminated = false;
+    entry.wakeHead = 0;
+    entry.wakeNextPromote = 0;
+    entry.wakeNextClassify = 0;
     entry.rec = rec;
     entry.seq = seq;
     entry.live = true;
     ++windowCount_;
     entry.fixedReady = cycle_;      // issuable from the insertion cycle
-    entry.expr = ExprSize::of(rec);
+    entry.expr = ann.expr;          // front-end collapse columns
+    entry.sigFrag = ann.sig;
+    entry.sigLen = ann.sigLen;
     entry.isLoad = rec.isLoad();
-    entry.bbId = nextBbId_;
-    if (isControl(rec.cls()))
-        ++nextBbId_;                // this instruction ends its block
+    entry.bbId = ann.bbId;
 
     ++stats_.instructions;
 
-    // --- control: predict branches, erect barriers -------------------
-    if (rec.isCondBranch()) {
+    // --- control outcomes (predicted by the front-end) ---------------
+    if (ann.flags & InsertAnnotation::kFlagCondBranch) {
         ++stats_.condBranches;
-        const bool correct = bpred_->predictAndUpdate(rec.pc, rec.taken);
-        if (!correct) {
+        if (ann.flags & InsertAnnotation::kFlagMispredict)
             ++stats_.mispredicts;
-            lastBarrier_ = entry.seq;
-        }
-    } else if (config_.realCtiPrediction) {
-        // The paper idealizes these; optionally model them with a
-        // return-address stack and an indirect-target buffer.
-        switch (rec.cls()) {
-          case OpClass::Call:
-            ras_.pushCall(rec.pc + 4);
-            break;
-          case OpClass::CallIndirect:
-            // The return address is known (push it), but the callee
-            // target comes from a register: predict it like an
-            // indirect jump.
-            ras_.pushCall(rec.pc + 4);
-            ++stats_.ctiPredictions;
-            if (itb_.predict(rec.pc) != rec.target) {
-                ++stats_.ctiMispredicts;
-                lastBarrier_ = entry.seq;
-            }
-            itb_.update(rec.pc, rec.target);
-            break;
-          case OpClass::Ret:
-            ++stats_.ctiPredictions;
-            if (ras_.popReturn() != rec.target) {
-                ++stats_.ctiMispredicts;
-                lastBarrier_ = entry.seq;
-            }
-            break;
-          case OpClass::IndirectJump:
-            ++stats_.ctiPredictions;
-            if (itb_.predict(rec.pc) != rec.target) {
-                ++stats_.ctiMispredicts;
-                lastBarrier_ = entry.seq;
-            }
-            itb_.update(rec.pc, rec.target);
-            break;
-          default:
-            break;      // direct jumps and calls: target in the opcode
-        }
+    }
+    if (ann.flags & InsertAnnotation::kFlagCtiPrediction) {
+        ++stats_.ctiPredictions;
+        if (ann.flags & InsertAnnotation::kFlagCtiMispredict)
+            ++stats_.ctiMispredicts;
     }
 
     // Younger instructions cannot issue before or during the cycle a
     // mispredicted branch issues.
-    if (lastBarrier_ != 0 && lastBarrier_ != entry.seq)
-        entry.barrierSeq = lastBarrier_;
+    entry.barrierSeq = ann.barrierSeq;
 
-    // --- register RAW arcs -------------------------------------------
-    for (const int reg : rec.dataSources()) {
-        if (reg >= 0)
-            addArc(entry, lastRegWriter_[reg], false);
-    }
-    for (const int reg : rec.addressSources()) {
-        if (reg >= 0)
-            addArc(entry, lastRegWriter_[reg], true);
-    }
-
-    // --- condition codes ---------------------------------------------
-    if (rec.readsCC())
-        addArc(entry, lastCCWriter_, false);
-
-    // --- memory RAW (perfect disambiguation) -------------------------
-    if (rec.isLoad()) {
-        std::uint64_t dep = 0;
-        const StorePage *page = nullptr;
-        std::uint64_t page_base = 1;    // unaligned = no page yet
-        for (unsigned b = 0; b < rec.memSize(); ++b) {
-            const std::uint64_t addr = rec.ea + b;
-            const std::uint64_t base = addr & ~(kStorePageBytes - 1);
-            if (base != page_base) {
-                page = storePage(base, /*create=*/false);
-                page_base = base;
-            }
-            if (page)
-                dep = std::max(dep,
-                               page->seq[addr & (kStorePageBytes - 1)]);
-        }
-        addArc(entry, dep, false);
-    }
+    // --- RAW arcs (register, cc, memory — annotated in order) --------
+    for (unsigned i = 0; i < ann.depCount; ++i)
+        addArc(entry, ann.depSeq[i], (ann.depAddrMask >> i) & 1);
 
     // --- d-collapsing --------------------------------------------------
     if (config_.collapsing)
         tryCollapse(entry);
 
-    // --- load-speculation table (trained by every load, in order) ----
-    if (rec.isLoad() && config_.loadSpec == LoadSpecMode::Real) {
-        const AddrPrediction pred = addrPred_->predict(rec.pc);
-        entry.predUsable = pred.usable;
-        entry.predCorrect = pred.usable && pred.addr == rec.ea;
-        addrPred_->update(rec.pc, rec.ea);
-    }
-
-    // --- value-prediction extension (Figure 1.d) ----------------------
-    if (rec.isLoad() && config_.loadValuePrediction) {
-        const ValuePrediction vp = valuePred_.predict(rec.pc);
-        entry.vpredUsable = vp.usable;
-        entry.vpredCorrect = vp.usable && vp.value == rec.memValue;
-        valuePred_.update(rec.pc, rec.memValue);
-    }
+    // --- load-speculation outcomes (tables trained up front) ---------
+    entry.predUsable = ann.flags & InsertAnnotation::kFlagPredUsable;
+    entry.predCorrect = ann.flags & InsertAnnotation::kFlagPredCorrect;
+    entry.vpredUsable = ann.flags & InsertAnnotation::kFlagVpredUsable;
+    entry.vpredCorrect = ann.flags & InsertAnnotation::kFlagVpredCorrect;
 
     // --- node elimination bookkeeping ---------------------------------
-    if (config_.nodeElimination)
+    if (config_.nodeElimination) {
         noteValueReaders(entry);
-
-    // --- update producer tables (after reading them) ------------------
-    const int dest = rec.destReg();
-    if (dest >= 0) {
-        const std::uint64_t old_writer = lastRegWriter_[dest];
-        lastRegWriter_[dest] = entry.seq;
-        if (config_.nodeElimination)
-            maybeEliminate(old_writer);
-    }
-    if (rec.setsCC())
-        lastCCWriter_ = entry.seq;
-    if (rec.isStore()) {
-        StorePage *page = nullptr;
-        std::uint64_t page_base = 1;
-        for (unsigned b = 0; b < rec.memSize(); ++b) {
-            const std::uint64_t addr = rec.ea + b;
-            const std::uint64_t base = addr & ~(kStorePageBytes - 1);
-            if (base != page_base) {
-                page = storePage(base, /*create=*/true);
-                page_base = base;
-            }
-            page->seq[addr & (kStorePageBytes - 1)] = entry.seq;
-        }
+        maybeEliminate(
+            ann.elimOldWriter,
+            ann.flags & InsertAnnotation::kFlagElimCcBlocked);
     }
 
     entry.boundAll = entry.fixedReady;
@@ -531,6 +435,8 @@ LimitScheduler::insert(const TraceRecord &rec)
     if (!config_.naiveEngine) {
         // The naive engine rescans the window every cycle instead of
         // reacting to events; queueing for it would only accumulate.
+        // The batched engine seeds its wakeup machinery with the same
+        // initial events.
         pending_.push(entry.fixedReady, cycle_, entry.seq);
         if (entry.isLoad && classify)
             classifyQueue_.push(entry.fixedReady, cycle_, entry.seq);
@@ -641,13 +547,15 @@ LimitScheduler::tryCollapse(Entry &entry)
         // absorbed members plus the producer itself.
         for (unsigned m = 0; m < producer->numMembers &&
                  entry.numMembers < 2; ++m) {
-            entry.memberRecords[entry.numMembers] =
-                producer->memberRecords[m];
+            entry.memberSigs[entry.numMembers] = producer->memberSigs[m];
+            entry.memberSigLens[entry.numMembers] =
+                producer->memberSigLens[m];
             entry.memberSeqs[entry.numMembers] = producer->memberSeqs[m];
             ++entry.numMembers;
         }
         if (entry.numMembers < 2) {
-            entry.memberRecords[entry.numMembers] = producer->rec;
+            entry.memberSigs[entry.numMembers] = producer->sigFrag;
+            entry.memberSigLens[entry.numMembers] = producer->sigLen;
             entry.memberSeqs[entry.numMembers] = producer->seq;
             ++entry.numMembers;
         }
@@ -673,17 +581,24 @@ LimitScheduler::tryCollapse(Entry &entry)
     if (entry.numMembers == 2 &&
         entry.memberSeqs[0] > entry.memberSeqs[1]) {
         std::swap(entry.memberSeqs[0], entry.memberSeqs[1]);
-        std::swap(entry.memberRecords[0], entry.memberRecords[1]);
+        std::swap(entry.memberSigs[0], entry.memberSigs[1]);
+        std::swap(entry.memberSigLens[0], entry.memberSigLens[1]);
     }
     CollapseEvent event;
     event.category = category;
     event.groupSize = entry.numMembers + 1;
-    const TraceRecord *members[3];
-    unsigned count = 0;
-    for (unsigned m = 0; m < entry.numMembers; ++m)
-        members[count++] = &entry.memberRecords[m];
-    members[count++] = &entry.rec;
-    event.signature = groupSignature(members, count);
+    char sig[kMaxGroupSignature];
+    char *p = sig;
+    for (unsigned m = 0; m < entry.numMembers; ++m) {
+        std::memcpy(p, entry.memberSigs[m].data(),
+                    entry.memberSigLens[m]);
+        p += entry.memberSigLens[m];
+        *p++ = '-';
+    }
+    std::memcpy(p, entry.sigFrag.data(), entry.sigLen);
+    p += entry.sigLen;
+    event.signature =
+        std::string_view(sig, static_cast<std::size_t>(p - sig));
     event.distanceCount = num_new;
     for (unsigned i = 0; i < num_new; ++i)
         event.distances[i] = new_distances[i];
@@ -695,6 +610,11 @@ LimitScheduler::removeFromWindow(std::uint64_t seq)
 {
     Entry *entry = findWindow(seq);
     ddsc_assert(entry != nullptr, "removing unknown entry");
+    // Waiters are drained before an entry can leave: at markReady for
+    // collapsed arcs, at issue / speculative delivery for value arcs
+    // and barriers; eliminated entries can have no value readers.
+    ddsc_assert(!wakeMode_ || entry->wakeHead == 0,
+                "removing entry with waiters");
     entry->live = false;
     --windowCount_;
     std::uint64_t &word = readyBits_[(seq & slotMask_) >> 6];
@@ -714,6 +634,13 @@ LimitScheduler::markReady(Entry &entry)
     readyBits_[(entry.seq & slotMask_) >> 6] |=
         std::uint64_t{1} << (entry.seq & 63);
     ++readyCount_;
+    readySeqHint_ = std::min(readySeqHint_, entry.seq);
+    // Batched engine: source readiness is a wake event for collapsed
+    // consumers (their arcs depend on this entry's sources, not its
+    // value) and for any other waiter that must now re-derive its
+    // schedule.
+    if (wakeMode_ && entry.wakeHead != 0)
+        wakeNow(entry);
 }
 
 unsigned
@@ -726,8 +653,15 @@ LimitScheduler::issueReady(std::uint64_t &last_issue_cycle,
     // whole ring words.  Eliminated entries leave for free, but only
     // while issue slots remain this cycle (matching the historical
     // pop-loop condition).
+    // readySeqHint_ lower-bounds every set bit, so the scan skips the
+    // (often long, at wide windows) dead prefix between a stalled
+    // oldest entry and the young ready ones in O(1) instead of
+    // O(span/64) words per cycle.  Every bit at a seq the scan passes
+    // is consumed (issued or eliminated), which keeps the hint exact
+    // on exit; markReady() lowers it again as entries wake.
     unsigned issued = 0;
-    for (std::uint64_t base = oldestSeq_ & ~std::uint64_t{63};
+    for (std::uint64_t base =
+             std::max(oldestSeq_, readySeqHint_) & ~std::uint64_t{63};
          base < nextSeq_ && readyCount_ != 0; base += 64) {
         std::uint64_t word = readyBits_[(base & slotMask_) >> 6];
         // Positions below oldestSeq_ in the first word can alias the
@@ -737,8 +671,11 @@ LimitScheduler::issueReady(std::uint64_t &last_issue_cycle,
         if (base < oldestSeq_)
             word &= ~std::uint64_t{0} << (oldestSeq_ - base);
         while (word != 0) {
-            if (issued == config_.issueWidth)
+            if (issued == config_.issueWidth) {
+                readySeqHint_ =
+                    base + static_cast<unsigned>(std::countr_zero(word));
                 return issued;
+            }
             const std::uint64_t seq =
                 base + static_cast<unsigned>(std::countr_zero(word));
             word &= word - 1;
@@ -754,6 +691,7 @@ LimitScheduler::issueReady(std::uint64_t &last_issue_cycle,
             removeFromWindow(seq);
         }
     }
+    readySeqHint_ = readyCount_ == 0 ? nextSeq_ : oldestSeq_;
     return issued;
 }
 
@@ -771,7 +709,7 @@ LimitScheduler::noteValueReaders(const Entry &entry)
 }
 
 void
-LimitScheduler::maybeEliminate(std::uint64_t old_seq)
+LimitScheduler::maybeEliminate(std::uint64_t old_seq, bool cc_blocked)
 {
     if (old_seq == 0)
         return;
@@ -784,7 +722,7 @@ LimitScheduler::maybeEliminate(std::uint64_t old_seq)
     // value reader, and (for cc writers) the cc already overwritten.
     if (old_entry->absorbedCount == 0 || old_entry->hasValueReader)
         return;
-    if (old_entry->rec.setsCC() && lastCCWriter_ == old_entry->seq)
+    if (cc_blocked)
         return;             // a future branch may still read the cc
     old_entry->eliminated = true;
     ++stats_.eliminatedInstructions;
@@ -832,6 +770,11 @@ LimitScheduler::classifyLoad(Entry &entry, std::uint64_t cycle)
 
     ++stats_.loads;
     ++stats_.loadClasses[static_cast<unsigned>(entry.loadClass)];
+
+    // Batched engine: a speculative value delivery fixes the arrival
+    // cycle for value-arc waiters just like an issue would.
+    if (wakeMode_ && entry.specValueSet && entry.wakeHead != 0)
+        wakeAt(entry, entry.valueTime);
 }
 
 void
@@ -841,16 +784,17 @@ LimitScheduler::issue(Entry &entry, std::uint64_t cycle)
     if (!entry.specValueSet)
         entry.valueTime = cycle + opLatency(entry.rec.op);
     recordRetired(entry.seq, entry.valueTime);
+    // Batched engine: the value's exact arrival cycle is now known;
+    // waiters re-evaluate then.  (No collapsed-arc waiter can remain:
+    // those drained when this entry was marked ready.)
+    if (wakeMode_ && entry.wakeHead != 0)
+        wakeAt(entry, entry.valueTime);
 }
 
 void
 LimitScheduler::resetState()
 {
-    bpred_->reset();
-    addrPred_->reset();
-    valuePred_.reset();
-    ras_.reset();
-    itb_.reset();
+    frontEnd_.reset();
     for (Entry &slot : slots_)
         slot.live = false;
     windowCount_ = 0;
@@ -861,18 +805,12 @@ LimitScheduler::resetState()
     classifyQueue_.clear();
     std::fill(readyBits_.begin(), readyBits_.end(), std::uint64_t{0});
     readyCount_ = 0;
-    // Seqs restart at 1 every run, so stale store pages must not be
-    // consulted: bump the epoch and let pages lazily re-zero on first
-    // touch instead of deallocating or clearing them all here.
-    ++storeEpoch_;
-    storePageCache_ = nullptr;
-    storePageCacheBase_ = 1;
-    std::fill(std::begin(lastRegWriter_), std::end(lastRegWriter_),
-              std::uint64_t{0});
-    lastCCWriter_ = 0;
-    lastBarrier_ = 0;
+    readySeqHint_ = 1;
+    wakeMode_ = false;
+    promoteWork_.clear();
+    batchLastIssue_ = 0;
+    batchAnyIssue_ = false;
     nextSeq_ = 1;
-    nextBbId_ = 0;
     cycle_ = 0;
     stats_ = SchedStats{};
 }
@@ -1066,6 +1004,300 @@ LimitScheduler::runEvent(TraceSource &trace)
     // occupies zero cycles; "last issue + 1" only counts real issues.
     stats_.cycles = any_issue ? last_issue_cycle + 1 : 0;
     return stats_;
+}
+
+// --- batched (wakeup-list) engine ----------------------------------------
+
+LimitScheduler::WakeCheck
+LimitScheduler::wakeCheckArc(const DepArc &arc, std::uint64_t cycle) const
+{
+    if (const Entry *producer = findWindow(arc.producerSeq)) {
+        if (arc.collapsed) {
+            if (producer->issued ||
+                sourcesSatisfied(*producer, cycle))
+                return {true, 0, 0};
+            // Satisfied exactly when the producer becomes source-
+            // satisfied, i.e. at its markReady cycle.
+            return {false, 0, arc.producerSeq};
+        }
+        if (producer->issued || producer->specValueSet) {
+            if (cycle >= producer->valueTime)
+                return {true, 0, 0};
+            return {false, producer->valueTime, 0};
+        }
+        // Value arc to an unissued producer: the arrival cycle becomes
+        // known at the producer's issue (or speculative delivery).
+        return {false, 0, arc.producerSeq};
+    }
+    // Producer issued and left the window.
+    if (arc.collapsed)
+        return {true, 0, 0};
+    const std::uint64_t value_time = retiredValueTime(arc.producerSeq);
+    if (value_time == 0 || cycle >= value_time)
+        return {true, 0, 0};
+    return {false, value_time, 0};
+}
+
+LimitScheduler::WakeCheck
+LimitScheduler::wakeCheckAll(const Entry &entry,
+                             std::uint64_t cycle) const
+{
+    if (cycle < entry.fixedReady)
+        return {false, entry.fixedReady, 0};
+    if (entry.barrierSeq != 0) {
+        if (const Entry *branch = findWindow(entry.barrierSeq)) {
+            if (!branch->issued)
+                return {false, 0, entry.barrierSeq};
+            if (cycle < branch->valueTime)
+                return {false, branch->valueTime, 0};
+        } else {
+            const std::uint64_t t = retiredValueTime(entry.barrierSeq);
+            if (t != 0 && cycle < t)
+                return {false, t, 0};
+        }
+    }
+    for (unsigned i = 0; i < entry.numArcs; ++i) {
+        const WakeCheck c = wakeCheckArc(entry.arcs[i], cycle);
+        if (!c.ok)
+            return c;
+    }
+    return {true, 0, 0};
+}
+
+LimitScheduler::WakeCheck
+LimitScheduler::wakeCheckNonAddr(const Entry &entry,
+                                 std::uint64_t cycle) const
+{
+    if (cycle < entry.fixedReady)
+        return {false, entry.fixedReady, 0};
+    if (entry.barrierSeq != 0) {
+        if (const Entry *branch = findWindow(entry.barrierSeq)) {
+            if (!branch->issued)
+                return {false, 0, entry.barrierSeq};
+            if (cycle < branch->valueTime)
+                return {false, branch->valueTime, 0};
+        } else {
+            const std::uint64_t t = retiredValueTime(entry.barrierSeq);
+            if (t != 0 && cycle < t)
+                return {false, t, 0};
+        }
+    }
+    for (unsigned i = 0; i < entry.numArcs; ++i) {
+        if (entry.arcs[i].address)
+            continue;
+        const WakeCheck c = wakeCheckArc(entry.arcs[i], cycle);
+        if (!c.ok)
+            return c;
+    }
+    return {true, 0, 0};
+}
+
+void
+LimitScheduler::registerWaiter(std::uint64_t producer_seq, Entry &waiter,
+                               bool classify_kind)
+{
+    Entry *producer = findWindow(producer_seq);
+    ddsc_assert(producer != nullptr && !producer->issued,
+                "waiter registered on a resolved producer");
+    const std::uint64_t token =
+        (waiter.seq << 1) | (classify_kind ? 1 : 0);
+    if (classify_kind)
+        waiter.wakeNextClassify = producer->wakeHead;
+    else
+        waiter.wakeNextPromote = producer->wakeHead;
+    producer->wakeHead = token;
+}
+
+void
+LimitScheduler::wakeAt(Entry &producer, std::uint64_t due)
+{
+    std::uint64_t token = producer.wakeHead;
+    producer.wakeHead = 0;
+    while (token != 0) {
+        const std::uint64_t seq = token >> 1;
+        const bool classify_kind = token & 1;
+        Entry *waiter = findWindow(seq);
+        ddsc_assert(waiter != nullptr, "waiter left while registered");
+        if (classify_kind) {
+            token = waiter->wakeNextClassify;
+            waiter->wakeNextClassify = 0;
+            classifyQueue_.push(due, cycle_, seq);
+        } else {
+            token = waiter->wakeNextPromote;
+            waiter->wakeNextPromote = 0;
+            pending_.push(due, cycle_, seq);
+        }
+    }
+}
+
+void
+LimitScheduler::wakeNow(Entry &producer)
+{
+    std::uint64_t token = producer.wakeHead;
+    producer.wakeHead = 0;
+    while (token != 0) {
+        const std::uint64_t seq = token >> 1;
+        const bool classify_kind = token & 1;
+        Entry *waiter = findWindow(seq);
+        ddsc_assert(waiter != nullptr, "waiter left while registered");
+        if (classify_kind) {
+            token = waiter->wakeNextClassify;
+            waiter->wakeNextClassify = 0;
+            // A classification predicate blocked on this producer's
+            // value or barrier cannot hold merely because the producer
+            // became ready; the earliest it can flip is next cycle
+            // (and the producer's issue will name the exact time).
+            classifyQueue_.push(cycle_ + 1, cycle_, seq);
+        } else {
+            token = waiter->wakeNextPromote;
+            waiter->wakeNextPromote = 0;
+            // Collapsed consumers of this producer may be promotable
+            // this very cycle: append to the in-flight promotion scan.
+            promoteWork_.push_back(seq);
+        }
+    }
+}
+
+void
+LimitScheduler::insertFromBatch(const FrontEndBatch &batch,
+                                std::size_t i)
+{
+    InsertAnnotation ann;
+    batch.annotationAt(i, ann);
+    insertAnnotated(batch.records[i], ann);
+}
+
+void
+LimitScheduler::runBatchedCycle()
+{
+    // Phase structure mirrors runEvent(): classification, promotion,
+    // issue, account the cycle.  The differences are confined to how
+    // failed evaluations reschedule themselves (exact wakes instead of
+    // lower bounds).
+
+    // 1. Load classification at the exact first cycle the non-address
+    //    constraints hold.
+    const auto classifyOne = [&](std::uint64_t seq) {
+        Entry *entry = findWindow(seq);
+        if (entry == nullptr || entry->loadClassified)
+            return;
+        const WakeCheck c = wakeCheckNonAddr(*entry, cycle_);
+        if (c.ok)
+            classifyLoad(*entry, cycle_);
+        else if (c.blocker != 0)
+            registerWaiter(c.blocker, *entry, /*classify_kind=*/true);
+        else
+            classifyQueue_.push(c.due, cycle_, seq);
+    };
+    while (!classifyQueue_.far.empty() &&
+           classifyQueue_.far.top().first <= cycle_) {
+        const std::uint64_t seq = classifyQueue_.far.top().second;
+        classifyQueue_.far.pop();
+        classifyOne(seq);
+    }
+    auto &classify_due =
+        classifyQueue_.buckets[cycle_ & (kWheelSlots - 1)];
+    for (std::size_t i = 0; i < classify_due.size(); ++i)
+        classifyOne(classify_due[i]);
+    classify_due.clear();
+
+    // 2. Promotion: seed the work list from the wheel, then scan by
+    //    index — markReady wakes append same-cycle work (collapsed
+    //    consumers) to the tail.
+    promoteWork_.clear();
+    while (!pending_.far.empty() && pending_.far.top().first <= cycle_) {
+        promoteWork_.push_back(pending_.far.top().second);
+        pending_.far.pop();
+    }
+    auto &pending_due = pending_.buckets[cycle_ & (kWheelSlots - 1)];
+    promoteWork_.insert(promoteWork_.end(), pending_due.begin(),
+                        pending_due.end());
+    pending_due.clear();
+    for (std::size_t i = 0; i < promoteWork_.size(); ++i) {
+        const std::uint64_t seq = promoteWork_[i];
+        Entry *entry = findWindow(seq);
+        if (entry == nullptr || entry->ready || entry->issued)
+            continue;
+        const WakeCheck c = wakeCheckAll(*entry, cycle_);
+        if (c.ok)
+            markReady(*entry);
+        else if (c.blocker != 0)
+            registerWaiter(c.blocker, *entry, /*classify_kind=*/false);
+        else
+            pending_.push(c.due, cycle_, seq);
+    }
+
+    // 3. Issue up to issueWidth ready entries, oldest first.
+    const unsigned issued = issueReady(batchLastIssue_, batchAnyIssue_);
+
+    stats_.issuedPerCycle.add(issued);
+    ++cycle_;
+
+    if (issued == 0 && cycle_ > batchLastIssue_ + 64) {
+        ddsc_panic("batched scheduler deadlock at cycle %llu",
+                   static_cast<unsigned long long>(cycle_));
+    }
+}
+
+void
+LimitScheduler::beginBatched()
+{
+    ddsc_assert(!config_.naiveEngine,
+                "batched feeding drives the wakeup engine; the naive "
+                "reference engine has no batched mode");
+    resetState();
+    wakeMode_ = true;
+}
+
+void
+LimitScheduler::feedBatched(const FrontEndBatch &batch)
+{
+    ddsc_assert(wakeMode_, "feedBatched outside begin/finishBatched");
+    std::size_t pos = 0;
+    while (windowCount_ < config_.windowSize && pos < batch.size())
+        insertFromBatch(batch, pos++);
+    if (windowCount_ < config_.windowSize)
+        return;     // chunk too small to fill the window; need more
+    for (;;) {
+        runBatchedCycle();
+        // Refill ("kept full"); once this chunk can no longer top the
+        // window up, stop advancing cycles and wait for the next chunk
+        // (or finishBatched(), which drains without refill).
+        while (windowCount_ < config_.windowSize && pos < batch.size())
+            insertFromBatch(batch, pos++);
+        if (windowCount_ < config_.windowSize)
+            return;
+    }
+}
+
+SchedStats
+LimitScheduler::finishBatched()
+{
+    ddsc_assert(wakeMode_, "finishBatched without beginBatched");
+    while (windowCount_ > 0)
+        runBatchedCycle();
+    // A run in which nothing ever issues (e.g. an empty trace)
+    // occupies zero cycles; "last issue + 1" only counts real issues.
+    stats_.cycles = batchAnyIssue_ ? batchLastIssue_ + 1 : 0;
+    wakeMode_ = false;
+    return stats_;
+}
+
+SchedStats
+LimitScheduler::runBatched(TraceSource &trace)
+{
+    const auto start = std::chrono::steady_clock::now();
+    SpecFrontEnd front(config_);
+    FrontEndBatch batch;
+    beginBatched();
+    while (front.fill(trace, batch, 16384) != 0)
+        feedBatched(batch);
+    SchedStats stats = finishBatched();
+    stats.wallNanos = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start).count());
+    stats_ = stats;
+    return stats;
 }
 
 } // namespace ddsc

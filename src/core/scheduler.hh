@@ -65,18 +65,13 @@
 
 #include <array>
 #include <cstdint>
-#include <memory>
 #include <queue>
-#include <unordered_map>
 #include <vector>
 
-#include "addrpred/addrpred.hh"
-#include "bpred/bpred.hh"
-#include "bpred/cti_pred.hh"
 #include "core/config.hh"
+#include "core/frontend.hh"
 #include "core/sched_stats.hh"
 #include "trace/source.hh"
-#include "vpred/vpred.hh"
 
 namespace ddsc
 {
@@ -92,6 +87,34 @@ class LimitScheduler
 
     /** Simulate @p trace from its current position to the end. */
     SchedStats run(TraceSource &trace);
+
+    /**
+     * Batched operation: the back-end consumes pre-annotated records
+     * from a shared SpecFrontEnd pass instead of driving its own
+     * front-end.  Protocol:
+     *
+     *     sched.beginBatched();
+     *     while (fe.fill(trace, batch, chunk) != 0)
+     *         sched.feedBatched(batch);
+     *     SchedStats stats = sched.finishBatched();
+     *
+     * feedBatched() advances simulated cycles only while the chunk can
+     * keep the window full ("kept full" semantics); the leftover tail
+     * waits for the next chunk.  finishBatched() drains the window.
+     * The resulting SchedStats are bit-identical to run() on the same
+     * trace (wallNanos excepted, which the caller owns in this mode);
+     * the batched engine promotes entries with exact wakeup lists
+     * instead of the event engine's monotone lower bounds, so a
+     * 2048-wide window of long dependence chains costs O(arcs), not
+     * O(arcs x bound advances).
+     */
+    void beginBatched();
+    void feedBatched(const FrontEndBatch &batch);
+    SchedStats finishBatched();
+
+    /** Convenience: run a private front-end pass feeding only this
+     *  back-end through the batched path (wall-timed like run()). */
+    SchedStats runBatched(TraceSource &trace);
 
   private:
     /** Reset all run state (predictors keep their construction). */
@@ -151,12 +174,18 @@ class LimitScheduler
         bool vpredUsable = false;       ///< value prediction confident
         bool vpredCorrect = false;      ///< predicted value == actual
 
-        /** Collapsing bookkeeping.  Absorbed producers are copied by
-         *  value: they may issue and leave the window while this entry
-         *  still waits, yet their identity is needed if a later
-         *  consumer extends the group (chain triples). */
+        /** Collapsing bookkeeping.  Absorbed producers' signature
+         *  fragments and seqs are copied by value: a producer may
+         *  issue and leave the window while this entry still waits,
+         *  yet its identity is needed if a later consumer extends the
+         *  group (chain triples).  Fragments come precomputed from
+         *  the front-end annotation, so group signatures are pure
+         *  concatenation here. */
         ExprSize expr;                  ///< effective (compound) size
-        TraceRecord memberRecords[2];   ///< absorbed producers
+        std::array<char, kMaxInstructionSignature> sigFrag;
+        std::uint8_t sigLen = 0;        ///< own fragment (annotation)
+        std::array<char, kMaxInstructionSignature> memberSigs[2];
+        std::uint8_t memberSigLens[2] = {0, 0};
         std::uint64_t memberSeqs[2] = {0, 0};
         unsigned numMembers = 0;        ///< producers absorbed (0..2)
         bool inAnyGroup = false;
@@ -167,6 +196,17 @@ class LimitScheduler
         unsigned absorbedCount = 0;     ///< times absorbed as producer
         bool hasValueReader = false;    ///< non-collapsed arc exists
         bool eliminated = false;        ///< never consumes an issue slot
+
+        /** Batched-engine wakeup lists (unused by the event/naive
+         *  engines).  An entry blocked on this producer's unknown
+         *  future (issue time or source readiness) links itself here;
+         *  the chain is seq-encoded tokens (waiterSeq << 1 | kind) so
+         *  it survives growWindow()'s entry copies.  Each waiter
+         *  stores the continuation for the one chain it sits in, per
+         *  kind (promotion vs load classification). */
+        std::uint64_t wakeHead = 0;         ///< 0 = no waiters
+        std::uint64_t wakeNextPromote = 0;
+        std::uint64_t wakeNextClassify = 0;
     };
 
     /** Outcome of evaluating a constraint set at some cycle. */
@@ -177,6 +217,12 @@ class LimitScheduler
     };
 
     void insert(const TraceRecord &rec);
+    /** The back-end half of insertion: window entry construction from
+     *  a record plus its front-end annotation (shared by insert() and
+     *  the batched feed, so both paths are identical by
+     *  construction). */
+    void insertAnnotated(const TraceRecord &rec,
+                         const InsertAnnotation &ann);
     void addArc(Entry &entry, std::uint64_t producer_seq, bool address);
     void tryCollapse(Entry &entry);
 
@@ -206,8 +252,10 @@ class LimitScheduler
      *  that still have a real value reader. */
     void noteValueReaders(const Entry &entry);
 
-    /** Try to eliminate the overwritten previous writer @p old_seq. */
-    void maybeEliminate(std::uint64_t old_seq);
+    /** Try to eliminate the overwritten previous writer @p old_seq;
+     *  @p cc_blocked means its cc result is still live (the front-end
+     *  decides this from its writer tables). */
+    void maybeEliminate(std::uint64_t old_seq, bool cc_blocked);
 
     /** Drop an entry from all structures; @p entry must be in window. */
     void removeFromWindow(std::uint64_t seq);
@@ -235,18 +283,56 @@ class LimitScheduler
     void recordRetired(std::uint64_t seq, std::uint64_t value_time);
     void growRetired();
 
-    /** The store page covering byte address @p base (page-aligned), or
-     *  nullptr when absent and @p create is false.  Pages persist
-     *  across runs and are invalidated wholesale by epoch. */
-    struct StorePage;
-    StorePage *storePage(std::uint64_t base, bool create);
+    // --- batched (wakeup-list) engine ---------------------------------
+    //
+    // Re-evaluations are scheduled at *exact* constraint-resolution
+    // times instead of monotone lower bounds.  A failed evaluation
+    // stops at its first unsatisfied constraint: when that
+    // constraint's satisfaction time is already known (fixed
+    // readiness, an issued or value-speculated producer, a retired
+    // value time) the entry goes back on the wheel for that cycle;
+    // otherwise (an unissued producer) it links into the producer's
+    // wakeup list and sleeps until markReady / issue / speculative
+    // value delivery names the time.  Every entry is thus evaluated
+    // O(constraints) times total, and promotion still happens at
+    // exactly the same cycle as the event/naive engines (each wake
+    // fires at a true satisfaction time, and the last one fires at
+    // their maximum).
+
+    /** Outcome of a batched-engine evaluation: satisfied, or blocked
+     *  until a known cycle (`due`), or blocked on an unissued
+     *  in-window producer (`blocker`). */
+    struct WakeCheck
+    {
+        bool ok;
+        std::uint64_t due;      ///< exact re-evaluation cycle (0 = n/a)
+        std::uint64_t blocker;  ///< producer seq to wait on (0 = n/a)
+    };
+
+    WakeCheck wakeCheckArc(const DepArc &arc, std::uint64_t cycle) const;
+    WakeCheck wakeCheckAll(const Entry &entry, std::uint64_t cycle) const;
+    WakeCheck wakeCheckNonAddr(const Entry &entry,
+                               std::uint64_t cycle) const;
+
+    /** Link @p waiter into @p producer_seq's wakeup list. */
+    void registerWaiter(std::uint64_t producer_seq, Entry &waiter,
+                        bool classify_kind);
+    /** Producer resolved at a known future @p due (issue or
+     *  speculative value): move all waiters to their wheels. */
+    void wakeAt(Entry &producer, std::uint64_t due);
+    /** Producer became source-satisfied this cycle (markReady):
+     *  promotion waiters re-evaluate now, classification waiters next
+     *  cycle (their predicates cannot hold yet). */
+    void wakeNow(Entry &producer);
+
+    void insertFromBatch(const FrontEndBatch &batch, std::size_t i);
+    void runBatchedCycle();
 
     MachineConfig config_;
-    std::unique_ptr<BranchPredictor> bpred_;
-    std::unique_ptr<AddressPredictor> addrPred_;
-    LoadValuePredictor valuePred_;
-    ReturnAddressStack ras_;
-    IndirectTargetBuffer itb_;
+    /** The legacy single-cell path drives this private front-end;
+     *  the batched path bypasses it (annotations arrive from a shared
+     *  external pass). */
+    SpecFrontEnd frontEnd_;
 
     /** The window: a power-of-two ring of slots addressed by
      *  seq & slotMask_, tagged by Entry::seq + Entry::live.  Dense
@@ -311,31 +397,22 @@ class LimitScheduler
      *  removeFromWindow clears the bit, so no lazy deletion. */
     std::vector<std::uint64_t> readyBits_;
     std::size_t readyCount_ = 0;
+    /** Lower bound on the smallest seq with a set ready bit, so the
+     *  issue scan skips the dead prefix below it (a stalled oldest
+     *  entry no longer costs O(span) bitmap words per cycle). */
+    std::uint64_t readySeqHint_ = 1;
 
-    /** Rename state: last writer seq per register (0 = none). */
-    std::uint64_t lastRegWriter_[kNumRegs] = {};
-    std::uint64_t lastCCWriter_ = 0;
-    std::uint64_t lastBarrier_ = 0;     ///< last mispredicted branch
-
-    /** Perfect disambiguation: last store seq per byte, held in 4 KiB
-     *  pages keyed by page base address.  A page is valid only when
-     *  its epoch matches storeEpoch_; resetState() bumps the epoch
-     *  instead of touching the pages. */
-    static constexpr std::uint64_t kStorePageBytes = 4096;
-    struct StorePage
-    {
-        std::uint64_t epoch = 0;
-        std::array<std::uint64_t, kStorePageBytes> seq;
-    };
-    std::unordered_map<std::uint64_t,
-                       std::unique_ptr<StorePage>> storePages_;
-    std::uint64_t storeEpoch_ = 0;
-    /** One-entry page cache; most accesses stay within a page. */
-    StorePage *storePageCache_ = nullptr;
-    std::uint64_t storePageCacheBase_ = 1;  ///< 1 = nothing cached
+    /** Batched (wakeup-list) engine state.  promoteWork_ is the
+     *  current cycle's promotion work list: wheel drains seed it and
+     *  markReady wakes append to it mid-scan (index iteration), so
+     *  same-cycle promotion closures — collapsed consumers of a
+     *  just-promoted producer — resolve within the cycle. */
+    bool wakeMode_ = false;
+    std::vector<std::uint64_t> promoteWork_;
+    std::uint64_t batchLastIssue_ = 0;
+    bool batchAnyIssue_ = false;
 
     std::uint64_t nextSeq_ = 1;         ///< 0 reserved for "none"
-    std::uint64_t nextBbId_ = 0;        ///< dynamic basic-block counter
     std::uint64_t cycle_ = 0;
     SchedStats stats_;
 };

@@ -18,6 +18,7 @@ Server::Server(const ServerOptions &opts)
       driver_(0, opts.testScale, opts.jobs),
       registry_(driver_)
 {
+    driver_.setBatched(opts_.batched);
     if (!opts_.cacheDir.empty()) {
         // A daemon restart over its existing store is the normal warm
         // start — no --resume gate like the one-shot CLI has.

@@ -1,0 +1,151 @@
+#include "batched.hh"
+
+#include <cctype>
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+
+#include "core/scheduler.hh"
+#include "support/fault.hh"
+#include "support/logging.hh"
+
+namespace ddsc
+{
+
+namespace
+{
+
+std::uint64_t
+nowNanos()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+/** Same stall knob as the per-cell path ($DDSC_FAULT_STALL_MS). */
+unsigned
+faultStallMs()
+{
+    static const unsigned stall_ms = [] {
+        const char *v = std::getenv("DDSC_FAULT_STALL_MS");
+        if (v && std::isdigit(static_cast<unsigned char>(v[0])))
+            return static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+        return 400u;
+    }();
+    return stall_ms;
+}
+
+} // anonymous namespace
+
+BatchedGroupResult
+runBatchedGroup(const VectorTraceSource &trace,
+                const std::vector<MachineConfig> &configs,
+                const std::vector<std::string> &keys,
+                std::size_t chunk)
+{
+    ddsc_assert(configs.size() == keys.size(),
+                "batched group: %zu configs but %zu keys",
+                configs.size(), keys.size());
+    ddsc_assert(!configs.empty(), "batched group: no cells");
+    ddsc_assert(chunk > 0, "batched group: zero chunk");
+    const std::string fe_fp = configs.front().frontEndFingerprint();
+    for (const MachineConfig &config : configs) {
+        ddsc_assert(config.frontEndFingerprint() == fe_fp,
+                    "batched group mixes front-end fingerprints "
+                    "('%s' vs '%s')", fe_fp.c_str(),
+                    config.frontEndFingerprint().c_str());
+        ddsc_assert(!config.naiveEngine,
+                    "batched group cannot run the naive engine");
+    }
+
+    BatchedGroupResult out;
+    out.cells.resize(configs.size());
+
+    // One back-end per cell.  `alive` drops a cell the moment its feed
+    // throws; its siblings keep consuming the same batches untouched.
+    std::vector<std::unique_ptr<LimitScheduler>> scheds;
+    std::vector<char> alive(configs.size(), 1);
+    std::vector<std::uint64_t> beNanos(configs.size(), 0);
+    scheds.reserve(configs.size());
+    for (const MachineConfig &config : configs)
+        scheds.push_back(std::make_unique<LimitScheduler>(config));
+    for (auto &sched : scheds)
+        sched->beginBatched();
+
+    SpecFrontEnd fe(configs.front());
+    // The fingerprint does not cover collapsing (it is back-end-only
+    // state), so a group can mix collapsing and plain cells; emit the
+    // collapse-detection columns whenever any consumer needs them.
+    bool any_collapsing = false;
+    for (const MachineConfig &config : configs)
+        any_collapsing = any_collapsing || config.collapsing;
+    fe.setCollapseColumns(any_collapsing);
+    FrontEndBatch batch;
+    VectorTraceView view(trace);
+
+    const auto failCell = [&](std::size_t i, const char *what) {
+        alive[i] = 0;
+        scheds[i].reset();
+        out.cells[i].ok = false;
+        out.cells[i].error = what;
+    };
+
+    const auto feedCell = [&](std::size_t i, bool finish) {
+        if (!alive[i])
+            return;
+        const std::uint64_t start = nowNanos();
+        try {
+            // The same injection hooks as the per-cell path, checked
+            // per feed so persistent ("cell-throw:<tag>") faults fire
+            // mid-batch: the failure lands while sibling back-ends are
+            // part-way through the very same front-end pass.
+            if (support::faultShouldFire("cell-throw", keys[i].c_str()))
+                throw std::runtime_error(
+                    "injected fault: cell-throw at '" + keys[i] + "'");
+            if (support::faultShouldFire("cell-stall", keys[i].c_str()))
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(faultStallMs()));
+            if (finish) {
+                out.cells[i].stats = scheds[i]->finishBatched();
+                out.cells[i].ok = true;
+            } else {
+                scheds[i]->feedBatched(batch);
+            }
+        } catch (const std::exception &e) {
+            failCell(i, e.what());
+        } catch (...) {
+            failCell(i, "unknown exception");
+        }
+        beNanos[i] += nowNanos() - start;
+    };
+
+    std::uint64_t fe_nanos = 0;
+    for (;;) {
+        const std::uint64_t fill_start = nowNanos();
+        const std::size_t filled = fe.fill(view, batch, chunk);
+        fe_nanos += nowNanos() - fill_start;
+        if (filled == 0)
+            break;
+        for (std::size_t i = 0; i < configs.size(); ++i)
+            feedCell(i, false);
+    }
+    for (std::size_t i = 0; i < configs.size(); ++i)
+        feedCell(i, true);
+
+    out.frontEndNanos = fe_nanos;
+    out.trainCounts = fe.trainCounts();
+    // Each cell's wall time is its own back-end work plus an equal
+    // share of the single front-end pass: summing per-cell wallNanos
+    // over a sweep still accounts every nanosecond exactly once.
+    const std::uint64_t fe_share = fe_nanos / configs.size();
+    for (std::size_t i = 0; i < configs.size(); ++i)
+        if (out.cells[i].ok)
+            out.cells[i].stats.wallNanos = beNanos[i] + fe_share;
+    return out;
+}
+
+} // namespace ddsc

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * One-pass multi-cell simulation: a single streaming SpecFrontEnd
+ * pass over one workload trace feeds any number of back-end window
+ * engines whose configs share a front-end fingerprint (typically the
+ * width sweep of one paper configuration, or {A, C, E} together since
+ * none of them trains a load predictor).
+ *
+ * runBatchedGroup() is the shared engine behind ExperimentDriver's
+ * batched prefetch, ddsc-sim's --batched sweep, and bench_sched's
+ * `batched` series.  Per-cell results are bit-identical to the
+ * one-cell-at-a-time path (tests/batched_equiv_test.cpp is the
+ * oracle); only wallNanos differs, carrying each cell's own back-end
+ * time plus an equal share of the single front-end pass.
+ *
+ * Fault containment matches the per-cell path's first attempt: the
+ * "cell-throw"/"cell-stall" injection hooks fire per cell inside the
+ * batch, and a cell that throws mid-batch is dropped from the group
+ * without disturbing its siblings (each back-end owns all its window
+ * state; the front-end is read-only to them).  The caller retries
+ * failed cells on the legacy path for their remaining attempts.
+ */
+
+#ifndef DDSC_SIM_BATCHED_HH
+#define DDSC_SIM_BATCHED_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/config.hh"
+#include "core/frontend.hh"
+#include "core/sched_stats.hh"
+#include "trace/source.hh"
+
+namespace ddsc
+{
+
+/** Outcome of one cell of a batched group. */
+struct BatchedCellResult
+{
+    SchedStats stats;           ///< valid when ok
+    bool ok = false;
+    std::string error;          ///< what the feed threw when !ok
+};
+
+/** Outcome of one front-end pass over a group of cells. */
+struct BatchedGroupResult
+{
+    std::vector<BatchedCellResult> cells;   ///< parallel to configs
+    std::uint64_t frontEndNanos = 0;        ///< one shared pass
+    FrontEndTrainCounts trainCounts;        ///< post-pass totals
+};
+
+/** Default records per streamed chunk. */
+constexpr std::size_t kBatchedChunk = 16384;
+
+/**
+ * Run every (config, key) cell over @p trace with one shared
+ * front-end pass.  All configs must agree on frontEndFingerprint()
+ * (asserted).  @p keys label the cells for fault-injection hooks and
+ * error messages, parallel to @p configs.
+ */
+BatchedGroupResult runBatchedGroup(
+    const VectorTraceSource &trace,
+    const std::vector<MachineConfig> &configs,
+    const std::vector<std::string> &keys,
+    std::size_t chunk = kBatchedChunk);
+
+} // namespace ddsc
+
+#endif // DDSC_SIM_BATCHED_HH

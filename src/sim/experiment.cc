@@ -9,6 +9,7 @@
 #include <thread>
 #include <utility>
 
+#include "sim/batched.hh"
 #include "support/fault.hh"
 #include "support/logging.hh"
 #include "support/shutdown.hh"
@@ -176,9 +177,11 @@ ExperimentDriver::attemptCell(const std::string &key,
                               const VectorTraceSource &trace,
                               const MachineConfig &config,
                               SchedStats &out,
-                              CellFailure &failure) const
+                              CellFailure &failure,
+                              unsigned first_attempt) const
 {
-    for (unsigned attempt = 1; attempt <= kCellAttempts; ++attempt) {
+    for (unsigned attempt = first_attempt; attempt <= kCellAttempts;
+         ++attempt) {
         try {
             out = runCellChecked(key, trace, config);
             if (attempt > 1) {
@@ -360,22 +363,90 @@ ExperimentDriver::prefetch(const std::vector<ExperimentCell> &cells)
     std::vector<char> skipped(missing.size(), 0);
     support::ThreadPool &workers = pool();
     std::vector<std::future<void>> batch;
-    batch.reserve(missing.size());
-    for (std::size_t i = 0; i < missing.size(); ++i) {
-        batch.push_back(workers.submit([&, i]() {
-            // An interruptible driver (the CLI tools after Ctrl-C)
-            // abandons cells it has not started; whatever already
-            // finished is still published and flushed below.
-            if (interruptible_ && support::shutdownRequested()) {
-                skipped[i] = 1;
-                return;
+    // Lives past the submit loop: group tasks index into it from
+    // worker threads until every future below is collected.
+    std::vector<std::vector<std::size_t>> groups;
+    if (batched_) {
+        // Group the missing cells by (workload, front-end
+        // fingerprint): each group is one streaming front-end pass
+        // feeding all its back-end window engines, so the paper
+        // matrix costs two trace decodes per workload instead of 25.
+        // Groups are pool tasks (they are the natural parallel unit —
+        // sibling cells of a group share one pass by construction);
+        // a cell that fails inside its group is retried alone on the
+        // per-cell path, continuing the attempt count, so transient
+        // faults recover and persistent ones quarantine exactly as on
+        // the legacy path.
+        {
+            std::map<std::pair<const VectorTraceSource *, std::string>,
+                     std::size_t> index;
+            for (std::size_t i = 0; i < missing.size(); ++i) {
+                const auto [it, inserted] = index.try_emplace(
+                    {missing[i].trace,
+                     missing[i].config.frontEndFingerprint()},
+                    groups.size());
+                if (inserted)
+                    groups.emplace_back();
+                groups[it->second].push_back(i);
             }
-            succeeded[i] = attemptCell(missing[i].key,
-                                       *missing[i].trace,
-                                       missing[i].config, results[i],
-                                       failures[i])
-                               ? 1 : 0;
-        }));
+        }
+        batch.reserve(groups.size());
+        for (std::size_t g = 0; g < groups.size(); ++g) {
+            batch.push_back(workers.submit([&, g]() {
+                const std::vector<std::size_t> &group = groups[g];
+                if (interruptible_ && support::shutdownRequested()) {
+                    for (const std::size_t i : group)
+                        skipped[i] = 1;
+                    return;
+                }
+                std::vector<MachineConfig> configs;
+                std::vector<std::string> keys;
+                configs.reserve(group.size());
+                keys.reserve(group.size());
+                for (const std::size_t i : group) {
+                    configs.push_back(missing[i].config);
+                    keys.push_back(missing[i].key);
+                }
+                const BatchedGroupResult out = runBatchedGroup(
+                    *missing[group[0]].trace, configs, keys);
+                for (std::size_t k = 0; k < group.size(); ++k) {
+                    const std::size_t i = group[k];
+                    if (out.cells[k].ok) {
+                        results[i] = out.cells[k].stats;
+                        succeeded[i] = 1;
+                        continue;
+                    }
+                    failures[i] = {missing[i].key,
+                                   out.cells[k].error, 1};
+                    warn("cell '%s' failed (attempt 1 of %u): %s",
+                         missing[i].key.c_str(), kCellAttempts,
+                         out.cells[k].error.c_str());
+                    succeeded[i] =
+                        attemptCell(missing[i].key, *missing[i].trace,
+                                    missing[i].config, results[i],
+                                    failures[i], 2)
+                            ? 1 : 0;
+                }
+            }));
+        }
+    } else {
+        batch.reserve(missing.size());
+        for (std::size_t i = 0; i < missing.size(); ++i) {
+            batch.push_back(workers.submit([&, i]() {
+                // An interruptible driver (the CLI tools after Ctrl-C)
+                // abandons cells it has not started; whatever already
+                // finished is still published and flushed below.
+                if (interruptible_ && support::shutdownRequested()) {
+                    skipped[i] = 1;
+                    return;
+                }
+                succeeded[i] = attemptCell(missing[i].key,
+                                           *missing[i].trace,
+                                           missing[i].config,
+                                           results[i], failures[i])
+                                   ? 1 : 0;
+            }));
+        }
     }
     for (std::future<void> &done : batch)
         done.get();

@@ -128,6 +128,24 @@ class ExperimentDriver
      */
     void setInterruptible(bool on) { interruptible_ = on; }
 
+    /**
+     * Batched prefetch (default on): missing cells that share a
+     * workload and a front-end fingerprint are simulated as one group
+     * — a single streaming SpecFrontEnd pass feeding all their
+     * back-end window engines (sim/batched.hh) — instead of one full
+     * front-end replay per cell.  The paper matrix needs two passes
+     * per workload ({A, C, E} and {B, D}) to cover all 25 cells.
+     * Per-cell results are bit-identical either way (wallNanos
+     * excepted); tests/batched_equiv_test.cpp holds the driver to
+     * that.  A cell that fails inside its group falls back to the
+     * per-cell path for its remaining attempts, so fault containment
+     * and quarantine behave exactly as before.  setBatched(false)
+     * restores the historical cell-at-a-time path (the benchmark's
+     * event-engine baseline uses this).
+     */
+    void setBatched(bool on) { batched_ = on; }
+    bool batched() const { return batched_; }
+
     /** Times a cell simulation is attempted before quarantine. */
     static constexpr unsigned kCellAttempts = 3;
 
@@ -276,14 +294,16 @@ class ExperimentDriver
                               const VectorTraceSource &trace,
                               const MachineConfig &config) const;
 
-    /** Try a cell up to kCellAttempts times.  True with @p out filled
-     *  on success; false with @p failure describing the last error
-     *  when every attempt threw.  Thread-safe (touches no driver
-     *  state). */
+    /** Try a cell up to kCellAttempts times, starting the count at
+     *  @p first_attempt (the batched path burns attempt 1 inside its
+     *  group and retries here from 2).  True with @p out filled on
+     *  success; false with @p failure describing the last error when
+     *  every attempt threw.  Thread-safe (touches no driver state). */
     bool attemptCell(const std::string &key,
                      const VectorTraceSource &trace,
                      const MachineConfig &config, SchedStats &out,
-                     CellFailure &failure) const;
+                     CellFailure &failure,
+                     unsigned first_attempt = 1) const;
 
     /** The shared worker pool, created on first use with jobs_
      *  threads.  Persistent across prefetch() calls so concurrent
@@ -295,6 +315,7 @@ class ExperimentDriver
     bool testScale_;
     unsigned jobs_;
     bool interruptible_ = false;
+    bool batched_ = true;
     std::unique_ptr<support::ThreadPool> pool_;
     /** Guards pool_ creation and traces_/digests_ (trace
      *  materialization runs the VM and is deliberately serial; map

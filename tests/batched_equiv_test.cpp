@@ -1,0 +1,334 @@
+/**
+ * @file
+ * Differential equivalence of the one-pass batched simulation path
+ * against the historical one-cell-at-a-time path.
+ *
+ * The batched path changes two things at once — the front-end runs
+ * once per (workload, front-end fingerprint) group instead of once
+ * per cell, and the back-end promotes entries with exact wakeup lists
+ * instead of the event engine's monotone lower bounds — so the oracle
+ * here is deliberately blunt: for every workload x configuration x
+ * width cell, the full SchedStats digest (digestSchedStats, every
+ * deterministic field including both histograms) must be bit-identical
+ * between the two paths.  VP-only and collapse-only configurations,
+ * chunk-size invariance, the predictor-train-once property, and the
+ * driver-level batched prefetch are pinned alongside.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/config.hh"
+#include "core/scheduler.hh"
+#include "core/sched_stats.hh"
+#include "sim/batched.hh"
+#include "sim/experiment.hh"
+#include "support/fault.hh"
+#include "trace/synthetic.hh"
+#include "workloads/workloads.hh"
+
+namespace ddsc
+{
+namespace
+{
+
+SchedStats
+legacyCell(const VectorTraceSource &trace, const MachineConfig &config)
+{
+    VectorTraceView view(trace);
+    LimitScheduler sched(config);
+    return sched.run(view);
+}
+
+/**
+ * Run every (config, label) cell both ways — legacy per-cell, and
+ * batched with the cells grouped by front-end fingerprint exactly as
+ * the driver groups them — and require bit-identical digests.
+ */
+void
+expectBatchedMatchesLegacy(const VectorTraceSource &trace,
+                           const std::vector<MachineConfig> &configs,
+                           const std::vector<std::string> &labels,
+                           const std::string &what,
+                           std::size_t chunk = kBatchedChunk)
+{
+    std::map<std::string, std::vector<std::size_t>> groups;
+    for (std::size_t i = 0; i < configs.size(); ++i)
+        groups[configs[i].frontEndFingerprint()].push_back(i);
+
+    for (const auto &[fp, members] : groups) {
+        std::vector<MachineConfig> group_configs;
+        std::vector<std::string> group_keys;
+        for (const std::size_t i : members) {
+            group_configs.push_back(configs[i]);
+            group_keys.push_back(labels[i]);
+        }
+        const BatchedGroupResult out =
+            runBatchedGroup(trace, group_configs, group_keys, chunk);
+        ASSERT_EQ(out.cells.size(), members.size()) << what;
+        for (std::size_t k = 0; k < members.size(); ++k) {
+            ASSERT_TRUE(out.cells[k].ok)
+                << what << " " << group_keys[k] << ": "
+                << out.cells[k].error;
+            const SchedStats legacy =
+                legacyCell(trace, group_configs[k]);
+            EXPECT_EQ(digestSchedStats(out.cells[k].stats),
+                      digestSchedStats(legacy))
+                << what << " " << group_keys[k];
+        }
+    }
+}
+
+std::vector<MachineConfig>
+paperConfigs(const std::vector<unsigned> &widths,
+             std::vector<std::string> &labels)
+{
+    std::vector<MachineConfig> configs;
+    for (const char c : std::string("ABCDE"))
+        for (const unsigned w : widths) {
+            configs.push_back(MachineConfig::paper(c, w));
+            labels.push_back(std::string(1, c) + "/" +
+                             std::to_string(w));
+        }
+    return configs;
+}
+
+TEST(BatchedEquiv, AllWorkloadsFullMatrix)
+{
+    // The tentpole oracle: every workload, every paper configuration
+    // A-E, the verification widths — batched digests must equal the
+    // legacy path's exactly.
+    for (const WorkloadSpec &spec : allWorkloads()) {
+        const VectorTraceSource trace =
+            traceWorkload(spec, spec.testScale);
+        std::vector<std::string> labels;
+        const std::vector<MachineConfig> configs =
+            paperConfigs({4, 16}, labels);
+        expectBatchedMatchesLegacy(trace, configs, labels, spec.name);
+    }
+}
+
+TEST(BatchedEquiv, WideWindow)
+{
+    // The 2048-wide cells are where the wakeup-list engine diverges
+    // hardest from the event engine's bound bookkeeping (deep chains,
+    // giant windows); one workload at full matrix width pins them.
+    const WorkloadSpec &spec = findWorkload("li");
+    const VectorTraceSource trace = traceWorkload(spec, spec.testScale);
+    std::vector<std::string> labels;
+    const std::vector<MachineConfig> configs =
+        paperConfigs({2048}, labels);
+    expectBatchedMatchesLegacy(trace, configs, labels, "li wide");
+}
+
+TEST(BatchedEquiv, SyntheticStressShapes)
+{
+    // Pointer-heavy, mispredict-heavy, and long-latency-chain traces
+    // (the shapes engine_diff_test uses against the naive engine).
+    struct Shape
+    {
+        const char *name;
+        SyntheticTraceConfig config;
+    };
+    std::vector<Shape> shapes(3);
+    shapes[0].name = "pointer-heavy";
+    shapes[0].config.instructions = 15000;
+    shapes[0].config.seed = 99;
+    shapes[0].config.strideFraction = 0.0;
+    shapes[0].config.loadFraction = 0.4;
+    shapes[1].name = "mispredict-heavy";
+    shapes[1].config.instructions = 15000;
+    shapes[1].config.seed = 100;
+    shapes[1].config.takenBias = 0.5;
+    shapes[1].config.branchFraction = 0.3;
+    shapes[2].name = "divide-chains";
+    shapes[2].config.instructions = 5000;
+    shapes[2].config.seed = 101;
+    shapes[2].config.divFraction = 0.2;
+    shapes[2].config.mulFraction = 0.2;
+
+    for (const Shape &shape : shapes) {
+        const VectorTraceSource trace =
+            generateSynthetic(shape.config);
+        std::vector<std::string> labels;
+        const std::vector<MachineConfig> configs =
+            paperConfigs({4, 16, 64}, labels);
+        expectBatchedMatchesLegacy(trace, configs, labels, shape.name);
+    }
+}
+
+TEST(BatchedEquiv, ValuePredictionOnlyConfig)
+{
+    // Value prediction without address-based load speculation: the
+    // front-end must train the value predictor (and only it) and the
+    // batched classification wakeups must fire at the same cycles.
+    SyntheticTraceConfig trace_config;
+    trace_config.instructions = 15000;
+    trace_config.seed = 102;
+    trace_config.loadFraction = 0.35;
+    const VectorTraceSource trace = generateSynthetic(trace_config);
+
+    std::vector<MachineConfig> configs;
+    std::vector<std::string> labels;
+    for (const unsigned w : {4u, 16u}) {
+        MachineConfig config = MachineConfig::paper('A', w);
+        config.loadValuePrediction = true;
+        ASSERT_EQ(config.loadSpec, LoadSpecMode::None);
+        configs.push_back(config);
+        labels.push_back("vp-only/" + std::to_string(w));
+    }
+    expectBatchedMatchesLegacy(trace, configs, labels, "vp-only");
+
+    // ...and the speculation must actually have fired.
+    const SchedStats probe = legacyCell(trace, configs[0]);
+    EXPECT_GT(probe.valuePredHits + probe.valuePredWrong, 0u);
+}
+
+TEST(BatchedEquiv, CollapseOnlyAndElimination)
+{
+    // Collapse-only (no load speculation) plus the node-elimination
+    // extension: the same-cycle promotion closure for collapsed arcs
+    // and the elimination wakeup bookkeeping are the delicate parts
+    // of the wakeup engine.
+    SyntheticTraceConfig trace_config;
+    trace_config.instructions = 15000;
+    trace_config.seed = 103;
+    const VectorTraceSource trace = generateSynthetic(trace_config);
+
+    std::vector<MachineConfig> configs;
+    std::vector<std::string> labels;
+    for (const unsigned w : {4u, 16u}) {
+        configs.push_back(MachineConfig::paper('C', w));
+        labels.push_back("C/" + std::to_string(w));
+        MachineConfig elim = MachineConfig::paper('C', w);
+        elim.nodeElimination = true;
+        configs.push_back(elim);
+        labels.push_back("C+elim/" + std::to_string(w));
+    }
+    expectBatchedMatchesLegacy(trace, configs, labels, "collapse-only");
+}
+
+TEST(BatchedEquiv, ChunkSizeInvariance)
+{
+    // The feed protocol ("kept full" across chunk boundaries) must
+    // make the chunk size unobservable, including a degenerate chunk
+    // smaller than the window.
+    const WorkloadSpec &spec = findWorkload("espresso");
+    const VectorTraceSource trace = traceWorkload(spec, spec.testScale);
+    std::vector<std::string> labels;
+    const std::vector<MachineConfig> configs =
+        paperConfigs({4, 16}, labels);
+    for (const std::size_t chunk : {std::size_t{7}, std::size_t{1000},
+                                    kBatchedChunk})
+        expectBatchedMatchesLegacy(trace, configs, labels,
+                                   "chunk=" + std::to_string(chunk),
+                                   chunk);
+}
+
+TEST(BatchedEquiv, PredictorsTrainOncePerRecord)
+{
+    // The point of sharing the front-end: predictor training activity
+    // depends only on the trace, never on how many back-ends consume
+    // the pass.  N = 1, 2, 5 back-ends must leave identical train
+    // counters, equal to a bare front-end pass over the same trace.
+    const WorkloadSpec &spec = findWorkload("li");
+    const VectorTraceSource trace = traceWorkload(spec, spec.testScale);
+    const MachineConfig base = MachineConfig::paper('D', 8);
+
+    SpecFrontEnd bare(base);
+    FrontEndBatch batch;
+    VectorTraceView view(trace);
+    while (bare.fill(view, batch, kBatchedChunk) != 0) {
+    }
+    const FrontEndTrainCounts expected = bare.trainCounts();
+    EXPECT_EQ(bare.recordsAnnotated(), trace.size());
+    EXPECT_GT(expected.branch, 0u);
+    EXPECT_GT(expected.address, 0u);    // D trains the address tables
+
+    for (const std::size_t n : {std::size_t{1}, std::size_t{2},
+                                std::size_t{5}}) {
+        std::vector<MachineConfig> configs;
+        std::vector<std::string> keys;
+        for (std::size_t i = 0; i < n; ++i) {
+            configs.push_back(
+                MachineConfig::paper('D', 4u << (i % 3)));
+            keys.push_back("train/" + std::to_string(i));
+        }
+        const BatchedGroupResult out =
+            runBatchedGroup(trace, configs, keys);
+        EXPECT_EQ(out.trainCounts.branch, expected.branch) << n;
+        EXPECT_EQ(out.trainCounts.address, expected.address) << n;
+        EXPECT_EQ(out.trainCounts.value, expected.value) << n;
+        EXPECT_EQ(out.trainCounts.cti, expected.cti) << n;
+    }
+}
+
+TEST(BatchedEquiv, DriverBatchedMatchesLegacyDriver)
+{
+    // The driver-level oracle: a batched prefetch of the full paper
+    // matrix publishes cell-for-cell the same results as the legacy
+    // cell-at-a-time driver.
+    ExperimentDriver batched(0, /*test_scale=*/true, /*jobs=*/2);
+    ExperimentDriver legacy(0, /*test_scale=*/true, /*jobs=*/2);
+    ASSERT_TRUE(batched.batched());
+    legacy.setBatched(false);
+
+    const WorkloadSpec &li = findWorkload("li");
+    const WorkloadSpec &go = findWorkload("go");
+    const std::vector<const WorkloadSpec *> set = {&li, &go};
+    const std::vector<unsigned> widths = {4, 16};
+    batched.prefetch(ExperimentDriver::cellsFor(set, "ABCDE", widths));
+    legacy.prefetch(ExperimentDriver::cellsFor(set, "ABCDE", widths));
+
+    for (const WorkloadSpec *spec : set)
+        for (const char c : std::string("ABCDE"))
+            for (const unsigned w : widths)
+                EXPECT_EQ(
+                    digestSchedStats(batched.stats(*spec, c, w)),
+                    digestSchedStats(legacy.stats(*spec, c, w)))
+                    << spec->name << "/" << c << "/" << w;
+    // Grouping must not inflate the simulated-cell accounting.
+    EXPECT_EQ(batched.simulatedCells(), legacy.simulatedCells());
+}
+
+#ifndef DDSC_NO_FAULT_INJECTION
+
+TEST(BatchedEquiv, MidBatchThrowDoesNotPoisonSiblings)
+{
+    // Three widths of config A share one front-end pass.  An injected
+    // cell-throw lands on one cell's feed part-way through the stream
+    // (nth-hit spec: hits rotate cell 4, 8, 16, so the 7th lands on
+    // the 4-wide cell's third chunk).  The failed cell must report
+    // its error; its siblings must keep consuming the very same
+    // batches and finish bit-identical to the legacy path.
+    const WorkloadSpec &spec = findWorkload("espresso");
+    const VectorTraceSource trace = traceWorkload(spec, spec.testScale);
+    const std::vector<MachineConfig> configs = {
+        MachineConfig::paper('A', 4), MachineConfig::paper('A', 8),
+        MachineConfig::paper('A', 16)};
+    const std::vector<std::string> keys = {"A/4", "A/8", "A/16"};
+
+    support::faultArm("cell-throw:7");
+    const BatchedGroupResult out =
+        runBatchedGroup(trace, configs, keys, /*chunk=*/512);
+    support::faultArm("");
+
+    ASSERT_EQ(out.cells.size(), 3u);
+    EXPECT_FALSE(out.cells[0].ok);
+    EXPECT_NE(out.cells[0].error.find("injected fault"),
+              std::string::npos);
+    for (const std::size_t k : {std::size_t{1}, std::size_t{2}}) {
+        ASSERT_TRUE(out.cells[k].ok) << out.cells[k].error;
+        EXPECT_EQ(digestSchedStats(out.cells[k].stats),
+                  digestSchedStats(legacyCell(trace, configs[k])))
+            << keys[k];
+    }
+}
+
+#endif // DDSC_NO_FAULT_INJECTION
+
+} // anonymous namespace
+} // namespace ddsc

@@ -654,6 +654,79 @@ TEST(Durability, TransientFaultRecoversInvisibly)
     EXPECT_EQ(encodedSansWall(d.stats(spec, 'A', 4)), want);
 }
 
+TEST(Durability, BatchedQuarantineSparesSiblingsOfThePass)
+{
+    // Three widths of config A form ONE batched group (same front-end
+    // fingerprint), so the poisoned 8-wide cell throws while its
+    // siblings are part-way through the very same front-end pass.
+    // The persistent fault also defeats the per-cell retries, so the
+    // cell quarantines — and the siblings must still finish
+    // bit-identical to a clean legacy-path driver.
+    const auto dir = scratchStoreDir("exp-store-batched-quarantine");
+    const WorkloadSpec &spec = findWorkload("espresso");
+    ScopedFault fault("cell-throw:espresso/A/8");
+
+    ExperimentDriver d(4000, /*test_scale=*/true, 2);
+    ASSERT_TRUE(d.batched());
+    ResultStore store(dir);
+    d.attachStore(&store);
+    d.prefetch({{&spec, 'A', 4}, {&spec, 'A', 8}, {&spec, 'A', 16}});
+
+    const std::vector<CellFailure> report = d.quarantineReport();
+    ASSERT_EQ(report.size(), 1u);
+    EXPECT_EQ(report[0].key, "espresso/A/8");
+    EXPECT_EQ(report[0].attempts, ExperimentDriver::kCellAttempts);
+    EXPECT_THROW(d.stats(spec, 'A', 8), CellQuarantined);
+    EXPECT_EQ(store.size(), 2u);    // only the survivors persisted
+
+    ExperimentDriver clean(4000, /*test_scale=*/true, 1);
+    clean.setBatched(false);
+    EXPECT_EQ(encodedSansWall(d.stats(spec, 'A', 4)),
+              encodedSansWall(clean.stats(spec, 'A', 4)));
+    EXPECT_EQ(encodedSansWall(d.stats(spec, 'A', 16)),
+              encodedSansWall(clean.stats(spec, 'A', 16)));
+}
+
+TEST(Durability, BatchedResumeAfterPartialSweepIsByteIdentical)
+{
+    // Kill-and-resume across the batch boundary: a batched sweep dies
+    // with one cell of the group poisoned, leaving the survivors
+    // checkpointed.  A fresh driver over the same store resumes,
+    // re-simulates only the missing cell, and every cell's encoded
+    // bytes match a clean legacy-path run.
+    const auto dir = scratchStoreDir("exp-store-batched-resume");
+    const WorkloadSpec &spec = findWorkload("espresso");
+    const std::vector<ExperimentCell> cells = {
+        {&spec, 'A', 4}, {&spec, 'A', 8}, {&spec, 'A', 16}};
+    {
+        ScopedFault fault("cell-throw:espresso/A/8");
+        ExperimentDriver d(4000, /*test_scale=*/true, 2);
+        ResultStore store(dir);
+        d.attachStore(&store);
+        d.prefetch(cells);
+        EXPECT_EQ(store.size(), 2u);
+    }
+
+    ExperimentDriver d(4000, /*test_scale=*/true, 2);
+    ResultStore store(dir);
+    EXPECT_EQ(store.loadReport().loaded, 2u);
+    d.attachStore(&store);
+    d.prefetch(cells);
+    EXPECT_EQ(d.storeHits(), 2u);
+    EXPECT_EQ(d.simulatedCells(), 1u);
+    EXPECT_TRUE(d.quarantineReport().empty());
+    EXPECT_EQ(store.size(), 3u);
+
+    ExperimentDriver clean(4000, /*test_scale=*/true, 1);
+    clean.setBatched(false);
+    for (const ExperimentCell &cell : cells)
+        EXPECT_EQ(encodedSansWall(d.stats(spec, cell.config,
+                                          cell.width)),
+                  encodedSansWall(clean.stats(spec, cell.config,
+                                              cell.width)))
+            << cell.config << "/" << cell.width;
+}
+
 #endif // DDSC_NO_FAULT_INJECTION
 
 } // anonymous namespace

@@ -108,6 +108,53 @@ TEST(Serve, OracleByteIdentity)
     EXPECT_EQ(servedSpeedup.summary.simulated, 0u);
 }
 
+TEST(Serve, BatchedServeMatchesLegacyBytesAndSingleFlights)
+{
+    // The serving path batches by default (ServerOptions.batched):
+    // same-fingerprint cells of a sweep share one front-end pass.
+    // Pin that two ways at once.  First, the served bytes must equal
+    // a fresh local run on the *legacy* one-cell-at-a-time engine —
+    // the strongest cross-engine oracle the transport can carry.
+    // Second, concurrent identical sweeps must still cost exactly one
+    // simulation per unique cell: CellRegistry's single-flight dedup
+    // has to hold across the batch boundary, where a cell is no
+    // longer an isolated task but a member of a grouped pass.
+    ServerFixture fx;
+    ASSERT_TRUE(fx.server().driver().batched());
+    MatrixQuery query;
+    query.set = "pc";
+    query.configs = "AD";       // two front-end fingerprint groups
+    query.widths = {4, 8};      // two cells per group per workload
+    query.metric = "ipc";
+    const std::size_t unique = query.cells().size();
+
+    ExperimentDriver legacy(0, /*test_scale=*/true, /*jobs=*/1);
+    legacy.setBatched(false);
+    const MatrixResult fresh = runMatrixQuery(legacy, query);
+
+    constexpr int kClients = 3;
+    std::vector<std::string> rendered(kClients);
+    std::vector<std::thread> threads;
+    std::atomic<int> failures{0};
+    for (int i = 0; i < kClients; ++i) {
+        threads.emplace_back([&, i]() {
+            try {
+                net::Client client(fx.port());
+                rendered[i] = client.matrix(query).render(true);
+            } catch (const std::exception &) {
+                failures.fetch_add(1);
+            }
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+
+    EXPECT_EQ(failures.load(), 0);
+    for (int i = 0; i < kClients; ++i)
+        EXPECT_EQ(rendered[i], fresh.render(true)) << "client " << i;
+    EXPECT_EQ(fx.server().driver().simulatedCells(), unique);
+}
+
 TEST(Serve, HandshakeReportsServerVersions)
 {
     ServerFixture fx;

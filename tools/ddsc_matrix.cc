@@ -5,7 +5,8 @@
  * Usage:
  *   ddsc-matrix [--set all|pc|npc] [--configs ABCDE] [--widths 4,8,16]
  *               [--metric ipc|speedup|collapsed] [--csv] [--jobs N]
- *               [--cache-dir DIR] [--resume] [--version]
+ *               [--cache-dir DIR] [--resume] [--batched|--no-batched]
+ *               [--version]
  *
  * Examples:
  *   ddsc-matrix --set pc --configs BDE --metric speedup
@@ -25,6 +26,12 @@
  *
  * --cache-dir DIR (or $DDSC_CACHE_DIR) persists every finished cell to
  * DIR/results.ddsc.  Reusing a non-empty cache requires --resume, so a
+ * The driver batches by default: cells of a workload whose front-end
+ * knobs agree share one streaming decode/predict pass feeding every
+ * width's window engine (bit-identical results; see
+ * docs/simulator.md).  --no-batched falls back to the historical
+ * one-cell-at-a-time path, e.g. to time it or to bisect a divergence.
+ *
  * stale directory is never picked up by accident.  A cell whose
  * simulation keeps failing is quarantined: the rest of the matrix
  * completes, the cell prints as "n/a", the failure summary names it on
@@ -65,7 +72,8 @@ usage()
         "usage: ddsc-matrix [--set all|pc|npc] [--configs ABCDE]\n"
         "                   [--widths 4,8,...] "
         "[--metric ipc|speedup|collapsed] [--csv] [--jobs N]\n"
-        "                   [--cache-dir DIR] [--resume] [--version]\n");
+        "                   [--cache-dir DIR] [--resume] "
+        "[--batched|--no-batched] [--version]\n");
     std::exit(2);
 }
 
@@ -103,6 +111,7 @@ main(int argc, char **argv)
     if (const char *env = std::getenv("DDSC_CACHE_DIR"))
         cache_dir = env;
     bool resume = false;
+    bool batched = true;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -129,6 +138,10 @@ main(int argc, char **argv)
             cache_dir = value();
         } else if (arg == "--resume") {
             resume = true;
+        } else if (arg == "--batched") {
+            batched = true;
+        } else if (arg == "--no-batched") {
+            batched = false;
         } else if (arg == "--version") {
             support::version::print("ddsc-matrix");
             return 0;
@@ -154,6 +167,7 @@ main(int argc, char **argv)
     if (jobs != 0)
         driver.setJobs(jobs);
     driver.setInterruptible(true);
+    driver.setBatched(batched);
 
     std::unique_ptr<ResultStore> store;
     if (!cache_dir.empty()) {

@@ -6,7 +6,8 @@
  *   ddsc-served [--port N] [--port-file PATH] [--jobs N]
  *               [--cache-dir DIR] [--max-sessions N]
  *               [--watchdog-budget-ms N] [--supervise]
- *               [--pid-file PATH] [--max-restarts K] [--version]
+ *               [--pid-file PATH] [--max-restarts K]
+ *               [--batched|--no-batched] [--version]
  *
  * Examples:
  *   ddsc-served --port 7411 --cache-dir /var/tmp/ddsc
@@ -40,6 +41,10 @@
  *
  * --watchdog-budget-ms pins the hung-cell watchdog's soft budget; by
  * default it adapts to 8x the slowest cell observed (2 s floor).
+ *
+ * Sweeps batch by default: same-fingerprint cells of a workload share
+ * one streaming front-end pass (served bytes are bit-identical either
+ * way).  --no-batched restores the one-cell-at-a-time engine.
  *
  * SIGINT/SIGTERM drain: in-flight requests finish and reply, new
  * connections are refused, the store is flushed and compacted, and
@@ -75,8 +80,8 @@ usage()
         "usage: ddsc-served [--port N] [--port-file PATH] [--jobs N]\n"
         "                   [--cache-dir DIR] [--max-sessions N]\n"
         "                   [--watchdog-budget-ms N] [--supervise]\n"
-        "                   [--pid-file PATH] [--max-restarts K] "
-        "[--version]\n");
+        "                   [--pid-file PATH] [--max-restarts K]\n"
+        "                   [--batched|--no-batched] [--version]\n");
     std::exit(2);
 }
 
@@ -331,6 +336,10 @@ main(int argc, char **argv)
         } else if (arg == "--watchdog-budget-ms") {
             opts.watchdogBudgetMs = static_cast<std::uint64_t>(
                 std::atoll(value().c_str()));
+        } else if (arg == "--batched") {
+            opts.batched = true;
+        } else if (arg == "--no-batched") {
+            opts.batched = false;
         } else if (arg == "--supervise") {
             do_supervise = true;
         } else if (arg == "--max-restarts") {

@@ -26,6 +26,9 @@
  *   --resume          reuse an existing cache: configs whose stored
  *                     fingerprint and trace digest still match are
  *                     served from disk instead of re-simulated
+ *   --batched         share one front-end pass among configs whose
+ *                     front-end knobs agree (default; bit-identical)
+ *   --no-batched      simulate every config with its own full pass
  *   --version         print format/schema versions and exit
  *
  * A config whose simulation keeps throwing is contained: the other
@@ -50,6 +53,7 @@
 
 #include "core/scheduler.hh"
 #include "masm/assembler.hh"
+#include "sim/batched.hh"
 #include "sim/result_store.hh"
 #include "support/fault.hh"
 #include "support/logging.hh"
@@ -72,7 +76,8 @@ usage()
         "                [--scale N] [--config A..E ...] [--width N]\n"
         "                [--elim] [--addrpred twodelta|lastvalue|context]\n"
         "                [--limit N] [--jobs N] [--cache-dir DIR]\n"
-        "                [--resume] [--version]\n");
+        "                [--resume] [--batched|--no-batched] "
+        "[--version]\n");
     std::exit(2);
 }
 
@@ -149,6 +154,7 @@ main(int argc, char **argv)
     if (const char *env = std::getenv("DDSC_CACHE_DIR"))
         cache_dir = env;
     bool resume = false;
+    bool batched = true;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -201,6 +207,10 @@ main(int argc, char **argv)
             cache_dir = value();
         } else if (arg == "--resume") {
             resume = true;
+        } else if (arg == "--batched") {
+            batched = true;
+        } else if (arg == "--no-batched") {
+            batched = false;
         } else if (arg == "--version") {
             support::version::print("ddsc-sim");
             return 0;
@@ -342,13 +352,63 @@ main(int argc, char **argv)
     // which finished first.  A throwing config is retried, then
     // reported — it never takes the rest of the sweep down.
     constexpr unsigned kAttempts = 3;
+
+    if (batched) {
+        // Group pending configs by front-end fingerprint: each group
+        // is one streaming decode/predict pass feeding all its window
+        // engines (the paper's ABDE sweep costs two passes, not
+        // four).  A config that fails inside its group falls through
+        // to the per-cell loop below with the attempt count continued,
+        // so transient faults recover and persistent ones quarantine
+        // exactly as on the legacy path.
+        std::vector<std::vector<std::size_t>> groups;
+        for (std::size_t i = 0; i < runs.size(); ++i) {
+            if (runs[i].fromStore)
+                continue;
+            const std::string fp = runs[i].config.frontEndFingerprint();
+            std::size_t g = 0;
+            while (g < groups.size() &&
+                   runs[groups[g][0]].config.frontEndFingerprint() != fp)
+                ++g;
+            if (g == groups.size())
+                groups.emplace_back();
+            groups[g].push_back(i);
+        }
+        support::parallelFor(groups.size(), jobs, [&](std::size_t g) {
+            if (support::shutdownRequested())
+                return;
+            std::vector<MachineConfig> configs;
+            std::vector<std::string> keys;
+            for (const std::size_t i : groups[g]) {
+                configs.push_back(runs[i].config);
+                keys.push_back(runs[i].key);
+            }
+            const BatchedGroupResult out =
+                runBatchedGroup(materialized, configs, keys);
+            for (std::size_t k = 0; k < groups[g].size(); ++k) {
+                CellRun &run = runs[groups[g][k]];
+                if (out.cells[k].ok) {
+                    run.stats = out.cells[k].stats;
+                    run.ok = true;
+                } else {
+                    run.error = out.cells[k].error;
+                    run.attempts = 1;
+                    warn("config %s failed (attempt 1 of %u): %s",
+                         run.key.c_str(), kAttempts,
+                         run.error.c_str());
+                }
+            }
+        });
+    }
+
     support::parallelFor(runs.size(), jobs, [&](std::size_t i) {
         CellRun &run = runs[i];
-        if (run.fromStore)
+        if (run.fromStore || run.ok)
             return;
         if (support::shutdownRequested())
             return;     // interrupted: skip configs not yet started
-        for (unsigned attempt = 1; attempt <= kAttempts; ++attempt) {
+        for (unsigned attempt = run.attempts + 1; attempt <= kAttempts;
+             ++attempt) {
             try {
                 if (support::faultShouldFire("cell-throw",
                                              run.key.c_str())) {
