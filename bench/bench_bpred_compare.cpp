@@ -39,10 +39,10 @@ main()
         std::vector<std::uint64_t> hits(preds.size(), 0);
         std::uint64_t branches = 0;
 
-        VectorTraceSource &trace = driver.trace(spec);
-        trace.reset();
+        const std::unique_ptr<TraceSource> trace =
+            driver.trace(spec).cursor();
         TraceRecord rec;
-        while (trace.next(rec)) {
+        while (trace->next(rec)) {
             if (!rec.isCondBranch())
                 continue;
             ++branches;

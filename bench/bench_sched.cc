@@ -19,6 +19,11 @@
  * feeding wakeup-list back-ends).  The JSON's top-level throughput
  * numbers stay the event series for cross-PR comparability; the
  * "batched" object reports the new path and its speedupOverEvent.
+ * A third `mapped` series re-runs the matrix with the traces spilled
+ * to DDSCTRC v4 files and swept through mmap'd zero-copy cursors —
+ * its per-cell digests must also equal the event series', and its
+ * instrs/sec lands in the JSON so a regression on the mapped path is
+ * visible (and its digest gate fatal) in the CI bench smoke job.
  *
  * It also cross-checks a subset of cells between the event-driven and
  * the naive reference engine — including a value-prediction-only
@@ -31,6 +36,7 @@
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -69,11 +75,11 @@ sameStats(const SchedStats &a, const SchedStats &b, const char *what)
 }
 
 SchedStats
-runOnce(const VectorTraceSource &trace, const MachineConfig &config)
+runOnce(const SharedTrace &trace, const MachineConfig &config)
 {
-    VectorTraceView view(trace);
+    const std::unique_ptr<TraceSource> view = trace.cursor();
     LimitScheduler scheduler(config);
-    return scheduler.run(view);
+    return scheduler.run(*view);
 }
 
 /** The extension configuration the paper matrix never covers: value
@@ -162,7 +168,7 @@ main(int argc, char **argv)
     // configuration the matrix never covers.
     unsigned checked = 0, mismatches = 0;
     for (const WorkloadSpec *spec : ExperimentDriver::everything()) {
-        const VectorTraceSource &trace = driver.trace(*spec);
+        const SharedTrace &trace = driver.trace(*spec);
         std::vector<MachineConfig> configs;
         for (const char c : kConfigs)
             for (const unsigned w : kVerifyWidths)
@@ -232,6 +238,56 @@ main(int argc, char **argv)
                 batched_instrs_per_sec, speedup_over_event,
                 batched_mismatches);
 
+    // Mapped series: the same matrix again, but the traces are
+    // spilled once to DDSCTRC v4 files and every cell reads them
+    // through mmap'd zero-copy cursors.  Spilling happens outside the
+    // timed region (it is a one-time cost the server pays at first
+    // touch); the digests must match the event series bit for bit.
+    const std::string mapped_dir =
+        (std::filesystem::temp_directory_path() /
+         "ddsc_bench_sched_traces").string();
+    std::filesystem::remove_all(mapped_dir);
+    ExperimentDriver mapped_driver(0, /*test_scale=*/true);
+    mapped_driver.setTraceDir(mapped_dir);
+    for (const WorkloadSpec *spec : ExperimentDriver::everything())
+        mapped_driver.trace(*spec);
+    const auto mapped_start = Clock::now();
+    mapped_driver.prefetch(cells);
+    const double mapped_elapsed =
+        std::chrono::duration<double>(Clock::now() - mapped_start)
+            .count();
+
+    std::uint64_t mapped_nanos = 0;
+    unsigned mapped_mismatches = 0;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const ExperimentCell &cell = cells[i];
+        const SchedStats &s =
+            mapped_driver.stats(*cell.spec, cell.config, cell.width);
+        mapped_nanos += s.wallNanos;
+        if (digest(s) != reports[i].digest) {
+            ++mapped_mismatches;
+            std::fprintf(stderr,
+                         "MISMATCH %s: mapped digest %016" PRIx64
+                         " != event digest %016" PRIx64 "\n",
+                         reports[i].key.c_str(), digest(s),
+                         reports[i].digest);
+        }
+    }
+    std::filesystem::remove_all(mapped_dir);
+    const double mapped_cell_seconds =
+        static_cast<double>(mapped_nanos) * 1e-9;
+    const double mapped_instrs_per_sec = mapped_cell_seconds > 0.0
+        ? static_cast<double>(total_instrs) / mapped_cell_seconds
+        : 0.0;
+    const double mapped_over_event = mapped_cell_seconds > 0.0
+        ? cell_seconds / mapped_cell_seconds : 0.0;
+    std::printf("mapped: %.2fs cell time (%.2fs elapsed), "
+                "%.0f instrs/sec, %.2fx over event, %u digest "
+                "mismatches\n",
+                mapped_cell_seconds, mapped_elapsed,
+                mapped_instrs_per_sec, mapped_over_event,
+                mapped_mismatches);
+
     std::FILE *out = std::fopen(out_path, "w");
     if (!out) {
         std::fprintf(stderr, "cannot open %s\n", out_path);
@@ -259,6 +315,13 @@ main(int argc, char **argv)
                  batched_cell_seconds, batched_elapsed,
                  batched_cells_per_sec, batched_instrs_per_sec,
                  speedup_over_event, batched_mismatches);
+    std::fprintf(out, "  \"mapped\": {\"cellSeconds\": %.6f, "
+                 "\"elapsedSeconds\": %.6f, "
+                 "\"instrsPerSec\": %.0f, \"speedupOverEvent\": %.3f, "
+                 "\"digestMismatches\": %u},\n",
+                 mapped_cell_seconds, mapped_elapsed,
+                 mapped_instrs_per_sec, mapped_over_event,
+                 mapped_mismatches);
     std::fprintf(out, "  \"perCell\": [\n");
     for (std::size_t i = 0; i < reports.size(); ++i) {
         const CellReport &r = reports[i];
@@ -284,5 +347,8 @@ main(int argc, char **argv)
     std::fclose(out);
     std::printf("wrote %s\n", out_path);
 
-    return mismatches == 0 && batched_mismatches == 0 ? 0 : 1;
+    return mismatches == 0 && batched_mismatches == 0 &&
+                   mapped_mismatches == 0
+               ? 0
+               : 1;
 }

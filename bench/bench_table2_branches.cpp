@@ -24,13 +24,13 @@ main()
     table.header({"Name", "Conditional Branches (%)",
                   "Predicted Correctly (%)"});
     for (const WorkloadSpec &spec : allWorkloads()) {
-        VectorTraceSource &trace = driver.trace(spec);
-        trace.reset();
+        const std::unique_ptr<TraceSource> trace =
+            driver.trace(spec).cursor();
         TraceStats mix;
         auto predictor = makePaperPredictor();
         std::uint64_t branches = 0, correct = 0;
         TraceRecord rec;
-        while (trace.next(rec)) {
+        while (trace->next(rec)) {
             mix.account(rec);
             if (rec.isCondBranch()) {
                 ++branches;

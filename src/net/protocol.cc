@@ -140,6 +140,10 @@ HealthInfo::encode(std::string &out) const
     putU64(out, stalledCells);
     putU64(out, storeRecords);
     putU64(out, watchdogBudgetMs);
+    putU64(out, traceMappedBytes);
+    putU64(out, traceResidentBytes);
+    putU64(out, traceBudgetBytes);
+    putU64(out, traceEvictions);
 }
 
 bool
@@ -153,6 +157,10 @@ HealthInfo::decode(support::wire::Reader &in)
     stalledCells = in.u64();
     storeRecords = in.u64();
     watchdogBudgetMs = in.u64();
+    traceMappedBytes = in.u64();
+    traceResidentBytes = in.u64();
+    traceBudgetBytes = in.u64();
+    traceEvictions = in.u64();
     return in.ok();
 }
 

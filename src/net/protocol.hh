@@ -169,6 +169,12 @@ struct HealthInfo
     std::uint64_t watchdogBudgetMs = 0; ///< effective soft budget
                                      ///< (0 = adaptive with no
                                      ///< history yet)
+    // Since DDSN v3: mapped-trace residency (--trace-dir /
+    // --trace-budget-mb; all zero without a trace dir).
+    std::uint64_t traceMappedBytes = 0;   ///< all mapped traces
+    std::uint64_t traceResidentBytes = 0; ///< charged, not evicted
+    std::uint64_t traceBudgetBytes = 0;   ///< 0 = unlimited
+    std::uint64_t traceEvictions = 0;     ///< whole-trace evictions
 
     void encode(std::string &out) const;
     bool decode(support::wire::Reader &in);

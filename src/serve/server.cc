@@ -19,6 +19,10 @@ Server::Server(const ServerOptions &opts)
       registry_(driver_)
 {
     driver_.setBatched(opts_.batched);
+    if (!opts_.traceDir.empty()) {
+        driver_.setTraceDir(opts_.traceDir);
+        driver_.setTraceBudgetMb(opts_.traceBudgetMb);
+    }
     if (!opts_.cacheDir.empty()) {
         // A daemon restart over its existing store is the normal warm
         // start — no --resume gate like the one-shot CLI has.
@@ -174,6 +178,12 @@ Server::healthSnapshot() const
     health.stalledCells = registry_.stalledCount();
     health.storeRecords = store_ ? store_->size() : 0;
     health.watchdogBudgetMs = effectiveBudgetMs_.load();
+    const TraceResidencyManager::Counters residency =
+        driver_.traceResidency();
+    health.traceMappedBytes = residency.mappedBytes;
+    health.traceResidentBytes = residency.residentBytes;
+    health.traceBudgetBytes = residency.budgetBytes;
+    health.traceEvictions = residency.evictions;
     return health;
 }
 

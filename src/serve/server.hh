@@ -68,6 +68,14 @@ struct ServerOptions
     /** Supervisor restart count, reported in HealthInfo (0 =
      *  unsupervised first life). */
     std::uint64_t generation = 0;
+    /** "" = traces stay as in-memory vectors; otherwise each workload
+     *  is spilled once to a DDSCTRC v4 file under this directory and
+     *  served through mmap'd zero-copy cursors. */
+    std::string traceDir;
+    /** Residency budget over the mapped traces, MiB (0 = unlimited).
+     *  Needs traceDir; cold traces are evicted (madvise) LRU-wise so
+     *  the sweep's RSS stays bounded. */
+    std::uint64_t traceBudgetMb = 0;
 };
 
 class Server

@@ -42,7 +42,7 @@ faultStallMs()
 } // anonymous namespace
 
 BatchedGroupResult
-runBatchedGroup(const VectorTraceSource &trace,
+runBatchedGroup(const SharedTrace &trace,
                 const std::vector<MachineConfig> &configs,
                 const std::vector<std::string> &keys,
                 std::size_t chunk)
@@ -85,7 +85,7 @@ runBatchedGroup(const VectorTraceSource &trace,
         any_collapsing = any_collapsing || config.collapsing;
     fe.setCollapseColumns(any_collapsing);
     FrontEndBatch batch;
-    VectorTraceView view(trace);
+    const std::unique_ptr<TraceSource> view = trace.cursor();
 
     const auto failCell = [&](std::size_t i, const char *what) {
         alive[i] = 0;
@@ -126,7 +126,7 @@ runBatchedGroup(const VectorTraceSource &trace,
     std::uint64_t fe_nanos = 0;
     for (;;) {
         const std::uint64_t fill_start = nowNanos();
-        const std::size_t filled = fe.fill(view, batch, chunk);
+        const std::size_t filled = fe.fill(*view, batch, chunk);
         fe_nanos += nowNanos() - fill_start;
         if (filled == 0)
             break;

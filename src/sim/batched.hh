@@ -59,10 +59,12 @@ constexpr std::size_t kBatchedChunk = 16384;
  * Run every (config, key) cell over @p trace with one shared
  * front-end pass.  All configs must agree on frontEndFingerprint()
  * (asserted).  @p keys label the cells for fault-injection hooks and
- * error messages, parallel to @p configs.
+ * error messages, parallel to @p configs.  The trace is consumed
+ * through one fresh cursor, so in-memory and mmap'd traces feed the
+ * pass identically.
  */
 BatchedGroupResult runBatchedGroup(
-    const VectorTraceSource &trace,
+    const SharedTrace &trace,
     const std::vector<MachineConfig> &configs,
     const std::vector<std::string> &keys,
     std::size_t chunk = kBatchedChunk);

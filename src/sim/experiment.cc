@@ -52,61 +52,54 @@ ExperimentDriver::ExperimentDriver(std::uint64_t trace_limit,
       testScale_(test_scale),
       jobs_(jobs != 0 ? jobs : support::ThreadPool::defaultJobs())
 {
+    traceStore_.configure(traceLimit_, testScale_);
 }
 
 void
 ExperimentDriver::setJobs(unsigned jobs)
 {
     jobs_ = jobs != 0 ? jobs : support::ThreadPool::defaultJobs();
-    std::lock_guard<std::mutex> lock(traceMutex_);
+    std::lock_guard<std::mutex> lock(poolMutex_);
     pool_.reset();      // next prefetch() rebuilds at the new size
 }
 
 support::ThreadPool &
 ExperimentDriver::pool()
 {
-    std::lock_guard<std::mutex> lock(traceMutex_);
+    std::lock_guard<std::mutex> lock(poolMutex_);
     if (!pool_)
         pool_ = std::make_unique<support::ThreadPool>(jobs_);
     return *pool_;
 }
 
-VectorTraceSource &
+const SharedTrace &
 ExperimentDriver::trace(const WorkloadSpec &spec)
 {
-    // Serialized: running the VM to materialize a trace is expensive
-    // but happens once per workload, and holding the lock for the
-    // whole materialization means two concurrent requests for the
-    // same workload cannot both build it.  References stay valid
-    // after unlock (std::map nodes are stable) and the sources are
-    // immutable once built.
-    std::lock_guard<std::mutex> lock(traceMutex_);
-    auto it = traces_.find(spec.name);
-    if (it != traces_.end())
-        return it->second;
-    VectorTraceSource full =
-        traceWorkload(spec, testScale_ ? spec.testScale : 0);
-    if (traceLimit_ != 0 && full.size() > traceLimit_) {
-        std::vector<TraceRecord> truncated(
-            full.records().begin(),
-            full.records().begin() +
-                static_cast<std::ptrdiff_t>(traceLimit_));
-        full = VectorTraceSource(std::move(truncated));
-    }
-    return traces_.emplace(spec.name, std::move(full)).first->second;
+    return traceStore_.get(spec);
 }
 
 std::uint64_t
 ExperimentDriver::traceDigest(const WorkloadSpec &spec)
 {
-    const VectorTraceSource &src = trace(spec);
-    std::lock_guard<std::mutex> lock(traceMutex_);
-    const auto it = digests_.find(spec.name);
-    if (it != digests_.end())
-        return it->second;
-    const std::uint64_t digest = src.digest();
-    digests_.emplace(spec.name, digest);
-    return digest;
+    return traceStore_.digest(spec);
+}
+
+void
+ExperimentDriver::setTraceDir(const std::string &dir)
+{
+    traceStore_.setSpillDir(dir);
+}
+
+void
+ExperimentDriver::setTraceBudgetMb(std::uint64_t mb)
+{
+    traceStore_.setBudgetBytes(mb * 1024 * 1024);
+}
+
+TraceResidencyManager::Counters
+ExperimentDriver::traceResidency() const
+{
+    return traceStore_.residency();
 }
 
 std::string
@@ -137,17 +130,17 @@ ExperimentDriver::guardKey(const std::string &cache_key,
 }
 
 SchedStats
-ExperimentDriver::runCell(const VectorTraceSource &trace,
+ExperimentDriver::runCell(const SharedTrace &trace,
                           const MachineConfig &config) const
 {
-    VectorTraceView view(trace);
+    const std::unique_ptr<TraceSource> view = trace.cursor();
     LimitScheduler scheduler(config);
-    return scheduler.run(view);
+    return scheduler.run(*view);
 }
 
 SchedStats
 ExperimentDriver::runCellChecked(const std::string &key,
-                                 const VectorTraceSource &trace,
+                                 const SharedTrace &trace,
                                  const MachineConfig &config) const
 {
     if (support::faultShouldFire("cell-throw", key.c_str()))
@@ -174,7 +167,7 @@ ExperimentDriver::runCellChecked(const std::string &key,
 
 bool
 ExperimentDriver::attemptCell(const std::string &key,
-                              const VectorTraceSource &trace,
+                              const SharedTrace &trace,
                               const MachineConfig &config,
                               SchedStats &out,
                               CellFailure &failure,
@@ -216,7 +209,7 @@ ExperimentDriver::statsFor(const WorkloadSpec &spec,
         if (bad != quarantine_.end())
             throw CellQuarantined(bad->second);
     }
-    const VectorTraceSource &src = trace(spec);
+    const SharedTrace &src = trace(spec);
     if (store_) {
         const SchedStats *stored = store_->lookup(
             cache_key, config.fingerprint(), traceDigest(spec));
@@ -231,6 +224,7 @@ ExperimentDriver::statsFor(const WorkloadSpec &spec,
     }
     SchedStats stats;
     CellFailure failure;
+    traceStore_.touch(src);
     if (!attemptCell(cache_key, src, config, stats, failure)) {
         std::lock_guard<std::mutex> lock(mutex_);
         quarantine_.emplace(cache_key, failure);
@@ -286,7 +280,7 @@ ExperimentDriver::prefetch(const std::vector<ExperimentCell> &cells)
 {
     struct Task
     {
-        const VectorTraceSource *trace;
+        const SharedTrace *trace;
         MachineConfig config;
         std::string key;
         std::string fingerprint;
@@ -323,7 +317,7 @@ ExperimentDriver::prefetch(const std::vector<ExperimentCell> &cells)
             if (quarantine_.find(guarded_key) != quarantine_.end())
                 continue;
         }
-        const VectorTraceSource &src = trace(*cell.spec);
+        const SharedTrace &src = trace(*cell.spec);
         std::string fingerprint = config.fingerprint();
         const std::uint64_t digest = traceDigest(*cell.spec);
         if (store_) {
@@ -378,7 +372,7 @@ ExperimentDriver::prefetch(const std::vector<ExperimentCell> &cells)
         // faults recover and persistent ones quarantine exactly as on
         // the legacy path.
         {
-            std::map<std::pair<const VectorTraceSource *, std::string>,
+            std::map<std::pair<const SharedTrace *, std::string>,
                      std::size_t> index;
             for (std::size_t i = 0; i < missing.size(); ++i) {
                 const auto [it, inserted] = index.try_emplace(
@@ -407,6 +401,10 @@ ExperimentDriver::prefetch(const std::vector<ExperimentCell> &cells)
                     configs.push_back(missing[i].config);
                     keys.push_back(missing[i].key);
                 }
+                // LRU-touch at execution (not enumeration) time, so
+                // the residency budget tracks the order traces are
+                // actually swept in.
+                traceStore_.touch(*missing[group[0]].trace);
                 const BatchedGroupResult out = runBatchedGroup(
                     *missing[group[0]].trace, configs, keys);
                 for (std::size_t k = 0; k < group.size(); ++k) {
@@ -440,6 +438,7 @@ ExperimentDriver::prefetch(const std::vector<ExperimentCell> &cells)
                     skipped[i] = 1;
                     return;
                 }
+                traceStore_.touch(*missing[i].trace);
                 succeeded[i] = attemptCell(missing[i].key,
                                            *missing[i].trace,
                                            missing[i].config,

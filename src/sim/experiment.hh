@@ -14,7 +14,9 @@
  * reducing serially.  prefetch() may be called from several threads
  * at once (the ddsc-served sessions do): each call waits only for its
  * own batch, every batch shares the same workers, and trace
- * materialization stays serial under its own lock.  Concurrent calls
+ * materialization is latched per workload (TraceStore) — concurrent
+ * requests for the same workload share one VM build while distinct
+ * workloads build in parallel.  Concurrent calls
  * racing on the *same* missing cell may both simulate it (last write
  * is a no-op; results are identical) — the serving layer's
  * CellRegistry exists to single-flight that case.
@@ -57,6 +59,7 @@
 #include "core/scheduler.hh"
 #include "core/sched_stats.hh"
 #include "sim/result_store.hh"
+#include "sim/trace_store.hh"
 #include "support/thread_pool.hh"
 #include "workloads/workloads.hh"
 
@@ -252,13 +255,32 @@ class ExperimentDriver
     double meanLoadClassPct(const std::vector<const WorkloadSpec *> &set,
                             char config, unsigned width, LoadClass cls);
 
-    /** The trace (cached, truncated) for one workload. */
-    VectorTraceSource &trace(const WorkloadSpec &spec);
+    /** The trace (cached, truncated) for one workload; read it
+     *  through cursor(). */
+    const SharedTrace &trace(const WorkloadSpec &spec);
 
-    /** Content digest of trace(spec), memoized (digesting is O(n)).
-     *  Keys the persistent result store together with the machine
-     *  fingerprint. */
+    /** Content digest of trace(spec), computed exactly once per
+     *  workload (TraceStore latches it).  Keys the persistent result
+     *  store together with the machine fingerprint. */
     std::uint64_t traceDigest(const WorkloadSpec &spec);
+
+    /**
+     * Spill VM-generated traces to DDSCTRC v4 files under @p dir and
+     * serve them mmap'd (--trace-dir in the tools): peak RSS becomes
+     * one workload's vector during generation instead of the whole
+     * corpus, and the residency budget below can evict cold traces.
+     * "" restores in-memory traces.  Affects only workloads not yet
+     * materialized — set it before the first sweep.
+     */
+    void setTraceDir(const std::string &dir);
+
+    /** Page-residency budget over mapped traces in MiB, enforced by
+     *  LRU eviction at cell start (--trace-budget-mb; 0 = unlimited).
+     *  In-memory traces are not charged. */
+    void setTraceBudgetMb(std::uint64_t mb);
+
+    /** Residency counters for the health endpoint. */
+    TraceResidencyManager::Counters traceResidency() const;
 
     /** Pointers to all six workloads. */
     static std::vector<const WorkloadSpec *> everything();
@@ -284,14 +306,14 @@ class ExperimentDriver
     std::string guardKey(const std::string &cache_key,
                          const MachineConfig &config);
 
-    /** Run one cell (no caching, no locking). */
-    SchedStats runCell(const VectorTraceSource &trace,
+    /** Run one cell over a fresh cursor (no caching, no locking). */
+    SchedStats runCell(const SharedTrace &trace,
                        const MachineConfig &config) const;
 
     /** runCell plus the "cell-throw" fault-injection hook (@p key is
      *  the hook's tag, e.g. "li/D/16"). */
     SchedStats runCellChecked(const std::string &key,
-                              const VectorTraceSource &trace,
+                              const SharedTrace &trace,
                               const MachineConfig &config) const;
 
     /** Try a cell up to kCellAttempts times, starting the count at
@@ -300,7 +322,7 @@ class ExperimentDriver
      *  success; false with @p failure describing the last error when
      *  every attempt threw.  Thread-safe (touches no driver state). */
     bool attemptCell(const std::string &key,
-                     const VectorTraceSource &trace,
+                     const SharedTrace &trace,
                      const MachineConfig &config, SchedStats &out,
                      CellFailure &failure,
                      unsigned first_attempt = 1) const;
@@ -317,13 +339,13 @@ class ExperimentDriver
     bool interruptible_ = false;
     bool batched_ = true;
     std::unique_ptr<support::ThreadPool> pool_;
-    /** Guards pool_ creation and traces_/digests_ (trace
-     *  materialization runs the VM and is deliberately serial; map
-     *  node stability keeps returned references valid unlocked). */
-    mutable std::mutex traceMutex_;
-    std::map<std::string, VectorTraceSource> traces_;
-    /** workload name -> memoized digestRecords of its trace. */
-    std::map<std::string, std::uint64_t> digests_;
+    /** Guards pool_ creation only; traces live in traceStore_, which
+     *  latches materialization per workload so unrelated workloads no
+     *  longer serialize behind one lock. */
+    mutable std::mutex poolMutex_;
+    /** Owns the workload traces (build-once, digest-once, optional
+     *  spill-to-v4 + mmap, residency budget). */
+    TraceStore traceStore_;
     std::map<std::string, SchedStats> cache_;
     /** cache key -> MachineConfig::fingerprint() that filled it. */
     std::map<std::string, std::string> fingerprints_;

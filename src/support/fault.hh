@@ -9,8 +9,12 @@
  *
  *   point                   where it fires
  *   ----------------------  -------------------------------------------
- *   trace-short-write       TraceFileWriter::emit, before the fwrite
+ *   trace-short-write       TraceFileWriter::emit (v3) / block flush
+ *                           (v4), before the fwrite
  *   trace-short-read        TraceFileSource::next, before the fread
+ *   trace-close-fail        TraceFileWriter::close, at the final
+ *                           fflush — models ENOSPC/EIO surfacing only
+ *                           when buffered bytes hit the disk
  *   cell-throw              the experiment prefetch worker / sim sweep,
  *                           before running one matrix cell
  *   checkpoint-torn-write   ResultStore::append: writes a partial

@@ -32,7 +32,8 @@
 namespace ddsc::support::version
 {
 
-constexpr std::uint32_t kTraceFormat = 3;       ///< v3 added the CRC footer
+constexpr std::uint32_t kTraceFormat = 4;       ///< v4: mmap'able blocks
+constexpr std::uint32_t kTraceStreamFormat = 3; ///< v3 added the CRC footer
 constexpr std::uint32_t kTraceLegacyFormat = 2; ///< v2 added memValue
 
 constexpr std::uint32_t kStoreSchema = 1;
@@ -41,15 +42,17 @@ constexpr std::uint32_t kFingerprintSchema = 1;
 /** '|'-separated fields in MachineConfig::fingerprint(). */
 constexpr unsigned kFingerprintFields = 19;
 
-constexpr std::uint32_t kProtocol = 2;  ///< v2 added Health + Stalled
+constexpr std::uint32_t kProtocol = 3;  ///< v3 added residency counters
 
 /** The `--version` banner every CLI tool prints. */
 inline void
 print(const char *tool)
 {
     std::printf("%s (ddsc)\n", tool);
-    std::printf("trace format      : DDSCTRC v%u (reads v%u and v%u)\n",
-                kTraceFormat, kTraceLegacyFormat, kTraceFormat);
+    std::printf("trace format      : DDSCTRC v%u (reads v%u, v%u, "
+                "and v%u)\n",
+                kTraceFormat, kTraceLegacyFormat, kTraceStreamFormat,
+                kTraceFormat);
     std::printf("result store      : DDSCRES1 schema %u\n", kStoreSchema);
     std::printf("fingerprint schema: %u (%u fields)\n",
                 kFingerprintSchema, kFingerprintFields);

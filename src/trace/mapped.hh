@@ -1,0 +1,177 @@
+/**
+ * @file
+ * mmap'd zero-copy trace reading and page-cache residency accounting.
+ *
+ * MappedTraceSource maps a DDSCTRC v4 file read-only and serves it
+ * through allocation-free cursors: the structural metadata (header
+ * CRC, footer CRC table, size/count cross-check) is validated eagerly
+ * at open in O(blocks), but each data block's record CRC is verified
+ * lazily, the first time any cursor crosses into it.  Opening a 10 GB
+ * corpus is cheap; a sweep that reads 1% of it checksums 1% of it;
+ * and corruption still fails loudly with a block-accurate diagnosis
+ * before a single corrupt record reaches the simulator.
+ *
+ * TraceResidencyManager implements the server's --trace-budget-mb:
+ * an LRU over mapped traces that releases the coldest trace's pages
+ * (madvise MADV_DONTNEED) when the charged total exceeds the budget.
+ * Eviction is safe mid-read — dropped file-backed pages refault from
+ * disk with identical bytes, and the lazy-CRC "already verified"
+ * flags stay valid because they describe the file, not the page.
+ */
+
+#ifndef DDSC_TRACE_MAPPED_HH
+#define DDSC_TRACE_MAPPED_HH
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "trace/source.hh"
+
+namespace ddsc
+{
+
+/**
+ * A DDSCTRC v4 trace file mapped into the address space.
+ *
+ * Immutable and safe to share: any number of cursors may read
+ * concurrently; block validation races are benign (idempotent CRC
+ * checks settling one atomic flag).  The file's pages are shared with
+ * the page cache, so RSS grows only with the blocks actually read and
+ * shrinks again under evict().
+ */
+class MappedTraceSource : public SharedTrace
+{
+  public:
+    /** Map and structurally validate @p path; fatal() with a
+     *  diagnosis on any mismatch (see trace_file.cc for the checks —
+     *  all but the per-block record CRCs, which are lazy here). */
+    explicit MappedTraceSource(const std::string &path);
+    ~MappedTraceSource() override;
+
+    MappedTraceSource(const MappedTraceSource &) = delete;
+    MappedTraceSource &operator=(const MappedTraceSource &) = delete;
+
+    std::unique_ptr<TraceSource> cursor() const override;
+    std::uint64_t recordCount() const override { return count_; }
+
+    /** O(1): the stream digest the writer stamped into the header,
+     *  bit-identical to digestRecords over the same records. */
+    std::uint64_t digest() const override { return digest_; }
+
+    std::uint64_t mappedBytes() const override { return size_; }
+
+    /** Drop resident pages (madvise MADV_DONTNEED).  Safe while
+     *  cursors are mid-read; they refault identical bytes. */
+    void evict() const override;
+
+    const std::string &path() const { return path_; }
+    std::uint32_t blockSize() const { return blockSize_; }
+    std::uint64_t blocks() const { return numBlocks_; }
+
+    /** Times evict() dropped this trace's pages. */
+    std::uint64_t evictions() const { return evictions_.load(); }
+
+    /**
+     * Non-fatal peek at @p path: true iff it starts with a valid v4
+     * header (magic, version, header CRC, record size), filling
+     * @p digest / @p count from it.  Used to decide whether an
+     * existing spill file can be reused without re-writing it.
+     */
+    static bool probe(const std::string &path,
+                      std::uint64_t *digest = nullptr,
+                      std::uint64_t *count = nullptr);
+
+    /** Verify block @p block's record CRC once (lazy, idempotent);
+     *  fatal() naming the block, record range, and byte offset on
+     *  mismatch.  Called by cursors on block entry. */
+    void validateBlock(std::uint64_t block) const;
+
+    /** Start of block @p block's record bytes. */
+    const unsigned char *
+    blockData(std::uint64_t block) const
+    {
+        return base_ + headerBytes() + block * blockSize_;
+    }
+
+    /** Records held by block @p block (perBlock, or the final
+     *  partial block's remainder). */
+    std::uint64_t recordsInBlock(std::uint64_t block) const;
+
+    std::uint64_t recordsPerBlock() const { return perBlock_; }
+
+  private:
+    static std::uint32_t headerBytes();
+
+    std::string path_;
+    const unsigned char *base_ = nullptr;
+    std::uint64_t size_ = 0;
+    std::uint64_t count_ = 0;
+    std::uint64_t digest_ = 0;
+    std::uint32_t blockSize_ = 0;
+    std::uint64_t perBlock_ = 0;
+    std::uint64_t numBlocks_ = 0;
+    const std::uint32_t *blockCrcs_ = nullptr;  ///< points into the map
+    /** 0 = unverified, 1 = verified; settled once per block for the
+     *  lifetime of the mapping. */
+    mutable std::unique_ptr<std::atomic<std::uint8_t>[]> blockState_;
+    mutable std::atomic<std::uint64_t> evictions_{0};
+};
+
+/**
+ * LRU residency budget over mapped traces.
+ *
+ * Callers touch() a trace before sweeping it; when the sum of
+ * resident mapped bytes exceeds the budget, the least-recently
+ * touched traces are evicted until it fits (the just-touched trace is
+ * never evicted to make room for itself).  Purely in-memory traces
+ * (mappedBytes() == 0) are ignored.  Counters are estimates — the
+ * kernel repopulates evicted pages on demand without telling us — but
+ * they bound what this manager has *charged*, which is what the
+ * health endpoint reports.
+ */
+class TraceResidencyManager
+{
+  public:
+    struct Counters
+    {
+        std::uint64_t budgetBytes = 0;
+        std::uint64_t mappedBytes = 0;    ///< all registered traces
+        std::uint64_t residentBytes = 0;  ///< charged (not yet evicted)
+        std::uint64_t evictions = 0;      ///< whole-trace evictions
+    };
+
+    /** 0 = unlimited (nothing is ever evicted). */
+    void setBudgetBytes(std::uint64_t budget);
+
+    /** Mark @p trace most-recently-used and charged; evict colder
+     *  traces until the budget holds. */
+    void touch(const SharedTrace &trace);
+
+    /** Unregister @p trace (it is about to be destroyed). */
+    void forget(const SharedTrace &trace);
+
+    Counters counters() const;
+
+  private:
+    struct Entry
+    {
+        const SharedTrace *trace;
+        bool resident;
+    };
+
+    mutable std::mutex mutex_;
+    std::uint64_t budget_ = 0;
+    std::uint64_t evictions_ = 0;
+    std::list<Entry> lru_;      ///< front = most recently touched
+    std::unordered_map<const SharedTrace *, std::list<Entry>::iterator>
+        index_;
+};
+
+} // namespace ddsc
+
+#endif // DDSC_TRACE_MAPPED_HH

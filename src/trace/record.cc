@@ -98,31 +98,36 @@ TraceRecord::hasZeroOperand() const
     return slotsOf(*this).zero > 0;
 }
 
+void
+RecordDigest::add(const TraceRecord &rec)
+{
+    auto fold = [this](std::uint64_t v) {
+        for (unsigned i = 0; i < 8; ++i) {
+            h_ ^= (v >> (8 * i)) & 0xff;
+            h_ *= 1099511628211ull;
+        }
+    };
+    fold(rec.pc);
+    fold(rec.ea);
+    fold(rec.target);
+    fold(rec.memValue);
+    fold(static_cast<std::uint64_t>(
+        static_cast<std::uint32_t>(rec.imm)));
+    fold(static_cast<std::uint64_t>(rec.op));
+    fold(static_cast<std::uint64_t>(rec.cond));
+    fold((static_cast<std::uint64_t>(rec.rd) << 16) |
+         (static_cast<std::uint64_t>(rec.rs1) << 8) |
+         static_cast<std::uint64_t>(rec.rs2));
+    fold((rec.useImm ? 1u : 0u) | (rec.taken ? 2u : 0u));
+}
+
 std::uint64_t
 digestRecords(const std::vector<TraceRecord> &records)
 {
-    std::uint64_t h = 14695981039346656037ull;
-    auto fold = [&h](std::uint64_t v) {
-        for (unsigned i = 0; i < 8; ++i) {
-            h ^= (v >> (8 * i)) & 0xff;
-            h *= 1099511628211ull;
-        }
-    };
-    for (const TraceRecord &rec : records) {
-        fold(rec.pc);
-        fold(rec.ea);
-        fold(rec.target);
-        fold(rec.memValue);
-        fold(static_cast<std::uint64_t>(
-            static_cast<std::uint32_t>(rec.imm)));
-        fold(static_cast<std::uint64_t>(rec.op));
-        fold(static_cast<std::uint64_t>(rec.cond));
-        fold((static_cast<std::uint64_t>(rec.rd) << 16) |
-             (static_cast<std::uint64_t>(rec.rs1) << 8) |
-             static_cast<std::uint64_t>(rec.rs2));
-        fold((rec.useImm ? 1u : 0u) | (rec.taken ? 2u : 0u));
-    }
-    return h;
+    RecordDigest digest;
+    for (const TraceRecord &rec : records)
+        digest.add(rec);
+    return digest.value();
 }
 
 } // namespace ddsc

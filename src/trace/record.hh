@@ -146,6 +146,27 @@ struct TraceRecord
 };
 
 /**
+ * Incremental FNV-1a digest over the architectural fields of a record
+ * stream.  Feeding records in order produces exactly the value
+ * digestRecords() computes over the same sequence — the trace file
+ * writer uses this to stamp the stream digest into the v4 header
+ * without a second pass, and mapped traces serve it back in O(1).
+ */
+class RecordDigest
+{
+  public:
+    /** Fold one record into the running digest. */
+    void add(const TraceRecord &rec);
+
+    /** Digest of everything added so far (empty stream: the FNV offset
+     *  basis). */
+    std::uint64_t value() const { return h_; }
+
+  private:
+    std::uint64_t h_ = 14695981039346656037ull;
+};
+
+/**
  * FNV-1a digest over every architectural field of @p records, in
  * order.  Two traces digest equal iff they would drive the simulator
  * identically; the persistent result cache keys cached cells on it so

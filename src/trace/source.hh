@@ -37,9 +37,49 @@ class TraceSource
 };
 
 /**
+ * A shareable, immutable trace that many consumers read concurrently.
+ *
+ * This is the contract the experiment driver, the batched runner, and
+ * the serving layer hold a trace by: mint as many independent cursors
+ * as there are concurrent simulations, ask for the record count and
+ * content digest, and (for storage-backed implementations) account
+ * for and release page-cache residency.  VectorTraceSource implements
+ * it for in-memory traces; MappedTraceSource (trace/mapped.hh) for
+ * mmap'd DDSCTRC v4 files.
+ */
+class SharedTrace
+{
+  public:
+    virtual ~SharedTrace() = default;
+
+    /** A fresh independent cursor positioned at the first record.
+     *  Cursors are cheap, allocation-free after construction, and safe
+     *  to advance concurrently with any number of siblings; the trace
+     *  must outlive them. */
+    virtual std::unique_ptr<TraceSource> cursor() const = 0;
+
+    /** Number of records a cursor will yield. */
+    virtual std::uint64_t recordCount() const = 0;
+
+    /** Content digest (see digestRecords); keys the persistent result
+     *  cache.  May be O(n) for in-memory traces — callers memoize —
+     *  and is O(1) for mapped traces (served from the v4 header). */
+    virtual std::uint64_t digest() const = 0;
+
+    /** Bytes of address space this trace holds mapped, 0 for purely
+     *  in-memory traces.  The residency budget charges this. */
+    virtual std::uint64_t mappedBytes() const { return 0; }
+
+    /** Hint that resident pages may be dropped (madvise for mapped
+     *  traces; no-op in memory).  Safe while cursors are mid-read:
+     *  file-backed pages refault with identical bytes. */
+    virtual void evict() const {}
+};
+
+/**
  * A trace held entirely in memory.
  */
-class VectorTraceSource : public TraceSource
+class VectorTraceSource : public TraceSource, public SharedTrace
 {
   public:
     VectorTraceSource() = default;
@@ -64,9 +104,14 @@ class VectorTraceSource : public TraceSource
     std::size_t size() const { return records_.size(); }
     const std::vector<TraceRecord> &records() const { return records_; }
 
-    /** Content digest (see digestRecords); keys the persistent result
-     *  cache.  O(n) — callers cache it per trace. */
-    std::uint64_t digest() const { return digestRecords(records_); }
+    std::unique_ptr<TraceSource> cursor() const override;
+
+    std::uint64_t recordCount() const override { return records_.size(); }
+
+    std::uint64_t digest() const override
+    {
+        return digestRecords(records_);
+    }
 
   private:
     std::vector<TraceRecord> records_;
@@ -106,6 +151,12 @@ class VectorTraceView : public TraceSource
     std::size_t pos_ = 0;
 };
 
+inline std::unique_ptr<TraceSource>
+VectorTraceSource::cursor() const
+{
+    return std::make_unique<VectorTraceView>(*this);
+}
+
 /**
  * Sink interface for trace producers (the VM writes through this).
  */
@@ -128,15 +179,28 @@ class VectorTraceSink : public TraceSink
 };
 
 /**
- * Binary trace file writer.  The format is a fixed header followed by
- * packed little-endian records and (since DDSCTRC v3) a CRC32 footer;
- * see trace_file.cc for the layout.
+ * Binary trace file writer.  Writes packed little-endian records (the
+ * layouts are pinned LE by a compile-time assert in trace/format.hh).
+ * The default output is DDSCTRC v4: a page-aligned, CRC-per-block,
+ * mmap'able layout whose header carries the record count and FNV-1a
+ * stream digest.  Version 3 (flat records + one trailing CRC32
+ * footer) can still be requested for compatibility; see format.hh for
+ * both layouts.
  */
 class TraceFileWriter : public TraceSink
 {
   public:
-    /** Open @p path for writing; fatal() on failure. */
-    explicit TraceFileWriter(const std::string &path);
+    /**
+     * Open @p path for writing; fatal() on failure.
+     *
+     * @param version   0 for the current default (v4), or an explicit
+     *                  3 / 4.
+     * @param blockSize v4 block size in bytes; 0 for the default.
+     *                  Must be a multiple of 4096.  Ignored for v3.
+     */
+    explicit TraceFileWriter(const std::string &path,
+                             std::uint32_t version = 0,
+                             std::uint32_t blockSize = 0);
     ~TraceFileWriter() override;
 
     TraceFileWriter(const TraceFileWriter &) = delete;
@@ -144,27 +208,50 @@ class TraceFileWriter : public TraceSink
 
     void emit(const TraceRecord &rec) override;
 
-    /** Write the CRC footer and finalize the header; called by the
-     *  destructor too. */
+    /**
+     * Flush buffered records, write the footer, back-patch the header,
+     * and fflush+fclose with both return values checked — an ENOSPC
+     * surfacing only at flush/close time is still a torn trace and
+     * must not report success.  Called by the destructor too.
+     */
     void close();
 
     std::uint64_t count() const { return count_; }
 
+    /** FNV-1a digest of everything emitted so far (matches
+     *  digestRecords over the same sequence). */
+    std::uint64_t digest() const { return digest_.value(); }
+
   private:
+    void flushBlock();
+
     std::FILE *file_ = nullptr;
     std::string path_;
     std::uint64_t count_ = 0;
-    std::uint32_t crc_ = 0;     ///< running CRC32 over record bytes
+    std::uint32_t version_ = 0;
+    std::uint32_t crc_ = 0;     ///< v3: running CRC32 over record bytes
+    RecordDigest digest_;
+    // v4 state: one block buffered in memory, per-block CRC table
+    // accumulated for the footer.
+    std::uint32_t blockSize_ = 0;
+    std::uint64_t perBlock_ = 0;
+    std::uint64_t inBlock_ = 0;
+    std::vector<unsigned char> block_;
+    std::vector<std::uint32_t> blockCrcs_;
 };
 
 /**
  * Streaming reader for files produced by TraceFileWriter.
  *
- * The constructor validates the whole file before the first next():
- * magic and version (v2 legacy and v3 accepted), the count field
- * against the actual file size (truncations are reported with the
- * offending byte offset and record index), and — for v3 — the CRC32
- * footer over every record byte.
+ * The constructor validates structure before the first next(): magic
+ * and version (v2, v3, and v4 accepted), and the count field against
+ * the actual file size — counts whose byte span would overflow or
+ * exceed the stat'd size are rejected before any offset arithmetic,
+ * so a length-bomb header cannot wrap the cross-check or spin the
+ * checksum loop.  Truncations are reported with the offending byte
+ * offset and record index.  For v3 the CRC32 footer is verified over
+ * every record byte up front; for v4 each block's CRC is verified as
+ * the stream crosses it, so open() stays O(1) in trace length.
  */
 class TraceFileSource : public TraceSource
 {
@@ -182,8 +269,11 @@ class TraceFileSource : public TraceSource
 
     std::uint64_t count() const { return count_; }
 
-    /** Header version of the file being read (2 or 3). */
+    /** Header version of the file being read (2, 3, or 4). */
     std::uint32_t version() const { return version_; }
+
+    /** v4 header digest (0 for v2/v3, whose headers carry none). */
+    std::uint64_t headerDigest() const { return headerDigest_; }
 
   private:
     std::FILE *file_ = nullptr;
@@ -191,6 +281,14 @@ class TraceFileSource : public TraceSource
     std::uint64_t count_ = 0;
     std::uint64_t read_ = 0;
     std::uint32_t version_ = 0;
+    std::uint64_t headerDigest_ = 0;
+    // v4 streaming state: block geometry, the footer CRC table read at
+    // open, and the running CRC of the block being crossed.
+    std::uint32_t blockSize_ = 0;
+    std::uint64_t perBlock_ = 0;
+    std::uint64_t inBlock_ = 0;
+    std::uint32_t blockCrc_ = 0;
+    std::vector<std::uint32_t> blockCrcs_;
 };
 
 /**

@@ -26,6 +26,7 @@
 #include "core/sched_stats.hh"
 #include "sim/batched.hh"
 #include "sim/experiment.hh"
+#include "trace/mapped.hh"
 #include "support/fault.hh"
 #include "trace/synthetic.hh"
 #include "workloads/workloads.hh"
@@ -109,6 +110,56 @@ TEST(BatchedEquiv, AllWorkloadsFullMatrix)
             paperConfigs({4, 16}, labels);
         expectBatchedMatchesLegacy(trace, configs, labels, spec.name);
     }
+}
+
+TEST(BatchedEquiv, MappedSourceMatchesVectorSource)
+{
+    // Feeding the batched front-end from an mmap'd v4 file instead of
+    // the in-memory vector must not change a single stats bit, for
+    // every paper configuration.  (This is the equivalence --trace-dir
+    // and the bounded-RSS corpus sweep stand on.)
+    const WorkloadSpec &spec = findWorkload("espresso");
+    const VectorTraceSource trace = traceWorkload(spec, spec.testScale);
+
+    const std::string path =
+        testing::TempDir() + "/batched_equiv_mapped.trc";
+    {
+        TraceFileWriter writer(path, 4, 4096);  // many small blocks
+        const std::unique_ptr<TraceSource> cursor = trace.cursor();
+        TraceRecord rec;
+        while (cursor->next(rec))
+            writer.emit(rec);
+    }
+    MappedTraceSource mapped(path);
+    ASSERT_EQ(mapped.digest(), trace.digest());
+
+    std::vector<std::string> labels;
+    const std::vector<MachineConfig> configs =
+        paperConfigs({4, 16}, labels);
+    std::map<std::string, std::vector<std::size_t>> groups;
+    for (std::size_t i = 0; i < configs.size(); ++i)
+        groups[configs[i].frontEndFingerprint()].push_back(i);
+
+    for (const auto &[fp, members] : groups) {
+        std::vector<MachineConfig> group_configs;
+        std::vector<std::string> group_keys;
+        for (const std::size_t i : members) {
+            group_configs.push_back(configs[i]);
+            group_keys.push_back(labels[i]);
+        }
+        const BatchedGroupResult from_vector =
+            runBatchedGroup(trace, group_configs, group_keys);
+        const BatchedGroupResult from_mapped =
+            runBatchedGroup(mapped, group_configs, group_keys);
+        for (std::size_t k = 0; k < members.size(); ++k) {
+            ASSERT_TRUE(from_vector.cells[k].ok);
+            ASSERT_TRUE(from_mapped.cells[k].ok);
+            EXPECT_EQ(digestSchedStats(from_mapped.cells[k].stats),
+                      digestSchedStats(from_vector.cells[k].stats))
+                << group_keys[k];
+        }
+    }
+    std::remove(path.c_str());
 }
 
 TEST(BatchedEquiv, WideWindow)

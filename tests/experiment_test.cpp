@@ -38,7 +38,8 @@ driver()
 TEST(Experiment, TraceLimitIsApplied)
 {
     ExperimentDriver limited(1000);
-    EXPECT_EQ(limited.trace(findWorkload("espresso")).size(), 1000u);
+    EXPECT_EQ(limited.trace(findWorkload("espresso")).recordCount(),
+              1000u);
 }
 
 TEST(Experiment, StatsAreCached)
@@ -253,6 +254,76 @@ TEST(Experiment, HmeanIpcBetweenMinAndMax)
     EXPECT_LE(hm, hi + 1e-12);
 }
 
+TEST(Experiment, MappedTraceDirIsBitIdenticalToInMemory)
+{
+    // A driver spilling its traces to mmap'd v4 files must be
+    // indistinguishable from the in-memory driver: same trace digests,
+    // same per-cell stats digests.  This is the interchangeability
+    // contract --trace-dir relies on.
+    const std::string dir =
+        (std::filesystem::temp_directory_path() /
+         "ddsc_experiment_mapped_equiv").string();
+    std::filesystem::remove_all(dir);
+
+    ExperimentDriver mapped(4000, /*test_scale=*/true);
+    mapped.setTraceDir(dir);
+    mapped.setTraceBudgetMb(1);     // force evictions along the way
+    ExperimentDriver vector(4000, /*test_scale=*/true);
+
+    const WorkloadSpec &espresso = findWorkload("espresso");
+    const WorkloadSpec &li = findWorkload("li");
+    for (const WorkloadSpec *spec : {&espresso, &li}) {
+        EXPECT_EQ(mapped.traceDigest(*spec), vector.traceDigest(*spec));
+        EXPECT_EQ(mapped.trace(*spec).recordCount(),
+                  vector.trace(*spec).recordCount());
+        for (const char config : {'A', 'D'}) {
+            EXPECT_EQ(digestSchedStats(mapped.stats(*spec, config, 4)),
+                      digestSchedStats(vector.stats(*spec, config, 4)))
+                << spec->name << "/" << config;
+        }
+    }
+
+    // The spill really happened (counters are live) and the in-memory
+    // driver charges nothing.
+    const TraceResidencyManager::Counters residency =
+        mapped.traceResidency();
+    EXPECT_GT(residency.mappedBytes, 0u);
+    EXPECT_EQ(residency.budgetBytes, 1u << 20);
+    EXPECT_EQ(vector.traceResidency().mappedBytes, 0u);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Experiment, MappedTraceDirReusesSpilledFiles)
+{
+    // A second driver pointed at the same directory must reuse the
+    // spilled files (probe matches digest+count) rather than re-spill:
+    // the file mtimes stay put and the digests still agree.
+    const std::string dir =
+        (std::filesystem::temp_directory_path() /
+         "ddsc_experiment_mapped_reuse").string();
+    std::filesystem::remove_all(dir);
+    const WorkloadSpec &spec = findWorkload("compress");
+
+    ExperimentDriver first(4000, /*test_scale=*/true);
+    first.setTraceDir(dir);
+    const std::uint64_t digest = first.traceDigest(spec);
+
+    std::string spilled;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(dir)) {
+        if (entry.path().extension() == ".trc")
+            spilled = entry.path().string();
+    }
+    ASSERT_FALSE(spilled.empty());
+    const auto mtime = std::filesystem::last_write_time(spilled);
+
+    ExperimentDriver second(4000, /*test_scale=*/true);
+    second.setTraceDir(dir);
+    EXPECT_EQ(second.traceDigest(spec), digest);
+    EXPECT_EQ(std::filesystem::last_write_time(spilled), mtime);
+    std::filesystem::remove_all(dir);
+}
+
 TEST(Experiment, SchedulerBranchStatsMatchStandalonePredictor)
 {
     // The scheduler trains the combining predictor at fetch (window
@@ -263,11 +334,11 @@ TEST(Experiment, SchedulerBranchStatsMatchStandalonePredictor)
     const SchedStats &sched = driver().stats(spec, 'A', 8);
 
     auto predictor = makePaperPredictor();
-    VectorTraceSource &trace = driver().trace(spec);
-    trace.reset();
+    const std::unique_ptr<TraceSource> trace =
+        driver().trace(spec).cursor();
     TraceRecord rec;
     std::uint64_t branches = 0, correct = 0;
-    while (trace.next(rec)) {
+    while (trace->next(rec)) {
         if (rec.isCondBranch()) {
             ++branches;
             if (predictor->predictAndUpdate(rec.pc, rec.taken))

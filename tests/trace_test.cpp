@@ -218,12 +218,14 @@ spew(const std::string &path, const std::string &bytes)
     ASSERT_TRUE(out.good()) << path;
 }
 
-/** Write a small valid v3 trace file and return its path. */
+/** Write a small valid v3 trace file and return its path.  (v3 is
+ *  requested explicitly: the writer's default is the blocked v4
+ *  layout, and these tests pin v3's flat byte geometry.) */
 std::string
 writeSampleTrace(const std::string &name, std::size_t records = 5)
 {
     const std::string path = testing::TempDir() + "/" + name;
-    TraceFileWriter writer(path);
+    TraceFileWriter writer(path, 3);
     for (std::size_t i = 0; i < records; ++i) {
         writer.emit(aluImm(Opcode::ADD, 3, 1,
                            static_cast<std::int32_t>(i),
@@ -341,7 +343,7 @@ TEST(TraceFileDeathTest, InjectedShortWriteDiagnosesOffset)
     EXPECT_EXIT(
         {
             support::faultArm("trace-short-write:3");
-            TraceFileWriter writer(path);
+            TraceFileWriter writer(path, 3);
             for (unsigned i = 0; i < 5; ++i)
                 writer.emit(alu(Opcode::ADD, 1, 2, 3));
         },

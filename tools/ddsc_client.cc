@@ -243,6 +243,18 @@ main(int argc, char **argv)
             std::printf("watchdog budget ms: %llu\n",
                         static_cast<unsigned long long>(
                             hi.watchdogBudgetMs));
+            std::printf("trace mapped bytes: %llu\n",
+                        static_cast<unsigned long long>(
+                            hi.traceMappedBytes));
+            std::printf("trace resident    : %llu\n",
+                        static_cast<unsigned long long>(
+                            hi.traceResidentBytes));
+            std::printf("trace budget bytes: %llu\n",
+                        static_cast<unsigned long long>(
+                            hi.traceBudgetBytes));
+            std::printf("trace evictions   : %llu\n",
+                        static_cast<unsigned long long>(
+                            hi.traceEvictions));
             return 0;
         }
 

@@ -6,7 +6,7 @@
  *   ddsc-matrix [--set all|pc|npc] [--configs ABCDE] [--widths 4,8,16]
  *               [--metric ipc|speedup|collapsed] [--csv] [--jobs N]
  *               [--cache-dir DIR] [--resume] [--batched|--no-batched]
- *               [--version]
+ *               [--trace-dir DIR] [--version]
  *
  * Examples:
  *   ddsc-matrix --set pc --configs BDE --metric speedup
@@ -19,6 +19,11 @@
  * threads (default $DDSC_JOBS or the hardware concurrency) before the
  * table is printed; results are bit-identical to --jobs 1.
  * DDSC_TRACE_LIMIT truncates traces as everywhere else.
+ *
+ * --trace-dir DIR spills each workload's trace once to a DDSCTRC v4
+ * file under DIR and sweeps it through mmap'd zero-copy cursors, so a
+ * matrix over long traces no longer holds one std::vector per
+ * workload; results are bit-identical either way.
  *
  * stdout carries only the table/CSV (the same bytes ddsc-client
  * prints for the same query); status and timing lines go to stderr
@@ -73,7 +78,8 @@ usage()
         "                   [--widths 4,8,...] "
         "[--metric ipc|speedup|collapsed] [--csv] [--jobs N]\n"
         "                   [--cache-dir DIR] [--resume] "
-        "[--batched|--no-batched] [--version]\n");
+        "[--batched|--no-batched]\n"
+        "                   [--trace-dir DIR] [--version]\n");
     std::exit(2);
 }
 
@@ -112,6 +118,7 @@ main(int argc, char **argv)
         cache_dir = env;
     bool resume = false;
     bool batched = true;
+    std::string trace_dir;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -136,6 +143,8 @@ main(int argc, char **argv)
                 usage();
         } else if (arg == "--cache-dir") {
             cache_dir = value();
+        } else if (arg == "--trace-dir") {
+            trace_dir = value();
         } else if (arg == "--resume") {
             resume = true;
         } else if (arg == "--batched") {
@@ -168,6 +177,8 @@ main(int argc, char **argv)
         driver.setJobs(jobs);
     driver.setInterruptible(true);
     driver.setBatched(batched);
+    if (!trace_dir.empty())
+        driver.setTraceDir(trace_dir);
 
     std::unique_ptr<ResultStore> store;
     if (!cache_dir.empty()) {

@@ -5,6 +5,7 @@
  * Usage:
  *   ddsc-served [--port N] [--port-file PATH] [--jobs N]
  *               [--cache-dir DIR] [--max-sessions N]
+ *               [--trace-dir DIR] [--trace-budget-mb N]
  *               [--watchdog-budget-ms N] [--supervise]
  *               [--pid-file PATH] [--max-restarts K]
  *               [--batched|--no-batched] [--version]
@@ -41,6 +42,15 @@
  *
  * --watchdog-budget-ms pins the hung-cell watchdog's soft budget; by
  * default it adapts to 8x the slowest cell observed (2 s floor).
+ *
+ * --trace-dir spills each workload's trace once to a DDSCTRC v4 file
+ * under DIR and serves it through mmap'd zero-copy cursors instead of
+ * holding a private std::vector copy per workload.  --trace-budget-mb
+ * caps how many of those mapped bytes stay resident: past the budget
+ * the least-recently-swept traces are evicted back to the page cache
+ * (madvise), so a corpus far larger than RAM sweeps in bounded RSS.
+ * Residency counters show up in the health probe (ddsc-client
+ * --health).
  *
  * Sweeps batch by default: same-fingerprint cells of a workload share
  * one streaming front-end pass (served bytes are bit-identical either
@@ -79,6 +89,7 @@ usage()
     std::fprintf(stderr,
         "usage: ddsc-served [--port N] [--port-file PATH] [--jobs N]\n"
         "                   [--cache-dir DIR] [--max-sessions N]\n"
+        "                   [--trace-dir DIR] [--trace-budget-mb N]\n"
         "                   [--watchdog-budget-ms N] [--supervise]\n"
         "                   [--pid-file PATH] [--max-restarts K]\n"
         "                   [--batched|--no-batched] [--version]\n");
@@ -328,6 +339,11 @@ main(int argc, char **argv)
                 usage();
         } else if (arg == "--cache-dir") {
             opts.cacheDir = value();
+        } else if (arg == "--trace-dir") {
+            opts.traceDir = value();
+        } else if (arg == "--trace-budget-mb") {
+            opts.traceBudgetMb = static_cast<std::uint64_t>(
+                std::atoll(value().c_str()));
         } else if (arg == "--max-sessions") {
             opts.maxSessions = static_cast<unsigned>(
                 std::atoi(value().c_str()));

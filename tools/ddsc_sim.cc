@@ -11,7 +11,9 @@
  *   --workload NAME   one of compress espresso eqntott li go ijpeg
  *   --scale N         workload scale (0 = default)
  *   --asm FILE        assemble FILE, execute it, simulate its trace
- *   --trace FILE      simulate a binary trace file (see ddsc-asm)
+ *   --trace FILE      simulate a binary trace file (see ddsc-asm);
+ *                     a DDSCTRC v4 file with no --limit is mmap'd and
+ *                     swept zero-copy instead of loaded into memory
  *   --config X..      one or more of A|B|C|D|E (default D); several
  *                     letters (e.g. --config ABDE) sweep the trace
  *                     through each machine, in parallel across --jobs
@@ -53,6 +55,7 @@
 
 #include "core/scheduler.hh"
 #include "masm/assembler.hh"
+#include "trace/mapped.hh"
 #include "sim/batched.hh"
 #include "sim/result_store.hh"
 #include "support/fault.hh"
@@ -289,9 +292,9 @@ main(int argc, char **argv)
     };
 
     // Without a cache a single config streams the source directly;
-    // everything else materializes the (possibly --limit-truncated)
-    // trace once so each run gets a private cursor and the cache key
-    // can include the trace digest.
+    // everything else shares one immutable trace image so each run
+    // gets a private cursor and the cache key can include the trace
+    // digest.
     if (config_ids.size() == 1 && !store) {
         const MachineConfig config = machineFor(config_ids[0]);
         LimitScheduler scheduler(config);
@@ -306,19 +309,34 @@ main(int argc, char **argv)
         return 0;
     }
 
-    VectorTraceSource materialized;
-    {
-        VectorTraceSink sink(materialized);
+    // A v4 --trace input with no --limit never touches a
+    // std::vector: the file is mmap'd once and every config's cursor
+    // walks the same read-only pages (digest comes from the header,
+    // so even the cache key costs no pass over the records).
+    std::unique_ptr<const SharedTrace> shared;
+    if (!trace_path.empty() && limit == 0 &&
+        MappedTraceSource::probe(trace_path, nullptr, nullptr)) {
+        auto mapped = std::make_unique<MappedTraceSource>(trace_path);
+        std::printf("mapped      : %llu records, %llu bytes\n",
+                    static_cast<unsigned long long>(
+                        mapped->recordCount()),
+                    static_cast<unsigned long long>(
+                        mapped->mappedBytes()));
+        shared = std::move(mapped);
+    } else {
+        auto materialized = std::make_unique<VectorTraceSource>();
+        VectorTraceSink sink(*materialized);
         TraceRecord rec;
         std::uint64_t taken = 0;
         while ((limit == 0 || taken < limit) && source->next(rec)) {
             sink.emit(rec);
             ++taken;
         }
+        shared = std::move(materialized);
     }
     const std::string label = !workload.empty() ? workload
         : !asm_path.empty() ? asm_path : trace_path;
-    const std::uint64_t digest = store ? materialized.digest() : 0;
+    const std::uint64_t digest = store ? shared->digest() : 0;
 
     struct CellRun
     {
@@ -384,7 +402,7 @@ main(int argc, char **argv)
                 keys.push_back(runs[i].key);
             }
             const BatchedGroupResult out =
-                runBatchedGroup(materialized, configs, keys);
+                runBatchedGroup(*shared, configs, keys);
             for (std::size_t k = 0; k < groups[g].size(); ++k) {
                 CellRun &run = runs[groups[g][k]];
                 if (out.cells[k].ok) {
@@ -416,9 +434,10 @@ main(int argc, char **argv)
                         "injected fault: cell-throw at '" + run.key +
                         "'");
                 }
-                VectorTraceView view(materialized);
+                const std::unique_ptr<TraceSource> view =
+                    shared->cursor();
                 LimitScheduler scheduler(run.config);
-                run.stats = scheduler.run(view);
+                run.stats = scheduler.run(*view);
                 run.ok = true;
                 return;
             } catch (const std::exception &e) {

@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Bounded-RSS corpus sweep gate.
+#
+# Generates a synthetic DDSCTRC v4 corpus with ddsc-tracegen, sweeps
+# it through mmap'd zero-copy cursors under a residency budget, and
+# fails unless:
+#
+#   * every file's cursor-recomputed stream digest matches the digest
+#     the writer stamped in its header (the mapped path reproduces the
+#     vector path bit-identically),
+#   * every lazy per-block CRC passes,
+#   * the sweep's peak RSS stays under the gate even though the corpus
+#     is several times the residency budget, and
+#   * (small mode) at least one LRU eviction actually happened — a
+#     budget nothing ever exceeds gates nothing.
+#
+# usage: trace_rss_check.sh <ddsc-tracegen> <workdir> [small|big]
+#
+# small: ~64 MB corpus, 16 MB budget, 400 MB RSS gate — quick enough
+#        for ctest.
+# big:   >1 GB corpus, 256 MB budget, 900 MB RSS gate, plus a batched
+#        config-A simulation pass per file — the CI trace-corpus job.
+set -euo pipefail
+
+TRACEGEN=$1
+WORKDIR=$2
+MODE=${3:-small}
+
+DIR="$WORKDIR/trace_rss_corpus"
+rm -rf "$DIR"
+mkdir -p "$DIR"
+trap 'rm -rf "$DIR"' EXIT
+
+case "$MODE" in
+  small)
+    FILES=4; RECORDS=400000          # 4 x 16 MB = 64 MB corpus
+    BUDGET_MB=16; MAX_RSS_MB=400
+    SWEEP_ARGS=()
+    ;;
+  big)
+    FILES=9; RECORDS=3200000         # 9 x 128 MB = 1.15 GB corpus
+    BUDGET_MB=256; MAX_RSS_MB=900
+    SWEEP_ARGS=(--configs A --width 4)
+    ;;
+  *)
+    echo "unknown mode '$MODE'" >&2; exit 2
+    ;;
+esac
+
+"$TRACEGEN" gen --dir "$DIR" --files "$FILES" --records "$RECORDS" \
+    --seed 42
+
+OUT=$("$TRACEGEN" sweep --dir "$DIR" --budget-mb "$BUDGET_MB" \
+    --max-rss-mb "$MAX_RSS_MB" "${SWEEP_ARGS[@]+"${SWEEP_ARGS[@]}"}")
+echo "$OUT"
+
+# The budget must have been meaningfully smaller than the corpus, and
+# the LRU must actually have evicted under it.
+echo "$OUT" | grep -q "swept $FILES files"
+EVICTIONS=$(echo "$OUT" | sed -n 's/.* \([0-9]*\) evictions/\1/p')
+if [ -z "$EVICTIONS" ] || [ "$EVICTIONS" -eq 0 ]; then
+    echo "RSS check: expected evictions under a $BUDGET_MB MB budget," \
+         "got none" >&2
+    exit 1
+fi
+echo "trace_rss_check ($MODE): OK ($EVICTIONS evictions)"
