@@ -166,6 +166,32 @@ Client::matrix(const MatrixQuery &query)
     });
 }
 
+CellsReplyMsg
+Client::cells(const CellsBatch &batch)
+{
+    std::string payload;
+    batch.encode(payload);
+    // Same deadline slack rule as matrix(): the shard may take the
+    // whole deadline before answering Deadline.
+    int wait = timeoutMs_;
+    if (batch.deadlineMs > 0) {
+        const std::uint64_t budget = batch.deadlineMs + 2000;
+        if (wait < 0 || static_cast<std::uint64_t>(wait) < budget)
+            wait = static_cast<int>(budget);
+    }
+    return withRetries([&]() {
+        const Frame reply = roundTrip(MsgType::CellsRequest, payload,
+                                      MsgType::CellsReply, wait);
+        support::wire::Reader reader(reply.payload);
+        CellsReplyMsg result;
+        if (!result.decode(reader)) {
+            fd_.reset();
+            throw TransportError("malformed CellsReply payload");
+        }
+        return result;
+    });
+}
+
 ServerInfo
 Client::info()
 {

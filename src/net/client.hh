@@ -125,6 +125,10 @@ class Client
      *  @throws TransportError, ServerError. */
     MatrixResult matrix(const MatrixQuery &query);
 
+    /** Resolve a raw cell batch (the fleet router's fan-out unit).
+     *  @throws TransportError, ServerError. */
+    CellsReplyMsg cells(const CellsBatch &batch);
+
     /** Counters snapshot of the running server.
      *  @throws TransportError, ServerError. */
     ServerInfo info();

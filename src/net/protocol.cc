@@ -1,5 +1,7 @@
 #include "protocol.hh"
 
+#include "sim/matrix_query.hh"
+#include "sim/result_store.hh"
 #include "socket.hh"
 #include "support/fault.hh"
 #include "support/version.hh"
@@ -7,11 +9,21 @@
 namespace ddsc::net
 {
 
+namespace
+{
+
+/** Length-prefixed lists in fleet frames are capped so a corrupted
+ *  count can never become a giant allocation (matches the matrix
+ *  codecs' cap). */
+constexpr std::uint32_t kMaxCells = 4096;
+
+} // anonymous namespace
+
 bool
 knownMsgType(std::uint8_t type)
 {
     return type >= static_cast<std::uint8_t>(MsgType::Hello) &&
-           type <= static_cast<std::uint8_t>(MsgType::HealthReply);
+           type <= static_cast<std::uint8_t>(MsgType::CellsReply);
 }
 
 const char *
@@ -129,6 +141,146 @@ ServerInfo::decode(support::wire::Reader &in)
 }
 
 void
+CellRef::encode(std::string &out) const
+{
+    using namespace support::wire;
+    putString(out, workload);
+    putU8(out, static_cast<std::uint8_t>(config));
+    putU32(out, width);
+}
+
+bool
+CellRef::decode(support::wire::Reader &in)
+{
+    workload = in.str();
+    config = static_cast<char>(in.u8());
+    width = in.u32();
+    return in.ok();
+}
+
+void
+CellsBatch::encode(std::string &out) const
+{
+    using namespace support::wire;
+    putU32(out, static_cast<std::uint32_t>(cells.size()));
+    for (const CellRef &cell : cells)
+        cell.encode(out);
+    putU64(out, deadlineMs);
+}
+
+bool
+CellsBatch::decode(support::wire::Reader &in)
+{
+    const std::uint32_t n = in.u32();
+    if (!in.ok() || n > kMaxCells)
+        return false;
+    cells.clear();
+    for (std::uint32_t i = 0; i < n; ++i) {
+        CellRef cell;
+        if (!cell.decode(in))
+            return false;
+        cells.push_back(std::move(cell));
+    }
+    deadlineMs = in.u64();
+    return in.ok();
+}
+
+void
+CellOutcome::encode(std::string &out) const
+{
+    using namespace support::wire;
+    cell.encode(out);
+    putU8(out, ok);
+    if (ok)
+        encodeSchedStats(out, stats);
+    else
+        encodeCellFailure(out, failure);
+}
+
+bool
+CellOutcome::decode(support::wire::Reader &in)
+{
+    if (!cell.decode(in))
+        return false;
+    ok = in.u8();
+    if (!in.ok())
+        return false;
+    if (ok)
+        return decodeSchedStats(in, stats);
+    return decodeCellFailure(in, failure);
+}
+
+void
+CellsReplyMsg::encode(std::string &out) const
+{
+    using namespace support::wire;
+    putU32(out, static_cast<std::uint32_t>(cells.size()));
+    for (const CellOutcome &cell : cells)
+        cell.encode(out);
+    putU64(out, simulated);
+    putU64(out, storeHits);
+    putU64(out, coalesced);
+}
+
+bool
+CellsReplyMsg::decode(support::wire::Reader &in)
+{
+    const std::uint32_t n = in.u32();
+    if (!in.ok() || n > kMaxCells)
+        return false;
+    cells.clear();
+    for (std::uint32_t i = 0; i < n; ++i) {
+        CellOutcome cell;
+        if (!cell.decode(in))
+            return false;
+        cells.push_back(std::move(cell));
+    }
+    simulated = in.u64();
+    storeHits = in.u64();
+    coalesced = in.u64();
+    return in.ok();
+}
+
+void
+ShardHealth::encode(std::string &out) const
+{
+    using namespace support::wire;
+    putU32(out, index);
+    putU8(out, state);
+    putU64(out, generation);
+    putU64(out, restarts);
+    putU64(out, stalledCells);
+    putU64(out, quarantinedCells);
+    putU64(out, storeRecords);
+    putU32(out, port);
+}
+
+bool
+ShardHealth::decode(support::wire::Reader &in)
+{
+    index = in.u32();
+    state = in.u8();
+    generation = in.u64();
+    restarts = in.u64();
+    stalledCells = in.u64();
+    quarantinedCells = in.u64();
+    storeRecords = in.u64();
+    port = in.u32();
+    return in.ok();
+}
+
+const char *
+shardStateName(std::uint8_t state)
+{
+    switch (state) {
+      case 0:   return "serving";
+      case 1:   return "restarting";
+      case 2:   return "broken";
+    }
+    return "?";
+}
+
+void
 HealthInfo::encode(std::string &out) const
 {
     using namespace support::wire;
@@ -144,6 +296,9 @@ HealthInfo::encode(std::string &out) const
     putU64(out, traceResidentBytes);
     putU64(out, traceBudgetBytes);
     putU64(out, traceEvictions);
+    putU32(out, static_cast<std::uint32_t>(shards.size()));
+    for (const ShardHealth &shard : shards)
+        shard.encode(out);
 }
 
 bool
@@ -161,6 +316,16 @@ HealthInfo::decode(support::wire::Reader &in)
     traceResidentBytes = in.u64();
     traceBudgetBytes = in.u64();
     traceEvictions = in.u64();
+    const std::uint32_t n = in.u32();
+    if (!in.ok() || n > kMaxCells)
+        return false;
+    shards.clear();
+    for (std::uint32_t i = 0; i < n; ++i) {
+        ShardHealth shard;
+        if (!shard.decode(in))
+            return false;
+        shards.push_back(shard);
+    }
     return in.ok();
 }
 

@@ -38,7 +38,10 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
+#include "core/sched_stats.hh"
+#include "sim/experiment.hh"
 #include "support/wire.hh"
 
 namespace ddsc::net
@@ -67,6 +70,8 @@ enum class MsgType : std::uint8_t
     Error = 9,          ///< server -> client: typed failure
     HealthRequest = 10, ///< client -> server: readiness probe
     HealthReply = 11,   ///< server -> client: HealthInfo
+    CellsRequest = 12,  ///< router -> shard: resolve a cell batch
+    CellsReply = 13,    ///< shard -> router: per-cell stats/failures
 };
 
 /** True for type bytes this protocol version defines. */
@@ -152,6 +157,88 @@ struct ServerInfo
     bool decode(support::wire::Reader &in);
 };
 
+/**
+ * One cell of the experiment matrix, by name — the wire form of an
+ * ExperimentCell (which holds a WorkloadSpec pointer that cannot
+ * cross a process boundary).
+ */
+struct CellRef
+{
+    std::string workload;   ///< WorkloadSpec name, e.g. "li"
+    char config = 'A';      ///< paper configuration letter A..E
+    std::uint32_t width = 4;
+
+    void encode(std::string &out) const;
+    bool decode(support::wire::Reader &in);
+};
+
+/**
+ * CellsRequest payload: the router's fan-out unit.  A shard resolves
+ * the batch through its single-flight registry exactly like a
+ * MatrixRequest's cell set — same store, same watchdog, same
+ * quarantine semantics — but replies with raw per-cell SchedStats
+ * instead of an aggregated grid, so the router can merge columns
+ * owned by different shards into one byte-identical MatrixResult.
+ */
+struct CellsBatch
+{
+    std::vector<CellRef> cells;
+    /** Bounds the wait (not the simulation), like
+     *  MatrixQuery::deadlineMs; 0 = forever. */
+    std::uint64_t deadlineMs = 0;
+
+    void encode(std::string &out) const;
+    bool decode(support::wire::Reader &in);
+};
+
+/** One resolved cell in a CellsReply: stats on success, a typed
+ *  failure (quarantine) otherwise. */
+struct CellOutcome
+{
+    CellRef cell;
+    std::uint8_t ok = 0;    ///< 1: stats valid; 0: failure valid
+    SchedStats stats;
+    CellFailure failure;
+
+    void encode(std::string &out) const;
+    bool decode(support::wire::Reader &in);
+};
+
+/** CellsReply payload. */
+struct CellsReplyMsg
+{
+    std::vector<CellOutcome> cells;
+    /** This batch's serving counters (simulated/storeHits/coalesced),
+     *  summed into the router's MatrixSummary. */
+    std::uint64_t simulated = 0;
+    std::uint64_t storeHits = 0;
+    std::uint64_t coalesced = 0;
+
+    void encode(std::string &out) const;
+    bool decode(support::wire::Reader &in);
+};
+
+/** Per-shard slice of an aggregated fleet health reply. */
+struct ShardHealth
+{
+    std::uint32_t index = 0;
+    /** 0 = serving, 1 = restarting (between generations),
+     *  2 = broken (flap breaker tripped; not coming back). */
+    std::uint8_t state = 0;
+    std::uint64_t generation = 0;   ///< restarts of this shard so far
+    std::uint64_t restarts = 0;     ///< unclean deaths restarted
+    std::uint64_t stalledCells = 0;
+    std::uint64_t quarantinedCells = 0;
+    std::uint64_t storeRecords = 0;
+    std::uint32_t port = 0;         ///< 0 while down
+
+    void encode(std::string &out) const;
+    bool decode(support::wire::Reader &in);
+};
+
+/** Names for ShardHealth::state. */
+const char *shardStateName(std::uint8_t state);
+
 /** HealthReply payload: the readiness/self-healing view of the server
  *  (InfoReply carries the workload counters; this carries what a
  *  supervisor or operator probes for). */
@@ -175,6 +262,10 @@ struct HealthInfo
     std::uint64_t traceResidentBytes = 0; ///< charged, not evicted
     std::uint64_t traceBudgetBytes = 0;   ///< 0 = unlimited
     std::uint64_t traceEvictions = 0;     ///< whole-trace evictions
+    // Since DDSN v4: per-shard health when the reply comes from a
+    // fleet router (empty from a single server; the scalar fields
+    // above then aggregate across shards).
+    std::vector<ShardHealth> shards;
 
     void encode(std::string &out) const;
     bool decode(support::wire::Reader &in);

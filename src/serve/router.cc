@@ -1,0 +1,522 @@
+#include "router.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <map>
+#include <poll.h>
+#include <unistd.h>
+
+#include "core/config.hh"
+#include "sim/matrix_query.hh"
+#include "support/logging.hh"
+#include "support/portfile.hh"
+#include "support/shutdown.hh"
+
+namespace ddsc::serve
+{
+
+namespace
+{
+
+constexpr int kHandshakeTimeoutMs = 30000;
+
+/** Per-shard health/info probes answer from memory; a shard that
+ *  cannot do so within this budget counts as restarting. */
+constexpr int kProbeTimeoutMs = 2000;
+
+bool
+sendError(int fd, net::ErrCode code, const std::string &message)
+{
+    net::ErrorMsg err;
+    err.code = code;
+    err.message = message;
+    std::string payload;
+    err.encode(payload);
+    return net::writeFrame(fd, net::MsgType::Error, payload);
+}
+
+/** ServerError::what() leads with "code: "; strip it so re-wrapping
+ *  the message in a new typed error does not stack prefixes. */
+std::string
+stripCodePrefix(net::ErrCode code, const std::string &what)
+{
+    const std::string prefix = std::string(errCodeName(code)) + ": ";
+    if (what.rfind(prefix, 0) == 0)
+        return what.substr(prefix.size());
+    return what;
+}
+
+std::string
+cellRefKey(const net::CellRef &ref)
+{
+    return ref.workload + "/" + std::string(1, ref.config) + "/" +
+           std::to_string(ref.width);
+}
+
+} // anonymous namespace
+
+unsigned
+shardForCell(char config, unsigned width, std::size_t shard_count)
+{
+    ddsc_assert(shard_count > 0, "empty fleet");
+    // FNV-1a over the paper machine's fingerprint: the same identity
+    // that keys the result store decides placement, so a shard's
+    // store holds exactly its own columns.
+    const std::string fp =
+        MachineConfig::paper(config, width).fingerprint();
+    std::uint64_t h = 1469598103934665603ull;
+    for (const char c : fp) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ull;
+    }
+    return static_cast<unsigned>(h % shard_count);
+}
+
+Router::Router(const RouterOptions &opts, FleetState &fleet)
+    : opts_(opts), fleet_(fleet)
+{
+    ddsc_assert(fleet_.count() > 0, "router needs at least one shard");
+    listener_ = net::TcpListener::bindLocal(opts_.port, opts_.backlog);
+    if (::pipe2(stopPipe_, O_NONBLOCK | O_CLOEXEC) != 0)
+        ddsc_fatal("router: pipe2 failed: %s", std::strerror(errno));
+}
+
+Router::~Router()
+{
+    for (std::unique_ptr<Slot> &slot : sessions_) {
+        if (slot->thread.joinable())
+            slot->thread.join();
+    }
+    for (const int fd : stopPipe_) {
+        if (fd >= 0)
+            ::close(fd);
+    }
+}
+
+void
+Router::run()
+{
+    while (!draining_.load()) {
+        reapSessions();
+
+        pollfd fds[3];
+        nfds_t nfds = 0;
+        const std::size_t listenerSlot = nfds;
+        fds[nfds++] = {listener_.fd(), POLLIN, 0};
+        if (stopPipe_[0] >= 0)
+            fds[nfds++] = {stopPipe_[0], POLLIN, 0};
+        const int shutdownFd = support::shutdownFd();
+        if (shutdownFd >= 0)
+            fds[nfds++] = {shutdownFd, POLLIN, 0};
+
+        const int ready = ::poll(fds, nfds, -1);
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+
+        bool stopRequested = false;
+        for (nfds_t i = 0; i < nfds; ++i) {
+            if (i != listenerSlot && (fds[i].revents & POLLIN))
+                stopRequested = true;
+        }
+        if (stopRequested || support::shutdownRequested())
+            break;
+
+        if (!(fds[listenerSlot].revents & POLLIN))
+            continue;
+        net::Fd conn = listener_.accept();
+        if (!conn.valid())
+            continue;
+
+        reapSessions();
+        if (liveSessions() >= opts_.maxSessions) {
+            sendError(conn.get(), net::ErrCode::Overloaded,
+                      "router at capacity (" +
+                          std::to_string(opts_.maxSessions) +
+                          " sessions); retry shortly");
+            continue;
+        }
+
+        auto slot = std::make_unique<Slot>();
+        slot->fd = std::move(conn);
+        Slot *raw = slot.get();
+        activeSessions_.fetch_add(1);
+        slot->thread = std::thread([this, raw]() {
+            serveConnection(*raw);
+            // FIN now, reap later — same split as serve::Server.
+            raw->fd.shutdownBoth();
+            activeSessions_.fetch_sub(1);
+            raw->done.store(true);
+        });
+        sessions_.push_back(std::move(slot));
+    }
+
+    draining_.store(true);
+    listener_.close();
+    for (std::unique_ptr<Slot> &slot : sessions_) {
+        if (!slot->done.load())
+            slot->fd.shutdownRead();
+    }
+    for (std::unique_ptr<Slot> &slot : sessions_) {
+        if (slot->thread.joinable())
+            slot->thread.join();
+    }
+    sessions_.clear();
+}
+
+void
+Router::stop()
+{
+    if (stopPipe_[1] >= 0) {
+        const char byte = 's';
+        [[maybe_unused]] const ssize_t n =
+            ::write(stopPipe_[1], &byte, 1);
+    } else {
+        draining_.store(true);
+    }
+}
+
+void
+Router::serveConnection(Slot &slot)
+{
+    const int fd = slot.fd.get();
+
+    net::Frame frame;
+    if (net::readFrame(fd, frame, kHandshakeTimeoutMs) !=
+            net::ReadStatus::Ok ||
+        frame.type != net::MsgType::Hello)
+        return;
+    net::Hello theirs;
+    {
+        support::wire::Reader reader(frame.payload);
+        if (!theirs.decode(reader)) {
+            sendError(fd, net::ErrCode::BadRequest, "malformed Hello");
+            return;
+        }
+    }
+    const net::Hello ours = net::Hello::current();
+    if (!ours.compatible(theirs)) {
+        sendError(fd, net::ErrCode::VersionMismatch,
+                  "client speaks protocol " +
+                      std::to_string(theirs.protocol) +
+                      "; router has " + std::to_string(ours.protocol));
+        return;
+    }
+    std::string hello;
+    ours.encode(hello);
+    if (!net::writeFrame(fd, net::MsgType::HelloOk, hello))
+        return;
+
+    for (;;) {
+        const net::ReadStatus status = net::readFrame(fd, frame, -1);
+        if (status != net::ReadStatus::Ok)
+            return;
+        switch (frame.type) {
+          case net::MsgType::Ping:
+            if (!net::writeFrame(fd, net::MsgType::Pong, {}))
+                return;
+            break;
+          case net::MsgType::InfoRequest: {
+            std::string payload;
+            infoSnapshot().encode(payload);
+            if (!net::writeFrame(fd, net::MsgType::InfoReply, payload))
+                return;
+            break;
+          }
+          case net::MsgType::HealthRequest: {
+            std::string payload;
+            healthSnapshot().encode(payload);
+            if (!net::writeFrame(fd, net::MsgType::HealthReply,
+                                 payload))
+                return;
+            break;
+          }
+          case net::MsgType::MatrixRequest:
+            if (!handleMatrix(fd, frame))
+                return;
+            break;
+          default:
+            // CellsRequest is a shard-side verb; a client sending it
+            // to the router is confused.
+            return;
+        }
+    }
+}
+
+bool
+Router::handleMatrix(int fd, const net::Frame &frame)
+{
+    MatrixQuery query;
+    support::wire::Reader reader(frame.payload);
+    if (!query.decode(reader))
+        return sendError(fd, net::ErrCode::BadRequest,
+                         "malformed MatrixRequest payload");
+    std::string why;
+    if (!query.validate(&why))
+        return sendError(fd, net::ErrCode::BadRequest, why);
+    if (draining_.load())
+        return sendError(fd, net::ErrCode::Draining,
+                         "router is draining; retry elsewhere");
+
+    MatrixResult result;
+    try {
+        result = routeMatrix(query);
+    } catch (const net::ServerError &e) {
+        // Deadline/Stalled propagated from a shard, already typed.
+        return sendError(fd, e.code,
+                         stripCodePrefix(e.code, e.what()));
+    } catch (const std::exception &e) {
+        return sendError(fd, net::ErrCode::Internal, e.what());
+    }
+
+    std::string payload;
+    result.encode(payload);
+    if (!net::writeFrame(fd, net::MsgType::MatrixReply, payload))
+        return false;
+    requestsServed_.fetch_add(1);
+    return true;
+}
+
+MatrixResult
+Router::routeMatrix(const MatrixQuery &query) const
+{
+    const std::size_t K = fleet_.count();
+    const std::vector<ExperimentCell> cells = query.cells();
+
+    std::vector<net::CellsBatch> batches(K);
+    for (const ExperimentCell &cell : cells) {
+        net::CellRef ref;
+        ref.workload = cell.spec->name;
+        ref.config = cell.config;
+        ref.width = cell.width;
+        batches[shardForCell(cell.config, cell.width, K)]
+            .cells.push_back(std::move(ref));
+    }
+
+    // Fan out: one thread per owning shard, each with its own client
+    // so a retry against one shard's next generation never blocks the
+    // others.  A shard-level failure degrades to per-cell typed
+    // failures below instead of failing the whole request.
+    struct ShardOutcome
+    {
+        bool hasReply = false;
+        net::CellsReplyMsg reply;
+        bool propagate = false;     ///< typed Deadline/Stalled
+        net::ErrCode code = net::ErrCode::Internal;
+        std::string error;
+    };
+    std::vector<ShardOutcome> outcomes(K);
+    std::vector<std::thread> threads;
+    for (std::size_t i = 0; i < K; ++i) {
+        if (batches[i].cells.empty())
+            continue;
+        batches[i].deadlineMs = query.deadlineMs;
+        threads.emplace_back([this, i, &batches, &outcomes]() {
+            ShardOutcome &out = outcomes[i];
+            const ShardSlot &slot = *fleet_.shards[i];
+            if (slot.broken.load()) {
+                out.error = "shard " + std::to_string(i) +
+                            " is broken (restart limit hit)";
+                return;
+            }
+            try {
+                net::Client client(
+                    [&slot]() {
+                        return support::readPortFile(slot.portFile);
+                    },
+                    opts_.shardTimeoutMs, opts_.retry);
+                out.reply = client.cells(batches[i]);
+                out.hasReply = true;
+            } catch (const net::ServerError &e) {
+                if (e.code == net::ErrCode::Deadline ||
+                    e.code == net::ErrCode::Stalled) {
+                    // Same retry semantics as a single server: the
+                    // client decides whether to wait longer or come
+                    // back.
+                    out.propagate = true;
+                    out.code = e.code;
+                    out.error = stripCodePrefix(e.code, e.what());
+                } else {
+                    out.error = "shard " + std::to_string(i) + ": " +
+                                e.what();
+                }
+            } catch (const std::exception &e) {
+                out.error = "shard " + std::to_string(i) +
+                            " unreachable: " + e.what();
+            }
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+
+    for (const ShardOutcome &out : outcomes) {
+        if (out.propagate)
+            throw net::ServerError(out.code, out.error);
+    }
+
+    // Index the shard answers by cell key; anything a shard failed
+    // (or never answered) becomes a typed per-cell failure that
+    // aggregates as n/a — the quarantine semantics, one level up.
+    std::map<std::string, SchedStats> stats;
+    std::map<std::string, CellFailure> failed;
+    for (std::size_t i = 0; i < K; ++i) {
+        const ShardOutcome &out = outcomes[i];
+        if (batches[i].cells.empty())
+            continue;
+        if (out.hasReply) {
+            for (const net::CellOutcome &cell : out.reply.cells) {
+                const std::string key = cellRefKey(cell.cell);
+                if (cell.ok)
+                    stats.emplace(key, cell.stats);
+                else
+                    failed.emplace(key, cell.failure);
+            }
+        } else {
+            for (const net::CellRef &ref : batches[i].cells) {
+                const std::string key = cellRefKey(ref);
+                failed.emplace(key,
+                               CellFailure{key, out.error, 0});
+            }
+        }
+    }
+
+    MatrixResult result = aggregateMatrixResult(
+        query,
+        [&stats, &failed](const WorkloadSpec &spec, char config,
+                          unsigned width) -> const SchedStats & {
+            const std::string key = spec.name + "/" +
+                                    std::string(1, config) + "/" +
+                                    std::to_string(width);
+            const auto hit = stats.find(key);
+            if (hit != stats.end())
+                return hit->second;
+            const auto bad = failed.find(key);
+            if (bad != failed.end())
+                throw CellQuarantined(bad->second);
+            // A shard reply that omitted a requested cell is a shard
+            // bug; fail the cell, not the sweep.
+            throw CellQuarantined(
+                CellFailure{key, "missing from shard reply", 0});
+        });
+    for (const ShardOutcome &out : outcomes) {
+        if (!out.hasReply)
+            continue;
+        result.summary.simulated += out.reply.simulated;
+        result.summary.storeHits += out.reply.storeHits;
+        result.summary.coalesced += out.reply.coalesced;
+    }
+    return result;
+}
+
+net::HealthInfo
+Router::healthSnapshot() const
+{
+    using std::chrono::duration_cast;
+    using std::chrono::milliseconds;
+    net::HealthInfo health;
+    health.uptimeMs = static_cast<std::uint64_t>(
+        duration_cast<milliseconds>(std::chrono::steady_clock::now() -
+                                    started_)
+            .count());
+    health.liveSessions = activeSessions_.load();
+    for (std::size_t i = 0; i < fleet_.count(); ++i) {
+        const ShardSlot &slot = *fleet_.shards[i];
+        net::ShardHealth shard;
+        shard.index = static_cast<std::uint32_t>(i);
+        shard.generation = slot.generation.load();
+        shard.restarts = slot.restarts.load();
+        if (slot.broken.load()) {
+            shard.state = 2;
+        } else {
+            const std::uint16_t port =
+                support::readPortFile(slot.portFile);
+            shard.state = 1;    // until the probe answers
+            if (port != 0) {
+                try {
+                    net::Client probe([port]() { return port; },
+                                      kProbeTimeoutMs, {});
+                    const net::HealthInfo h = probe.health();
+                    shard.state = 0;
+                    shard.port = port;
+                    shard.stalledCells = h.stalledCells;
+                    shard.quarantinedCells = h.quarantinedCells;
+                    shard.storeRecords = h.storeRecords;
+                    health.quarantinedCells += h.quarantinedCells;
+                    health.registryDepth += h.registryDepth;
+                    health.stalledCells += h.stalledCells;
+                    health.storeRecords += h.storeRecords;
+                    health.traceMappedBytes += h.traceMappedBytes;
+                    health.traceResidentBytes += h.traceResidentBytes;
+                    health.traceBudgetBytes += h.traceBudgetBytes;
+                    health.traceEvictions += h.traceEvictions;
+                } catch (const std::exception &) {
+                    // Between generations (or mid-crash): restarting.
+                }
+            }
+        }
+        health.shards.push_back(shard);
+    }
+    return health;
+}
+
+net::ServerInfo
+Router::infoSnapshot() const
+{
+    net::ServerInfo info;
+    info.versions = net::Hello::current();
+    info.requestsServed = requestsServed_.load();
+    info.activeSessions = activeSessions_.load();
+    info.hasStore = opts_.storeRoot.empty() ? 0 : 1;
+    info.storePath = opts_.storeRoot;
+    for (std::size_t i = 0; i < fleet_.count(); ++i) {
+        const ShardSlot &slot = *fleet_.shards[i];
+        if (slot.broken.load())
+            continue;
+        const std::uint16_t port = support::readPortFile(slot.portFile);
+        if (port == 0)
+            continue;
+        try {
+            net::Client probe([port]() { return port; },
+                              kProbeTimeoutMs, {});
+            const net::ServerInfo shard = probe.info();
+            info.jobs += shard.jobs;
+            info.cachedCells += shard.cachedCells;
+            info.simulated += shard.simulated;
+            info.storeHits += shard.storeHits;
+            info.coalesced += shard.coalesced;
+        } catch (const std::exception &) {
+        }
+    }
+    return info;
+}
+
+void
+Router::reapSessions()
+{
+    for (std::size_t i = 0; i < sessions_.size();) {
+        if (sessions_[i]->done.load()) {
+            if (sessions_[i]->thread.joinable())
+                sessions_[i]->thread.join();
+            sessions_.erase(sessions_.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+        } else {
+            ++i;
+        }
+    }
+}
+
+std::size_t
+Router::liveSessions() const
+{
+    std::size_t live = 0;
+    for (const std::unique_ptr<Slot> &slot : sessions_) {
+        if (!slot->done.load())
+            ++live;
+    }
+    return live;
+}
+
+} // namespace ddsc::serve

@@ -65,6 +65,10 @@ Session::serveLoop()
             if (!handleMatrix(frame))
                 return;
             break;
+          case net::MsgType::CellsRequest:
+            if (!handleCells(frame))
+                return;
+            break;
           default:
             // A client sending server-side verbs is confused; drop it.
             return;
@@ -161,6 +165,97 @@ Session::handleMatrix(const net::Frame &frame)
     std::string payload;
     result.encode(payload);
     if (!reply(net::MsgType::MatrixReply, payload))
+        return false;
+    server_.countRequest();
+    return true;
+}
+
+bool
+Session::handleCells(const net::Frame &frame)
+{
+    net::CellsBatch batch;
+    support::wire::Reader reader(frame.payload);
+    if (!batch.decode(reader))
+        return sendError(net::ErrCode::BadRequest,
+                         "malformed CellsRequest payload");
+    if (batch.cells.empty())
+        return sendError(net::ErrCode::BadRequest,
+                         "empty cell batch");
+    std::vector<ExperimentCell> cells;
+    cells.reserve(batch.cells.size());
+    for (const net::CellRef &ref : batch.cells) {
+        const WorkloadSpec *spec = findWorkloadOrNull(ref.workload);
+        if (!spec)
+            return sendError(net::ErrCode::BadRequest,
+                             "unknown workload '" + ref.workload +
+                                 "'");
+        if (ref.config < 'A' || ref.config > 'E')
+            return sendError(net::ErrCode::BadRequest,
+                             std::string("unknown configuration '") +
+                                 ref.config + "'");
+        if (ref.width == 0 || ref.width > 1u << 20)
+            return sendError(net::ErrCode::BadRequest,
+                             "width " + std::to_string(ref.width) +
+                                 " out of range");
+        cells.push_back({spec, ref.config, ref.width});
+    }
+    if (server_.draining())
+        return sendError(net::ErrCode::Draining,
+                         "server is draining; retry elsewhere");
+
+    ExperimentDriver &driver = server_.driver();
+    const std::size_t hits0 = driver.storeHits();
+    const std::size_t sims0 = driver.simulatedCells();
+    ResolveOutcome outcome;
+    try {
+        outcome = server_.registry().resolve(cells, batch.deadlineMs);
+    } catch (const CellStalled &e) {
+        return sendError(net::ErrCode::Stalled, e.what());
+    } catch (const std::exception &e) {
+        return sendError(net::ErrCode::Internal, e.what());
+    }
+    if (outcome.deadlineExpired)
+        return sendError(
+            net::ErrCode::Deadline,
+            "deadline of " + std::to_string(batch.deadlineMs) +
+                " ms expired before every cell resolved (the cells "
+                "keep computing and will be cached)");
+    for (const ExperimentCell &cell : cells) {
+        if (!driver.cellResolved(*cell.spec, cell.config, cell.width))
+            return sendError(net::ErrCode::Internal,
+                             "sweep did not resolve every cell");
+    }
+
+    net::CellsReplyMsg msg;
+    msg.cells.reserve(cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        net::CellOutcome out;
+        out.cell = batch.cells[i];
+        try {
+            out.stats = driver.stats(*cells[i].spec, cells[i].config,
+                                     cells[i].width);
+            out.ok = 1;
+        } catch (const CellQuarantined &e) {
+            out.ok = 0;
+            out.failure = e.failure;
+        }
+        msg.cells.push_back(std::move(out));
+    }
+    msg.simulated = driver.simulatedCells() - sims0;
+    msg.storeHits = driver.storeHits() - hits0;
+    msg.coalesced = outcome.coalesced;
+
+    if (support::faultShouldFire("net-disconnect")) {
+        // Same mid-response hang-up as handleMatrix: the router sees
+        // the connection die after the shard did the work, and must
+        // retry against the (cached) result.
+        fd_.shutdownBoth();
+        return false;
+    }
+
+    std::string payload;
+    msg.encode(payload);
+    if (!reply(net::MsgType::CellsReply, payload))
         return false;
     server_.countRequest();
     return true;

@@ -53,6 +53,10 @@ class Session
      *  connection died. */
     bool handleMatrix(const net::Frame &frame);
 
+    /** Decode, resolve, and answer one CellsRequest (the fleet
+     *  router's fan-out unit).  False when the connection died. */
+    bool handleCells(const net::Frame &frame);
+
     bool reply(net::MsgType type, std::string_view payload);
     bool sendError(net::ErrCode code, const std::string &message);
 

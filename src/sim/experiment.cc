@@ -545,11 +545,16 @@ ExperimentDriver::cachedCells() const
     return cache_.size();
 }
 
+// The aggregation math lives in these free functions so the local
+// driver and the fleet router reduce cells through the *same* code:
+// the driver binds stats() below, the router binds a lookup over
+// shard-returned stats, and both produce identical doubles (hence
+// identical rendered bytes) by construction.
+
 double
-ExperimentDriver::hmeanIpc(const std::vector<const WorkloadSpec *> &set,
-                           char config, unsigned width)
+hmeanIpcOver(const std::vector<const WorkloadSpec *> &set, char config,
+             unsigned width, const CellStatsFn &stats)
 {
-    prefetch(cellsFor(set, std::string(1, config), {width}));
     std::vector<double> ipcs;
     ipcs.reserve(set.size());
     for (const WorkloadSpec *spec : set)
@@ -558,11 +563,9 @@ ExperimentDriver::hmeanIpc(const std::vector<const WorkloadSpec *> &set,
 }
 
 double
-ExperimentDriver::hmeanSpeedup(
-    const std::vector<const WorkloadSpec *> &set, char config,
-    unsigned width)
+hmeanSpeedupOver(const std::vector<const WorkloadSpec *> &set,
+                 char config, unsigned width, const CellStatsFn &stats)
 {
-    prefetch(cellsFor(set, std::string("A") + config, {width}));
     std::vector<double> speedups;
     speedups.reserve(set.size());
     for (const WorkloadSpec *spec : set) {
@@ -576,11 +579,10 @@ ExperimentDriver::hmeanSpeedup(
 }
 
 CollapseStats
-ExperimentDriver::mergedCollapse(
-    const std::vector<const WorkloadSpec *> &set, char config,
-    unsigned width)
+mergedCollapseOver(const std::vector<const WorkloadSpec *> &set,
+                   char config, unsigned width,
+                   const CellStatsFn &stats)
 {
-    prefetch(cellsFor(set, std::string(1, config), {width}));
     CollapseStats merged;
     for (const WorkloadSpec *spec : set)
         merged.merge(stats(*spec, config, width).collapse);
@@ -588,11 +590,9 @@ ExperimentDriver::mergedCollapse(
 }
 
 double
-ExperimentDriver::pctCollapsed(
-    const std::vector<const WorkloadSpec *> &set, char config,
-    unsigned width)
+pctCollapsedOver(const std::vector<const WorkloadSpec *> &set,
+                 char config, unsigned width, const CellStatsFn &stats)
 {
-    prefetch(cellsFor(set, std::string(1, config), {width}));
     std::uint64_t collapsed = 0;
     std::uint64_t total = 0;
     for (const WorkloadSpec *spec : set) {
@@ -605,16 +605,80 @@ ExperimentDriver::pctCollapsed(
 }
 
 double
-ExperimentDriver::meanLoadClassPct(
-    const std::vector<const WorkloadSpec *> &set, char config,
-    unsigned width, LoadClass cls)
+meanLoadClassPctOver(const std::vector<const WorkloadSpec *> &set,
+                     char config, unsigned width, LoadClass cls,
+                     const CellStatsFn &stats)
 {
-    prefetch(cellsFor(set, std::string(1, config), {width}));
     std::vector<double> pcts;
     pcts.reserve(set.size());
     for (const WorkloadSpec *spec : set)
         pcts.push_back(stats(*spec, config, width).loadClassPct(cls));
     return arithmeticMean(pcts);
+}
+
+double
+ExperimentDriver::hmeanIpc(const std::vector<const WorkloadSpec *> &set,
+                           char config, unsigned width)
+{
+    prefetch(cellsFor(set, std::string(1, config), {width}));
+    return hmeanIpcOver(set, config, width,
+                        [this](const WorkloadSpec &s, char c,
+                               unsigned w) -> const SchedStats & {
+                            return stats(s, c, w);
+                        });
+}
+
+double
+ExperimentDriver::hmeanSpeedup(
+    const std::vector<const WorkloadSpec *> &set, char config,
+    unsigned width)
+{
+    prefetch(cellsFor(set, std::string("A") + config, {width}));
+    return hmeanSpeedupOver(set, config, width,
+                            [this](const WorkloadSpec &s, char c,
+                                   unsigned w) -> const SchedStats & {
+                                return stats(s, c, w);
+                            });
+}
+
+CollapseStats
+ExperimentDriver::mergedCollapse(
+    const std::vector<const WorkloadSpec *> &set, char config,
+    unsigned width)
+{
+    prefetch(cellsFor(set, std::string(1, config), {width}));
+    return mergedCollapseOver(set, config, width,
+                              [this](const WorkloadSpec &s, char c,
+                                     unsigned w) -> const SchedStats & {
+                                  return stats(s, c, w);
+                              });
+}
+
+double
+ExperimentDriver::pctCollapsed(
+    const std::vector<const WorkloadSpec *> &set, char config,
+    unsigned width)
+{
+    prefetch(cellsFor(set, std::string(1, config), {width}));
+    return pctCollapsedOver(set, config, width,
+                            [this](const WorkloadSpec &s, char c,
+                                   unsigned w) -> const SchedStats & {
+                                return stats(s, c, w);
+                            });
+}
+
+double
+ExperimentDriver::meanLoadClassPct(
+    const std::vector<const WorkloadSpec *> &set, char config,
+    unsigned width, LoadClass cls)
+{
+    prefetch(cellsFor(set, std::string(1, config), {width}));
+    return meanLoadClassPctOver(
+        set, config, width, cls,
+        [this](const WorkloadSpec &s, char c,
+               unsigned w) -> const SchedStats & {
+            return stats(s, c, w);
+        });
 }
 
 std::vector<const WorkloadSpec *>

@@ -48,6 +48,7 @@
 #define DDSC_SIM_EXPERIMENT_HH
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -363,6 +364,43 @@ class ExperimentDriver
 /** Parse $DDSC_TRACE_LIMIT (0 when unset/invalid/trailing garbage;
  *  out-of-range values clamp to UINT64_MAX = effectively unlimited). */
 std::uint64_t envTraceLimit();
+
+/**
+ * Per-cell stats access for the aggregation helpers below: return the
+ * stats for (workload, config, width) or throw CellQuarantined.  The
+ * local path binds ExperimentDriver::stats(); the fleet router binds
+ * a lookup over stats shipped back from its shards — both aggregate
+ * through the same functions, which is what makes a routed sweep
+ * byte-identical to a fresh local one.
+ */
+using CellStatsFn = std::function<const SchedStats &(
+    const WorkloadSpec &, char config, unsigned width)>;
+
+/** Harmonic-mean IPC over @p set (paper Figures 2, 4, 6). */
+double hmeanIpcOver(const std::vector<const WorkloadSpec *> &set,
+                    char config, unsigned width,
+                    const CellStatsFn &stats);
+
+/** Harmonic mean of per-benchmark speedups versus configuration A at
+ *  the same width (paper Figures 3, 5, 7). */
+double hmeanSpeedupOver(const std::vector<const WorkloadSpec *> &set,
+                        char config, unsigned width,
+                        const CellStatsFn &stats);
+
+/** Collapse statistics merged across @p set. */
+CollapseStats mergedCollapseOver(
+    const std::vector<const WorkloadSpec *> &set, char config,
+    unsigned width, const CellStatsFn &stats);
+
+/** Aggregate percentage of instructions collapsed (Figure 8). */
+double pctCollapsedOver(const std::vector<const WorkloadSpec *> &set,
+                        char config, unsigned width,
+                        const CellStatsFn &stats);
+
+/** Arithmetic mean over @p set of a load-class percentage. */
+double meanLoadClassPctOver(
+    const std::vector<const WorkloadSpec *> &set, char config,
+    unsigned width, LoadClass cls, const CellStatsFn &stats);
 
 } // namespace ddsc
 

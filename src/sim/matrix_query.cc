@@ -2,7 +2,7 @@
 
 #include <bit>
 #include <cstdio>
-#include <set>
+#include <map>
 
 #include "support/table.hh"
 
@@ -24,8 +24,14 @@ getF64(support::wire::Reader &in)
     return std::bit_cast<double>(in.u64());
 }
 
+/** Widths and quarantine lists ride length-prefixed; cap the counts
+ *  so a corrupted prefix cannot become a giant allocation. */
+constexpr std::uint32_t kMaxListLen = 4096;
+
+} // anonymous namespace
+
 void
-encodeFailure(std::string &out, const CellFailure &f)
+encodeCellFailure(std::string &out, const CellFailure &f)
 {
     support::wire::putString(out, f.key);
     support::wire::putString(out, f.message);
@@ -33,19 +39,13 @@ encodeFailure(std::string &out, const CellFailure &f)
 }
 
 bool
-decodeFailure(support::wire::Reader &in, CellFailure &f)
+decodeCellFailure(support::wire::Reader &in, CellFailure &f)
 {
     f.key = in.str();
     f.message = in.str();
     f.attempts = in.u32();
     return in.ok();
 }
-
-/** Widths and quarantine lists ride length-prefixed; cap the counts
- *  so a corrupted prefix cannot become a giant allocation. */
-constexpr std::uint32_t kMaxListLen = 4096;
-
-} // anonymous namespace
 
 bool
 MatrixQuery::validate(std::string *why) const
@@ -165,7 +165,7 @@ MatrixResult::encode(std::string &out) const
     summary.encode(out);
     putU32(out, static_cast<std::uint32_t>(quarantined.size()));
     for (const CellFailure &f : quarantined)
-        encodeFailure(out, f);
+        encodeCellFailure(out, f);
     putU8(out, interrupted ? 1 : 0);
 }
 
@@ -191,7 +191,7 @@ MatrixResult::decode(support::wire::Reader &in)
     quarantined.clear();
     for (std::uint32_t i = 0; i < nq; ++i) {
         CellFailure f;
-        if (!decodeFailure(in, f))
+        if (!decodeCellFailure(in, f))
             return false;
         quarantined.push_back(std::move(f));
     }
@@ -271,34 +271,10 @@ quarantineSummary(const std::vector<CellFailure> &cells,
 }
 
 MatrixResult
-runMatrixQuery(
-    ExperimentDriver &driver, const MatrixQuery &query,
-    const std::function<void(const std::vector<ExperimentCell> &)>
-        &prefetch)
+aggregateMatrixResult(const MatrixQuery &query, const CellStatsFn &stats)
 {
     MatrixResult result;
     result.query = query;
-
-    const std::vector<ExperimentCell> cells = query.cells();
-    const std::size_t hits0 = driver.storeHits();
-    const std::size_t sims0 = driver.simulatedCells();
-    if (prefetch)
-        prefetch(cells);
-    else
-        driver.prefetch(cells);
-    result.summary.cells = cells.size();
-    result.summary.storeHits = driver.storeHits() - hits0;
-    result.summary.simulated = driver.simulatedCells() - sims0;
-
-    // An interrupted (Ctrl-C) sweep leaves cells unresolved; going on
-    // would re-simulate them serially through stats(), defeating the
-    // point of stopping.  Report what the caller can act on instead.
-    for (const ExperimentCell &cell : cells) {
-        if (!driver.cellResolved(*cell.spec, cell.config, cell.width)) {
-            result.interrupted = true;
-            return result;
-        }
-    }
 
     const std::vector<const WorkloadSpec *> set = query.workloads();
     for (const char config : query.configs) {
@@ -307,11 +283,11 @@ runMatrixQuery(
             bool ok = true;
             try {
                 if (query.metric == "ipc")
-                    v = driver.hmeanIpc(set, config, width);
+                    v = hmeanIpcOver(set, config, width, stats);
                 else if (query.metric == "speedup")
-                    v = driver.hmeanSpeedup(set, config, width);
+                    v = hmeanSpeedupOver(set, config, width, stats);
                 else
-                    v = driver.pctCollapsed(set, config, width);
+                    v = pctCollapsedOver(set, config, width, stats);
             } catch (const CellQuarantined &) {
                 ok = false;
             }
@@ -320,26 +296,66 @@ runMatrixQuery(
         }
     }
 
-    // Summed scheduler time and the quarantine list, restricted to
-    // this request's cells (a resident server may be carrying other
-    // requests' quarantines too).
-    std::set<std::string> requested;
+    // Summed scheduler time, and the quarantine list restricted to
+    // this query's own cells (a resident server may be carrying other
+    // requests' quarantines too).  The map keeps the list sorted by
+    // key — the same order ExperimentDriver::quarantineReport() uses —
+    // so local and routed sweeps render identical stderr blocks.
+    const std::vector<ExperimentCell> cells = query.cells();
+    result.summary.cells = cells.size();
+    std::map<std::string, CellFailure> quarantined;
     for (const ExperimentCell &cell : cells) {
-        requested.insert(cell.spec->name + "/" +
-                         std::string(1, cell.config) + "/" +
-                         std::to_string(cell.width));
         try {
             result.summary.cellSeconds +=
                 static_cast<double>(
-                    driver.stats(*cell.spec, cell.config, cell.width)
+                    stats(*cell.spec, cell.config, cell.width)
                         .wallNanos) * 1e-9;
-        } catch (const CellQuarantined &) {
+        } catch (const CellQuarantined &e) {
+            quarantined.emplace(e.failure.key, e.failure);
         }
     }
-    for (const CellFailure &f : driver.quarantineReport()) {
-        if (requested.count(f.key))
-            result.quarantined.push_back(f);
+    for (const auto &[key, failure] : quarantined)
+        result.quarantined.push_back(failure);
+    return result;
+}
+
+MatrixResult
+runMatrixQuery(
+    ExperimentDriver &driver, const MatrixQuery &query,
+    const std::function<void(const std::vector<ExperimentCell> &)>
+        &prefetch)
+{
+    const std::vector<ExperimentCell> cells = query.cells();
+    const std::size_t hits0 = driver.storeHits();
+    const std::size_t sims0 = driver.simulatedCells();
+    if (prefetch)
+        prefetch(cells);
+    else
+        driver.prefetch(cells);
+
+    // An interrupted (Ctrl-C) sweep leaves cells unresolved; going on
+    // would re-simulate them serially through stats(), defeating the
+    // point of stopping.  Report what the caller can act on instead.
+    for (const ExperimentCell &cell : cells) {
+        if (!driver.cellResolved(*cell.spec, cell.config, cell.width)) {
+            MatrixResult result;
+            result.query = query;
+            result.summary.cells = cells.size();
+            result.summary.storeHits = driver.storeHits() - hits0;
+            result.summary.simulated =
+                driver.simulatedCells() - sims0;
+            result.interrupted = true;
+            return result;
+        }
     }
+
+    MatrixResult result = aggregateMatrixResult(
+        query, [&driver](const WorkloadSpec &spec, char config,
+                         unsigned width) -> const SchedStats & {
+            return driver.stats(spec, config, width);
+        });
+    result.summary.storeHits = driver.storeHits() - hits0;
+    result.summary.simulated = driver.simulatedCells() - sims0;
     return result;
 }
 

@@ -110,6 +110,26 @@ struct MatrixResult
 std::string quarantineSummary(const std::vector<CellFailure> &cells,
                               const std::string &tool);
 
+/** Wire codec for one CellFailure (shared by MatrixResult and the
+ *  fleet CellsReply). */
+void encodeCellFailure(std::string &out, const CellFailure &f);
+bool decodeCellFailure(support::wire::Reader &in, CellFailure &f);
+
+/**
+ * Aggregate @p query from already-resolved per-cell stats: the value
+ * grid, the quarantine list (cells for which @p stats threw
+ * CellQuarantined, sorted by key), and summary.cells/cellSeconds.
+ * summary.simulated/storeHits are the caller's to fill — it knows
+ * where the cells came from.
+ *
+ * runMatrixQuery() funnels through this with the driver's stats();
+ * the fleet router calls it with a lookup over shard-returned stats.
+ * One reduction path is what makes a routed sweep byte-identical to a
+ * local one.
+ */
+MatrixResult aggregateMatrixResult(const MatrixQuery &query,
+                                   const CellStatsFn &stats);
+
 /**
  * Resolve every cell of @p query against @p driver and aggregate.
  *

@@ -311,6 +311,40 @@ ResultStore::size() const
     return cells_.size();
 }
 
+StoreMergeReport
+ResultStore::absorb(const ResultStore &other)
+{
+    // scoped_lock's deadlock-avoidance covers two threads absorbing in
+    // opposite directions; self-absorb would self-deadlock regardless.
+    ddsc_assert(&other != this, "store cannot absorb itself");
+    std::scoped_lock lock(mutex_, other.mutex_);
+    StoreMergeReport report;
+    for (const auto &[key, theirs] : other.cells_) {
+        auto it = cells_.find(key);
+        if (it == cells_.end()) {
+            appendRecordLocked(key, theirs);
+            cells_[key] = theirs;
+            ++report.added;
+            continue;
+        }
+        const Entry &ours = it->second;
+        std::string ours_bytes, theirs_bytes;
+        encodeSchedStats(ours_bytes, ours.stats);
+        encodeSchedStats(theirs_bytes, theirs.stats);
+        if (ours.fingerprint == theirs.fingerprint &&
+            ours.traceDigest == theirs.traceDigest &&
+            ours_bytes == theirs_bytes) {
+            ++report.identical;
+            continue;
+        }
+        warn("result store '%s': cell '%s' from '%s' disagrees with "
+             "the entry already merged; keeping the existing entry",
+             path_.c_str(), key.c_str(), other.path_.c_str());
+        ++report.conflicts;
+    }
+    return report;
+}
+
 void
 ResultStore::compact()
 {

@@ -53,6 +53,17 @@ struct StoreLoadReport
     std::string note;           ///< human-readable diagnosis ("" if clean)
 };
 
+/** What absorb() did with the other store's cells. */
+struct StoreMergeReport
+{
+    std::size_t added = 0;      ///< new cells appended to this store
+    std::size_t identical = 0;  ///< duplicates with matching payloads
+    /** Same key, different fingerprint/digest/stats.  This store's
+     *  entry was kept; a nonzero count means the inputs disagree about
+     *  a cell and the caller should refuse to bless the merge. */
+    std::size_t conflicts = 0;
+};
+
 /**
  * The on-disk cell cache.  Thread-safe; every mutation is flushed
  * before it is visible in memory, so the disk never lags the cache.
@@ -110,6 +121,19 @@ class ResultStore
      * temporary file, then rename()s it over the store.
      */
     void compact();
+
+    /**
+     * Fold every live cell of @p other into this store (the heart of
+     * `ddsc-store merge`, which folds per-shard fleet stores back into
+     * one resumable store).  New cells are appended and flushed;
+     * duplicates with byte-identical payloads are skipped; a duplicate
+     * that *disagrees* keeps this store's entry and is counted as a
+     * conflict.  After a compact() the file bytes are a deterministic
+     * function of the merged entries (key-sorted, canonical payloads),
+     * so merging the same inputs always yields the same file, and a
+     * --resume run over it re-simulates nothing.
+     */
+    StoreMergeReport absorb(const ResultStore &other);
 
   private:
     struct Entry

@@ -1,0 +1,69 @@
+#include "portfile.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <unistd.h>
+
+namespace ddsc::support
+{
+
+bool
+writeOneLineAtomic(const std::string &path, unsigned long long value,
+                   std::string *err)
+{
+    auto fail = [&](const char *step) {
+        if (err) {
+            *err = std::string(step) + " '" + path +
+                   "': " + std::strerror(errno);
+        }
+        return false;
+    };
+
+    // Same directory as the destination so the rename cannot cross a
+    // filesystem; pid-suffixed so concurrent writers (two generations
+    // racing a restart) never clobber each other's temporary.
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid());
+    std::FILE *f = std::fopen(tmp.c_str(), "w");
+    if (f == nullptr)
+        return fail("cannot create");
+    const bool wrote = std::fprintf(f, "%llu\n", value) > 0 &&
+                       std::fflush(f) == 0;
+    // fclose result matters even after a good flush: it can surface
+    // the deferred write error that makes the line torn on disk.
+    const bool closed = std::fclose(f) == 0;
+    if (!wrote || !closed) {
+        ::unlink(tmp.c_str());
+        errno = errno != 0 ? errno : EIO;
+        return fail("cannot write");
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        ::unlink(tmp.c_str());
+        return fail("cannot publish");
+    }
+    return true;
+}
+
+std::uint16_t
+readPortFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    if (f == nullptr)
+        return 0;
+    unsigned port = 0;
+    const int n = std::fscanf(f, "%u", &port);
+    std::fclose(f);
+    if (n != 1 || port == 0 || port > 65535)
+        return 0;
+    return static_cast<std::uint16_t>(port);
+}
+
+void
+removeRuntimeFile(const std::string &path)
+{
+    if (!path.empty())
+        ::unlink(path.c_str());
+}
+
+} // namespace ddsc::support

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Atomic one-line runtime files (port files, pid files).
+ *
+ * A port file is a rendezvous: the server writes its bound port once
+ * the listener is live, and polling clients treat a non-empty file as
+ * the ready signal.  The obvious fopen("w")/fprintf implementation is
+ * wrong twice over: the open truncates in place, so a concurrent
+ * reader can observe an *empty* file between the truncate and the
+ * write (a supervised restart rewrites the file on every generation,
+ * so the window recurs forever), and unchecked fflush/fclose can leave
+ * a torn line behind on a full disk that readers then parse as port 0
+ * or garbage.
+ *
+ * writeOneLineAtomic() closes both holes: the line is written to a
+ * temporary file in the same directory, flushed and closed with every
+ * result checked, then rename(2)d over the destination.  Readers see
+ * either the complete old line or the complete new line, never an
+ * empty or partial file.
+ *
+ * readPortFile() is the tolerant reader every polling client shares:
+ * missing, empty, or malformed files read as 0 ("not known yet"),
+ * which retry policies treat as a transient transport failure rather
+ * than an exit.
+ */
+
+#ifndef DDSC_SUPPORT_PORTFILE_HH
+#define DDSC_SUPPORT_PORTFILE_HH
+
+#include <cstdint>
+#include <string>
+
+namespace ddsc::support
+{
+
+/**
+ * Atomically replace @p path with one line containing @p value.
+ * Returns false (with @p err describing the failed step) on any
+ * error; a failure never leaves a torn or empty file at @p path —
+ * at worst a stale temporary next to it.
+ */
+bool writeOneLineAtomic(const std::string &path,
+                        unsigned long long value,
+                        std::string *err = nullptr);
+
+/** Parse a one-line port file.  0 when the file is missing, empty,
+ *  malformed, or out of range — all transient states while a server
+ *  generation is (re)starting. */
+std::uint16_t readPortFile(const std::string &path);
+
+/** Best-effort unlink for stale pid/port files on clean shutdown
+ *  (missing file is fine; other errors are ignored — the file is
+ *  advisory, and the process is exiting). */
+void removeRuntimeFile(const std::string &path);
+
+} // namespace ddsc::support
+
+#endif // DDSC_SUPPORT_PORTFILE_HH

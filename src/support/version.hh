@@ -42,7 +42,8 @@ constexpr std::uint32_t kFingerprintSchema = 1;
 /** '|'-separated fields in MachineConfig::fingerprint(). */
 constexpr unsigned kFingerprintFields = 19;
 
-constexpr std::uint32_t kProtocol = 3;  ///< v3 added residency counters
+constexpr std::uint32_t kProtocol = 4;  ///< v4 added fleet cell batches
+                                        ///< and per-shard health
 
 /** The `--version` banner every CLI tool prints. */
 inline void

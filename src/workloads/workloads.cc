@@ -24,11 +24,20 @@ allWorkloads()
 const WorkloadSpec &
 findWorkload(const std::string &name)
 {
+    const WorkloadSpec *spec = findWorkloadOrNull(name);
+    if (!spec)
+        ddsc_fatal("unknown workload '%s'", name.c_str());
+    return *spec;
+}
+
+const WorkloadSpec *
+findWorkloadOrNull(const std::string &name)
+{
     for (const WorkloadSpec &spec : allWorkloads()) {
         if (spec.name == name)
-            return spec;
+            return &spec;
     }
-    ddsc_fatal("unknown workload '%s'", name.c_str());
+    return nullptr;
 }
 
 std::vector<const WorkloadSpec *>

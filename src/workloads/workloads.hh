@@ -63,6 +63,11 @@ const std::vector<WorkloadSpec> &allWorkloads();
 /** Look up one workload by name; fatal() when unknown. */
 const WorkloadSpec &findWorkload(const std::string &name);
 
+/** As findWorkload(), but nullptr when unknown — for callers handling
+ *  names that arrived over the wire, where "unknown" is the peer's
+ *  bug, not ours. */
+const WorkloadSpec *findWorkloadOrNull(const std::string &name);
+
 /** The pointer-chasing subset (go, li) or its complement. */
 std::vector<const WorkloadSpec *> workloadSubset(bool pointer_chasing);
 

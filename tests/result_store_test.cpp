@@ -352,5 +352,100 @@ TEST(ResultStoreDeathTest, TornWriteFaultLeavesRecoverableFile)
 }
 #endif // DDSC_NO_FAULT_INJECTION
 
+std::string
+fileBytes(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+}
+
+TEST(ResultStoreMerge, AbsorbFoldsDisjointStoresDurably)
+{
+    // The fleet case: per-shard stores hold disjoint cell slices;
+    // absorbing them all yields one store that resumes everything.
+    const std::string dirA = scratchDir("merge_shard_a");
+    const std::string dirB = scratchDir("merge_shard_b");
+    const std::string dirDest = scratchDir("merge_dest");
+    {
+        ResultStore a(dirA);
+        a.append("go/A/4", "fp-a4", 11, sampleStats(1));
+        a.append("li/A/4", "fp-a4", 12, sampleStats(2));
+        ResultStore b(dirB);
+        b.append("go/D/4", "fp-d4", 21, sampleStats(3));
+
+        ResultStore dest(dirDest);
+        const StoreMergeReport ra = dest.absorb(a);
+        EXPECT_EQ(ra.added, 2u);
+        EXPECT_EQ(ra.identical, 0u);
+        EXPECT_EQ(ra.conflicts, 0u);
+        const StoreMergeReport rb = dest.absorb(b);
+        EXPECT_EQ(rb.added, 1u);
+        EXPECT_EQ(dest.size(), 3u);
+    }
+    // Durable, not just in-memory: a reopen sees every merged cell.
+    ResultStore reopened(dirDest);
+    EXPECT_EQ(reopened.loadReport().loaded, 3u);
+    ASSERT_NE(reopened.lookup("go/A/4", "fp-a4", 11), nullptr);
+    ASSERT_NE(reopened.lookup("li/A/4", "fp-a4", 12), nullptr);
+    const SchedStats *hit = reopened.lookup("go/D/4", "fp-d4", 21);
+    ASSERT_NE(hit, nullptr);
+    expectStatsEqual(sampleStats(3), *hit);
+}
+
+TEST(ResultStoreMerge, DuplicatesSkippedConflictsKeepOurs)
+{
+    const std::string dirA = scratchDir("merge_dup_a");
+    const std::string dirDest = scratchDir("merge_dup_dest");
+    ResultStore a(dirA);
+    a.append("go/A/4", "fp-a4", 11, sampleStats(1));
+    a.append("li/D/8", "fp-d8", 44, sampleStats(4));
+
+    ResultStore dest(dirDest);
+    dest.append("go/A/4", "fp-a4", 11, sampleStats(1));  // identical
+    dest.append("li/D/8", "fp-d8", 44, sampleStats(9));  // disagrees
+
+    const StoreMergeReport r = dest.absorb(a);
+    EXPECT_EQ(r.added, 0u);
+    EXPECT_EQ(r.identical, 1u);
+    EXPECT_EQ(r.conflicts, 1u);
+
+    // The conflict kept the destination's version.
+    const SchedStats *kept = dest.lookup("li/D/8", "fp-d8", 44);
+    ASSERT_NE(kept, nullptr);
+    expectStatsEqual(sampleStats(9), *kept);
+}
+
+TEST(ResultStoreMerge, CompactedMergeBytesAreOrderIndependent)
+{
+    // `ddsc-store merge` + compact must be deterministic: the same
+    // shard stores folded in any order produce byte-identical output
+    // (compaction is key-sorted and payloads canonical), so a merge
+    // can be re-run and compared, or diffed across machines.
+    const std::string dirA = scratchDir("merge_det_a");
+    const std::string dirB = scratchDir("merge_det_b");
+    ResultStore a(dirA);
+    a.append("go/A/4", "fp-a4", 11, sampleStats(1));
+    a.append("li/A/4", "fp-a4", 12, sampleStats(2));
+    ResultStore b(dirB);
+    b.append("go/D/4", "fp-d4", 21, sampleStats(3));
+    b.append("li/D/4", "fp-d4", 22, sampleStats(4));
+
+    const std::string dirAB = scratchDir("merge_det_ab");
+    const std::string dirBA = scratchDir("merge_det_ba");
+    ResultStore ab(dirAB);
+    ab.absorb(a);
+    ab.absorb(b);
+    ab.compact();
+    ResultStore ba(dirBA);
+    ba.absorb(b);
+    ba.absorb(a);
+    ba.compact();
+
+    const std::string bytes = fileBytes(ab.path());
+    EXPECT_FALSE(bytes.empty());
+    EXPECT_EQ(bytes, fileBytes(ba.path()));
+}
+
 } // anonymous namespace
 } // namespace ddsc

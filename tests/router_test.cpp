@@ -1,0 +1,378 @@
+/**
+ * @file
+ * The fleet router in-process: a real Router fronting real Servers
+ * ("shards") on ephemeral ports, driven through the real net::Client.
+ *
+ * The load-bearing guarantees:
+ *
+ *  - Routed byte-identity: for any query, the bytes a client renders
+ *    from the router equal the bytes a fresh local
+ *    ddsc-matrix-style run renders.  The fan-out/merge adds
+ *    distribution, never content.
+ *  - Broken-shard degradation: a shard whose flap breaker tripped
+ *    fails its cells *typed* — n/a aggregates plus per-cell failures,
+ *    quarantine semantics — while the other shards' cells keep
+ *    serving bytes identical to local.
+ *  - Restart riding: a shard whose port file appears late (the window
+ *    a supervised restart opens) is reached through the retry policy
+ *    without the client seeing anything but the answer.
+ *  - Health aggregation: one ShardHealth per shard with the
+ *    per-shard state/generation view, scalars summed across the
+ *    reachable fleet.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/client.hh"
+#include "serve/router.hh"
+#include "serve/server.hh"
+#include "sim/matrix_query.hh"
+#include "support/portfile.hh"
+
+namespace ddsc
+{
+namespace
+{
+
+/** A throwaway directory for the port files a router reads. */
+class TempDir
+{
+  public:
+    TempDir()
+    {
+        char tmpl[] = "/tmp/ddsc-router-test-XXXXXX";
+        const char *dir = ::mkdtemp(tmpl);
+        EXPECT_NE(dir, nullptr);
+        path_ = dir;
+    }
+
+    ~TempDir()
+    {
+        std::error_code ec;
+        std::filesystem::remove_all(path_, ec);
+    }
+
+    std::string file(const std::string &name) const
+    {
+        return path_ + "/" + name;
+    }
+
+  private:
+    std::string path_;
+};
+
+/** K real shard servers plus a router over them, all in-process. */
+class FleetFixture
+{
+  public:
+    explicit FleetFixture(std::size_t shard_count,
+                          net::RetryPolicy retry = {.retries = 10,
+                                                    .budgetMs = 20000})
+    {
+        for (std::size_t i = 0; i < shard_count; ++i) {
+            serve::ServerOptions opts;
+            opts.port = 0;
+            opts.testScale = true;
+            opts.jobs = 2;
+            shards_.push_back(
+                std::make_unique<serve::Server>(opts));
+            EXPECT_TRUE(shards_.back()->valid());
+            shardThreads_.emplace_back(
+                [srv = shards_.back().get()]() { srv->run(); });
+            const std::string port_file =
+                dir_.file("shard-" + std::to_string(i) + ".port");
+            support::writeOneLineAtomic(port_file,
+                                        shards_.back()->port());
+            fleet_.add(port_file, "");
+        }
+
+        serve::RouterOptions opts;
+        opts.port = 0;
+        opts.retry = retry;
+        router_ = std::make_unique<serve::Router>(opts, fleet_);
+        EXPECT_TRUE(router_->valid());
+        routerThread_ =
+            std::thread([this]() { router_->run(); });
+    }
+
+    ~FleetFixture()
+    {
+        router_->stop();
+        routerThread_.join();
+        for (auto &shard : shards_)
+            shard->stop();
+        for (std::thread &t : shardThreads_)
+            t.join();
+    }
+
+    serve::Router &router() { return *router_; }
+    serve::FleetState &fleet() { return fleet_; }
+    serve::Server &shard(std::size_t i) { return *shards_[i]; }
+    std::uint16_t port() const { return router_->port(); }
+    const TempDir &dir() const { return dir_; }
+
+  private:
+    TempDir dir_;
+    serve::FleetState fleet_;
+    std::vector<std::unique_ptr<serve::Server>> shards_;
+    std::vector<std::thread> shardThreads_;
+    std::unique_ptr<serve::Router> router_;
+    std::thread routerThread_;
+};
+
+MatrixQuery
+smallQuery()
+{
+    MatrixQuery query;
+    query.set = "pc";
+    query.configs = "AD";
+    query.widths = {4};
+    query.metric = "ipc";
+    return query;
+}
+
+TEST(Router, PartitionIsDeterministicAndInRange)
+{
+    for (std::size_t k : {1u, 2u, 3u, 7u}) {
+        for (char config : {'A', 'B', 'C', 'D', 'E'}) {
+            for (unsigned width : {1u, 4u, 8u, 2048u}) {
+                const unsigned s =
+                    serve::shardForCell(config, width, k);
+                EXPECT_LT(s, k);
+                EXPECT_EQ(s, serve::shardForCell(config, width, k));
+            }
+        }
+    }
+    // The placement must discriminate: with a handful of shards the
+    // paper matrix's columns cannot all land on shard 0.
+    std::set<unsigned> used;
+    for (char config : {'A', 'B', 'C', 'D', 'E'})
+        for (unsigned width : {1u, 4u, 8u, 16u, 2048u})
+            used.insert(serve::shardForCell(config, width, 4));
+    EXPECT_GT(used.size(), 1u);
+}
+
+TEST(Router, RoutedByteIdentity)
+{
+    FleetFixture fx(3);
+    const MatrixQuery query = smallQuery();
+
+    ExperimentDriver local(0, /*test_scale=*/true, /*jobs=*/1);
+    const MatrixResult fresh = runMatrixQuery(local, query);
+
+    net::Client client(fx.port());
+    const MatrixResult routed = client.matrix(query);
+    EXPECT_EQ(routed.render(true), fresh.render(true));
+    EXPECT_EQ(routed.render(false), fresh.render(false));
+    EXPECT_TRUE(routed.quarantined.empty());
+
+    // Speedup reduces config-A cells against the others; the 'A'
+    // column typically lives on a different shard, so this crosses
+    // shard boundaries inside one aggregate.
+    MatrixQuery speedup = query;
+    speedup.metric = "speedup";
+    const MatrixResult freshSpeedup = runMatrixQuery(local, speedup);
+    const MatrixResult routedSpeedup = client.matrix(speedup);
+    EXPECT_EQ(routedSpeedup.render(true), freshSpeedup.render(true));
+    EXPECT_EQ(routedSpeedup.render(false),
+              freshSpeedup.render(false));
+
+    // Warm ask: every cell now sits in some shard's resident cache.
+    const MatrixResult again = client.matrix(query);
+    EXPECT_EQ(again.render(true), fresh.render(true));
+    EXPECT_EQ(again.summary.simulated, 0u);
+}
+
+TEST(Router, BrokenShardFailsTypedWhileOthersServe)
+{
+    FleetFixture fx(2);
+    const MatrixQuery query = smallQuery();
+
+    // Break the shard that owns the 'D' column; 'A' stays healthy
+    // (or vice versa — whichever way the hash splits them).
+    const unsigned brokenShard = serve::shardForCell('D', 4, 2);
+    const unsigned healthyShard = serve::shardForCell('A', 4, 2);
+    fx.fleet().shards[brokenShard]->broken.store(true);
+
+    ExperimentDriver local(0, /*test_scale=*/true, /*jobs=*/1);
+    const MatrixResult fresh = runMatrixQuery(local, query);
+
+    net::Client client(fx.port());
+    const MatrixResult routed = client.matrix(query);
+
+    if (brokenShard == healthyShard) {
+        // Hash put both columns on one shard: everything degrades,
+        // nothing crashes.
+        EXPECT_FALSE(routed.quarantined.empty());
+        return;
+    }
+
+    // The broken column is n/a with per-cell typed failures naming
+    // the shard; the healthy column's bytes still match local.
+    EXPECT_FALSE(routed.quarantined.empty());
+    for (const auto &entry : routed.quarantined) {
+        EXPECT_NE(entry.key.find("/D/"), std::string::npos);
+        EXPECT_NE(entry.message.find("shard"), std::string::npos);
+    }
+    EXPECT_NE(routed.render(true).find("n/a"), std::string::npos);
+    ASSERT_EQ(routed.values.size(), fresh.values.size());
+    for (std::size_t c = 0; c < query.configs.size(); ++c) {
+        for (std::size_t w = 0; w < query.widths.size(); ++w) {
+            const std::size_t i = c * query.widths.size() + w;
+            if (query.configs[c] == 'A') {
+                EXPECT_TRUE(routed.valid[i]);
+                EXPECT_EQ(routed.values[i], fresh.values[i]);
+            } else {
+                EXPECT_FALSE(routed.valid[i]);
+            }
+        }
+    }
+}
+
+TEST(Router, RidesAShardWhosePortFileAppearsLate)
+{
+    // Shard 1's port file vanishes (as it would between generations
+    // of a supervised shard) and reappears 300 ms later.  The fan-out
+    // must ride that window through its retry policy.
+    FleetFixture fx(2, {.retries = 20, .budgetMs = 20000});
+    const MatrixQuery query = smallQuery();
+
+    const std::string port_file = fx.fleet().shards[1]->portFile;
+    const std::uint16_t real_port = support::readPortFile(port_file);
+    ASSERT_NE(real_port, 0);
+    std::remove(port_file.c_str());
+
+    std::thread restorer([&]() {
+        std::this_thread::sleep_for(std::chrono::milliseconds(300));
+        support::writeOneLineAtomic(port_file, real_port);
+    });
+
+    ExperimentDriver local(0, /*test_scale=*/true, /*jobs=*/1);
+    const MatrixResult fresh = runMatrixQuery(local, query);
+
+    net::Client client(fx.port());
+    const MatrixResult routed = client.matrix(query);
+    restorer.join();
+
+    EXPECT_EQ(routed.render(true), fresh.render(true));
+    EXPECT_TRUE(routed.quarantined.empty());
+}
+
+TEST(Router, SurvivesShardGenerationChurn)
+{
+    // Three "generations" of shard 1: each round the shard dies (its
+    // port file vanishes with it), a replacement comes up on a fresh
+    // ephemeral port a beat later, and a query issued inside the
+    // window still merges byte-identical to local.  This is the
+    // in-process half of tools/fleet_chaos.sh.
+    FleetFixture fx(2, {.retries = 20, .budgetMs = 20000});
+    const MatrixQuery query = smallQuery();
+
+    ExperimentDriver local(0, /*test_scale=*/true, /*jobs=*/1);
+    const MatrixResult fresh = runMatrixQuery(local, query);
+
+    net::Client client(fx.port());
+    const std::string port_file = fx.fleet().shards[1]->portFile;
+
+    std::unique_ptr<serve::Server> replacement;
+    std::thread replacementThread;
+    for (int generation = 0; generation < 3; ++generation) {
+        // The shard "dies": its port file disappears; requests in
+        // flight from here on must wait out the restart.
+        std::remove(port_file.c_str());
+        fx.fleet().shards[1]->generation.fetch_add(1);
+
+        std::thread restorer([&]() {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(150));
+            serve::ServerOptions opts;
+            opts.port = 0;
+            opts.testScale = true;
+            opts.jobs = 2;
+            auto next = std::make_unique<serve::Server>(opts);
+            ASSERT_TRUE(next->valid());
+            std::thread run_thread(
+                [srv = next.get()]() { srv->run(); });
+            if (replacement) {
+                replacement->stop();
+                replacementThread.join();
+            }
+            replacement = std::move(next);
+            replacementThread = std::move(run_thread);
+            support::writeOneLineAtomic(port_file,
+                                        replacement->port());
+        });
+
+        const MatrixResult routed = client.matrix(query);
+        restorer.join();
+        EXPECT_EQ(routed.render(true), fresh.render(true))
+            << "generation " << generation;
+        EXPECT_TRUE(routed.quarantined.empty());
+    }
+
+    if (replacement) {
+        replacement->stop();
+        replacementThread.join();
+    }
+}
+
+TEST(Router, HealthAggregatesPerShard)
+{
+    FleetFixture fx(3);
+
+    net::Client client(fx.port());
+    net::HealthInfo hi = client.health();
+    ASSERT_EQ(hi.shards.size(), 3u);
+    for (std::size_t i = 0; i < hi.shards.size(); ++i) {
+        EXPECT_EQ(hi.shards[i].index, i);
+        EXPECT_EQ(hi.shards[i].state, 0) << "shard " << i;
+        EXPECT_NE(hi.shards[i].port, 0u);
+    }
+
+    // A broken slot reports broken without being probed; the others
+    // stay serving.
+    fx.fleet().shards[2]->broken.store(true);
+    fx.fleet().shards[2]->restarts.store(7);
+    hi = client.health();
+    ASSERT_EQ(hi.shards.size(), 3u);
+    EXPECT_EQ(hi.shards[2].state, 2);
+    EXPECT_EQ(hi.shards[2].restarts, 7u);
+    EXPECT_EQ(hi.shards[0].state, 0);
+    EXPECT_EQ(hi.shards[1].state, 0);
+
+    // A slot whose port file is gone (shard down, supervisor between
+    // generations) reports restarting.
+    std::remove(fx.fleet().shards[1]->portFile.c_str());
+    hi = client.health();
+    EXPECT_EQ(hi.shards[1].state, 1);
+}
+
+TEST(Router, InfoAggregatesAcrossShards)
+{
+    FleetFixture fx(2);
+    net::Client client(fx.port());
+
+    const MatrixQuery query = smallQuery();
+    (void)client.matrix(query);
+
+    const net::ServerInfo si = client.info();
+    // Every unique cell simulated exactly once, somewhere.
+    const std::uint64_t direct0 =
+        fx.shard(0).infoSnapshot().simulated;
+    const std::uint64_t direct1 =
+        fx.shard(1).infoSnapshot().simulated;
+    EXPECT_EQ(si.simulated, direct0 + direct1);
+    EXPECT_GT(si.cachedCells, 0u);
+    EXPECT_EQ(si.requestsServed, 1u);
+}
+
+} // anonymous namespace
+} // namespace ddsc

@@ -6,6 +6,13 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+
+#include "support/portfile.hh"
 #include "support/random.hh"
 #include "support/sat_counter.hh"
 #include "support/stats.hh"
@@ -231,6 +238,69 @@ TEST(TextTable, NumFormatsDigits)
 {
     EXPECT_EQ(TextTable::num(1.234, 2), "1.23");
     EXPECT_EQ(TextTable::num(1.0, 0), "1");
+}
+
+TEST(PortFile, ReadToleratesMissingEmptyAndMalformed)
+{
+    const std::string path =
+        "/tmp/ddsc-portfile-test-" + std::to_string(::getpid());
+    std::remove(path.c_str());
+    EXPECT_EQ(support::readPortFile(path), 0);        // missing
+
+    for (const char *bytes : {"", "banana\n", "0\n", "70000\n"}) {
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        ASSERT_NE(f, nullptr);
+        std::fputs(bytes, f);
+        std::fclose(f);
+        EXPECT_EQ(support::readPortFile(path), 0) << bytes;
+    }
+
+    ASSERT_TRUE(support::writeOneLineAtomic(path, 7411));
+    EXPECT_EQ(support::readPortFile(path), 7411);
+
+    support::removeRuntimeFile(path);
+    EXPECT_EQ(support::readPortFile(path), 0);
+    support::removeRuntimeFile(path);   // idempotent on missing
+}
+
+TEST(PortFile, ConcurrentPollNeverSeesTornOrEmptyLine)
+{
+    // Regression for the original fopen("w")/fprintf port-file write:
+    // the in-place truncate let a concurrent poller read an *empty*
+    // file between open and write, which parses as port 0 and — in a
+    // retry loop riding a supervised restart — as a spurious dead
+    // generation.  With the atomic temp+rename write, a poller
+    // hammering the file while every generation rewrites it must only
+    // ever see a complete old line or a complete new line.
+    const std::string path =
+        "/tmp/ddsc-portfile-race-" + std::to_string(::getpid());
+    ASSERT_TRUE(support::writeOneLineAtomic(path, 1024));
+
+    std::atomic<bool> done{false};
+    std::atomic<std::uint64_t> reads{0};
+    std::atomic<std::uint64_t> bad{0};
+    std::thread poller([&]() {
+        while (!done.load()) {
+            const std::uint16_t port = support::readPortFile(path);
+            ++reads;
+            if (port < 1024)
+                ++bad;      // 0 = torn/empty/missing observed
+        }
+    });
+
+    // "Generations": rewrite the file a few thousand times with
+    // distinct valid ports while the poller hammers it.
+    for (unsigned generation = 0; generation < 4000; ++generation) {
+        ASSERT_TRUE(
+            support::writeOneLineAtomic(path,
+                                        1024 + (generation % 60000)));
+    }
+    done.store(true);
+    poller.join();
+
+    EXPECT_GT(reads.load(), 0u);
+    EXPECT_EQ(bad.load(), 0u);
+    support::removeRuntimeFile(path);
 }
 
 } // anonymous namespace

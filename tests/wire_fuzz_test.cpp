@@ -23,6 +23,7 @@
 
 #include "collapse/collapse_stats.hh"
 #include "core/sched_stats.hh"
+#include "net/protocol.hh"
 #include "sim/result_store.hh"
 #include "support/stats.hh"
 #include "support/wire.hh"
@@ -225,6 +226,190 @@ TEST(WireFuzz, RoundTripsStillWork)
         ASSERT_TRUE(decodeSchedStats(reader, stats));
         EXPECT_EQ(stats.instructions, sampleSchedStats().instructions);
         EXPECT_EQ(reader.remaining(), 0u);
+    }
+}
+
+// --- DDSN v4 fleet frames -------------------------------------------
+// CellsBatch (router→shard fan-out), CellsReplyMsg (shard→router
+// per-cell stats), and HealthInfo with per-shard entries (router
+// aggregated health) all cross the same trust boundary as the frames
+// above and get the same treatment.
+
+net::CellsBatch
+sampleBatch()
+{
+    net::CellsBatch batch;
+    for (const char *name : {"li", "go", "espresso"}) {
+        net::CellRef ref;
+        ref.workload = name;
+        ref.config = 'D';
+        ref.width = 16;
+        batch.cells.push_back(ref);
+    }
+    batch.deadlineMs = 1500;
+    return batch;
+}
+
+net::CellsReplyMsg
+sampleCellsReply()
+{
+    net::CellsReplyMsg msg;
+    net::CellOutcome ok;
+    ok.cell.workload = "li";
+    ok.cell.config = 'D';
+    ok.cell.width = 16;
+    ok.ok = 1;
+    ok.stats = sampleSchedStats();
+    msg.cells.push_back(ok);
+
+    net::CellOutcome failed;
+    failed.cell.workload = "go";
+    failed.cell.config = 'E';
+    failed.cell.width = 8;
+    failed.ok = 0;
+    failed.failure.key = "go/E/8";
+    failed.failure.message = "injected fault: cell-throw";
+    failed.failure.attempts = 3;
+    msg.cells.push_back(failed);
+
+    msg.simulated = 5;
+    msg.storeHits = 2;
+    msg.coalesced = 1;
+    return msg;
+}
+
+net::HealthInfo
+sampleFleetHealth()
+{
+    net::HealthInfo hi;
+    hi.uptimeMs = 123456;
+    hi.liveSessions = 3;
+    hi.quarantinedCells = 1;
+    hi.storeRecords = 44;
+    for (unsigned i = 0; i < 3; ++i) {
+        net::ShardHealth sh;
+        sh.index = i;
+        sh.state = static_cast<std::uint8_t>(i);    // one of each
+        sh.generation = 2 * i;
+        sh.restarts = i;
+        sh.storeRecords = 10 + i;
+        sh.port = i == 1 ? 0 : 40000 + i;
+        hi.shards.push_back(sh);
+    }
+    return hi;
+}
+
+TEST(WireFuzz, CellsBatchPrefixTruncationAlwaysFails)
+{
+    std::string encoded;
+    sampleBatch().encode(encoded);
+    expectEveryPrefixFails(encoded, [](support::wire::Reader &in) {
+        net::CellsBatch batch;
+        return batch.decode(in);
+    });
+}
+
+TEST(WireFuzz, CellsBatchLengthBombNeverOverallocates)
+{
+    std::string encoded;
+    sampleBatch().encode(encoded);
+    // The cell count leads the payload; claim ~2^64 cells.  The
+    // kMaxCells cap has to reject it before any reserve().
+    for (std::size_t pos = 0; pos < 8 && pos < encoded.size(); ++pos) {
+        std::string corrupt = encoded;
+        corrupt[pos] = '\xff';
+        support::wire::Reader reader(corrupt);
+        net::CellsBatch batch;
+        EXPECT_FALSE(batch.decode(reader)) << "length byte " << pos;
+    }
+    expectNoByteFlipThrows(encoded, [](support::wire::Reader &in) {
+        net::CellsBatch batch;
+        return batch.decode(in);
+    });
+}
+
+TEST(WireFuzz, CellsReplyPrefixTruncationAlwaysFails)
+{
+    std::string encoded;
+    sampleCellsReply().encode(encoded);
+    expectEveryPrefixFails(encoded, [](support::wire::Reader &in) {
+        net::CellsReplyMsg msg;
+        return msg.decode(in);
+    });
+}
+
+TEST(WireFuzz, CellsReplyByteCorruptionNeverThrows)
+{
+    std::string encoded;
+    sampleCellsReply().encode(encoded);
+    expectNoByteFlipThrows(encoded, [](support::wire::Reader &in) {
+        net::CellsReplyMsg msg;
+        return msg.decode(in);
+    });
+}
+
+TEST(WireFuzz, FleetHealthPrefixTruncationAlwaysFails)
+{
+    std::string encoded;
+    sampleFleetHealth().encode(encoded);
+    expectEveryPrefixFails(encoded, [](support::wire::Reader &in) {
+        net::HealthInfo hi;
+        return hi.decode(in);
+    });
+}
+
+TEST(WireFuzz, FleetHealthByteCorruptionNeverThrows)
+{
+    std::string encoded;
+    sampleFleetHealth().encode(encoded);
+    expectNoByteFlipThrows(encoded, [](support::wire::Reader &in) {
+        net::HealthInfo hi;
+        return hi.decode(in);
+    });
+}
+
+TEST(WireFuzz, FleetFramesRoundTrip)
+{
+    {
+        std::string encoded;
+        sampleBatch().encode(encoded);
+        support::wire::Reader reader(encoded);
+        net::CellsBatch batch;
+        ASSERT_TRUE(batch.decode(reader));
+        EXPECT_EQ(reader.remaining(), 0u);
+        ASSERT_EQ(batch.cells.size(), 3u);
+        EXPECT_EQ(batch.cells[2].workload, "espresso");
+        EXPECT_EQ(batch.cells[0].config, 'D');
+        EXPECT_EQ(batch.cells[0].width, 16u);
+        EXPECT_EQ(batch.deadlineMs, 1500u);
+    }
+    {
+        std::string encoded;
+        sampleCellsReply().encode(encoded);
+        support::wire::Reader reader(encoded);
+        net::CellsReplyMsg msg;
+        ASSERT_TRUE(msg.decode(reader));
+        EXPECT_EQ(reader.remaining(), 0u);
+        ASSERT_EQ(msg.cells.size(), 2u);
+        EXPECT_EQ(msg.cells[0].ok, 1);
+        EXPECT_EQ(msg.cells[0].stats.instructions,
+                  sampleSchedStats().instructions);
+        EXPECT_EQ(msg.cells[1].ok, 0);
+        EXPECT_EQ(msg.cells[1].failure.key, "go/E/8");
+        EXPECT_EQ(msg.cells[1].failure.attempts, 3u);
+        EXPECT_EQ(msg.simulated, 5u);
+    }
+    {
+        std::string encoded;
+        sampleFleetHealth().encode(encoded);
+        support::wire::Reader reader(encoded);
+        net::HealthInfo hi;
+        ASSERT_TRUE(hi.decode(reader));
+        EXPECT_EQ(reader.remaining(), 0u);
+        ASSERT_EQ(hi.shards.size(), 3u);
+        EXPECT_EQ(hi.shards[1].state, 1);
+        EXPECT_EQ(hi.shards[2].generation, 4u);
+        EXPECT_EQ(hi.shards[2].storeRecords, 12u);
     }
 }
 

@@ -7,7 +7,7 @@
  *               [--set all|pc|npc] [--configs ABCDE] [--widths 4,8,...]
  *               [--metric ipc|speedup|collapsed] [--csv]
  *               [--deadline-ms N] [--retries N] [--retry-budget-ms N]
- *               [--info] [--health] [--ping] [--version]
+ *               [--info] [--health [--json]] [--ping] [--version]
  *
  * Examples:
  *   ddsc-client --port 7411 --set pc --metric speedup
@@ -15,6 +15,9 @@
  *   ddsc-client --port 7411 --info
  *   ddsc-client --port-file /tmp/ddsc.port --retries 10 \
  *               --retry-budget-ms 60000   # rides across restarts
+ *   ddsc-client --port-file /tmp/ddsc.port --health --json \
+ *               # machine-readable; against a fleet router the
+ *               # scalars aggregate and "shards" lists each shard
  *
  * The matrix flags are exactly ddsc-matrix's, and for any query the
  * stdout bytes are identical to what ddsc-matrix prints for the same
@@ -47,6 +50,7 @@
 #include <vector>
 
 #include "net/client.hh"
+#include "support/portfile.hh"
 #include "support/version.hh"
 
 namespace
@@ -63,8 +67,9 @@ usage()
         "                   [--widths 4,8,...] "
         "[--metric ipc|speedup|collapsed]\n"
         "                   [--csv] [--deadline-ms N] [--retries N]\n"
-        "                   [--retry-budget-ms N] [--info] [--health] "
-        "[--ping] [--version]\n");
+        "                   [--retry-budget-ms N] [--info]\n"
+        "                   [--health [--json]] [--ping] "
+        "[--version]\n");
     std::exit(2);
 }
 
@@ -90,21 +95,57 @@ parseWidths(const std::string &spec)
     return widths;
 }
 
-/** Read the server's port file; 0 when missing, empty, or malformed
- *  (all transient during a supervised restart — the retry policy
- *  treats 0 as a retryable transport failure). */
-std::uint16_t
-readPortFile(const std::string &path)
+/** The aggregated health as one JSON object on stdout.  Every value
+ *  is a number or a fixed keyword, so no string escaping is needed. */
+void
+printHealthJson(const net::HealthInfo &hi)
 {
-    std::FILE *f = std::fopen(path.c_str(), "r");
-    if (f == nullptr)
-        return 0;
-    unsigned port = 0;
-    const int n = std::fscanf(f, "%u", &port);
-    std::fclose(f);
-    if (n != 1 || port == 0 || port > 65535)
-        return 0;
-    return static_cast<std::uint16_t>(port);
+    std::printf("{\n");
+    std::printf("  \"uptime_ms\": %llu,\n",
+                static_cast<unsigned long long>(hi.uptimeMs));
+    std::printf("  \"generation\": %llu,\n",
+                static_cast<unsigned long long>(hi.generation));
+    std::printf("  \"live_sessions\": %llu,\n",
+                static_cast<unsigned long long>(hi.liveSessions));
+    std::printf("  \"quarantined_cells\": %llu,\n",
+                static_cast<unsigned long long>(hi.quarantinedCells));
+    std::printf("  \"registry_depth\": %llu,\n",
+                static_cast<unsigned long long>(hi.registryDepth));
+    std::printf("  \"stalled_cells\": %llu,\n",
+                static_cast<unsigned long long>(hi.stalledCells));
+    std::printf("  \"store_records\": %llu,\n",
+                static_cast<unsigned long long>(hi.storeRecords));
+    std::printf("  \"watchdog_budget_ms\": %llu,\n",
+                static_cast<unsigned long long>(hi.watchdogBudgetMs));
+    std::printf("  \"trace_mapped_bytes\": %llu,\n",
+                static_cast<unsigned long long>(hi.traceMappedBytes));
+    std::printf("  \"trace_resident_bytes\": %llu,\n",
+                static_cast<unsigned long long>(
+                    hi.traceResidentBytes));
+    std::printf("  \"trace_budget_bytes\": %llu,\n",
+                static_cast<unsigned long long>(hi.traceBudgetBytes));
+    std::printf("  \"trace_evictions\": %llu,\n",
+                static_cast<unsigned long long>(hi.traceEvictions));
+    std::printf("  \"shards\": [");
+    for (std::size_t i = 0; i < hi.shards.size(); ++i) {
+        const net::ShardHealth &sh = hi.shards[i];
+        std::printf("%s\n    {\"index\": %u, \"state\": \"%s\", "
+                    "\"generation\": %llu, \"restarts\": %llu, "
+                    "\"port\": %u, \"stalled_cells\": %llu, "
+                    "\"quarantined_cells\": %llu, "
+                    "\"store_records\": %llu}",
+                    i == 0 ? "" : ",",
+                    static_cast<unsigned>(sh.index),
+                    net::shardStateName(sh.state),
+                    static_cast<unsigned long long>(sh.generation),
+                    static_cast<unsigned long long>(sh.restarts),
+                    static_cast<unsigned>(sh.port),
+                    static_cast<unsigned long long>(sh.stalledCells),
+                    static_cast<unsigned long long>(
+                        sh.quarantinedCells),
+                    static_cast<unsigned long long>(sh.storeRecords));
+    }
+    std::printf("%s]\n}\n", hi.shards.empty() ? "" : "\n  ");
 }
 
 } // anonymous namespace
@@ -116,6 +157,7 @@ main(int argc, char **argv)
     bool csv = false;
     bool info = false;
     bool health = false;
+    bool json = false;
     bool ping = false;
     std::uint16_t port = 7411;
     std::string port_file;
@@ -158,6 +200,8 @@ main(int argc, char **argv)
             info = true;
         } else if (arg == "--health") {
             health = true;
+        } else if (arg == "--json") {
+            json = true;
         } else if (arg == "--ping") {
             ping = true;
         } else if (arg == "--version") {
@@ -167,6 +211,8 @@ main(int argc, char **argv)
             usage();
         }
     }
+    if (json && !health)
+        usage();
     std::string why;
     if (!info && !health && !ping && !query.validate(&why)) {
         std::fprintf(stderr, "ddsc-client: %s\n", why.c_str());
@@ -180,7 +226,7 @@ main(int argc, char **argv)
         // file once its listener is live.
         auto provider = [port, port_file]() -> std::uint16_t {
             if (!port_file.empty())
-                return readPortFile(port_file);
+                return support::readPortFile(port_file);
             return port;
         };
         net::Client client(provider, -1, policy);
@@ -220,6 +266,10 @@ main(int argc, char **argv)
         }
         if (health) {
             const net::HealthInfo hi = client.health();
+            if (json) {
+                printHealthJson(hi);
+                return 0;
+            }
             std::printf("uptime ms         : %llu\n",
                         static_cast<unsigned long long>(hi.uptimeMs));
             std::printf("generation        : %llu\n",
@@ -255,6 +305,20 @@ main(int argc, char **argv)
             std::printf("trace evictions   : %llu\n",
                         static_cast<unsigned long long>(
                             hi.traceEvictions));
+            for (const net::ShardHealth &sh : hi.shards) {
+                std::printf("shard %-12u: %s, generation %llu, "
+                            "%llu restart(s), port %u, "
+                            "%llu store record(s)\n",
+                            static_cast<unsigned>(sh.index),
+                            net::shardStateName(sh.state),
+                            static_cast<unsigned long long>(
+                                sh.generation),
+                            static_cast<unsigned long long>(
+                                sh.restarts),
+                            static_cast<unsigned>(sh.port),
+                            static_cast<unsigned long long>(
+                                sh.storeRecords));
+            }
             return 0;
         }
 

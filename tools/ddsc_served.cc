@@ -7,6 +7,8 @@
  *               [--cache-dir DIR] [--max-sessions N]
  *               [--trace-dir DIR] [--trace-budget-mb N]
  *               [--watchdog-budget-ms N] [--supervise]
+ *               [--fleet K] [--runtime-dir DIR]
+ *               [--router-retry-budget-ms N] [--generation N]
  *               [--pid-file PATH] [--max-restarts K]
  *               [--batched|--no-batched] [--version]
  *
@@ -15,6 +17,8 @@
  *   ddsc-served --port 0 --port-file /tmp/ddsc.port   # ephemeral port
  *   ddsc-served --supervise --port 0 --port-file /tmp/ddsc.port \
  *               --pid-file /tmp/ddsc.pid --cache-dir /var/tmp/ddsc
+ *   ddsc-served --fleet 3 --port 0 --port-file /tmp/ddsc.port \
+ *               --runtime-dir /tmp/ddsc-fleet --cache-dir /var/tmp/ddsc
  *
  * The server keeps traces and every simulated cell resident, so the
  * first client pays for a sweep once and every later identical query
@@ -56,10 +60,24 @@
  * one streaming front-end pass (served bytes are bit-identical either
  * way).  --no-batched restores the one-cell-at-a-time engine.
  *
+ * --fleet K runs the sharded serving fleet instead of one server: K
+ * crash-only shards (each one of these processes, exec'd with --port
+ * 0 and its own --port-file/--pid-file under --runtime-dir and its
+ * own store under <cache-dir>/shard-<i>), each supervised and
+ * restarted independently, fronted by a fan-out/merge router that
+ * answers the same protocol on --port/--port-file.  A killed shard
+ * only ever loses its own in-flight cells; the router retries them
+ * against the shard's next generation (--router-retry-budget-ms caps
+ * how long), and a shard whose flap breaker trips degrades to typed
+ * per-cell errors while the rest of the fleet keeps serving.
+ * --generation is internal: the fleet manager stamps each shard life
+ * with it.
+ *
  * SIGINT/SIGTERM drain: in-flight requests finish and reply, new
- * connections are refused, the store is flushed and compacted, and
- * the process exits 0.  The supervisor forwards the signal to the
- * serving child and exits cleanly once the drain finishes.
+ * connections are refused, the store is flushed and compacted, the
+ * pid/port files are removed, and the process exits 0.  The
+ * supervisor forwards the signal to the serving child and exits
+ * cleanly once the drain finishes.
  */
 
 #include <cerrno>
@@ -68,13 +86,16 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <poll.h>
 #include <string>
 #include <sys/types.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include "serve/fleet.hh"
 #include "serve/server.hh"
+#include "support/portfile.hh"
 #include "support/shutdown.hh"
 #include "support/version.hh"
 
@@ -91,6 +112,8 @@ usage()
         "                   [--cache-dir DIR] [--max-sessions N]\n"
         "                   [--trace-dir DIR] [--trace-budget-mb N]\n"
         "                   [--watchdog-budget-ms N] [--supervise]\n"
+        "                   [--fleet K] [--runtime-dir DIR]\n"
+        "                   [--router-retry-budget-ms N]\n"
         "                   [--pid-file PATH] [--max-restarts K]\n"
         "                   [--batched|--no-batched] [--version]\n");
     std::exit(2);
@@ -100,14 +123,14 @@ bool
 writeOneLine(const std::string &path, unsigned long long value,
              const char *what)
 {
-    std::FILE *f = std::fopen(path.c_str(), "w");
-    if (f == nullptr) {
-        std::fprintf(stderr, "ddsc-served: cannot write %s %s\n",
-                     what, path.c_str());
+    // Atomic (temp + rename): pollers of the port file must never see
+    // a truncated or torn line — see support/portfile.hh.
+    std::string err;
+    if (!support::writeOneLineAtomic(path, value, &err)) {
+        std::fprintf(stderr, "ddsc-served: cannot write %s %s: %s\n",
+                     what, path.c_str(), err.c_str());
         return false;
     }
-    std::fprintf(f, "%llu\n", value);
-    std::fclose(f);
     return true;
 }
 
@@ -159,7 +182,29 @@ runServer(const serve::ServerOptions &opts,
                      server.infoSnapshot().storeHits),
                  static_cast<unsigned long long>(
                      server.infoSnapshot().coalesced));
+
+    // A clean drain (SIGTERM / exit 0) leaves no stale runtime files
+    // behind; a crash leaves them for the next generation to rewrite.
+    if (!port_file.empty())
+        support::removeRuntimeFile(port_file);
+    if (!pid_file.empty())
+        support::removeRuntimeFile(pid_file);
     return 0;
+}
+
+/** Absolute path of this very binary, for re-exec'ing fleet shards.
+ *  Falls back to argv[0] when /proc/self/exe is unreadable. */
+std::string
+selfExePath(const char *argv0)
+{
+    char buf[4096];
+    const ssize_t n =
+        ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    if (n > 0) {
+        buf[n] = '\0';
+        return buf;
+    }
+    return argv0;
 }
 
 /** Sleep up to @p delay_ms, returning early (true) when shutdown was
@@ -317,6 +362,9 @@ main(int argc, char **argv)
     std::string pid_file;
     bool do_supervise = false;
     unsigned max_restarts = 10;
+    unsigned fleet_shards = 0;      // 0 = single-server mode
+    std::string runtime_dir;
+    std::uint64_t router_retry_budget_ms = 0;   // 0 = default
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -358,6 +406,21 @@ main(int argc, char **argv)
             opts.batched = false;
         } else if (arg == "--supervise") {
             do_supervise = true;
+        } else if (arg == "--fleet") {
+            fleet_shards = static_cast<unsigned>(
+                std::atoi(value().c_str()));
+            if (fleet_shards == 0)
+                usage();
+        } else if (arg == "--runtime-dir") {
+            runtime_dir = value();
+        } else if (arg == "--router-retry-budget-ms") {
+            router_retry_budget_ms = static_cast<std::uint64_t>(
+                std::atoll(value().c_str()));
+        } else if (arg == "--generation") {
+            // Internal: the fleet manager (and nobody else) stamps
+            // each shard life with its generation number.
+            opts.generation = static_cast<std::uint64_t>(
+                std::atoll(value().c_str()));
         } else if (arg == "--max-restarts") {
             max_restarts = static_cast<unsigned>(
                 std::atoi(value().c_str()));
@@ -372,6 +435,42 @@ main(int argc, char **argv)
     }
 
     support::installShutdownHandler();
+
+    if (fleet_shards > 0) {
+        if (do_supervise) {
+            std::fprintf(stderr,
+                         "ddsc-served: --fleet already supervises "
+                         "each shard; drop --supervise\n");
+            usage();
+        }
+        serve::FleetOptions fopts;
+        fopts.shards = fleet_shards;
+        fopts.serverExe = selfExePath(argv[0]);
+        if (!runtime_dir.empty()) {
+            fopts.runtimeDir = runtime_dir;
+        } else if (!port_file.empty()) {
+            // Default the shard port/pid files next to the router's.
+            const std::string parent =
+                std::filesystem::path(port_file)
+                    .parent_path().string();
+            fopts.runtimeDir = parent.empty() ? "." : parent;
+        } else {
+            std::fprintf(stderr,
+                         "ddsc-served: --fleet needs --runtime-dir "
+                         "(or --port-file to default it from)\n");
+            usage();
+        }
+        fopts.cacheRoot = opts.cacheDir;
+        fopts.portFile = port_file;
+        fopts.pidFile = pid_file;
+        fopts.maxRestarts = max_restarts;
+        fopts.shardOpts = opts;
+        fopts.router.port = opts.port;
+        fopts.router.maxSessions = opts.maxSessions;
+        if (router_retry_budget_ms != 0)
+            fopts.router.retry.budgetMs = router_retry_budget_ms;
+        return serve::runFleet(fopts);
+    }
 
     if (do_supervise)
         return supervise(opts, port_file, pid_file, max_restarts);

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * ddsc-store — offline maintenance for result-store directories.
+ *
+ *   ddsc-store info DIR...
+ *       Load each store and report its path, live cells, and any
+ *       torn-tail or schema diagnosis from the load.
+ *
+ *   ddsc-store compact DIR...
+ *       Rewrite each store with exactly one record per live cell
+ *       (key-sorted, so the bytes are deterministic).
+ *
+ *   ddsc-store merge --into DIR SRC_DIR...
+ *       Fold the per-shard stores of a serving fleet (or any set of
+ *       stores) into one resumable store: every cell missing from DIR
+ *       is appended, byte-identical duplicates are skipped, and the
+ *       result is compacted.  A duplicate that *disagrees* (same cell
+ *       key, different fingerprint/digest/stats) keeps DIR's entry,
+ *       is named on stderr, and fails the merge with exit 1 — two
+ *       stores that dispute a cell should be inspected, not blessed.
+ *
+ * The compacted output is a deterministic function of the merged
+ * cells (key-sorted, canonical payloads): merging the same inputs
+ * always yields the same file, and a ddsc-matrix --resume run over it
+ * re-simulates nothing.
+ *
+ * Exit status: 0 clean, 1 merge conflicts, 2 usage or missing store.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "sim/result_store.hh"
+
+namespace
+{
+
+using namespace ddsc;
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(stderr,
+        "usage: ddsc-store info DIR...\n"
+        "       ddsc-store compact DIR...\n"
+        "       ddsc-store merge --into DIR SRC_DIR...\n");
+    std::exit(2);
+}
+
+/** Opening a store auto-creates the directory and file; for existing
+ *  inputs that courtesy would turn a typo into an empty store, so
+ *  demand the file up front. */
+void
+requireStore(const std::string &dir)
+{
+    const std::filesystem::path file =
+        std::filesystem::path(dir) / "results.ddsc";
+    std::error_code ec;
+    if (!std::filesystem::exists(file, ec)) {
+        std::fprintf(stderr,
+                     "ddsc-store: no result store in '%s' (expected "
+                     "%s)\n",
+                     dir.c_str(), file.string().c_str());
+        std::exit(2);
+    }
+}
+
+void
+printInfo(const ResultStore &store)
+{
+    const StoreLoadReport &report = store.loadReport();
+    std::printf("%s: %zu cells", store.path().c_str(), store.size());
+    if (report.discarded > 0)
+        std::printf(", %zu torn record(s) discarded",
+                    report.discarded);
+    if (report.schemaReset)
+        std::printf(", schema reset");
+    std::printf("\n");
+    if (!report.note.empty())
+        std::printf("  note: %s\n", report.note.c_str());
+}
+
+int
+cmdInfo(const std::vector<std::string> &dirs)
+{
+    for (const std::string &dir : dirs) {
+        requireStore(dir);
+        ResultStore store(dir);
+        printInfo(store);
+    }
+    return 0;
+}
+
+int
+cmdCompact(const std::vector<std::string> &dirs)
+{
+    for (const std::string &dir : dirs) {
+        requireStore(dir);
+        ResultStore store(dir);
+        const std::size_t cells = store.size();
+        store.compact();
+        std::printf("%s: compacted to %zu cell(s)\n",
+                    store.path().c_str(), cells);
+    }
+    return 0;
+}
+
+int
+cmdMerge(const std::string &into,
+         const std::vector<std::string> &sources)
+{
+    // The destination may not exist yet — the common case is merging
+    // shard stores into a fresh directory — but every source must.
+    for (const std::string &src : sources)
+        requireStore(src);
+
+    ResultStore dest(into);
+    StoreMergeReport total;
+    for (const std::string &src : sources) {
+        ResultStore shard(src);
+        const StoreMergeReport r = dest.absorb(shard);
+        std::printf("%s: +%zu cell(s), %zu duplicate(s), "
+                    "%zu conflict(s)\n",
+                    shard.path().c_str(), r.added, r.identical,
+                    r.conflicts);
+        total.added += r.added;
+        total.identical += r.identical;
+        total.conflicts += r.conflicts;
+    }
+    dest.compact();
+    std::printf("%s: %zu cell(s) after merge\n", dest.path().c_str(),
+                dest.size());
+
+    if (total.conflicts > 0) {
+        std::fprintf(stderr,
+                     "ddsc-store: %zu conflicting cell(s); the merged "
+                     "store kept the first version seen — inspect the "
+                     "inputs before trusting it\n",
+                     total.conflicts);
+        return 1;
+    }
+    return 0;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        usage();
+    const std::string cmd = argv[1];
+
+    std::vector<std::string> dirs;
+    std::string into;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--into") {
+            if (i + 1 >= argc)
+                usage();
+            into = argv[++i];
+        } else if (!arg.empty() && arg[0] == '-') {
+            usage();
+        } else {
+            dirs.push_back(arg);
+        }
+    }
+
+    if (cmd == "info" && !dirs.empty() && into.empty())
+        return cmdInfo(dirs);
+    if (cmd == "compact" && !dirs.empty() && into.empty())
+        return cmdCompact(dirs);
+    if (cmd == "merge" && !dirs.empty() && !into.empty())
+        return cmdMerge(into, dirs);
+    usage();
+}

@@ -1,0 +1,181 @@
+#!/usr/bin/env bash
+# Chaos soak of the sharded serving fleet, driven by ctest and CI:
+# `ddsc-served --fleet K` (K crash-only shards behind the fan-out
+# router), retrying clients, and a hostile operator killing individual
+# shards.
+#
+#   1. cold query      the routed fan-out/merge answer is
+#                      byte-identical to ddsc-matrix
+#   2. shard SIGKILL   kill -9 one shard at a time, >=3 kills total
+#      x3              across different shards, one of them raced
+#                      against an in-flight query (mid-fan-out): the
+#                      shard's supervisor restarts it, the router
+#                      rides onto the new generation through its
+#                      retries, every answer stays byte-identical, the
+#                      per-shard store record counts never decrease,
+#                      and the *other* shards answer health probes
+#                      throughout
+#   3. store merge     `ddsc-store merge` folds the per-shard stores
+#                      into one; a ddsc-matrix --resume over the
+#                      merged store simulates nothing and prints the
+#                      oracle bytes
+#   4. drain           SIGTERM to the fleet manager: every shard
+#                      drains, the router stops, runtime files are
+#                      removed, exit 0
+#
+# The in-process half (broken-shard typed degradation, restart riding,
+# health aggregation) lives in tests/router_test.cpp.
+#
+# usage: fleet_chaos.sh <ddsc-served> <ddsc-client> <ddsc-matrix> <ddsc-store>
+set -euo pipefail
+
+SERVED=$1
+CLIENT=$2
+MATRIX=$3
+STORE=$4
+
+export DDSC_TRACE_LIMIT=20000
+QUERY=(--set pc --configs AD --widths 4 --metric ipc --csv)
+RETRY=(--retries 20 --retry-budget-ms 60000)
+SHARDS=3
+
+work=$(mktemp -d)
+FLEET=
+cleanup() {
+    [ -n "$FLEET" ] && kill "$FLEET" 2>/dev/null || true
+    rm -rf "$work"
+}
+trap cleanup EXIT
+
+start_fleet() {
+    "$SERVED" --fleet "$SHARDS" --port 0 --port-file "$work/port" \
+        --pid-file "$work/pid" --runtime-dir "$work/rt" --jobs 2 \
+        --cache-dir "$work/cache" --max-restarts 50 \
+        --watchdog-budget-ms 10000 --router-retry-budget-ms 60000 \
+        2>> "$work/served.log" &
+    FLEET=$!
+    # The router's port file is the fleet's ready signal; then wait
+    # for every shard's own port file so kills have a real victim.
+    for _ in $(seq 1 150); do
+        [ -s "$work/port" ] && break
+        kill -0 "$FLEET" 2>/dev/null ||
+            { echo "fleet manager died while starting" >&2; return 1; }
+        sleep 0.1
+    done
+    [ -s "$work/port" ] ||
+        { echo "router never wrote its port file" >&2; return 1; }
+    for i in $(seq 0 $((SHARDS - 1))); do
+        wait_shard "$i"
+    done
+}
+
+wait_shard() { # args: shard index; its port file is its ready signal
+    for _ in $(seq 1 150); do
+        [ -s "$work/rt/shard-$1.port" ] && return 0
+        sleep 0.1
+    done
+    echo "shard $1 never wrote its port file" >&2
+    return 1
+}
+
+stop_fleet() { # SIGTERM: shards drain, router stops, exit 0
+    kill -TERM "$FLEET"
+    local rc=0
+    wait "$FLEET" || rc=$?
+    FLEET=
+    [ "$rc" -eq 0 ] ||
+        { echo "fleet manager exited $rc on SIGTERM" >&2; return 1; }
+}
+
+kill_shard() { # args: shard index; -9 the serving process
+    local victim
+    victim=$(cat "$work/rt/shard-$1.pid")
+    [ -n "$victim" ] || { echo "empty pid file for shard $1" >&2; return 1; }
+    rm -f "$work/rt/shard-$1.port"  # so wait_shard sees the *next* generation
+    kill -KILL "$victim"
+}
+
+query_matches_oracle() { # args: label
+    "$CLIENT" --port-file "$work/port" "${RETRY[@]}" "${QUERY[@]}" \
+        > "$work/$1.csv" 2> "$work/$1.log"
+    cmp "$work/oracle.csv" "$work/$1.csv" ||
+        { echo "$1: bytes diverged from the oracle" >&2; return 1; }
+}
+
+shard_records() { # args: shard index; durable records in its own store
+    "$STORE" info "$work/cache/shard-$1" |
+        awk -F: '{ n = $2; sub(/ */, "", n); sub(/ cells.*/, "", n); print n }'
+}
+
+fleet_serves_health() { # the router must answer with all shard rows
+    "$CLIENT" --port-file "$work/port" "${RETRY[@]}" --health --json \
+        > "$work/health.json"
+    local rows
+    rows=$(grep -c '"index"' "$work/health.json") || true
+    [ "$rows" -eq "$SHARDS" ] ||
+        { echo "health listed $rows of $SHARDS shards" >&2; return 1; }
+}
+
+"$MATRIX" "${QUERY[@]}" > "$work/oracle.csv" 2> /dev/null
+
+# --- 1 + 2: per-shard SIGKILL soak -------------------------------------
+start_fleet
+
+query_matches_oracle cold
+fleet_serves_health
+for i in $(seq 0 $((SHARDS - 1))); do
+    eval "records_$i=\$(shard_records $i)"
+done
+
+for round in 1 2 3; do
+    victim=$(( (round - 1) % SHARDS ))
+    kill_shard "$victim"
+    # Round 2 races the kill against an in-flight query instead of
+    # politely waiting for the restart: the router is mid-fan-out when
+    # the shard's generation dies under it.
+    if [ "$round" -ne 2 ]; then
+        wait_shard "$victim"
+    fi
+    # Healthy shards keep serving while the victim restarts.
+    fleet_serves_health
+    query_matches_oracle "kill$round"
+    for i in $(seq 0 $((SHARDS - 1))); do
+        prev=$(eval "echo \$records_$i")
+        next=$(shard_records "$i")
+        [ "$next" -ge "$prev" ] ||
+            { echo "shard $i store shrank: $prev -> $next" >&2; exit 1; }
+        eval "records_$i=$next"
+    done
+done
+
+kills=$(grep -c 'killed by signal 9' "$work/served.log") || true
+[ "$kills" -ge 3 ] ||
+    { echo "expected >=3 logged shard SIGKILLs, saw $kills" >&2; exit 1; }
+
+# --- 4 (drain before 3: merge wants quiesced stores) -------------------
+stop_fleet
+grep -q 'ddsc-served\[fleet\]: drained cleanly' "$work/served.log" ||
+    { echo "no clean fleet drain after SIGTERM" >&2; exit 1; }
+for f in "$work/port" "$work/pid" "$work"/rt/shard-*.port \
+         "$work"/rt/shard-*.pid; do
+    [ -e "$f" ] && { echo "stale runtime file after drain: $f" >&2; exit 1; }
+done
+
+# --- 3: merge the shard stores and resume over the result --------------
+"$STORE" merge --into "$work/merged" \
+    "$work"/cache/shard-* > "$work/merge.log"
+"$MATRIX" "${QUERY[@]}" --cache-dir "$work/merged" --resume \
+    > "$work/resumed.csv" 2> "$work/resume.log"
+cmp "$work/oracle.csv" "$work/resumed.csv" ||
+    { echo "resume over merged store diverged from the oracle" >&2; exit 1; }
+grep -q 'resuming from' "$work/resume.log" ||
+    { echo "resume did not load the merged store" >&2; exit 1; }
+# Every cell of the sweep must come from the merged store — nothing
+# re-simulates ("# N cells, ..." vs "# N cells served from ...").
+total=$(awk '/ cells,/ { print $2; exit }' "$work/resume.log")
+served=$(awk '/cells served from/ { print $2; exit }' "$work/resume.log")
+[ -n "$served" ] && [ "$served" = "$total" ] ||
+    { echo "resume served $served of $total cells from the merged store" >&2;
+      cat "$work/resume.log" >&2; exit 1; }
+
+echo "fleet chaos: OK"
