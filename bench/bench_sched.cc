@@ -288,6 +288,68 @@ main(int argc, char **argv)
                 mapped_instrs_per_sec, mapped_over_event,
                 mapped_mismatches);
 
+    // Module-sweep series: the speculation-module configurations
+    // (F = predicted memory disambiguation, G = FCM/stride value
+    // prediction) over the same matrix through the default batched
+    // path.  The A-E series above stay the untouched cross-PR
+    // baseline; this series tracks the new modules' simulation cost
+    // and pins their engine equivalence — every module cell is
+    // re-run on the event path and on the naive reference engine,
+    // and any digest divergence fails the bench like the gates above.
+    const std::string module_configs = "FG";
+    const auto module_cells = ExperimentDriver::cellsFor(
+        ExperimentDriver::everything(), module_configs, kTimedWidths);
+    ExperimentDriver module_driver(0, /*test_scale=*/true);
+    for (const WorkloadSpec *spec : ExperimentDriver::everything())
+        module_driver.trace(*spec);
+    const auto module_start = Clock::now();
+    module_driver.prefetch(module_cells);
+    const double module_elapsed =
+        std::chrono::duration<double>(Clock::now() - module_start)
+            .count();
+
+    std::vector<CellReport> module_reports;
+    std::uint64_t module_instrs = 0;
+    std::uint64_t module_nanos = 0;
+    unsigned module_mismatches = 0;
+    for (const ExperimentCell &cell : module_cells) {
+        const SchedStats &s =
+            module_driver.stats(*cell.spec, cell.config, cell.width);
+        const std::string key = cell.spec->name + "/" + cell.config +
+            "/" + MachineConfig::widthLabel(cell.width);
+        module_reports.push_back({key, s.instructions, s.cycles,
+                                  s.wallNanos, digest(s)});
+        module_instrs += s.instructions;
+        module_nanos += s.wallNanos;
+        if (cell.width > kVerifyWidths.back())
+            continue;       // the naive engine is O(window)/cycle
+        const SharedTrace &trace = module_driver.trace(*cell.spec);
+        const MachineConfig config =
+            MachineConfig::paper(cell.config, cell.width);
+        MachineConfig naive = config;
+        naive.naiveEngine = true;
+        const SchedStats fast = runOnce(trace, config);
+        const SchedStats slow = runOnce(trace, naive);
+        if (digest(fast) != digest(s) ||
+            !sameStats(fast, slow, key.c_str())) {
+            ++module_mismatches;
+            std::fprintf(stderr,
+                         "MISMATCH %s: module series batched %016"
+                         PRIx64 " event %016" PRIx64 "\n",
+                         key.c_str(), digest(s), digest(fast));
+        }
+    }
+    const double module_cell_seconds =
+        static_cast<double>(module_nanos) * 1e-9;
+    const double module_instrs_per_sec = module_cell_seconds > 0.0
+        ? static_cast<double>(module_instrs) / module_cell_seconds
+        : 0.0;
+    std::printf("modules (%s): %zu cells, %.2fs cell time (%.2fs "
+                "elapsed), %.0f instrs/sec, %u digest mismatches\n",
+                module_configs.c_str(), module_cells.size(),
+                module_cell_seconds, module_elapsed,
+                module_instrs_per_sec, module_mismatches);
+
     std::FILE *out = std::fopen(out_path, "w");
     if (!out) {
         std::fprintf(stderr, "cannot open %s\n", out_path);
@@ -322,6 +384,13 @@ main(int argc, char **argv)
                  mapped_cell_seconds, mapped_elapsed,
                  mapped_instrs_per_sec, mapped_over_event,
                  mapped_mismatches);
+    std::fprintf(out, "  \"modules\": {\"configs\": \"%s\", "
+                 "\"cells\": %zu, \"cellSeconds\": %.6f, "
+                 "\"elapsedSeconds\": %.6f, \"instrsPerSec\": %.0f, "
+                 "\"digestMismatches\": %u},\n",
+                 module_configs.c_str(), module_cells.size(),
+                 module_cell_seconds, module_elapsed,
+                 module_instrs_per_sec, module_mismatches);
     std::fprintf(out, "  \"perCell\": [\n");
     for (std::size_t i = 0; i < reports.size(); ++i) {
         const CellReport &r = reports[i];
@@ -332,6 +401,18 @@ main(int argc, char **argv)
                      r.key.c_str(), r.instructions, r.cycles,
                      r.wallNanos, r.digest,
                      i + 1 < reports.size() ? "," : "");
+    }
+    std::fprintf(out, "  ],\n");
+    std::fprintf(out, "  \"perCellModules\": [\n");
+    for (std::size_t i = 0; i < module_reports.size(); ++i) {
+        const CellReport &r = module_reports[i];
+        std::fprintf(out,
+                     "    {\"cell\": \"%s\", \"instructions\": %" PRIu64
+                     ", \"cycles\": %" PRIu64 ", \"wallNanos\": %" PRIu64
+                     ", \"digest\": \"%016" PRIx64 "\"}%s\n",
+                     r.key.c_str(), r.instructions, r.cycles,
+                     r.wallNanos, r.digest,
+                     i + 1 < module_reports.size() ? "," : "");
     }
     std::fprintf(out, "  ],\n");
     std::fprintf(out, "  \"perCellBatched\": [\n");
@@ -348,7 +429,7 @@ main(int argc, char **argv)
     std::printf("wrote %s\n", out_path);
 
     return mismatches == 0 && batched_mismatches == 0 &&
-                   mapped_mismatches == 0
+                   mapped_mismatches == 0 && module_mismatches == 0
                ? 0
                : 1;
 }

@@ -9,6 +9,12 @@
  *   D  base + d-collapsing + real load-speculation
  *   E  base + d-collapsing + ideal load-speculation
  * at issue widths 4, 8, 16, 32, and 2048 with window = 2 x width.
+ *
+ * The speculation-module extension adds configurations beyond the
+ * paper's matrix (src/spec/):
+ *   F  D with perfect memory disambiguation replaced by a predicted
+ *      one (store-set-style dependence predictor; violations squash)
+ *   G  D + context-based (FCM/stride hybrid) load-value prediction
  */
 
 #ifndef DDSC_CORE_CONFIG_HH
@@ -30,6 +36,20 @@ enum class LoadSpecMode
     None,   ///< loads wait for their address operands
     Real,   ///< two-delta stride table with confidence
     Ideal,  ///< every load address predicted correctly
+};
+
+/** Memory-disambiguation variants (the mem-dep speculation module). */
+enum class MemDepMode
+{
+    Perfect,    ///< paper: a load waits only for the true producing store
+    Predicted,  ///< store-set-style predictor; mispredictions squash
+};
+
+/** Which trained load-value predictor backs loadValuePrediction. */
+enum class ValuePredKind
+{
+    LastValue,  ///< last value + 2-bit confidence (historical module)
+    FcmStride,  ///< context(FCM)/stride hybrid with confidence gating
 };
 
 /**
@@ -81,6 +101,36 @@ struct MachineConfig
      */
     bool naiveEngine = false;
 
+    /**
+     * How loads are disambiguated against older stores.  Perfect is
+     * the paper's model (and the default of every paper config); the
+     * Predicted mode replaces it with a trained dependence predictor:
+     * a load predicted independent issues without waiting for the
+     * producing store, and a violation detected at issue time squashes
+     * it (re-issue cost memSquashPenalty, surfaced in SchedStats).
+     */
+    MemDepMode memDep = MemDepMode::Perfect;
+    /** Dependence-predictor table size (12 = 4096 entries). */
+    unsigned memDepIndexBits = 12;
+    /** Predict "dependent" only when confidence > threshold. */
+    unsigned memDepConfidenceThreshold = 1;
+    /** A store older than this many dynamic instructions counts as
+     *  resolved when training the dependence predictor (its value is
+     *  long since available, so speculating past it is free). */
+    unsigned memDepTrainDistance = 512;
+    /** Squash/re-issue cost in cycles charged to a load that issued
+     *  past a store it truly depended on. */
+    unsigned memSquashPenalty = 12;
+
+    /** Which trained predictor backs loadValuePrediction. */
+    ValuePredKind valuePredKind = ValuePredKind::LastValue;
+    /** Value-predictor table size (12 = 4096 entries). */
+    unsigned vpredIndexBits = 12;
+    /** Use a predicted value only when confidence > threshold. */
+    unsigned vpredConfidenceThreshold = 1;
+    /** FCM history depth (values hashed into the context). */
+    unsigned vpredHistoryLength = 4;
+
     /** Branch predictor size: bimodalN/gshareN+1 (13 = 8 kByte). */
     unsigned bpredIndexBits = 13;
     /** Address predictor table size (12 = 4096 entries). */
@@ -127,6 +177,15 @@ struct MachineConfig
         field(std::to_string(addrPredIndexBits));
         field(std::to_string(addrConfidenceThreshold));
         field(std::to_string(static_cast<unsigned>(addrPredKind)));
+        field(std::to_string(static_cast<unsigned>(memDep)));
+        field(std::to_string(memDepIndexBits));
+        field(std::to_string(memDepConfidenceThreshold));
+        field(std::to_string(memDepTrainDistance));
+        field(std::to_string(memSquashPenalty));
+        field(std::to_string(static_cast<unsigned>(valuePredKind)));
+        field(std::to_string(vpredIndexBits));
+        field(std::to_string(vpredConfidenceThreshold));
+        field(std::to_string(vpredHistoryLength));
         return fp;
     }
 
@@ -159,12 +218,31 @@ struct MachineConfig
         field(train_addr ? addrConfidenceThreshold : 0);
         field(train_addr ? static_cast<unsigned>(addrPredKind) : 0);
         field(loadValuePrediction);
+        field(loadValuePrediction
+                  ? static_cast<unsigned>(valuePredKind) : 0);
+        field(loadValuePrediction ? vpredIndexBits : 0);
+        field(loadValuePrediction ? vpredConfidenceThreshold : 0);
+        field(loadValuePrediction &&
+                      valuePredKind == ValuePredKind::FcmStride
+                  ? vpredHistoryLength : 0);
         field(realCtiPrediction);
         field(realCtiPrediction ? rasDepth : 0);
+        const bool train_memdep = memDep == MemDepMode::Predicted;
+        field(train_memdep);
+        field(train_memdep ? memDepIndexBits : 0);
+        field(train_memdep ? memDepConfidenceThreshold : 0);
+        field(train_memdep ? memDepTrainDistance : 0);
+        // memSquashPenalty is back-end-only: it shifts issue timing,
+        // never an annotation, so it must not split front-end groups.
         return fp;
     }
 
-    /** The five paper configurations by letter. */
+    /**
+     * The known configurations by letter: the paper's five (A-E) plus
+     * the speculation-module extension configs (F, G, ...), which ride
+     * the same char-letter plumbing through the matrix, the result
+     * store, and the serving fleet with zero protocol changes.
+     */
     static MachineConfig
     paper(char id, unsigned issue_width)
     {
@@ -189,10 +267,58 @@ struct MachineConfig
             cfg.collapsing = true;
             cfg.loadSpec = LoadSpecMode::Ideal;
             break;
+          case 'F':
+            // D with the paper's perfect disambiguation replaced by a
+            // predicted one (memory-dependence speculation module).
+            cfg.collapsing = true;
+            cfg.loadSpec = LoadSpecMode::Real;
+            cfg.memDep = MemDepMode::Predicted;
+            break;
+          case 'G':
+            // D plus context-based (FCM/stride hybrid) load-value
+            // prediction with confidence gating.
+            cfg.collapsing = true;
+            cfg.loadSpec = LoadSpecMode::Real;
+            cfg.loadValuePrediction = true;
+            cfg.valuePredKind = ValuePredKind::FcmStride;
+            break;
           default:
             ddsc_fatal("unknown configuration '%c'", id);
         }
         return cfg;
+    }
+
+    /** Every letter paper() accepts, in canonical order. */
+    static const std::string &
+    knownConfigs()
+    {
+        static const std::string letters = "ABCDEFG";
+        return letters;
+    }
+
+    /** Whether @p id names a known configuration letter. */
+    static bool
+    isKnownConfig(char id)
+    {
+        return knownConfigs().find(id) != std::string::npos;
+    }
+
+    /** One-line summary of a configuration letter. */
+    static const char *
+    letterSummary(char id)
+    {
+        switch (id) {
+          case 'A': return "base superscalar";
+          case 'B': return "base + real load-address speculation";
+          case 'C': return "base + d-collapsing";
+          case 'D': return "collapsing + real load-address speculation";
+          case 'E': return "collapsing + ideal load-address speculation";
+          case 'F': return "D with predicted memory disambiguation "
+                           "(squash on violation)";
+          case 'G': return "D + context (FCM/stride) load-value "
+                           "prediction";
+          default:  return "unknown";
+        }
     }
 
     /** The issue widths the paper sweeps. */

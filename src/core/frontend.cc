@@ -16,15 +16,10 @@ struct SpecFrontEnd::StorePage
 };
 
 SpecFrontEnd::SpecFrontEnd(const MachineConfig &config)
-    : collapseColumns_(config.collapsing),
-      trainAddr_(config.loadSpec == LoadSpecMode::Real),
-      trainValues_(config.loadValuePrediction),
-      realCti_(config.realCtiPrediction),
+    : realCti_(config.realCtiPrediction),
       bpred_(std::make_unique<CombiningPredictor>(config.bpredIndexBits)),
-      addrPred_(makeAddressPredictor(config.addrPredKind,
-                                     config.addrPredIndexBits,
-                                     config.addrConfidenceThreshold)),
-      ras_(config.rasDepth)
+      ras_(config.rasDepth),
+      stack_(config, trains_)
 {
 }
 
@@ -34,14 +29,14 @@ void
 SpecFrontEnd::reset()
 {
     bpred_->reset();
-    addrPred_->reset();
-    valuePred_.reset();
+    stack_.reset();
     ras_.reset();
     itb_.reset();
     std::fill(std::begin(lastRegWriter_), std::end(lastRegWriter_),
               std::uint64_t{0});
     lastCCWriter_ = 0;
     lastBarrier_ = 0;
+    lastStoreSeq_ = 0;
     // Seqs restart at 1, so stale store pages must not be consulted:
     // bump the epoch and let pages lazily re-zero on first touch.
     ++storeEpoch_;
@@ -87,11 +82,7 @@ SpecFrontEnd::annotate(const TraceRecord &rec, InsertAnnotation &out)
 {
     const std::uint64_t seq = nextSeq_++;
     out = InsertAnnotation{};
-    if (collapseColumns_) {
-        out.expr = ExprSize::of(rec);
-        out.sigLen = static_cast<std::uint8_t>(
-            appendInstructionSignature(rec, out.sig.data()));
-    }
+    stack_.annotateRecord(rec, out);    // phase 1: collapse columns
     out.bbId = nextBbId_;
     if (isControl(rec.cls()))
         ++nextBbId_;                // this instruction ends its block
@@ -155,29 +146,23 @@ SpecFrontEnd::annotate(const TraceRecord &rec, InsertAnnotation &out)
 
     // --- RAW producer seqs, in the back-end's canonical arc order:
     // data sources, address sources, condition codes, memory ----------
-    const auto dep = [&](std::uint64_t producer_seq, bool address) {
-        if (producer_seq == 0)
-            return;     // no producer; the back-end would drop it too
-        ddsc_assert(out.depCount < 4, "annotation dep overflow");
-        if (address)
-            out.depAddrMask |=
-                static_cast<std::uint8_t>(1u << out.depCount);
-        out.depSeq[out.depCount++] = producer_seq;
-    };
     for (const int reg : rec.dataSources()) {
         if (reg >= 0)
-            dep(lastRegWriter_[reg], false);
+            out.addDep(lastRegWriter_[reg], false);
     }
     for (const int reg : rec.addressSources()) {
         if (reg >= 0)
-            dep(lastRegWriter_[reg], true);
+            out.addDep(lastRegWriter_[reg], true);
     }
     if (rec.readsCC())
-        dep(lastCCWriter_, false);
+        out.addDep(lastCCWriter_, false);
+
+    // Ground truth for the speculation modules: perfect disambiguation
+    // (the most recent store that wrote one of this load's bytes) and
+    // the youngest store overall.
+    spec::MemDepObservation mem;
+    mem.lastStoreSeq = lastStoreSeq_;
     if (rec.isLoad()) {
-        // Perfect disambiguation: the most recent store that wrote one
-        // of this load's bytes.
-        std::uint64_t mem_dep = 0;
         const StorePage *page = nullptr;
         std::uint64_t page_base = 1;    // unaligned = no page yet
         for (unsigned b = 0; b < rec.memSize(); ++b) {
@@ -188,35 +173,15 @@ SpecFrontEnd::annotate(const TraceRecord &rec, InsertAnnotation &out)
                 page_base = base;
             }
             if (page)
-                mem_dep = std::max(
-                    mem_dep, page->seq[addr & (kStorePageBytes - 1)]);
+                mem.perfectDepSeq = std::max(
+                    mem.perfectDepSeq,
+                    page->seq[addr & (kStorePageBytes - 1)]);
         }
-        dep(mem_dep, false);
     }
 
-    // --- load-speculation table (trained by every load, in order) ----
-    if (rec.isLoad() && trainAddr_) {
-        const AddrPrediction pred = addrPred_->predict(rec.pc);
-        if (pred.usable) {
-            out.flags |= InsertAnnotation::kFlagPredUsable;
-            if (pred.addr == rec.ea)
-                out.flags |= InsertAnnotation::kFlagPredCorrect;
-        }
-        addrPred_->update(rec.pc, rec.ea);
-        ++trains_.address;
-    }
-
-    // --- value-prediction extension (Figure 1.d) ----------------------
-    if (rec.isLoad() && trainValues_) {
-        const ValuePrediction vp = valuePred_.predict(rec.pc);
-        if (vp.usable) {
-            out.flags |= InsertAnnotation::kFlagVpredUsable;
-            if (vp.value == rec.memValue)
-                out.flags |= InsertAnnotation::kFlagVpredCorrect;
-        }
-        valuePred_.update(rec.pc, rec.memValue);
-        ++trains_.value;
-    }
+    // --- phase 2: the module stack appends the memory arc, trains the
+    // load predictors, and sets the speculation outcome flags ---------
+    stack_.proposeRelaxations(rec, seq, mem, out);
 
     // --- update producer tables (after reading them) ------------------
     const int dest = rec.destReg();
@@ -234,6 +199,7 @@ SpecFrontEnd::annotate(const TraceRecord &rec, InsertAnnotation &out)
     if (rec.setsCC())
         lastCCWriter_ = seq;
     if (rec.isStore()) {
+        lastStoreSeq_ = seq;
         StorePage *page = nullptr;
         std::uint64_t page_base = 1;
         for (unsigned b = 0; b < rec.memSize(); ++b) {

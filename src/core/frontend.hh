@@ -16,11 +16,18 @@
  *  - ideal-rename producer tracking (last writer per register, last
  *    cc writer) and perfect memory disambiguation (last store per
  *    byte), i.e. the raw RAW dependence seqs of every record;
- *  - address-predictor and value-predictor training and their
- *    per-load outcomes (usable/correct flags);
  *  - the node-elimination overwrite bookkeeping (which older writer a
  *    record's destination overwrites, and whether a live cc value
  *    blocks eliminating it).
+ *
+ * Everything *speculative about dependences* — the memory arc
+ * (perfect or predicted), address-predictor and value-predictor
+ * training and their per-load outcome flags, collapse-detection
+ * columns — is delegated to an ordered stack of speculation modules
+ * (src/spec/): the front-end resolves ground truth, the stack
+ * proposes relaxations.  See spec/orchestrator.hh for the stack
+ * order, which preserves the historical annotate() operation order
+ * exactly.
  *
  * The result is one InsertAnnotation per record.  A width-W back-end
  * combines (record, annotation) with its own window state —
@@ -50,75 +57,17 @@
 
 #include <array>
 
-#include "addrpred/addrpred.hh"
 #include "bpred/bpred.hh"
 #include "bpred/cti_pred.hh"
 #include "collapse/rules.hh"
+#include "core/annotation.hh"
 #include "core/config.hh"
+#include "spec/orchestrator.hh"
 #include "trace/record.hh"
 #include "trace/source.hh"
-#include "vpred/vpred.hh"
 
 namespace ddsc
 {
-
-/** Width-independent annotation of one dynamic instruction. */
-struct InsertAnnotation
-{
-    /** Flag bits (see kFlag* below). */
-    std::uint16_t flags = 0;
-    /** RAW producer seqs in canonical arc order (data, address, cc,
-     *  memory); zeros already dropped.  kFlagDepAddr marks address
-     *  arcs. */
-    std::uint8_t depCount = 0;
-    std::uint8_t depAddrMask = 0;   ///< bit i: deps[i] feeds the address
-    std::uint64_t depSeq[4] = {0, 0, 0, 0};
-    /** Last mispredicted branch older than this record (0 = none). */
-    std::uint64_t barrierSeq = 0;
-    /** Dynamic basic-block id. */
-    std::uint64_t bbId = 0;
-    /** Previous writer of this record's destination register (0 =
-     *  none); the node-elimination candidate this record overwrites. */
-    std::uint64_t elimOldWriter = 0;
-
-    /** Collapse-rule detection, computed only when the front-end has
-     *  collapse columns enabled (any consumer collapses): the
-     *  record's compound-expression size and its paper signature
-     *  fragment.  Both are pure functions of the record, so one
-     *  front-end pass serves every collapsing back-end. */
-    ExprSize expr;
-    std::array<char, kMaxInstructionSignature> sig = {};
-    std::uint8_t sigLen = 0;
-
-    /// This record is a conditional branch (counts toward condBranches).
-    static constexpr std::uint16_t kFlagCondBranch = 1u << 0;
-    /// The branch predictor got it wrong (counts toward mispredicts).
-    static constexpr std::uint16_t kFlagMispredict = 1u << 1;
-    /// A real-CTI prediction was made (counts toward ctiPredictions).
-    static constexpr std::uint16_t kFlagCtiPrediction = 1u << 2;
-    /// ...and it was wrong (counts toward ctiMispredicts).
-    static constexpr std::uint16_t kFlagCtiMispredict = 1u << 3;
-    /// Address-predictor confidence exceeded the threshold.
-    static constexpr std::uint16_t kFlagPredUsable = 1u << 4;
-    /// ...and the predicted address was right.
-    static constexpr std::uint16_t kFlagPredCorrect = 1u << 5;
-    /// Value-predictor confidence held.
-    static constexpr std::uint16_t kFlagVpredUsable = 1u << 6;
-    /// ...and the predicted value was right.
-    static constexpr std::uint16_t kFlagVpredCorrect = 1u << 7;
-    /// elimOldWriter still holds the live cc value: not eliminable.
-    static constexpr std::uint16_t kFlagElimCcBlocked = 1u << 8;
-};
-
-/** How many times each predictor structure was trained (the
- *  train-exactly-once-per-record property test reads these). */
-struct FrontEndTrainCounts
-{
-    std::uint64_t branch = 0;   ///< CombiningPredictor updates
-    std::uint64_t address = 0;  ///< AddressPredictor updates
-    std::uint64_t value = 0;    ///< LoadValuePredictor updates
-    std::uint64_t cti = 0;      ///< RAS/ITB operations
-};
 
 /**
  * One structure-of-arrays chunk of annotated records.  Arrays are
@@ -201,7 +150,7 @@ class SpecFrontEnd
      *  sizes and signature fragments).  The constructor enables them
      *  iff the owning configuration collapses; a shared batched pass
      *  enables them when any consumer in its group does. */
-    void setCollapseColumns(bool on) { collapseColumns_ = on; }
+    void setCollapseColumns(bool on) { stack_.setCollapseColumns(on); }
 
     /** Annotate the next record in program order. */
     void annotate(const TraceRecord &rec, InsertAnnotation &out);
@@ -218,25 +167,31 @@ class SpecFrontEnd
     /** Records annotated since the last reset(). */
     std::uint64_t recordsAnnotated() const { return nextSeq_ - 1; }
 
+    /** The speculation-module stack this front-end composed. */
+    const spec::SpeculationStack &stack() const { return stack_; }
+
   private:
     struct StorePage;
     StorePage *storePage(std::uint64_t base, bool create);
 
-    bool collapseColumns_;      ///< annotate expr + signature fragment
-    bool trainAddr_;            ///< loadSpec == Real
-    bool trainValues_;          ///< loadValuePrediction
     bool realCti_;              ///< realCtiPrediction
 
     std::unique_ptr<BranchPredictor> bpred_;
-    std::unique_ptr<AddressPredictor> addrPred_;
-    LoadValuePredictor valuePred_;
     ReturnAddressStack ras_;
     IndirectTargetBuffer itb_;
+
+    /** Training activity; declared before stack_, whose modules hold
+     *  a reference into it. */
+    FrontEndTrainCounts trains_;
+    /** The ordered speculation-module stack (collapse columns, memory
+     *  arc, address/value prediction). */
+    spec::SpeculationStack stack_;
 
     /** Rename state: last writer seq per register (0 = none). */
     std::uint64_t lastRegWriter_[kNumRegs] = {};
     std::uint64_t lastCCWriter_ = 0;
     std::uint64_t lastBarrier_ = 0;     ///< last mispredicted branch
+    std::uint64_t lastStoreSeq_ = 0;    ///< youngest store, any address
 
     /** Perfect disambiguation: last store seq per byte, held in 4 KiB
      *  pages keyed by page base address, epoch-invalidated between
@@ -250,7 +205,6 @@ class SpecFrontEnd
 
     std::uint64_t nextSeq_ = 1;         ///< 0 reserved for "none"
     std::uint64_t nextBbId_ = 0;
-    FrontEndTrainCounts trains_;
 };
 
 } // namespace ddsc

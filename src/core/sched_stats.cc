@@ -35,6 +35,15 @@ digestSchedStats(const SchedStats &s)
     h = fold(h, s.eliminatedInstructions);
     h = fold(h, s.valuePredHits);
     h = fold(h, s.valuePredWrong);
+    // Folded only when active so digests of configs that cannot
+    // exercise memory-dependence speculation (the paper's A-E) stay
+    // comparable across tool versions that predate the counters.
+    if ((s.memDepPredictedDeps | s.memDepFalseDeps |
+         s.memDepSquashes) != 0) {
+        h = fold(h, s.memDepPredictedDeps);
+        h = fold(h, s.memDepFalseDeps);
+        h = fold(h, s.memDepSquashes);
+    }
     h = fold(h, s.collapse.events());
     h = fold(h, s.collapse.pairEvents());
     h = fold(h, s.collapse.tripleEvents());

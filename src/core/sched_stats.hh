@@ -43,6 +43,16 @@ struct SchedStats
     std::uint64_t valuePredHits = 0;
     std::uint64_t valuePredWrong = 0;
 
+    /** Memory-dependence speculation (MemDepMode::Predicted; all zero
+     *  under the paper's perfect disambiguation).  Predicted = loads
+     *  the predictor marked dependent; false = predicted dependent
+     *  with no true producer (charged a conservative arc to the
+     *  youngest store); squashes = loads that issued past a store they
+     *  truly depended on and paid memSquashPenalty. */
+    std::uint64_t memDepPredictedDeps = 0;
+    std::uint64_t memDepFalseDeps = 0;
+    std::uint64_t memDepSquashes = 0;
+
     CollapseStats collapse;
 
     /** Instructions issued per cycle (key = count, including zero). */

@@ -376,6 +376,8 @@ LimitScheduler::insertAnnotated(const TraceRecord &rec,
     entry.wakeHead = 0;
     entry.wakeNextPromote = 0;
     entry.wakeNextClassify = 0;
+    entry.memSpecSeq = 0;
+    entry.memSquashed = false;
     entry.rec = rec;
     entry.seq = seq;
     entry.live = true;
@@ -406,7 +408,23 @@ LimitScheduler::insertAnnotated(const TraceRecord &rec,
     entry.barrierSeq = ann.barrierSeq;
 
     // --- RAW arcs (register, cc, memory — annotated in order) --------
-    for (unsigned i = 0; i < ann.depCount; ++i)
+    unsigned num_deps = ann.depCount;
+    if (config_.memDep == MemDepMode::Predicted &&
+        (ann.flags & InsertAnnotation::kFlagMemDepActual) &&
+        !(ann.flags & InsertAnnotation::kFlagMemDepPredicted)) {
+        // Speculated independent: the true producing store (always the
+        // last annotated dep) travels out-of-band instead of as an
+        // arc, so readiness and classification ignore it; the issue
+        // stage detects the violation, restores the arc, and charges
+        // the squash at the re-issue (divertViolatedLoad).
+        entry.memSpecSeq = ann.depSeq[num_deps - 1];
+        --num_deps;
+    }
+    if (ann.flags & InsertAnnotation::kFlagMemDepPredicted)
+        ++stats_.memDepPredictedDeps;
+    if (ann.flags & InsertAnnotation::kFlagMemDepFalse)
+        ++stats_.memDepFalseDeps;
+    for (unsigned i = 0; i < num_deps; ++i)
         addArc(entry, ann.depSeq[i], (ann.depAddrMask >> i) & 1);
 
     // --- d-collapsing --------------------------------------------------
@@ -684,6 +702,11 @@ LimitScheduler::issueReady(std::uint64_t &last_issue_cycle,
                 removeFromWindow(seq);
                 continue;
             }
+            if (entry.memSpecSeq != 0 &&
+                !arcSatisfied(DepArc{entry.memSpecSeq, false, false},
+                              cycle_) &&
+                !divertViolatedLoad(entry))
+                continue;   // squashed: waits for the restored arc
             issue(entry, cycle_);
             last_issue_cycle = cycle_;
             any_issue = true;
@@ -750,6 +773,18 @@ LimitScheduler::classifyLoad(Entry &entry, std::uint64_t cycle)
         entry.loadClass = LoadClass::NotPredicted;
     }
 
+    // Predicted-independent load whose true producing store has not
+    // delivered yet: the speculative access would read memory before
+    // the store writes it, so its data cannot stand — suppress the
+    // delivery (dependents wait for the load's own issue, where the
+    // violation is detected and charged).  A correct *value*
+    // prediction below is exempt: the predicted value verifies against
+    // post-store memory, so it is architecturally final regardless of
+    // store timing.
+    if (entry.specValueSet && entry.memSpecSeq != 0 &&
+        !arcSatisfied(DepArc{entry.memSpecSeq, false, false}, cycle))
+        entry.specValueSet = false;
+
     // Value-prediction extension: a confident correct value prediction
     // beats even a correct address prediction -- dependents get the
     // value one cycle after the load's other constraints hold, without
@@ -777,12 +812,61 @@ LimitScheduler::classifyLoad(Entry &entry, std::uint64_t cycle)
         wakeAt(entry, entry.valueTime);
 }
 
+bool
+LimitScheduler::divertViolatedLoad(Entry &entry)
+{
+    // Memory-dependence violation: this load was speculated
+    // independent and reached issue before the store it truly depends
+    // on could have delivered its value.
+    ++stats_.memDepSquashes;
+    const std::uint64_t store_seq = entry.memSpecSeq;
+    entry.memSpecSeq = 0;       // one squash per load
+    if (entry.vpredUsable && entry.vpredCorrect && entry.specValueSet) {
+        // A verified value prediction already supplied the
+        // architecturally final value — the trace records post-store
+        // memory — so the violation costs nothing: the re-execution
+        // is off the critical path.
+        return true;
+    }
+    // Squash and re-issue: the correct value cannot exist before the
+    // store produces it, so the load goes back to waiting on the
+    // restored dependence and issues again once that arc is satisfied,
+    // paying the squash penalty on top of its access latency then.
+    entry.specValueSet = false;
+    entry.memSquashed = true;
+    addArc(entry, store_seq, /*address=*/false);
+    entry.ready = false;
+    readyBits_[(entry.seq & slotMask_) >> 6] &=
+        ~(std::uint64_t{1} << (entry.seq & 63));
+    --readyCount_;
+    // Re-register with the active engine's wait machinery (the naive
+    // engine rescans every unready entry each cycle; nothing to do).
+    if (wakeMode_) {
+        const WakeCheck c = wakeCheckAll(entry, cycle_);
+        ddsc_assert(!c.ok, "violated load immediately re-ready");
+        if (c.blocker != 0)
+            registerWaiter(c.blocker, entry, /*classify_kind=*/false);
+        else
+            pending_.push(c.due, cycle_, entry.seq);
+    } else if (!config_.naiveEngine) {
+        const Check check = checkAll(entry, cycle_);
+        ddsc_assert(!check.ok, "violated load immediately re-ready");
+        pending_.push(check.bound, cycle_, entry.seq);
+    }
+    return false;
+}
+
 void
 LimitScheduler::issue(Entry &entry, std::uint64_t cycle)
 {
     entry.issued = true;
-    if (!entry.specValueSet)
-        entry.valueTime = cycle + opLatency(entry.rec.op);
+    if (!entry.specValueSet) {
+        // A load re-issuing after a memory-dependence squash pays the
+        // modeled squash/refetch penalty on top of its latency.
+        const std::uint64_t penalty =
+            entry.memSquashed ? config_.memSquashPenalty : 0;
+        entry.valueTime = cycle + opLatency(entry.rec.op) + penalty;
+    }
     recordRetired(entry.seq, entry.valueTime);
     // Batched engine: the value's exact arrival cycle is now known;
     // waiters re-evaluate then.  (No collapsed-arc waiter can remain:

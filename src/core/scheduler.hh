@@ -174,6 +174,17 @@ class LimitScheduler
         bool vpredUsable = false;       ///< value prediction confident
         bool vpredCorrect = false;      ///< predicted value == actual
 
+        /** Memory-dependence speculation (MemDepMode::Predicted): the
+         *  true producing store this load was speculated *past* (0 =
+         *  none).  Not an arc — readiness and classification ignore
+         *  it; issueReady() probes it when the load reaches issue and
+         *  squashes on violation (divertViolatedLoad). */
+        std::uint64_t memSpecSeq = 0;
+        /** Squashed on a memory-dependence violation: the load was
+         *  sent back to wait on the restored store arc and pays the
+         *  squash penalty at its eventual re-issue. */
+        bool memSquashed = false;
+
         /** Collapsing bookkeeping.  Absorbed producers' signature
          *  fragments and seqs are copied by value: a producer may
          *  issue and leave the window while this entry still waits,
@@ -242,6 +253,12 @@ class LimitScheduler
 
     void classifyLoad(Entry &entry, std::uint64_t cycle);
     void issue(Entry &entry, std::uint64_t cycle);
+
+    /** Memory-dependence violation at issue: squash the load.  Returns
+     *  true when it may still issue this cycle (violation-proof value
+     *  prediction); false when it was sent back to wait on the
+     *  restored store arc (re-registered with the active engine). */
+    bool divertViolatedLoad(Entry &entry);
 
     /** The in-window entry with sequence number @p seq, or nullptr
      *  (one ring index plus a tag compare). */

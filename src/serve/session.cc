@@ -189,7 +189,7 @@ Session::handleCells(const net::Frame &frame)
             return sendError(net::ErrCode::BadRequest,
                              "unknown workload '" + ref.workload +
                                  "'");
-        if (ref.config < 'A' || ref.config > 'E')
+        if (!MachineConfig::isKnownConfig(ref.config))
             return sendError(net::ErrCode::BadRequest,
                              std::string("unknown configuration '") +
                                  ref.config + "'");

@@ -57,10 +57,12 @@ MatrixQuery::validate(std::string *why) const
     };
     if (set != "all" && set != "pc" && set != "npc")
         return fail("set must be all|pc|npc, not '" + set + "'");
-    if (configs.empty() || configs.size() > 5)
-        return fail("configs must name 1-5 of A..E");
+    const std::string &known = MachineConfig::knownConfigs();
+    if (configs.empty() || configs.size() > known.size())
+        return fail("configs must name 1-" +
+                    std::to_string(known.size()) + " of " + known);
     for (const char c : configs) {
-        if (c < 'A' || c > 'E')
+        if (!MachineConfig::isKnownConfig(c))
             return fail(std::string("unknown configuration '") + c +
                         "'");
     }

@@ -39,6 +39,10 @@ encodeSchedStats(std::string &out, const SchedStats &stats)
     putU64(out, stats.eliminatedInstructions);
     putU64(out, stats.valuePredHits);
     putU64(out, stats.valuePredWrong);
+    // Schema 2: memory-dependence speculation counters.
+    putU64(out, stats.memDepPredictedDeps);
+    putU64(out, stats.memDepFalseDeps);
+    putU64(out, stats.memDepSquashes);
     stats.collapse.encode(out);
     stats.issuedPerCycle.encode(out);
     putU64(out, stats.wallNanos);
@@ -64,6 +68,9 @@ decodeSchedStats(support::wire::Reader &in, SchedStats &stats)
     stats.eliminatedInstructions = in.u64();
     stats.valuePredHits = in.u64();
     stats.valuePredWrong = in.u64();
+    stats.memDepPredictedDeps = in.u64();
+    stats.memDepFalseDeps = in.u64();
+    stats.memDepSquashes = in.u64();
     if (!stats.collapse.decode(in) ||
         !stats.issuedPerCycle.decode(in)) {
         stats = SchedStats();

@@ -1,0 +1,53 @@
+#include "addr_spec_module.hh"
+
+#include <cstdio>
+
+namespace ddsc::spec
+{
+
+AddrSpecModule::AddrSpecModule(const MachineConfig &config,
+                               FrontEndTrainCounts &trains)
+    : kind_(config.addrPredKind),
+      predictor_(makeAddressPredictor(config.addrPredKind,
+                                      config.addrPredIndexBits,
+                                      config.addrConfidenceThreshold)),
+      trains_(trains)
+{
+}
+
+std::string
+AddrSpecModule::describe() const
+{
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "addr-spec(%.*s)",
+                  static_cast<int>(addrPredKindName(kind_).size()),
+                  addrPredKindName(kind_).data());
+    return buf;
+}
+
+void
+AddrSpecModule::reset()
+{
+    predictor_->reset();
+}
+
+void
+AddrSpecModule::proposeRelaxations(const TraceRecord &rec, std::uint64_t,
+                                   const MemDepObservation &,
+                                   InsertAnnotation &ann)
+{
+    if (!rec.isLoad())
+        return;
+    // Trained by every load, in program order, whether or not the
+    // prediction is used (the paper's Section 3 discipline).
+    const AddrPrediction pred = predictor_->predict(rec.pc);
+    if (pred.usable) {
+        ann.flags |= InsertAnnotation::kFlagPredUsable;
+        if (pred.addr == rec.ea)
+            ann.flags |= InsertAnnotation::kFlagPredCorrect;
+    }
+    predictor_->update(rec.pc, rec.ea);
+    ++trains_.address;
+}
+
+} // namespace ddsc::spec

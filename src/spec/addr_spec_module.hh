@@ -1,0 +1,46 @@
+/**
+ * @file
+ * The load-address speculation module (the paper's d-speculation).
+ *
+ * Owns the realistic address predictor (two-delta by default) and sets
+ * the kFlagPredUsable/kFlagPredCorrect outcome flags the back-end's
+ * load classifier consumes.  Ideal address speculation (config E) needs
+ * no module: the back-end treats every load as predicted correctly.
+ */
+
+#ifndef DDSC_SPEC_ADDR_SPEC_MODULE_HH
+#define DDSC_SPEC_ADDR_SPEC_MODULE_HH
+
+#include <memory>
+
+#include "addrpred/addrpred.hh"
+#include "core/config.hh"
+#include "spec/module.hh"
+
+namespace ddsc::spec
+{
+
+/** Two-delta (or selected-kind) load-address speculation. */
+class AddrSpecModule final : public SpeculationModule
+{
+  public:
+    AddrSpecModule(const MachineConfig &config,
+                   FrontEndTrainCounts &trains);
+
+    const char *name() const override { return "addr-spec"; }
+    std::string describe() const override;
+    void reset() override;
+
+    void proposeRelaxations(const TraceRecord &rec, std::uint64_t seq,
+                            const MemDepObservation &mem,
+                            InsertAnnotation &ann) override;
+
+  private:
+    AddrPredKind kind_;
+    std::unique_ptr<AddressPredictor> predictor_;
+    FrontEndTrainCounts &trains_;
+};
+
+} // namespace ddsc::spec
+
+#endif // DDSC_SPEC_ADDR_SPEC_MODULE_HH

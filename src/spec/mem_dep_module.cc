@@ -1,0 +1,115 @@
+#include "mem_dep_module.hh"
+
+#include <cstdio>
+
+#include "support/logging.hh"
+
+namespace ddsc::spec
+{
+
+MemDepPredictor::MemDepPredictor(unsigned index_bits,
+                                 unsigned confidence_threshold)
+    : threshold_(confidence_threshold)
+{
+    ddsc_assert(index_bits >= 1 && index_bits <= 24,
+                "unreasonable predictor size 2^%u", index_bits);
+    table_.assign(std::size_t{1} << index_bits, SatCounter{2, 0});
+}
+
+std::size_t
+MemDepPredictor::indexOf(std::uint64_t pc) const
+{
+    // Instructions are word aligned; drop the two dead bits.
+    return (pc >> 2) & (table_.size() - 1);
+}
+
+bool
+MemDepPredictor::predictDependent(std::uint64_t pc) const
+{
+    return table_[indexOf(pc)].value() > threshold_;
+}
+
+void
+MemDepPredictor::update(std::uint64_t pc, bool dependent)
+{
+    SatCounter &counter = table_[indexOf(pc)];
+    if (dependent)
+        counter.increment(2);   // learn collisions fast: squashes are
+    else                        // much dearer than false dependences
+        counter.decrement(1);
+}
+
+void
+MemDepPredictor::reset()
+{
+    for (SatCounter &counter : table_)
+        counter = SatCounter{2, 0};
+}
+
+MemDepModule::MemDepModule(const MachineConfig &config,
+                           FrontEndTrainCounts &trains)
+    : mode_(config.memDep),
+      trainDistance_(config.memDepTrainDistance),
+      predictor_(config.memDepIndexBits, config.memDepConfidenceThreshold),
+      trains_(trains)
+{
+}
+
+std::string
+MemDepModule::describe() const
+{
+    if (mode_ == MemDepMode::Perfect)
+        return "mem-dep(perfect disambiguation)";
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "mem-dep(predicted, %zu entries, train-dist %u)",
+                  predictor_.entries(), trainDistance_);
+    return buf;
+}
+
+void
+MemDepModule::reset()
+{
+    predictor_.reset();
+}
+
+void
+MemDepModule::proposeRelaxations(const TraceRecord &rec, std::uint64_t seq,
+                                 const MemDepObservation &mem,
+                                 InsertAnnotation &ann)
+{
+    if (!rec.isLoad())
+        return;
+    if (mode_ == MemDepMode::Perfect) {
+        // The paper's model, byte-for-byte: the memory arc (if any) is
+        // the last arc, appended after data/address/cc producers.
+        ann.addDep(mem.perfectDepSeq, false);
+        return;
+    }
+
+    const bool predicted = predictor_.predictDependent(rec.pc);
+    // A producer far enough in the past has long since retired, so
+    // issuing past it cannot squash; train "independent" for those.
+    const bool dependent = mem.perfectDepSeq != 0 &&
+                           seq - mem.perfectDepSeq <= trainDistance_;
+    predictor_.update(rec.pc, dependent);
+    ++trains_.memdep;
+
+    if (predicted)
+        ann.flags |= InsertAnnotation::kFlagMemDepPredicted;
+    if (mem.perfectDepSeq != 0) {
+        // The true arc always travels with the annotation; the back-end
+        // enforces it (predicted dependent) or speculates past it and
+        // squashes on violation (predicted independent).
+        ann.flags |= InsertAnnotation::kFlagMemDepActual;
+        ann.addDep(mem.perfectDepSeq, false);
+    } else if (predicted && mem.lastStoreSeq != 0 && ann.depCount < 4) {
+        // Predicted dependent, but no store actually conflicts: charge
+        // the classic false-dependence cost by waiting on the youngest
+        // store.
+        ann.flags |= InsertAnnotation::kFlagMemDepFalse;
+        ann.addDep(mem.lastStoreSeq, false);
+    }
+}
+
+} // namespace ddsc::spec

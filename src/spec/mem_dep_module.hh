@@ -1,0 +1,104 @@
+/**
+ * @file
+ * The memory-dependence speculation module.
+ *
+ * The paper assumes *perfect* memory disambiguation: a load waits for
+ * exactly the most recent store that wrote one of its bytes, nothing
+ * else.  This module owns that memory arc and offers two modes:
+ *
+ *  - Perfect (default, all paper configs): append the perfect arc the
+ *    paper's model prescribes.  Byte-identical to the historical
+ *    hard-wired behaviour.
+ *
+ *  - Predicted (config F): a store-set-style collision-history
+ *    predictor, indexed by load pc, guesses whether the load depends
+ *    on a recent store.  A load predicted *independent* keeps its true
+ *    arc in the annotation but flagged speculative — the back-end
+ *    issues it without waiting and squashes it when the store's value
+ *    was genuinely not available yet (see LimitScheduler::issue).  A
+ *    load predicted *dependent* that really is dependent simply keeps
+ *    its arc; one predicted dependent with no true producer gets a
+ *    conservative arc to the youngest store (the classic store-barrier
+ *    false-dependence cost), flagged so SchedStats can count it.
+ *
+ * Training is width-independent: the predictor learns "dependent" when
+ * the perfect producer is within memDepTrainDistance dynamic
+ * instructions (a farther store has long since resolved, so
+ * speculating past it can never squash), and "independent" otherwise.
+ * The counter moves up by 2 and down by 1, biasing toward predicting
+ * dependences — a squash costs far more than a false dependence, the
+ * same asymmetry store-set predictors encode.
+ */
+
+#ifndef DDSC_SPEC_MEM_DEP_MODULE_HH
+#define DDSC_SPEC_MEM_DEP_MODULE_HH
+
+#include <vector>
+
+#include "core/config.hh"
+#include "spec/module.hh"
+#include "support/sat_counter.hh"
+
+namespace ddsc::spec
+{
+
+/**
+ * Direct-mapped collision-history table: one saturating confidence
+ * counter per load pc, predicting "this load collides with a recent
+ * store".
+ */
+class MemDepPredictor
+{
+  public:
+    /**
+     * @param index_bits log2 of the entry count.
+     * @param confidence_threshold predict dependent when counter >
+     *        this.
+     */
+    explicit MemDepPredictor(unsigned index_bits = 12,
+                             unsigned confidence_threshold = 1);
+
+    /** Would this load collide with a recent store? */
+    bool predictDependent(std::uint64_t pc) const;
+
+    /** Train with the perfect-disambiguation outcome (every load). */
+    void update(std::uint64_t pc, bool dependent);
+
+    /** Clear all state. */
+    void reset();
+
+    /** Entry count (for reporting). */
+    std::size_t entries() const { return table_.size(); }
+
+  private:
+    std::size_t indexOf(std::uint64_t pc) const;
+
+    unsigned threshold_;
+    std::vector<SatCounter> table_;
+};
+
+/** The module: owns the memory arc of every load's annotation. */
+class MemDepModule final : public SpeculationModule
+{
+  public:
+    MemDepModule(const MachineConfig &config,
+                 FrontEndTrainCounts &trains);
+
+    const char *name() const override { return "mem-dep"; }
+    std::string describe() const override;
+    void reset() override;
+
+    void proposeRelaxations(const TraceRecord &rec, std::uint64_t seq,
+                            const MemDepObservation &mem,
+                            InsertAnnotation &ann) override;
+
+  private:
+    MemDepMode mode_;
+    unsigned trainDistance_;
+    MemDepPredictor predictor_;
+    FrontEndTrainCounts &trains_;
+};
+
+} // namespace ddsc::spec
+
+#endif // DDSC_SPEC_MEM_DEP_MODULE_HH

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * The pluggable speculation-module interface.
+ *
+ * The paper studies exactly two dependence-relaxing mechanisms —
+ * two-delta load-address speculation and 3-1/4-1 collapsing — both
+ * historically hard-wired into the front-end's annotate() loop.  This
+ * interface generalizes them, following SCAF-style speculation
+ * frameworks: each module is an independent unit that *proposes*
+ * removable or relaxable dependences for the record being annotated,
+ * trains its own predictor structures exactly once per record, and
+ * describes itself for tooling.  An ordered stack of modules
+ * (spec/orchestrator.hh) is composed inside SpecFrontEnd; the window
+ * back-ends consume only the annotation the stack produced, so a
+ * module never sees (or depends on) issue width or window state, and
+ * one front-end pass still feeds any number of back-end cells.
+ *
+ * A module participates in up to two per-record phases, both in
+ * program order:
+ *
+ *  1. annotateRecord() — before dependence computation.  For columns
+ *     that are pure functions of the record (the collapse module's
+ *     expression sizes and signature fragments).
+ *  2. proposeRelaxations() — after the core front-end has resolved the
+ *     record's register/cc RAW producers and (for loads) the
+ *     perfect-disambiguation memory producer.  Modules append arcs,
+ *     set outcome flags, and train their predictors here.  The memory
+ *     module owns the memory arc outright: in Perfect mode it appends
+ *     the paper's exact arc, in Predicted mode it may withhold it
+ *     (speculating no-dependence) or add a conservative arc to the
+ *     youngest store (a predicted dependence that does not exist).
+ *
+ * Misspeculation *costs* are modeled in the back-end (a withheld arc
+ * that turns out unsatisfied at issue time squashes the load —
+ * LimitScheduler::issue), because cost is a property of issue timing,
+ * which the width-independent front-end cannot see.  Misspeculation
+ * *outcomes*, however, are decided entirely here, from the annotation
+ * flags, so every engine agrees by construction.
+ */
+
+#ifndef DDSC_SPEC_MODULE_HH
+#define DDSC_SPEC_MODULE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "core/annotation.hh"
+#include "trace/record.hh"
+
+namespace ddsc::spec
+{
+
+/** Ground truth the core front-end hands the phase-2 modules: the
+ *  perfect-disambiguation answer for this record (loads) and the most
+ *  recent store in program order (the conservative fallback producer
+ *  for falsely predicted dependences). */
+struct MemDepObservation
+{
+    /** The most recent store that wrote one of this load's bytes
+     *  (0 = none).  Meaningful only for loads. */
+    std::uint64_t perfectDepSeq = 0;
+    /** The most recent store of any address (0 = none). */
+    std::uint64_t lastStoreSeq = 0;
+};
+
+/**
+ * One speculation module.  Stateful (predictor tables); reset()
+ * restarts it for a new trace.  Modules are composed by
+ * SpeculationStack and must stay width-independent: everything they
+ * compute may depend only on the trace prefix.
+ */
+class SpeculationModule
+{
+  public:
+    virtual ~SpeculationModule() = default;
+
+    /** Short stable identifier ("collapse", "addr-spec", ...). */
+    virtual const char *name() const = 0;
+
+    /** One-line human description including the active knobs, shown
+     *  by `--list-configs` ("addr-spec(two-delta, 4096 entries, ...)"). */
+    virtual std::string describe() const = 0;
+
+    /** Restart for a new trace (predictor tables cleared). */
+    virtual void reset() {}
+
+    /** Phase 1: annotate columns that are pure functions of @p rec. */
+    virtual void
+    annotateRecord(const TraceRecord &rec, InsertAnnotation &ann)
+    {
+        (void)rec;
+        (void)ann;
+    }
+
+    /** Phase 2: propose dependence relaxations for @p rec (sequence
+     *  number @p seq), training predictors as a side effect.  Runs for
+     *  every record so modules can observe non-loads too; most check
+     *  rec.isLoad() first. */
+    virtual void
+    proposeRelaxations(const TraceRecord &rec, std::uint64_t seq,
+                       const MemDepObservation &mem,
+                       InsertAnnotation &ann)
+    {
+        (void)rec;
+        (void)seq;
+        (void)mem;
+        (void)ann;
+    }
+};
+
+} // namespace ddsc::spec
+
+#endif // DDSC_SPEC_MODULE_HH

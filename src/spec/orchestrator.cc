@@ -1,0 +1,94 @@
+#include "orchestrator.hh"
+
+#include "spec/addr_spec_module.hh"
+#include "spec/collapse_module.hh"
+#include "spec/mem_dep_module.hh"
+#include "spec/value_pred_module.hh"
+
+namespace ddsc::spec
+{
+
+SpeculationStack::SpeculationStack(const MachineConfig &config,
+                                   FrontEndTrainCounts &trains)
+{
+    // Phase 1: the collapse columns.  Always constructed so
+    // setCollapseColumns() can enable them later (the batched front-end
+    // turns them on when any consumer cell collapses); active only when
+    // the config itself collapses.
+    auto collapse = std::make_unique<CollapseModule>();
+    collapse_ = collapse.get();
+    owned_.push_back(std::move(collapse));
+    collapseOn_ = config.collapsing;
+
+    // Phase 2, in the order the historical front-end did the work:
+    // memory arc first, then address prediction, then value prediction.
+    auto memdep = std::make_unique<MemDepModule>(config, trains);
+    phase2_.push_back(memdep.get());
+    owned_.push_back(std::move(memdep));
+
+    if (config.loadSpec == LoadSpecMode::Real) {
+        auto addr = std::make_unique<AddrSpecModule>(config, trains);
+        phase2_.push_back(addr.get());
+        owned_.push_back(std::move(addr));
+    }
+
+    if (config.loadValuePrediction) {
+        auto value = std::make_unique<ValuePredModule>(config, trains);
+        phase2_.push_back(value.get());
+        owned_.push_back(std::move(value));
+    }
+}
+
+SpeculationStack::~SpeculationStack() = default;
+
+void
+SpeculationStack::reset()
+{
+    for (auto &module : owned_)
+        module->reset();
+}
+
+void
+SpeculationStack::setCollapseColumns(bool on)
+{
+    collapseOn_ = on;
+}
+
+std::vector<const SpeculationModule *>
+SpeculationStack::activeModules() const
+{
+    std::vector<const SpeculationModule *> active;
+    if (collapseOn_)
+        active.push_back(collapse_);
+    for (const SpeculationModule *module : phase2_)
+        active.push_back(module);
+    return active;
+}
+
+std::string
+SpeculationStack::describe() const
+{
+    std::string out;
+    for (const SpeculationModule *module : activeModules()) {
+        if (!out.empty())
+            out += " -> ";
+        out += module->describe();
+    }
+    return out;
+}
+
+std::string
+moduleStackSummary(const MachineConfig &config)
+{
+    FrontEndTrainCounts scratch;
+    SpeculationStack stack(config, scratch);
+    std::string out = stack.describe();
+    // Ideal address speculation bypasses the module stack (the
+    // back-end treats every load as predicted correctly); say so
+    // rather than listing nothing for it.
+    if (config.loadSpec == LoadSpecMode::Ideal)
+        out += " [+ ideal address oracle in back-end]";
+    return out;
+}
+
+} // namespace ddsc::spec

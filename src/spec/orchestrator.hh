@@ -1,0 +1,103 @@
+/**
+ * @file
+ * The speculation-module orchestrator: composes an ordered stack of
+ * SpeculationModules for one MachineConfig.
+ *
+ * Stack order is fixed and mirrors the order the historical hard-wired
+ * front-end did the same work (so the paper configs A-E annotate
+ * byte-identically through the refactored path):
+ *
+ *   phase 1 (before dependence computation)
+ *     collapse      expr sizes + signature columns   (collapsing on)
+ *   phase 2 (after RAW producers and perfect disambiguation resolve)
+ *     mem-dep       the memory arc (always present: Perfect mode is
+ *                   the paper's exact arc, Predicted mode config F)
+ *     addr-spec     two-delta address prediction     (loadSpec Real)
+ *     value-pred    last-value or FCM/stride hybrid  (loadValuePrediction)
+ *
+ * The stack is owned by SpecFrontEnd; one stack serves one front-end
+ * fingerprint group, so each module trains exactly once per record no
+ * matter how many back-end cells consume the batch.
+ */
+
+#ifndef DDSC_SPEC_ORCHESTRATOR_HH
+#define DDSC_SPEC_ORCHESTRATOR_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/config.hh"
+#include "spec/module.hh"
+
+namespace ddsc::spec
+{
+
+/** The ordered, config-selected module stack. */
+class SpeculationStack
+{
+  public:
+    /**
+     * Build the stack @p config calls for, wiring predictor training
+     * counters into @p trains (whose lifetime must cover the stack's).
+     */
+    SpeculationStack(const MachineConfig &config,
+                     FrontEndTrainCounts &trains);
+    ~SpeculationStack();
+
+    SpeculationStack(const SpeculationStack &) = delete;
+    SpeculationStack &operator=(const SpeculationStack &) = delete;
+
+    /** Restart every module for a new trace. */
+    void reset();
+
+    /**
+     * Enable/disable the phase-1 collapse columns after construction
+     * (the batched multi-config front-end enables them when *any*
+     * consumer cell collapses, mirroring the historical
+     * setCollapseColumns).
+     */
+    void setCollapseColumns(bool on);
+    /** Whether phase 1 currently annotates collapse columns. */
+    bool collapseColumns() const { return collapseOn_; }
+
+    /** Phase 1: pure-function-of-record columns. */
+    void
+    annotateRecord(const TraceRecord &rec, InsertAnnotation &ann)
+    {
+        if (collapseOn_)
+            collapse_->annotateRecord(rec, ann);
+    }
+
+    /** Phase 2: dependence relaxations + predictor training. */
+    void
+    proposeRelaxations(const TraceRecord &rec, std::uint64_t seq,
+                       const MemDepObservation &mem,
+                       InsertAnnotation &ann)
+    {
+        for (SpeculationModule *module : phase2_)
+            module->proposeRelaxations(rec, seq, mem, ann);
+    }
+
+    /** The active modules, in stack order (phase 1 then phase 2). */
+    std::vector<const SpeculationModule *> activeModules() const;
+
+    /** "collapse -> mem-dep(...) -> addr-spec(...)" (for tooling). */
+    std::string describe() const;
+
+  private:
+    std::vector<std::unique_ptr<SpeculationModule>> owned_;
+    SpeculationModule *collapse_ = nullptr;     ///< phase 1 (or null)
+    std::vector<SpeculationModule *> phase2_;   ///< in stack order
+    bool collapseOn_ = false;
+};
+
+/**
+ * One-line summary of the module stack a config letter activates,
+ * without building predictor tables (for `--list-configs`).
+ */
+std::string moduleStackSummary(const MachineConfig &config);
+
+} // namespace ddsc::spec
+
+#endif // DDSC_SPEC_ORCHESTRATOR_HH

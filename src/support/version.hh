@@ -36,11 +36,13 @@ constexpr std::uint32_t kTraceFormat = 4;       ///< v4: mmap'able blocks
 constexpr std::uint32_t kTraceStreamFormat = 3; ///< v3 added the CRC footer
 constexpr std::uint32_t kTraceLegacyFormat = 2; ///< v2 added memValue
 
-constexpr std::uint32_t kStoreSchema = 1;
+constexpr std::uint32_t kStoreSchema = 2;   ///< v2 added mem-dep
+                                            ///< speculation counters
 
-constexpr std::uint32_t kFingerprintSchema = 1;
+constexpr std::uint32_t kFingerprintSchema = 2; ///< v2 added the
+                                                ///< speculation-module knobs
 /** '|'-separated fields in MachineConfig::fingerprint(). */
-constexpr unsigned kFingerprintFields = 19;
+constexpr unsigned kFingerprintFields = 28;
 
 constexpr std::uint32_t kProtocol = 4;  ///< v4 added fleet cell batches
                                         ///< and per-shard health

@@ -3,10 +3,10 @@
  * ddsc-matrix: run an arbitrary slice of the experiment matrix.
  *
  * Usage:
- *   ddsc-matrix [--set all|pc|npc] [--configs ABCDE] [--widths 4,8,16]
+ *   ddsc-matrix [--set all|pc|npc] [--configs ABCDEFG] [--widths 4,8,16]
  *               [--metric ipc|speedup|collapsed] [--csv] [--jobs N]
  *               [--cache-dir DIR] [--resume] [--batched|--no-batched]
- *               [--trace-dir DIR] [--version]
+ *               [--trace-dir DIR] [--list-configs] [--version]
  *
  * Examples:
  *   ddsc-matrix --set pc --configs BDE --metric speedup
@@ -61,6 +61,7 @@
 #include "sim/experiment.hh"
 #include "sim/matrix_query.hh"
 #include "sim/result_store.hh"
+#include "spec/orchestrator.hh"
 #include "support/logging.hh"
 #include "support/shutdown.hh"
 #include "support/version.hh"
@@ -74,13 +75,33 @@ using namespace ddsc;
 usage()
 {
     std::fprintf(stderr,
-        "usage: ddsc-matrix [--set all|pc|npc] [--configs ABCDE]\n"
+        "usage: ddsc-matrix [--set all|pc|npc] [--configs ABCDEFG]\n"
         "                   [--widths 4,8,...] "
         "[--metric ipc|speedup|collapsed] [--csv] [--jobs N]\n"
         "                   [--cache-dir DIR] [--resume] "
         "[--batched|--no-batched]\n"
-        "                   [--trace-dir DIR] [--version]\n");
+        "                   [--trace-dir DIR] [--list-configs] "
+        "[--version]\n");
     std::exit(2);
+}
+
+/** `--list-configs`: every known configuration letter with its active
+ *  speculation-module stack and cache-key fingerprint. */
+[[noreturn]] void
+listConfigs()
+{
+    std::printf("known configurations (fingerprint schema %u, %u "
+                "fields; width 16 shown):\n",
+                support::version::kFingerprintSchema,
+                support::version::kFingerprintFields);
+    for (const char c : MachineConfig::knownConfigs()) {
+        const MachineConfig cfg = MachineConfig::paper(c, 16);
+        std::printf("  %c  %s\n", c, MachineConfig::letterSummary(c));
+        std::printf("     modules    : %s\n",
+                    spec::moduleStackSummary(cfg).c_str());
+        std::printf("     fingerprint: %s\n", cfg.fingerprint().c_str());
+    }
+    std::exit(0);
 }
 
 std::vector<unsigned>
@@ -151,6 +172,8 @@ main(int argc, char **argv)
             batched = true;
         } else if (arg == "--no-batched") {
             batched = false;
+        } else if (arg == "--list-configs") {
+            listConfigs();
         } else if (arg == "--version") {
             support::version::print("ddsc-matrix");
             return 0;

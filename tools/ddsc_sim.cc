@@ -14,7 +14,7 @@
  *   --trace FILE      simulate a binary trace file (see ddsc-asm);
  *                     a DDSCTRC v4 file with no --limit is mmap'd and
  *                     swept zero-copy instead of loaded into memory
- *   --config X..      one or more of A|B|C|D|E (default D); several
+ *   --config X..      one or more of A..G (default D); several
  *                     letters (e.g. --config ABDE) sweep the trace
  *                     through each machine, in parallel across --jobs
  *   --width N         issue width (default 16); window is 2x width
@@ -31,6 +31,8 @@
  *   --batched         share one front-end pass among configs whose
  *                     front-end knobs agree (default; bit-identical)
  *   --no-batched      simulate every config with its own full pass
+ *   --list-configs    print every known configuration letter with its
+ *                     speculation-module stack and fingerprint, exit
  *   --version         print format/schema versions and exit
  *
  * A config whose simulation keeps throwing is contained: the other
@@ -55,6 +57,7 @@
 
 #include "core/scheduler.hh"
 #include "masm/assembler.hh"
+#include "spec/orchestrator.hh"
 #include "trace/mapped.hh"
 #include "sim/batched.hh"
 #include "sim/result_store.hh"
@@ -76,12 +79,31 @@ usage()
 {
     std::fprintf(stderr,
         "usage: ddsc-sim --workload NAME | --asm FILE | --trace FILE\n"
-        "                [--scale N] [--config A..E ...] [--width N]\n"
+        "                [--scale N] [--config A..G ...] [--width N]\n"
         "                [--elim] [--addrpred twodelta|lastvalue|context]\n"
         "                [--limit N] [--jobs N] [--cache-dir DIR]\n"
-        "                [--resume] [--batched|--no-batched] "
-        "[--version]\n");
+        "                [--resume] [--batched|--no-batched]\n"
+        "                [--list-configs] [--version]\n");
     std::exit(2);
+}
+
+/** `--list-configs`: every known configuration letter with its active
+ *  speculation-module stack and cache-key fingerprint. */
+[[noreturn]] void
+listConfigs(unsigned width)
+{
+    std::printf("known configurations (fingerprint schema %u, %u "
+                "fields; width %u shown):\n",
+                support::version::kFingerprintSchema,
+                support::version::kFingerprintFields, width);
+    for (const char c : MachineConfig::knownConfigs()) {
+        const MachineConfig cfg = MachineConfig::paper(c, width);
+        std::printf("  %c  %s\n", c, MachineConfig::letterSummary(c));
+        std::printf("     modules    : %s\n",
+                    spec::moduleStackSummary(cfg).c_str());
+        std::printf("     fingerprint: %s\n", cfg.fingerprint().c_str());
+    }
+    std::exit(0);
 }
 
 std::string
@@ -134,6 +156,22 @@ printStats(const MachineConfig &config, const SchedStats &stats)
                     stats.collapse.pctOf(CollapseCategory::FourOne),
                     stats.collapse.pctOf(CollapseCategory::ZeroOp));
     }
+    if (config.memDep == MemDepMode::Predicted) {
+        std::printf("mem-dep     : %llu predicted dependent "
+                    "(%llu false), %llu squashes\n",
+                    static_cast<unsigned long long>(
+                        stats.memDepPredictedDeps),
+                    static_cast<unsigned long long>(
+                        stats.memDepFalseDeps),
+                    static_cast<unsigned long long>(
+                        stats.memDepSquashes));
+    }
+    if (config.loadValuePrediction) {
+        std::printf("value-pred  : %llu hits, %llu confident-wrong\n",
+                    static_cast<unsigned long long>(stats.valuePredHits),
+                    static_cast<unsigned long long>(
+                        stats.valuePredWrong));
+    }
     if (config.nodeElimination) {
         std::printf("eliminated  : %.2f%% of instructions\n",
                     stats.pctEliminated());
@@ -179,7 +217,7 @@ main(int argc, char **argv)
             if (v.empty())
                 usage();
             for (const char c : v) {
-                if (c < 'A' || c > 'E')
+                if (!ddsc::MachineConfig::isKnownConfig(c))
                     usage();
             }
             config_ids = v;
@@ -214,6 +252,8 @@ main(int argc, char **argv)
             batched = true;
         } else if (arg == "--no-batched") {
             batched = false;
+        } else if (arg == "--list-configs") {
+            listConfigs(width);
         } else if (arg == "--version") {
             support::version::print("ddsc-sim");
             return 0;

@@ -285,7 +285,7 @@ main(int argc, char **argv)
         } else if (arg == "--configs") {
             configIds = value();
             for (const char c : configIds) {
-                if (c < 'A' || c > 'E')
+                if (!ddsc::MachineConfig::isKnownConfig(c))
                     usage();
             }
         } else if (arg == "--width") {
