@@ -349,6 +349,9 @@ void
 LimitScheduler::insertAnnotated(const TraceRecord &rec,
                                 const InsertAnnotation &ann)
 {
+    // Every record of every engine path funnels through here, so one
+    // poll point bounds the cancellation latency for all of them.
+    pollCancel();
     const std::uint64_t seq = nextSeq_++;
     Entry *slot = &slots_[seq & slotMask_];
     if (slot->live) {
@@ -1358,8 +1361,11 @@ SchedStats
 LimitScheduler::finishBatched()
 {
     ddsc_assert(wakeMode_, "finishBatched without beginBatched");
-    while (windowCount_ > 0)
+    while (windowCount_ > 0) {
+        // The drain inserts nothing, so it carries its own poll.
+        pollCancel();
         runBatchedCycle();
+    }
     // A run in which nothing ever issues (e.g. an empty trace)
     // occupies zero cycles; "last issue + 1" only counts real issues.
     stats_.cycles = batchAnyIssue_ ? batchLastIssue_ + 1 : 0;

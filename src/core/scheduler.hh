@@ -71,6 +71,7 @@
 #include "core/config.hh"
 #include "core/frontend.hh"
 #include "core/sched_stats.hh"
+#include "support/cancel.hh"
 #include "trace/source.hh"
 
 namespace ddsc
@@ -115,6 +116,20 @@ class LimitScheduler
     /** Convenience: run a private front-end pass feeding only this
      *  back-end through the batched path (wall-timed like run()). */
     SchedStats runBatched(TraceSource &trace);
+
+    /**
+     * Cooperative cancellation: both engines poll @p token at
+     * insertion-chunk granularity (every kCancelPollRecords records
+     * fed into the window) and finishBatched()'s drain polls per
+     * kCancelPollRecords cycles, throwing support::CancelledError
+     * when it fires.  Partial window state is discarded by the next
+     * run's resetState(); the null token (default) never cancels.
+     */
+    void setCancel(support::CancelToken token)
+    {
+        cancel_ = std::move(token);
+        cancelCountdown_ = kCancelPollRecords;
+    }
 
   private:
     /** Reset all run state (predictors keep their construction). */
@@ -432,6 +447,28 @@ class LimitScheduler
     std::uint64_t nextSeq_ = 1;         ///< 0 reserved for "none"
     std::uint64_t cycle_ = 0;
     SchedStats stats_;
+
+    /** Cooperative cancellation (setCancel): checked every
+     *  kCancelPollRecords inserted records / drained cycles, so the
+     *  cancellation latency is bounded by one poll chunk.  The
+     *  countdown keeps the hot path to a decrement; the token's
+     *  atomic (and clock, when a deadline binds) is touched only when
+     *  it reaches zero. */
+    static constexpr std::uint64_t kCancelPollRecords = 8192;
+    support::CancelToken cancel_;
+    std::uint64_t cancelCountdown_ = kCancelPollRecords;
+
+    /** Decrement the poll countdown; throws CancelledError when the
+     *  token fired. */
+    void
+    pollCancel()
+    {
+        if (--cancelCountdown_ != 0)
+            return;
+        cancelCountdown_ = kCancelPollRecords;
+        if (cancel_.valid())
+            cancel_.throwIfCancelled();
+    }
 };
 
 } // namespace ddsc

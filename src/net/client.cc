@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
+#include <limits>
 #include <random>
 #include <thread>
 
@@ -25,13 +27,17 @@ readStatusName(ReadStatus status)
 }
 
 /** Jitter @p delay_ms to 50-100% of itself: shed clients that back
- *  off in lockstep would all reconnect into the same full server. */
+ *  off in lockstep would all reconnect into the same full server.
+ *  $DDSC_TEST_SEED replaces the wall-clock seed so chaos tests that
+ *  assert retry timing replay the same backoff sequence. */
 std::uint64_t
 jittered(std::uint64_t delay_ms)
 {
     if (delay_ms <= 1)
         return delay_ms;
-    thread_local std::uint64_t state = [] {
+    thread_local std::uint64_t state = []() -> std::uint64_t {
+        if (const char *seed = std::getenv("DDSC_TEST_SEED"))
+            return std::strtoull(seed, nullptr, 10) | 1u;
         std::random_device rd;
         // Never zero (xorshift's fixed point).
         return (static_cast<std::uint64_t>(rd()) << 32 | rd()) | 1u;
@@ -101,6 +107,7 @@ Client::withRetries(Fn &&attempt)
     const Clock::time_point start = Clock::now();
     std::uint64_t delay = policy_.baseDelayMs;
     for (unsigned tried = 0;; ++tried) {
+        std::uint64_t hint = 0;
         try {
             ensureConnected();
             return attempt();
@@ -112,6 +119,7 @@ Client::withRetries(Fn &&attempt)
             // server already closed its end.
             if (!errCodeRetryable(e.code) || tried >= policy_.retries)
                 throw;
+            hint = e.retryAfterMs;
             fd_.reset();
         } catch (const TransportError &) {
             // The stream state is unknown; roundTrip already poisoned
@@ -120,7 +128,13 @@ Client::withRetries(Fn &&attempt)
             if (tried >= policy_.retries)
                 throw;
         }
-        const std::uint64_t sleep = jittered(delay);
+        // A server-supplied retry hint beats the exponential guess:
+        // wait what the shed said, plus a little jitter so hinted
+        // clients still spread out.  The doubling schedule is only
+        // consumed by hintless failures.
+        const std::uint64_t sleep =
+            hint > 0 ? hint + jittered(policy_.baseDelayMs)
+                     : jittered(delay);
         if (policy_.budgetMs > 0) {
             const auto elapsed =
                 std::chrono::duration_cast<std::chrono::milliseconds>(
@@ -135,7 +149,8 @@ Client::withRetries(Fn &&attempt)
         }
         ++retriesUsed_;
         std::this_thread::sleep_for(std::chrono::milliseconds(sleep));
-        delay = std::min(delay * 2, policy_.maxDelayMs);
+        if (hint == 0)
+            delay = std::min(delay * 2, policy_.maxDelayMs);
     }
 }
 
@@ -145,11 +160,15 @@ Client::matrix(const MatrixQuery &query)
     std::string payload;
     query.encode(payload);
     // The server may legitimately take the whole deadline before
-    // replying Deadline; give it that plus slack.  With no deadline
-    // the reply waits as long as the simulation takes.
+    // replying Deadline; give it that plus slack, clamped so a huge
+    // deadline cannot overflow into a tiny (or negative) poll
+    // timeout.  With no deadline the reply waits as long as the
+    // simulation takes.
     int wait = timeoutMs_;
     if (query.deadlineMs > 0) {
-        const std::uint64_t budget = query.deadlineMs + 2000;
+        const std::uint64_t budget = std::min<std::uint64_t>(
+            query.deadlineMs + 2000,
+            std::numeric_limits<int>::max());
         if (wait < 0 || static_cast<std::uint64_t>(wait) < budget)
             wait = static_cast<int>(budget);
     }
@@ -171,11 +190,13 @@ Client::cells(const CellsBatch &batch)
 {
     std::string payload;
     batch.encode(payload);
-    // Same deadline slack rule as matrix(): the shard may take the
-    // whole deadline before answering Deadline.
+    // Same deadline slack rule (and overflow clamp) as matrix(): the
+    // shard may take the whole deadline before answering Deadline.
     int wait = timeoutMs_;
     if (batch.deadlineMs > 0) {
-        const std::uint64_t budget = batch.deadlineMs + 2000;
+        const std::uint64_t budget = std::min<std::uint64_t>(
+            batch.deadlineMs + 2000,
+            std::numeric_limits<int>::max());
         if (wait < 0 || static_cast<std::uint64_t>(wait) < budget)
             wait = static_cast<int>(budget);
     }
@@ -259,7 +280,7 @@ Client::roundTrip(MsgType request, std::string_view payload,
             fd_.reset();
             throw TransportError("malformed Error payload");
         }
-        throw ServerError(err.code, err.message);
+        throw ServerError(err.code, err.message, err.retryAfterMs);
     }
     if (reply.type != expected) {
         fd_.reset();

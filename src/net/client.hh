@@ -61,13 +61,17 @@ class TransportError : public std::runtime_error
 class ServerError : public std::runtime_error
 {
   public:
-    ServerError(ErrCode code, const std::string &message)
+    ServerError(ErrCode code, const std::string &message,
+                std::uint64_t retry_after_ms = 0)
         : std::runtime_error(std::string(errCodeName(code)) + ": " +
                              message),
-          code(code)
+          code(code), retryAfterMs(retry_after_ms)
     {}
 
     const ErrCode code;
+    /** The server's suggested wait before retrying (DDSN v5 sheds);
+     *  0 = no hint. */
+    const std::uint64_t retryAfterMs;
 };
 
 /** How hard a Client tries before surfacing a retryable failure. */
@@ -80,7 +84,11 @@ struct RetryPolicy
     std::uint64_t budgetMs = 0;
     /** First backoff delay; doubles per retry up to maxDelayMs.  The
      *  actual sleep is jittered to 50-100% of the delay so a herd of
-     *  shed clients does not return in lockstep. */
+     *  shed clients does not return in lockstep.  When a retryable
+     *  ServerError carries a retryAfterMs hint (DDSN v5 sheds), the
+     *  sleep is hint + jittered(baseDelayMs) instead — the server
+     *  knows its queue better than an exponential guess — and the
+     *  doubling schedule is left untouched for hintless failures. */
     std::uint64_t baseDelayMs = 50;
     std::uint64_t maxDelayMs = 2000;
 };

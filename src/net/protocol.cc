@@ -37,6 +37,7 @@ errCodeName(ErrCode code)
       case ErrCode::Draining:        return "draining";
       case ErrCode::Internal:        return "internal";
       case ErrCode::Stalled:         return "stalled";
+      case ErrCode::Cancelled:       return "cancelled";
     }
     return "?";
 }
@@ -46,8 +47,10 @@ errCodeRetryable(ErrCode code)
 {
     // BadRequest and VersionMismatch fail the same way forever;
     // Deadline means the *caller's* budget expired (retrying without
-    // raising it is the caller's decision, not the transport's);
-    // Internal is a server bug that a blind retry would just repeat.
+    // raising it is the caller's decision, not the transport's), and
+    // Cancelled is the same condition observed mid-simulation instead
+    // of mid-wait — a retry under the same budget would just cancel
+    // again; Internal is a server bug a blind retry would repeat.
     return code == ErrCode::Overloaded || code == ErrCode::Draining ||
            code == ErrCode::Stalled;
 }
@@ -97,6 +100,7 @@ ErrorMsg::encode(std::string &out) const
 {
     support::wire::putU8(out, static_cast<std::uint8_t>(code));
     support::wire::putString(out, message);
+    support::wire::putU64(out, retryAfterMs);
 }
 
 bool
@@ -104,6 +108,21 @@ ErrorMsg::decode(support::wire::Reader &in)
 {
     code = static_cast<ErrCode>(in.u8());
     message = in.str();
+    if (!in.ok())
+        return false;
+    // The retry hint trails the v4 layout; a v4 frame (possible
+    // pre-handshake, where the overload shed is written before any
+    // version negotiation) simply ends here and means "no hint".  A
+    // frame ending 1-7 bytes after the message is neither layout —
+    // a torn trailer — and is rejected, not rounded down to v4.
+    const std::size_t rem = in.remaining();
+    if (rem >= 8) {
+        retryAfterMs = in.u64();
+    } else if (rem == 0) {
+        retryAfterMs = 0;
+    } else {
+        return false;
+    }
     return in.ok();
 }
 

@@ -90,6 +90,10 @@ enum class ErrCode : std::uint8_t
     Stalled = 7,        ///< a cell this request waited on exceeded the
                         ///< watchdog budget; retry later (the owner
                         ///< may still finish and cache it)
+    Cancelled = 8,      ///< since DDSN v5: the request's own budget
+                        ///< expired (or it was explicitly cancelled)
+                        ///< while *its* simulation ran; the partial
+                        ///< work was discarded, nothing quarantined
 };
 
 /** True for codes a client may retry unchanged after a backoff: the
@@ -128,11 +132,20 @@ struct Hello
     bool decode(support::wire::Reader &in);
 };
 
-/** Error payload. */
+/** Error payload.  Since DDSN v5 it carries a retry hint: how long
+ *  the server suggests waiting before retrying a retryable code
+ *  (0 = no hint, back off blindly).  Overload sheds derive it from
+ *  the admission controller's observed cell-latency EWMA.  The field
+ *  trails the v4 layout, and wire::Reader zero-fills past the end
+ *  without erroring only when asked — decode() treats a missing
+ *  trailer as hint 0, so a v5 reader still understands a v4 frame
+ *  seen pre-handshake (the overload shed, which fires before version
+ *  negotiation). */
 struct ErrorMsg
 {
     ErrCode code = ErrCode::Internal;
     std::string message;
+    std::uint64_t retryAfterMs = 0;
 
     void encode(std::string &out) const;
     bool decode(support::wire::Reader &in);
@@ -183,8 +196,11 @@ struct CellRef
 struct CellsBatch
 {
     std::vector<CellRef> cells;
-    /** Bounds the wait (not the simulation), like
-     *  MatrixQuery::deadlineMs; 0 = forever. */
+    /** Since DDSN v5 this is the *remaining* end-to-end budget: the
+     *  router copies MatrixQuery::deadlineMs, subtracts its own
+     *  queueing/elapsed time per hop (never below a per-shard floor),
+     *  and the shard treats it as both its wait bound and its own
+     *  simulation cancel deadline.  0 = no budget (forever). */
     std::uint64_t deadlineMs = 0;
 
     void encode(std::string &out) const;

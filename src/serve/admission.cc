@@ -1,0 +1,199 @@
+#include "admission.hh"
+
+#include <algorithm>
+#include <chrono>
+
+namespace ddsc::serve
+{
+
+namespace
+{
+
+/** Queue-wait estimate per request before any history exists: new
+ *  servers shed with a small, deterministic hint instead of 0. */
+constexpr std::uint64_t kDefaultLatencyMs = 50;
+
+/** Bounds on the advertised retry hint: never so small the client
+ *  busy-loops, never so large a transient spike parks clients for
+ *  minutes. */
+constexpr std::uint64_t kMinHintMs = 10;
+constexpr std::uint64_t kMaxHintMs = 5000;
+
+} // anonymous namespace
+
+std::uint64_t
+AdmissionController::estimatedWaitLocked(std::size_t pos) const
+{
+    const double per =
+        ewmaMs_ > 0.0 ? ewmaMs_
+                      : static_cast<double>(kDefaultLatencyMs);
+    return static_cast<std::uint64_t>(per *
+                                      static_cast<double>(pos + 1));
+}
+
+AdmissionDecision
+AdmissionController::shedLocked(const std::string &reason)
+{
+    ++shedTotal_;
+    AdmissionDecision d;
+    d.admitted = false;
+    d.reason = reason;
+    d.retryAfterMs = std::clamp(estimatedWaitLocked(queue_.size()),
+                                kMinHintMs, kMaxHintMs);
+    return d;
+}
+
+AdmissionDecision
+AdmissionController::admit(std::uint64_t conn_id,
+                           std::uint64_t budget_ms, bool cached)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+
+    if (opts_.perConnInflight > 0 &&
+        connInflight_[conn_id] >= opts_.perConnInflight) {
+        return shedLocked(
+            "connection already has " +
+            std::to_string(connInflight_[conn_id]) +
+            " requests in flight (cap " +
+            std::to_string(opts_.perConnInflight) + ")");
+    }
+
+    // Fast path: a free slot and nobody queued ahead of us.
+    if (active_ < opts_.maxActive && queue_.empty()) {
+        ++active_;
+        ++connInflight_[conn_id];
+        AdmissionDecision d;
+        d.admitted = true;
+        return d;
+    }
+
+    if (queue_.size() >= opts_.queueDepth) {
+        // Saturated.  Brownout: a request the cache can answer needs
+        // no simulation slot — admit it past the queue rather than
+        // shed free goodput.
+        if (opts_.brownout && cached) {
+            ++brownoutServed_;
+            ++connInflight_[conn_id];
+            AdmissionDecision d;
+            d.admitted = true;
+            d.viaBrownout = true;
+            return d;
+        }
+        return shedLocked("admission queue full (" +
+                          std::to_string(opts_.queueDepth) +
+                          " waiting, " + std::to_string(active_) +
+                          " active)");
+    }
+
+    // Queue-deadline eviction: shed now if the budget cannot survive
+    // the estimated wait — an immediate typed answer with a priced
+    // retry beats a guaranteed Deadline after holding a queue slot.
+    if (budget_ms > 0) {
+        const std::uint64_t wait = estimatedWaitLocked(queue_.size());
+        if (wait > budget_ms) {
+            ++queueEvictions_;
+            return shedLocked(
+                "budget of " + std::to_string(budget_ms) +
+                " ms cannot survive an estimated " +
+                std::to_string(wait) + " ms queue wait");
+        }
+    }
+
+    const std::uint64_t ticket = nextTicket_++;
+    queue_.push_back(ticket);
+    const auto turn = [&]() {
+        return !queue_.empty() && queue_.front() == ticket &&
+               active_ < opts_.maxActive;
+    };
+    bool ok = true;
+    if (budget_ms > 0) {
+        ok = cv_.wait_for(lock, std::chrono::milliseconds(budget_ms),
+                          turn);
+    } else {
+        cv_.wait(lock, turn);
+    }
+    if (!ok) {
+        queue_.erase(std::find(queue_.begin(), queue_.end(), ticket));
+        // Our departure may make the next ticket the front.
+        cv_.notify_all();
+        ++queueEvictions_;
+        return shedLocked("budget of " + std::to_string(budget_ms) +
+                          " ms expired waiting in the admission "
+                          "queue");
+    }
+    queue_.pop_front();
+    ++active_;
+    ++connInflight_[conn_id];
+    AdmissionDecision d;
+    d.admitted = true;
+    return d;
+}
+
+void
+AdmissionController::release(std::uint64_t conn_id,
+                             const AdmissionDecision &d,
+                             std::uint64_t service_ms)
+{
+    if (!d.admitted)
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = connInflight_.find(conn_id);
+    if (it != connInflight_.end() && it->second > 0 &&
+        --it->second == 0)
+        connInflight_.erase(it);
+    if (service_ms > 0) {
+        ewmaMs_ = ewmaMs_ <= 0.0
+                      ? static_cast<double>(service_ms)
+                      : 0.8 * ewmaMs_ +
+                            0.2 * static_cast<double>(service_ms);
+    }
+    if (!d.viaBrownout) {
+        --active_;
+        cv_.notify_all();
+    }
+}
+
+std::uint64_t
+AdmissionController::retryHintMs() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return std::clamp(estimatedWaitLocked(queue_.size()), kMinHintMs,
+                      kMaxHintMs);
+}
+
+std::uint64_t
+AdmissionController::shedTotal() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return shedTotal_;
+}
+
+std::uint64_t
+AdmissionController::brownoutServed() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return brownoutServed_;
+}
+
+std::uint64_t
+AdmissionController::queueEvictions() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queueEvictions_;
+}
+
+std::size_t
+AdmissionController::activeCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return active_;
+}
+
+std::size_t
+AdmissionController::queueLength() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+}
+
+} // namespace ddsc::serve

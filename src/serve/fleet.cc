@@ -85,6 +85,29 @@ shardArgs(const FleetOptions &opts, std::size_t index,
         args.push_back("--trace-budget-mb");
         args.push_back(std::to_string(shard.traceBudgetMb));
     }
+    if (shard.cancelStalledMs != 0) {
+        args.push_back("--cancel-stalled-ms");
+        args.push_back(std::to_string(shard.cancelStalledMs));
+    }
+    // Admission knobs propagate so a fleet sheds at the shards with
+    // the same policy a single server would apply.
+    const AdmissionOptions defaults;
+    if (shard.admission.maxActive != defaults.maxActive) {
+        args.push_back("--max-active");
+        args.push_back(std::to_string(shard.admission.maxActive));
+    }
+    if (shard.admission.queueDepth != defaults.queueDepth) {
+        args.push_back("--queue-depth");
+        args.push_back(std::to_string(shard.admission.queueDepth));
+    }
+    if (shard.admission.perConnInflight != defaults.perConnInflight) {
+        args.push_back("--per-conn-inflight");
+        args.push_back(
+            std::to_string(shard.admission.perConnInflight));
+    }
+    if (shard.admission.brownout != defaults.brownout)
+        args.push_back(shard.admission.brownout ? "--brownout"
+                                                : "--no-brownout");
     return args;
 }
 

@@ -36,7 +36,8 @@ CellRegistry::flightKey(const ExperimentCell &cell)
 
 ResolveOutcome
 CellRegistry::resolve(const std::vector<ExperimentCell> &cells,
-                      std::uint64_t deadline_ms)
+                      std::uint64_t deadline_ms,
+                      const support::CancelToken &token)
 {
     using Clock = std::chrono::steady_clock;
     const Clock::time_point deadline =
@@ -56,9 +57,20 @@ CellRegistry::resolve(const std::vector<ExperimentCell> &cells,
                "/" + std::to_string(cell.width);
     };
 
+    // Every flight this request claims simulates under its own child
+    // token: the request's deadline (or an explicit cancel, or the
+    // watchdog's cancel rung) stops exactly these flights.  A null
+    // request token still yields a live per-flight token so the
+    // watchdog can reclaim a stalled flight nobody is bounding.
+    auto flightToken = [&]() {
+        return token.valid() ? token.child()
+                             : support::CancelToken::make();
+    };
+
     // Claim every unresolved cell nobody else is flying.
     std::vector<ExperimentCell> claimed;
     std::vector<std::string> claimedKeys;
+    std::vector<support::CancelToken> claimedTokens;
     std::vector<std::size_t> waitFor;   // indexes into cells/keys
     {
         std::lock_guard<std::mutex> lock(mutex_);
@@ -90,11 +102,14 @@ CellRegistry::resolve(const std::vector<ExperimentCell> &cells,
                 waitFor.push_back(i);
                 continue;
             }
+            support::CancelToken flight_token = flightToken();
             inflight_.emplace(keys[i],
-                              Flight{cacheKeyOf(cell), Clock::now()});
+                              Flight{cacheKeyOf(cell), Clock::now(),
+                                     flight_token});
             mine.insert(keys[i]);
             claimed.push_back(cell);
             claimedKeys.push_back(keys[i]);
+            claimedTokens.push_back(std::move(flight_token));
         }
     }
 
@@ -107,12 +122,24 @@ CellRegistry::resolve(const std::vector<ExperimentCell> &cells,
 
     if (!claimed.empty()) {
         try {
-            driver_.prefetch(claimed);
+            driver_.prefetch(claimed, claimedTokens);
         } catch (...) {
             release(claimedKeys);
             throw;
         }
         release(claimedKeys);
+        // prefetch() leaves a cancelled cell unresolved (neither
+        // cached nor quarantined) and returns normally; surface it
+        // here as the typed CellCancelled.  Claims are already
+        // released, so siblings and later requests are unaffected.
+        for (std::size_t c = 0; c < claimed.size(); ++c) {
+            const ExperimentCell &cell = claimed[c];
+            if (claimedTokens[c].cancelled() &&
+                !driver_.cellResolved(*cell.spec, cell.config,
+                                      cell.width))
+                throw CellCancelled(cacheKeyOf(cell),
+                                    claimedTokens[c].reason());
+        }
     }
 
     // Wait for the cells other requests are computing.  An owner that
@@ -136,17 +163,23 @@ CellRegistry::resolve(const std::vector<ExperimentCell> &cells,
                                      cell.width))
                 break;
             if (flight == inflight_.end()) {
+                support::CancelToken adopted = flightToken();
                 inflight_.emplace(keys[i],
                                   Flight{cacheKeyOf(cell),
-                                         Clock::now()});
+                                         Clock::now(), adopted});
                 lock.unlock();
                 try {
-                    driver_.prefetch({cell});
+                    driver_.prefetch({cell}, {adopted});
                 } catch (...) {
                     release({keys[i]});
                     throw;
                 }
                 release({keys[i]});
+                if (adopted.cancelled() &&
+                    !driver_.cellResolved(*cell.spec, cell.config,
+                                          cell.width))
+                    throw CellCancelled(cacheKeyOf(cell),
+                                        adopted.reason());
                 lock.lock();
                 continue;
             }
@@ -164,7 +197,8 @@ CellRegistry::resolve(const std::vector<ExperimentCell> &cells,
 
 WatchdogReport
 CellRegistry::watchdogSweep(std::uint64_t soft_budget_ms,
-                            std::uint64_t hard_budget_ms)
+                            std::uint64_t hard_budget_ms,
+                            std::uint64_t cancel_budget_ms)
 {
     using Clock = std::chrono::steady_clock;
     const Clock::time_point now = Clock::now();
@@ -185,6 +219,21 @@ CellRegistry::watchdogSweep(std::uint64_t soft_budget_ms,
                 age >= hard_budget_ms) {
                 flight.quarantined = true;
                 report.hardStalled.push_back({flight.cacheKey, age});
+            }
+            // The last rung: past the cancel budget the flight is
+            // not just presumed dead, its worker is taken back.  The
+            // owner unwinds with CellCancelled at the next chunk; the
+            // provisional quarantine from the hard rung stays (the
+            // cell never published), preserving the deterministic n/a
+            // aggregation until a later request re-runs it cleanly.
+            if (cancel_budget_ms > 0 && !flight.cancelSent &&
+                age >= cancel_budget_ms) {
+                flight.cancelSent = true;
+                flight.token.cancel(
+                    "watchdog cancelled stalled flight '" +
+                    flight.cacheKey + "' after " +
+                    std::to_string(age) + " ms");
+                report.cancelled.push_back({flight.cacheKey, age});
             }
         }
     }

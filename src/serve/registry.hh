@@ -33,6 +33,17 @@
  * from then on the cell aggregates as n/a like any other poisoned
  * cell, and if the owner ever does finish, its published result
  * clears the quarantine again.
+ *
+ * Cancellation: every claim owns a CancelToken — a child of the
+ * claiming request's token, so a request whose deadline expires (or
+ * that is cancelled outright) stops *its own* claimed simulations
+ * within one chunk, while flights claimed by other requests are
+ * untouched.  A flight past the watchdog's *cancel* budget (the
+ * escalation rung above quarantine) has its token fired too: the
+ * stuck worker is actively reclaimed instead of abandoned.  A
+ * cancelled cell is left unresolved — never quarantined, never
+ * retried here — and the next request that wants it re-runs it
+ * cleanly; the thrower is the typed CellCancelled.
  */
 
 #ifndef DDSC_SERVE_REGISTRY_HH
@@ -92,11 +103,15 @@ struct StalledFlight
 };
 
 /** What one watchdog sweep found (newly detected only — a claim is
- *  reported soft-stalled once and hard-stalled once). */
+ *  reported soft-stalled once, hard-stalled once, cancelled once). */
 struct WatchdogReport
 {
     std::vector<StalledFlight> stalled;      ///< past the soft budget
     std::vector<StalledFlight> hardStalled;  ///< past the hard budget
+    /** Past the cancel budget: the flight's token was fired, so its
+     *  owner's simulation unwinds at the next chunk boundary and the
+     *  worker thread comes back. */
+    std::vector<StalledFlight> cancelled;
 };
 
 /**
@@ -114,21 +129,36 @@ class CellRegistry
      * wait for another request's in-flight simulation), bounded by
      * @p deadline_ms of waiting (0 = wait forever).
      *
+     * @p token, when valid, is the requesting session's cancel token:
+     * each cell this request *claims* simulates under a child of it,
+     * so the request's deadline or an explicit cancel stops exactly
+     * its own claimed flights (within one chunk) — coalesced waits
+     * are still bounded by @p deadline_ms alone, and flights owned by
+     * other requests run on.
+     *
      * @throws CellStalled when a cell this request would wait on has
      *         been marked stalled by the watchdog.
+     * @throws CellCancelled when one of this request's own claimed
+     *         simulations was cancelled (its deadline, or the
+     *         watchdog's cancel rung).  The cell stays unresolved.
      */
     ResolveOutcome resolve(const std::vector<ExperimentCell> &cells,
-                           std::uint64_t deadline_ms);
+                           std::uint64_t deadline_ms,
+                           const support::CancelToken &token = {});
 
     /**
      * Scan the in-flight claims: mark (and report) claims older than
      * @p soft_budget_ms as stalled, waking every waiter so it can
      * fail with CellStalled; report claims older than
-     * @p hard_budget_ms once for the caller to quarantine.  Called
-     * from the server's watchdog thread.
+     * @p hard_budget_ms once for the caller to quarantine.  Claims
+     * older than @p cancel_budget_ms (0 = never) get their flight
+     * token fired — the escalation from "warn the waiters" through
+     * "presume poisoned" to "take the worker back".  Called from the
+     * server's watchdog thread.
      */
     WatchdogReport watchdogSweep(std::uint64_t soft_budget_ms,
-                                 std::uint64_t hard_budget_ms);
+                                 std::uint64_t hard_budget_ms,
+                                 std::uint64_t cancel_budget_ms = 0);
 
     /** Total cells coalesced since construction. */
     std::uint64_t coalescedTotal() const;
@@ -145,8 +175,12 @@ class CellRegistry
     {
         std::string cacheKey;   ///< driver cache key ("li/D/16")
         std::chrono::steady_clock::time_point start;
+        /** Child of the owner's request token; fired by the owner's
+         *  deadline or the watchdog's cancel rung.  Always valid. */
+        support::CancelToken token;
         bool stalled = false;       ///< past the soft budget
         bool quarantined = false;   ///< reported past the hard budget
+        bool cancelSent = false;    ///< cancel rung fired already
         std::uint64_t budgetMs = 0; ///< the budget it overran (for
                                     ///< the CellStalled message)
     };

@@ -249,6 +249,11 @@ Router::serveConnection(Slot &slot)
 bool
 Router::handleMatrix(int fd, const net::Frame &frame)
 {
+    // Budget accounting starts the moment the frame is in hand:
+    // everything from here on — decode, validation, fan-out — spends
+    // the client's end-to-end budget.
+    const std::chrono::steady_clock::time_point arrival =
+        std::chrono::steady_clock::now();
     MatrixQuery query;
     support::wire::Reader reader(frame.payload);
     if (!query.decode(reader))
@@ -263,9 +268,10 @@ Router::handleMatrix(int fd, const net::Frame &frame)
 
     MatrixResult result;
     try {
-        result = routeMatrix(query);
+        result = routeMatrix(query, arrival);
     } catch (const net::ServerError &e) {
-        // Deadline/Stalled propagated from a shard, already typed.
+        // Deadline/Stalled/Cancelled propagated from a shard (or the
+        // pre-fan-out budget check), already typed.
         return sendError(fd, e.code,
                          stripCodePrefix(e.code, e.what()));
     } catch (const std::exception &e) {
@@ -281,10 +287,31 @@ Router::handleMatrix(int fd, const net::Frame &frame)
 }
 
 MatrixResult
-Router::routeMatrix(const MatrixQuery &query) const
+Router::routeMatrix(const MatrixQuery &query,
+                    std::chrono::steady_clock::time_point arrival)
+    const
 {
     const std::size_t K = fleet_.count();
     const std::vector<ExperimentCell> cells = query.cells();
+
+    // v5 budget decrement: forward what is *left* of the end-to-end
+    // budget, not the original figure — each hop spends from the same
+    // purse.  A request already out of budget is answered with the
+    // typed Deadline here, before any shard burns work on it; a still
+    // viable one is floored so routing overhead cannot starve it.
+    std::uint64_t forwarded = 0;
+    if (query.deadlineMs > 0) {
+        const std::uint64_t elapsed = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now() - arrival)
+                .count());
+        if (elapsed >= query.deadlineMs)
+            throw net::ServerError(
+                net::ErrCode::Deadline,
+                "budget of " + std::to_string(query.deadlineMs) +
+                    " ms was exhausted at the router before fan-out");
+        forwarded = std::max(query.deadlineMs - elapsed, kShardFloorMs);
+    }
 
     std::vector<net::CellsBatch> batches(K);
     for (const ExperimentCell &cell : cells) {
@@ -313,7 +340,7 @@ Router::routeMatrix(const MatrixQuery &query) const
     for (std::size_t i = 0; i < K; ++i) {
         if (batches[i].cells.empty())
             continue;
-        batches[i].deadlineMs = query.deadlineMs;
+        batches[i].deadlineMs = forwarded;
         threads.emplace_back([this, i, &batches, &outcomes]() {
             ShardOutcome &out = outcomes[i];
             const ShardSlot &slot = *fleet_.shards[i];
@@ -332,10 +359,11 @@ Router::routeMatrix(const MatrixQuery &query) const
                 out.hasReply = true;
             } catch (const net::ServerError &e) {
                 if (e.code == net::ErrCode::Deadline ||
-                    e.code == net::ErrCode::Stalled) {
+                    e.code == net::ErrCode::Stalled ||
+                    e.code == net::ErrCode::Cancelled) {
                     // Same retry semantics as a single server: the
-                    // client decides whether to wait longer or come
-                    // back.
+                    // client decides whether to wait longer (or, for
+                    // Cancelled, to come back with a bigger budget).
                     out.propagate = true;
                     out.code = e.code;
                     out.error = stripCodePrefix(e.code, e.what());

@@ -152,10 +152,24 @@ class Router
     net::ServerInfo infoSnapshot() const;
 
     /** Fan @p query out and merge — the MatrixRequest path, exposed
-     *  for tests.  @throws net::ServerError to signal a typed error
-     *  reply (Deadline/Stalled propagation), std::exception for
-     *  Internal. */
-    MatrixResult routeMatrix(const MatrixQuery &query) const;
+     *  for tests.  @p arrival is when the request hit this hop: the
+     *  v5 budget rule forwards deadlineMs minus the time already
+     *  spent here (floored at kShardFloorMs per shard; 0 = forever
+     *  stays 0), so the client's --deadline-ms is an end-to-end
+     *  budget, not a fresh allowance per hop.  A budget already
+     *  exhausted at fan-out throws the typed Deadline without
+     *  touching any shard.  @throws net::ServerError to signal a
+     *  typed error reply (Deadline/Stalled/Cancelled propagation),
+     *  std::exception for Internal. */
+    MatrixResult routeMatrix(const MatrixQuery &query,
+                             std::chrono::steady_clock::time_point
+                                 arrival =
+                                     std::chrono::steady_clock::now())
+        const;
+
+    /** Minimum budget forwarded to a shard once a request was viable
+     *  at arrival: routing overhead must not starve it to nothing. */
+    static constexpr std::uint64_t kShardFloorMs = 50;
 
   private:
     struct Slot

@@ -16,7 +16,8 @@ namespace ddsc::serve
 Server::Server(const ServerOptions &opts)
     : opts_(opts),
       driver_(0, opts.testScale, opts.jobs),
-      registry_(driver_)
+      registry_(driver_),
+      admission_(opts.admission)
 {
     driver_.setBatched(opts_.batched);
     if (!opts_.traceDir.empty()) {
@@ -96,13 +97,16 @@ Server::run()
         reapSessions();
         if (liveSessions() >= opts_.maxSessions) {
             // Shed: answer *something* so the client knows to back
-            // off, instead of letting it stall in a queue.
+            // off, instead of letting it stall in a queue.  The hint
+            // prices the retry the same way a request-level shed
+            // would (admission's latency EWMA and queue depth).
             net::ErrorMsg err;
             err.code = net::ErrCode::Overloaded;
             err.message =
                 "server at capacity (" +
                 std::to_string(opts_.maxSessions) +
                 " sessions); retry shortly";
+            err.retryAfterMs = admission_.retryHintMs();
             std::string payload;
             err.encode(payload);
             net::writeFrame(conn.get(), net::MsgType::Error, payload);
@@ -237,8 +241,11 @@ Server::watchdogLoop()
         effectiveBudgetMs_.store(soft);
         if (soft == 0)
             continue;   // adaptive with no history yet
+        const std::uint64_t cancel = opts_.cancelStalledMs != 0
+                                         ? opts_.cancelStalledMs
+                                         : soft * 64;
         const WatchdogReport report =
-            registry_.watchdogSweep(soft, soft * 8);
+            registry_.watchdogSweep(soft, soft * 8, cancel);
         for (const StalledFlight &flight : report.stalled) {
             warn("watchdog: cell '%s' stalled (%llu ms in flight, "
                  "budget %llu ms); failing its waiters",
@@ -257,6 +264,14 @@ Server::watchdogLoop()
                 "watchdog: stuck in flight for " +
                     std::to_string(flight.ageMs) + " ms (hard budget " +
                     std::to_string(soft * 8) + " ms)");
+        }
+        for (const StalledFlight &flight : report.cancelled) {
+            warn("watchdog: cancelling stalled flight '%s' (%llu ms "
+                 "in flight, cancel budget %llu ms); reclaiming its "
+                 "worker",
+                 flight.cacheKey.c_str(),
+                 static_cast<unsigned long long>(flight.ageMs),
+                 static_cast<unsigned long long>(cancel));
         }
     }
 }

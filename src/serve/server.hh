@@ -37,6 +37,7 @@
 
 #include "net/protocol.hh"
 #include "net/socket.hh"
+#include "serve/admission.hh"
 #include "serve/registry.hh"
 #include "serve/session.hh"
 #include "sim/experiment.hh"
@@ -65,6 +66,19 @@ struct ServerOptions
      *  soft budget fails its waiters with ErrCode::Stalled; past 8x
      *  the soft budget it is provisionally quarantined. */
     std::uint64_t watchdogBudgetMs = 0;
+    /** Cancel budget per in-flight cell, ms: past it the watchdog
+     *  fires the flight's CancelToken, actively reclaiming the stuck
+     *  worker (the rung above quarantine).  0 = 8x the hard budget,
+     *  i.e. 64x soft — late enough that a merely slow flight which
+     *  would still publish and self-heal is never killed
+     *  (--cancel-stalled-ms). */
+    std::uint64_t cancelStalledMs = 0;
+    /** Admission control in front of the registry: concurrent
+     *  resolving requests, the bounded FIFO behind them
+     *  (--queue-depth), the per-connection in-flight cap
+     *  (--per-conn-inflight), and the brownout bypass for
+     *  cache-answerable requests (--brownout / --no-brownout). */
+    AdmissionOptions admission;
     /** Supervisor restart count, reported in HealthInfo (0 =
      *  unsupervised first life). */
     std::uint64_t generation = 0;
@@ -113,6 +127,7 @@ class Server
 
     ExperimentDriver &driver() { return driver_; }
     CellRegistry &registry() { return registry_; }
+    AdmissionController &admission() { return admission_; }
 
     void countRequest() { requestsServed_.fetch_add(1); }
 
@@ -144,6 +159,7 @@ class Server
     ExperimentDriver driver_;
     std::unique_ptr<ResultStore> store_;
     CellRegistry registry_;
+    AdmissionController admission_;
     net::TcpListener listener_;
     int stopPipe_[2] = {-1, -1};    ///< self-pipe for stop()
     std::atomic<bool> draining_{false};

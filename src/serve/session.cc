@@ -1,7 +1,10 @@
 #include "session.hh"
 
+#include <chrono>
+
 #include "serve/server.hh"
 #include "sim/matrix_query.hh"
+#include "support/cancel.hh"
 #include "support/fault.hh"
 
 namespace ddsc::serve
@@ -13,6 +16,39 @@ namespace
 /** A connection that won't even say Hello within this budget is
  *  holding a session slot hostage; drop it. */
 constexpr int kHandshakeTimeoutMs = 30000;
+
+/** Releases an admitted request on every exit path, feeding its
+ *  observed service time back into the admission latency EWMA. */
+struct AdmitGuard
+{
+    AdmissionController &adm;
+    std::uint64_t connId;
+    const AdmissionDecision &d;
+    std::chrono::steady_clock::time_point t0 =
+        std::chrono::steady_clock::now();
+
+    ~AdmitGuard()
+    {
+        using std::chrono::duration_cast;
+        using std::chrono::milliseconds;
+        adm.release(connId, d,
+                    static_cast<std::uint64_t>(
+                        duration_cast<milliseconds>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count()));
+    }
+};
+
+/** The per-request cancel token: the client's deadline becomes a live
+ *  deadline token; with no deadline the token still exists so the
+ *  watchdog's cancel rung can reach the request's claimed flights. */
+support::CancelToken
+requestToken(std::uint64_t deadline_ms)
+{
+    return deadline_ms > 0
+               ? support::CancelToken::withDeadline(deadline_ms)
+               : support::CancelToken::make();
+}
 
 } // anonymous namespace
 
@@ -125,6 +161,24 @@ Session::handleMatrix(const net::Frame &frame)
         return sendError(net::ErrCode::Draining,
                          "server is draining; retry elsewhere");
 
+    // Admission: brownout eligibility is "every cell the query needs
+    // is durable" — such a request is a cache read, not a simulation.
+    bool cached = true;
+    for (const ExperimentCell &cell : query.cells()) {
+        if (!server_.driver().cellDurable(*cell.spec, cell.config,
+                                          cell.width)) {
+            cached = false;
+            break;
+        }
+    }
+    const AdmissionDecision ticket = server_.admission().admit(
+        id_, query.deadlineMs, cached);
+    if (!ticket.admitted)
+        return sendError(net::ErrCode::Overloaded, ticket.reason,
+                         ticket.retryAfterMs);
+    AdmitGuard guard{server_.admission(), id_, ticket};
+
+    const support::CancelToken token = requestToken(query.deadlineMs);
     ResolveOutcome outcome;
     MatrixResult result;
     try {
@@ -132,8 +186,15 @@ Session::handleMatrix(const net::Frame &frame)
             server_.driver(), query,
             [&](const std::vector<ExperimentCell> &cells) {
                 outcome = server_.registry().resolve(
-                    cells, query.deadlineMs);
+                    cells, query.deadlineMs, token);
             });
+    } catch (const CellCancelled &e) {
+        // This request's own claimed simulation was cancelled — its
+        // deadline, or the watchdog reclaiming a stalled flight.  Not
+        // retryable on the same budget (it would just cancel again)
+        // and nothing is quarantined: the cell re-runs cleanly for
+        // the next request.
+        return sendError(net::ErrCode::Cancelled, e.what());
     } catch (const CellStalled &e) {
         // The watchdog marked a cell this request waited on: typed
         // and retryable — the stuck owner may yet finish and cache
@@ -204,11 +265,30 @@ Session::handleCells(const net::Frame &frame)
                          "server is draining; retry elsewhere");
 
     ExperimentDriver &driver = server_.driver();
+    bool cached = true;
+    for (const ExperimentCell &cell : cells) {
+        if (!driver.cellDurable(*cell.spec, cell.config,
+                                cell.width)) {
+            cached = false;
+            break;
+        }
+    }
+    const AdmissionDecision ticket = server_.admission().admit(
+        id_, batch.deadlineMs, cached);
+    if (!ticket.admitted)
+        return sendError(net::ErrCode::Overloaded, ticket.reason,
+                         ticket.retryAfterMs);
+    AdmitGuard guard{server_.admission(), id_, ticket};
+
+    const support::CancelToken token = requestToken(batch.deadlineMs);
     const std::size_t hits0 = driver.storeHits();
     const std::size_t sims0 = driver.simulatedCells();
     ResolveOutcome outcome;
     try {
-        outcome = server_.registry().resolve(cells, batch.deadlineMs);
+        outcome = server_.registry().resolve(cells, batch.deadlineMs,
+                                             token);
+    } catch (const CellCancelled &e) {
+        return sendError(net::ErrCode::Cancelled, e.what());
     } catch (const CellStalled &e) {
         return sendError(net::ErrCode::Stalled, e.what());
     } catch (const std::exception &e) {
@@ -268,11 +348,13 @@ Session::reply(net::MsgType type, std::string_view payload)
 }
 
 bool
-Session::sendError(net::ErrCode code, const std::string &message)
+Session::sendError(net::ErrCode code, const std::string &message,
+                   std::uint64_t retry_after_ms)
 {
     net::ErrorMsg err;
     err.code = code;
     err.message = message;
+    err.retryAfterMs = retry_after_ms;
     std::string payload;
     err.encode(payload);
     return reply(net::MsgType::Error, payload);

@@ -58,7 +58,10 @@ class Session
     bool handleCells(const net::Frame &frame);
 
     bool reply(net::MsgType type, std::string_view payload);
-    bool sendError(net::ErrCode code, const std::string &message);
+    /** @p retry_after_ms rides only on retryable sheds (Overloaded);
+     *  0 = no hint. */
+    bool sendError(net::ErrCode code, const std::string &message,
+                   std::uint64_t retry_after_ms = 0);
 
     Server &server_;
     net::Fd fd_;

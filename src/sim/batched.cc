@@ -45,11 +45,15 @@ BatchedGroupResult
 runBatchedGroup(const SharedTrace &trace,
                 const std::vector<MachineConfig> &configs,
                 const std::vector<std::string> &keys,
-                std::size_t chunk)
+                std::size_t chunk,
+                const std::vector<support::CancelToken> &tokens)
 {
     ddsc_assert(configs.size() == keys.size(),
                 "batched group: %zu configs but %zu keys",
                 configs.size(), keys.size());
+    ddsc_assert(tokens.empty() || tokens.size() == configs.size(),
+                "batched group: %zu configs but %zu cancel tokens",
+                configs.size(), tokens.size());
     ddsc_assert(!configs.empty(), "batched group: no cells");
     ddsc_assert(chunk > 0, "batched group: zero chunk");
     const std::string fe_fp = configs.front().frontEndFingerprint();
@@ -73,8 +77,11 @@ runBatchedGroup(const SharedTrace &trace,
     scheds.reserve(configs.size());
     for (const MachineConfig &config : configs)
         scheds.push_back(std::make_unique<LimitScheduler>(config));
-    for (auto &sched : scheds)
-        sched->beginBatched();
+    for (std::size_t i = 0; i < scheds.size(); ++i) {
+        if (!tokens.empty())
+            scheds[i]->setCancel(tokens[i]);
+        scheds[i]->beginBatched();
+    }
 
     SpecFrontEnd fe(configs.front());
     // The fingerprint does not cover collapsing (it is back-end-only
@@ -94,9 +101,25 @@ runBatchedGroup(const SharedTrace &trace,
         out.cells[i].error = what;
     };
 
+    // A cancelled cell leaves the same way a failed one does — its
+    // partial back-end state dies with the scheduler — but is flagged
+    // so the caller neither retries nor quarantines it.
+    const auto cancelCell = [&](std::size_t i, const std::string &why) {
+        failCell(i, why.empty() ? "cancelled" : why.c_str());
+        out.cells[i].cancelled = true;
+    };
+
     const auto feedCell = [&](std::size_t i, bool finish) {
         if (!alive[i])
             return;
+        // The chunk boundary is the cancellation latency bound: a
+        // fired token stops this cell here, before another chunk of
+        // back-end work, while the siblings keep consuming the pass.
+        if (!tokens.empty() && tokens[i].valid() &&
+            tokens[i].cancelled()) {
+            cancelCell(i, tokens[i].reason());
+            return;
+        }
         const std::uint64_t start = nowNanos();
         try {
             // The same injection hooks as the per-cell path, checked
@@ -115,6 +138,9 @@ runBatchedGroup(const SharedTrace &trace,
             } else {
                 scheds[i]->feedBatched(batch);
             }
+        } catch (const support::CancelledError &e) {
+            // The back-end's own intra-chunk poll fired.
+            cancelCell(i, e.what());
         } catch (const std::exception &e) {
             failCell(i, e.what());
         } catch (...) {
@@ -123,8 +149,20 @@ runBatchedGroup(const SharedTrace &trace,
         beNanos[i] += nowNanos() - start;
     };
 
+    const auto anyAlive = [&]() {
+        for (const char a : alive)
+            if (a)
+                return true;
+        return false;
+    };
+
     std::uint64_t fe_nanos = 0;
     for (;;) {
+        // Once every consumer is gone (cancelled or failed) the
+        // front-end pass has no one to feed: stop decoding too,
+        // instead of burning the worker on annotations nobody reads.
+        if (!anyAlive())
+            break;
         const std::uint64_t fill_start = nowNanos();
         const std::size_t filled = fe.fill(*view, batch, chunk);
         fe_nanos += nowNanos() - fill_start;

@@ -31,6 +31,7 @@
 #include "core/config.hh"
 #include "core/frontend.hh"
 #include "core/sched_stats.hh"
+#include "support/cancel.hh"
 #include "trace/source.hh"
 
 namespace ddsc
@@ -41,6 +42,10 @@ struct BatchedCellResult
 {
     SchedStats stats;           ///< valid when ok
     bool ok = false;
+    /** The cell's CancelToken fired mid-pass: its partial window was
+     *  discarded and it must be neither retried nor quarantined
+     *  (distinct from !ok && !cancelled, a real failure). */
+    bool cancelled = false;
     std::string error;          ///< what the feed threw when !ok
 };
 
@@ -62,12 +67,21 @@ constexpr std::size_t kBatchedChunk = 16384;
  * error messages, parallel to @p configs.  The trace is consumed
  * through one fresh cursor, so in-memory and mmap'd traces feed the
  * pass identically.
+ *
+ * @p tokens, when non-empty, is parallel to @p configs: each cell's
+ * token is checked at every chunk boundary (and polled inside the
+ * back-end), so a cancelled cell stops consuming its back-end within
+ * one chunk while its siblings ride the same front-end pass to
+ * completion.  When every cell is gone (cancelled or failed) the
+ * front-end pass itself stops.  An empty vector means no cell can be
+ * cancelled — the pre-cancellation behaviour.
  */
 BatchedGroupResult runBatchedGroup(
     const SharedTrace &trace,
     const std::vector<MachineConfig> &configs,
     const std::vector<std::string> &keys,
-    std::size_t chunk = kBatchedChunk);
+    std::size_t chunk = kBatchedChunk,
+    const std::vector<support::CancelToken> &tokens = {});
 
 } // namespace ddsc
 

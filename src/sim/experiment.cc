@@ -1,5 +1,6 @@
 #include "experiment.hh"
 
+#include <algorithm>
 #include <cctype>
 #include <cerrno>
 #include <chrono>
@@ -131,18 +132,23 @@ ExperimentDriver::guardKey(const std::string &cache_key,
 
 SchedStats
 ExperimentDriver::runCell(const SharedTrace &trace,
-                          const MachineConfig &config) const
+                          const MachineConfig &config,
+                          const support::CancelToken &token) const
 {
     const std::unique_ptr<TraceSource> view = trace.cursor();
     LimitScheduler scheduler(config);
+    scheduler.setCancel(token);
     return scheduler.run(*view);
 }
 
 SchedStats
 ExperimentDriver::runCellChecked(const std::string &key,
                                  const SharedTrace &trace,
-                                 const MachineConfig &config) const
+                                 const MachineConfig &config,
+                                 const support::CancelToken &token) const
 {
+    if (token.valid())
+        token.throwIfCancelled();
     if (support::faultShouldFire("cell-throw", key.c_str()))
         throw std::runtime_error("injected fault: cell-throw at '" +
                                  key + "'");
@@ -152,7 +158,9 @@ ExperimentDriver::runCellChecked(const std::string &key,
         // race window deterministically.  $DDSC_FAULT_STALL_MS
         // tunes the duration (default 400 ms) so watchdog tests can
         // stall well past their budgets without slowing the rest of
-        // the suite.
+        // the suite.  The sleep is sliced so a firing token can
+        // interrupt it: the injected stall is exactly what the
+        // watchdog's active cancel exists to reclaim.
         static const unsigned stall_ms = [] {
             const char *v = std::getenv("DDSC_FAULT_STALL_MS");
             if (v && std::isdigit(static_cast<unsigned char>(v[0])))
@@ -160,9 +168,14 @@ ExperimentDriver::runCellChecked(const std::string &key,
                     std::strtoul(v, nullptr, 10));
             return 400u;
         }();
-        std::this_thread::sleep_for(std::chrono::milliseconds(stall_ms));
+        for (unsigned slept = 0; slept < stall_ms; slept += 20) {
+            if (token.valid())
+                token.throwIfCancelled();
+            std::this_thread::sleep_for(std::chrono::milliseconds(
+                std::min(20u, stall_ms - slept)));
+        }
     }
-    return runCell(trace, config);
+    return runCell(trace, config, token);
 }
 
 bool
@@ -171,17 +184,23 @@ ExperimentDriver::attemptCell(const std::string &key,
                               const MachineConfig &config,
                               SchedStats &out,
                               CellFailure &failure,
-                              unsigned first_attempt) const
+                              unsigned first_attempt,
+                              const support::CancelToken &token) const
 {
     for (unsigned attempt = first_attempt; attempt <= kCellAttempts;
          ++attempt) {
         try {
-            out = runCellChecked(key, trace, config);
+            out = runCellChecked(key, trace, config, token);
             if (attempt > 1) {
                 warn("cell '%s' recovered on attempt %u of %u",
                      key.c_str(), attempt, kCellAttempts);
             }
             return true;
+        } catch (const support::CancelledError &) {
+            // Not a cell failure: retrying under the same fired token
+            // would cancel again, and quarantining would poison a
+            // healthy cell.  Let the caller unwind.
+            throw;
         } catch (const std::exception &e) {
             failure = {key, e.what(), attempt};
         } catch (...) {
@@ -196,7 +215,8 @@ ExperimentDriver::attemptCell(const std::string &key,
 const SchedStats &
 ExperimentDriver::statsFor(const WorkloadSpec &spec,
                            const MachineConfig &config,
-                           const std::string &key)
+                           const std::string &key,
+                           const support::CancelToken &token)
 {
     const std::string cache_key =
         guardKey(spec.name + "/" + key, config);
@@ -225,7 +245,16 @@ ExperimentDriver::statsFor(const WorkloadSpec &spec,
     SchedStats stats;
     CellFailure failure;
     traceStore_.touch(src);
-    if (!attemptCell(cache_key, src, config, stats, failure)) {
+    bool ran = false;
+    try {
+        ran = attemptCell(cache_key, src, config, stats, failure, 1,
+                          token);
+    } catch (const support::CancelledError &e) {
+        // The cell is left exactly as if it had never been asked for:
+        // the next request that wants it simulates from scratch.
+        throw CellCancelled(cache_key, e.what());
+    }
+    if (!ran) {
         std::lock_guard<std::mutex> lock(mutex_);
         quarantine_.emplace(cache_key, failure);
         throw CellQuarantined(failure);
@@ -245,10 +274,11 @@ ExperimentDriver::statsFor(const WorkloadSpec &spec,
 
 const SchedStats &
 ExperimentDriver::stats(const WorkloadSpec &spec, char config,
-                        unsigned width)
+                        unsigned width,
+                        const support::CancelToken &token)
 {
     return statsFor(spec, MachineConfig::paper(config, width),
-                    cellKey(config, width));
+                    cellKey(config, width), token);
 }
 
 bool
@@ -259,6 +289,19 @@ ExperimentDriver::cellResolved(const WorkloadSpec &spec, char config,
     std::lock_guard<std::mutex> lock(mutex_);
     return cache_.find(key) != cache_.end() ||
            quarantine_.find(key) != quarantine_.end();
+}
+
+bool
+ExperimentDriver::cellDurable(const WorkloadSpec &spec, char config,
+                              unsigned width) const
+{
+    if (cellResolved(spec, config, width))
+        return true;
+    // Key-only store probe: staleness (fingerprint/digest drift) is
+    // caught at real lookup time; here a false positive just admits
+    // one request that then simulates — fine for a brownout check.
+    return store_ != nullptr &&
+           store_->contains(spec.name + "/" + cellKey(config, width));
 }
 
 std::vector<ExperimentCell>
@@ -278,6 +321,17 @@ ExperimentDriver::cellsFor(const std::vector<const WorkloadSpec *> &set,
 void
 ExperimentDriver::prefetch(const std::vector<ExperimentCell> &cells)
 {
+    prefetch(cells, {});
+}
+
+void
+ExperimentDriver::prefetch(const std::vector<ExperimentCell> &cells,
+                           const std::vector<support::CancelToken> &tokens)
+{
+    ddsc_assert(tokens.empty() || tokens.size() == cells.size(),
+                "prefetch: %zu cells but %zu cancel tokens",
+                cells.size(), tokens.size());
+
     struct Task
     {
         const SharedTrace *trace;
@@ -285,6 +339,7 @@ ExperimentDriver::prefetch(const std::vector<ExperimentCell> &cells)
         std::string key;
         std::string fingerprint;
         std::uint64_t digest;
+        support::CancelToken token;     ///< null when uncancellable
     };
 
     // Enumerate the missing cells and materialize their traces from
@@ -296,7 +351,8 @@ ExperimentDriver::prefetch(const std::vector<ExperimentCell> &cells)
     // too: a known-poisoned simulation is not retried every sweep.
     std::vector<Task> missing;
     std::set<std::string> queued;
-    for (const ExperimentCell &cell : cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+        const ExperimentCell &cell = cells[c];
         ddsc_assert(cell.spec != nullptr, "null workload in cell");
         const std::string cache_key =
             cell.spec->name + "/" + cellKey(cell.config, cell.width);
@@ -335,7 +391,9 @@ ExperimentDriver::prefetch(const std::vector<ExperimentCell> &cells)
             }
         }
         missing.push_back({&src, std::move(config), guarded_key,
-                           std::move(fingerprint), digest});
+                           std::move(fingerprint), digest,
+                           tokens.empty() ? support::CancelToken()
+                                          : tokens[c]});
     }
     if (missing.empty())
         return;
@@ -355,6 +413,10 @@ ExperimentDriver::prefetch(const std::vector<ExperimentCell> &cells)
     std::vector<CellFailure> failures(missing.size());
     std::vector<char> succeeded(missing.size(), 0);
     std::vector<char> skipped(missing.size(), 0);
+    // Cancelled cells are published like skipped ones — neither
+    // cached, nor quarantined, nor appended to the store — so the
+    // next request re-runs them cleanly.
+    std::vector<char> cancelled(missing.size(), 0);
     support::ThreadPool &workers = pool();
     std::vector<std::future<void>> batch;
     // Lives past the submit loop: group tasks index into it from
@@ -395,18 +457,26 @@ ExperimentDriver::prefetch(const std::vector<ExperimentCell> &cells)
                 }
                 std::vector<MachineConfig> configs;
                 std::vector<std::string> keys;
+                std::vector<support::CancelToken> group_tokens;
+                bool any_token = false;
                 configs.reserve(group.size());
                 keys.reserve(group.size());
+                group_tokens.reserve(group.size());
                 for (const std::size_t i : group) {
                     configs.push_back(missing[i].config);
                     keys.push_back(missing[i].key);
+                    group_tokens.push_back(missing[i].token);
+                    any_token = any_token || missing[i].token.valid();
                 }
+                if (!any_token)
+                    group_tokens.clear();
                 // LRU-touch at execution (not enumeration) time, so
                 // the residency budget tracks the order traces are
                 // actually swept in.
                 traceStore_.touch(*missing[group[0]].trace);
                 const BatchedGroupResult out = runBatchedGroup(
-                    *missing[group[0]].trace, configs, keys);
+                    *missing[group[0]].trace, configs, keys,
+                    kBatchedChunk, group_tokens);
                 for (std::size_t k = 0; k < group.size(); ++k) {
                     const std::size_t i = group[k];
                     if (out.cells[k].ok) {
@@ -414,16 +484,26 @@ ExperimentDriver::prefetch(const std::vector<ExperimentCell> &cells)
                         succeeded[i] = 1;
                         continue;
                     }
+                    if (out.cells[k].cancelled) {
+                        cancelled[i] = 1;
+                        continue;
+                    }
                     failures[i] = {missing[i].key,
                                    out.cells[k].error, 1};
                     warn("cell '%s' failed (attempt 1 of %u): %s",
                          missing[i].key.c_str(), kCellAttempts,
                          out.cells[k].error.c_str());
-                    succeeded[i] =
-                        attemptCell(missing[i].key, *missing[i].trace,
-                                    missing[i].config, results[i],
-                                    failures[i], 2)
-                            ? 1 : 0;
+                    try {
+                        succeeded[i] =
+                            attemptCell(missing[i].key,
+                                        *missing[i].trace,
+                                        missing[i].config, results[i],
+                                        failures[i], 2,
+                                        missing[i].token)
+                                ? 1 : 0;
+                    } catch (const support::CancelledError &) {
+                        cancelled[i] = 1;
+                    }
                 }
             }));
         }
@@ -439,11 +519,16 @@ ExperimentDriver::prefetch(const std::vector<ExperimentCell> &cells)
                     return;
                 }
                 traceStore_.touch(*missing[i].trace);
-                succeeded[i] = attemptCell(missing[i].key,
-                                           *missing[i].trace,
-                                           missing[i].config,
-                                           results[i], failures[i])
-                                   ? 1 : 0;
+                try {
+                    succeeded[i] = attemptCell(missing[i].key,
+                                               *missing[i].trace,
+                                               missing[i].config,
+                                               results[i], failures[i],
+                                               1, missing[i].token)
+                                       ? 1 : 0;
+                } catch (const support::CancelledError &) {
+                    cancelled[i] = 1;
+                }
             }));
         }
     }
@@ -454,6 +539,9 @@ ExperimentDriver::prefetch(const std::vector<ExperimentCell> &cells)
     for (std::size_t i = 0; i < missing.size(); ++i) {
         if (skipped[i])
             continue;   // neither cached nor quarantined: never ran
+        if (cancelled[i])
+            continue;   // ditto: partial state was discarded, the
+                        // cell re-runs cleanly on the next request
         if (!succeeded[i]) {
             quarantine_.emplace(missing[i].key, failures[i]);
             continue;

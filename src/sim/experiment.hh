@@ -61,6 +61,7 @@
 #include "core/sched_stats.hh"
 #include "sim/result_store.hh"
 #include "sim/trace_store.hh"
+#include "support/cancel.hh"
 #include "support/thread_pool.hh"
 #include "workloads/workloads.hh"
 
@@ -207,15 +208,33 @@ class ExperimentDriver
      */
     void prefetch(const std::vector<ExperimentCell> &cells);
 
+    /**
+     * As above with per-cell cancellation: @p tokens is parallel to
+     * @p cells (empty = no cancellation; asserted otherwise).  A cell
+     * whose token fires mid-simulation stops consuming its worker
+     * within one chunk, discards its partial state, and is left
+     * *unresolved* — neither cached, nor quarantined, nor appended to
+     * the store — so the next request that wants it re-runs it
+     * cleanly.  Sibling cells of the same batched group are
+     * unaffected, exactly like the fault-containment path.  When the
+     * same cell appears twice the first occurrence's token governs it.
+     */
+    void prefetch(const std::vector<ExperimentCell> &cells,
+                  const std::vector<support::CancelToken> &tokens);
+
     /** Enumerate @p set x @p configs x @p widths as cells. */
     static std::vector<ExperimentCell>
     cellsFor(const std::vector<const WorkloadSpec *> &set,
              const std::string &configs,
              const std::vector<unsigned> &widths);
 
-    /** Simulate (cached) one workload under one configuration. */
+    /** Simulate (cached) one workload under one configuration.
+     *  @p token, when valid, cancels a simulation this call itself
+     *  runs (cache and store hits never cancel); the cell is left
+     *  unresolved and CellCancelled is thrown. */
     const SchedStats &stats(const WorkloadSpec &spec, char config,
-                            unsigned width);
+                            unsigned width,
+                            const support::CancelToken &token = {});
 
     /** True when the cell is already cached or quarantined — i.e. a
      *  stats() call would not have to simulate.  Lets callers detect
@@ -224,13 +243,26 @@ class ExperimentDriver
     bool cellResolved(const WorkloadSpec &spec, char config,
                       unsigned width) const;
 
+    /** True when answering stats() for the cell needs no fresh
+     *  simulation: it is cached, quarantined, or present in the
+     *  attached store.  The admission controller's brownout mode uses
+     *  this to keep answering already-computed cells while shedding
+     *  fresh work.  The store probe is by key only (no staleness
+     *  check) — a stale record admits one request that then simulates,
+     *  an acceptable heuristic error under overload.  Cheap: never
+     *  materializes a trace. */
+    bool cellDurable(const WorkloadSpec &spec, char config,
+                     unsigned width) const;
+
     /** As above with an arbitrary MachineConfig (ablation studies).
      *  @param key must uniquely identify the configuration; the driver
      *  cross-checks it against MachineConfig::fingerprint() and panics
-     *  (debug) or warns and disambiguates (release) on collisions. */
+     *  (debug) or warns and disambiguates (release) on collisions.
+     *  @param token as in stats(). */
     const SchedStats &statsFor(const WorkloadSpec &spec,
                                const MachineConfig &config,
-                               const std::string &key);
+                               const std::string &key,
+                               const support::CancelToken &token = {});
 
     /** Harmonic-mean IPC over @p set (paper Figures 2, 4, 6). */
     double hmeanIpc(const std::vector<const WorkloadSpec *> &set,
@@ -307,26 +339,37 @@ class ExperimentDriver
     std::string guardKey(const std::string &cache_key,
                          const MachineConfig &config);
 
-    /** Run one cell over a fresh cursor (no caching, no locking). */
+    /** Run one cell over a fresh cursor (no caching, no locking).
+     *  @p token is polled by the scheduler at chunk granularity;
+     *  unwinds with support::CancelledError when it fires. */
     SchedStats runCell(const SharedTrace &trace,
-                       const MachineConfig &config) const;
+                       const MachineConfig &config,
+                       const support::CancelToken &token) const;
 
-    /** runCell plus the "cell-throw" fault-injection hook (@p key is
-     *  the hook's tag, e.g. "li/D/16"). */
+    /** runCell plus the "cell-throw"/"cell-stall" fault-injection
+     *  hooks (@p key is the hook's tag, e.g. "li/D/16").  The
+     *  injected stall sleeps in slices so a firing @p token
+     *  interrupts it — the watchdog's active cancel must be able to
+     *  reclaim exactly the flights that are stuck. */
     SchedStats runCellChecked(const std::string &key,
                               const SharedTrace &trace,
-                              const MachineConfig &config) const;
+                              const MachineConfig &config,
+                              const support::CancelToken &token) const;
 
     /** Try a cell up to kCellAttempts times, starting the count at
      *  @p first_attempt (the batched path burns attempt 1 inside its
      *  group and retries here from 2).  True with @p out filled on
      *  success; false with @p failure describing the last error when
-     *  every attempt threw.  Thread-safe (touches no driver state). */
+     *  every attempt threw.  A firing @p token is *not* a failure:
+     *  support::CancelledError propagates out immediately without
+     *  consuming attempts (the same budget would just cancel again).
+     *  Thread-safe (touches no driver state). */
     bool attemptCell(const std::string &key,
                      const SharedTrace &trace,
                      const MachineConfig &config, SchedStats &out,
                      CellFailure &failure,
-                     unsigned first_attempt = 1) const;
+                     unsigned first_attempt = 1,
+                     const support::CancelToken &token = {}) const;
 
     /** The shared worker pool, created on first use with jobs_
      *  threads.  Persistent across prefetch() calls so concurrent

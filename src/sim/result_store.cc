@@ -261,6 +261,13 @@ ResultStore::lookup(const std::string &key,
     return &it->second.stats;
 }
 
+bool
+ResultStore::contains(const std::string &key) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return cells_.find(key) != cells_.end();
+}
+
 void
 ResultStore::appendRecordLocked(const std::string &key,
                                 const Entry &entry)

@@ -103,6 +103,12 @@ class ResultStore
                              const std::string &fingerprint,
                              std::uint64_t trace_digest);
 
+    /** True when a record for @p key is present, with *no* staleness
+     *  check (and no side effects).  The serving layer's brownout
+     *  admission uses this as a cheap "could we answer this without
+     *  simulating?" probe; real reads still go through lookup(). */
+    bool contains(const std::string &key) const;
+
     /**
      * Persist one cell and make it visible to lookup().  The record is
      * written and flushed before the in-memory map is updated.  Fault

@@ -1,0 +1,126 @@
+#include "cancel.hh"
+
+#include <limits>
+
+namespace ddsc
+{
+namespace support
+{
+
+CancelToken
+CancelToken::make()
+{
+    return CancelToken(std::make_shared<State>());
+}
+
+CancelToken
+CancelToken::withDeadline(std::uint64_t deadline_ms)
+{
+    auto state = std::make_shared<State>();
+    if (deadline_ms != 0) {
+        state->hasDeadline = true;
+        state->deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(deadline_ms);
+    }
+    return CancelToken(std::move(state));
+}
+
+CancelToken
+CancelToken::child() const
+{
+    auto state = std::make_shared<State>();
+    state->parent = state_;
+    return CancelToken(std::move(state));
+}
+
+CancelToken
+CancelToken::childWithDeadline(std::uint64_t deadline_ms) const
+{
+    auto state = std::make_shared<State>();
+    state->parent = state_;
+    if (deadline_ms != 0) {
+        state->hasDeadline = true;
+        state->deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(deadline_ms);
+    }
+    return CancelToken(std::move(state));
+}
+
+void
+CancelToken::cancel(const std::string &reason) const
+{
+    if (!state_)
+        return;
+    {
+        std::lock_guard<std::mutex> lock(state_->mutex);
+        if (state_->reason.empty())
+            state_->reason = reason.empty() ? "cancelled" : reason;
+    }
+    // Release: the reason is written before the flag flips, so a
+    // poller that sees cancelled() == true reads a complete reason.
+    state_->cancelled.store(true, std::memory_order_release);
+}
+
+bool
+CancelToken::cancelled() const
+{
+    for (const State *s = state_.get(); s != nullptr;
+         s = s->parent.get()) {
+        if (s->cancelled.load(std::memory_order_acquire))
+            return true;
+        if (s->hasDeadline &&
+            std::chrono::steady_clock::now() >= s->deadline) {
+            {
+                std::lock_guard<std::mutex> lock(s->mutex);
+                if (s->reason.empty())
+                    s->reason = "deadline exceeded";
+            }
+            s->cancelled.store(true, std::memory_order_release);
+            return true;
+        }
+    }
+    return false;
+}
+
+std::string
+CancelToken::reason() const
+{
+    for (const State *s = state_.get(); s != nullptr;
+         s = s->parent.get()) {
+        if (!s->cancelled.load(std::memory_order_acquire))
+            continue;
+        std::lock_guard<std::mutex> lock(s->mutex);
+        if (!s->reason.empty())
+            return s->reason;
+    }
+    return {};
+}
+
+std::uint64_t
+CancelToken::remainingMs() const
+{
+    std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
+    const auto now = std::chrono::steady_clock::now();
+    for (const State *s = state_.get(); s != nullptr;
+         s = s->parent.get()) {
+        if (!s->hasDeadline)
+            continue;
+        if (now >= s->deadline)
+            return 0;
+        const auto left =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                s->deadline - now).count();
+        best = std::min(best, static_cast<std::uint64_t>(left));
+    }
+    return best;
+}
+
+void
+CancelToken::throwIfCancelled() const
+{
+    if (cancelled())
+        throw CancelledError(reason());
+}
+
+} // namespace support
+} // namespace ddsc

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Cooperative cancellation: a cheap, hierarchical token threaded from
+ * the serving session down through the experiment driver into the
+ * scheduler engines.
+ *
+ * A CancelToken is a small shared handle.  It cancels for one of
+ * three reasons, checked in this order:
+ *
+ *  - someone called cancel() on it (explicit — watchdog, shutdown);
+ *  - its deadline passed (a token made with withDeadline());
+ *  - an ancestor cancelled (child() chains tokens, so cancelling a
+ *    request fans out to every per-cell flight it spawned without the
+ *    flights knowing about each other).
+ *
+ * The check is designed to sit inside simulation loops: a relaxed
+ * atomic load on the hot path, a steady_clock read only when a
+ * deadline exists, and the parent chain is typically one deep.
+ * Engines poll at chunk / window-scan granularity (order 10^4
+ * records), so the cancellation latency bound is one chunk.
+ *
+ * A default-constructed token is *null*: valid() is false and it
+ * never cancels.  That keeps every existing call site working
+ * unchanged — passing nothing means "run to completion", exactly the
+ * pre-cancellation behaviour.
+ *
+ * Unwinding is by exception so partial back-end state is discarded by
+ * ordinary destructors:
+ *
+ *  - CancelledError — the generic unwind, thrown by throwIfCancelled;
+ *  - CellCancelled — the typed, cell-scoped form the driver and
+ *    registry speak.  Distinct from CellStalled (retryable wait
+ *    failure) and CellQuarantined (known-bad cell): a cancelled cell
+ *    is *not* quarantined and *not* retried server-side; it simply
+ *    re-runs cleanly on the next request that wants it.
+ */
+
+#ifndef DDSC_SUPPORT_CANCEL_HH
+#define DDSC_SUPPORT_CANCEL_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+
+namespace ddsc
+{
+namespace support
+{
+
+/** Thrown when a cancelled token is observed; reason() says why. */
+class CancelledError : public std::runtime_error
+{
+  public:
+    explicit CancelledError(const std::string &reason)
+        : std::runtime_error(reason)
+    {
+    }
+};
+
+class CancelToken
+{
+  public:
+    /** The null token: never cancels, valid() == false. */
+    CancelToken() = default;
+
+    /** A live token with no deadline (explicit cancel only). */
+    static CancelToken make();
+
+    /** A live token that self-cancels once @p deadline_ms elapses.
+     *  deadline_ms == 0 means no deadline (same as make()). */
+    static CancelToken withDeadline(std::uint64_t deadline_ms);
+
+    /** A child token: cancels when this token does, or on its own
+     *  cancel()/deadline.  Calling child() on a null token yields a
+     *  fresh parentless token, so call sites need no special case. */
+    CancelToken child() const;
+    CancelToken childWithDeadline(std::uint64_t deadline_ms) const;
+
+    /** Explicitly cancel this token (and so every descendant).
+     *  The first reason wins; later calls are no-ops. */
+    void cancel(const std::string &reason) const;
+
+    /** True iff this token (or an ancestor) has cancelled. */
+    bool cancelled() const;
+
+    /** Why the token cancelled; empty while it has not. */
+    std::string reason() const;
+
+    /** Milliseconds until the deadline; UINT64_MAX when no deadline
+     *  binds (here or on any ancestor); 0 once expired. */
+    std::uint64_t remainingMs() const;
+
+    /** False for the default-constructed null token. */
+    bool valid() const { return state_ != nullptr; }
+
+    /** Throw CancelledError iff cancelled. */
+    void throwIfCancelled() const;
+
+  private:
+    struct State
+    {
+        /** mutable: tokens are shared as pointer-to-const (children
+         *  must never rewrite a parent's deadline or chain), but
+         *  cancelling through that const view is the whole point. */
+        mutable std::atomic<bool> cancelled{false};
+        bool hasDeadline = false;
+        std::chrono::steady_clock::time_point deadline{};
+        std::shared_ptr<const State> parent;
+        mutable std::mutex mutex;           ///< guards reason only
+        mutable std::string reason;
+    };
+
+    explicit CancelToken(std::shared_ptr<const State> state)
+        : state_(std::move(state))
+    {
+    }
+
+    std::shared_ptr<const State> state_;
+};
+
+} // namespace support
+
+/**
+ * A cell's computation was cancelled — by the caller's deadline, an
+ * explicit request cancel, or the watchdog reclaiming a stalled
+ * flight.  Not a failure of the cell itself: nothing is quarantined,
+ * nothing is retried here, and the next request that wants the cell
+ * re-runs it from scratch.
+ */
+class CellCancelled : public support::CancelledError
+{
+  public:
+    CellCancelled(std::string cell_key, const std::string &reason)
+        : support::CancelledError("cell " + cell_key +
+                                  " cancelled: " + reason),
+          key(std::move(cell_key))
+    {
+    }
+
+    std::string key;
+};
+
+} // namespace ddsc
+
+#endif // DDSC_SUPPORT_CANCEL_HH

@@ -44,8 +44,10 @@ constexpr std::uint32_t kFingerprintSchema = 2; ///< v2 added the
 /** '|'-separated fields in MachineConfig::fingerprint(). */
 constexpr unsigned kFingerprintFields = 28;
 
-constexpr std::uint32_t kProtocol = 4;  ///< v4 added fleet cell batches
-                                        ///< and per-shard health
+constexpr std::uint32_t kProtocol = 5;  ///< v5: deadlineMs became a
+                                        ///< decremented end-to-end
+                                        ///< budget, Cancelled replies,
+                                        ///< retryAfterMs on sheds
 
 /** The `--version` banner every CLI tool prints. */
 inline void

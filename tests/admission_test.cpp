@@ -1,0 +1,229 @@
+/**
+ * @file
+ * AdmissionController in isolation: the bounded FIFO, per-connection
+ * in-flight caps, queue-deadline eviction, brownout bypass, and the
+ * EWMA-priced retry hints — all without a server or sockets, so every
+ * decision is driven deterministically.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "serve/admission.hh"
+
+namespace ddsc::serve
+{
+namespace
+{
+
+AdmissionOptions
+tinyOptions()
+{
+    AdmissionOptions opts;
+    opts.maxActive = 1;
+    opts.queueDepth = 2;
+    opts.perConnInflight = 4;
+    opts.brownout = true;
+    return opts;
+}
+
+TEST(Admission, FastPathAdmitsUpToMaxActive)
+{
+    AdmissionOptions opts = tinyOptions();
+    opts.maxActive = 3;
+    AdmissionController adm(opts);
+    std::vector<AdmissionDecision> held;
+    for (unsigned i = 0; i < 3; ++i) {
+        held.push_back(adm.admit(/*conn=*/i, /*budget=*/0,
+                                 /*cached=*/false));
+        EXPECT_TRUE(held.back().admitted);
+        EXPECT_FALSE(held.back().viaBrownout);
+    }
+    EXPECT_EQ(adm.activeCount(), 3u);
+    for (unsigned i = 0; i < 3; ++i)
+        adm.release(i, held[i], /*service_ms=*/0);
+    EXPECT_EQ(adm.activeCount(), 0u);
+}
+
+TEST(Admission, QueueIsFifoAndBoundedThenSheds)
+{
+    AdmissionController adm(tinyOptions());    // 1 active, 2 queued
+    const AdmissionDecision first =
+        adm.admit(1, 0, /*cached=*/false);
+    ASSERT_TRUE(first.admitted);
+
+    // Two waiters fit in the queue; they must come out in order.
+    std::atomic<int> order{0};
+    int turn2 = -1, turn3 = -1;
+    AdmissionDecision d2, d3;
+    std::thread w2([&]() {
+        d2 = adm.admit(2, 0, false);
+        turn2 = order.fetch_add(1);
+    });
+    while (adm.queueLength() < 1)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    std::thread w3([&]() {
+        d3 = adm.admit(3, 0, false);
+        turn3 = order.fetch_add(1);
+    });
+    while (adm.queueLength() < 2)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+    // A third uncached request finds the queue full: shed, typed,
+    // with a positive hint.
+    const AdmissionDecision shed = adm.admit(4, 0, false);
+    EXPECT_FALSE(shed.admitted);
+    EXPECT_GT(shed.retryAfterMs, 0u);
+    EXPECT_GE(adm.shedTotal(), 1u);
+
+    adm.release(1, first, 5);
+    w2.join();                      // FIFO: 2 before 3
+    ASSERT_TRUE(d2.admitted);
+    adm.release(2, d2, 5);
+    w3.join();
+    ASSERT_TRUE(d3.admitted);
+    adm.release(3, d3, 5);
+    EXPECT_EQ(turn2, 0);
+    EXPECT_EQ(turn3, 1);
+    EXPECT_EQ(adm.activeCount(), 0u);
+    EXPECT_EQ(adm.queueLength(), 0u);
+}
+
+TEST(Admission, PerConnectionInflightCapShedsTheHog)
+{
+    AdmissionOptions opts = tinyOptions();
+    opts.maxActive = 8;
+    opts.perConnInflight = 2;
+    AdmissionController adm(opts);
+    const AdmissionDecision a = adm.admit(7, 0, false);
+    const AdmissionDecision b = adm.admit(7, 0, false);
+    EXPECT_TRUE(a.admitted);
+    EXPECT_TRUE(b.admitted);
+    const AdmissionDecision c = adm.admit(7, 0, false);
+    EXPECT_FALSE(c.admitted);
+    EXPECT_NE(c.reason.find("in flight"), std::string::npos);
+    // A different connection is unaffected by the hog's cap.
+    const AdmissionDecision other = adm.admit(8, 0, false);
+    EXPECT_TRUE(other.admitted);
+    adm.release(7, a, 0);
+    adm.release(7, b, 0);
+    adm.release(8, other, 0);
+}
+
+TEST(Admission, BudgetThatCannotSurviveTheQueueIsShedImmediately)
+{
+    AdmissionController adm(tinyOptions());
+    const AdmissionDecision holder = adm.admit(1, 0, false);
+    ASSERT_TRUE(holder.admitted);
+    // Queue empty, one slot busy: estimated wait is one EWMA default
+    // (50 ms).  A 10 ms budget cannot survive it — shed instantly,
+    // and counted as a queue eviction, not a queue-full shed.
+    const auto t0 = std::chrono::steady_clock::now();
+    const AdmissionDecision hurried =
+        adm.admit(2, /*budget=*/10, false);
+    const auto waited =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    EXPECT_FALSE(hurried.admitted);
+    EXPECT_GT(hurried.retryAfterMs, 0u);
+    EXPECT_EQ(adm.queueEvictions(), 1u);
+    EXPECT_LT(waited, 10);          // *immediately*, not after 10 ms
+    // A roomy budget queues instead (and gets its turn).
+    std::thread waiter([&]() {
+        const AdmissionDecision roomy =
+            adm.admit(3, /*budget=*/5000, false);
+        EXPECT_TRUE(roomy.admitted);
+        adm.release(3, roomy, 0);
+    });
+    while (adm.queueLength() < 1)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    adm.release(1, holder, 0);
+    waiter.join();
+}
+
+TEST(Admission, BudgetExpiringWhileQueuedEvicts)
+{
+    AdmissionController adm(tinyOptions());
+    const AdmissionDecision holder = adm.admit(1, 0, false);
+    ASSERT_TRUE(holder.admitted);
+    // Enough budget to be worth queueing (over the 50 ms estimate),
+    // but the slot never frees: the wait times out and evicts.
+    const AdmissionDecision starved =
+        adm.admit(2, /*budget=*/80, false);
+    EXPECT_FALSE(starved.admitted);
+    EXPECT_GE(adm.queueEvictions(), 1u);
+    EXPECT_EQ(adm.queueLength(), 0u);   // the dead ticket is gone
+    adm.release(1, holder, 0);
+}
+
+TEST(Admission, BrownoutAdmitsCachedPastAFullQueueUncachedSheds)
+{
+    AdmissionOptions opts = tinyOptions();
+    opts.queueDepth = 0;                // saturate instantly
+    AdmissionController adm(opts);
+    const AdmissionDecision holder = adm.admit(1, 0, false);
+    ASSERT_TRUE(holder.admitted);
+
+    const AdmissionDecision cached = adm.admit(2, 0, /*cached=*/true);
+    EXPECT_TRUE(cached.admitted);
+    EXPECT_TRUE(cached.viaBrownout);
+    EXPECT_EQ(adm.brownoutServed(), 1u);
+    EXPECT_EQ(adm.activeCount(), 1u);   // no slot consumed
+
+    const AdmissionDecision fresh = adm.admit(3, 0, /*cached=*/false);
+    EXPECT_FALSE(fresh.admitted);
+    EXPECT_GT(fresh.retryAfterMs, 0u);
+
+    adm.release(2, cached, 1);
+    adm.release(1, holder, 1);
+    EXPECT_EQ(adm.activeCount(), 0u);
+}
+
+TEST(Admission, NoBrownoutShedsCachedToo)
+{
+    AdmissionOptions opts = tinyOptions();
+    opts.queueDepth = 0;
+    opts.brownout = false;
+    AdmissionController adm(opts);
+    const AdmissionDecision holder = adm.admit(1, 0, false);
+    ASSERT_TRUE(holder.admitted);
+    const AdmissionDecision cached = adm.admit(2, 0, /*cached=*/true);
+    EXPECT_FALSE(cached.admitted);
+    adm.release(1, holder, 0);
+}
+
+TEST(Admission, RetryHintTracksObservedLatencyAndClamps)
+{
+    AdmissionController adm(tinyOptions());
+    // Deterministic default before any observation.
+    EXPECT_EQ(adm.retryHintMs(), 50u);
+    // Feed consistent 200 ms requests; the hint follows the EWMA.
+    for (unsigned i = 0; i < 20; ++i) {
+        const AdmissionDecision d = adm.admit(1, 0, false);
+        ASSERT_TRUE(d.admitted);
+        adm.release(1, d, /*service_ms=*/200);
+    }
+    EXPECT_GT(adm.retryHintMs(), 100u);
+    EXPECT_LE(adm.retryHintMs(), 5000u);
+    // An absurd observation clamps instead of telling clients to go
+    // away for minutes.
+    for (unsigned i = 0; i < 20; ++i) {
+        const AdmissionDecision d = adm.admit(1, 0, false);
+        ASSERT_TRUE(d.admitted);
+        adm.release(1, d, /*service_ms=*/600000);
+    }
+    EXPECT_EQ(adm.retryHintMs(), 5000u);
+    // And a floor: near-zero latency never prices a 0 ms busy-loop.
+    AdmissionController fast(tinyOptions());
+    const AdmissionDecision d = fast.admit(1, 0, false);
+    fast.release(1, d, /*service_ms=*/1);
+    EXPECT_GE(fast.retryHintMs(), 10u);
+}
+
+} // anonymous namespace
+} // namespace ddsc::serve

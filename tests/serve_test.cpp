@@ -255,6 +255,105 @@ TEST(Serve, DeadlineBoundsTheWaitNotTheSimulation)
     EXPECT_EQ(cached.summary.simulated, 0u);
 }
 
+TEST(Serve, OwnDeadlineCancelsClaimedFlightTypedNotQuarantined)
+{
+    // The owner's own deadline fires its request token, the stalled
+    // simulation unwinds cooperatively, and the reply is the typed
+    // Cancelled — NOT Deadline (that is the waiter's word) and NOT a
+    // quarantine: the cell re-runs cleanly for the next request and
+    // renders byte-identical to a fresh local run.
+    ServerFixture fx;
+    MatrixQuery slow = smallQuery();
+    slow.configs = "A";
+
+    support::faultArm("cell-stall:li/A/4");     // 400 ms stall
+    MatrixQuery hurried = slow;
+    hurried.deadlineMs = 100;                   // expires mid-stall
+    bool cancelled = false;
+    try {
+        net::Client client(fx.port());
+        client.matrix(hurried);
+    } catch (const net::ServerError &e) {
+        cancelled = e.code == net::ErrCode::Cancelled;
+        EXPECT_NE(std::string(e.what()).find("cancelled"),
+                  std::string::npos);
+    }
+    support::faultArm("");
+    EXPECT_TRUE(cancelled);
+
+    // Nothing was quarantined by the cancellation...
+    EXPECT_EQ(fx.server().healthSnapshot().quarantinedCells, 0u);
+
+    // ...and the cell re-runs cleanly: same bytes as a fresh local
+    // ddsc-matrix-style run, with the cell actually simulated (the
+    // cancelled attempt's partial state was discarded, not cached).
+    ExperimentDriver local(0, /*test_scale=*/true, /*jobs=*/1);
+    const MatrixResult fresh = runMatrixQuery(local, slow);
+    net::Client client(fx.port());
+    const MatrixResult rerun = client.matrix(slow);
+    EXPECT_EQ(rerun.render(true), fresh.render(true));
+    EXPECT_GT(rerun.summary.simulated, 0u);
+}
+
+TEST(Serve, BrownoutServesCachedWhileFreshSimulationSheds)
+{
+    // Saturate admission (one slot, no queue).  A request answerable
+    // entirely from durable cells still gets its bytes — brownout —
+    // while a request needing fresh simulation is shed with a typed
+    // Overloaded carrying a positive retry-after hint.
+    serve::ServerOptions opts;
+    opts.admission.maxActive = 1;
+    opts.admission.queueDepth = 0;
+    opts.admission.brownout = true;
+    ServerFixture fx(opts);
+
+    // Warm the cache so smallQuery()'s cells are durable.
+    ExperimentDriver local(0, /*test_scale=*/true, /*jobs=*/1);
+    const std::string oracle =
+        runMatrixQuery(local, smallQuery()).render(true);
+    net::Client warm(fx.port());
+    EXPECT_EQ(warm.matrix(smallQuery()).render(true), oracle);
+
+    // Occupy the only admission slot with a stalled fresh simulation.
+    support::faultArm("cell-stall:li/E/4");     // 400 ms stall
+    MatrixQuery occupier = smallQuery();
+    occupier.configs = "E";
+    std::thread holder([&]() {
+        net::Client client(fx.port());
+        const MatrixResult result = client.matrix(occupier);
+        EXPECT_FALSE(result.interrupted);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(120));
+
+    // Cached request: served through brownout, same bytes as ever.
+    {
+        net::Client client(fx.port());
+        const MatrixResult served = client.matrix(smallQuery());
+        EXPECT_EQ(served.render(true), oracle);
+        EXPECT_EQ(served.summary.simulated, 0u);
+    }
+    EXPECT_GE(fx.server().admission().brownoutServed(), 1u);
+
+    // Fresh-simulation request: shed, typed, with a retry hint.
+    MatrixQuery fresh = smallQuery();
+    fresh.configs = "B";
+    bool shed = false;
+    std::uint64_t hint = 0;
+    try {
+        net::Client client(fx.port());
+        client.matrix(fresh);
+    } catch (const net::ServerError &e) {
+        shed = e.code == net::ErrCode::Overloaded;
+        hint = e.retryAfterMs;
+    }
+    EXPECT_TRUE(shed);
+    EXPECT_GT(hint, 0u);
+    EXPECT_GE(fx.server().admission().shedTotal(), 1u);
+
+    holder.join();
+    support::faultArm("");
+}
+
 TEST(Serve, VersionMismatchIsATypedError)
 {
     ServerFixture fx;
@@ -364,15 +463,18 @@ TEST(Serve, OverloadShedFrameBytesArePinned)
     holder.ping();
 
     // The shed reply, byte for byte: DDSN magic, type Error (9),
-    // length, CRC-32, then payload { code Overloaded (2), message }.
-    // This pins the wire ABI — old clients decide "back off and
-    // retry" from exactly these bytes, so changing any of them is a
-    // protocol revision, not a refactor.
+    // length, CRC-32, then payload { code Overloaded (2), message,
+    // retryAfterMs }.  This pins the v5 wire ABI — old clients decide
+    // "back off and retry" from exactly these bytes (v4 decoders stop
+    // before the trailing hint and still parse), so changing any of
+    // them is a protocol revision, not a refactor.  The hint is 50 ms
+    // by construction: a fresh server's admission EWMA is empty and
+    // reports its deterministic default.
     static const unsigned char kShedFrame[] = {
         0x44, 0x44, 0x53, 0x4e,             // magic "DDSN"
         0x09,                               // MsgType::Error
-        0x33, 0x00, 0x00, 0x00,             // payload length 51
-        0xf0, 0x40, 0x5f, 0x35,             // CRC-32 of the payload
+        0x3b, 0x00, 0x00, 0x00,             // payload length 59
+        0x8e, 0x67, 0xb3, 0x8d,             // CRC-32 of the payload
         0x02,                               // ErrCode::Overloaded
         0x2e, 0x00, 0x00, 0x00,             // message length 46
         's', 'e', 'r', 'v', 'e', 'r', ' ', 'a', 't', ' ',
@@ -380,6 +482,8 @@ TEST(Serve, OverloadShedFrameBytesArePinned)
         '1', ' ', 's', 'e', 's', 's', 'i', 'o', 'n', 's',
         ')', ';', ' ', 'r', 'e', 't', 'r', 'y', ' ',
         's', 'h', 'o', 'r', 't', 'l', 'y',
+        0x32, 0x00, 0x00, 0x00,             // retryAfterMs = 50 ...
+        0x00, 0x00, 0x00, 0x00,             // ... (u64 LE)
     };
 
     net::Fd conn = net::connectLocal(fx.port());

@@ -413,6 +413,115 @@ TEST(WireFuzz, FleetFramesRoundTrip)
     }
 }
 
+// --- DDSN v5 error frames -------------------------------------------
+// ErrorMsg grew a trailing retryAfterMs hint in protocol v5, and the
+// Cancelled code joined the typed set.  The trailer is deliberately
+// decode-lenient: a v4-shaped frame (no trailer) must still decode
+// with hint 0, because the overload shed fires before version
+// negotiation and a v4 client may be on the other end.  That makes
+// ErrorMsg the one codec here whose prefix-truncation rule has a
+// single sanctioned exception — the exact v4 boundary.
+
+net::ErrorMsg
+sampleShed()
+{
+    net::ErrorMsg err;
+    err.code = net::ErrCode::Overloaded;
+    err.message = "admission queue full; retry shortly";
+    err.retryAfterMs = 125;
+    return err;
+}
+
+net::ErrorMsg
+sampleCancelled()
+{
+    net::ErrorMsg err;
+    err.code = net::ErrCode::Cancelled;
+    err.message = "cell li/A/4 cancelled: deadline exceeded";
+    err.retryAfterMs = 0;
+    return err;
+}
+
+TEST(WireFuzz, ErrorMsgV5RoundTripsCancelledAndRetryHint)
+{
+    {
+        std::string encoded;
+        sampleShed().encode(encoded);
+        support::wire::Reader reader(encoded);
+        net::ErrorMsg err;
+        ASSERT_TRUE(err.decode(reader));
+        EXPECT_EQ(reader.remaining(), 0u);
+        EXPECT_EQ(err.code, net::ErrCode::Overloaded);
+        EXPECT_EQ(err.message, sampleShed().message);
+        EXPECT_EQ(err.retryAfterMs, 125u);
+    }
+    {
+        std::string encoded;
+        sampleCancelled().encode(encoded);
+        support::wire::Reader reader(encoded);
+        net::ErrorMsg err;
+        ASSERT_TRUE(err.decode(reader));
+        EXPECT_EQ(reader.remaining(), 0u);
+        EXPECT_EQ(err.code, net::ErrCode::Cancelled);
+        EXPECT_EQ(err.message, sampleCancelled().message);
+        EXPECT_EQ(err.retryAfterMs, 0u);
+    }
+}
+
+TEST(WireFuzz, ErrorMsgPrefixTruncationFailsExceptV4Boundary)
+{
+    std::string encoded;
+    sampleShed().encode(encoded);
+    ASSERT_GT(encoded.size(), 8u);
+    const std::size_t v4len = encoded.size() - 8;   // sans trailer
+    for (std::size_t len = 0; len < encoded.size(); ++len) {
+        support::wire::Reader reader(
+            std::string_view(encoded).substr(0, len));
+        net::ErrorMsg err;
+        const bool decoded = err.decode(reader);
+        if (len == v4len) {
+            // The sanctioned downgrade: a v4 client's frame.  Same
+            // code and message, hint defaults to 0 ("no hint"), and
+            // the reader consumed everything cleanly.
+            EXPECT_TRUE(decoded);
+            EXPECT_TRUE(reader.ok());
+            EXPECT_EQ(err.code, net::ErrCode::Overloaded);
+            EXPECT_EQ(err.message, sampleShed().message);
+            EXPECT_EQ(err.retryAfterMs, 0u);
+        } else {
+            EXPECT_FALSE(decoded) << "prefix of " << len
+                                  << " of " << encoded.size()
+                                  << " bytes decoded";
+        }
+    }
+}
+
+TEST(WireFuzz, ErrorMsgByteCorruptionNeverThrows)
+{
+    std::string encoded;
+    sampleShed().encode(encoded);
+    expectNoByteFlipThrows(encoded, [](support::wire::Reader &in) {
+        net::ErrorMsg err;
+        return err.decode(in);
+    });
+}
+
+TEST(WireFuzz, ErrorMsgLengthBombNeverOverallocates)
+{
+    std::string encoded;
+    sampleShed().encode(encoded);
+    // The message length prefix sits right after the 1-byte code.
+    std::string bomb = encoded;
+    bomb[1] = static_cast<char>(0xff);
+    bomb[2] = static_cast<char>(0xff);
+    bomb[3] = static_cast<char>(0xff);
+    bomb[4] = static_cast<char>(0x7f);
+    support::wire::Reader reader(bomb);
+    net::ErrorMsg err;
+    EXPECT_FALSE(err.decode(reader));
+    EXPECT_LE(err.message.capacity(), 1u << 20);
+}
+
 TEST(WireFuzz, ReaderZeroFillsAfterFirstFailure)
 {
     std::string encoded;

@@ -24,9 +24,15 @@
  * flags — both render through the same code; the server only adds
  * transport and caching.  Per-request serving counters go to stderr.
  *
- * --deadline-ms bounds how long this client waits; an expired request
- * comes back as a typed deadline error while the server keeps
- * computing (the next request gets the cached cells).
+ * --deadline-ms bounds how long this client waits, end to end: the
+ * value rides in the request and every hop (router, shard) decrements
+ * it by the time already spent, so it is a total budget, not a fresh
+ * allowance per hop.  An expired request comes back as a typed
+ * deadline error while the server keeps computing (the next request
+ * gets the cached cells).  The value must be a positive integer of
+ * at most 86400000 (24 h); 0 is NOT "no deadline" — omit the flag to
+ * wait forever — and 0, negative, non-numeric, or oversized values
+ * are usage errors (exit 2), never silently reinterpreted.
  *
  * --retries N retries transport failures and retryable server errors
  * (overloaded, draining, stalled) up to N times with capped
@@ -93,6 +99,35 @@ parseWidths(const std::string &spec)
     if (widths.empty())
         usage();
     return widths;
+}
+
+/** Strict --deadline-ms parse.  atoll would map "0", "-5", "2x", and
+ *  overflow all onto values the wire layer reads as "no deadline" or
+ *  nonsense; a deadline the user typed must either mean exactly what
+ *  it says or be rejected here, before a request is sent. */
+std::uint64_t
+parseDeadlineMs(const std::string &text)
+{
+    constexpr std::uint64_t kMaxDeadlineMs = 86'400'000;    // 24 h
+    std::uint64_t ms = 0;
+    bool ok = !text.empty();
+    for (const char c : text) {
+        if (c < '0' || c > '9' || ms > kMaxDeadlineMs) {
+            ok = false;
+            break;
+        }
+        ms = ms * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    if (!ok || ms == 0 || ms > kMaxDeadlineMs) {
+        std::fprintf(stderr,
+                     "ddsc-client: --deadline-ms expects a positive "
+                     "integer of at most %llu ms, got '%s' (omit the "
+                     "flag to wait without a deadline)\n",
+                     static_cast<unsigned long long>(kMaxDeadlineMs),
+                     text.c_str());
+        usage();
+    }
+    return ms;
 }
 
 /** The aggregated health as one JSON object on stdout.  Every value
@@ -188,8 +223,7 @@ main(int argc, char **argv)
         } else if (arg == "--csv") {
             csv = true;
         } else if (arg == "--deadline-ms") {
-            query.deadlineMs = static_cast<std::uint64_t>(
-                std::atoll(value().c_str()));
+            query.deadlineMs = parseDeadlineMs(value());
         } else if (arg == "--retries") {
             policy.retries = static_cast<unsigned>(
                 std::atoi(value().c_str()));
@@ -345,8 +379,16 @@ main(int argc, char **argv)
         }
         return 0;
     } catch (const net::ServerError &e) {
-        std::fprintf(stderr, "ddsc-client: server error: %s\n",
-                     e.what());
+        if (e.retryAfterMs > 0)
+            std::fprintf(stderr,
+                         "ddsc-client: server error: %s "
+                         "(retry after %llu ms)\n",
+                         e.what(),
+                         static_cast<unsigned long long>(
+                             e.retryAfterMs));
+        else
+            std::fprintf(stderr, "ddsc-client: server error: %s\n",
+                         e.what());
         return 4;
     } catch (const net::TransportError &e) {
         std::fprintf(stderr, "ddsc-client: %s\n", e.what());

@@ -10,6 +10,9 @@
  *               [--fleet K] [--runtime-dir DIR]
  *               [--router-retry-budget-ms N] [--generation N]
  *               [--pid-file PATH] [--max-restarts K]
+ *               [--max-active N] [--queue-depth N]
+ *               [--per-conn-inflight N]
+ *               [--brownout|--no-brownout] [--cancel-stalled-ms N]
  *               [--batched|--no-batched] [--version]
  *
  * Examples:
@@ -46,6 +49,22 @@
  *
  * --watchdog-budget-ms pins the hung-cell watchdog's soft budget; by
  * default it adapts to 8x the slowest cell observed (2 s floor).
+ * --cancel-stalled-ms is the watchdog's last rung: a flight still
+ * running that long after claim gets its cancel token fired, so the
+ * stalled simulation unwinds cooperatively instead of squatting on a
+ * worker forever (default 64x the soft budget).
+ *
+ * Admission control sits in front of the request loop: --max-active
+ * caps concurrently resolving requests, --queue-depth
+ * bounds how many requests may wait for a simulation slot (beyond it
+ * the server sheds with a typed Overloaded carrying a retry-after
+ * hint), --per-conn-inflight caps one connection's concurrent
+ * requests so a single aggressive client cannot monopolise the queue,
+ * and --brownout/--no-brownout controls whether, at a saturated
+ * queue, requests answerable entirely from the durable store are
+ * still served (they bypass the queue; fresh simulation sheds).
+ * Requests whose deadline budget cannot survive the predicted queue
+ * wait are shed immediately rather than queued to die.
  *
  * --trace-dir spills each workload's trace once to a DDSCTRC v4 file
  * under DIR and serves it through mmap'd zero-copy cursors instead of
@@ -115,6 +134,10 @@ usage()
         "                   [--fleet K] [--runtime-dir DIR]\n"
         "                   [--router-retry-budget-ms N]\n"
         "                   [--pid-file PATH] [--max-restarts K]\n"
+        "                   [--max-active N] [--queue-depth N]\n"
+        "                   [--per-conn-inflight N]\n"
+        "                   [--brownout|--no-brownout]\n"
+        "                   [--cancel-stalled-ms N]\n"
         "                   [--batched|--no-batched] [--version]\n");
     std::exit(2);
 }
@@ -400,6 +423,26 @@ main(int argc, char **argv)
         } else if (arg == "--watchdog-budget-ms") {
             opts.watchdogBudgetMs = static_cast<std::uint64_t>(
                 std::atoll(value().c_str()));
+        } else if (arg == "--cancel-stalled-ms") {
+            opts.cancelStalledMs = static_cast<std::uint64_t>(
+                std::atoll(value().c_str()));
+        } else if (arg == "--max-active") {
+            opts.admission.maxActive = static_cast<unsigned>(
+                std::atoi(value().c_str()));
+            if (opts.admission.maxActive == 0)
+                usage();
+        } else if (arg == "--queue-depth") {
+            opts.admission.queueDepth = static_cast<unsigned>(
+                std::atoi(value().c_str()));
+        } else if (arg == "--per-conn-inflight") {
+            opts.admission.perConnInflight = static_cast<unsigned>(
+                std::atoi(value().c_str()));
+            if (opts.admission.perConnInflight == 0)
+                usage();
+        } else if (arg == "--brownout") {
+            opts.admission.brownout = true;
+        } else if (arg == "--no-brownout") {
+            opts.admission.brownout = false;
         } else if (arg == "--batched") {
             opts.batched = true;
         } else if (arg == "--no-batched") {

@@ -1,0 +1,210 @@
+#!/usr/bin/env bash
+# Overload-and-cancellation soak, driven by ctest and CI: deadline
+# propagation, cooperative cancellation, admission shedding, and
+# brownout, with real processes under injected cell stalls.
+#
+#   1. fleet storm     a 3-shard fleet with a stalled cell; N
+#                      concurrent clients with mixed deadlines.  The
+#                      tight-deadline clients fail *typed* (exit 4),
+#                      the no-deadline clients all render bytes
+#                      identical to ddsc-matrix, and afterwards the
+#                      fleet reports ZERO quarantined cells — a
+#                      cancelled or expired request never poisons a
+#                      cell for everyone else.
+#   2. re-run clean    the very cells the cancelled requests abandoned
+#                      re-run cleanly: one more no-deadline sweep,
+#                      byte-identical to the oracle.
+#   3. brownout        a single server saturated at --max-active 1
+#                      --queue-depth 0 by a long stalled request:
+#                      a request answerable from the durable cache is
+#                      still served (brownout, oracle bytes) while a
+#                      fresh-simulation request is shed with a typed
+#                      Overloaded carrying a retry-after hint.
+#   4. strict deadline --deadline-ms 0 / negative / garbage / huge are
+#                      usage errors (exit 2), never "no deadline".
+#
+# The in-process halves live in tests/cancel_test.cpp,
+# tests/admission_test.cpp, and tests/serve_test.cpp.
+#
+# usage: overload_chaos.sh <ddsc-served> <ddsc-client> <ddsc-matrix>
+set -euo pipefail
+
+SERVED=$1
+CLIENT=$2
+MATRIX=$3
+
+export DDSC_TRACE_LIMIT=20000
+QUERY=(--set pc --configs AD --widths 4 --metric ipc --csv)
+SHARDS=3
+N_CLIENTS=6
+
+work=$(mktemp -d)
+FLEET=
+SINGLE=
+cleanup() {
+    [ -n "$FLEET" ] && kill "$FLEET" 2>/dev/null || true
+    [ -n "$SINGLE" ] && kill "$SINGLE" 2>/dev/null || true
+    rm -rf "$work"
+}
+trap cleanup EXIT
+
+wait_port_file() { # args: path, what
+    for _ in $(seq 1 150); do
+        [ -s "$1" ] && return 0
+        sleep 0.1
+    done
+    echo "$2 never wrote its port file" >&2
+    return 1
+}
+
+quarantined_cells() { # args: port file; fleet total + every shard row
+    "$CLIENT" --port-file "$1" --retries 10 --retry-budget-ms 30000 \
+        --health --json > "$work/health.json"
+    sed -n 's/.*"quarantined_cells": \([0-9]*\).*/\1/p' \
+        "$work/health.json" | sort -u | tr -d '\n'
+}
+
+"$MATRIX" "${QUERY[@]}" > "$work/oracle.csv" 2> /dev/null
+
+# --- 1: fleet storm under mixed deadlines ------------------------------
+# Every request that touches li/A/4 stalls 800 ms; a 150 ms deadline
+# cannot survive it and must cancel, while an unbounded client rides
+# it out.
+DDSC_FAULT=cell-stall:li/A/4 DDSC_FAULT_STALL_MS=800 \
+    "$SERVED" --fleet "$SHARDS" --port 0 --port-file "$work/port" \
+    --pid-file "$work/pid" --runtime-dir "$work/rt" --jobs 2 \
+    --cache-dir "$work/cache" --max-restarts 50 \
+    --watchdog-budget-ms 10000 --router-retry-budget-ms 60000 \
+    2>> "$work/served.log" &
+FLEET=$!
+wait_port_file "$work/port" "router"
+for i in $(seq 0 $((SHARDS - 1))); do
+    wait_port_file "$work/rt/shard-$i.port" "shard $i"
+done
+
+pids=()
+for i in $(seq 1 "$N_CLIENTS"); do
+    if [ $((i % 2)) -eq 0 ]; then
+        # Tight deadline: expires inside the injected stall.
+        "$CLIENT" --port-file "$work/port" --deadline-ms 150 \
+            "${QUERY[@]}" > "$work/storm$i.csv" \
+            2> "$work/storm$i.log" &
+    else
+        # No deadline: must ride out the stall and match the oracle.
+        "$CLIENT" --port-file "$work/port" --retries 10 \
+            --retry-budget-ms 60000 "${QUERY[@]}" \
+            > "$work/storm$i.csv" 2> "$work/storm$i.log" &
+    fi
+    pids+=($!)
+done
+tight_failed=0
+for i in $(seq 1 "$N_CLIENTS"); do
+    rc=0
+    wait "${pids[$((i - 1))]}" || rc=$?
+    if [ $((i % 2)) -eq 0 ]; then
+        # Typed server error (Cancelled/Deadline), never transport
+        # (3), quarantine (1), or silent success with partial bytes.
+        if [ "$rc" -eq 4 ]; then
+            tight_failed=$((tight_failed + 1))
+            grep -Eq 'cancelled|deadline' "$work/storm$i.log" ||
+                { echo "tight client $i failed without a typed \
+cancel/deadline message" >&2; cat "$work/storm$i.log" >&2; exit 1; }
+        elif [ "$rc" -ne 0 ]; then
+            echo "tight client $i exited $rc (want 0 or 4)" >&2
+            cat "$work/storm$i.log" >&2
+            exit 1
+        fi
+    else
+        [ "$rc" -eq 0 ] ||
+            { echo "unbounded client $i exited $rc" >&2;
+              cat "$work/storm$i.log" >&2; exit 1; }
+        cmp "$work/oracle.csv" "$work/storm$i.csv" ||
+            { echo "unbounded client $i diverged from the oracle" >&2;
+              exit 1; }
+    fi
+done
+[ "$tight_failed" -ge 1 ] ||
+    { echo "no tight-deadline client was cancelled; the stall never \
+bit" >&2; exit 1; }
+
+# A cancelled cell must never be quarantined for everyone else.
+q=$(quarantined_cells "$work/port")
+[ "$q" = "0" ] ||
+    { echo "cancellations quarantined $q cell(s)" >&2; exit 1; }
+
+# --- 2: the abandoned cells re-run cleanly -----------------------------
+"$CLIENT" --port-file "$work/port" --retries 10 \
+    --retry-budget-ms 60000 "${QUERY[@]}" > "$work/rerun.csv" \
+    2> "$work/rerun.log"
+cmp "$work/oracle.csv" "$work/rerun.csv" ||
+    { echo "post-storm re-run diverged from the oracle" >&2; exit 1; }
+
+kill -TERM "$FLEET"
+wait "$FLEET" || { echo "fleet did not drain cleanly" >&2; exit 1; }
+FLEET=
+
+# --- 3: brownout at a saturated single server --------------------------
+# One admission slot, no queue.  Warm the cache, stall the slot with a
+# fresh config, then: cached query -> bytes (brownout); fresh query ->
+# typed Overloaded with a retry-after hint.
+DDSC_FAULT=cell-stall:li/E/4 DDSC_FAULT_STALL_MS=4000 \
+    "$SERVED" --port 0 --port-file "$work/sport" \
+    --pid-file "$work/spid" --jobs 2 --cache-dir "$work/scache" \
+    --max-active 1 --queue-depth 0 --brownout \
+    2>> "$work/single.log" &
+SINGLE=$!
+wait_port_file "$work/sport" "single server"
+
+"$CLIENT" --port-file "$work/sport" "${QUERY[@]}" \
+    > "$work/warm.csv" 2> /dev/null
+cmp "$work/oracle.csv" "$work/warm.csv" ||
+    { echo "warm query diverged from the oracle" >&2; exit 1; }
+
+# Occupy the only slot: config E stalls 4 s.
+"$CLIENT" --port-file "$work/sport" --set pc --configs E --widths 4 \
+    --metric ipc --csv > "$work/holder.csv" 2> "$work/holder.log" &
+HOLDER=$!
+sleep 1
+
+# Cached cells still answer — brownout — with the same bytes as ever.
+"$CLIENT" --port-file "$work/sport" "${QUERY[@]}" \
+    > "$work/brownout.csv" 2> "$work/brownout.log" ||
+    { echo "cached query was not brownout-served" >&2;
+      cat "$work/brownout.log" >&2; exit 1; }
+cmp "$work/oracle.csv" "$work/brownout.csv" ||
+    { echo "brownout bytes diverged from the oracle" >&2; exit 1; }
+
+# Fresh simulation sheds, typed, with a priced retry hint.
+rc=0
+"$CLIENT" --port-file "$work/sport" --set pc --configs B --widths 4 \
+    --metric ipc --csv > /dev/null 2> "$work/shed.log" || rc=$?
+[ "$rc" -eq 4 ] ||
+    { echo "fresh query at saturation exited $rc (want 4)" >&2;
+      cat "$work/shed.log" >&2; exit 1; }
+grep -q 'overloaded' "$work/shed.log" ||
+    { echo "shed was not a typed Overloaded" >&2;
+      cat "$work/shed.log" >&2; exit 1; }
+grep -Eq 'retry after [0-9]+ ms' "$work/shed.log" ||
+    { echo "shed carried no retry-after hint" >&2;
+      cat "$work/shed.log" >&2; exit 1; }
+
+wait "$HOLDER" || { echo "stalled holder request failed" >&2;
+                    cat "$work/holder.log" >&2; exit 1; }
+kill -TERM "$SINGLE"
+wait "$SINGLE" || { echo "single server did not drain" >&2; exit 1; }
+SINGLE=
+
+# --- 4: strict --deadline-ms parsing -----------------------------------
+for bad in 0 -5 86400001 12x ""; do
+    rc=0
+    "$CLIENT" --port 1 --deadline-ms "$bad" "${QUERY[@]}" \
+        > /dev/null 2>> "$work/usage.log" || rc=$?
+    [ "$rc" -eq 2 ] ||
+        { echo "--deadline-ms '$bad' exited $rc (want usage error 2)" \
+            >&2; exit 1; }
+done
+grep -q 'positive integer' "$work/usage.log" ||
+    { echo "usage error did not explain the deadline bounds" >&2;
+      exit 1; }
+
+echo "overload chaos: OK"
